@@ -1,0 +1,126 @@
+// Ablation A3: the hybrid SUM operator the paper proposes as future work in
+// Section 6.3. Re-runs the Figure 12 sweep with three arms -- pure VAO,
+// pure traditional, and the hybrid (skew-threshold decision wired to the
+// calibrated black box). Expected: the hybrid tracks the cheaper arm at
+// every point, eliminating the paper's low-skew regression.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table_writer.h"
+#include "operators/sum_ave.h"
+#include "workload/hot_cold.h"
+
+using namespace vaolib;
+using namespace vaolib::bench;
+
+int main() {
+  BenchContext context = MakeContext();
+  Calibrate(&context);
+  PrintPreamble(context, "Ablation A3: hybrid SUM vs pure VAO vs traditional");
+
+  const std::size_t n = context.rows.size();
+  const double epsilon = 0.01 * static_cast<double>(n);
+  const std::uint64_t trad_units = context.TradTotalUnits();
+
+  TableWriter table("Hybrid SUM ablation",
+                    {"hot_share", "vao_units", "trad_units", "hybrid_units",
+                     "hybrid_path", "hybrid_vs_best"});
+
+  Rng rng(BenchSeed() + 300);
+  for (const double share : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    workload::HotColdSpec spec;
+    spec.count = n;
+    spec.hot_weight_share = share;
+    spec.total_weight = static_cast<double>(n);
+    const auto weights = workload::HotColdWeights(spec, &rng);
+    if (!weights.ok()) {
+      std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
+      return 1;
+    }
+
+    auto make_objects = [&](WorkMeter* meter,
+                            std::vector<vao::ResultObjectPtr>* owned,
+                            std::vector<vao::ResultObject*>* objects) {
+      for (const auto& row : context.rows) {
+        auto object = context.function->Invoke(row, meter);
+        if (!object.ok()) {
+          std::fprintf(stderr, "%s\n", object.status().ToString().c_str());
+          std::exit(1);
+        }
+        objects->push_back(object->get());
+        owned->push_back(std::move(object).value());
+      }
+    };
+
+    // Pure VAO arm.
+    WorkMeter vao_meter;
+    {
+      std::vector<vao::ResultObjectPtr> owned;
+      std::vector<vao::ResultObject*> objects;
+      make_objects(&vao_meter, &owned, &objects);
+      operators::SumAveOptions options;
+      options.epsilon = epsilon;
+      options.meter = &vao_meter;
+      const operators::SumAveVao vao(options);
+      if (const auto outcome = vao.Evaluate(objects, *weights);
+          !outcome.ok()) {
+        std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Hybrid arm: the decision is made before any objects are created, so
+    // the traditional path pays only black-box costs.
+    WorkMeter hybrid_meter;
+    bool used_vao = false;
+    {
+      operators::HybridSumVao::Options options;
+      options.vao.epsilon = epsilon;
+      options.vao.meter = &hybrid_meter;
+      const operators::HybridSumVao hybrid(options);
+      if (hybrid.ShouldUseVao(*weights)) {
+        used_vao = true;
+        std::vector<vao::ResultObjectPtr> owned;
+        std::vector<vao::ResultObject*> objects;
+        make_objects(&hybrid_meter, &owned, &objects);
+        const auto outcome = hybrid.Evaluate(
+            objects, *weights, [&](std::size_t i) -> Result<double> {
+              return context.black_box->Call(context.rows[i], &hybrid_meter);
+            });
+        if (!outcome.ok()) {
+          std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+          return 1;
+        }
+      } else {
+        for (std::size_t i = 0; i < context.rows.size(); ++i) {
+          if (const auto value =
+                  context.black_box->Call(context.rows[i], &hybrid_meter);
+              !value.ok()) {
+            std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+    }
+
+    const std::uint64_t vao_units = vao_meter.Total();
+    const std::uint64_t hybrid_units = hybrid_meter.Total();
+    const std::uint64_t best = std::min(vao_units, trad_units);
+    table.AddRow({TableWriter::Cell(share, 2),
+                  TableWriter::Cell(vao_units),
+                  TableWriter::Cell(trad_units),
+                  TableWriter::Cell(hybrid_units),
+                  used_vao ? "vao" : "traditional",
+                  TableWriter::Cell(static_cast<double>(hybrid_units) /
+                                        static_cast<double>(best),
+                                    2)});
+  }
+
+  table.RenderText(std::cout);
+  std::printf("\ncsv:\n");
+  table.RenderCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::bench {
+
+Result<double> PrecalibratedBlackBox::Call(const std::vector<double>& args,
+                                           WorkMeter* meter) const {
+  const auto it = records_.find(args);
+  if (it == records_.end()) {
+    return Status::NotFound("black box has no calibration for these args");
+  }
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, it->second.cost);
+  }
+  return it->second.value;
+}
+
+int BenchBondCount() {
+  if (const char* env = std::getenv("VAOLIB_BENCH_BONDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 500;
+}
+
+std::uint64_t BenchSeed() {
+  if (const char* env = std::getenv("VAOLIB_BENCH_SEED")) {
+    const long long seed = std::atoll(env);
+    if (seed > 0) return static_cast<std::uint64_t>(seed);
+  }
+  return 1994;
+}
+
+std::uint64_t BenchContext::TradTotalUnits() const {
+  std::uint64_t total = 0;
+  for (const auto cost : trad_costs) total += cost;
+  return total;
+}
+
+BenchContext MakeContext() {
+  BenchContext context;
+  workload::PortfolioSpec spec;
+  spec.count = BenchBondCount();
+  context.bonds = workload::GeneratePortfolio(BenchSeed(), spec);
+  context.function = std::make_unique<finance::BondPricingFunction>(
+      context.bonds, context.config);
+  context.rows.reserve(context.bonds.size());
+  for (std::size_t i = 0; i < context.bonds.size(); ++i) {
+    context.rows.push_back(context.function->ArgsFor(context.rate, i));
+  }
+  return context;
+}
+
+void Calibrate(BenchContext* context) {
+  Stopwatch stopwatch;
+  WorkMeter meter;
+  context->converged_values.clear();
+  context->trad_costs.clear();
+  context->black_box = std::make_unique<PrecalibratedBlackBox>(
+      context->function->name(), context->function->arity());
+
+  for (const auto& row : context->rows) {
+    auto object = context->function->Invoke(row, &meter);
+    if (!object.ok()) {
+      std::fprintf(stderr, "calibration invoke failed: %s\n",
+                   object.status().ToString().c_str());
+      std::abort();
+    }
+    const auto steps = vao::ConvergeToMinWidth(object->get());
+    if (!steps.ok()) {
+      std::fprintf(stderr, "calibration converge failed: %s\n",
+                   steps.status().ToString().c_str());
+      std::abort();
+    }
+    const double value = (*object)->bounds().Mid();
+    const std::uint64_t cost = (*object)->traditional_cost();
+    context->converged_values.push_back(value);
+    context->trad_costs.push_back(cost);
+    context->black_box->Record(row, value, cost);
+  }
+  context->calibration_seconds = stopwatch.ElapsedSeconds();
+  context->ns_per_unit = meter.Total() > 0
+                             ? context->calibration_seconds * 1e9 /
+                                   static_cast<double>(meter.Total())
+                             : 0.0;
+}
+
+void PrintPreamble(const BenchContext& context, const std::string& title) {
+  RunningStats prices;
+  for (const double v : context.converged_values) prices.Add(v);
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "portfolio: %zu bonds (seed %llu), rate %.4f | prices: mean $%.2f "
+      "stddev $%.2f [%.2f, %.2f]\n",
+      context.bonds.size(),
+      static_cast<unsigned long long>(BenchSeed()), context.rate,
+      prices.Mean(), prices.StdDev(), prices.Min(), prices.Max());
+  std::printf(
+      "calibration: %.2fs wall, %.1f ns/work-unit | traditional query cost: "
+      "%llu units (est %.3fs)\n\n",
+      context.calibration_seconds, context.ns_per_unit,
+      static_cast<unsigned long long>(context.TradTotalUnits()),
+      context.EstSeconds(context.TradTotalUnits()));
+}
+
+}  // namespace vaolib::bench

@@ -1,0 +1,103 @@
+// Copyright 2026 The vaolib Authors.
+// Shared infrastructure for the experiment harness: portfolio/context setup,
+// offline calibration (the Section 6 black-box methodology), work-unit ->
+// seconds conversion, and consistent table output.
+//
+// Every bench binary reports, for each arm:
+//   * work units   -- deterministic mesh-entry/evaluation counts (primary),
+//   * est_seconds  -- units * measured ns-per-unit on this host,
+//   * wall seconds where the arm actually runs solves.
+// Traditional arms charge their pre-calibrated one-shot costs instead of
+// re-running solvers (exactly the paper's baseline, which knows its step
+// sizes a priori), so their wall time is meaningless and only estimated
+// time is shown.
+
+#ifndef VAOLIB_BENCH_BENCH_UTIL_H_
+#define VAOLIB_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/work_meter.h"
+#include "finance/bond_model.h"
+#include "vao/black_box.h"
+
+namespace vaolib::bench {
+
+/// \brief A black box replaying pre-recorded calibration results: Call()
+/// charges the recorded one-shot cost and returns the converged value.
+class PrecalibratedBlackBox : public vao::BlackBoxFunction {
+ public:
+  PrecalibratedBlackBox(std::string name, int arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  void Record(std::vector<double> args, double value, std::uint64_t cost) {
+    records_[std::move(args)] = {value, cost};
+  }
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return arity_; }
+  Result<double> Call(const std::vector<double>& args,
+                      WorkMeter* meter) const override;
+
+ private:
+  struct Entry {
+    double value;
+    std::uint64_t cost;
+  };
+  std::string name_;
+  int arity_;
+  std::map<std::vector<double>, Entry> records_;
+};
+
+/// \brief Everything a bond-query experiment needs.
+struct BenchContext {
+  std::vector<finance::Bond> bonds;
+  finance::BondModelConfig config;
+  std::unique_ptr<finance::BondPricingFunction> function;
+  double rate = 0.0575;  ///< the Jan 3, 1994 opening-rate analogue
+  std::vector<std::vector<double>> rows;  ///< one (rate, index) per bond
+
+  /// Filled by Calibrate(): converged prices, per-bond one-shot costs, the
+  /// replay black box, and the measured ns-per-work-unit for this host.
+  std::vector<double> converged_values;
+  std::vector<std::uint64_t> trad_costs;
+  std::unique_ptr<PrecalibratedBlackBox> black_box;
+  double ns_per_unit = 0.0;
+  double calibration_seconds = 0.0;
+
+  /// Sum of all per-bond traditional costs: the work a traditional operator
+  /// charges per full query evaluation.
+  std::uint64_t TradTotalUnits() const;
+
+  /// Converts work units to estimated seconds on this host.
+  double EstSeconds(std::uint64_t units) const {
+    return static_cast<double>(units) * ns_per_unit * 1e-9;
+  }
+};
+
+/// \brief Builds the standard experiment context. The bond count defaults to
+/// the paper's 500 and can be overridden with env VAOLIB_BENCH_BONDS (the
+/// seed likewise with VAOLIB_BENCH_SEED).
+BenchContext MakeContext();
+
+/// \brief Runs the offline calibration pass: converges every bond once,
+/// recording values and costs, and measures ns-per-unit from the real solve
+/// wall time. Aborts the process on solver errors (bench binaries only).
+void Calibrate(BenchContext* context);
+
+/// \brief Number of bonds from env (default 500).
+int BenchBondCount();
+
+/// \brief Portfolio seed from env (default 1994).
+std::uint64_t BenchSeed();
+
+/// \brief Prints the standard bench preamble (bond count, rate, calibration
+/// stats) to stdout.
+void PrintPreamble(const BenchContext& context, const std::string& title);
+
+}  // namespace vaolib::bench
+
+#endif  // VAOLIB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,13 @@
+// Figure 8: runtimes for a selection query with a greater-than predicate,
+// with the constant swept to yield selectivities 0.1 through 0.9.
+// Paper shape: VAO beats the traditional operator by ~2 orders of magnitude
+// at every selectivity, and the VAO series is NOT monotone in selectivity
+// (cost tracks how many results lie near the constant, not how many pass).
+
+#include "selection_sweep.h"
+
+int main() {
+  return vaolib::bench::RunSelectionSweep(
+      vaolib::operators::Comparator::kGreaterThan,
+      "Figure 8: selection model(rate, bond) > c, selectivity sweep");
+}

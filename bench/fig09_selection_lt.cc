@@ -1,0 +1,11 @@
+// Figure 9: same sweep as Figure 8 with a less-than predicate.
+// Paper shape: runtime at selectivity s equals Figure 8's runtime at 1-s
+// (the same constants induce the same proximity structure).
+
+#include "selection_sweep.h"
+
+int main() {
+  return vaolib::bench::RunSelectionSweep(
+      vaolib::operators::Comparator::kLessThan,
+      "Figure 9: selection model(rate, bond) < c, selectivity sweep");
+}

@@ -1,0 +1,118 @@
+// Micro M1: validates the Section 3.2 / Section 4 cost model empirically.
+//  * PDE solvers: sum of iteration costs ~= 2x the traditional one-shot cost
+//    at the same accuracy (work doubles per iteration).
+//  * Integrators and root solvers: VAO-interface cost ~= 1x the traditional
+//    cost (samples are reused across refinements).
+// Also reports the get/store-state and chooseIter overhead shares, which
+// the paper asserts are negligible.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "vao/black_box.h"
+#include "vao/integral_result_object.h"
+#include "vao/root_result_object.h"
+
+using namespace vaolib;
+using namespace vaolib::bench;
+
+int main() {
+  BenchContext context = MakeContext();
+  Calibrate(&context);
+  PrintPreamble(context, "Micro M1: cost-model validation");
+
+  TableWriter table("VAO-vs-traditional cost ratios per function class",
+                    {"function", "vao_units", "trad_units", "ratio",
+                     "state_overhead_pct"});
+
+  // --- PDE bond models: expect ratio ~= 2. ----------------------------------
+  {
+    WorkMeter meter;
+    std::uint64_t trad_total = 0;
+    const std::size_t sample =
+        std::min<std::size_t>(context.rows.size(), 25);
+    for (std::size_t i = 0; i < sample; ++i) {
+      auto object = context.function->Invoke(context.rows[i], &meter);
+      if (!object.ok()) return 1;
+      if (!vao::ConvergeToMinWidth(object->get()).ok()) return 1;
+      trad_total += (*object)->traditional_cost();
+    }
+    table.AddRow(
+        {"PDE bond model", TableWriter::Cell(meter.ExecUnits()),
+         TableWriter::Cell(trad_total),
+         TableWriter::Cell(static_cast<double>(meter.ExecUnits()) /
+                               static_cast<double>(trad_total),
+                           2),
+         TableWriter::Cell(100.0 *
+                               static_cast<double>(
+                                   meter.Count(WorkKind::kGetState) +
+                                   meter.Count(WorkKind::kStoreState)) /
+                               static_cast<double>(meter.Total()),
+                           4)});
+  }
+
+  // --- Numerical integration: expect ratio ~= 1. ----------------------------
+  {
+    WorkMeter meter;
+    vao::IntegralProblem problem;
+    problem.integrand = [](double x) { return std::sin(x) * std::exp(-x); };
+    problem.a = 0.0;
+    problem.b = std::numbers::pi;
+    vao::IntegralResultOptions options;
+    options.min_width = 1e-9;
+    options.integral.work_per_eval = 1000;  // model an expensive integrand
+    auto object = vao::IntegralResultObject::Create(problem, options, &meter);
+    if (!object.ok()) return 1;
+    if (!vao::ConvergeToMinWidth(object->get()).ok()) return 1;
+    table.AddRow(
+        {"numerical integration", TableWriter::Cell(meter.ExecUnits()),
+         TableWriter::Cell((*object)->traditional_cost()),
+         TableWriter::Cell(
+             static_cast<double>(meter.ExecUnits()) /
+                 static_cast<double>((*object)->traditional_cost()),
+             2),
+         TableWriter::Cell(100.0 *
+                               static_cast<double>(
+                                   meter.Count(WorkKind::kGetState) +
+                                   meter.Count(WorkKind::kStoreState)) /
+                               static_cast<double>(meter.Total()),
+                           4)});
+  }
+
+  // --- Root solving: expect ratio ~= 1. --------------------------------------
+  {
+    WorkMeter meter;
+    vao::RootProblem problem;
+    problem.f = [](double x) { return std::cos(x) - x; };
+    problem.lo = 0.0;
+    problem.hi = 1.5;
+    vao::RootResultOptions options;
+    options.min_width = 1e-10;
+    options.finder.work_per_eval = 1000;
+    auto object = vao::RootResultObject::Create(problem, options, &meter);
+    if (!object.ok()) return 1;
+    if (!vao::ConvergeToMinWidth(object->get()).ok()) return 1;
+    table.AddRow(
+        {"bisection root solve", TableWriter::Cell(meter.ExecUnits()),
+         TableWriter::Cell((*object)->traditional_cost()),
+         TableWriter::Cell(
+             static_cast<double>(meter.ExecUnits()) /
+                 static_cast<double>((*object)->traditional_cost()),
+             2),
+         TableWriter::Cell(100.0 *
+                               static_cast<double>(
+                                   meter.Count(WorkKind::kGetState) +
+                                   meter.Count(WorkKind::kStoreState)) /
+                               static_cast<double>(meter.Total()),
+                           4)});
+  }
+
+  table.RenderText(std::cout);
+  std::printf("\ncsv:\n");
+  table.RenderCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Micro M2: google-benchmark kernels for the numeric substrate: PDE solves
+// across grid sizes (the unit of VAO iteration cost), tridiagonal solves,
+// composite quadrature, and the workload RNG. Confirms that solver wall
+// time scales linearly with mesh entries, which justifies using mesh
+// entries as the deterministic work unit everywhere else.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "finance/bond_model.h"
+#include "numeric/integration.h"
+#include "numeric/pde_solver.h"
+#include "numeric/tridiagonal.h"
+
+namespace {
+
+using namespace vaolib;
+
+void BM_PdeSolve(benchmark::State& state) {
+  finance::Bond bond;
+  const finance::BondModelConfig config;
+  const auto problem = finance::MakeBondPdeProblem(bond, config);
+  const numeric::PdeGrid grid{static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1))};
+  for (auto _ : state) {
+    auto result = numeric::SolvePde(problem, grid, 0.0575, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.MeshEntries()));
+}
+BENCHMARK(BM_PdeSolve)
+    ->Args({8, 8})
+    ->Args({16, 64})
+    ->Args({64, 512})
+    ->Args({128, 4096});
+
+void BM_Tridiagonal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numeric::TridiagonalSystem sys;
+  sys.Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.lower[i] = -1.0;
+    sys.diag[i] = 4.0;
+    sys.upper[i] = -1.0;
+    sys.rhs[i] = 1.0;
+  }
+  std::vector<double> x;
+  for (auto _ : state) {
+    auto status = numeric::SolveTridiagonal(sys, &x);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Tridiagonal)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CompositeTrapezoid(benchmark::State& state) {
+  const int panels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        numeric::Integrate([](double x) { return std::sin(x); }, 0.0, 3.14,
+                           numeric::IntegrationRule::kTrapezoid, panels, 1,
+                           nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (panels + 1));
+}
+BENCHMARK(BM_CompositeTrapezoid)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Gaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+}  // namespace
+
+BENCHMARK_MAIN();

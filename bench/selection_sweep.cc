@@ -1,0 +1,81 @@
+#include "selection_sweep.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "common/table_writer.h"
+#include "operators/selection.h"
+#include "workload/selectivity.h"
+
+namespace vaolib::bench {
+
+int RunSelectionSweep(operators::Comparator cmp, const char* title) {
+  BenchContext context = MakeContext();
+  Calibrate(&context);
+  PrintPreamble(context, title);
+
+  // The traditional operator's cost never depends on the predicate: one
+  // full-accuracy call per bond (Section 6.1, "runtimes are constant").
+  const std::uint64_t trad_units = context.TradTotalUnits();
+
+  TableWriter table(
+      title,
+      {"selectivity", "constant", "passing", "vao_units", "trad_units",
+       "speedup", "vao_est_s", "trad_est_s", "vao_wall_s", "iters"});
+
+  for (const double selectivity :
+       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    // Selectivity here is defined for the sweep's own comparator: for "<"
+    // queries the constant yielding selectivity s is the ">" constant for
+    // 1-s (the identity the paper points out between Figures 8 and 9).
+    const double greater_selectivity =
+        cmp == operators::Comparator::kGreaterThan ? selectivity
+                                                   : 1.0 - selectivity;
+    const auto constant = workload::ConstantForGreaterSelectivity(
+        context.converged_values, greater_selectivity);
+    if (!constant.ok()) {
+      std::fprintf(stderr, "constant selection failed: %s\n",
+                   constant.status().ToString().c_str());
+      return 1;
+    }
+
+    const operators::SelectionVao vao(cmp, *constant);
+    WorkMeter vao_meter;
+    Stopwatch wall;
+    std::size_t passing = 0;
+    std::uint64_t iterations = 0;
+    for (const auto& row : context.rows) {
+      const auto outcome = vao.Evaluate(*context.function, row, &vao_meter);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "selection VAO failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      if (outcome->passes) ++passing;
+      iterations += outcome->stats.iterations;
+    }
+    const double vao_wall = wall.ElapsedSeconds();
+    const std::uint64_t vao_units = vao_meter.Total();
+
+    table.AddRow({TableWriter::Cell(selectivity, 2),
+                  TableWriter::Cell(*constant, 2),
+                  TableWriter::Cell(static_cast<std::uint64_t>(passing)),
+                  TableWriter::Cell(vao_units),
+                  TableWriter::Cell(trad_units),
+                  TableWriter::Cell(static_cast<double>(trad_units) /
+                                        static_cast<double>(vao_units),
+                                    1),
+                  TableWriter::Cell(context.EstSeconds(vao_units), 4),
+                  TableWriter::Cell(context.EstSeconds(trad_units), 4),
+                  TableWriter::Cell(vao_wall, 4),
+                  TableWriter::Cell(iterations)});
+  }
+
+  table.RenderText(std::cout);
+  std::printf("\ncsv:\n");
+  table.RenderCsv(std::cout);
+  return 0;
+}
+
+}  // namespace vaolib::bench

@@ -1,0 +1,19 @@
+// Copyright 2026 The vaolib Authors.
+// Shared driver for the Figure 8/9 selection-selectivity sweeps.
+
+#ifndef VAOLIB_BENCH_SELECTION_SWEEP_H_
+#define VAOLIB_BENCH_SELECTION_SWEEP_H_
+
+#include "bench_util.h"
+#include "operators/operator_base.h"
+
+namespace vaolib::bench {
+
+/// \brief Runs the selection sweep of Figure 8 (cmp = >) or Figure 9
+/// (cmp = <) over selectivities {0.1 .. 0.9}, printing the table, and
+/// returns 0 on success.
+int RunSelectionSweep(operators::Comparator cmp, const char* title);
+
+}  // namespace vaolib::bench
+
+#endif  // VAOLIB_BENCH_SELECTION_SWEEP_H_

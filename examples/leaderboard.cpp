@@ -1,0 +1,90 @@
+// leaderboard: a continuous TOP-K query -- "show the five best-performing
+// bonds" -- demonstrating the TOP-K VAO extension through the query engine,
+// plus a BETWEEN (range) query on the same portfolio: "bonds trading near
+// par", i.e. priced in [99, 101].
+//
+// Build & run:  ./build/examples/leaderboard
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "finance/bond_model.h"
+#include "workload/portfolio_gen.h"
+
+using namespace vaolib;
+
+int main() {
+  workload::PortfolioSpec spec;
+  spec.count = 120;
+  const auto bonds = workload::GeneratePortfolio(/*seed=*/404, spec);
+  const finance::BondPricingFunction model(bonds, finance::BondModelConfig{});
+
+  engine::Relation bd(
+      engine::Schema({{"bond_index", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    if (const auto status = bd.Append({static_cast<double>(i)});
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  const engine::Schema stream_schema(
+      {{"rate", engine::ColumnType::kDouble}});
+
+  // Query A: TOP-5 bonds by model price, each within $0.01.
+  engine::Query top5;
+  top5.kind = engine::QueryKind::kTopK;
+  top5.k = 5;
+  top5.function = &model;
+  top5.args = {engine::ArgRef::StreamField("rate"),
+               engine::ArgRef::RelationField("bond_index")};
+  top5.epsilon = 0.01;
+
+  // Query B: bonds priced near par, in [99, 101].
+  engine::Query near_par;
+  near_par.kind = engine::QueryKind::kSelectRange;
+  near_par.function = &model;
+  near_par.args = top5.args;
+  near_par.range_lo = 99.0;
+  near_par.range_hi = 101.0;
+
+  auto top5_exec = engine::CqExecutor::Create(&bd, stream_schema, top5,
+                                              engine::ExecutionMode::kVao);
+  auto par_exec = engine::CqExecutor::Create(&bd, stream_schema, near_par,
+                                             engine::ExecutionMode::kVao);
+  if (!top5_exec.ok() || !par_exec.ok()) {
+    std::fprintf(stderr, "executor creation failed\n");
+    return 1;
+  }
+
+  const auto ticks = finance::SynthesizeRateSeries(/*seed=*/12,
+                                                   /*num_ticks=*/4);
+  for (const auto& tick : ticks) {
+    const auto top = (*top5_exec)->ProcessTick({tick.rate});
+    const auto par = (*par_exec)->ProcessTick({tick.rate});
+    if (!top.ok() || !par.ok()) {
+      std::fprintf(stderr, "tick processing failed\n");
+      return 1;
+    }
+    std::printf("t=%5.1fmin rate=%.4f  (top-5 work %llu units; range work "
+                "%llu units)\n",
+                tick.time_seconds / 60.0, tick.rate,
+                static_cast<unsigned long long>(top->work_units),
+                static_cast<unsigned long long>(par->work_units));
+    for (std::size_t i = 0; i < top->top_rows.size(); ++i) {
+      const auto row = top->top_rows[i];
+      std::printf("   #%zu %-16s [$%8.4f, $%8.4f]\n", i + 1,
+                  bonds[row].name.c_str(), top->top_bounds[i].lo,
+                  top->top_bounds[i].hi);
+    }
+    std::printf("   near par ($99-$101): %zu bonds:", par->passing_rows.size());
+    for (const auto row : par->passing_rows) {
+      std::printf(" %lld", static_cast<long long>(bonds[row].id));
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("TOP-K refines only the selection boundary; the range query "
+              "refines only bonds near $99/$101.\n");
+  return 0;
+}

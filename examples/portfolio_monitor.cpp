@@ -1,0 +1,100 @@
+// portfolio_monitor: the paper's query Q2 -- "find the value of my bond
+// portfolio, a weighted sum of bond prices" -- run as a continuous query.
+//
+// A synthetic interest-rate stream (1-4 minute Treasury-style ticks) drives
+// a SUM VAO over a 60-bond MBS portfolio with hot-cold position sizes. For
+// each tick the monitor prints the portfolio value bounds, the work spent,
+// and the equivalent traditional black-box work.
+//
+// Build & run:  ./build/examples/portfolio_monitor
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "finance/bond_model.h"
+#include "workload/hot_cold.h"
+#include "workload/portfolio_gen.h"
+
+using namespace vaolib;
+
+int main() {
+  // --- Data: bonds, position weights, and a rate stream. --------------------
+  workload::PortfolioSpec spec;
+  spec.count = 60;
+  const auto bonds = workload::GeneratePortfolio(/*seed=*/1994, spec);
+
+  Rng rng(7);
+  workload::HotColdSpec weight_spec;
+  weight_spec.count = bonds.size();
+  weight_spec.hot_fraction = 0.10;
+  weight_spec.hot_weight_share = 0.9;  // a few dominant positions
+  weight_spec.total_weight = static_cast<double>(bonds.size());
+  const auto weights = workload::HotColdWeights(weight_spec, &rng);
+  if (!weights.ok()) {
+    std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto ticks = finance::SynthesizeRateSeries(/*seed=*/3, /*num_ticks=*/8);
+
+  // --- Engine wiring: BD relation, IR stream schema, Q2. ---------------------
+  const finance::BondPricingFunction model(bonds, finance::BondModelConfig{});
+
+  engine::Relation bd(engine::Schema({{"bond_index", engine::ColumnType::kDouble},
+                                      {"position", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    if (const auto status =
+            bd.Append({static_cast<double>(i), (*weights)[i]});
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  engine::Query q2;
+  q2.kind = engine::QueryKind::kSum;
+  q2.function = &model;
+  q2.args = {engine::ArgRef::StreamField("rate"),
+             engine::ArgRef::RelationField("bond_index")};
+  q2.weight_column = "position";
+  q2.epsilon = 0.01 * static_cast<double>(bonds.size());  // $0.01 per bond
+
+  auto vao_exec = engine::CqExecutor::Create(
+      &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), q2,
+      engine::ExecutionMode::kVao);
+  auto trad_exec = engine::CqExecutor::Create(
+      &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), q2,
+      engine::ExecutionMode::kTraditional);
+  if (!vao_exec.ok() || !trad_exec.ok()) {
+    std::fprintf(stderr, "executor creation failed\n");
+    return 1;
+  }
+
+  // --- Continuous monitoring loop. -------------------------------------------
+  std::printf("== portfolio monitor (Q2: weighted SUM of %zu bond prices) ==\n",
+              bonds.size());
+  std::printf("precision constraint: $%.2f\n\n", q2.epsilon);
+  std::printf("%-9s %-8s %-26s %-13s %-13s %-7s\n", "t(min)", "rate",
+              "portfolio value bounds", "vao_units", "trad_units", "saving");
+
+  for (const auto& tick : ticks) {
+    const auto vao_result = (*vao_exec)->ProcessTick({tick.rate});
+    const auto trad_result = (*trad_exec)->ProcessTick({tick.rate});
+    if (!vao_result.ok() || !trad_result.ok()) {
+      std::fprintf(stderr, "tick processing failed\n");
+      return 1;
+    }
+    const Bounds value = vao_result->aggregate_bounds;
+    std::printf("%-9.1f %-8.4f [$%9.2f, $%9.2f]    %-13llu %-13llu %.1fx\n",
+                tick.time_seconds / 60.0, tick.rate, value.lo, value.hi,
+                static_cast<unsigned long long>(vao_result->work_units),
+                static_cast<unsigned long long>(trad_result->work_units),
+                static_cast<double>(trad_result->work_units) /
+                    static_cast<double>(vao_result->work_units));
+  }
+
+  std::printf(
+      "\nheavy positions are priced tightly, small ones only coarsely --\n"
+      "the weighted greedy strategy of Section 5.2 allocates the work.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// threshold_alert: the paper's query Q1 -- "find all bonds priced above
+// $100" -- as a continuous selection with change alerts.
+//
+// On every rate tick the selection VAO re-evaluates the predicate for each
+// bond and the monitor prints which bonds entered or left the above-
+// threshold set, plus the work spent. Demonstrates that selection cost
+// tracks proximity to the constant, not selectivity (Section 6.1).
+//
+// Build & run:  ./build/examples/threshold_alert
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "engine/executor.h"
+#include "finance/bond_model.h"
+#include "workload/portfolio_gen.h"
+
+using namespace vaolib;
+
+int main() {
+  workload::PortfolioSpec spec;
+  spec.count = 100;
+  const auto bonds = workload::GeneratePortfolio(/*seed=*/711, spec);
+  const finance::BondPricingFunction model(bonds, finance::BondModelConfig{});
+
+  engine::Relation bd(
+      engine::Schema({{"bond_index", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    if (const auto status = bd.Append({static_cast<double>(i)});
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  engine::Query q1;
+  q1.kind = engine::QueryKind::kSelect;
+  q1.function = &model;
+  q1.args = {engine::ArgRef::StreamField("rate"),
+             engine::ArgRef::RelationField("bond_index")};
+  q1.cmp = operators::Comparator::kGreaterThan;
+  q1.constant = 100.0;
+
+  auto executor = engine::CqExecutor::Create(
+      &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), q1,
+      engine::ExecutionMode::kVao);
+  if (!executor.ok()) {
+    std::fprintf(stderr, "%s\n", executor.status().ToString().c_str());
+    return 1;
+  }
+
+  // A deliberately volatile rate path so the passing set actually changes.
+  const auto ticks = finance::SynthesizeRateSeries(
+      /*seed=*/17, /*num_ticks=*/10, 0.0575, 0.0575,
+      /*tick_volatility=*/0.004, /*mean_reversion=*/0.02);
+
+  std::printf("== threshold alert (Q1: bonds priced above $%.2f) ==\n\n",
+              q1.constant);
+
+  std::vector<std::size_t> previous;
+  for (const auto& tick : ticks) {
+    const auto result = (*executor)->ProcessTick({tick.rate});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("t=%5.1fmin rate=%.4f: %3zu/%zu bonds above, work %llu "
+                "units (%llu iterations)\n",
+                tick.time_seconds / 60.0, tick.rate,
+                result->passing_rows.size(), bonds.size(),
+                static_cast<unsigned long long>(result->work_units),
+                static_cast<unsigned long long>(result->stats.iterations));
+    for (const std::size_t row : result->passing_rows) {
+      if (!std::binary_search(previous.begin(), previous.end(), row)) {
+        std::printf("    ALERT + %s crossed above\n",
+                    bonds[row].name.c_str());
+      }
+    }
+    for (const std::size_t row : previous) {
+      if (!std::binary_search(result->passing_rows.begin(),
+                              result->passing_rows.end(), row)) {
+        std::printf("    ALERT - %s dropped below\n",
+                    bonds[row].name.c_str());
+      }
+    }
+    previous = result->passing_rows;
+  }
+
+  std::printf(
+      "\neach tick re-runs the models only as accurately as the predicate "
+      "needs;\nbonds far from $%.2f cost almost nothing.\n",
+      q1.constant);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduces every table/figure of the paper plus the ablations.
+#
+# Usage:
+#   scripts/run_experiments.sh [output_dir]
+#
+# Environment:
+#   VAOLIB_BENCH_BONDS  portfolio size (default 500, the paper's cardinality)
+#   VAOLIB_BENCH_SEED   portfolio seed (default 1994)
+#
+# Each experiment's stdout (aligned table + CSV) is written to
+# <output_dir>/<bench>.txt; a combined transcript goes to
+# <output_dir>/all_experiments.txt.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-${repo_root}/bench_results}"
+build_dir="${repo_root}/build"
+
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "building first..."
+  cmake -B "${build_dir}" -G Ninja "${repo_root}"
+  cmake --build "${build_dir}"
+fi
+
+mkdir -p "${out_dir}"
+combined="${out_dir}/all_experiments.txt"
+: > "${combined}"
+
+for bench in "${build_dir}"/bench/*; do
+  [ -f "${bench}" ] && [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "== running ${name} =="
+  {
+    echo "===== ${name} ====="
+    "${bench}"
+    echo
+  } | tee "${out_dir}/${name}.txt" >> "${combined}"
+done
+
+echo "done; results in ${out_dir}"

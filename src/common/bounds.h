@@ -1,0 +1,77 @@
+// Copyright 2026 The vaolib Authors.
+// Bounds: a closed interval [lo, hi], the currency of the VAO interface.
+// Every variable-accuracy function reports its answer as Bounds, and every
+// VAO reasons over Bounds (Section 3.2 of the paper).
+
+#ifndef VAOLIB_COMMON_BOUNDS_H_
+#define VAOLIB_COMMON_BOUNDS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace vaolib {
+
+/// \brief A closed real interval [lo, hi] with lo <= hi.
+struct Bounds {
+  double lo = 0.0;  ///< the paper's L member
+  double hi = 0.0;  ///< the paper's H member
+
+  Bounds() = default;
+  Bounds(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  /// Degenerate interval [v, v].
+  static Bounds Point(double v) { return Bounds(v, v); }
+
+  /// Interval centred at \p mid with half-width \p half (>= 0).
+  static Bounds Centered(double mid, double half) {
+    return Bounds(mid - half, mid + half);
+  }
+
+  /// H - L, the paper's bounds width.
+  double Width() const { return hi - lo; }
+
+  /// Interval midpoint.
+  double Mid() const { return 0.5 * (lo + hi); }
+
+  /// True iff \p v lies in [lo, hi].
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  /// True iff \p other is entirely inside this interval.
+  bool Contains(const Bounds& other) const {
+    return other.lo >= lo && other.hi <= hi;
+  }
+
+  /// True iff the two intervals share at least one point.
+  bool Overlaps(const Bounds& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Length of the intersection with \p other (0 when disjoint).
+  double OverlapWidth(const Bounds& other) const {
+    return std::max(0.0, std::min(hi, other.hi) - std::max(lo, other.lo));
+  }
+
+  /// True iff both endpoints are finite and lo <= hi.
+  bool IsValid() const {
+    return std::isfinite(lo) && std::isfinite(hi) && lo <= hi;
+  }
+
+  /// True iff every point of this interval exceeds every point of \p other.
+  bool EntirelyAbove(const Bounds& other) const { return lo > other.hi; }
+
+  /// True iff every point of this interval lies below every point of \p other.
+  bool EntirelyBelow(const Bounds& other) const { return hi < other.lo; }
+
+  friend bool operator==(const Bounds& a, const Bounds& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Bounds& b) {
+  return os << "[" << b.lo << ", " << b.hi << "]";
+}
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_BOUNDS_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The vaolib Authors.
+// Minimal leveled logging for examples, benches, and diagnostics.
+
+#ifndef VAOLIB_COMMON_LOGGING_H_
+#define VAOLIB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vaolib {
+
+/// \brief Log severities in increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-line builder; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vaolib
+
+#define VAOLIB_LOG(level)                                             \
+  ::vaolib::internal::LogMessage(::vaolib::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)
+
+#endif  // VAOLIB_COMMON_LOGGING_H_

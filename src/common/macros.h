@@ -1,0 +1,31 @@
+// Copyright 2026 The vaolib Authors.
+// Error-propagation macros used throughout the vaolib core.
+
+#ifndef VAOLIB_COMMON_MACROS_H_
+#define VAOLIB_COMMON_MACROS_H_
+
+#include "common/status.h"
+
+/// Evaluates \p expr (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define VAOLIB_RETURN_IF_ERROR(expr)                     \
+  do {                                                   \
+    ::vaolib::Status _vaolib_status = (expr);            \
+    if (!_vaolib_status.ok()) return _vaolib_status;     \
+  } while (false)
+
+#define VAOLIB_CONCAT_IMPL(a, b) a##b
+#define VAOLIB_CONCAT(a, b) VAOLIB_CONCAT_IMPL(a, b)
+
+/// Evaluates \p expr (a Result<T> expression); on error returns the status,
+/// otherwise moves the value into \p lhs (which may be a declaration).
+#define VAOLIB_ASSIGN_OR_RETURN(lhs, expr)                            \
+  VAOLIB_ASSIGN_OR_RETURN_IMPL(                                       \
+      VAOLIB_CONCAT(_vaolib_result_, __LINE__), lhs, expr)
+
+#define VAOLIB_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                                 \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value();
+
+#endif  // VAOLIB_COMMON_MACROS_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The vaolib Authors.
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// operations in vaolib. Mirrors arrow::Result.
+
+#ifndef VAOLIB_COMMON_RESULT_H_
+#define VAOLIB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vaolib {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Construction from a value yields ok(); construction from a non-OK Status
+/// yields an error. Constructing from an OK status is a programming error and
+/// converts to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (ok result).
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error Status.
+  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {  // NOLINT
+    if (std::get<1>(repr_).ok()) {
+      repr_.template emplace<1>(
+          Status::Internal("Result constructed from an OK status"));
+    }
+  }
+
+  /// Returns true iff this holds a value.
+  bool ok() const { return repr_.index() == 0; }
+
+  /// Returns the status: OK when holding a value, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  /// \name Value accessors. Calling these on an error result is undefined
+  /// behaviour in release builds (asserted in debug builds).
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(repr_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value, aborting the process on error (edge-of-program use).
+  T ValueOrDie() && {
+    if (!ok()) internal::DieOnError(status(), "Result::ValueOrDie()");
+    return std::get<0>(std::move(repr_));
+  }
+  T ValueOrDie() const& {
+    if (!ok()) internal::DieOnError(status(), "Result::ValueOrDie()");
+    return std::get<0>(repr_);
+  }
+
+  /// Returns the value or \p fallback when this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_RESULT_H_

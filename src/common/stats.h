@@ -1,0 +1,62 @@
+// Copyright 2026 The vaolib Authors.
+// Streaming statistics accumulators used by workload analysis and benches.
+
+#ifndef VAOLIB_COMMON_STATS_H_
+#define VAOLIB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace vaolib {
+
+/// \brief Streaming mean/variance/min/max accumulator (Welford's algorithm;
+/// numerically stable for long streams).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  std::size_t count() const { return count_; }
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const { return mean_; }
+
+  /// Population variance (0 when fewer than 2 observations).
+  double Variance() const;
+
+  /// Sample variance with Bessel's correction (0 when fewer than 2).
+  double SampleVariance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Minimum observation (+inf when empty).
+  double Min() const { return min_; }
+
+  /// Maximum observation (-inf when empty).
+  double Max() const { return max_; }
+
+  /// Sum of all observations.
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Resets to the empty state.
+  void Reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Computes the q-quantile (q in [0,1]) of \p values by linear
+/// interpolation between order statistics. Copies and sorts; O(n log n).
+/// Returns NaN for an empty input.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_STATS_H_

@@ -1,0 +1,124 @@
+// Copyright 2026 The vaolib Authors.
+// Status: error-code + message value type used for all fallible operations in
+// the vaolib core. The core library does not throw exceptions (database-style
+// convention); every fallible API returns a Status or a Result<T>.
+
+#ifndef VAOLIB_COMMON_STATUS_H_
+#define VAOLIB_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vaolib {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kNotConverged = 7,   ///< A numeric routine hit its iteration cap.
+  kNumericError = 8,   ///< NaN/Inf or other numeric breakdown.
+  kUnimplemented = 9,
+  kInternal = 10,
+};
+
+/// \brief Returns the canonical lowercase name of \p code (e.g. "ok",
+/// "invalid-argument"). Never fails; unknown values map to "unknown".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a
+/// shared immutable payload. Modeled after arrow::Status / rocksdb::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and human-readable \p message.
+  /// An OK code with a message is allowed but the message is dropped.
+  Status(StatusCode code, std::string message);
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff the status is OK.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// Returns the status code (kOk when ok()).
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// Returns the error message ("" when ok()).
+  const std::string& message() const;
+
+  /// Returns true iff code() == \p code.
+  bool Is(StatusCode code) const { return this->code() == code; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends "<context>: " to the message of a non-OK status; no-op on OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+namespace internal {
+/// Aborts the process printing \p status; used by ValueOrDie-style helpers.
+[[noreturn]] void DieOnError(const Status& status, const char* expr);
+}  // namespace internal
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The vaolib Authors.
+// Stopwatch: wall-clock timing helper for benches and examples.
+
+#ifndef VAOLIB_COMMON_STOPWATCH_H_
+#define VAOLIB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vaolib {
+
+/// \brief Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_STOPWATCH_H_

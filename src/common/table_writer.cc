@@ -1,0 +1,78 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace vaolib {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::Cell(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string TableWriter::Cell(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string TableWriter::Cell(int value) { return std::to_string(value); }
+
+void TableWriter::RenderText(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = headers_.size() > 1 ? 2 * (headers_.size() - 1) : 0;
+  for (const auto w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TableWriter::RenderCsv(std::ostream& os) const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << escape(cells[c]);
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace vaolib

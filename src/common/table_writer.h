@@ -1,0 +1,50 @@
+// Copyright 2026 The vaolib Authors.
+// TableWriter: renders benchmark results as aligned console tables and CSV,
+// so every bench binary prints the same rows/series the paper reports.
+
+#ifndef VAOLIB_COMMON_TABLE_WRITER_H_
+#define VAOLIB_COMMON_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vaolib {
+
+/// \brief Collects rows of string cells under a header and renders them as
+/// an aligned ASCII table or CSV.
+class TableWriter {
+ public:
+  /// Creates a table titled \p title with the given column \p headers.
+  TableWriter(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \name Typed cell formatting helpers.
+  /// @{
+  static std::string Cell(double value, int precision = 3);
+  static std::string Cell(std::uint64_t value);
+  static std::string Cell(std::int64_t value);
+  static std::string Cell(int value);
+  /// @}
+
+  /// Writes the aligned ASCII rendering to \p os.
+  void RenderText(std::ostream& os) const;
+
+  /// Writes an RFC-4180-ish CSV rendering (header row first) to \p os.
+  void RenderCsv(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_TABLE_WRITER_H_

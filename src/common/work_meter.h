@@ -1,0 +1,91 @@
+// Copyright 2026 The vaolib Authors.
+// WorkMeter: deterministic accounting of numeric work.
+//
+// The paper's cost model (Section 3.2) decomposes each VAO iteration into
+// exec/get-state/store-state/choose-iteration components. To reproduce the
+// paper's *shapes* independently of host CPU speed, every solver in this
+// repository charges a WorkMeter: one unit per mesh-entry update, integrand
+// evaluation, or root-solver probe. Benchmarks report work units as the
+// primary metric and wall-clock time as a secondary one.
+
+#ifndef VAOLIB_COMMON_WORK_METER_H_
+#define VAOLIB_COMMON_WORK_METER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace vaolib {
+
+/// \brief Categories of work charged by vaolib components, mirroring the
+/// cost-model terms of Section 3.2 of the paper.
+enum class WorkKind : int {
+  kExec = 0,        ///< exec_iter: solver floating-point work.
+  kGetState = 1,    ///< get_state: loading result-object state.
+  kStoreState = 2,  ///< store_state: saving result-object state.
+  kChooseIter = 3,  ///< chooseIter: operator strategy bookkeeping.
+};
+
+/// \brief Accumulates work units by kind. Charging is thread-safe (relaxed
+/// atomics) so bulk-parallel helpers (vao/parallel.h) can share one meter;
+/// reads taken while workers are still charging are approximate snapshots.
+class WorkMeter {
+ public:
+  static constexpr int kNumKinds = 4;
+
+  WorkMeter() = default;
+  WorkMeter(const WorkMeter& other) { CopyFrom(other); }
+  WorkMeter& operator=(const WorkMeter& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Adds \p units of work of the given \p kind.
+  void Charge(WorkKind kind, std::uint64_t units) {
+    counts_[static_cast<int>(kind)].fetch_add(units,
+                                              std::memory_order_relaxed);
+  }
+
+  /// Returns the units charged for \p kind.
+  std::uint64_t Count(WorkKind kind) const {
+    return counts_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+
+  /// Returns total units across all kinds.
+  std::uint64_t Total() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Returns only the solver-execution units (the paper's exec_iter term).
+  std::uint64_t ExecUnits() const { return Count(WorkKind::kExec); }
+
+  /// Resets all counters to zero.
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
+
+  /// Adds every counter of \p other into this meter.
+  void Merge(const WorkMeter& other) {
+    for (int i = 0; i < kNumKinds; ++i) {
+      counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  void CopyFrom(const WorkMeter& other) {
+    for (int i = 0; i < kNumKinds; ++i) {
+      counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint64_t> counts_[kNumKinds] = {0, 0, 0, 0};
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_WORK_METER_H_

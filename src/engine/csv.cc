@@ -1,0 +1,170 @@
+#include "engine/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace vaolib::engine {
+
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';  // doubled quote inside a quoted field
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote inside unquoted CSV field");
+      }
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+Result<Value> TypedCell(const std::string& text, ColumnType type,
+                        int line_number) {
+  switch (type) {
+    case ColumnType::kString:
+      return Value(text);
+    case ColumnType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": '" + text + "' is not an integer");
+      }
+      return Value(static_cast<std::int64_t>(v));
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": '" + text + "' is not a number");
+      }
+      return Value(v);
+    }
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<Relation> LoadRelationCsv(std::istream& input, const Schema& schema) {
+  std::string line;
+  if (!std::getline(input, line)) {
+    return Status::InvalidArgument("CSV input is empty (no header)");
+  }
+  VAOLIB_ASSIGN_OR_RETURN(const std::vector<std::string> header,
+                          SplitCsvRecord(line));
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema expects " + std::to_string(schema.size()));
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.columns()[i].name) {
+      return Status::InvalidArgument("CSV header column " +
+                                     std::to_string(i) + " is '" + header[i] +
+                                     "', schema expects '" +
+                                     schema.columns()[i].name + "'");
+    }
+  }
+
+  Relation relation(schema);
+  int line_number = 1;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;  // skip blank lines
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                            SplitCsvRecord(line));
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, schema expects " +
+          std::to_string(schema.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      VAOLIB_ASSIGN_OR_RETURN(
+          Value cell,
+          TypedCell(fields[i], schema.columns()[i].type, line_number));
+      row.push_back(std::move(cell));
+    }
+    VAOLIB_RETURN_IF_ERROR(relation.Append(std::move(row)).WithContext(
+        "line " + std::to_string(line_number)));
+  }
+  return relation;
+}
+
+Result<Relation> LoadRelationCsvFile(const std::string& path,
+                                     const Schema& schema) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return LoadRelationCsv(file, schema);
+}
+
+namespace {
+
+std::string EscapeCsv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status SaveRelationCsv(const Relation& relation, std::ostream& output) {
+  const Schema& schema = relation.schema();
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    output << (i == 0 ? "" : ",") << EscapeCsv(schema.columns()[i].name);
+  }
+  output << "\n";
+  for (const Tuple& row : relation.rows()) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      output << (i == 0 ? "" : ",") << EscapeCsv(row[i].ToString());
+    }
+    output << "\n";
+  }
+  if (!output.good()) {
+    return Status::Internal("CSV write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace vaolib::engine

@@ -1,0 +1,41 @@
+// Copyright 2026 The vaolib Authors.
+// CSV loading for relations: lets downstream users bring their own bond
+// tables (or any keyed parameter table) into the engine from files, with
+// schema-driven typing and RFC-4180-style quoting.
+
+#ifndef VAOLIB_ENGINE_CSV_H_
+#define VAOLIB_ENGINE_CSV_H_
+
+#include <istream>
+#include <string>
+
+#include "common/result.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+
+namespace vaolib::engine {
+
+/// \brief Parses one CSV record (handles quoted fields with embedded commas
+/// and doubled quotes). Exposed for testing.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line);
+
+/// \brief Reads a CSV stream whose header row must match \p schema's column
+/// names in order; each subsequent row is typed per the schema (kInt and
+/// kDouble parsed, kString taken verbatim) and appended to the returned
+/// relation.
+///
+/// \return InvalidArgument on header mismatch, arity mismatch, or
+/// unparseable numeric cells (message includes the line number).
+Result<Relation> LoadRelationCsv(std::istream& input, const Schema& schema);
+
+/// \brief Convenience overload reading from a file path.
+/// \return NotFound when the file cannot be opened.
+Result<Relation> LoadRelationCsvFile(const std::string& path,
+                                     const Schema& schema);
+
+/// \brief Writes \p relation (header + rows) as CSV to \p output.
+Status SaveRelationCsv(const Relation& relation, std::ostream& output);
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_CSV_H_

@@ -1,0 +1,320 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "operators/min_max.h"
+#include "operators/selection.h"
+#include "operators/sum_ave.h"
+#include "operators/top_k.h"
+#include "operators/traditional.h"
+
+namespace vaolib::engine {
+
+CqExecutor::CqExecutor(const Relation* relation, Schema stream_schema,
+                       Query query, ExecutionMode mode)
+    : relation_(relation),
+      stream_schema_(std::move(stream_schema)),
+      query_(std::move(query)),
+      mode_(mode) {}
+
+Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
+    const Relation* relation, Schema stream_schema, Query query,
+    ExecutionMode mode) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("executor requires a relation");
+  }
+  if (query.function == nullptr) {
+    return Status::InvalidArgument("query has no function bound");
+  }
+  if (static_cast<int>(query.args.size()) != query.function->arity()) {
+    return Status::InvalidArgument(
+        "query binds " + std::to_string(query.args.size()) +
+        " args but function '" + query.function->name() + "' expects " +
+        std::to_string(query.function->arity()));
+  }
+
+  auto executor = std::unique_ptr<CqExecutor>(new CqExecutor(
+      relation, std::move(stream_schema), std::move(query), mode));
+
+  for (const ArgRef& ref : executor->query_.args) {
+    BoundArg bound;
+    bound.source = ref.source;
+    bound.constant = ref.constant;
+    switch (ref.source) {
+      case ArgRef::Source::kStreamField: {
+        VAOLIB_ASSIGN_OR_RETURN(bound.index,
+                                executor->stream_schema_.IndexOf(ref.field));
+        break;
+      }
+      case ArgRef::Source::kRelationField: {
+        VAOLIB_ASSIGN_OR_RETURN(
+            bound.index, executor->relation_->schema().IndexOf(ref.field));
+        break;
+      }
+      case ArgRef::Source::kConstant:
+        break;
+    }
+    executor->bound_args_.push_back(bound);
+  }
+
+  if (executor->query_.weight_column.has_value()) {
+    VAOLIB_ASSIGN_OR_RETURN(
+        const std::size_t idx,
+        executor->relation_->schema().IndexOf(*executor->query_.weight_column));
+    executor->weight_column_index_ = idx;
+  }
+
+  if (mode == ExecutionMode::kTraditional) {
+    executor->black_box_ =
+        std::make_unique<vao::CalibratedBlackBox>(executor->query_.function);
+  }
+  return executor;
+}
+
+Result<std::vector<double>> CqExecutor::BuildArgs(const Tuple& stream_tuple,
+                                                  std::size_t row) const {
+  std::vector<double> args;
+  args.reserve(bound_args_.size());
+  for (const BoundArg& bound : bound_args_) {
+    switch (bound.source) {
+      case ArgRef::Source::kStreamField: {
+        if (bound.index >= stream_tuple.size()) {
+          return Status::OutOfRange("stream tuple too short for binding");
+        }
+        VAOLIB_ASSIGN_OR_RETURN(const double v,
+                                stream_tuple[bound.index].AsDouble());
+        args.push_back(v);
+        break;
+      }
+      case ArgRef::Source::kRelationField: {
+        VAOLIB_ASSIGN_OR_RETURN(const Value cell,
+                                relation_->At(row, bound.index));
+        VAOLIB_ASSIGN_OR_RETURN(const double v, cell.AsDouble());
+        args.push_back(v);
+        break;
+      }
+      case ArgRef::Source::kConstant:
+        args.push_back(bound.constant);
+        break;
+    }
+  }
+  return args;
+}
+
+Result<std::vector<double>> CqExecutor::ResolveWeights() const {
+  const std::size_t n = relation_->size();
+  if (!weight_column_index_.has_value()) {
+    if (query_.kind == QueryKind::kAve) return operators::AveWeights(n);
+    return operators::SumWeights(n);
+  }
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(const Value cell,
+                            relation_->At(row, *weight_column_index_));
+    VAOLIB_ASSIGN_OR_RETURN(const double w, cell.AsDouble());
+    weights.push_back(w);
+  }
+  return weights;
+}
+
+Result<TickResult> CqExecutor::ProcessTick(const Tuple& stream_tuple) {
+  if (stream_tuple.size() != stream_schema_.size()) {
+    return Status::InvalidArgument("stream tuple does not match schema");
+  }
+  if (relation_->size() == 0) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+  return mode_ == ExecutionMode::kVao ? RunVao(stream_tuple)
+                                      : RunTraditional(stream_tuple);
+}
+
+Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
+  TickResult result;
+  result.kind = query_.kind;
+  const std::uint64_t work_before = meter_.Total();
+  const std::size_t n = relation_->size();
+
+  if (query_.kind == QueryKind::kSelect ||
+      query_.kind == QueryKind::kSelectRange) {
+    const operators::SelectionVao point_vao(query_.cmp, query_.constant);
+    const operators::RangeSelectionVao range_vao(
+        query_.range_lo, query_.range_hi, query_.range_inclusive);
+    for (std::size_t row = 0; row < n; ++row) {
+      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                              BuildArgs(stream_tuple, row));
+      operators::SelectionOutcome outcome;
+      if (query_.kind == QueryKind::kSelect) {
+        VAOLIB_ASSIGN_OR_RETURN(
+            outcome, point_vao.Evaluate(*query_.function, args, &meter_));
+      } else {
+        VAOLIB_ASSIGN_OR_RETURN(
+            outcome, range_vao.Evaluate(*query_.function, args, &meter_));
+      }
+      if (outcome.passes) result.passing_rows.push_back(row);
+      result.stats.iterations += outcome.stats.iterations;
+      result.stats.objects_touched += outcome.stats.objects_touched;
+    }
+    result.work_units = meter_.Total() - work_before;
+    return result;
+  }
+
+  // Aggregates: materialize one result object per relation row.
+  std::vector<vao::ResultObjectPtr> owned;
+  std::vector<vao::ResultObject*> objects;
+  owned.reserve(n);
+  objects.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                            query_.function->Invoke(args, &meter_));
+    objects.push_back(object.get());
+    owned.push_back(std::move(object));
+  }
+
+  switch (query_.kind) {
+    case QueryKind::kMax:
+    case QueryKind::kMin: {
+      operators::MinMaxOptions options;
+      options.kind = query_.kind == QueryKind::kMax
+                         ? operators::ExtremeKind::kMax
+                         : operators::ExtremeKind::kMin;
+      options.epsilon = query_.epsilon;
+      options.meter = &meter_;
+      const operators::MinMaxVao vao(options);
+      VAOLIB_ASSIGN_OR_RETURN(const operators::MinMaxOutcome outcome,
+                              vao.Evaluate(objects));
+      result.winner_row = outcome.winner_index;
+      result.tie = outcome.tie;
+      result.aggregate_bounds = outcome.winner_bounds;
+      result.stats = outcome.stats;
+      break;
+    }
+    case QueryKind::kSum:
+    case QueryKind::kAve: {
+      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> weights,
+                              ResolveWeights());
+      operators::SumAveOptions options;
+      options.epsilon = query_.epsilon;
+      options.meter = &meter_;
+      const operators::SumAveVao vao(options);
+      VAOLIB_ASSIGN_OR_RETURN(const operators::SumOutcome outcome,
+                              vao.Evaluate(objects, weights));
+      result.aggregate_bounds = outcome.sum_bounds;
+      result.stats = outcome.stats;
+      break;
+    }
+    case QueryKind::kTopK: {
+      operators::TopKOptions options;
+      options.k = query_.k;
+      options.epsilon = query_.epsilon;
+      options.meter = &meter_;
+      const operators::TopKVao vao(options);
+      VAOLIB_ASSIGN_OR_RETURN(const operators::TopKOutcome outcome,
+                              vao.Evaluate(objects));
+      result.top_rows = outcome.winners;
+      result.top_bounds = outcome.winner_bounds;
+      result.tie = outcome.tie;
+      if (!outcome.winners.empty()) {
+        result.winner_row = outcome.winners.front();
+        result.aggregate_bounds = outcome.winner_bounds.front();
+      }
+      result.stats = outcome.stats;
+      break;
+    }
+    case QueryKind::kSelect:
+    case QueryKind::kSelectRange:
+      return Status::Internal("unreachable select in aggregate path");
+  }
+  result.work_units = meter_.Total() - work_before;
+  return result;
+}
+
+Result<TickResult> CqExecutor::RunTraditional(const Tuple& stream_tuple) {
+  TickResult result;
+  result.kind = query_.kind;
+  const std::uint64_t work_before = meter_.Total();
+  const std::size_t n = relation_->size();
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    rows.push_back(std::move(args));
+  }
+
+  switch (query_.kind) {
+    case QueryKind::kSelect: {
+      const operators::TraditionalSelection op(query_.cmp, query_.constant);
+      for (std::size_t row = 0; row < n; ++row) {
+        VAOLIB_ASSIGN_OR_RETURN(const bool passes,
+                                op.Evaluate(*black_box_, rows[row], &meter_));
+        if (passes) result.passing_rows.push_back(row);
+      }
+      break;
+    }
+    case QueryKind::kSelectRange: {
+      for (std::size_t row = 0; row < n; ++row) {
+        VAOLIB_ASSIGN_OR_RETURN(const double value,
+                                black_box_->Call(rows[row], &meter_));
+        const bool passes =
+            query_.range_inclusive
+                ? value >= query_.range_lo && value <= query_.range_hi
+                : value > query_.range_lo && value < query_.range_hi;
+        if (passes) result.passing_rows.push_back(row);
+      }
+      break;
+    }
+    case QueryKind::kMax:
+    case QueryKind::kMin: {
+      const auto kind = query_.kind == QueryKind::kMax
+                            ? operators::ExtremeKind::kMax
+                            : operators::ExtremeKind::kMin;
+      VAOLIB_ASSIGN_OR_RETURN(
+          const operators::TraditionalExtremeOutcome outcome,
+          operators::TraditionalExtreme(*black_box_, rows, kind, &meter_));
+      result.winner_row = outcome.winner_index;
+      result.aggregate_bounds = Bounds::Point(outcome.value);
+      break;
+    }
+    case QueryKind::kSum:
+    case QueryKind::kAve: {
+      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> weights,
+                              ResolveWeights());
+      VAOLIB_ASSIGN_OR_RETURN(
+          const operators::TraditionalSumOutcome outcome,
+          operators::TraditionalWeightedSum(*black_box_, rows, weights,
+                                            &meter_));
+      result.aggregate_bounds = Bounds::Point(outcome.sum);
+      break;
+    }
+    case QueryKind::kTopK: {
+      if (query_.k < 1 || query_.k > n) {
+        return Status::InvalidArgument("top-k k out of range");
+      }
+      std::vector<std::pair<double, std::size_t>> valued(n);
+      for (std::size_t row = 0; row < n; ++row) {
+        VAOLIB_ASSIGN_OR_RETURN(const double value,
+                                black_box_->Call(rows[row], &meter_));
+        valued[row] = {value, row};
+      }
+      std::sort(valued.begin(), valued.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (std::size_t i = 0; i < query_.k; ++i) {
+        result.top_rows.push_back(valued[i].second);
+        result.top_bounds.push_back(Bounds::Point(valued[i].first));
+      }
+      result.winner_row = result.top_rows.front();
+      result.aggregate_bounds = result.top_bounds.front();
+      break;
+    }
+  }
+  result.work_units = meter_.Total() - work_before;
+  return result;
+}
+
+}  // namespace vaolib::engine

@@ -1,0 +1,106 @@
+// Copyright 2026 The vaolib Authors.
+// CqExecutor: runs one continuous query over an interest-style stream and a
+// relation, re-evaluating on every stream tick (the paper's Figure 1 system
+// with the function-execution and operator modules fused into VAOs).
+
+#ifndef VAOLIB_ENGINE_EXECUTOR_H_
+#define VAOLIB_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/work_meter.h"
+#include "engine/query.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "vao/black_box.h"
+
+namespace vaolib::engine {
+
+/// \brief Whether a query runs with VAOs or with traditional black-box
+/// operators (the Section 6 baseline).
+enum class ExecutionMode { kVao, kTraditional };
+
+/// \brief Output of one stream tick.
+struct TickResult {
+  QueryKind kind = QueryKind::kSelect;
+
+  /// kSelect: indices of relation rows whose predicate passed.
+  std::vector<std::size_t> passing_rows;
+
+  /// kMax/kMin: the winning relation row.
+  std::optional<std::size_t> winner_row;
+
+  /// kTopK: selected rows (most extreme first) and their bounds.
+  std::vector<std::size_t> top_rows;
+  std::vector<Bounds> top_bounds;
+  /// True when the winner is only determined up to minWidth ties.
+  bool tie = false;
+
+  /// Aggregate output bounds (degenerate [v, v] in traditional mode).
+  Bounds aggregate_bounds;
+
+  operators::OperatorStats stats;
+  /// Work units charged during this tick (all WorkKinds).
+  std::uint64_t work_units = 0;
+};
+
+/// \brief Single-query continuous executor.
+///
+/// The relation and the query's function are borrowed and must outlive the
+/// executor. Each ProcessTick() call is independent; per-object state is not
+/// carried across ticks (function caching is orthogonal, Section 3.1).
+class CqExecutor {
+ public:
+  /// Builds an executor and resolves all column references.
+  static Result<std::unique_ptr<CqExecutor>> Create(const Relation* relation,
+                                                    Schema stream_schema,
+                                                    Query query,
+                                                    ExecutionMode mode);
+
+  /// Re-evaluates the query for \p stream_tuple.
+  Result<TickResult> ProcessTick(const Tuple& stream_tuple);
+
+  /// Cumulative work across all ticks so far.
+  const WorkMeter& meter() const { return meter_; }
+  void ResetMeter() { meter_.Reset(); }
+
+  ExecutionMode mode() const { return mode_; }
+  const Query& query() const { return query_; }
+
+ private:
+  CqExecutor(const Relation* relation, Schema stream_schema, Query query,
+             ExecutionMode mode);
+
+  /// Resolves ArgRefs into per-row argument vectors for this tick.
+  Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
+                                        std::size_t row) const;
+
+  Result<TickResult> RunVao(const Tuple& stream_tuple);
+  Result<TickResult> RunTraditional(const Tuple& stream_tuple);
+
+  Result<std::vector<double>> ResolveWeights() const;
+
+  const Relation* relation_;
+  Schema stream_schema_;
+  Query query_;
+  ExecutionMode mode_;
+  WorkMeter meter_;
+
+  /// Pre-resolved argument bindings: (source, column index or constant).
+  struct BoundArg {
+    ArgRef::Source source;
+    std::size_t index = 0;
+    double constant = 0.0;
+  };
+  std::vector<BoundArg> bound_args_;
+  std::optional<std::size_t> weight_column_index_;
+
+  /// Calibrated baseline for traditional mode (lazy per-args cache inside).
+  std::unique_ptr<vao::CalibratedBlackBox> black_box_;
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_EXECUTOR_H_

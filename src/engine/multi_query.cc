@@ -1,0 +1,266 @@
+#include "engine/multi_query.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "operators/min_max.h"
+#include "operators/selection.h"
+#include "operators/sum_ave.h"
+#include "operators/top_k.h"
+
+namespace vaolib::engine {
+
+namespace {
+
+bool SameBinding(const ArgRef& a, const ArgRef& b) {
+  return a.source == b.source && a.field == b.field &&
+         a.constant == b.constant;
+}
+
+}  // namespace
+
+MultiQueryExecutor::MultiQueryExecutor(const Relation* relation,
+                                       Schema stream_schema,
+                                       std::vector<Query> queries)
+    : relation_(relation),
+      stream_schema_(std::move(stream_schema)),
+      queries_(std::move(queries)) {}
+
+Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
+    const Relation* relation, Schema stream_schema,
+    std::vector<Query> queries) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("multi-query executor needs a relation");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("multi-query executor with no queries");
+  }
+  const Query& first = queries.front();
+  if (first.function == nullptr) {
+    return Status::InvalidArgument("query has no function bound");
+  }
+  for (const Query& query : queries) {
+    if (query.function != first.function) {
+      return Status::InvalidArgument(
+          "shared execution requires all queries to use the same function");
+    }
+    if (query.args.size() != first.args.size()) {
+      return Status::InvalidArgument(
+          "shared execution requires identical argument bindings");
+    }
+    for (std::size_t i = 0; i < query.args.size(); ++i) {
+      if (!SameBinding(query.args[i], first.args[i])) {
+        return Status::InvalidArgument(
+            "shared execution requires identical argument bindings");
+      }
+    }
+    if (query.weight_column.has_value() &&
+        !relation->schema().IndexOf(*query.weight_column).ok()) {
+      return Status::NotFound("weight column '" + *query.weight_column +
+                              "' not in relation");
+    }
+  }
+  if (static_cast<int>(first.args.size()) != first.function->arity()) {
+    return Status::InvalidArgument("argument binding arity mismatch");
+  }
+
+  auto executor = std::unique_ptr<MultiQueryExecutor>(new MultiQueryExecutor(
+      relation, std::move(stream_schema), std::move(queries)));
+  for (const ArgRef& ref : executor->queries_.front().args) {
+    BoundArg bound;
+    bound.source = ref.source;
+    bound.constant = ref.constant;
+    switch (ref.source) {
+      case ArgRef::Source::kStreamField: {
+        VAOLIB_ASSIGN_OR_RETURN(bound.index,
+                                executor->stream_schema_.IndexOf(ref.field));
+        break;
+      }
+      case ArgRef::Source::kRelationField: {
+        VAOLIB_ASSIGN_OR_RETURN(
+            bound.index, executor->relation_->schema().IndexOf(ref.field));
+        break;
+      }
+      case ArgRef::Source::kConstant:
+        break;
+    }
+    executor->bound_args_.push_back(bound);
+  }
+  return executor;
+}
+
+Result<std::vector<double>> MultiQueryExecutor::BuildArgs(
+    const Tuple& stream_tuple, std::size_t row) const {
+  std::vector<double> args;
+  args.reserve(bound_args_.size());
+  for (const BoundArg& bound : bound_args_) {
+    switch (bound.source) {
+      case ArgRef::Source::kStreamField: {
+        if (bound.index >= stream_tuple.size()) {
+          return Status::OutOfRange("stream tuple too short for binding");
+        }
+        VAOLIB_ASSIGN_OR_RETURN(const double v,
+                                stream_tuple[bound.index].AsDouble());
+        args.push_back(v);
+        break;
+      }
+      case ArgRef::Source::kRelationField: {
+        VAOLIB_ASSIGN_OR_RETURN(const Value cell,
+                                relation_->At(row, bound.index));
+        VAOLIB_ASSIGN_OR_RETURN(const double v, cell.AsDouble());
+        args.push_back(v);
+        break;
+      }
+      case ArgRef::Source::kConstant:
+        args.push_back(bound.constant);
+        break;
+    }
+  }
+  return args;
+}
+
+Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
+    const Tuple& stream_tuple) {
+  if (stream_tuple.size() != stream_schema_.size()) {
+    return Status::InvalidArgument("stream tuple does not match schema");
+  }
+  const std::size_t n = relation_->size();
+  if (n == 0) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+
+  // One shared result object per relation row.
+  const std::uint64_t creation_before = meter_.Total();
+  std::vector<vao::ResultObjectPtr> owned;
+  std::vector<vao::ResultObject*> objects;
+  owned.reserve(n);
+  objects.reserve(n);
+  const auto* function = queries_.front().function;
+  for (std::size_t row = 0; row < n; ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                            function->Invoke(args, &meter_));
+    objects.push_back(object.get());
+    owned.push_back(std::move(object));
+  }
+  const std::uint64_t creation_cost = meter_.Total() - creation_before;
+
+  std::vector<TickResult> results(queries_.size());
+  for (auto& result : results) result.kind = QueryKind::kSelect;
+
+  // Phase 1: batch all point-selection predicates per object.
+  std::vector<std::size_t> select_query_indices;
+  std::vector<operators::MultiSelectionVao::Predicate> predicates;
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    if (queries_[q].kind == QueryKind::kSelect) {
+      select_query_indices.push_back(q);
+      predicates.push_back({queries_[q].cmp, queries_[q].constant});
+    }
+  }
+  if (!predicates.empty()) {
+    const std::uint64_t before = meter_.Total();
+    const operators::MultiSelectionVao shared(predicates);
+    std::uint64_t iterations = 0;
+    for (std::size_t row = 0; row < n; ++row) {
+      VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
+                              shared.Evaluate(objects[row]));
+      iterations += outcome.stats.iterations;
+      for (std::size_t p = 0; p < select_query_indices.size(); ++p) {
+        if (outcome.passes[p]) {
+          results[select_query_indices[p]].passing_rows.push_back(row);
+        }
+      }
+    }
+    for (const std::size_t q : select_query_indices) {
+      results[q].kind = QueryKind::kSelect;
+      results[q].stats.iterations = iterations;
+      // The selection batch (plus object creation) is attributed to the
+      // selection group as a whole.
+      results[q].work_units = meter_.Total() - before + creation_cost;
+    }
+  }
+
+  // Phase 2: remaining query kinds over the (already tightened) objects.
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const Query& query = queries_[q];
+    TickResult& result = results[q];
+    result.kind = query.kind;
+    const std::uint64_t before = meter_.Total();
+    switch (query.kind) {
+      case QueryKind::kSelect:
+        break;  // handled in phase 1
+      case QueryKind::kSelectRange: {
+        const operators::RangeSelectionVao vao(
+            query.range_lo, query.range_hi, query.range_inclusive);
+        for (std::size_t row = 0; row < n; ++row) {
+          VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
+                                  vao.Evaluate(objects[row]));
+          if (outcome.passes) result.passing_rows.push_back(row);
+          result.stats.iterations += outcome.stats.iterations;
+        }
+        break;
+      }
+      case QueryKind::kMax:
+      case QueryKind::kMin: {
+        operators::MinMaxOptions options;
+        options.kind = query.kind == QueryKind::kMax
+                           ? operators::ExtremeKind::kMax
+                           : operators::ExtremeKind::kMin;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        const operators::MinMaxVao vao(options);
+        VAOLIB_ASSIGN_OR_RETURN(const auto outcome, vao.Evaluate(objects));
+        result.winner_row = outcome.winner_index;
+        result.tie = outcome.tie;
+        result.aggregate_bounds = outcome.winner_bounds;
+        result.stats = outcome.stats;
+        break;
+      }
+      case QueryKind::kSum:
+      case QueryKind::kAve: {
+        std::vector<double> weights;
+        if (query.weight_column.has_value()) {
+          VAOLIB_ASSIGN_OR_RETURN(
+              weights, relation_->NumericColumn(*query.weight_column));
+        } else if (query.kind == QueryKind::kAve) {
+          weights = operators::AveWeights(n);
+        } else {
+          weights = operators::SumWeights(n);
+        }
+        operators::SumAveOptions options;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        const operators::SumAveVao vao(options);
+        VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
+                                vao.Evaluate(objects, weights));
+        result.aggregate_bounds = outcome.sum_bounds;
+        result.stats = outcome.stats;
+        break;
+      }
+      case QueryKind::kTopK: {
+        operators::TopKOptions options;
+        options.k = query.k;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        const operators::TopKVao vao(options);
+        VAOLIB_ASSIGN_OR_RETURN(const auto outcome, vao.Evaluate(objects));
+        result.top_rows = outcome.winners;
+        result.top_bounds = outcome.winner_bounds;
+        result.tie = outcome.tie;
+        if (!outcome.winners.empty()) {
+          result.winner_row = outcome.winners.front();
+          result.aggregate_bounds = outcome.winner_bounds.front();
+        }
+        result.stats = outcome.stats;
+        break;
+      }
+    }
+    if (query.kind != QueryKind::kSelect) {
+      result.work_units = meter_.Total() - before;
+    }
+  }
+  return results;
+}
+
+}  // namespace vaolib::engine

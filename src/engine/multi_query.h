@@ -1,0 +1,73 @@
+// Copyright 2026 The vaolib Authors.
+// MultiQueryExecutor: shared execution of many standing queries over the
+// same UDF -- the continuous-query deployment the paper's introduction
+// motivates (many traders' queries over the same bond models).
+//
+// All registered queries must bind the SAME function with the SAME argument
+// references; that is exactly what makes sharing sound: per stream tick one
+// result object is created per relation row, every query's operator works
+// over those shared objects, and since bounds only tighten, work done for
+// one query is free for the next. Point-selection predicates are batched
+// through MultiSelectionVao so each object is iterated once for ALL
+// selection constants (cost tracks the hardest predicate, not the query
+// count).
+
+#ifndef VAOLIB_ENGINE_MULTI_QUERY_H_
+#define VAOLIB_ENGINE_MULTI_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/work_meter.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+
+namespace vaolib::engine {
+
+/// \brief Shared-execution runner for a set of standing queries.
+class MultiQueryExecutor {
+ public:
+  /// Builds the executor; every query must have the same `function` and
+  /// `args` bindings (InvalidArgument otherwise). Traditional mode is not
+  /// supported here -- use one CqExecutor per query for baselines.
+  static Result<std::unique_ptr<MultiQueryExecutor>> Create(
+      const Relation* relation, Schema stream_schema,
+      std::vector<Query> queries);
+
+  /// Re-evaluates every query for \p stream_tuple over shared result
+  /// objects. Results are parallel to the constructor's query list; each
+  /// TickResult's work_units reports the work attributable to that query's
+  /// operator phase (object creation is charged to the first phase).
+  Result<std::vector<TickResult>> ProcessTick(const Tuple& stream_tuple);
+
+  /// Cumulative work across all ticks and queries.
+  const WorkMeter& meter() const { return meter_; }
+  void ResetMeter() { meter_.Reset(); }
+
+  std::size_t query_count() const { return queries_.size(); }
+
+ private:
+  MultiQueryExecutor(const Relation* relation, Schema stream_schema,
+                     std::vector<Query> queries);
+
+  Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
+                                        std::size_t row) const;
+
+  const Relation* relation_;
+  Schema stream_schema_;
+  std::vector<Query> queries_;
+  WorkMeter meter_;
+
+  struct BoundArg {
+    ArgRef::Source source;
+    std::size_t index = 0;
+    double constant = 0.0;
+  };
+  std::vector<BoundArg> bound_args_;  ///< shared bindings (validated equal)
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_MULTI_QUERY_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The vaolib Authors.
+// Continuous-query description: the declarative form of the paper's Q1-Q3.
+//
+// A query applies one expensive UDF to (stream tuple x relation row) pairs
+// and either filters rows by a predicate on the UDF result (Q1) or
+// aggregates the results (Q2/Q3). The executor runs it with VAOs or with
+// traditional black-box operators.
+
+#ifndef VAOLIB_ENGINE_QUERY_H_
+#define VAOLIB_ENGINE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "operators/operator_base.h"
+#include "vao/result_object.h"
+
+namespace vaolib::engine {
+
+/// \brief Where a UDF argument comes from.
+struct ArgRef {
+  enum class Source { kStreamField, kRelationField, kConstant };
+  Source source = Source::kConstant;
+  std::string field;     ///< column name, for the field sources
+  double constant = 0.0; ///< value, for kConstant
+
+  static ArgRef StreamField(std::string name) {
+    return ArgRef{Source::kStreamField, std::move(name), 0.0};
+  }
+  static ArgRef RelationField(std::string name) {
+    return ArgRef{Source::kRelationField, std::move(name), 0.0};
+  }
+  static ArgRef Constant(double v) {
+    return ArgRef{Source::kConstant, {}, v};
+  }
+};
+
+/// \brief Query shape.
+enum class QueryKind {
+  kSelect,
+  kSelectRange,  ///< BETWEEN extension: range_lo <= f <= range_hi
+  kMax,
+  kMin,
+  kSum,
+  kAve,
+  kTopK,  ///< k most extreme rows (extension)
+};
+
+/// \brief A continuous query over one UDF.
+struct Query {
+  QueryKind kind = QueryKind::kSelect;
+
+  /// The UDF and its argument bindings (not owned; registered functions
+  /// must outlive the executor).
+  const vao::VariableAccuracyFunction* function = nullptr;
+  std::vector<ArgRef> args;
+
+  /// Selection predicate (kSelect only): function(args) <cmp> constant.
+  operators::Comparator cmp = operators::Comparator::kGreaterThan;
+  double constant = 0.0;
+
+  /// Range predicate (kSelectRange only): value in [range_lo, range_hi]
+  /// when range_inclusive, the open interval otherwise.
+  double range_lo = 0.0;
+  double range_hi = 0.0;
+  bool range_inclusive = true;
+
+  /// Precision constraint on aggregate outputs (the paper's epsilon).
+  double epsilon = 0.01;
+
+  /// Optional relation column supplying SUM weights (kSum only); empty
+  /// means unit weights.
+  std::optional<std::string> weight_column;
+
+  /// Result-set size for kTopK (an extension; k = 1 degenerates to kMax).
+  std::size_t k = 1;
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_QUERY_H_

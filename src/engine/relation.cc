@@ -1,0 +1,40 @@
+#include "engine/relation.h"
+
+#include "common/macros.h"
+
+namespace vaolib::engine {
+
+Status Relation::Append(Tuple row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(schema_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const ColumnType type = schema_.columns()[i].type;
+    const bool ok = (type == ColumnType::kInt && row[i].is_int()) ||
+                    (type == ColumnType::kDouble && row[i].is_double()) ||
+                    (type == ColumnType::kString && row[i].is_string());
+    if (!ok) {
+      return Status::InvalidArgument("tuple cell " + std::to_string(i) +
+                                     " does not match column type of '" +
+                                     schema_.columns()[i].name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::vector<double>> Relation::NumericColumn(
+    const std::string& name) const {
+  VAOLIB_ASSIGN_OR_RETURN(const std::size_t col, schema_.IndexOf(name));
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    VAOLIB_ASSIGN_OR_RETURN(const double v, row[col].AsDouble());
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace vaolib::engine

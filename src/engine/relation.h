@@ -1,0 +1,45 @@
+// Copyright 2026 The vaolib Authors.
+// Relation: an in-memory table (the BD bond relation of the running
+// example) with schema-checked appends.
+
+#ifndef VAOLIB_ENGINE_RELATION_H_
+#define VAOLIB_ENGINE_RELATION_H_
+
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/value.h"
+
+namespace vaolib::engine {
+
+/// \brief A schema'd collection of tuples.
+class Relation {
+ public:
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Appends \p row after checking arity and cell types against the schema.
+  Status Append(Tuple row);
+
+  /// Cell accessor with bounds checking.
+  Result<Value> At(std::size_t row, std::size_t col) const {
+    if (row >= rows_.size() || col >= schema_.size()) {
+      return Status::OutOfRange("relation cell access out of range");
+    }
+    return rows_[row][col];
+  }
+
+  /// Numeric column extraction (ints widen); fails on strings.
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_RELATION_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The vaolib Authors.
+// Schema: named, typed columns for relations and streams.
+
+#ifndef VAOLIB_ENGINE_SCHEMA_H_
+#define VAOLIB_ENGINE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vaolib::engine {
+
+/// \brief Declared column type.
+enum class ColumnType { kInt, kDouble, kString };
+
+/// \brief One column declaration.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+};
+
+/// \brief Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t size() const { return columns_.size(); }
+
+  /// Index of the column named \p name.
+  Result<std::size_t> IndexOf(const std::string& name) const {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_SCHEMA_H_

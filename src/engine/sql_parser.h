@@ -1,0 +1,66 @@
+// Copyright 2026 The vaolib Authors.
+// A small SQL-ish surface syntax for the continuous queries of the paper,
+// so standing queries can be registered as text:
+//
+//   SELECT * FROM bd WHERE model(rate, bond_index) > 100
+//   SELECT * FROM bd WHERE model(rate, bond_index) BETWEEN 99 AND 101
+//   SELECT MAX(model(rate, bond_index)) FROM bd PRECISION 0.01
+//   SELECT MIN(model(rate, bond_index)) FROM bd PRECISION 0.01
+//   SELECT SUM(model(rate, bond_index), position) FROM bd PRECISION 5
+//   SELECT AVE(model(rate, bond_index)) FROM bd PRECISION 0.01
+//   SELECT TOP 3 model(rate, bond_index) FROM bd PRECISION 0.01
+//
+// Function names resolve through a FunctionRegistry; bare identifiers in
+// the argument list resolve against the stream schema first, then the
+// relation schema (numbers become constants). SUM's optional second
+// argument names the relation column supplying weights. Keywords are
+// case-insensitive; identifiers are case-sensitive.
+
+#ifndef VAOLIB_ENGINE_SQL_PARSER_H_
+#define VAOLIB_ENGINE_SQL_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "engine/query.h"
+#include "engine/schema.h"
+
+namespace vaolib::engine {
+
+/// \brief Name -> UDF lookup used by the parser. Functions are borrowed
+/// and must outlive any Query built against them.
+class FunctionRegistry {
+ public:
+  /// Registers \p function under its own name().
+  /// \return AlreadyExists when the name is taken.
+  Status Register(const vao::VariableAccuracyFunction* function);
+
+  /// Looks a function up by name.
+  Result<const vao::VariableAccuracyFunction*> Lookup(
+      const std::string& name) const;
+
+  std::size_t size() const { return functions_.size(); }
+
+ private:
+  std::map<std::string, const vao::VariableAccuracyFunction*> functions_;
+};
+
+/// \brief Parses \p sql into an engine::Query.
+///
+/// \param sql          the query text (see header comment for the grammar)
+/// \param registry     resolves UDF names
+/// \param stream_schema resolves stream-field identifiers
+/// \param relation_schema resolves relation-field identifiers (consulted
+///        after the stream schema; ambiguity resolves to the stream)
+///
+/// \return InvalidArgument with a position-annotated message on any
+/// syntax or resolution error.
+Result<Query> ParseQuery(std::string_view sql,
+                         const FunctionRegistry& registry,
+                         const Schema& stream_schema,
+                         const Schema& relation_schema);
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_SQL_PARSER_H_

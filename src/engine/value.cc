@@ -1,0 +1,17 @@
+#include "engine/value.h"
+
+#include <cstdio>
+
+namespace vaolib::engine {
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(std::get<std::int64_t>(repr_));
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(repr_));
+    return buf;
+  }
+  return std::get<std::string>(repr_);
+}
+
+}  // namespace vaolib::engine

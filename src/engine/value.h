@@ -1,0 +1,62 @@
+// Copyright 2026 The vaolib Authors.
+// Value/Tuple: the row representation of the mini continuous-query engine.
+
+#ifndef VAOLIB_ENGINE_VALUE_H_
+#define VAOLIB_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vaolib::engine {
+
+/// \brief A typed scalar cell: integer, real, or text.
+class Value {
+ public:
+  Value() : repr_(0.0) {}
+  Value(std::int64_t v) : repr_(v) {}  // NOLINT: implicit by design
+  Value(double v) : repr_(v) {}        // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Numeric view: ints widen to double; strings are an error.
+  Result<double> AsDouble() const {
+    if (is_double()) return std::get<double>(repr_);
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(repr_));
+    return Status::InvalidArgument("string value used as number");
+  }
+
+  /// Exact accessors; calling the wrong one is an error Status.
+  Result<std::int64_t> AsInt() const {
+    if (is_int()) return std::get<std::int64_t>(repr_);
+    return Status::InvalidArgument("value is not an integer");
+  }
+  Result<std::string> AsString() const {
+    if (is_string()) return std::get<std::string>(repr_);
+    return Status::InvalidArgument("value is not a string");
+  }
+
+  /// Diagnostic rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  std::variant<std::int64_t, double, std::string> repr_;
+};
+
+/// \brief One row of cells.
+using Tuple = std::vector<Value>;
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_VALUE_H_

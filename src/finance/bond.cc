@@ -1,0 +1,29 @@
+#include "finance/bond.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace vaolib::finance {
+
+std::vector<RateTick> SynthesizeRateSeries(std::uint64_t seed, int num_ticks,
+                                           double start, double anchor,
+                                           double tick_volatility,
+                                           double mean_reversion,
+                                           double mean_interarrival_seconds) {
+  Rng rng(seed);
+  std::vector<RateTick> ticks;
+  ticks.reserve(static_cast<std::size_t>(std::max(num_ticks, 0)));
+  double t = 0.0;
+  double rate = start;
+  for (int i = 0; i < num_ticks; ++i) {
+    ticks.push_back(RateTick{t, rate});
+    t += rng.Exponential(1.0 / mean_interarrival_seconds);
+    rate += mean_reversion * (anchor - rate) +
+            rng.Gaussian(0.0, tick_volatility);
+    rate = std::clamp(rate, 0.005, 0.18);
+  }
+  return ticks;
+}
+
+}  // namespace vaolib::finance

@@ -1,0 +1,65 @@
+// Copyright 2026 The vaolib Authors.
+// Bond: static description of a mortgage-backed-security-like bond, the BD
+// relation of the paper's running example. The paper evaluated on 500
+// Freddie Mac Gold PC 30-year MBS issued in 1993 (proprietary data); the
+// workload module synthesizes a portfolio with comparable heterogeneity.
+
+#ifndef VAOLIB_FINANCE_BOND_H_
+#define VAOLIB_FINANCE_BOND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vaolib::finance {
+
+/// \brief One bond issue, parameterizing the Stanton-style valuation PDE.
+struct Bond {
+  std::int64_t id = 0;
+  std::string name;
+
+  /// Total passthrough cash-flow rate in dollars per year per $100 face
+  /// (coupon plus scheduled amortization for an MBS pool).
+  double annual_cashflow = 23.0;
+
+  /// Remaining time to maturity, in years (t_mat of the paper).
+  double maturity_years = 5.0;
+
+  /// Short-rate volatility sigma of the valuation PDE.
+  double sigma = 0.04;
+
+  /// Mean-reversion speed kappa of the short-rate drift kappa*mu-(kappa+q)x.
+  double kappa = 0.2;
+
+  /// Long-run mean rate mu.
+  double mu = 0.06;
+
+  /// Risk-adjustment q in the drift term.
+  double q = 0.02;
+
+  /// Credit/prepayment spread added to the discount rate: discounting uses
+  /// r(x) = x + spread.
+  double spread = 0.005;
+};
+
+/// \brief A timestamped interest-rate observation (the IR stream tuple).
+struct RateTick {
+  double time_seconds = 0.0;  ///< arrival time from stream start
+  double rate = 0.0575;       ///< decimal yield, e.g. 0.0575 = 5.75%
+};
+
+/// \brief Synthesizes a 10-year-CMT-like yield path: a mean-reverting daily
+/// random walk around \p anchor starting at \p start, one tick per
+/// \p mean_interarrival_seconds on average (the paper observed 1-4 minute
+/// Treasury-driven updates). Deterministic per \p seed.
+std::vector<RateTick> SynthesizeRateSeries(std::uint64_t seed, int num_ticks,
+                                           double start = 0.0575,
+                                           double anchor = 0.0575,
+                                           double tick_volatility = 0.0004,
+                                           double mean_reversion = 0.05,
+                                           double mean_interarrival_seconds =
+                                               150.0);
+
+}  // namespace vaolib::finance
+
+#endif  // VAOLIB_FINANCE_BOND_H_

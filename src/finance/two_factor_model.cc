@@ -1,0 +1,79 @@
+#include "finance/two_factor_model.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace vaolib::finance {
+
+numeric::Pde2dProblem MakeTwoFactorPdeProblem(
+    const Bond& bond, const TwoFactorModelConfig& config) {
+  numeric::Pde2dProblem problem;
+  const double half_var_x = 0.5 * bond.sigma * bond.sigma;
+  const double half_var_y =
+      0.5 * config.factor.sigma_y * config.factor.sigma_y;
+  const double drift_const = bond.kappa * bond.mu;
+  const double drift_slope = bond.kappa + bond.q;
+  const double ky = config.factor.kappa_y;
+  const double my = config.factor.mu_y;
+  const double cashflow = bond.annual_cashflow;
+  const double slope = config.factor.cashflow_slope;
+  const double curve = config.factor.cashflow_curve;
+  const double spread = bond.spread;
+
+  problem.diffusion_x = [half_var_x](double, double) { return half_var_x; };
+  problem.diffusion_y = [half_var_y](double, double) { return half_var_y; };
+  problem.convection_x = [drift_const, drift_slope](double x, double) {
+    return drift_const - drift_slope * x;
+  };
+  problem.convection_y = [ky, my](double, double y) {
+    return ky * (my - y);
+  };
+  problem.reaction = [spread](double x, double) { return x + spread; };
+  problem.source = [cashflow, slope, curve, my](double, double y) {
+    // Prepayment-sensitive passthrough: higher index, faster cashflow,
+    // with convexity in the response.
+    const double d = y - my;
+    return cashflow * (1.0 + slope * d + curve * d * d);
+  };
+  problem.terminal = [](double, double) { return 0.0; };
+
+  problem.x_min = config.x_min;
+  problem.x_max = config.x_max;
+  problem.y_min = config.factor.y_min;
+  problem.y_max = config.factor.y_max;
+  problem.t_end = bond.maturity_years;
+  return problem;
+}
+
+TwoFactorBondPricingFunction::TwoFactorBondPricingFunction(
+    std::vector<Bond> bonds, TwoFactorModelConfig config)
+    : bonds_(std::move(bonds)), config_(std::move(config)) {}
+
+Result<vao::ResultObjectPtr> TwoFactorBondPricingFunction::Invoke(
+    const std::vector<double>& args, WorkMeter* meter) const {
+  if (args.size() != 3) {
+    return Status::InvalidArgument(
+        "bond_model_2f expects (rate, index_level, bond_index)");
+  }
+  const double rate = args[0];
+  if (rate < config_.x_min || rate > config_.x_max) {
+    return Status::OutOfRange("interest rate outside model domain");
+  }
+  const double level = args[1];
+  if (level < config_.factor.y_min || level > config_.factor.y_max) {
+    return Status::OutOfRange("index level outside model domain");
+  }
+  const double index_arg = args[2];
+  if (!(index_arg >= 0.0) || index_arg != std::floor(index_arg) ||
+      index_arg >= static_cast<double>(bonds_.size())) {
+    return Status::InvalidArgument("bond index out of range");
+  }
+  const auto& bond = bonds_[static_cast<std::size_t>(index_arg)];
+  return vao::Pde2dResultObject::Create(
+      MakeTwoFactorPdeProblem(bond, config_), rate, level, config_.pde,
+      meter);
+}
+
+}  // namespace vaolib::finance

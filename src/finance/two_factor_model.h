@@ -1,0 +1,79 @@
+// Copyright 2026 The vaolib Authors.
+// Two-factor bond valuation: a synthetic analogue of the Downing-Stanton-
+// Wallace two-factor mortgage model the paper cites as [11], where the
+// second state variable (a log house-price-style index) drives prepayment
+// and therefore the passthrough cash-flow rate:
+//
+//   (1/2)sx^2 F_xx + (1/2)sy^2 F_yy
+//     + [kx*mx - (kx+q) x] F_x + ky(my - y) F_y
+//     + F_t - (x + spread) F + C(y) = 0,     F(x, y, t_mat) = 0,
+//
+//   C(y) = annual_cashflow * (1 + slope*(y - my) + curve*(y - my)^2)
+//   (prepayment response with convexity).
+//
+// The correlation between the factors is dropped (no F_xy term; see
+// numeric/pde2d_solver.h), a substitution documented in DESIGN.md.
+
+#ifndef VAOLIB_FINANCE_TWO_FACTOR_MODEL_H_
+#define VAOLIB_FINANCE_TWO_FACTOR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "finance/bond.h"
+#include "numeric/pde2d_solver.h"
+#include "vao/pde2d_result_object.h"
+
+namespace vaolib::finance {
+
+/// \brief Second-factor parameters layered on a Bond.
+struct TwoFactorParams {
+  double sigma_y = 0.10;        ///< volatility of the index factor
+  double kappa_y = 0.15;        ///< mean-reversion speed of the index
+  double mu_y = 0.0;            ///< long-run index level (log scale)
+  double cashflow_slope = 0.5;  ///< dC/dy sensitivity of prepayment cashflow
+  double cashflow_curve = 0.2;  ///< convexity of the prepayment response
+  double y_min = -0.5;
+  double y_max = 0.5;
+};
+
+/// \brief Model-wide configuration for the two-factor pricing function.
+struct TwoFactorModelConfig {
+  double x_min = 0.0;
+  double x_max = 0.12;
+  TwoFactorParams factor;
+  vao::Pde2dResultOptions pde;
+};
+
+/// \brief Builds the two-factor valuation problem for \p bond.
+numeric::Pde2dProblem MakeTwoFactorPdeProblem(
+    const Bond& bond, const TwoFactorModelConfig& config);
+
+/// \brief Two-factor model() UDF: args = {rate, index_level, bond_index}.
+class TwoFactorBondPricingFunction : public vao::VariableAccuracyFunction {
+ public:
+  TwoFactorBondPricingFunction(std::vector<Bond> bonds,
+                               TwoFactorModelConfig config);
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return 3; }
+  Result<vao::ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                      WorkMeter* meter) const override;
+
+  const std::vector<Bond>& bonds() const { return bonds_; }
+  const TwoFactorModelConfig& config() const { return config_; }
+
+  std::vector<double> ArgsFor(double rate, double index_level,
+                              std::size_t bond_index) const {
+    return {rate, index_level, static_cast<double>(bond_index)};
+  }
+
+ private:
+  std::string name_ = "bond_model_2f";
+  std::vector<Bond> bonds_;
+  TwoFactorModelConfig config_;
+};
+
+}  // namespace vaolib::finance
+
+#endif  // VAOLIB_FINANCE_TWO_FACTOR_MODEL_H_

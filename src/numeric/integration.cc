@@ -1,0 +1,226 @@
+#include "common/macros.h"
+#include "numeric/integration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vaolib::numeric {
+
+namespace {
+
+// Error-reduction factor per interval halving: 4 for an O(h^2) rule, 16 for
+// an O(h^4) rule. Romberg's reduction is superlinear and handled
+// dynamically in PredictedErrorAfterRefine().
+double ReductionFactor(IntegrationRule rule) {
+  return rule == IntegrationRule::kTrapezoid ? 4.0 : 16.0;
+}
+
+// |S_fine - S_coarse| -> error of S_fine divisor: 3 for trapezoid (since
+// err_coarse ~= 4 * err_fine), 15 for Simpson, 1 (fully conservative) for
+// the Romberg diagonal, whose convergence rate is not a fixed power of h.
+double DifferenceDivisor(IntegrationRule rule) {
+  switch (rule) {
+    case IntegrationRule::kTrapezoid:
+      return 3.0;
+    case IntegrationRule::kSimpson:
+      return 15.0;
+    case IntegrationRule::kRomberg:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+// Richardson-accelerated diagonal element R[k][k] from the trapezoid first
+// column T_0..T_k (classic in-place Romberg recurrence).
+double RombergDiagonal(std::vector<double> column) {
+  const std::size_t k = column.size();
+  double pow4 = 1.0;
+  for (std::size_t j = 1; j < k; ++j) {
+    pow4 *= 4.0;
+    for (std::size_t i = k; i-- > j;) {
+      column[i] = (pow4 * column[i] - column[i - 1]) / (pow4 - 1.0);
+    }
+  }
+  return column.back();
+}
+
+Result<double> CompositeValue(const std::vector<double>& samples, double a,
+                              double b, IntegrationRule rule) {
+  const std::size_t n = samples.size();
+  if (n < 2) return Status::InvalidArgument("composite rule needs >= 2 samples");
+  const auto panels = n - 1;
+  const double h = (b - a) / static_cast<double>(panels);
+  if (rule == IntegrationRule::kTrapezoid ||
+      rule == IntegrationRule::kRomberg) {
+    // Romberg's first column is the plain composite trapezoid.
+    double sum = 0.5 * (samples.front() + samples.back());
+    for (std::size_t i = 1; i + 1 < n; ++i) sum += samples[i];
+    return sum * h;
+  }
+  // Simpson requires an even panel count.
+  if (panels % 2 != 0) {
+    return Status::InvalidArgument("Simpson rule needs an even panel count");
+  }
+  double sum = samples.front() + samples.back();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    sum += samples[i] * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+RefinableIntegral::RefinableIntegral(std::function<double(double)> f, double a,
+                                     double b, const Options& options)
+    : f_(std::move(f)), a_(a), b_(b), options_(options) {}
+
+Result<RefinableIntegral> RefinableIntegral::Create(
+    std::function<double(double)> f, double a, double b,
+    const Options& options, WorkMeter* meter) {
+  if (!f) return Status::InvalidArgument("integrand is empty");
+  if (!(b > a)) return Status::InvalidArgument("integration needs b > a");
+  if (options.safety_factor < 1.0) {
+    return Status::InvalidArgument("safety_factor must be >= 1");
+  }
+  if (options.max_level < 2) {
+    return Status::InvalidArgument("max_level must be >= 2");
+  }
+
+  RefinableIntegral integral(std::move(f), a, b, options);
+
+  // Level 0: endpoints only.
+  integral.samples_ = {integral.f_(a), integral.f_(b)};
+  integral.total_evaluations_ = 2;
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, 2 * options.work_per_eval);
+  }
+  // Simpson needs >= 2 panels for its first value; trapezoid works at one.
+  if (options.rule == IntegrationRule::kTrapezoid ||
+      options.rule == IntegrationRule::kRomberg) {
+    VAOLIB_ASSIGN_OR_RETURN(const double t0, integral.RuleValue());
+    VAOLIB_RETURN_IF_ERROR(integral.AddLevel(meter));
+    VAOLIB_ASSIGN_OR_RETURN(const double t1, integral.RuleValue());
+    if (options.rule == IntegrationRule::kRomberg) {
+      integral.trapezoid_history_ = {t0, t1};
+      integral.coarse_value_ = t0;
+      integral.fine_value_ = RombergDiagonal(integral.trapezoid_history_);
+    } else {
+      integral.coarse_value_ = t0;
+      integral.fine_value_ = t1;
+    }
+  } else {
+    VAOLIB_RETURN_IF_ERROR(integral.AddLevel(meter));  // level 1: 2 panels
+    VAOLIB_ASSIGN_OR_RETURN(integral.coarse_value_, integral.RuleValue());
+    VAOLIB_RETURN_IF_ERROR(integral.AddLevel(meter));  // level 2: 4 panels
+    VAOLIB_ASSIGN_OR_RETURN(integral.fine_value_, integral.RuleValue());
+  }
+  integral.UpdateErrorBound();
+  return integral;
+}
+
+Status RefinableIntegral::AddLevel(WorkMeter* meter) {
+  if (level_ >= options_.max_level) {
+    return Status::ResourceExhausted("integral refinement at max_level");
+  }
+  const std::size_t old_n = samples_.size();
+  const std::size_t panels = old_n - 1;
+  std::vector<double> next(2 * panels + 1);
+  const double h = (b_ - a_) / static_cast<double>(2 * panels);
+  for (std::size_t i = 0; i < old_n; ++i) next[2 * i] = samples_[i];
+  for (std::size_t i = 0; i < panels; ++i) {
+    const double x = a_ + h * static_cast<double>(2 * i + 1);
+    next[2 * i + 1] = f_(x);
+  }
+  total_evaluations_ += panels;
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec,
+                  static_cast<std::uint64_t>(panels) * options_.work_per_eval);
+  }
+  samples_.swap(next);
+  ++level_;
+  return Status::OK();
+}
+
+Result<double> RefinableIntegral::RuleValue() const {
+  return CompositeValue(samples_, a_, b_, options_.rule);
+}
+
+void RefinableIntegral::UpdateErrorBound() {
+  const double diff = std::abs(fine_value_ - coarse_value_);
+  error_bound_ =
+      options_.safety_factor * diff / DifferenceDivisor(options_.rule);
+}
+
+Status RefinableIntegral::Refine(WorkMeter* meter) {
+  coarse_value_ = fine_value_;
+  previous_error_ = error_bound_;
+  VAOLIB_RETURN_IF_ERROR(AddLevel(meter));
+  if (options_.rule == IntegrationRule::kRomberg) {
+    VAOLIB_ASSIGN_OR_RETURN(const double trap, RuleValue());
+    trapezoid_history_.push_back(trap);
+    fine_value_ = RombergDiagonal(trapezoid_history_);
+  } else {
+    VAOLIB_ASSIGN_OR_RETURN(fine_value_, RuleValue());
+  }
+  UpdateErrorBound();
+  return Status::OK();
+}
+
+double RefinableIntegral::PredictedErrorAfterRefine() const {
+  if (options_.rule == IntegrationRule::kRomberg) {
+    // Romberg converges superlinearly; extrapolate from the observed
+    // per-level error ratio, clamped to at least the Simpson rate.
+    if (previous_error_ > 0.0 && error_bound_ > 0.0) {
+      const double ratio =
+          std::min(error_bound_ / previous_error_, 1.0 / 16.0);
+      return error_bound_ * ratio;
+    }
+    return error_bound_ / 16.0;
+  }
+  return error_bound_ / ReductionFactor(options_.rule);
+}
+
+Bounds RefinableIntegral::PredictedBoundsAfterRefine() const {
+  if (options_.rule == IntegrationRule::kRomberg) {
+    // The diagonal is already extrapolated; predict it stays put with a
+    // much tighter error.
+    return Bounds::Centered(fine_value_, PredictedErrorAfterRefine());
+  }
+  // Predict the value moving most of the way toward the truth: extrapolate
+  // by the signed coarse/fine trend shrunk by the reduction factor.
+  const double trend = fine_value_ - coarse_value_;
+  const double predicted =
+      fine_value_ + trend / (ReductionFactor(options_.rule) - 1.0);
+  return Bounds::Centered(predicted, PredictedErrorAfterRefine());
+}
+
+std::uint64_t RefinableIntegral::CostOfNextRefine() const {
+  // Next refinement evaluates one new midpoint per current panel.
+  return static_cast<std::uint64_t>(samples_.size() - 1) *
+         options_.work_per_eval;
+}
+
+Result<double> Integrate(const std::function<double(double)>& f, double a,
+                         double b, IntegrationRule rule, int panels,
+                         std::uint64_t work_per_eval, WorkMeter* meter) {
+  if (!f) return Status::InvalidArgument("integrand is empty");
+  if (!(b > a)) return Status::InvalidArgument("integration needs b > a");
+  if (panels < 1) return Status::InvalidArgument("panels must be >= 1");
+  if (rule == IntegrationRule::kSimpson && panels % 2 != 0) {
+    return Status::InvalidArgument("Simpson rule needs an even panel count");
+  }
+  if (rule == IntegrationRule::kRomberg) {
+    return Status::InvalidArgument(
+        "Romberg needs the refinement history; use RefinableIntegral");
+  }
+  std::vector<double> samples(panels + 1);
+  const double h = (b - a) / panels;
+  for (int i = 0; i <= panels; ++i) samples[i] = f(a + h * i);
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec,
+                  static_cast<std::uint64_t>(panels + 1) * work_per_eval);
+  }
+  return CompositeValue(samples, a, b, rule);
+}
+
+}  // namespace vaolib::numeric

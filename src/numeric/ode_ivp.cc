@@ -1,0 +1,39 @@
+#include "numeric/ode_ivp.h"
+
+#include <cmath>
+
+namespace vaolib::numeric {
+
+Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
+                              WorkMeter* meter) {
+  if (!problem.f) {
+    return Status::InvalidArgument("IVP right-hand side is empty");
+  }
+  if (!(problem.t1 > problem.t0)) {
+    return Status::InvalidArgument("IVP requires t1 > t0");
+  }
+  if (steps < 1) {
+    return Status::InvalidArgument("IVP requires steps >= 1");
+  }
+
+  const double h = (problem.t1 - problem.t0) / steps;
+  double t = problem.t0;
+  double y = problem.y0;
+  for (int i = 0; i < steps; ++i) {
+    const double k1 = problem.f(t, y);
+    const double k2 = problem.f(t + 0.5 * h, y + 0.5 * h * k1);
+    const double k3 = problem.f(t + 0.5 * h, y + 0.5 * h * k2);
+    const double k4 = problem.f(t + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t = problem.t0 + h * (i + 1);
+    if (!std::isfinite(y)) {
+      return Status::NumericError("RK4 trajectory became non-finite");
+    }
+  }
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, static_cast<std::uint64_t>(steps) * 4);
+  }
+  return y;
+}
+
+}  // namespace vaolib::numeric

@@ -1,0 +1,37 @@
+// Copyright 2026 The vaolib Authors.
+// Initial-value ODE solver: classical fourth-order Runge-Kutta on a uniform
+// step, an extension of the Section 4.2 solver family. Error is O(h^4), so
+// the VAO adaptation uses the one-term Richardson model err ~= K * h^4 with
+// step halving per iteration.
+
+#ifndef VAOLIB_NUMERIC_ODE_IVP_H_
+#define VAOLIB_NUMERIC_ODE_IVP_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/work_meter.h"
+
+namespace vaolib::numeric {
+
+/// \brief A scalar initial-value problem  y' = f(t, y),  y(t0) = y0,
+/// solved for y(t1).
+struct OdeIvpProblem {
+  std::function<double(double t, double y)> f;
+  double t0 = 0.0;
+  double y0 = 0.0;
+  double t1 = 1.0;
+};
+
+/// \brief Integrates \p problem with \p steps uniform RK4 steps and returns
+/// y(t1). Charges 4 exec units per step (one per stage evaluation) to
+/// \p meter. Error O(h^4).
+///
+/// \return InvalidArgument for empty f, t1 <= t0, or steps < 1;
+/// NumericError if the trajectory leaves the finite range.
+Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
+                              WorkMeter* meter);
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_ODE_IVP_H_

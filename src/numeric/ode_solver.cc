@@ -1,0 +1,104 @@
+#include "common/macros.h"
+#include "numeric/ode_solver.h"
+
+#include <cmath>
+
+#include "numeric/tridiagonal.h"
+
+namespace vaolib::numeric {
+
+OdeBvpProblem MakeBeamDeflectionProblem(double stress_s, double modulus_e,
+                                        double inertia_i, double load_q,
+                                        double length_l) {
+  OdeBvpProblem problem;
+  const double ei = modulus_e * inertia_i;
+  problem.p = [](double) { return 0.0; };
+  problem.q = [stress_s, ei](double) { return stress_s / ei; };
+  problem.r = [load_q, ei, length_l](double x) {
+    return load_q * x / (2.0 * ei) * (x - length_l);
+  };
+  problem.a = 0.0;
+  problem.b = length_l;
+  problem.alpha = 0.0;
+  problem.beta = 0.0;
+  return problem;
+}
+
+Result<std::vector<double>> SolveOdeBvpProfile(const OdeBvpProblem& problem,
+                                               int intervals,
+                                               WorkMeter* meter) {
+  if (!problem.p || !problem.q || !problem.r) {
+    return Status::InvalidArgument("ODE problem has unset coefficient(s)");
+  }
+  if (!(problem.b > problem.a)) {
+    return Status::InvalidArgument("ODE domain requires b > a");
+  }
+  if (intervals < 2) {
+    return Status::InvalidArgument("ODE grid requires >= 2 intervals");
+  }
+
+  const int n = intervals;  // nodes 0..n, interior 1..n-1
+  const double dx = (problem.b - problem.a) / n;
+
+  // Central differences at interior node i:
+  //   (w_{i+1} - 2w_i + w_{i-1})/dx^2
+  //     = p_i (w_{i+1} - w_{i-1})/(2dx) + q_i w_i + r_i
+  TridiagonalSystem sys;
+  sys.Resize(n - 1);
+  for (int i = 1; i < n; ++i) {
+    const double x = problem.a + dx * i;
+    const double pi = problem.p(x);
+    const double qi = problem.q(x);
+    const double ri = problem.r(x);
+    const int row = i - 1;
+    sys.lower[row] = 1.0 / (dx * dx) + pi / (2.0 * dx);
+    sys.diag[row] = -2.0 / (dx * dx) - qi;
+    sys.upper[row] = 1.0 / (dx * dx) - pi / (2.0 * dx);
+    sys.rhs[row] = ri;
+  }
+  // Fold the known boundary values into the first/last rows.
+  {
+    const double x1 = problem.a + dx;
+    sys.rhs[0] -= (1.0 / (dx * dx) + problem.p(x1) / (2.0 * dx)) * problem.alpha;
+    sys.lower[0] = 0.0;
+    const double xn = problem.a + dx * (n - 1);
+    sys.rhs[n - 2] -=
+        (1.0 / (dx * dx) - problem.p(xn) / (2.0 * dx)) * problem.beta;
+    sys.upper[n - 2] = 0.0;
+  }
+
+  std::vector<double> interior;
+  VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &interior));
+
+  std::vector<double> profile(n + 1);
+  profile[0] = problem.alpha;
+  profile[n] = problem.beta;
+  for (int i = 1; i < n; ++i) {
+    if (!std::isfinite(interior[i - 1])) {
+      return Status::NumericError("ODE solve produced non-finite value");
+    }
+    profile[i] = interior[i - 1];
+  }
+
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, static_cast<std::uint64_t>(n - 1));
+  }
+  return profile;
+}
+
+Result<double> SolveOdeBvp(const OdeBvpProblem& problem, int intervals,
+                           double query_x, WorkMeter* meter) {
+  if (query_x < problem.a || query_x > problem.b) {
+    return Status::OutOfRange("query_x outside ODE domain");
+  }
+  VAOLIB_ASSIGN_OR_RETURN(std::vector<double> profile,
+                          SolveOdeBvpProfile(problem, intervals, meter));
+  const double dx = (problem.b - problem.a) / intervals;
+  const double pos = (query_x - problem.a) / dx;
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo >= profile.size() - 1) lo = profile.size() - 2;
+  const double frac = pos - static_cast<double>(lo);
+  return profile[lo] * (1.0 - frac) + profile[lo + 1] * frac;
+}
+
+}  // namespace vaolib::numeric

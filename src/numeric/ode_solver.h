@@ -1,0 +1,53 @@
+// Copyright 2026 The vaolib Authors.
+// Finite-difference solver for linear two-point boundary-value ODEs
+// (Section 4.2 of the paper):
+//
+//   w''(x) = p(x) w'(x) + q(x) w(x) + r(x),   w(a) = alpha, w(b) = beta
+//
+// discretized with central differences on a uniform grid (error O(dx^2))
+// and solved as one tridiagonal system. The paper's example is beam
+// deflection under uniform load: w'' = (S/EI) w + (q x / 2EI)(x - l).
+
+#ifndef VAOLIB_NUMERIC_ODE_SOLVER_H_
+#define VAOLIB_NUMERIC_ODE_SOLVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/work_meter.h"
+
+namespace vaolib::numeric {
+
+/// \brief A linear second-order two-point boundary-value problem.
+struct OdeBvpProblem {
+  std::function<double(double)> p;  ///< coefficient of w'
+  std::function<double(double)> q;  ///< coefficient of w
+  std::function<double(double)> r;  ///< forcing term
+
+  double a = 0.0;       ///< left endpoint
+  double b = 1.0;       ///< right endpoint
+  double alpha = 0.0;   ///< w(a)
+  double beta = 0.0;    ///< w(b)
+};
+
+/// \brief Builds the beam-deflection problem from the paper:
+/// w'' = (S/EI) w + (load*x / (2EI)) (x - l), w(0) = w(l) = 0.
+OdeBvpProblem MakeBeamDeflectionProblem(double stress_s, double modulus_e,
+                                        double inertia_i, double load_q,
+                                        double length_l);
+
+/// \brief Solves \p problem with \p intervals uniform cells and returns
+/// w(query_x) by linear interpolation. Charges one exec unit per interior
+/// node to \p meter. Error is O(dx^2).
+Result<double> SolveOdeBvp(const OdeBvpProblem& problem, int intervals,
+                           double query_x, WorkMeter* meter);
+
+/// \brief Solves and returns the whole nodal profile (including endpoints).
+Result<std::vector<double>> SolveOdeBvpProfile(const OdeBvpProblem& problem,
+                                               int intervals,
+                                               WorkMeter* meter);
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_ODE_SOLVER_H_

@@ -1,0 +1,167 @@
+#include "common/macros.h"
+#include "numeric/pde_solver.h"
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/tridiagonal.h"
+
+namespace vaolib::numeric {
+
+namespace {
+
+Status ValidateInputs(const Pde1dProblem& p, const PdeGrid& grid) {
+  if (!p.diffusion || !p.convection || !p.reaction || !p.source ||
+      !p.terminal) {
+    return Status::InvalidArgument("PDE problem has unset coefficient(s)");
+  }
+  if (!(p.x_max > p.x_min)) {
+    return Status::InvalidArgument("PDE domain requires x_max > x_min");
+  }
+  if (!(p.t_end > 0.0)) {
+    return Status::InvalidArgument("PDE horizon requires t_end > 0");
+  }
+  if (grid.x_intervals < 2 || grid.t_steps < 1) {
+    return Status::InvalidArgument(
+        "PDE grid requires >= 2 x-intervals and >= 1 t-step");
+  }
+  if (p.left_boundary == BoundaryKind::kDirichlet && !p.left_value) {
+    return Status::InvalidArgument("left Dirichlet boundary has no value fn");
+  }
+  if (p.right_boundary == BoundaryKind::kDirichlet && !p.right_value) {
+    return Status::InvalidArgument("right Dirichlet boundary has no value fn");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
+                                            const PdeGrid& grid,
+                                            WorkMeter* meter) {
+  VAOLIB_RETURN_IF_ERROR(ValidateInputs(problem, grid));
+
+  const int nx = grid.x_intervals;  // nodes 0..nx
+  const double dx = grid.Dx(problem);
+  const double dt = grid.Dt(problem);
+
+  // Node coordinates and t-independent per-node PDE coefficients.
+  std::vector<double> x(nx + 1);
+  std::vector<double> a(nx + 1), b(nx + 1), r(nx + 1), c(nx + 1);
+  for (int i = 0; i <= nx; ++i) {
+    x[i] = problem.x_min + dx * i;
+    a[i] = problem.diffusion(x[i]);
+    b[i] = problem.convection(x[i]);
+    r[i] = problem.reaction(x[i]);
+    c[i] = problem.source(x[i]);
+    if (!(a[i] > 0.0)) {
+      return Status::InvalidArgument("diffusion coefficient must be > 0 at x=" +
+                                     std::to_string(x[i]));
+    }
+  }
+
+  // March in tau = t_end - t; F_tau = a F_xx + b F_x - r F + c, forward
+  // parabolic in tau. Backward Euler: (I - dt*A) U^{m+1} = U^m + dt*c.
+  // Interior stencil of A at node i:
+  //   A U |_i = a_i (U_{i+1} - 2U_i + U_{i-1})/dx^2
+  //           + b_i (U_{i+1} - U_{i-1})/(2dx) - r_i U_i.
+  std::vector<double> u(nx + 1);
+  for (int i = 0; i <= nx; ++i) u[i] = problem.terminal(x[i]);
+  // The terminal profile itself counts as the first mesh column only via
+  // MeshEntries() (nx+1)*t_steps; we charge once per implicit step below.
+
+  TridiagonalSystem sys;
+  sys.Resize(nx + 1);
+  std::vector<double> next;
+
+  for (int m = 0; m < grid.t_steps; ++m) {
+    const double tau_next = dt * (m + 1);
+    const double t_next = problem.t_end - tau_next;
+
+    for (int i = 1; i < nx; ++i) {
+      const double diff = a[i] / (dx * dx);
+      const double conv = b[i] / (2.0 * dx);
+      sys.lower[i] = -dt * (diff - conv);
+      sys.diag[i] = 1.0 + dt * (2.0 * diff + r[i]);
+      sys.upper[i] = -dt * (diff + conv);
+      sys.rhs[i] = u[i] + dt * c[i];
+    }
+
+    // Left boundary row.
+    if (problem.left_boundary == BoundaryKind::kDirichlet) {
+      sys.lower[0] = 0.0;
+      sys.diag[0] = 1.0;
+      sys.upper[0] = 0.0;
+      sys.rhs[0] = problem.left_value(t_next);
+    } else {
+      // Linearity: U_0 - 2U_1 + U_2 = 0. Fold U_0 = 2U_1 - U_2 into row 1 so
+      // the matrix stays tridiagonal, then recover U_0 after the solve. Row 0
+      // becomes the identity placeholder U_0 = 0 (overwritten below).
+      sys.lower[0] = 0.0;
+      sys.diag[0] = 1.0;
+      sys.upper[0] = 0.0;
+      sys.rhs[0] = 0.0;
+      // Row 1 currently has coefficients (l1, d1, u1) on (U_0, U_1, U_2).
+      const double l1 = sys.lower[1];
+      sys.lower[1] = 0.0;
+      sys.diag[1] += 2.0 * l1;
+      sys.upper[1] -= l1;
+    }
+
+    // Right boundary row.
+    if (problem.right_boundary == BoundaryKind::kDirichlet) {
+      sys.lower[nx] = 0.0;
+      sys.diag[nx] = 1.0;
+      sys.upper[nx] = 0.0;
+      sys.rhs[nx] = problem.right_value(t_next);
+    } else {
+      // Linearity: U_nx = 2U_{nx-1} - U_{nx-2}; fold into row nx-1.
+      sys.lower[nx] = 0.0;
+      sys.diag[nx] = 1.0;
+      sys.upper[nx] = 0.0;
+      sys.rhs[nx] = 0.0;
+      const double unm1 = sys.upper[nx - 1];
+      sys.upper[nx - 1] = 0.0;
+      sys.diag[nx - 1] += 2.0 * unm1;
+      sys.lower[nx - 1] -= unm1;
+    }
+
+    VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &next));
+
+    if (problem.left_boundary == BoundaryKind::kLinear) {
+      next[0] = 2.0 * next[1] - next[2];
+    }
+    if (problem.right_boundary == BoundaryKind::kLinear) {
+      next[nx] = 2.0 * next[nx - 1] - next[nx - 2];
+    }
+
+    for (int i = 0; i <= nx; ++i) {
+      if (!std::isfinite(next[i])) {
+        return Status::NumericError("PDE solve produced non-finite value");
+      }
+    }
+    u.swap(next);
+  }
+
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, grid.MeshEntries());
+  }
+  return u;
+}
+
+Result<double> SolvePde(const Pde1dProblem& problem, const PdeGrid& grid,
+                        double query_x, WorkMeter* meter) {
+  if (query_x < problem.x_min || query_x > problem.x_max) {
+    return Status::OutOfRange("query_x outside PDE domain");
+  }
+  VAOLIB_ASSIGN_OR_RETURN(std::vector<double> profile,
+                          SolvePdeProfile(problem, grid, meter));
+  const double dx = grid.Dx(problem);
+  const double pos = (query_x - problem.x_min) / dx;
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo >= profile.size() - 1) lo = profile.size() - 2;
+  const double frac = pos - static_cast<double>(lo);
+  return profile[lo] * (1.0 - frac) + profile[lo + 1] * frac;
+}
+
+}  // namespace vaolib::numeric

@@ -1,0 +1,86 @@
+#include "numeric/richardson.h"
+
+#include <algorithm>
+
+namespace vaolib::numeric {
+
+Bounds RichardsonModel::BoundsFor(double value, double dt, double dx) const {
+  const double err_t = k1_ * dt;
+  const double err_x = k2_ * dx * dx;
+  // A ~= value - err_t - err_x. Positive error terms push A below the value;
+  // negative terms push it above. Inflate each by the safety factor.
+  const double down = std::max(err_t, 0.0) + std::max(err_x, 0.0);
+  const double up = std::min(err_t, 0.0) + std::min(err_x, 0.0);
+  return Bounds(value - safety_ * down, value - safety_ * up);
+}
+
+StepAxis RichardsonModel::PreferredAxis(double dt, double dx) const {
+  const double gain_t = std::abs(k1_) * dt * 0.5;
+  const double gain_x = std::abs(k2_) * dx * dx * 0.75;
+  return gain_t >= gain_x ? StepAxis::kTime : StepAxis::kSpace;
+}
+
+double RichardsonModel::PredictValueAfterHalving(double value, double dt,
+                                                 double dx,
+                                                 StepAxis axis) const {
+  if (axis == StepAxis::kTime) {
+    return value - k1_ * dt * 0.5;  // error K1*dt -> K1*dt/2
+  }
+  return value - k2_ * dx * dx * 0.75;  // error K2*dx^2 -> K2*dx^2/4
+}
+
+Bounds RichardsonModel::PredictBoundsAfterHalving(double value, double dt,
+                                                  double dx,
+                                                  StepAxis axis) const {
+  const double predicted = PredictValueAfterHalving(value, dt, dx, axis);
+  const double new_dt = axis == StepAxis::kTime ? dt * 0.5 : dt;
+  const double new_dx = axis == StepAxis::kSpace ? dx * 0.5 : dx;
+  return BoundsFor(predicted, new_dt, new_dx);
+}
+
+Bounds Richardson3Model::BoundsFor(double value, double dt, double dx,
+                                   double dy) const {
+  const double terms[3] = {k1_ * dt, k2_ * dx * dx, k3_ * dy * dy};
+  double down = 0.0;
+  double up = 0.0;
+  for (const double term : terms) {
+    down += std::max(term, 0.0);
+    up += std::min(term, 0.0);
+  }
+  return Bounds(value - safety_ * down, value - safety_ * up);
+}
+
+StepAxis3 Richardson3Model::PreferredAxis(double dt, double dx,
+                                          double dy) const {
+  const double gain_t = std::abs(k1_) * dt * 0.5;
+  const double gain_x = std::abs(k2_) * dx * dx * 0.75;
+  const double gain_y = std::abs(k3_) * dy * dy * 0.75;
+  if (gain_t >= gain_x && gain_t >= gain_y) return StepAxis3::kTime;
+  return gain_x >= gain_y ? StepAxis3::kSpaceX : StepAxis3::kSpaceY;
+}
+
+double Richardson3Model::PredictValueAfterHalving(double value, double dt,
+                                                  double dx, double dy,
+                                                  StepAxis3 axis) const {
+  switch (axis) {
+    case StepAxis3::kTime:
+      return value - k1_ * dt * 0.5;
+    case StepAxis3::kSpaceX:
+      return value - k2_ * dx * dx * 0.75;
+    case StepAxis3::kSpaceY:
+      return value - k3_ * dy * dy * 0.75;
+  }
+  return value;
+}
+
+Bounds Richardson3Model::PredictBoundsAfterHalving(double value, double dt,
+                                                   double dx, double dy,
+                                                   StepAxis3 axis) const {
+  const double predicted = PredictValueAfterHalving(value, dt, dx, dy, axis);
+  const double new_dt = axis == StepAxis3::kTime ? dt * 0.5 : dt;
+  const double new_dx = axis == StepAxis3::kSpaceX ? dx * 0.5 : dx;
+  const double new_dy = axis == StepAxis3::kSpaceY ? dy * 0.5 : dy;
+  return BoundsFor(predicted, new_dt, new_dx, new_dy);
+}
+
+}  // namespace vaolib::numeric

@@ -1,0 +1,130 @@
+// Copyright 2026 The vaolib Authors.
+// Richardson-style extrapolation error model for finite-difference solvers
+// (Section 4.1 of the paper).
+//
+// For a solver with error of the form O(dt + dx^2) the model assumes
+//   F(dt, dx) = A + K1*dt + K2*dx^2  (higher-order terms dropped),
+// estimates K1 from a (dt, dt/2) solution pair and K2 from a (dx, dx/2)
+// pair, and converts the estimates into conservative real-valued bounds on
+// the true answer A by inflating each term with a safety factor (the paper
+// observed K1/K2 wobble of 2-3x across step sizes and uses factor 3).
+
+#ifndef VAOLIB_NUMERIC_RICHARDSON_H_
+#define VAOLIB_NUMERIC_RICHARDSON_H_
+
+#include "common/bounds.h"
+
+namespace vaolib::numeric {
+
+/// \brief Which step size an iteration halves.
+enum class StepAxis { kTime, kSpace };
+
+/// \brief Error model err(dt, dx) ~= K1*dt + K2*dx^2 with a safety factor.
+class RichardsonModel {
+ public:
+  /// Creates a model with the given \p safety_factor (>= 1; the paper uses 3).
+  explicit RichardsonModel(double safety_factor = 3.0)
+      : safety_(safety_factor) {}
+
+  /// Estimates K1 from solutions at (dt, dx) and (dt/2, dx):
+  /// F1 - F2 = K1*dt/2, so K1 = 2*(F1 - F2)/dt.
+  void EstimateK1(double coarse_value, double half_dt_value, double dt) {
+    k1_ = 2.0 * (coarse_value - half_dt_value) / dt;
+  }
+
+  /// Estimates K2 from solutions at (dt, dx) and (dt, dx/2):
+  /// F1 - F3 = (3/4)*K2*dx^2, so K2 = (4/3)*(F1 - F3)/dx^2.
+  void EstimateK2(double coarse_value, double half_dx_value, double dx) {
+    k2_ = (4.0 / 3.0) * (coarse_value - half_dx_value) / (dx * dx);
+  }
+
+  double k1() const { return k1_; }
+  double k2() const { return k2_; }
+  double safety_factor() const { return safety_; }
+
+  /// Conservative bounds on the true answer A given the computed \p value at
+  /// step sizes (\p dt, \p dx): A = value - K1*dt - K2*dx^2, each error term
+  /// inflated by the safety factor and taken in its unfavourable direction,
+  /// so the computed value itself is always inside the bounds. This reduces
+  /// to the paper's [F1 - 3*K1*dt, F1 - 3*K2*dx^2] when K1 > 0 and K2 < 0.
+  Bounds BoundsFor(double value, double dt, double dx) const;
+
+  /// Signed modelled error K1*dt + K2*dx^2 at the given steps.
+  double ModeledError(double dt, double dx) const {
+    return k1_ * dt + k2_ * dx * dx;
+  }
+
+  /// The axis whose halving removes more modelled error. Halving dt removes
+  /// |K1|*dt/2; halving dx removes (3/4)*|K2|*dx^2. Both roughly double the
+  /// mesh, so the larger removal per unit cost wins.
+  StepAxis PreferredAxis(double dt, double dx) const;
+
+  /// Predicted solver output after halving \p axis: the value moves by the
+  /// removed (signed) error term.
+  double PredictValueAfterHalving(double value, double dt, double dx,
+                                  StepAxis axis) const;
+
+  /// Predicted bounds after halving \p axis, combining the predicted value
+  /// with the shrunken error terms. These feed estL/estH of the VAO interface.
+  Bounds PredictBoundsAfterHalving(double value, double dt, double dx,
+                                   StepAxis axis) const;
+
+ private:
+  double safety_;
+  double k1_ = 0.0;
+  double k2_ = 0.0;
+};
+
+/// \brief Which of the three step sizes a two-factor iteration halves.
+enum class StepAxis3 { kTime, kSpaceX, kSpaceY };
+
+/// \brief Three-term error model err(dt, dx, dy) ~= K1*dt + K2*dx^2 +
+/// K3*dy^2 for the two-factor (ADI) solver; the direct extension of the
+/// paper's Section 4.1 extrapolation to a second space dimension.
+class Richardson3Model {
+ public:
+  explicit Richardson3Model(double safety_factor = 3.0)
+      : safety_(safety_factor) {}
+
+  /// K1 from (dt, dt/2) solutions at fixed dx, dy.
+  void EstimateK1(double coarse, double half_dt, double dt) {
+    k1_ = 2.0 * (coarse - half_dt) / dt;
+  }
+  /// K2 from (dx, dx/2) solutions at fixed dt, dy.
+  void EstimateK2(double coarse, double half_dx, double dx) {
+    k2_ = (4.0 / 3.0) * (coarse - half_dx) / (dx * dx);
+  }
+  /// K3 from (dy, dy/2) solutions at fixed dt, dx.
+  void EstimateK3(double coarse, double half_dy, double dy) {
+    k3_ = (4.0 / 3.0) * (coarse - half_dy) / (dy * dy);
+  }
+
+  double k1() const { return k1_; }
+  double k2() const { return k2_; }
+  double k3() const { return k3_; }
+  double safety_factor() const { return safety_; }
+
+  /// Conservative bounds around \p value: each term inflated by the safety
+  /// factor and taken in its unfavourable direction (value stays inside).
+  Bounds BoundsFor(double value, double dt, double dx, double dy) const;
+
+  /// Axis whose halving removes the most modelled error (all halvings
+  /// roughly double the mesh, so removal per cost is the comparison).
+  StepAxis3 PreferredAxis(double dt, double dx, double dy) const;
+
+  /// Predicted value and bounds after halving \p axis.
+  double PredictValueAfterHalving(double value, double dt, double dx,
+                                  double dy, StepAxis3 axis) const;
+  Bounds PredictBoundsAfterHalving(double value, double dt, double dx,
+                                   double dy, StepAxis3 axis) const;
+
+ private:
+  double safety_;
+  double k1_ = 0.0;
+  double k2_ = 0.0;
+  double k3_ = 0.0;
+};
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_RICHARDSON_H_

@@ -1,0 +1,100 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+
+namespace vaolib::numeric {
+
+BracketingRootFinder::BracketingRootFinder(std::function<double(double)> f,
+                                           const Options& options)
+    : f_(std::move(f)), options_(options) {}
+
+Result<BracketingRootFinder> BracketingRootFinder::Create(
+    std::function<double(double)> f, double lo, double hi,
+    const Options& options, WorkMeter* meter) {
+  if (!f) return Status::InvalidArgument("root function is empty");
+  if (!(hi > lo)) return Status::InvalidArgument("root bracket needs hi > lo");
+
+  BracketingRootFinder finder(std::move(f), options);
+  finder.lo_ = lo;
+  finder.hi_ = hi;
+  finder.f_lo_ = finder.f_(lo);
+  finder.f_hi_ = finder.f_(hi);
+  finder.total_evaluations_ = 2;
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, 2 * options.work_per_eval);
+  }
+
+  if (finder.f_lo_ == 0.0) {
+    finder.hi_ = lo;
+    finder.f_hi_ = 0.0;
+    return finder;
+  }
+  if (finder.f_hi_ == 0.0) {
+    finder.lo_ = hi;
+    finder.f_lo_ = 0.0;
+    return finder;
+  }
+  if ((finder.f_lo_ > 0.0) == (finder.f_hi_ > 0.0)) {
+    return Status::InvalidArgument(
+        "root bracket endpoints must straddle zero");
+  }
+  return finder;
+}
+
+double BracketingRootFinder::ProbePoint() const {
+  if (options_.method == RootMethod::kBisection) {
+    return 0.5 * (lo_ + hi_);
+  }
+  // False-position (secant through the bracket endpoints), clamped away from
+  // the endpoints so the bracket always shrinks.
+  const double denom = f_hi_ - f_lo_;
+  double x = std::abs(denom) < 1e-300
+                 ? 0.5 * (lo_ + hi_)
+                 : lo_ - f_lo_ * (hi_ - lo_) / denom;
+  const double margin = 1e-3 * (hi_ - lo_);
+  if (x < lo_ + margin) x = lo_ + margin;
+  if (x > hi_ - margin) x = hi_ - margin;
+  return x;
+}
+
+Status BracketingRootFinder::Step(WorkMeter* meter) {
+  if (hi_ <= lo_) return Status::OK();  // degenerate: exact root found
+
+  const double x = ProbePoint();
+  const double fx = f_(x);
+  ++total_evaluations_;
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, options_.work_per_eval);
+  }
+  if (!std::isfinite(fx)) {
+    return Status::NumericError("root probe produced non-finite value");
+  }
+
+  if (fx == 0.0) {
+    lo_ = hi_ = x;
+    f_lo_ = f_hi_ = 0.0;
+    return Status::OK();
+  }
+
+  if ((fx > 0.0) == (f_lo_ > 0.0)) {
+    // Probe matches the lower endpoint's sign: root is in [x, hi].
+    lo_ = x;
+    f_lo_ = fx;
+    last_kept_lower_ = false;
+    if (options_.method == RootMethod::kIllinois) f_hi_ *= 0.5;
+  } else {
+    hi_ = x;
+    f_hi_ = fx;
+    last_kept_lower_ = true;
+    if (options_.method == RootMethod::kIllinois) f_lo_ *= 0.5;
+  }
+  return Status::OK();
+}
+
+Bounds BracketingRootFinder::PredictedBoundsAfterStep() const {
+  if (hi_ <= lo_) return Bounds(lo_, hi_);
+  const double x = ProbePoint();
+  return last_kept_lower_ ? Bounds(lo_, x) : Bounds(x, hi_);
+}
+
+}  // namespace vaolib::numeric

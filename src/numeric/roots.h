@@ -1,0 +1,87 @@
+// Copyright 2026 The vaolib Authors.
+// Bracketing root solvers (Section 4.4 of the paper).
+//
+// A BracketingRootFinder maintains an interval [lo, hi] with f(lo) and f(hi)
+// of opposite sign, so a root is certainly inside: the bracket IS the error
+// bound, which is exactly what the VAO interface needs. Each Step() performs
+// one probe (function evaluation) and shrinks the bracket. Two probe rules
+// are provided: classic bisection (paper Section 4.4) and the Illinois
+// variant of false position (an extension; superlinear on smooth functions
+// while still bracketing).
+
+#ifndef VAOLIB_NUMERIC_ROOTS_H_
+#define VAOLIB_NUMERIC_ROOTS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bounds.h"
+#include "common/result.h"
+#include "common/work_meter.h"
+
+namespace vaolib::numeric {
+
+/// \brief How the next probe point inside the bracket is chosen.
+enum class RootMethod {
+  kBisection,  ///< midpoint probe; bracket halves every step
+  kIllinois,   ///< Illinois false position; bracketing, usually faster
+};
+
+/// \brief Iteratively refinable bracketed root of a continuous function.
+class BracketingRootFinder {
+ public:
+  struct Options {
+    RootMethod method = RootMethod::kBisection;
+    /// Work units charged per function evaluation.
+    std::uint64_t work_per_eval = 1;
+  };
+
+  /// Creates a finder for f over the initial bracket [\p lo, \p hi].
+  /// Evaluates f at both endpoints (charged to \p meter).
+  ///
+  /// \return InvalidArgument if hi <= lo or f(lo), f(hi) do not straddle
+  /// zero (an endpoint that is exactly zero yields a degenerate bracket).
+  static Result<BracketingRootFinder> Create(std::function<double(double)> f,
+                                             double lo, double hi,
+                                             const Options& options,
+                                             WorkMeter* meter);
+
+  /// Performs one probe and shrinks the bracket. No-op returning OK when the
+  /// bracket is already degenerate (width 0).
+  Status Step(WorkMeter* meter);
+
+  /// Current bracket; the root lies inside with certainty.
+  Bounds bounds() const { return Bounds(lo_, hi_); }
+
+  /// Predicted bracket after the next Step(). For bisection this is the half
+  /// on the same side the bracket last kept (momentum guess); per the paper
+  /// even a random guess is wrong only half the time and never off by more
+  /// than 2x. For Illinois it is the sub-bracket cut at the secant point.
+  Bounds PredictedBoundsAfterStep() const;
+
+  /// Work units the next Step() will charge.
+  std::uint64_t CostOfNextStep() const { return options_.work_per_eval; }
+
+  /// Total function evaluations so far.
+  std::uint64_t total_evaluations() const { return total_evaluations_; }
+
+ private:
+  BracketingRootFinder(std::function<double(double)> f,
+                       const Options& options);
+
+  /// Next probe abscissa according to the configured method.
+  double ProbePoint() const;
+
+  std::function<double(double)> f_;
+  Options options_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double f_lo_ = 0.0;
+  double f_hi_ = 0.0;
+  bool last_kept_lower_ = true;  ///< momentum for the prediction heuristic
+  std::uint64_t total_evaluations_ = 0;
+};
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_ROOTS_H_

@@ -1,0 +1,52 @@
+#include "numeric/tridiagonal.h"
+
+#include <cmath>
+
+namespace vaolib::numeric {
+
+void TridiagonalSystem::Resize(std::size_t n) {
+  lower.assign(n, 0.0);
+  diag.assign(n, 0.0);
+  upper.assign(n, 0.0);
+  rhs.assign(n, 0.0);
+}
+
+Status SolveTridiagonal(const TridiagonalSystem& system,
+                        std::vector<double>* solution) {
+  const std::size_t n = system.diag.size();
+  if (n == 0) {
+    return Status::InvalidArgument("tridiagonal system is empty");
+  }
+  if (system.lower.size() != n || system.upper.size() != n ||
+      system.rhs.size() != n) {
+    return Status::InvalidArgument("tridiagonal band sizes disagree");
+  }
+
+  // Forward sweep with scratch copies of the modified bands.
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  double pivot = system.diag[0];
+  if (std::abs(pivot) < 1e-300) {
+    return Status::NumericError("zero pivot at row 0");
+  }
+  c_prime[0] = system.upper[0] / pivot;
+  d_prime[0] = system.rhs[0] / pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = system.diag[i] - system.lower[i] * c_prime[i - 1];
+    if (std::abs(pivot) < 1e-300) {
+      return Status::NumericError("zero pivot at row " + std::to_string(i));
+    }
+    c_prime[i] = system.upper[i] / pivot;
+    d_prime[i] = (system.rhs[i] - system.lower[i] * d_prime[i - 1]) / pivot;
+  }
+
+  solution->assign(n, 0.0);
+  (*solution)[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    (*solution)[i] = d_prime[i] - c_prime[i] * (*solution)[i + 1];
+  }
+  return Status::OK();
+}
+
+}  // namespace vaolib::numeric

@@ -1,0 +1,42 @@
+// Copyright 2026 The vaolib Authors.
+// Thomas-algorithm solver for tridiagonal linear systems, the inner kernel
+// of the implicit finite-difference PDE/ODE solvers.
+
+#ifndef VAOLIB_NUMERIC_TRIDIAGONAL_H_
+#define VAOLIB_NUMERIC_TRIDIAGONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaolib::numeric {
+
+/// \brief A tridiagonal system  lower[i]*x[i-1] + diag[i]*x[i] +
+/// upper[i]*x[i+1] = rhs[i],  with lower[0] and upper[n-1] ignored.
+struct TridiagonalSystem {
+  std::vector<double> lower;  ///< sub-diagonal, size n (index 0 unused)
+  std::vector<double> diag;   ///< main diagonal, size n
+  std::vector<double> upper;  ///< super-diagonal, size n (index n-1 unused)
+  std::vector<double> rhs;    ///< right-hand side, size n
+
+  /// Resizes all four bands to \p n, zero-filled.
+  void Resize(std::size_t n);
+
+  /// Number of unknowns.
+  std::size_t size() const { return diag.size(); }
+};
+
+/// \brief Solves \p system in place by the Thomas algorithm, writing the
+/// solution into \p solution (resized to n). O(n) time, no pivoting:
+/// requires a (weakly) diagonally dominant system, which the implicit
+/// schemes in this library always produce.
+///
+/// \return InvalidArgument on band-size mismatch, NumericError when a pivot
+/// underflows (non-dominant system).
+Status SolveTridiagonal(const TridiagonalSystem& system,
+                        std::vector<double>* solution);
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_TRIDIAGONAL_H_

@@ -1,0 +1,249 @@
+#include "operators/min_max.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace vaolib::operators {
+
+namespace {
+
+// The implementation works in "max space": for kMin every interval is
+// negated ([-H, -L]) so the minimum becomes the maximum, and the outcome is
+// negated back at the end.
+Bounds View(const Bounds& b, ExtremeKind kind) {
+  return kind == ExtremeKind::kMax ? b : Bounds(-b.hi, -b.lo);
+}
+
+Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
+                      double epsilon) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("MIN/MAX over an empty object set");
+  }
+  double max_min_width = 0.0;
+  for (const auto* object : objects) {
+    if (object == nullptr) {
+      return Status::InvalidArgument("MIN/MAX over a null result object");
+    }
+    max_min_width = std::max(max_min_width, object->min_width());
+  }
+  // Footnote 10: bounds within epsilon cannot be guaranteed when epsilon is
+  // tighter than an input's convergence floor.
+  if (epsilon < max_min_width) {
+    return Status::InvalidArgument(
+        "precision constraint " + std::to_string(epsilon) +
+        " is below the largest input minWidth " +
+        std::to_string(max_min_width));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MinMaxOutcome> MinMaxVao::Evaluate(
+    const std::vector<vao::ResultObject*>& objects) const {
+  VAOLIB_RETURN_IF_ERROR(ValidateInputs(objects, options_.epsilon));
+  if (options_.strategy == IterationStrategy::kRandom &&
+      options_.rng == nullptr) {
+    return Status::InvalidArgument("random strategy requires an Rng");
+  }
+
+  const ExtremeKind kind = options_.kind;
+  MinMaxOutcome outcome;
+
+  // Candidate indices still able to be the maximum. Objects are pruned once
+  // another candidate's lower bound exceeds their upper bound; pruned
+  // objects are never reconsidered (bounds only tighten).
+  std::vector<std::size_t> alive(objects.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+  std::vector<bool> touched(objects.size(), false);
+  std::size_t round_robin_cursor = 0;
+
+  auto bounds_of = [&](std::size_t i) {
+    return View(objects[i]->bounds(), kind);
+  };
+  auto est_of = [&](std::size_t i) {
+    return View(objects[i]->est_bounds(), kind);
+  };
+
+  while (true) {
+    // Prune dominated candidates.
+    double best_lo = -std::numeric_limits<double>::infinity();
+    for (const std::size_t i : alive) {
+      best_lo = std::max(best_lo, bounds_of(i).lo);
+    }
+    std::erase_if(alive, [&](std::size_t i) {
+      return bounds_of(i).hi < best_lo;
+    });
+
+    // Guess o'_max: the candidate with the highest upper bound.
+    std::size_t guess = alive.front();
+    for (const std::size_t i : alive) {
+      if (bounds_of(i).hi > bounds_of(guess).hi) guess = i;
+    }
+
+    // Termination case (1): every rival eliminated.
+    if (alive.size() == 1) {
+      outcome.winner_index = guess;
+      break;
+    }
+    // Termination case (2): guess and all (overlapping) rivals converged.
+    // Every live rival overlaps the guess: non-overlap would imply either
+    // domination (pruned above) or a higher upper bound than the guess.
+    const bool all_converged = std::all_of(
+        alive.begin(), alive.end(),
+        [&](std::size_t i) { return objects[i]->AtStoppingCondition(); });
+    if (all_converged) {
+      outcome.winner_index = guess;
+      outcome.tie = true;
+      for (const std::size_t i : alive) {
+        if (i != guess) outcome.tied_indices.push_back(i);
+      }
+      break;
+    }
+
+    // Choose the next iteration among live, non-converged candidates.
+    std::vector<std::size_t> iterable;
+    for (const std::size_t i : alive) {
+      if (!objects[i]->AtStoppingCondition()) iterable.push_back(i);
+    }
+    // all_converged was false, so iterable is non-empty.
+
+    std::size_t chosen = iterable.front();
+    ++outcome.stats.choose_steps;
+    if (options_.meter != nullptr) {
+      // O(N) per choice without indexing (Section 5.1).
+      options_.meter->Charge(WorkKind::kChooseIter, alive.size());
+    }
+
+    switch (options_.strategy) {
+      case IterationStrategy::kGreedy: {
+        // Estimated total-overlap reduction with the guess, per CPU cycle.
+        const Bounds guess_bounds = bounds_of(guess);
+        double best_score = -1.0;
+        for (const std::size_t i : iterable) {
+          double reduction = 0.0;
+          if (i == guess) {
+            // Iterating the guess shrinks its overlap with every rival.
+            const Bounds est = est_of(guess);
+            for (const std::size_t j : alive) {
+              if (j == guess) continue;
+              const Bounds other = bounds_of(j);
+              reduction += std::max(
+                  0.0, guess_bounds.OverlapWidth(other) -
+                           est.OverlapWidth(other));
+            }
+          } else {
+            // Iterating rival i shrinks only the (guess, i) overlap. With
+            // est inside the current bounds this equals the paper's
+            // min(o_i.H - o'max.L, o_i.H - o_i.estH).
+            const Bounds cur = bounds_of(i);
+            const Bounds est = est_of(i);
+            reduction = std::max(0.0, guess_bounds.OverlapWidth(cur) -
+                                          guess_bounds.OverlapWidth(est));
+          }
+          const double cost =
+              static_cast<double>(std::max<std::uint64_t>(
+                  objects[i]->est_cost(), 1));
+          const double score = reduction / cost;
+          if (score > best_score) {
+            best_score = score;
+            chosen = i;
+          }
+        }
+        if (best_score <= 0.0) {
+          // No predicted progress anywhere (estimates can be wrong); fall
+          // back to the widest un-converged candidate so real bounds keep
+          // tightening and a termination case eventually fires.
+          double widest = -1.0;
+          for (const std::size_t i : iterable) {
+            const double w = bounds_of(i).Width();
+            if (w > widest) {
+              widest = w;
+              chosen = i;
+            }
+          }
+        }
+        break;
+      }
+      case IterationStrategy::kRoundRobin:
+        chosen = iterable[round_robin_cursor % iterable.size()];
+        ++round_robin_cursor;
+        break;
+      case IterationStrategy::kRandom:
+        chosen = iterable[static_cast<std::size_t>(options_.rng->UniformInt(
+            0, static_cast<std::int64_t>(iterable.size()) - 1))];
+        break;
+    }
+
+    VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
+    touched[chosen] = true;
+    if (++outcome.stats.iterations > options_.max_total_iterations) {
+      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
+    }
+  }
+
+  // Refine the winner to the precision constraint. Its stopping condition
+  // implies width < minWidth <= epsilon, so this always terminates.
+  vao::ResultObject* winner = objects[outcome.winner_index];
+  while (winner->bounds().Width() > options_.epsilon &&
+         !winner->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(winner->Iterate());
+    touched[outcome.winner_index] = true;
+    if (++outcome.stats.iterations > options_.max_total_iterations) {
+      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
+    }
+  }
+
+  outcome.winner_bounds = winner->bounds();
+  for (const bool t : touched) {
+    if (t) ++outcome.stats.objects_touched;
+  }
+  return outcome;
+}
+
+Result<MinMaxOutcome> OptimalExtremeOracle(
+    const std::vector<vao::ResultObject*>& objects, std::size_t winner_index,
+    ExtremeKind kind, double epsilon) {
+  VAOLIB_RETURN_IF_ERROR(ValidateInputs(objects, epsilon));
+  if (winner_index >= objects.size()) {
+    return Status::InvalidArgument("oracle winner_index out of range");
+  }
+
+  MinMaxOutcome outcome;
+  outcome.winner_index = winner_index;
+  vao::ResultObject* winner = objects[winner_index];
+
+  // Converge the known winner to the output precision first; running it any
+  // tighter would be wasted work (Section 6.2).
+  while (winner->bounds().Width() > epsilon &&
+         !winner->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(winner->Iterate());
+    ++outcome.stats.iterations;
+  }
+
+  // Then push every rival just past the winner's bounds.
+  const Bounds winner_view = View(winner->bounds(), kind);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (i == winner_index) continue;
+    bool iterated = false;
+    while (View(objects[i]->bounds(), kind).hi >= winner_view.lo &&
+           !objects[i]->AtStoppingCondition()) {
+      VAOLIB_RETURN_IF_ERROR(objects[i]->Iterate());
+      ++outcome.stats.iterations;
+      iterated = true;
+    }
+    if (View(objects[i]->bounds(), kind).hi >= winner_view.lo) {
+      outcome.tie = true;
+      outcome.tied_indices.push_back(i);
+    }
+    if (iterated) ++outcome.stats.objects_touched;
+  }
+  if (outcome.stats.iterations > 0) ++outcome.stats.objects_touched;
+
+  outcome.winner_bounds = winner->bounds();
+  return outcome;
+}
+
+}  // namespace vaolib::operators

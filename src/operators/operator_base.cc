@@ -1,0 +1,33 @@
+#include "operators/operator_base.h"
+
+namespace vaolib::operators {
+
+const char* ComparatorToString(Comparator cmp) {
+  switch (cmp) {
+    case Comparator::kGreaterThan:
+      return ">";
+    case Comparator::kGreaterEqual:
+      return ">=";
+    case Comparator::kLessThan:
+      return "<";
+    case Comparator::kLessEqual:
+      return "<=";
+  }
+  return "?";
+}
+
+bool CompareExact(double value, Comparator cmp, double constant) {
+  switch (cmp) {
+    case Comparator::kGreaterThan:
+      return value > constant;
+    case Comparator::kGreaterEqual:
+      return value >= constant;
+    case Comparator::kLessThan:
+      return value < constant;
+    case Comparator::kLessEqual:
+      return value <= constant;
+  }
+  return false;
+}
+
+}  // namespace vaolib::operators

@@ -1,0 +1,47 @@
+// Copyright 2026 The vaolib Authors.
+// Shared types for VAO and traditional operators (Section 5 of the paper).
+
+#ifndef VAOLIB_OPERATORS_OPERATOR_BASE_H_
+#define VAOLIB_OPERATORS_OPERATOR_BASE_H_
+
+#include <cstdint>
+
+#include "common/bounds.h"
+
+namespace vaolib::operators {
+
+/// \brief Comparison operator of a selection predicate  f(args) <cmp> c.
+enum class Comparator {
+  kGreaterThan,
+  kGreaterEqual,
+  kLessThan,
+  kLessEqual,
+};
+
+/// \brief Returns the source-level spelling (">", ">=", "<", "<=").
+const char* ComparatorToString(Comparator cmp);
+
+/// \brief Truth value of  value <cmp> constant  for exact inputs.
+bool CompareExact(double value, Comparator cmp, double constant);
+
+/// \brief Which extreme a MIN/MAX operator seeks.
+enum class ExtremeKind { kMax, kMin };
+
+/// \brief Iteration-choice strategy for aggregate VAOs. kGreedy is the
+/// paper's design (Section 5); the others exist for the strategy ablation.
+enum class IterationStrategy {
+  kGreedy,      ///< best estimated benefit per CPU cycle (the paper)
+  kRoundRobin,  ///< cycle through live candidates
+  kRandom,      ///< uniform over live candidates
+};
+
+/// \brief Per-evaluation execution statistics reported by every operator.
+struct OperatorStats {
+  std::uint64_t iterations = 0;     ///< total Iterate() calls issued
+  std::uint64_t choose_steps = 0;   ///< strategy invocations (chooseIter)
+  std::uint64_t objects_touched = 0;///< objects iterated at least once
+};
+
+}  // namespace vaolib::operators
+
+#endif  // VAOLIB_OPERATORS_OPERATOR_BASE_H_

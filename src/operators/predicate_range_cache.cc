@@ -1,0 +1,81 @@
+#include "operators/predicate_range_cache.h"
+
+#include "common/macros.h"
+
+namespace vaolib::operators {
+
+PredicateRangeCache::PredicateRangeCache(std::size_t keys)
+    : thresholds_(keys) {}
+
+std::optional<bool> PredicateRangeCache::Lookup(std::size_t key,
+                                                double s) const {
+  if (key >= thresholds_.size()) return std::nullopt;
+  const Thresholds& t = thresholds_[key];
+  if (s <= t.pass_until) {
+    ++hits_;
+    return true;
+  }
+  if (s >= t.fail_from) {
+    ++hits_;
+    return false;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void PredicateRangeCache::Record(std::size_t key, double s, bool passes) {
+  if (key >= thresholds_.size()) return;
+  Thresholds& t = thresholds_[key];
+  if (passes) {
+    t.pass_until = std::max(t.pass_until, s);
+  } else {
+    t.fail_from = std::min(t.fail_from, s);
+  }
+}
+
+namespace {
+
+// The predicate is "true below" in the raw parameter when a decreasing UDF
+// meets a greater-than style comparison (price > c holds at low rates), or
+// an increasing UDF meets a less-than style one.
+bool TrueBelow(Comparator cmp, Monotonicity monotonicity) {
+  const bool greater_style = cmp == Comparator::kGreaterThan ||
+                             cmp == Comparator::kGreaterEqual;
+  return monotonicity == Monotonicity::kDecreasing ? greater_style
+                                                   : !greater_style;
+}
+
+}  // namespace
+
+RangeCachedSelection::RangeCachedSelection(Comparator cmp, double constant,
+                                           std::size_t keys,
+                                           Monotonicity monotonicity)
+    : vao_(cmp, constant),
+      true_below_(TrueBelow(cmp, monotonicity)),
+      cache_(keys) {}
+
+Result<RangeCachedSelection::CachedOutcome> RangeCachedSelection::Evaluate(
+    const vao::VariableAccuracyFunction& function, double x, std::size_t key,
+    WorkMeter* meter) {
+  CachedOutcome outcome;
+  const double s = Normalize(x);
+  if (const auto known = cache_.Lookup(key, s); known.has_value()) {
+    outcome.passes = *known;
+    outcome.from_cache = true;
+    return outcome;
+  }
+
+  VAOLIB_ASSIGN_OR_RETURN(
+      const SelectionOutcome evaluated,
+      vao_.Evaluate(function, {x, static_cast<double>(key)}, meter));
+  outcome.passes = evaluated.passes;
+  outcome.stats = evaluated.stats;
+  // Equality-resolved outcomes (bounds converged straddling the constant)
+  // do not induce a half-line of known results; record only clean decisions.
+  if (!evaluated.resolved_as_equal) {
+    cache_.Record(key, s, evaluated.passes);
+  }
+  return outcome;
+}
+
+}  // namespace vaolib::operators

@@ -1,0 +1,120 @@
+// Copyright 2026 The vaolib Authors.
+// Predicate result ranges for continuous selection queries: the CASPER
+// integration the paper names as future work (Section 2; Denny & Franklin,
+// SIGMOD 2005 [8]).
+//
+// CASPER caches *ranges of the function parameter* over which an expensive
+// predicate's outcome is already known, so a new stream value that falls in
+// a known range answers the predicate with no function execution at all.
+// For UDFs that are monotone in the streamed parameter -- bond prices are
+// monotonically decreasing in the interest rate -- a single evaluated point
+// induces an entire half-line of known outcomes:
+//
+//   f decreasing, predicate f(x) > c:  pass at x0  =>  pass for all x <= x0
+//                                      fail at x0  =>  fail for all x >= x0
+//
+// The cache stores, per key (e.g. bond), the tightest such thresholds seen
+// and answers Lookup() in O(1). The VAO supplies the evaluations that feed
+// it: a cooperating selection operator only runs the function when the
+// stream value falls in the unknown gap between the thresholds.
+
+#ifndef VAOLIB_OPERATORS_PREDICATE_RANGE_CACHE_H_
+#define VAOLIB_OPERATORS_PREDICATE_RANGE_CACHE_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "operators/operator_base.h"
+#include "operators/selection.h"
+#include "vao/result_object.h"
+
+namespace vaolib::operators {
+
+/// \brief Declared monotonicity of the UDF in its streamed parameter.
+enum class Monotonicity {
+  kDecreasing,  ///< f(x) non-increasing in x (bond price vs. rate)
+  kIncreasing,  ///< f(x) non-decreasing in x
+};
+
+/// \brief Per-key predicate result ranges for one fixed predicate.
+///
+/// Works in a normalized parameter space where the predicate, if monotone,
+/// is "true below some threshold": callers (RangeCachedSelection) map the
+/// raw stream value into this space according to the UDF's monotonicity
+/// and the predicate's direction. Thread-compatible (single-writer); keys
+/// are dense indices (relation row ids), matching the engine's bond-table
+/// layout.
+class PredicateRangeCache {
+ public:
+  /// Creates a cache for \p keys rows.
+  explicit PredicateRangeCache(std::size_t keys);
+
+  /// Returns the known outcome for \p key at normalized parameter \p s, or
+  /// nullopt when s falls in the unknown gap between the thresholds.
+  std::optional<bool> Lookup(std::size_t key, double s) const;
+
+  /// Records that the predicate evaluated to \p passes for \p key at
+  /// normalized parameter \p s, widening the corresponding known range.
+  /// Out-of-range keys are ignored (defensive).
+  void Record(std::size_t key, double s, bool passes);
+
+  /// Known-range statistics.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Thresholds {
+    /// Predicate known TRUE for all s <= pass_until.
+    double pass_until = -std::numeric_limits<double>::infinity();
+    /// Predicate known FALSE for all s >= fail_from.
+    double fail_from = std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<Thresholds> thresholds_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// \brief Selection VAO with a predicate-range cache in front: evaluates
+/// `function(x, key) <cmp> constant` over a keyed relation, consulting the
+/// cache before invoking the function and feeding every decided outcome
+/// back into it.
+///
+/// The equality-resolved case (bounds converged straddling the constant) is
+/// NOT recorded -- it does not induce a half-line of known outcomes.
+class RangeCachedSelection {
+ public:
+  /// \p monotonicity declares how the UDF moves with its first (streamed)
+  /// argument; the remaining argument is the dense key.
+  RangeCachedSelection(Comparator cmp, double constant, std::size_t keys,
+                       Monotonicity monotonicity);
+
+  struct CachedOutcome {
+    bool passes = false;
+    bool from_cache = false;  ///< answered without any function execution
+    OperatorStats stats;
+  };
+
+  /// Evaluates the predicate for \p key at streamed value \p x, invoking
+  /// \p function (args = {x, key}) only when the cache cannot answer.
+  Result<CachedOutcome> Evaluate(const vao::VariableAccuracyFunction& function,
+                                 double x, std::size_t key,
+                                 WorkMeter* meter);
+
+  const PredicateRangeCache& cache() const { return cache_; }
+
+ private:
+  /// Maps the raw stream value into the cache's "true below" space.
+  double Normalize(double x) const { return true_below_ ? x : -x; }
+
+  SelectionVao vao_;
+  bool true_below_;
+  PredicateRangeCache cache_;
+};
+
+}  // namespace vaolib::operators
+
+#endif  // VAOLIB_OPERATORS_PREDICATE_RANGE_CACHE_H_

@@ -1,0 +1,146 @@
+#include "operators/selection.h"
+
+#include "common/macros.h"
+
+namespace vaolib::operators {
+
+Result<SelectionOutcome> SelectionVao::Evaluate(
+    vao::ResultObject* object) const {
+  if (object == nullptr) {
+    return Status::InvalidArgument("selection over null result object");
+  }
+
+  SelectionOutcome outcome;
+  // Iterate while the bounds still straddle the constant and the stopping
+  // condition has not been reached (Section 3.2).
+  while (object->bounds().Contains(constant_) &&
+         !object->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object->Iterate());
+    ++outcome.stats.iterations;
+  }
+  outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.final_bounds = object->bounds();
+
+  if (!outcome.final_bounds.Contains(constant_)) {
+    // Bounds exclude the constant: every value in them decides identically.
+    outcome.passes =
+        CompareExact(outcome.final_bounds.Mid(), cmp_, constant_);
+    return outcome;
+  }
+
+  // Converged while still straddling: the value is treated as equal to the
+  // constant (Section 3.2), so strict predicates fail, non-strict pass.
+  outcome.resolved_as_equal = true;
+  outcome.passes = CompareExact(constant_, cmp_, constant_);
+  return outcome;
+}
+
+Result<SelectionOutcome> SelectionVao::Evaluate(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<double>& args, WorkMeter* meter) const {
+  VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                          function.Invoke(args, meter));
+  return Evaluate(object.get());
+}
+
+Result<SelectionOutcome> RangeSelectionVao::Evaluate(
+    vao::ResultObject* object) const {
+  if (object == nullptr) {
+    return Status::InvalidArgument("range selection over null result object");
+  }
+  if (!range_.IsValid()) {
+    return Status::InvalidArgument("range selection needs lo <= hi");
+  }
+
+  SelectionOutcome outcome;
+  // The predicate is undecided while either endpoint lies strictly inside
+  // the bounds; iterate until both endpoints are cleared or convergence.
+  while ((object->bounds().Contains(range_.lo) ||
+          object->bounds().Contains(range_.hi)) &&
+         !object->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object->Iterate());
+    ++outcome.stats.iterations;
+  }
+  outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.final_bounds = object->bounds();
+  const Bounds b = outcome.final_bounds;
+
+  if (!b.Contains(range_.lo) && !b.Contains(range_.hi)) {
+    // Both endpoints cleared: the whole interval decides identically.
+    outcome.passes = range_.Contains(b.Mid());
+    return outcome;
+  }
+
+  // Converged while straddling an endpoint: value counts as equal to that
+  // endpoint, so inclusive ranges pass, exclusive ones fail.
+  outcome.resolved_as_equal = true;
+  outcome.passes = inclusive_;
+  return outcome;
+}
+
+Result<SelectionOutcome> RangeSelectionVao::Evaluate(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<double>& args, WorkMeter* meter) const {
+  VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                          function.Invoke(args, meter));
+  return Evaluate(object.get());
+}
+
+Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
+    vao::ResultObject* object) const {
+  if (object == nullptr) {
+    return Status::InvalidArgument("multi-selection over null result object");
+  }
+  if (predicates_.empty()) {
+    return Status::InvalidArgument("multi-selection with no predicates");
+  }
+
+  MultiOutcome outcome;
+  // Iterate while ANY constant is still inside the bounds; the nearest
+  // constant to the true value dictates the total work.
+  auto any_undecided = [&]() {
+    const Bounds b = object->bounds();
+    for (const Predicate& p : predicates_) {
+      if (b.Contains(p.constant)) return true;
+    }
+    return false;
+  };
+  while (any_undecided() && !object->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object->Iterate());
+    ++outcome.stats.iterations;
+  }
+  outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.final_bounds = object->bounds();
+
+  outcome.passes.reserve(predicates_.size());
+  outcome.resolved_as_equal.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    if (!outcome.final_bounds.Contains(p.constant)) {
+      outcome.passes.push_back(
+          CompareExact(outcome.final_bounds.Mid(), p.cmp, p.constant));
+      outcome.resolved_as_equal.push_back(false);
+    } else {
+      // Converged straddling this constant: equality semantics.
+      outcome.passes.push_back(CompareExact(p.constant, p.cmp, p.constant));
+      outcome.resolved_as_equal.push_back(true);
+    }
+  }
+  return outcome;
+}
+
+Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<double>& args, WorkMeter* meter) const {
+  VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                          function.Invoke(args, meter));
+  return Evaluate(object.get());
+}
+
+Result<bool> TraditionalSelection::Evaluate(
+    const vao::BlackBoxFunction& function, const std::vector<double>& args,
+    WorkMeter* meter) const {
+  VAOLIB_ASSIGN_OR_RETURN(const double value, function.Call(args, meter));
+  return CompareExact(value, cmp_, constant_);
+}
+
+}  // namespace vaolib::operators

@@ -1,0 +1,68 @@
+// Copyright 2026 The vaolib Authors.
+// TOP-K aggregate VAO: an extension generalizing the Section 5.1 MIN/MAX
+// operator. Returns the k highest- (or lowest-) valued objects, refining
+// bounds only until the chosen set separates from the rest.
+//
+// The paper's MAX VAO is the k = 1 special case; the greedy strategy
+// generalizes from "reduce overlap with the guessed maximum" to "reduce
+// overlap across the guessed selection boundary": the operator guesses the
+// top-k set by upper bound and iterates whichever object most cheaply
+// shrinks the overlap between the guessed members' lower bounds and the
+// outsiders' upper bounds.
+
+#ifndef VAOLIB_OPERATORS_TOP_K_H_
+#define VAOLIB_OPERATORS_TOP_K_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/work_meter.h"
+#include "operators/operator_base.h"
+#include "vao/result_object.h"
+
+namespace vaolib::operators {
+
+/// \brief Result of a TOP-K evaluation.
+struct TopKOutcome {
+  /// Indices of the selected objects, ordered by descending (ascending for
+  /// kMin) bound midpoint.
+  std::vector<std::size_t> winners;
+  /// Bounds on each winner, parallel to `winners`, widths <= epsilon.
+  std::vector<Bounds> winner_bounds;
+  /// True when the boundary could not be fully separated within minWidths:
+  /// the membership of the last slots is only determined up to ties.
+  bool tie = false;
+  OperatorStats stats;
+};
+
+/// \brief Configuration of a TOP-K VAO.
+struct TopKOptions {
+  std::size_t k = 1;
+  ExtremeKind kind = ExtremeKind::kMax;
+  /// Precision constraint on each returned member's bounds width; must be
+  /// at least the largest input minWidth (footnote-10 rule).
+  double epsilon = 0.01;
+  std::uint64_t max_total_iterations = 50'000'000;
+  WorkMeter* meter = nullptr;  ///< chooseIter charges, when non-null
+};
+
+/// \brief Adaptive TOP-K aggregate over a set of result objects.
+class TopKVao {
+ public:
+  explicit TopKVao(const TopKOptions& options) : options_(options) {}
+
+  /// Runs the aggregate over \p objects. k must satisfy
+  /// 1 <= k <= objects.size().
+  Result<TopKOutcome> Evaluate(
+      const std::vector<vao::ResultObject*>& objects) const;
+
+  const TopKOptions& options() const { return options_; }
+
+ private:
+  TopKOptions options_;
+};
+
+}  // namespace vaolib::operators
+
+#endif  // VAOLIB_OPERATORS_TOP_K_H_

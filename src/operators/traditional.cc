@@ -1,0 +1,27 @@
+#include "operators/traditional.h"
+
+#include "common/macros.h"
+
+namespace vaolib::operators {
+
+Result<TraditionalExtremeOutcome> TraditionalExtreme(
+    const vao::BlackBoxFunction& function,
+    const std::vector<std::vector<double>>& rows, ExtremeKind kind,
+    WorkMeter* meter) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("traditional MIN/MAX over empty input");
+  }
+  TraditionalExtremeOutcome outcome;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    VAOLIB_ASSIGN_OR_RETURN(const double value, function.Call(rows[i], meter));
+    const bool better = kind == ExtremeKind::kMax ? value > outcome.value
+                                                  : value < outcome.value;
+    if (i == 0 || better) {
+      outcome.value = value;
+      outcome.winner_index = i;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace vaolib::operators

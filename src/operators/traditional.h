@@ -1,0 +1,32 @@
+// Copyright 2026 The vaolib Authors.
+// Traditional (black-box) aggregate operators: the Section 6 baselines that
+// run every UDF call to full accuracy and then aggregate exact values.
+
+#ifndef VAOLIB_OPERATORS_TRADITIONAL_H_
+#define VAOLIB_OPERATORS_TRADITIONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "operators/operator_base.h"
+#include "vao/black_box.h"
+
+namespace vaolib::operators {
+
+/// \brief Outcome of a traditional MIN/MAX over black-box calls.
+struct TraditionalExtremeOutcome {
+  std::size_t winner_index = 0;
+  double value = 0.0;
+};
+
+/// \brief Runs \p function to full accuracy on every row and returns the
+/// extreme value and its row index. Ties resolve to the first row.
+Result<TraditionalExtremeOutcome> TraditionalExtreme(
+    const vao::BlackBoxFunction& function,
+    const std::vector<std::vector<double>>& rows, ExtremeKind kind,
+    WorkMeter* meter);
+
+}  // namespace vaolib::operators
+
+#endif  // VAOLIB_OPERATORS_TRADITIONAL_H_

@@ -1,0 +1,53 @@
+#include "vao/black_box.h"
+
+#include "common/macros.h"
+
+namespace vaolib::vao {
+
+Result<int> ConvergeToMinWidth(ResultObject* object) {
+  if (object == nullptr) {
+    return Status::InvalidArgument("null result object");
+  }
+  int steps = 0;
+  while (!object->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object->Iterate());
+    ++steps;
+  }
+  return steps;
+}
+
+CalibratedBlackBox::CalibratedBlackBox(
+    const VariableAccuracyFunction* function)
+    : function_(function) {}
+
+Result<CalibratedBlackBox::Calibration> CalibratedBlackBox::Calibrate(
+    const std::vector<double>& args) const {
+  if (const auto it = cache_.find(args); it != cache_.end()) {
+    return it->second;
+  }
+  // Calibration pass: converge with a scratch meter so the caller never pays
+  // for it (the paper's baseline knows the needed step sizes a priori).
+  WorkMeter scratch;
+  VAOLIB_ASSIGN_OR_RETURN(ResultObjectPtr object,
+                          function_->Invoke(args, &scratch));
+  VAOLIB_ASSIGN_OR_RETURN(const int steps, ConvergeToMinWidth(object.get()));
+
+  Calibration record;
+  record.value = object->bounds().Mid();
+  record.cost = object->traditional_cost();
+  record.final_width = object->bounds().Width();
+  record.iterations = steps;
+  cache_.emplace(args, record);
+  return record;
+}
+
+Result<double> CalibratedBlackBox::Call(const std::vector<double>& args,
+                                        WorkMeter* meter) const {
+  VAOLIB_ASSIGN_OR_RETURN(const Calibration record, Calibrate(args));
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kExec, record.cost);
+  }
+  return record.value;
+}
+
+}  // namespace vaolib::vao

@@ -1,0 +1,82 @@
+// Copyright 2026 The vaolib Authors.
+// The traditional "black box" UDF baseline of Sections 3.1 and 6.
+//
+// A BlackBoxFunction returns a single value at full accuracy -- the
+// all-or-nothing interface VAOs replace. CalibratedBlackBox reproduces the
+// paper's experimental baseline exactly: for each argument vector it first
+// converges a VAO result object offline (the calibration pass, not charged
+// to the caller), records the converged value and the step sizes/work a
+// one-shot traditional solver would need for that accuracy, and then charges
+// precisely that work on every Call(). As the paper notes, this
+// *underestimates* a production black box, which would not know the needed
+// step sizes a priori.
+
+#ifndef VAOLIB_VAO_BLACK_BOX_H_
+#define VAOLIB_VAO_BLACK_BOX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Traditional single-value UDF interface (the paper's Figure 2).
+class BlackBoxFunction {
+ public:
+  virtual ~BlackBoxFunction() = default;
+
+  /// Human-readable function name.
+  virtual const std::string& name() const = 0;
+
+  /// Number of arguments Call() expects.
+  virtual int arity() const = 0;
+
+  /// Runs the function to full accuracy, charging the traditional cost to
+  /// \p meter, and returns the value.
+  virtual Result<double> Call(const std::vector<double>& args,
+                              WorkMeter* meter) const = 0;
+};
+
+/// \brief Black box built by calibrating a VariableAccuracyFunction, per the
+/// Section 6 methodology. Calibrations are cached per argument vector.
+class CalibratedBlackBox : public BlackBoxFunction {
+ public:
+  /// Wraps \p function (not owned; must outlive this object).
+  explicit CalibratedBlackBox(const VariableAccuracyFunction* function);
+
+  const std::string& name() const override { return function_->name(); }
+  int arity() const override { return function_->arity(); }
+
+  Result<double> Call(const std::vector<double>& args,
+                      WorkMeter* meter) const override;
+
+  /// Calibration record for one argument vector.
+  struct Calibration {
+    double value = 0.0;           ///< converged midpoint (error < minWidth/2)
+    std::uint64_t cost = 0;       ///< one-shot traditional work units
+    double final_width = 0.0;     ///< converged bounds width
+    int iterations = 0;           ///< VAO iterations used during calibration
+  };
+
+  /// Converges a result object for \p args and returns the record, caching
+  /// it. Calibration work is NOT charged to any caller meter.
+  Result<Calibration> Calibrate(const std::vector<double>& args) const;
+
+  /// Number of distinct argument vectors calibrated so far.
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const VariableAccuracyFunction* function_;
+  mutable std::map<std::vector<double>, Calibration> cache_;
+};
+
+/// \brief Drives \p object until AtStoppingCondition() (or error), the
+/// "run every model to full accuracy" loop traditional systems are stuck
+/// with. Returns the total number of Iterate() calls made.
+Result<int> ConvergeToMinWidth(ResultObject* object);
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_BLACK_BOX_H_

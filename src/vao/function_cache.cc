@@ -1,0 +1,206 @@
+#include "vao/function_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace vaolib::vao {
+
+namespace {
+
+// Sound intersection of two sound intervals; if numerically disjoint (which
+// would indicate an unsound model upstream), fall back to the fresher one.
+Bounds Intersect(const Bounds& a, const Bounds& b) {
+  const Bounds out(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+  return out.IsValid() ? out : a;
+}
+
+// A result object that is already converged: fixed bounds, free iterations.
+class ConvergedResultObject : public ResultObject {
+ public:
+  ConvergedResultObject(const Bounds& bounds, double min_width)
+      : bounds_(bounds), min_width_(min_width) {}
+
+  Bounds bounds() const override { return bounds_; }
+  double min_width() const override { return min_width_; }
+  Status Iterate() override { return Status::OK(); }  // nothing left to do
+  std::uint64_t est_cost() const override { return 0; }
+  Bounds est_bounds() const override { return bounds_; }
+  int iterations() const override { return 0; }
+  std::uint64_t traditional_cost() const override { return 0; }
+
+ private:
+  Bounds bounds_;
+  double min_width_;
+};
+
+// Wraps a live inner object: visible bounds are the running intersection of
+// the inner bounds with the cache's prior knowledge; final bounds are
+// written back on destruction.
+class WriteBackResultObject : public ResultObject {
+ public:
+  WriteBackResultObject(ResultObjectPtr inner, Bounds prior,
+                        std::shared_ptr<BoundsCache> cache,
+                        std::vector<double> args)
+      : inner_(std::move(inner)),
+        best_(Intersect(prior, inner_->bounds())),
+        cache_(std::move(cache)),
+        args_(std::move(args)) {}
+
+  ~WriteBackResultObject() override {
+    cache_->Update(args_, best_, inner_->min_width());
+  }
+
+  Bounds bounds() const override { return best_; }
+  double min_width() const override { return inner_->min_width(); }
+
+  Status Iterate() override {
+    VAOLIB_RETURN_IF_ERROR(inner_->Iterate());
+    best_ = Intersect(best_, inner_->bounds());
+    return Status::OK();
+  }
+
+  std::uint64_t est_cost() const override { return inner_->est_cost(); }
+  Bounds est_bounds() const override {
+    return Intersect(best_, inner_->est_bounds());
+  }
+  int iterations() const override { return inner_->iterations(); }
+  std::uint64_t traditional_cost() const override {
+    return inner_->traditional_cost();
+  }
+
+ private:
+  ResultObjectPtr inner_;
+  Bounds best_;
+  std::shared_ptr<BoundsCache> cache_;
+  std::vector<double> args_;
+};
+
+// Cache hit with non-converged prior bounds: serves the cached bounds
+// WITHOUT invoking the inner function. The (possibly expensive) inner
+// object is created only if the operator actually needs a refinement --
+// when the cached knowledge already decides the query, the solver never
+// runs at all. The meter passed to Invoke() is captured for that deferred
+// creation and must outlive this object (true for all operator usage:
+// meters outlive the per-tick objects they measure).
+class LazyWriteBackResultObject : public ResultObject {
+ public:
+  LazyWriteBackResultObject(const VariableAccuracyFunction* function,
+                            std::vector<double> args, WorkMeter* meter,
+                            BoundsCache::Entry prior,
+                            std::shared_ptr<BoundsCache> cache)
+      : function_(function),
+        args_(std::move(args)),
+        meter_(meter),
+        best_(prior.bounds),
+        min_width_(prior.min_width),
+        cache_(std::move(cache)) {}
+
+  ~LazyWriteBackResultObject() override {
+    cache_->Update(args_, best_, min_width_);
+  }
+
+  Bounds bounds() const override { return best_; }
+  double min_width() const override { return min_width_; }
+
+  Status Iterate() override {
+    if (inner_ == nullptr) {
+      // First refinement request: materialize the real object now.
+      auto made = function_->Invoke(args_, meter_);
+      VAOLIB_RETURN_IF_ERROR(made.status());
+      inner_ = std::move(made).value();
+      min_width_ = inner_->min_width();
+      best_ = Intersect(best_, inner_->bounds());
+      ++iterations_;
+      return Status::OK();
+    }
+    VAOLIB_RETURN_IF_ERROR(inner_->Iterate());
+    best_ = Intersect(best_, inner_->bounds());
+    ++iterations_;
+    return Status::OK();
+  }
+
+  std::uint64_t est_cost() const override {
+    return inner_ != nullptr ? inner_->est_cost() : 1;
+  }
+  Bounds est_bounds() const override {
+    // Without a live inner object there is no basis for predicting
+    // progress; operators' zero-progress fallbacks handle this.
+    return inner_ != nullptr ? Intersect(best_, inner_->est_bounds())
+                             : best_;
+  }
+  int iterations() const override { return iterations_; }
+  std::uint64_t traditional_cost() const override {
+    return inner_ != nullptr ? inner_->traditional_cost() : 0;
+  }
+
+ private:
+  const VariableAccuracyFunction* function_;
+  std::vector<double> args_;
+  WorkMeter* meter_;
+  ResultObjectPtr inner_;
+  Bounds best_;
+  double min_width_;
+  std::shared_ptr<BoundsCache> cache_;
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+std::optional<BoundsCache::Entry> BoundsCache::Lookup(
+    const std::vector<double>& args) {
+  const auto it = entries_.find(args);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.entry;
+}
+
+void BoundsCache::Update(const std::vector<double>& args,
+                         const Bounds& bounds, double min_width) {
+  const auto it = entries_.find(args);
+  if (it != entries_.end()) {
+    it->second.entry.bounds = Intersect(it->second.entry.bounds, bounds);
+    it->second.entry.min_width = min_width;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  lru_.push_front(args);
+  entries_.emplace(args, Slot{Entry{bounds, min_width}, lru_.begin()});
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+CachingFunction::CachingFunction(const VariableAccuracyFunction* inner,
+                                 std::size_t capacity)
+    : inner_(inner),
+      name_(inner->name() + "+cache"),
+      cache_(std::make_shared<BoundsCache>(capacity)) {}
+
+Result<ResultObjectPtr> CachingFunction::Invoke(
+    const std::vector<double>& args, WorkMeter* meter) const {
+  const auto cached = cache_->Lookup(args);
+  if (cached.has_value()) {
+    if (cached->bounds.Width() < cached->min_width) {
+      // Fully converged on an earlier tick: answer for free.
+      return ResultObjectPtr(
+          new ConvergedResultObject(cached->bounds, cached->min_width));
+    }
+    // Partial knowledge: serve it immediately and defer the solver until a
+    // refinement is actually requested.
+    return ResultObjectPtr(
+        new LazyWriteBackResultObject(inner_, args, meter, *cached, cache_));
+  }
+  VAOLIB_ASSIGN_OR_RETURN(ResultObjectPtr inner, inner_->Invoke(args, meter));
+  const Bounds prior = inner->bounds();
+  return ResultObjectPtr(new WriteBackResultObject(std::move(inner), prior,
+                                                   cache_, args));
+}
+
+}  // namespace vaolib::vao

@@ -1,0 +1,96 @@
+// Copyright 2026 The vaolib Authors.
+// CachingFunction: function-result caching layered over the VAO interface.
+//
+// Sections 2 and 3.1 of the paper note that function caches (Hellerstein &
+// Naughton [20]) are orthogonal to VAOs and can be combined with them. This
+// module is that combination for continuous queries: in a CQ, the same
+// (args) pair recurs across stream ticks whenever an input revisits a value,
+// and the *bounds already paid for* on a previous tick are still sound. A
+// CachingFunction remembers, per argument vector, the tightest bounds any
+// result object reached, and
+//   * serves a zero-cost converged object when the cached bounds are already
+//     below the function's minWidth, and
+//   * otherwise starts a fresh object whose visible bounds are the running
+//     intersection of its own bounds with the cached ones, writing the final
+//     bounds back when the object is destroyed.
+
+#ifndef VAOLIB_VAO_FUNCTION_CACHE_H_
+#define VAOLIB_VAO_FUNCTION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief LRU store of the best bounds seen per argument vector.
+/// Shared (via shared_ptr) between the function and its live result objects
+/// so write-back on object destruction is always safe.
+class BoundsCache {
+ public:
+  struct Entry {
+    Bounds bounds;
+    double min_width = 0.0;
+  };
+
+  explicit BoundsCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached entry for \p args, refreshing its LRU position.
+  std::optional<Entry> Lookup(const std::vector<double>& args);
+
+  /// Records \p bounds for \p args, intersecting with any existing entry
+  /// (both are sound, so the intersection is sound and at least as tight).
+  /// Evicts the least-recently-used entry beyond capacity.
+  void Update(const std::vector<double>& args, const Bounds& bounds,
+              double min_width);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  using LruList = std::list<std::vector<double>>;
+  struct Slot {
+    Entry entry;
+    LruList::iterator lru_position;
+  };
+
+  std::size_t capacity_;
+  std::map<std::vector<double>, Slot> entries_;
+  LruList lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// \brief Caching decorator over a VariableAccuracyFunction.
+///
+/// The inner function is borrowed and must outlive this object; result
+/// objects returned by Invoke() may outlive the CachingFunction itself (the
+/// cache is shared-owned).
+class CachingFunction : public VariableAccuracyFunction {
+ public:
+  CachingFunction(const VariableAccuracyFunction* inner,
+                  std::size_t capacity = 4096);
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return inner_->arity(); }
+  Result<ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                 WorkMeter* meter) const override;
+
+  const BoundsCache& cache() const { return *cache_; }
+
+ private:
+  const VariableAccuracyFunction* inner_;
+  std::string name_;
+  std::shared_ptr<BoundsCache> cache_;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_FUNCTION_CACHE_H_

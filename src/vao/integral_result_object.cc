@@ -1,0 +1,54 @@
+#include "vao/integral_result_object.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace vaolib::vao {
+
+IntegralResultObject::IntegralResultObject(numeric::RefinableIntegral integral,
+                                           const IntegralResultOptions& options,
+                                           WorkMeter* meter)
+    : ResultObjectBase(meter),
+      integral_(std::make_unique<numeric::RefinableIntegral>(
+          std::move(integral))),
+      options_(options) {}
+
+Result<ResultObjectPtr> IntegralResultObject::Create(
+    IntegralProblem problem, const IntegralResultOptions& options,
+    WorkMeter* meter) {
+  if (options.min_width <= 0.0) {
+    return Status::InvalidArgument("min_width must be > 0");
+  }
+  VAOLIB_ASSIGN_OR_RETURN(
+      numeric::RefinableIntegral integral,
+      numeric::RefinableIntegral::Create(std::move(problem.integrand),
+                                         problem.a, problem.b,
+                                         options.integral, meter));
+  return ResultObjectPtr(
+      new IntegralResultObject(std::move(integral), options, meter));
+}
+
+Status IntegralResultObject::Iterate() {
+  if (iterations() >= options_.max_iterations) {
+    return Status::ResourceExhausted(
+        "integral result object at max_iterations");
+  }
+  ChargeStateOverhead();
+  VAOLIB_RETURN_IF_ERROR(integral_->Refine(meter()));
+  BumpIterations();
+  return Status::OK();
+}
+
+Result<ResultObjectPtr> IntegralFunction::Invoke(
+    const std::vector<double>& args, WorkMeter* meter) const {
+  if (static_cast<int>(args.size()) != arity_) {
+    return Status::InvalidArgument(
+        name_ + " expects " + std::to_string(arity_) + " args, got " +
+        std::to_string(args.size()));
+  }
+  VAOLIB_ASSIGN_OR_RETURN(IntegralProblem problem, builder_(args));
+  return IntegralResultObject::Create(std::move(problem), options_, meter);
+}
+
+}  // namespace vaolib::vao

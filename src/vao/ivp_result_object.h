@@ -1,0 +1,99 @@
+// Copyright 2026 The vaolib Authors.
+// IvpResultObject: the RK4 initial-value ODE solver behind the VAO
+// interface. One-term Richardson model for an O(h^4) scheme:
+//   F(h) = A + K h^4,  so  K = (16/15) (F(h) - F(h/2)) / h^4,
+// with each Iterate() halving the step (doubling the work).
+
+#ifndef VAOLIB_VAO_IVP_RESULT_OBJECT_H_
+#define VAOLIB_VAO_IVP_RESULT_OBJECT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "numeric/ode_ivp.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Tuning knobs for IVP result objects.
+struct IvpResultOptions {
+  int initial_steps = 4;
+  double min_width = 1e-9;
+  double safety_factor = 3.0;
+  int max_iterations = 40;
+};
+
+/// \brief Result object for y(t1) of an initial-value ODE.
+class IvpResultObject : public ResultObjectBase {
+ public:
+  /// Solves at the initial step count and its halving to seed K; both
+  /// solves are charged to \p meter.
+  static Result<ResultObjectPtr> Create(numeric::OdeIvpProblem problem,
+                                        const IvpResultOptions& options,
+                                        WorkMeter* meter);
+
+  Bounds bounds() const override { return bounds_; }
+  double min_width() const override { return options_.min_width; }
+  Status Iterate() override;
+  std::uint64_t est_cost() const override { return est_cost_; }
+  Bounds est_bounds() const override { return est_bounds_; }
+  std::uint64_t traditional_cost() const override {
+    return static_cast<std::uint64_t>(steps_) * 4;
+  }
+
+  /// Step count backing the current value.
+  int current_steps() const { return steps_; }
+
+  /// Fitted h^4 error coefficient (exposed for tests).
+  double k() const { return k_; }
+
+ private:
+  IvpResultObject(numeric::OdeIvpProblem problem,
+                  const IvpResultOptions& options, WorkMeter* meter);
+
+  void RefreshDerivedState();
+  double StepSize() const {
+    return (problem_.t1 - problem_.t0) / steps_;
+  }
+
+  numeric::OdeIvpProblem problem_;
+  IvpResultOptions options_;
+
+  int steps_ = 0;
+  double value_ = 0.0;
+  double k_ = 0.0;
+  Bounds bounds_;
+  Bounds est_bounds_;
+  std::uint64_t est_cost_ = 0;
+};
+
+/// \brief VariableAccuracyFunction producing IvpResultObjects.
+class IvpFunction : public VariableAccuracyFunction {
+ public:
+  using ProblemBuilder =
+      std::function<Result<numeric::OdeIvpProblem>(
+          const std::vector<double>& args)>;
+
+  IvpFunction(std::string name, int arity, ProblemBuilder builder,
+              IvpResultOptions options)
+      : name_(std::move(name)),
+        arity_(arity),
+        builder_(std::move(builder)),
+        options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return arity_; }
+  Result<ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                 WorkMeter* meter) const override;
+
+ private:
+  std::string name_;
+  int arity_;
+  ProblemBuilder builder_;
+  IvpResultOptions options_;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_IVP_RESULT_OBJECT_H_

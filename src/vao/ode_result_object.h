@@ -1,0 +1,99 @@
+// Copyright 2026 The vaolib Authors.
+// OdeResultObject: the Section 4.2 adaptation of a finite-difference ODE
+// boundary-value solver to the VAO interface. The grid has one dimension, so
+// the extrapolation model is the one-term specialization err ~= K2 * dx^2;
+// each Iterate() doubles the interval count.
+
+#ifndef VAOLIB_VAO_ODE_RESULT_OBJECT_H_
+#define VAOLIB_VAO_ODE_RESULT_OBJECT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "numeric/ode_solver.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Tuning knobs for ODE result objects.
+struct OdeResultOptions {
+  int initial_intervals = 4;
+  double min_width = 1e-8;
+  double safety_factor = 3.0;
+  int max_iterations = 40;
+};
+
+/// \brief Result object for w(query_x) of a two-point boundary-value ODE.
+class OdeResultObject : public ResultObjectBase {
+ public:
+  /// Solves at the initial grid and its halving to seed K2; both solves are
+  /// charged to \p meter.
+  static Result<ResultObjectPtr> Create(numeric::OdeBvpProblem problem,
+                                        double query_x,
+                                        const OdeResultOptions& options,
+                                        WorkMeter* meter);
+
+  Bounds bounds() const override { return bounds_; }
+  double min_width() const override { return options_.min_width; }
+  Status Iterate() override;
+  std::uint64_t est_cost() const override { return est_cost_; }
+  Bounds est_bounds() const override { return est_bounds_; }
+  std::uint64_t traditional_cost() const override {
+    return static_cast<std::uint64_t>(intervals_ - 1);
+  }
+
+  /// Interval count backing the current value.
+  int current_intervals() const { return intervals_; }
+
+  /// Fitted error coefficient K2 (exposed for tests).
+  double k2() const { return k2_; }
+
+ private:
+  OdeResultObject(numeric::OdeBvpProblem problem, double query_x,
+                  const OdeResultOptions& options, WorkMeter* meter);
+
+  void RefreshDerivedState();
+  double Dx() const { return (problem_.b - problem_.a) / intervals_; }
+
+  numeric::OdeBvpProblem problem_;
+  double query_x_;
+  OdeResultOptions options_;
+
+  int intervals_ = 0;
+  double value_ = 0.0;
+  double k2_ = 0.0;
+  Bounds bounds_;
+  Bounds est_bounds_;
+  std::uint64_t est_cost_ = 0;
+};
+
+/// \brief VariableAccuracyFunction producing OdeResultObjects.
+class OdeFunction : public VariableAccuracyFunction {
+ public:
+  using ProblemBuilder =
+      std::function<Result<std::pair<numeric::OdeBvpProblem, double>>(
+          const std::vector<double>& args)>;
+
+  OdeFunction(std::string name, int arity, ProblemBuilder builder,
+              OdeResultOptions options)
+      : name_(std::move(name)),
+        arity_(arity),
+        builder_(std::move(builder)),
+        options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return arity_; }
+  Result<ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                 WorkMeter* meter) const override;
+
+ private:
+  std::string name_;
+  int arity_;
+  ProblemBuilder builder_;
+  OdeResultOptions options_;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_ODE_RESULT_OBJECT_H_

@@ -1,0 +1,113 @@
+#include "vao/parallel.h"
+
+#include "common/macros.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace vaolib::vao {
+
+Result<std::vector<ResultObjectPtr>> InvokeAll(
+    const VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows, int threads,
+    WorkMeter* meter) {
+  const std::size_t n = rows.size();
+  std::vector<ResultObjectPtr> objects(n);
+  if (n == 0) return objects;
+
+  if (threads < 2 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto object = function.Invoke(rows[i], meter);
+      if (!object.ok()) return object.status();
+      objects[i] = std::move(object).value();
+    }
+    return objects;
+  }
+
+  const auto worker_count = static_cast<std::size_t>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads), n));
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.ok()) return;  // stop early after a failure
+      }
+      // WorkMeter charging is thread-safe, so all objects share the
+      // caller's meter directly (and stay bound to it for later Iterates).
+      auto object = function.Invoke(rows[i], meter);
+      if (!object.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = object.status();
+        return;
+      }
+      objects[i] = std::move(object).value();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (std::size_t t = 0; t < worker_count; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (!first_error.ok()) return first_error;
+  return objects;
+}
+
+Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
+                             int threads) {
+  const std::size_t n = objects.size();
+  for (const auto* object : objects) {
+    if (object == nullptr) {
+      return Status::InvalidArgument("null result object");
+    }
+  }
+  if (threads < 2 || n < 2) {
+    for (auto* object : objects) {
+      while (!object->AtStoppingCondition()) {
+        VAOLIB_RETURN_IF_ERROR(object->Iterate());
+      }
+    }
+    return Status::OK();
+  }
+
+  const auto worker_count = static_cast<std::size_t>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads), n));
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.ok()) return;
+      }
+      while (!objects[i]->AtStoppingCondition()) {
+        const Status status = objects[i]->Iterate();
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error.ok()) first_error = status;
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (std::size_t t = 0; t < worker_count; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return first_error;
+}
+
+}  // namespace vaolib::vao

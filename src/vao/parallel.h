@@ -1,0 +1,43 @@
+// Copyright 2026 The vaolib Authors.
+// Parallel helpers for bulk result-object work. The paper notes its models
+// are "easily parallelizable" and sizes production deployments in
+// processors (Section 6.1); these helpers parallelize the embarrassingly
+// parallel parts -- creating result objects for many rows, and converging
+// many objects -- across std::thread workers, with per-thread WorkMeters
+// merged into the caller's meter so deterministic accounting survives.
+//
+// Thread-safety requirement: the function's Invoke() must be safe to call
+// concurrently (true for the pure solver-backed functions in this library:
+// Pde/Pde2d/Ode/Ivp/Integral/Root and the bond models). CachingFunction is
+// NOT safe here (single-writer cache); invoke it serially.
+
+#ifndef VAOLIB_VAO_PARALLEL_H_
+#define VAOLIB_VAO_PARALLEL_H_
+
+#include <vector>
+
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Invokes \p function on every row of \p rows using up to
+/// \p threads workers. Returns the result objects in row order; all work is
+/// merged into \p meter (if non-null). threads < 2 falls back to serial.
+///
+/// \return the first error encountered (remaining rows may be skipped).
+Result<std::vector<ResultObjectPtr>> InvokeAll(
+    const VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows, int threads,
+    WorkMeter* meter);
+
+/// \brief Converges every object to its minWidth using up to \p threads
+/// workers (each object is driven by exactly one worker). Note: objects
+/// created against a caller meter charge THAT meter from worker threads,
+/// which is unsafe; create objects with per-use meters (e.g. via InvokeAll,
+/// which wires thread-local meters) or a null meter before using this.
+Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
+                             int threads);
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_PARALLEL_H_

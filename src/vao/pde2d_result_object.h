@@ -1,0 +1,103 @@
+// Copyright 2026 The vaolib Authors.
+// Pde2dResultObject: the two-factor (ADI) PDE solver behind the VAO
+// interface -- the Section 4.1 adaptation extended with a third error term
+// for the second space dimension. Creation runs the coarse grid plus three
+// half-step probes (time, x, y); each Iterate() halves whichever axis the
+// error model says removes the most error per cycle.
+
+#ifndef VAOLIB_VAO_PDE2D_RESULT_OBJECT_H_
+#define VAOLIB_VAO_PDE2D_RESULT_OBJECT_H_
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "numeric/pde2d_solver.h"
+#include "numeric/richardson.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Tuning knobs for two-factor PDE result objects.
+struct Pde2dResultOptions {
+  numeric::Pde2dGrid initial_grid{8, 8, 8};
+  double min_width = 0.01;
+  double safety_factor = 3.0;
+  int max_iterations = 40;
+};
+
+/// \brief Result object for a two-factor PDE solution F(qx, qy, 0).
+class Pde2dResultObject : public ResultObjectBase {
+ public:
+  /// Solves the coarse grid plus the (dt/2), (dx/2), (dy/2) probes (all
+  /// charged to \p meter).
+  static Result<ResultObjectPtr> Create(numeric::Pde2dProblem problem,
+                                        double query_x, double query_y,
+                                        const Pde2dResultOptions& options,
+                                        WorkMeter* meter);
+
+  Bounds bounds() const override { return bounds_; }
+  double min_width() const override { return options_.min_width; }
+  Status Iterate() override;
+  std::uint64_t est_cost() const override { return est_cost_; }
+  Bounds est_bounds() const override { return est_bounds_; }
+  std::uint64_t traditional_cost() const override {
+    return grid_.MeshEntries();
+  }
+
+  const numeric::Pde2dGrid& current_grid() const { return grid_; }
+  const numeric::Richardson3Model& model() const { return model_; }
+
+ private:
+  Pde2dResultObject(numeric::Pde2dProblem problem, double query_x,
+                    double query_y, const Pde2dResultOptions& options,
+                    WorkMeter* meter);
+
+  Result<double> SolveAt(const numeric::Pde2dGrid& grid);
+  void RefreshDerivedState();
+
+  numeric::Pde2dProblem problem_;
+  double query_x_;
+  double query_y_;
+  Pde2dResultOptions options_;
+  numeric::Richardson3Model model_;
+
+  numeric::Pde2dGrid grid_;
+  double value_ = 0.0;
+  Bounds bounds_;
+  Bounds est_bounds_;
+  std::uint64_t est_cost_ = 0;
+
+  std::map<std::tuple<int, int, int>, double> solve_cache_;
+};
+
+/// \brief VariableAccuracyFunction producing Pde2dResultObjects.
+class Pde2dFunction : public VariableAccuracyFunction {
+ public:
+  /// Maps UDF args to (problem, query_x, query_y).
+  using ProblemBuilder = std::function<
+      Result<std::tuple<numeric::Pde2dProblem, double, double>>(
+          const std::vector<double>& args)>;
+
+  Pde2dFunction(std::string name, int arity, ProblemBuilder builder,
+                Pde2dResultOptions options)
+      : name_(std::move(name)),
+        arity_(arity),
+        builder_(std::move(builder)),
+        options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return arity_; }
+  Result<ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                 WorkMeter* meter) const override;
+
+ private:
+  std::string name_;
+  int arity_;
+  ProblemBuilder builder_;
+  Pde2dResultOptions options_;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_PDE2D_RESULT_OBJECT_H_

@@ -1,0 +1,132 @@
+#include "vao/pde_result_object.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace vaolib::vao {
+
+PdeResultObject::PdeResultObject(numeric::Pde1dProblem problem, double query_x,
+                                 const PdeResultOptions& options,
+                                 WorkMeter* meter)
+    : ResultObjectBase(meter),
+      problem_(std::move(problem)),
+      query_x_(query_x),
+      options_(options),
+      model_(options.safety_factor),
+      grid_(options.initial_grid) {}
+
+Result<double> PdeResultObject::SolveAt(const numeric::PdeGrid& grid) {
+  const auto key = std::make_pair(grid.x_intervals, grid.t_steps);
+  if (const auto it = solve_cache_.find(key); it != solve_cache_.end()) {
+    return it->second;
+  }
+  VAOLIB_ASSIGN_OR_RETURN(const double value,
+                          numeric::SolvePde(problem_, grid, query_x_, meter()));
+  solve_cache_.emplace(key, value);
+  return value;
+}
+
+Result<ResultObjectPtr> PdeResultObject::Create(numeric::Pde1dProblem problem,
+                                                double query_x,
+                                                const PdeResultOptions& options,
+                                                WorkMeter* meter) {
+  if (options.min_width <= 0.0) {
+    return Status::InvalidArgument("min_width must be > 0");
+  }
+  if (options.safety_factor < 1.0) {
+    return Status::InvalidArgument("safety_factor must be >= 1");
+  }
+  auto object = std::unique_ptr<PdeResultObject>(
+      new PdeResultObject(std::move(problem), query_x, options, meter));
+
+  // The extrapolation triple of Table 1: F1 at (dt*, dx*), F2 at
+  // (dt*/2, dx*), F3 at (dt*, dx*/2).
+  const numeric::PdeGrid g1 = object->grid_;
+  numeric::PdeGrid g2 = g1;
+  g2.t_steps *= 2;
+  numeric::PdeGrid g3 = g1;
+  g3.x_intervals *= 2;
+
+  VAOLIB_ASSIGN_OR_RETURN(const double f1, object->SolveAt(g1));
+  VAOLIB_ASSIGN_OR_RETURN(const double f2, object->SolveAt(g2));
+  VAOLIB_ASSIGN_OR_RETURN(const double f3, object->SolveAt(g3));
+
+  const double dt = g1.Dt(object->problem_);
+  const double dx = g1.Dx(object->problem_);
+  object->model_.EstimateK1(f1, f2, dt);
+  object->model_.EstimateK2(f1, f3, dx);
+  object->value_ = f1;
+  object->RefreshDerivedState();
+  return ResultObjectPtr(std::move(object));
+}
+
+void PdeResultObject::RefreshDerivedState() {
+  const double dt = grid_.Dt(problem_);
+  const double dx = grid_.Dx(problem_);
+  bounds_ = model_.BoundsFor(value_, dt, dx);
+  const numeric::StepAxis axis = model_.PreferredAxis(dt, dx);
+  est_bounds_ = model_.PredictBoundsAfterHalving(value_, dt, dx, axis);
+  numeric::PdeGrid next = grid_;
+  if (axis == numeric::StepAxis::kTime) {
+    next.t_steps *= 2;
+  } else {
+    next.x_intervals *= 2;
+  }
+  // The initial extrapolation probes are memoized, so the first halvings can
+  // be free; estCPU must reflect that or the greedy strategies over-price
+  // them.
+  const bool cached =
+      solve_cache_.contains({next.x_intervals, next.t_steps});
+  est_cost_ = cached ? 0 : next.MeshEntries();
+}
+
+Status PdeResultObject::Iterate() {
+  if (iterations() >= options_.max_iterations) {
+    return Status::ResourceExhausted("PDE result object at max_iterations");
+  }
+  ChargeStateOverhead();
+
+  const double dt = grid_.Dt(problem_);
+  const double dx = grid_.Dx(problem_);
+  const numeric::StepAxis axis = model_.PreferredAxis(dt, dx);
+
+  numeric::PdeGrid next = grid_;
+  if (axis == numeric::StepAxis::kTime) {
+    next.t_steps *= 2;
+  } else {
+    next.x_intervals *= 2;
+  }
+
+  const auto solved = SolveAt(next);
+  if (!solved.ok()) return solved.status();
+  const double new_value = solved.value();
+
+  // Refresh the coefficient on the axis just halved (Section 4.1: "updates
+  // the error bounds by updating the error formula").
+  if (axis == numeric::StepAxis::kTime) {
+    model_.EstimateK1(value_, new_value, dt);
+  } else {
+    model_.EstimateK2(value_, new_value, dx);
+  }
+
+  grid_ = next;
+  value_ = new_value;
+  BumpIterations();
+  RefreshDerivedState();
+  return Status::OK();
+}
+
+Result<ResultObjectPtr> PdeFunction::Invoke(const std::vector<double>& args,
+                                            WorkMeter* meter) const {
+  if (static_cast<int>(args.size()) != arity_) {
+    return Status::InvalidArgument(
+        name_ + " expects " + std::to_string(arity_) + " args, got " +
+        std::to_string(args.size()));
+  }
+  VAOLIB_ASSIGN_OR_RETURN(auto built, builder_(args));
+  return PdeResultObject::Create(std::move(built.first), built.second,
+                                 options_, meter);
+}
+
+}  // namespace vaolib::vao

@@ -1,0 +1,93 @@
+// Copyright 2026 The vaolib Authors.
+// RootResultObject: the Section 4.4 adaptation of bracketing root solvers to
+// the VAO interface. The bracket is the bound; each Iterate() is one probe.
+
+#ifndef VAOLIB_VAO_ROOT_RESULT_OBJECT_H_
+#define VAOLIB_VAO_ROOT_RESULT_OBJECT_H_
+
+#include <functional>
+#include <string>
+
+#include "numeric/roots.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Tuning knobs for root result objects.
+struct RootResultOptions {
+  numeric::BracketingRootFinder::Options finder;
+  double min_width = 1e-10;
+  int max_iterations = 200;
+};
+
+/// \brief A bracketed root-finding problem instance.
+struct RootProblem {
+  std::function<double(double)> f;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// \brief Result object for the root of f inside [lo, hi].
+class RootResultObject : public ResultObjectBase {
+ public:
+  /// Evaluates both bracket endpoints (charged to \p meter).
+  static Result<ResultObjectPtr> Create(RootProblem problem,
+                                        const RootResultOptions& options,
+                                        WorkMeter* meter);
+
+  Bounds bounds() const override { return finder_->bounds(); }
+  double min_width() const override { return options_.min_width; }
+  Status Iterate() override;
+  std::uint64_t est_cost() const override {
+    return finder_->CostOfNextStep();
+  }
+  Bounds est_bounds() const override {
+    return finder_->PredictedBoundsAfterStep();
+  }
+  std::uint64_t traditional_cost() const override {
+    // A traditional bisection run to the same accuracy performs the same
+    // probes, so cost_trad == cumulative evaluations (Section 4.4).
+    return finder_->total_evaluations() * options_.finder.work_per_eval;
+  }
+
+  /// Total function evaluations so far (exposed for the cost-model bench).
+  std::uint64_t total_evaluations() const {
+    return finder_->total_evaluations();
+  }
+
+ private:
+  RootResultObject(numeric::BracketingRootFinder finder,
+                   const RootResultOptions& options, WorkMeter* meter);
+
+  std::unique_ptr<numeric::BracketingRootFinder> finder_;
+  RootResultOptions options_;
+};
+
+/// \brief VariableAccuracyFunction producing RootResultObjects.
+class RootFunction : public VariableAccuracyFunction {
+ public:
+  using ProblemBuilder =
+      std::function<Result<RootProblem>(const std::vector<double>& args)>;
+
+  RootFunction(std::string name, int arity, ProblemBuilder builder,
+               RootResultOptions options)
+      : name_(std::move(name)),
+        arity_(arity),
+        builder_(std::move(builder)),
+        options_(options) {}
+
+  const std::string& name() const override { return name_; }
+  int arity() const override { return arity_; }
+  Result<ResultObjectPtr> Invoke(const std::vector<double>& args,
+                                 WorkMeter* meter) const override;
+
+ private:
+  std::string name_;
+  int arity_;
+  ProblemBuilder builder_;
+  RootResultOptions options_;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_ROOT_RESULT_OBJECT_H_

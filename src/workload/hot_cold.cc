@@ -1,0 +1,45 @@
+#include "workload/hot_cold.h"
+
+#include <algorithm>
+
+namespace vaolib::workload {
+
+Result<std::vector<double>> HotColdWeights(const HotColdSpec& spec, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("hot-cold weights require an Rng");
+  }
+  if (spec.count == 0) {
+    return Status::InvalidArgument("hot-cold weight count must be > 0");
+  }
+  if (spec.hot_fraction < 0.0 || spec.hot_fraction > 1.0 ||
+      spec.hot_weight_share < 0.0 || spec.hot_weight_share > 1.0) {
+    return Status::InvalidArgument("hot-cold shares must lie in [0, 1]");
+  }
+  if (!(spec.total_weight > 0.0)) {
+    return Status::InvalidArgument("total weight must be > 0");
+  }
+
+  const auto hot_count = std::min<std::size_t>(
+      spec.count,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(spec.hot_fraction *
+                                      static_cast<double>(spec.count))));
+  const std::size_t cold_count = spec.count - hot_count;
+
+  const std::vector<std::size_t> perm = rng->Permutation(spec.count);
+  const double hot_total = spec.total_weight * spec.hot_weight_share;
+  const double cold_total = spec.total_weight - hot_total;
+
+  std::vector<double> weights(spec.count, 0.0);
+  for (std::size_t i = 0; i < hot_count; ++i) {
+    weights[perm[i]] = hot_total / static_cast<double>(hot_count);
+  }
+  if (cold_count > 0) {
+    for (std::size_t i = hot_count; i < spec.count; ++i) {
+      weights[perm[i]] = cold_total / static_cast<double>(cold_count);
+    }
+  }
+  return weights;
+}
+
+}  // namespace vaolib::workload

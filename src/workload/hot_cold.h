@@ -1,0 +1,33 @@
+// Copyright 2026 The vaolib Authors.
+// Hot-cold weight generation for the SUM experiments (Section 6.3): a fixed
+// total weight is split between a randomly chosen hot set (10% of bonds in
+// the paper) and the remaining cold set, with the hot set's share swept.
+
+#ifndef VAOLIB_WORKLOAD_HOT_COLD_H_
+#define VAOLIB_WORKLOAD_HOT_COLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace vaolib::workload {
+
+/// \brief Hot-cold weighting parameters.
+struct HotColdSpec {
+  std::size_t count = 500;      ///< number of weights
+  double hot_fraction = 0.10;   ///< fraction of items in the hot set
+  double hot_weight_share = 0.5;///< fraction of total weight on the hot set
+  double total_weight = 500.0;  ///< the paper uses total == cardinality
+};
+
+/// \brief Generates weights per \p spec; hot members are chosen uniformly at
+/// random by \p rng and each set's weight is spread evenly inside the set.
+///
+/// \return InvalidArgument for empty specs or shares outside [0, 1].
+Result<std::vector<double>> HotColdWeights(const HotColdSpec& spec, Rng* rng);
+
+}  // namespace vaolib::workload
+
+#endif  // VAOLIB_WORKLOAD_HOT_COLD_H_

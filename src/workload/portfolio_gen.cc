@@ -1,0 +1,28 @@
+#include "workload/portfolio_gen.h"
+
+#include "common/rng.h"
+
+namespace vaolib::workload {
+
+std::vector<finance::Bond> GeneratePortfolio(std::uint64_t seed,
+                                             const PortfolioSpec& spec) {
+  Rng rng(seed);
+  std::vector<finance::Bond> bonds;
+  bonds.reserve(static_cast<std::size_t>(spec.count));
+  for (int i = 0; i < spec.count; ++i) {
+    finance::Bond bond;
+    bond.id = i;
+    bond.name = "MBS-1993-" + std::to_string(1000 + i);
+    bond.annual_cashflow = rng.Uniform(spec.cashflow_min, spec.cashflow_max);
+    bond.maturity_years = rng.Uniform(spec.maturity_min, spec.maturity_max);
+    bond.sigma = rng.Uniform(spec.sigma_min, spec.sigma_max);
+    bond.kappa = rng.Uniform(spec.kappa_min, spec.kappa_max);
+    bond.mu = rng.Uniform(spec.mu_min, spec.mu_max);
+    bond.q = rng.Uniform(spec.q_min, spec.q_max);
+    bond.spread = rng.Uniform(spec.spread_min, spec.spread_max);
+    bonds.push_back(bond);
+  }
+  return bonds;
+}
+
+}  // namespace vaolib::workload

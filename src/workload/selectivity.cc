@@ -1,0 +1,42 @@
+#include "workload/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vaolib::workload {
+
+Result<double> ConstantForGreaterSelectivity(const std::vector<double>& values,
+                                             double selectivity) {
+  if (values.empty()) {
+    return Status::InvalidArgument("selectivity over empty values");
+  }
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must lie in [0, 1]");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  const auto n = sorted.size();
+  const auto pass = static_cast<std::size_t>(
+      std::llround(selectivity * static_cast<double>(n)));
+  if (pass == 0) {
+    return sorted.front() + 1.0;  // nothing passes
+  }
+  if (pass >= n) {
+    return sorted.back() - 1.0;  // everything passes
+  }
+  // Halfway between the last passing and first failing value.
+  return 0.5 * (sorted[pass - 1] + sorted[pass]);
+}
+
+double MeasuredGreaterSelectivity(const std::vector<double>& values,
+                                  double constant) {
+  if (values.empty()) return 0.0;
+  std::size_t pass = 0;
+  for (const double v : values) {
+    if (v > constant) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(values.size());
+}
+
+}  // namespace vaolib::workload

@@ -1,0 +1,29 @@
+// Copyright 2026 The vaolib Authors.
+// Selectivity-targeted predicate constants for the Figure 8/9 sweeps: given
+// the converged function results, pick the constant that makes a ">"
+// predicate pass a requested fraction of rows.
+
+#ifndef VAOLIB_WORKLOAD_SELECTIVITY_H_
+#define VAOLIB_WORKLOAD_SELECTIVITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace vaolib::workload {
+
+/// \brief Returns a constant c such that  value > c  holds for (approximately)
+/// \p selectivity * values.size() of the inputs: the midpoint between the
+/// k-th and (k+1)-th largest values, clamping at the extremes.
+///
+/// \return InvalidArgument for empty inputs or selectivity outside [0, 1].
+Result<double> ConstantForGreaterSelectivity(const std::vector<double>& values,
+                                             double selectivity);
+
+/// \brief Fraction of \p values strictly greater than \p constant.
+double MeasuredGreaterSelectivity(const std::vector<double>& values,
+                                  double constant);
+
+}  // namespace vaolib::workload
+
+#endif  // VAOLIB_WORKLOAD_SELECTIVITY_H_

@@ -1,0 +1,67 @@
+#include "workload/shift_scheme.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "vao/black_box.h"
+#include "vao/shifted_result_object.h"
+
+namespace vaolib::workload {
+
+Result<std::vector<double>> ConvergedValues(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    WorkMeter scratch;
+    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                            function.Invoke(row, &scratch));
+    VAOLIB_RETURN_IF_ERROR(vao::ConvergeToMinWidth(object.get()).status());
+    values.push_back(object->bounds().Mid());
+  }
+  return values;
+}
+
+double DrawTarget(const TargetDistribution& target, Rng* rng) {
+  switch (target.shape) {
+    case TargetShape::kGaussian:
+      return rng->Gaussian(target.mean, target.stddev);
+    case TargetShape::kHalfGaussianBelow:
+      return target.mean - std::abs(rng->Gaussian(0.0, target.stddev));
+  }
+  return target.mean;
+}
+
+Result<std::vector<double>> ComputeShiftDeltas(
+    const std::vector<double>& real_values, const TargetDistribution& target,
+    Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("shift scheme requires an Rng");
+  }
+  if (!(target.stddev >= 0.0)) {
+    return Status::InvalidArgument("target stddev must be >= 0");
+  }
+  const std::size_t n = real_values.size();
+  std::vector<double> generated(n);
+  for (auto& g : generated) g = DrawTarget(target, rng);
+
+  // Random one-to-one mapping between generated results and real bonds.
+  const std::vector<std::size_t> perm = rng->Permutation(n);
+  std::vector<double> deltas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deltas[i] = generated[perm[i]] - real_values[i];
+  }
+  return deltas;
+}
+
+Result<vao::ResultObjectPtr> InvokeShifted(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<double>& row, double delta, WorkMeter* meter) {
+  VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr inner,
+                          function.Invoke(row, meter));
+  return vao::ResultObjectPtr(
+      new vao::ShiftedResultObject(std::move(inner), delta));
+}
+
+}  // namespace vaolib::workload

@@ -1,0 +1,64 @@
+// Copyright 2026 The vaolib Authors.
+// The Section 6 synthetic-data scheme: impose a chosen distribution of
+// function results while keeping each function's real convergence behaviour.
+//
+// Procedure (verbatim from the paper): converge every real bond to $.01 to
+// learn its true result; draw the same number of results from the target
+// distribution; randomly map generated results 1:1 onto real bonds; compute
+// each delta = generated - real; and run every synthetic iteration against
+// the real bond's result object, shifting the bounds by the delta.
+
+#ifndef VAOLIB_WORKLOAD_SHIFT_SCHEME_H_
+#define VAOLIB_WORKLOAD_SHIFT_SCHEME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "vao/result_object.h"
+
+namespace vaolib::workload {
+
+/// \brief Target distribution shapes used by the stress experiments.
+enum class TargetShape {
+  /// Gaussian(mean, stddev): the Figure 10 selection stressor, with the
+  /// mean placed on the predicate constant.
+  kGaussian,
+  /// mean - |N(0, stddev)|: the lower half-Gaussian of Figure 11, clustering
+  /// results immediately below a common maximum at `mean`.
+  kHalfGaussianBelow,
+};
+
+/// \brief Target distribution parameters.
+struct TargetDistribution {
+  TargetShape shape = TargetShape::kGaussian;
+  double mean = 100.0;
+  double stddev = 1.0;  ///< >= 0; 0 makes every result exactly `mean`
+};
+
+/// \brief Converges a fresh result object per argument row (scratch meter;
+/// work not charged anywhere) and returns the converged midpoints -- the
+/// "real results known within $.01" step of the scheme.
+Result<std::vector<double>> ConvergedValues(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows);
+
+/// \brief Draws one value from \p target.
+double DrawTarget(const TargetDistribution& target, Rng* rng);
+
+/// \brief Computes per-row shift deltas: draws rows.size() target values,
+/// randomly permutes the mapping, and returns generated[perm[i]] - real[i].
+Result<std::vector<double>> ComputeShiftDeltas(
+    const std::vector<double>& real_values, const TargetDistribution& target,
+    Rng* rng);
+
+/// \brief Wraps a fresh invocation of \p function on \p row in a
+/// ShiftedResultObject carrying \p delta.
+Result<vao::ResultObjectPtr> InvokeShifted(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<double>& row, double delta, WorkMeter* meter);
+
+}  // namespace vaolib::workload
+
+#endif  // VAOLIB_WORKLOAD_SHIFT_SCHEME_H_

@@ -1,0 +1,210 @@
+// Tests for CSV relation I/O, SQL-parser robustness fuzzing, and the
+// two-factor model running through the query engine.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "engine/csv.h"
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+#include "finance/bond_model.h"
+#include "finance/two_factor_model.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::engine {
+namespace {
+
+TEST(CsvSplitTest, PlainAndQuotedFields) {
+  auto fields = SplitCsvRecord("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+
+  fields = SplitCsvRecord("\"x,y\",plain,\"he said \"\"hi\"\"\"");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"x,y", "plain",
+                                               "he said \"hi\""}));
+
+  fields = SplitCsvRecord("one");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 1u);
+
+  fields = SplitCsvRecord("a,,c");  // empty field preserved
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "");
+}
+
+TEST(CsvSplitTest, RejectsMalformedQuoting) {
+  EXPECT_FALSE(SplitCsvRecord("\"unterminated").ok());
+  EXPECT_FALSE(SplitCsvRecord("ab\"cd").ok());
+}
+
+TEST(CsvLoadTest, RoundTripsThroughSave) {
+  const Schema schema({{"id", ColumnType::kInt},
+                       {"name", ColumnType::kString},
+                       {"weight", ColumnType::kDouble}});
+  Relation original(schema);
+  ASSERT_TRUE(original.Append({std::int64_t{1}, "alpha, beta", 1.5}).ok());
+  ASSERT_TRUE(original.Append({std::int64_t{2}, "plain", -0.25}).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRelationCsv(original, buffer).ok());
+  const auto loaded = LoadRelationCsv(buffer, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->At(0, 0).ValueOrDie().AsInt().ValueOrDie(), 1);
+  EXPECT_EQ(loaded->At(0, 1).ValueOrDie().AsString().ValueOrDie(),
+            "alpha, beta");
+  EXPECT_DOUBLE_EQ(
+      loaded->At(1, 2).ValueOrDie().AsDouble().ValueOrDie(), -0.25);
+}
+
+TEST(CsvLoadTest, SkipsBlankLinesAndToleratesCrlf) {
+  const Schema schema({{"x", ColumnType::kDouble}});
+  std::stringstream input("x\r\n1.5\r\n\r\n2.5\n");
+  const auto relation = LoadRelationCsv(input, schema);
+  ASSERT_TRUE(relation.ok()) << relation.status();
+  EXPECT_EQ(relation->size(), 2u);
+}
+
+TEST(CsvLoadTest, RejectsBadInputsWithLineNumbers) {
+  const Schema schema({{"id", ColumnType::kInt},
+                       {"w", ColumnType::kDouble}});
+  {
+    std::stringstream input("");
+    EXPECT_FALSE(LoadRelationCsv(input, schema).ok());
+  }
+  {
+    std::stringstream input("id,wrong\n1,2\n");
+    EXPECT_FALSE(LoadRelationCsv(input, schema).ok());  // header mismatch
+  }
+  {
+    std::stringstream input("id,w\n1\n");
+    const auto result = LoadRelationCsv(input, schema);
+    ASSERT_FALSE(result.ok());  // arity
+    EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  }
+  {
+    std::stringstream input("id,w\nnotanint,2.0\n");
+    EXPECT_FALSE(LoadRelationCsv(input, schema).ok());
+  }
+  {
+    std::stringstream input("id,w\n1,notadouble\n");
+    EXPECT_FALSE(LoadRelationCsv(input, schema).ok());
+  }
+  EXPECT_EQ(LoadRelationCsvFile("/nonexistent/path.csv", schema)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvLoadTest, LoadedRelationDrivesAQuery) {
+  const Schema schema({{"bond_index", ColumnType::kDouble}});
+  std::stringstream input("bond_index\n0\n1\n2\n");
+  const auto relation = LoadRelationCsv(input, schema);
+  ASSERT_TRUE(relation.ok());
+
+  workload::PortfolioSpec spec;
+  spec.count = 3;
+  const finance::BondPricingFunction model(
+      workload::GeneratePortfolio(606, spec), finance::BondModelConfig{});
+  Query query;
+  query.kind = QueryKind::kMax;
+  query.function = &model;
+  query.args = {ArgRef::StreamField("rate"),
+                ArgRef::RelationField("bond_index")};
+  query.epsilon = 0.01;
+  auto executor = CqExecutor::Create(
+      &*relation, Schema({{"rate", ColumnType::kDouble}}), query,
+      ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok());
+  const auto result = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->winner_row.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SQL parser robustness: random garbage must produce clean errors, and
+// token-dropped variants of a valid query must never crash.
+
+TEST(SqlParserFuzzTest, RandomGarbageNeverCrashes) {
+  FunctionRegistry registry;
+  const Schema stream({{"rate", ColumnType::kDouble}});
+  const Schema relation({{"bond_index", ColumnType::kDouble}});
+  Rng rng(777);
+  const std::string alphabet =
+      "SELECT MAX(model rate, bond_index)*<>=0.19 FROM bd WHERE \"'%\n\t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sql;
+    const auto len = rng.UniformInt(0, 60);
+    for (int i = 0; i < len; ++i) {
+      sql += alphabet[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    const auto result = ParseQuery(sql, registry, stream, relation);
+    // Almost everything fails to parse; the point is: Status, not UB.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(SqlParserFuzzTest, TokenDroppedVariantsFailCleanly) {
+  workload::PortfolioSpec spec;
+  spec.count = 1;
+  const finance::BondPricingFunction model(
+      workload::GeneratePortfolio(607, spec), finance::BondModelConfig{});
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.Register(&model).ok());
+  const Schema stream({{"rate", ColumnType::kDouble}});
+  const Schema relation({{"bond_index", ColumnType::kDouble}});
+
+  const std::string sql =
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd PRECISION 5";
+  // Drop every single character in turn; parse must never crash and a
+  // successful parse must still be a SUM query.
+  for (std::size_t i = 0; i < sql.size(); ++i) {
+    std::string variant = sql;
+    variant.erase(i, 1);
+    const auto result = ParseQuery(variant, registry, stream, relation);
+    if (result.ok()) {
+      EXPECT_EQ(result->kind, QueryKind::kSum);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-factor model through the engine (stream rate + constant index level).
+
+TEST(TwoFactorEngineTest, MaxQueryOverTwoFactorModel) {
+  workload::PortfolioSpec spec;
+  spec.count = 3;
+  finance::TwoFactorModelConfig config;
+  config.pde.min_width = 0.25;  // coarse for test speed
+  const finance::TwoFactorBondPricingFunction model(
+      workload::GeneratePortfolio(608, spec), config);
+
+  Relation bd(Schema({{"bond_index", ColumnType::kDouble}}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(bd.Append({static_cast<double>(i)}).ok());
+  }
+  Query query;
+  query.kind = QueryKind::kMax;
+  query.function = &model;
+  query.args = {ArgRef::StreamField("rate"), ArgRef::Constant(0.1),
+                ArgRef::RelationField("bond_index")};
+  query.epsilon = 0.25;
+
+  auto executor = CqExecutor::Create(
+      &bd, Schema({{"rate", ColumnType::kDouble}}), query,
+      ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  const auto result = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->winner_row.has_value());
+  EXPECT_LE(result->aggregate_bounds.Width(), 0.25 + 1e-9);
+}
+
+}  // namespace
+}  // namespace vaolib::engine

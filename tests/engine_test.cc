@@ -1,0 +1,279 @@
+// Unit tests for src/engine: Value/Schema/Relation plumbing and the
+// continuous-query executor running Q1-Q3 over a small bond portfolio in
+// both VAO and traditional modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "engine/value.h"
+#include "finance/bond_model.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::engine {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  const Value i(std::int64_t{7});
+  const Value d(2.5);
+  const Value s("text");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_DOUBLE_EQ(i.AsDouble().ValueOrDie(), 7.0);
+  EXPECT_DOUBLE_EQ(d.AsDouble().ValueOrDie(), 2.5);
+  EXPECT_FALSE(s.AsDouble().ok());
+  EXPECT_EQ(i.AsInt().ValueOrDie(), 7);
+  EXPECT_FALSE(d.AsInt().ok());
+  EXPECT_EQ(s.AsString().ValueOrDie(), "text");
+  EXPECT_EQ(i.ToString(), "7");
+  EXPECT_EQ(s.ToString(), "text");
+}
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema schema({{"rate", ColumnType::kDouble},
+                       {"name", ColumnType::kString}});
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.IndexOf("rate").ValueOrDie(), 0u);
+  EXPECT_EQ(schema.IndexOf("name").ValueOrDie(), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+}
+
+TEST(RelationTest, SchemaCheckedAppend) {
+  Relation relation(Schema({{"id", ColumnType::kInt},
+                            {"weight", ColumnType::kDouble}}));
+  EXPECT_TRUE(relation.Append({std::int64_t{0}, 1.5}).ok());
+  EXPECT_FALSE(relation.Append({std::int64_t{0}}).ok());       // arity
+  EXPECT_FALSE(relation.Append({1.5, std::int64_t{0}}).ok());  // types
+  EXPECT_EQ(relation.size(), 1u);
+  EXPECT_EQ(relation.At(0, 1).ValueOrDie().AsDouble().ValueOrDie(), 1.5);
+  EXPECT_FALSE(relation.At(1, 0).ok());
+  EXPECT_FALSE(relation.At(0, 5).ok());
+}
+
+TEST(RelationTest, NumericColumn) {
+  Relation relation(Schema({{"w", ColumnType::kDouble}}));
+  ASSERT_TRUE(relation.Append({1.0}).ok());
+  ASSERT_TRUE(relation.Append({2.0}).ok());
+  const auto column = relation.NumericColumn("w");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(*column, (std::vector<double>{1.0, 2.0}));
+  EXPECT_FALSE(relation.NumericColumn("missing").ok());
+}
+
+// Fixture wiring a small bond portfolio into the engine.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 6;
+    bonds_ = workload::GeneratePortfolio(2024, spec);
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        bonds_, finance::BondModelConfig{});
+
+    relation_ = std::make_unique<Relation>(
+        Schema({{"bond_index", ColumnType::kDouble},
+                {"weight", ColumnType::kDouble}}));
+    for (std::size_t i = 0; i < bonds_.size(); ++i) {
+      ASSERT_TRUE(
+          relation_
+              ->Append({static_cast<double>(i),
+                        i == 0 ? 10.0 : 1.0})  // one hot bond
+              .ok());
+    }
+    stream_schema_ = Schema({{"rate", ColumnType::kDouble}});
+  }
+
+  Query BaseQuery() const {
+    Query query;
+    query.function = function_.get();
+    query.args = {ArgRef::StreamField("rate"),
+                  ArgRef::RelationField("bond_index")};
+    return query;
+  }
+
+  std::vector<finance::Bond> bonds_;
+  std::unique_ptr<finance::BondPricingFunction> function_;
+  std::unique_ptr<Relation> relation_;
+  Schema stream_schema_;
+};
+
+TEST_F(ExecutorTest, SelectionAgreesAcrossModes) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kSelect;
+  query.cmp = operators::Comparator::kGreaterThan;
+  query.constant = 100.0;
+
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  auto trad = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                 ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+
+  const Tuple tick{0.0575};
+  const auto vao_result = (*vao)->ProcessTick(tick);
+  const auto trad_result = (*trad)->ProcessTick(tick);
+  ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+  ASSERT_TRUE(trad_result.ok()) << trad_result.status();
+  EXPECT_EQ(vao_result->passing_rows, trad_result->passing_rows);
+  EXPECT_FALSE(vao_result->passing_rows.empty());
+  EXPECT_LT(vao_result->passing_rows.size(), bonds_.size());
+  // The headline claim: far less work with VAOs.
+  EXPECT_LT(vao_result->work_units, trad_result->work_units);
+}
+
+TEST_F(ExecutorTest, MaxAgreesAcrossModes) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kMax;
+  query.epsilon = 0.01;
+
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  auto trad = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                 ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+  const Tuple tick{0.0575};
+  const auto vao_result = (*vao)->ProcessTick(tick);
+  const auto trad_result = (*trad)->ProcessTick(tick);
+  ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+  ASSERT_TRUE(trad_result.ok());
+  ASSERT_TRUE(vao_result->winner_row.has_value());
+  ASSERT_TRUE(trad_result->winner_row.has_value());
+  EXPECT_EQ(*vao_result->winner_row, *trad_result->winner_row);
+  EXPECT_LE(vao_result->aggregate_bounds.Width(), query.epsilon);
+  EXPECT_TRUE(vao_result->aggregate_bounds.Contains(
+      trad_result->aggregate_bounds.Mid()));
+  EXPECT_LT(vao_result->work_units, trad_result->work_units);
+}
+
+TEST_F(ExecutorTest, MinAgreesAcrossModes) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kMin;
+  query.epsilon = 0.01;
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  auto trad = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                 ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+  const Tuple tick{0.0575};
+  const auto vao_result = (*vao)->ProcessTick(tick);
+  const auto trad_result = (*trad)->ProcessTick(tick);
+  ASSERT_TRUE(vao_result.ok());
+  ASSERT_TRUE(trad_result.ok());
+  EXPECT_EQ(*vao_result->winner_row, *trad_result->winner_row);
+}
+
+TEST_F(ExecutorTest, WeightedSumBoundsContainTraditionalValue) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kSum;
+  query.weight_column = "weight";
+  query.epsilon = 0.15;  // 15 * $.01, matching the paper's scaling
+
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  auto trad = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                 ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+  const Tuple tick{0.0575};
+  const auto vao_result = (*vao)->ProcessTick(tick);
+  const auto trad_result = (*trad)->ProcessTick(tick);
+  ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+  ASSERT_TRUE(trad_result.ok());
+  EXPECT_LE(vao_result->aggregate_bounds.Width(), query.epsilon + 1e-9);
+  EXPECT_NEAR(vao_result->aggregate_bounds.Mid(),
+              trad_result->aggregate_bounds.Mid(),
+              query.epsilon);
+}
+
+TEST_F(ExecutorTest, AveUsesUniformWeights) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kAve;
+  query.epsilon = 0.01;
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  ASSERT_TRUE(vao.ok());
+  const auto result = (*vao)->ProcessTick({0.0575});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Average bond price should be near par for this portfolio.
+  EXPECT_GT(result->aggregate_bounds.Mid(), 60.0);
+  EXPECT_LT(result->aggregate_bounds.Mid(), 160.0);
+}
+
+TEST_F(ExecutorTest, MultipleTicksAccumulateWork) {
+  Query query = BaseQuery();
+  query.kind = QueryKind::kSelect;
+  query.constant = 100.0;
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE((*vao)->ProcessTick({0.055}).ok());
+  const auto after_one = (*vao)->meter().Total();
+  ASSERT_TRUE((*vao)->ProcessTick({0.0575}).ok());
+  EXPECT_GT((*vao)->meter().Total(), after_one);
+  (*vao)->ResetMeter();
+  EXPECT_EQ((*vao)->meter().Total(), 0u);
+}
+
+TEST_F(ExecutorTest, CreateValidatesBindings) {
+  Query query = BaseQuery();
+  query.args = {ArgRef::StreamField("rate")};  // wrong arity
+  EXPECT_FALSE(CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                  ExecutionMode::kVao)
+                   .ok());
+
+  query = BaseQuery();
+  query.args = {ArgRef::StreamField("nope"),
+                ArgRef::RelationField("bond_index")};
+  EXPECT_FALSE(CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                  ExecutionMode::kVao)
+                   .ok());
+
+  query = BaseQuery();
+  query.weight_column = "missing";
+  query.kind = QueryKind::kSum;
+  EXPECT_FALSE(CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                  ExecutionMode::kVao)
+                   .ok());
+
+  query = BaseQuery();
+  query.function = nullptr;
+  EXPECT_FALSE(CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                  ExecutionMode::kVao)
+                   .ok());
+  EXPECT_FALSE(CqExecutor::Create(nullptr, stream_schema_, BaseQuery(),
+                                  ExecutionMode::kVao)
+                   .ok());
+}
+
+TEST_F(ExecutorTest, ProcessTickValidatesTuple) {
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, BaseQuery(),
+                                ExecutionMode::kVao);
+  ASSERT_TRUE(vao.ok());
+  EXPECT_FALSE((*vao)->ProcessTick({}).ok());
+  EXPECT_FALSE((*vao)->ProcessTick({0.05, 0.06}).ok());
+}
+
+TEST_F(ExecutorTest, ConstantArgBinding) {
+  // Bind the rate as a constant instead of a stream field.
+  Query query = BaseQuery();
+  query.args = {ArgRef::Constant(0.0575),
+                ArgRef::RelationField("bond_index")};
+  query.kind = QueryKind::kSelect;
+  query.constant = 100.0;
+  auto vao = CqExecutor::Create(relation_.get(), stream_schema_, query,
+                                ExecutionMode::kVao);
+  ASSERT_TRUE(vao.ok());
+  const auto result = (*vao)->ProcessTick({0.9});  // stream value unused
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+}  // namespace
+}  // namespace vaolib::engine

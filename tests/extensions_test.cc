@@ -1,0 +1,431 @@
+// Tests for the extension modules: Romberg integration, the RK4 IVP solver
+// and its result object, the bounds cache / caching function, and TOP-K
+// through the query engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "engine/executor.h"
+#include "finance/bond_model.h"
+#include "numeric/integration.h"
+#include "numeric/ode_ivp.h"
+#include "vao/function_cache.h"
+#include "vao/ivp_result_object.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Romberg integration
+
+TEST(RombergTest, ConvergesMuchFasterThanTrapezoid) {
+  numeric::RefinableIntegral::Options trap;
+  numeric::RefinableIntegral::Options romberg;
+  romberg.rule = numeric::IntegrationRule::kRomberg;
+  auto integrand = [](double x) { return std::exp(x); };
+  const double truth = std::numbers::e - 1.0;
+
+  auto ft = numeric::RefinableIntegral::Create(integrand, 0.0, 1.0, trap,
+                                               nullptr);
+  auto fr = numeric::RefinableIntegral::Create(integrand, 0.0, 1.0, romberg,
+                                               nullptr);
+  ASSERT_TRUE(ft.ok());
+  ASSERT_TRUE(fr.ok());
+  numeric::RefinableIntegral t = std::move(ft).value();
+  numeric::RefinableIntegral r = std::move(fr).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.Refine(nullptr).ok());
+    ASSERT_TRUE(r.Refine(nullptr).ok());
+  }
+  EXPECT_LT(std::abs(r.estimate() - truth),
+            std::abs(t.estimate() - truth) / 100.0);
+}
+
+TEST(RombergTest, BoundsContainTruthThroughRefinement) {
+  numeric::RefinableIntegral::Options options;
+  options.rule = numeric::IntegrationRule::kRomberg;
+  auto made = numeric::RefinableIntegral::Create(
+      [](double x) { return std::sin(x); }, 0.0, std::numbers::pi, options,
+      nullptr);
+  ASSERT_TRUE(made.ok());
+  numeric::RefinableIntegral r = std::move(made).value();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(r.bounds().Contains(2.0)) << "level " << r.level();
+    ASSERT_TRUE(r.Refine(nullptr).ok());
+  }
+  EXPECT_LT(r.error_bound(), 1e-10);
+}
+
+TEST(RombergTest, OneShotRejected) {
+  EXPECT_FALSE(numeric::Integrate([](double x) { return x; }, 0.0, 1.0,
+                                  numeric::IntegrationRule::kRomberg, 4, 1,
+                                  nullptr)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// RK4 IVP solver
+
+TEST(OdeIvpTest, MatchesExponentialClosedForm) {
+  numeric::OdeIvpProblem problem;
+  problem.f = [](double, double y) { return y; };
+  problem.t0 = 0.0;
+  problem.y0 = 1.0;
+  problem.t1 = 1.0;
+  WorkMeter meter;
+  const auto result = numeric::SolveOdeIvpRk4(problem, 32, &meter);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value(), std::numbers::e, 1e-7);
+  EXPECT_EQ(meter.ExecUnits(), 32u * 4u);
+}
+
+TEST(OdeIvpTest, FourthOrderConvergence) {
+  numeric::OdeIvpProblem problem;
+  problem.f = [](double t, double y) { return -2.0 * t * y; };
+  problem.t0 = 0.0;
+  problem.y0 = 1.0;
+  problem.t1 = 1.0;
+  const double truth = std::exp(-1.0);
+  const double e1 =
+      std::abs(numeric::SolveOdeIvpRk4(problem, 8, nullptr).ValueOrDie() -
+               truth);
+  const double e2 =
+      std::abs(numeric::SolveOdeIvpRk4(problem, 16, nullptr).ValueOrDie() -
+               truth);
+  EXPECT_NEAR(e1 / e2, 16.0, 6.0);  // O(h^4)
+}
+
+TEST(OdeIvpTest, RejectsMalformedInputs) {
+  numeric::OdeIvpProblem problem;
+  EXPECT_FALSE(numeric::SolveOdeIvpRk4(problem, 8, nullptr).ok());  // no f
+  problem.f = [](double, double y) { return y; };
+  problem.t1 = -1.0;
+  EXPECT_FALSE(numeric::SolveOdeIvpRk4(problem, 8, nullptr).ok());
+  problem.t1 = 1.0;
+  EXPECT_FALSE(numeric::SolveOdeIvpRk4(problem, 0, nullptr).ok());
+}
+
+TEST(IvpResultObjectTest, BoundsContainClosedFormThroughout) {
+  numeric::OdeIvpProblem problem;
+  problem.f = [](double t, double y) { return std::cos(t) * y; };
+  problem.t0 = 0.0;
+  problem.y0 = 1.0;
+  problem.t1 = 2.0;
+  const double truth = std::exp(std::sin(2.0));
+
+  WorkMeter meter;
+  auto made = vao::IvpResultObject::Create(problem, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  vao::ResultObject* object = made->get();
+  while (!object->AtStoppingCondition()) {
+    EXPECT_TRUE(object->bounds().Contains(truth)) << object->bounds();
+    ASSERT_TRUE(object->Iterate().ok());
+  }
+  EXPECT_NEAR(object->bounds().Mid(), truth, 1e-8);
+}
+
+TEST(IvpResultObjectTest, EstCostMatchesActualAndDoubles) {
+  numeric::OdeIvpProblem problem;
+  problem.f = [](double, double y) { return -y; };
+  problem.t0 = 0.0;
+  problem.y0 = 1.0;
+  problem.t1 = 1.0;
+  WorkMeter meter;
+  auto made = vao::IvpResultObject::Create(problem, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  vao::ResultObject* object = made->get();
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t predicted = object->est_cost();
+    const std::uint64_t before = meter.ExecUnits();
+    ASSERT_TRUE(object->Iterate().ok());
+    EXPECT_EQ(meter.ExecUnits() - before, predicted);
+  }
+}
+
+TEST(IvpFunctionTest, BuildsObjectsFromArgs) {
+  vao::IvpResultOptions options;
+  options.min_width = 1e-8;
+  const vao::IvpFunction function(
+      "decay", 1,
+      [](const std::vector<double>& args)
+          -> Result<numeric::OdeIvpProblem> {
+        numeric::OdeIvpProblem problem;
+        const double rate = args[0];
+        problem.f = [rate](double, double y) { return -rate * y; };
+        problem.t0 = 0.0;
+        problem.y0 = 1.0;
+        problem.t1 = 1.0;
+        return problem;
+      },
+      options);
+  WorkMeter meter;
+  auto object = function.Invoke({0.5}, &meter);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+  EXPECT_NEAR((*object)->bounds().Mid(), std::exp(-0.5), 1e-7);
+  EXPECT_FALSE(function.Invoke({}, &meter).ok());  // arity
+}
+
+// ---------------------------------------------------------------------------
+// BoundsCache / CachingFunction
+
+TEST(BoundsCacheTest, LookupUpdateAndIntersection) {
+  vao::BoundsCache cache(8);
+  EXPECT_FALSE(cache.Lookup({1.0}).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Update({1.0}, Bounds(0.0, 10.0), 0.01);
+  auto entry = cache.Lookup({1.0});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bounds, Bounds(0.0, 10.0));
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Updates intersect: both stored and new bounds are sound.
+  cache.Update({1.0}, Bounds(2.0, 12.0), 0.01);
+  entry = cache.Lookup({1.0});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bounds, Bounds(2.0, 10.0));
+}
+
+TEST(BoundsCacheTest, LruEviction) {
+  vao::BoundsCache cache(2);
+  cache.Update({1.0}, Bounds(0, 1), 0.01);
+  cache.Update({2.0}, Bounds(0, 1), 0.01);
+  ASSERT_TRUE(cache.Lookup({1.0}).has_value());  // refresh {1.0}
+  cache.Update({3.0}, Bounds(0, 1), 0.01);       // evicts {2.0}
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup({1.0}).has_value());
+  EXPECT_FALSE(cache.Lookup({2.0}).has_value());
+  EXPECT_TRUE(cache.Lookup({3.0}).has_value());
+}
+
+TEST(CachingFunctionTest, SecondConvergedInvocationIsFree) {
+  workload::PortfolioSpec spec;
+  spec.count = 1;
+  const finance::BondPricingFunction inner(
+      workload::GeneratePortfolio(55, spec), finance::BondModelConfig{});
+  const vao::CachingFunction cached(&inner);
+
+  // First invocation: full price, paid for, then destroyed (write-back).
+  double first_price = 0.0;
+  WorkMeter first_meter;
+  {
+    auto object = cached.Invoke(inner.ArgsFor(0.0575, 0), &first_meter);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+    first_price = (*object)->bounds().Mid();
+  }
+  EXPECT_GT(first_meter.ExecUnits(), 0u);
+
+  // Second invocation with identical args: served from cache, zero cost.
+  WorkMeter second_meter;
+  {
+    auto object = cached.Invoke(inner.ArgsFor(0.0575, 0), &second_meter);
+    ASSERT_TRUE(object.ok());
+    EXPECT_TRUE((*object)->AtStoppingCondition());
+    EXPECT_NEAR((*object)->bounds().Mid(), first_price, 0.01);
+  }
+  EXPECT_EQ(second_meter.ExecUnits(), 0u);
+
+  // Different args still pay.
+  WorkMeter third_meter;
+  {
+    auto object = cached.Invoke(inner.ArgsFor(0.06, 0), &third_meter);
+    ASSERT_TRUE(object.ok());
+  }
+  EXPECT_GT(third_meter.ExecUnits(), 0u);
+}
+
+TEST(CachingFunctionTest, PartialBoundsStillTightenSecondRun) {
+  workload::PortfolioSpec spec;
+  spec.count = 1;
+  const finance::BondPricingFunction inner(
+      workload::GeneratePortfolio(56, spec), finance::BondModelConfig{});
+  const vao::CachingFunction cached(&inner);
+  const auto args = inner.ArgsFor(0.0575, 0);
+
+  // First run iterates a few times only (a cheap selection decision).
+  Bounds partial;
+  {
+    WorkMeter meter;
+    auto object = cached.Invoke(args, &meter);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE((*object)->Iterate().ok());
+    ASSERT_TRUE((*object)->Iterate().ok());
+    partial = (*object)->bounds();
+  }
+
+  // Second run starts no wider than where the first one left off.
+  {
+    WorkMeter meter;
+    auto object = cached.Invoke(args, &meter);
+    ASSERT_TRUE(object.ok());
+    EXPECT_LE((*object)->bounds().Width(), partial.Width() + 1e-12);
+    // And it is still refinable to convergence.
+    ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+  }
+}
+
+TEST(CachingFunctionTest, NameAndArityDelegate) {
+  workload::PortfolioSpec spec;
+  spec.count = 1;
+  const finance::BondPricingFunction inner(
+      workload::GeneratePortfolio(57, spec), finance::BondModelConfig{});
+  const vao::CachingFunction cached(&inner);
+  EXPECT_EQ(cached.name(), "bond_model+cache");
+  EXPECT_EQ(cached.arity(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// TOP-K through the engine
+
+TEST(EngineTopKTest, AgreesAcrossModes) {
+  workload::PortfolioSpec spec;
+  spec.count = 8;
+  const auto bonds = workload::GeneratePortfolio(321, spec);
+  const finance::BondPricingFunction model(bonds,
+                                           finance::BondModelConfig{});
+
+  engine::Relation bd(
+      engine::Schema({{"bond_index", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    ASSERT_TRUE(bd.Append({static_cast<double>(i)}).ok());
+  }
+
+  engine::Query query;
+  query.kind = engine::QueryKind::kTopK;
+  query.k = 3;
+  query.function = &model;
+  query.args = {engine::ArgRef::StreamField("rate"),
+                engine::ArgRef::RelationField("bond_index")};
+  query.epsilon = 0.01;
+
+  const engine::Schema stream_schema(
+      {{"rate", engine::ColumnType::kDouble}});
+  auto vao = engine::CqExecutor::Create(&bd, stream_schema, query,
+                                        engine::ExecutionMode::kVao);
+  auto trad = engine::CqExecutor::Create(&bd, stream_schema, query,
+                                         engine::ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+
+  const auto vao_result = (*vao)->ProcessTick({0.0575});
+  const auto trad_result = (*trad)->ProcessTick({0.0575});
+  ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+  ASSERT_TRUE(trad_result.ok()) << trad_result.status();
+  ASSERT_EQ(vao_result->top_rows.size(), 3u);
+  ASSERT_EQ(trad_result->top_rows.size(), 3u);
+  EXPECT_EQ(vao_result->top_rows, trad_result->top_rows);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(vao_result->top_bounds[i].Width(), 0.01 + 1e-12);
+    EXPECT_TRUE(vao_result->top_bounds[i].Contains(
+        trad_result->top_bounds[i].Mid()));
+  }
+  EXPECT_LT(vao_result->work_units, trad_result->work_units);
+}
+
+TEST(EngineTopKTest, RejectsBadK) {
+  workload::PortfolioSpec spec;
+  spec.count = 2;
+  const auto bonds = workload::GeneratePortfolio(322, spec);
+  const finance::BondPricingFunction model(bonds,
+                                           finance::BondModelConfig{});
+  engine::Relation bd(
+      engine::Schema({{"bond_index", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    ASSERT_TRUE(bd.Append({static_cast<double>(i)}).ok());
+  }
+  engine::Query query;
+  query.kind = engine::QueryKind::kTopK;
+  query.k = 5;  // > relation size
+  query.function = &model;
+  query.args = {engine::ArgRef::StreamField("rate"),
+                engine::ArgRef::RelationField("bond_index")};
+  auto executor = engine::CqExecutor::Create(
+      &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), query,
+      engine::ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok());
+  EXPECT_FALSE((*executor)->ProcessTick({0.0575}).ok());
+}
+
+
+TEST(EngineRangeSelectTest, AgreesAcrossModes) {
+  workload::PortfolioSpec spec;
+  spec.count = 10;
+  const auto bonds = workload::GeneratePortfolio(909, spec);
+  const finance::BondPricingFunction model(bonds,
+                                           finance::BondModelConfig{});
+  engine::Relation bd(
+      engine::Schema({{"bond_index", engine::ColumnType::kDouble}}));
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    ASSERT_TRUE(bd.Append({static_cast<double>(i)}).ok());
+  }
+  engine::Query query;
+  query.kind = engine::QueryKind::kSelectRange;
+  query.function = &model;
+  query.args = {engine::ArgRef::StreamField("rate"),
+                engine::ArgRef::RelationField("bond_index")};
+  query.range_lo = 95.0;
+  query.range_hi = 110.0;
+
+  const engine::Schema stream_schema(
+      {{"rate", engine::ColumnType::kDouble}});
+  auto vao = engine::CqExecutor::Create(&bd, stream_schema, query,
+                                        engine::ExecutionMode::kVao);
+  auto trad = engine::CqExecutor::Create(&bd, stream_schema, query,
+                                         engine::ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+  const auto vao_result = (*vao)->ProcessTick({0.0575});
+  const auto trad_result = (*trad)->ProcessTick({0.0575});
+  ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+  ASSERT_TRUE(trad_result.ok()) << trad_result.status();
+  EXPECT_EQ(vao_result->passing_rows, trad_result->passing_rows);
+  EXPECT_LT(vao_result->work_units, trad_result->work_units);
+}
+
+TEST(CachingFunctionTest, LazyObjectSkipsSolverWhenPriorDecides) {
+  workload::PortfolioSpec spec;
+  spec.count = 1;
+  const finance::BondPricingFunction inner(
+      workload::GeneratePortfolio(58, spec), finance::BondModelConfig{});
+  const vao::CachingFunction cached(&inner);
+  const auto args = inner.ArgsFor(0.0575, 0);
+
+  // Seed the cache with a partially refined object.
+  {
+    WorkMeter meter;
+    auto object = cached.Invoke(args, &meter);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE((*object)->Iterate().ok());
+  }
+
+  // Second invocation: the cached bounds are served with ZERO solver work
+  // as long as no refinement is requested.
+  WorkMeter meter;
+  {
+    auto object = cached.Invoke(args, &meter);
+    ASSERT_TRUE(object.ok());
+    EXPECT_GT((*object)->bounds().Width(), 0.0);
+    EXPECT_EQ(meter.Total(), 0u);
+    // Requesting refinement materializes the inner object and charges.
+    ASSERT_TRUE((*object)->Iterate().ok());
+    EXPECT_GT(meter.Total(), 0u);
+    // And refinement continues to work end-to-end.
+    ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+  }
+
+  // Third invocation: the converge above was written back, so the object is
+  // served converged and free.
+  WorkMeter meter3;
+  auto object = cached.Invoke(args, &meter3);
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE((*object)->AtStoppingCondition());
+  EXPECT_EQ(meter3.Total(), 0u);
+}
+
+}  // namespace
+}  // namespace vaolib

@@ -1,0 +1,17 @@
+// Test alias for the library's synthetic result object. Kept so operator
+// tests read naturally ("FakeResultObject"); the implementation lives in
+// the public header vao/synthetic_result_object.h, where example code and
+// benches can also use it.
+
+#ifndef VAOLIB_TESTS_FAKE_RESULT_OBJECT_H_
+#define VAOLIB_TESTS_FAKE_RESULT_OBJECT_H_
+
+#include "vao/synthetic_result_object.h"
+
+namespace vaolib::vao::testing {
+
+using FakeResultObject = ::vaolib::vao::SyntheticResultObject;
+
+}  // namespace vaolib::vao::testing
+
+#endif  // VAOLIB_TESTS_FAKE_RESULT_OBJECT_H_

@@ -1,0 +1,148 @@
+// Unit tests for src/finance: the bond valuation PDE, the pricing function,
+// and the synthetic interest-rate stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/bond.h"
+#include "finance/bond_model.h"
+#include "vao/black_box.h"
+
+namespace vaolib::finance {
+namespace {
+
+Bond TestBond() {
+  Bond bond;
+  bond.annual_cashflow = 23.0;
+  bond.maturity_years = 5.0;
+  bond.sigma = 0.04;
+  bond.kappa = 0.2;
+  bond.mu = 0.06;
+  bond.q = 0.02;
+  bond.spread = 0.005;
+  return bond;
+}
+
+double ConvergedPrice(const BondPricingFunction& fn, double rate,
+                      std::size_t index) {
+  WorkMeter meter;
+  auto object = fn.Invoke(fn.ArgsFor(rate, index), &meter);
+  EXPECT_TRUE(object.ok()) << object.status();
+  EXPECT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+  return (*object)->bounds().Mid();
+}
+
+TEST(BondPdeTest, PriceNearAnnuityApproximation) {
+  // With modest vol and mean reversion, the price should land near the
+  // deterministic annuity value C(1-e^{-rT})/r at the queried rate.
+  const Bond bond = TestBond();
+  BondModelConfig config;
+  BondPricingFunction fn({bond}, config);
+  const double rate = 0.0575;
+  const double r_eff = rate + bond.spread;
+  const double annuity = bond.annual_cashflow / r_eff *
+                         (1.0 - std::exp(-r_eff * bond.maturity_years));
+  const double price = ConvergedPrice(fn, rate, 0);
+  EXPECT_NEAR(price, annuity, annuity * 0.05);
+}
+
+TEST(BondPdeTest, PriceDecreasesWithRate) {
+  BondModelConfig config;
+  BondPricingFunction fn({TestBond()}, config);
+  const double low = ConvergedPrice(fn, 0.04, 0);
+  const double mid = ConvergedPrice(fn, 0.06, 0);
+  const double high = ConvergedPrice(fn, 0.08, 0);
+  EXPECT_GT(low, mid);
+  EXPECT_GT(mid, high);
+}
+
+TEST(BondPdeTest, PriceIncreasesWithCashflow) {
+  Bond cheap = TestBond();
+  Bond rich = TestBond();
+  rich.annual_cashflow = 26.0;
+  BondModelConfig config;
+  BondPricingFunction fn({cheap, rich}, config);
+  EXPECT_LT(ConvergedPrice(fn, 0.0575, 0), ConvergedPrice(fn, 0.0575, 1));
+}
+
+TEST(BondPdeTest, LongerMaturityWorthMore) {
+  Bond shorter = TestBond();
+  Bond longer = TestBond();
+  shorter.maturity_years = 4.0;
+  longer.maturity_years = 6.0;
+  BondModelConfig config;
+  BondPricingFunction fn({shorter, longer}, config);
+  EXPECT_LT(ConvergedPrice(fn, 0.0575, 0), ConvergedPrice(fn, 0.0575, 1));
+}
+
+TEST(BondPricingFunctionTest, ValidatesArguments) {
+  BondModelConfig config;
+  BondPricingFunction fn({TestBond()}, config);
+  WorkMeter meter;
+  EXPECT_FALSE(fn.Invoke({0.05}, &meter).ok());            // arity
+  EXPECT_FALSE(fn.Invoke({0.5, 0.0}, &meter).ok());        // rate range
+  EXPECT_FALSE(fn.Invoke({0.05, 5.0}, &meter).ok());       // index range
+  EXPECT_FALSE(fn.Invoke({0.05, 0.5}, &meter).ok());       // fractional index
+  EXPECT_TRUE(fn.Invoke({0.05, 0.0}, &meter).ok());
+  EXPECT_EQ(fn.arity(), 2);
+  EXPECT_EQ(fn.name(), "bond_model");
+}
+
+TEST(BondPricingFunctionTest, ArgsForHelper) {
+  BondModelConfig config;
+  BondPricingFunction fn({TestBond()}, config);
+  const auto args = fn.ArgsFor(0.0575, 0);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_DOUBLE_EQ(args[0], 0.0575);
+  EXPECT_DOUBLE_EQ(args[1], 0.0);
+}
+
+TEST(RateSeriesTest, DeterministicPerSeed) {
+  const auto a = SynthesizeRateSeries(5, 50);
+  const auto b = SynthesizeRateSeries(5, 50);
+  const auto c = SynthesizeRateSeries(6, 50);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rate, b[i].rate);
+    EXPECT_EQ(a[i].time_seconds, b[i].time_seconds);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rate != c[i].rate) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RateSeriesTest, TimesIncreaseAndRatesStayClamped) {
+  const auto ticks = SynthesizeRateSeries(7, 500);
+  double prev_time = -1.0;
+  for (const auto& tick : ticks) {
+    EXPECT_GT(tick.time_seconds, prev_time);
+    prev_time = tick.time_seconds;
+    EXPECT_GE(tick.rate, 0.005);
+    EXPECT_LE(tick.rate, 0.18);
+  }
+}
+
+TEST(RateSeriesTest, MeanInterarrivalApproximatelyConfigured) {
+  const auto ticks = SynthesizeRateSeries(11, 2000, 0.0575, 0.0575, 0.0004,
+                                          0.05, 150.0);
+  const double span = ticks.back().time_seconds - ticks.front().time_seconds;
+  const double mean_gap = span / static_cast<double>(ticks.size() - 1);
+  EXPECT_NEAR(mean_gap, 150.0, 15.0);
+}
+
+TEST(RateSeriesTest, StartsAtRequestedRate) {
+  const auto ticks = SynthesizeRateSeries(13, 3, 0.0612);
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_DOUBLE_EQ(ticks.front().rate, 0.0612);
+  EXPECT_DOUBLE_EQ(ticks.front().time_seconds, 0.0);
+}
+
+TEST(RateSeriesTest, EmptyRequestYieldsEmptySeries) {
+  EXPECT_TRUE(SynthesizeRateSeries(1, 0).empty());
+}
+
+}  // namespace
+}  // namespace vaolib::finance

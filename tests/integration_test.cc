@@ -1,0 +1,190 @@
+// End-to-end integration tests: whole continuous queries over multi-tick
+// streams, VAO vs traditional equivalence at every tick, the caching
+// function inside the engine, and a non-finance UDF through the same query
+// plans (the engine is model-agnostic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "engine/executor.h"
+#include "finance/bond.h"
+#include "finance/bond_model.h"
+#include "vao/function_cache.h"
+#include "vao/integral_result_object.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib {
+namespace {
+
+class CqIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 5;
+    bonds_ = workload::GeneratePortfolio(777, spec);
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        bonds_, finance::BondModelConfig{});
+    relation_ = std::make_unique<engine::Relation>(engine::Schema(
+        {{"bond_index", engine::ColumnType::kDouble}}));
+    for (std::size_t i = 0; i < bonds_.size(); ++i) {
+      ASSERT_TRUE(relation_->Append({static_cast<double>(i)}).ok());
+    }
+    ticks_ = finance::SynthesizeRateSeries(/*seed=*/31, /*num_ticks=*/5);
+  }
+
+  engine::Query BaseQuery() const {
+    engine::Query query;
+    query.function = function_.get();
+    query.args = {engine::ArgRef::StreamField("rate"),
+                  engine::ArgRef::RelationField("bond_index")};
+    return query;
+  }
+
+  engine::Schema StreamSchema() const {
+    return engine::Schema({{"rate", engine::ColumnType::kDouble}});
+  }
+
+  std::vector<finance::Bond> bonds_;
+  std::unique_ptr<finance::BondPricingFunction> function_;
+  std::unique_ptr<engine::Relation> relation_;
+  std::vector<finance::RateTick> ticks_;
+};
+
+TEST_F(CqIntegrationTest, SelectionAgreesAcrossModesOnEveryTick) {
+  engine::Query query = BaseQuery();
+  query.kind = engine::QueryKind::kSelect;
+  query.constant = 100.0;
+  auto vao = engine::CqExecutor::Create(relation_.get(), StreamSchema(),
+                                        query, engine::ExecutionMode::kVao);
+  auto trad = engine::CqExecutor::Create(
+      relation_.get(), StreamSchema(), query,
+      engine::ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+
+  for (const auto& tick : ticks_) {
+    const auto vao_result = (*vao)->ProcessTick({tick.rate});
+    const auto trad_result = (*trad)->ProcessTick({tick.rate});
+    ASSERT_TRUE(vao_result.ok()) << vao_result.status();
+    ASSERT_TRUE(trad_result.ok()) << trad_result.status();
+    EXPECT_EQ(vao_result->passing_rows, trad_result->passing_rows)
+        << "rate " << tick.rate;
+  }
+  // Cumulative work comparison across the whole stream.
+  EXPECT_LT((*vao)->meter().Total(), (*trad)->meter().Total());
+}
+
+TEST_F(CqIntegrationTest, MaxWinnerStableAcrossTicksAndModes) {
+  engine::Query query = BaseQuery();
+  query.kind = engine::QueryKind::kMax;
+  query.epsilon = 0.01;
+  auto vao = engine::CqExecutor::Create(relation_.get(), StreamSchema(),
+                                        query, engine::ExecutionMode::kVao);
+  auto trad = engine::CqExecutor::Create(
+      relation_.get(), StreamSchema(), query,
+      engine::ExecutionMode::kTraditional);
+  ASSERT_TRUE(vao.ok());
+  ASSERT_TRUE(trad.ok());
+  for (const auto& tick : ticks_) {
+    const auto vao_result = (*vao)->ProcessTick({tick.rate});
+    const auto trad_result = (*trad)->ProcessTick({tick.rate});
+    ASSERT_TRUE(vao_result.ok());
+    ASSERT_TRUE(trad_result.ok());
+    if (!vao_result->tie) {
+      EXPECT_EQ(*vao_result->winner_row, *trad_result->winner_row);
+    }
+  }
+}
+
+TEST_F(CqIntegrationTest, CachingFunctionInsideEngineSavesOnRepeats) {
+  const vao::CachingFunction cached(function_.get());
+  engine::Query query = BaseQuery();
+  query.function = &cached;
+  query.kind = engine::QueryKind::kSelect;
+  query.constant = 100.0;
+
+  auto executor = engine::CqExecutor::Create(
+      relation_.get(), StreamSchema(), query, engine::ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok());
+
+  // The same rate three times: second and third passes hit the cache.
+  const auto first = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(first.ok()) << first.status();
+  const auto second = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(second.ok());
+  const auto third = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(third.ok());
+
+  EXPECT_EQ(first->passing_rows, second->passing_rows);
+  EXPECT_EQ(first->passing_rows, third->passing_rows);
+  EXPECT_LT(second->work_units, first->work_units);
+  EXPECT_LE(third->work_units, second->work_units);
+  EXPECT_GT(cached.cache().hits(), 0u);
+}
+
+TEST_F(CqIntegrationTest, NonFinanceUdfThroughTheSameEngine) {
+  // An integral-family UDF: f(scale, shift) = \int_0^2 exp(-scale x) dx
+  // shifted -- the engine and operators are agnostic to the solver class.
+  vao::IntegralResultOptions options;
+  options.min_width = 1e-6;
+  const vao::IntegralFunction integral(
+      "expdecay_area", 2,
+      [](const std::vector<double>& args) -> Result<vao::IntegralProblem> {
+        const double scale = args[0];
+        const double shift = args[1];
+        vao::IntegralProblem problem;
+        problem.integrand = [scale, shift](double x) {
+          return std::exp(-scale * x) + shift;
+        };
+        problem.a = 0.0;
+        problem.b = 2.0;
+        return problem;
+      },
+      options);
+
+  engine::Relation params(engine::Schema(
+      {{"shift", engine::ColumnType::kDouble}}));
+  for (const double shift : {0.0, 0.5, 1.0, 2.0}) {
+    ASSERT_TRUE(params.Append({shift}).ok());
+  }
+
+  engine::Query query;
+  query.kind = engine::QueryKind::kMax;
+  query.function = &integral;
+  query.args = {engine::ArgRef::StreamField("scale"),
+                engine::ArgRef::RelationField("shift")};
+  query.epsilon = 1e-4;
+
+  auto executor = engine::CqExecutor::Create(
+      &params, engine::Schema({{"scale", engine::ColumnType::kDouble}}),
+      query, engine::ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok());
+  const auto result = (*executor)->ProcessTick({1.0});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Largest shift wins: area = (1 - e^-2) + 2*shift.
+  EXPECT_EQ(*result->winner_row, 3u);
+  const double expected = (1.0 - std::exp(-2.0)) + 2.0 * 2.0;
+  EXPECT_TRUE(result->aggregate_bounds.Contains(expected));
+}
+
+TEST_F(CqIntegrationTest, SumTracksRateMovesAcrossTicks) {
+  engine::Query query = BaseQuery();
+  query.kind = engine::QueryKind::kSum;
+  query.epsilon = 0.05;
+  auto executor = engine::CqExecutor::Create(
+      relation_.get(), StreamSchema(), query, engine::ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok());
+
+  const auto low_rate = (*executor)->ProcessTick({0.05});
+  const auto high_rate = (*executor)->ProcessTick({0.07});
+  ASSERT_TRUE(low_rate.ok());
+  ASSERT_TRUE(high_rate.ok());
+  // Bond prices fall as rates rise, so the portfolio sum must too.
+  EXPECT_GT(low_rate->aggregate_bounds.Mid(),
+            high_rate->aggregate_bounds.Mid());
+}
+
+}  // namespace
+}  // namespace vaolib

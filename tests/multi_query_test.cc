@@ -1,0 +1,187 @@
+// Tests for the shared multi-query executor: result equivalence with
+// per-query executors, work savings from sharing, and validation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "engine/multi_query.h"
+#include "finance/bond_model.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::engine {
+namespace {
+
+class MultiQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 6;
+    bonds_ = workload::GeneratePortfolio(4242, spec);
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        bonds_, finance::BondModelConfig{});
+    relation_ = std::make_unique<Relation>(Schema(
+        {{"bond_index", ColumnType::kDouble},
+         {"position", ColumnType::kDouble}}));
+    for (std::size_t i = 0; i < bonds_.size(); ++i) {
+      ASSERT_TRUE(
+          relation_
+              ->Append({static_cast<double>(i), i == 0 ? 5.0 : 1.0})
+              .ok());
+    }
+  }
+
+  Query BaseQuery(QueryKind kind) const {
+    Query query;
+    query.kind = kind;
+    query.function = function_.get();
+    query.args = {ArgRef::StreamField("rate"),
+                  ArgRef::RelationField("bond_index")};
+    return query;
+  }
+
+  Schema StreamSchema() const {
+    return Schema({{"rate", ColumnType::kDouble}});
+  }
+
+  std::vector<finance::Bond> bonds_;
+  std::unique_ptr<finance::BondPricingFunction> function_;
+  std::unique_ptr<Relation> relation_;
+};
+
+TEST_F(MultiQueryTest, MatchesPerQueryExecutors) {
+  // A realistic standing-query mix: two alerts, the best bond, the
+  // portfolio value, and a top-2 leaderboard.
+  Query alert_100 = BaseQuery(QueryKind::kSelect);
+  alert_100.constant = 100.0;
+  Query alert_95 = BaseQuery(QueryKind::kSelect);
+  alert_95.cmp = operators::Comparator::kLessThan;
+  alert_95.constant = 95.0;
+  Query best = BaseQuery(QueryKind::kMax);
+  best.epsilon = 0.01;
+  Query portfolio = BaseQuery(QueryKind::kSum);
+  portfolio.weight_column = "position";
+  portfolio.epsilon = 0.10;
+  Query top2 = BaseQuery(QueryKind::kTopK);
+  top2.k = 2;
+  top2.epsilon = 0.01;
+
+  const std::vector<Query> queries{alert_100, alert_95, best, portfolio,
+                                   top2};
+  auto shared = MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                           queries);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+
+  const Tuple tick{0.0575};
+  const auto shared_results = (*shared)->ProcessTick(tick);
+  ASSERT_TRUE(shared_results.ok()) << shared_results.status();
+  ASSERT_EQ(shared_results->size(), queries.size());
+
+  // Reference: each query through its own CqExecutor.
+  std::uint64_t separate_work = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto solo = CqExecutor::Create(relation_.get(), StreamSchema(),
+                                   queries[q], ExecutionMode::kVao);
+    ASSERT_TRUE(solo.ok());
+    const auto solo_result = (*solo)->ProcessTick(tick);
+    ASSERT_TRUE(solo_result.ok());
+    separate_work += solo_result->work_units;
+
+    const TickResult& ours = (*shared_results)[q];
+    EXPECT_EQ(ours.passing_rows, solo_result->passing_rows) << "query " << q;
+    if (solo_result->winner_row.has_value() && !solo_result->tie &&
+        !ours.tie) {
+      EXPECT_EQ(ours.winner_row, solo_result->winner_row) << "query " << q;
+    }
+    if (queries[q].kind == QueryKind::kSum) {
+      EXPECT_NEAR(ours.aggregate_bounds.Mid(),
+                  solo_result->aggregate_bounds.Mid(),
+                  queries[q].epsilon + 0.10);
+    }
+    if (queries[q].kind == QueryKind::kTopK) {
+      EXPECT_EQ(ours.top_rows, solo_result->top_rows);
+    }
+  }
+
+  // Sharing must beat running the queries independently.
+  EXPECT_LT((*shared)->meter().Total(), separate_work);
+}
+
+TEST_F(MultiQueryTest, SharedBeatsSeparateAcrossTicks) {
+  Query a = BaseQuery(QueryKind::kSelect);
+  a.constant = 95.0;
+  Query b = BaseQuery(QueryKind::kSelect);
+  b.constant = 105.0;
+  Query c = BaseQuery(QueryKind::kMax);
+  c.epsilon = 0.01;
+
+  auto shared = MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                           {a, b, c});
+  ASSERT_TRUE(shared.ok());
+  auto solo_a =
+      CqExecutor::Create(relation_.get(), StreamSchema(), a,
+                         ExecutionMode::kVao);
+  auto solo_b =
+      CqExecutor::Create(relation_.get(), StreamSchema(), b,
+                         ExecutionMode::kVao);
+  auto solo_c =
+      CqExecutor::Create(relation_.get(), StreamSchema(), c,
+                         ExecutionMode::kVao);
+  ASSERT_TRUE(solo_a.ok());
+  ASSERT_TRUE(solo_b.ok());
+  ASSERT_TRUE(solo_c.ok());
+
+  for (const double rate : {0.055, 0.0575, 0.06}) {
+    ASSERT_TRUE((*shared)->ProcessTick({rate}).ok());
+    ASSERT_TRUE((*solo_a)->ProcessTick({rate}).ok());
+    ASSERT_TRUE((*solo_b)->ProcessTick({rate}).ok());
+    ASSERT_TRUE((*solo_c)->ProcessTick({rate}).ok());
+  }
+  const std::uint64_t separate = (*solo_a)->meter().Total() +
+                                 (*solo_b)->meter().Total() +
+                                 (*solo_c)->meter().Total();
+  EXPECT_LT((*shared)->meter().Total(), separate);
+}
+
+TEST_F(MultiQueryTest, ValidatesSharedBindings) {
+  Query a = BaseQuery(QueryKind::kSelect);
+  Query b = BaseQuery(QueryKind::kSelect);
+  b.args = {ArgRef::Constant(0.05), ArgRef::RelationField("bond_index")};
+  EXPECT_FALSE(MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                          {a, b})
+                   .ok());
+
+  // Different function pointer rejected.
+  finance::BondPricingFunction other(bonds_, finance::BondModelConfig{});
+  Query c = BaseQuery(QueryKind::kSelect);
+  c.function = &other;
+  EXPECT_FALSE(MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                          {a, c})
+                   .ok());
+
+  EXPECT_FALSE(
+      MultiQueryExecutor::Create(relation_.get(), StreamSchema(), {}).ok());
+  EXPECT_FALSE(
+      MultiQueryExecutor::Create(nullptr, StreamSchema(), {a}).ok());
+
+  Query bad_weights = BaseQuery(QueryKind::kSum);
+  bad_weights.weight_column = "missing";
+  EXPECT_FALSE(MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                          {bad_weights})
+                   .ok());
+}
+
+TEST_F(MultiQueryTest, ProcessTickValidatesTuple) {
+  auto shared = MultiQueryExecutor::Create(
+      relation_.get(), StreamSchema(), {BaseQuery(QueryKind::kSelect)});
+  ASSERT_TRUE(shared.ok());
+  EXPECT_FALSE((*shared)->ProcessTick({}).ok());
+  EXPECT_FALSE((*shared)->ProcessTick({0.05, 0.06}).ok());
+  (*shared)->ResetMeter();
+  EXPECT_EQ((*shared)->meter().Total(), 0u);
+  EXPECT_EQ((*shared)->query_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vaolib::engine

@@ -1,0 +1,149 @@
+// Tests for the CASPER-style predicate result range cache (Section 2's
+// future-work integration) and the range-cached selection operator.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "finance/bond_model.h"
+#include "operators/predicate_range_cache.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::operators {
+namespace {
+
+TEST(PredicateRangeCacheTest, UnknownUntilRecorded) {
+  PredicateRangeCache cache(3);
+  EXPECT_FALSE(cache.Lookup(0, 0.05).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PredicateRangeCacheTest, PassExtendsDownFailExtendsUp) {
+  PredicateRangeCache cache(1);
+  cache.Record(0, 0.05, /*passes=*/true);
+  // True for all s <= 0.05.
+  EXPECT_EQ(cache.Lookup(0, 0.05), std::optional<bool>(true));
+  EXPECT_EQ(cache.Lookup(0, 0.01), std::optional<bool>(true));
+  EXPECT_FALSE(cache.Lookup(0, 0.06).has_value());
+
+  cache.Record(0, 0.08, /*passes=*/false);
+  // False for all s >= 0.08; the gap (0.05, 0.08) stays unknown.
+  EXPECT_EQ(cache.Lookup(0, 0.09), std::optional<bool>(false));
+  EXPECT_EQ(cache.Lookup(0, 0.08), std::optional<bool>(false));
+  EXPECT_FALSE(cache.Lookup(0, 0.06).has_value());
+}
+
+TEST(PredicateRangeCacheTest, ThresholdsOnlyWiden) {
+  PredicateRangeCache cache(1);
+  cache.Record(0, 0.05, true);
+  cache.Record(0, 0.03, true);  // weaker information; must not shrink
+  EXPECT_EQ(cache.Lookup(0, 0.04), std::optional<bool>(true));
+  cache.Record(0, 0.06, true);  // stronger; widens
+  EXPECT_EQ(cache.Lookup(0, 0.055), std::optional<bool>(true));
+}
+
+TEST(PredicateRangeCacheTest, KeysAreIndependent) {
+  PredicateRangeCache cache(2);
+  cache.Record(0, 0.05, true);
+  EXPECT_TRUE(cache.Lookup(0, 0.04).has_value());
+  EXPECT_FALSE(cache.Lookup(1, 0.04).has_value());
+}
+
+TEST(PredicateRangeCacheTest, OutOfRangeKeysSafe) {
+  PredicateRangeCache cache(1);
+  cache.Record(7, 0.05, true);  // ignored
+  EXPECT_FALSE(cache.Lookup(7, 0.04).has_value());
+}
+
+class RangeCachedSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 4;
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        workload::GeneratePortfolio(99, spec), finance::BondModelConfig{});
+  }
+  std::unique_ptr<finance::BondPricingFunction> function_;
+};
+
+TEST_F(RangeCachedSelectionTest, MonotonicityAnswersNewRatesForFree) {
+  // Bond prices decrease in the rate, so "price > 100" is true-below.
+  RangeCachedSelection selection(Comparator::kGreaterThan, 100.0,
+                                 /*keys=*/4, Monotonicity::kDecreasing);
+  WorkMeter meter;
+
+  // Evaluate every bond at 5.75%: pays function work.
+  std::vector<bool> at_575;
+  for (std::size_t key = 0; key < 4; ++key) {
+    const auto outcome = selection.Evaluate(*function_, 0.0575, key, &meter);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome->from_cache);
+    at_575.push_back(outcome->passes);
+  }
+  const std::uint64_t paid = meter.Total();
+  EXPECT_GT(paid, 0u);
+
+  // A LOWER rate makes every price higher: every pass at 5.75% is known to
+  // pass at 5.00% with zero work. (Fails at 5.75% are not implied.)
+  for (std::size_t key = 0; key < 4; ++key) {
+    if (!at_575[key]) continue;
+    const auto outcome = selection.Evaluate(*function_, 0.05, key, &meter);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->from_cache) << "key " << key;
+    EXPECT_TRUE(outcome->passes);
+  }
+  EXPECT_EQ(meter.Total(), paid);  // no additional work
+
+  // A HIGHER rate makes every price lower: fails at 5.75% stay fails.
+  for (std::size_t key = 0; key < 4; ++key) {
+    if (at_575[key]) continue;
+    const auto outcome = selection.Evaluate(*function_, 0.065, key, &meter);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->from_cache);
+    EXPECT_FALSE(outcome->passes);
+  }
+  EXPECT_EQ(meter.Total(), paid);
+}
+
+TEST_F(RangeCachedSelectionTest, GapRatesStillEvaluate) {
+  RangeCachedSelection selection(Comparator::kGreaterThan, 100.0, 4,
+                                 Monotonicity::kDecreasing);
+  WorkMeter meter;
+  ASSERT_TRUE(selection.Evaluate(*function_, 0.05, 0, &meter).ok());
+  const std::uint64_t after_first = meter.Total();
+  // A rate on the other side of the recorded point is (generally) unknown.
+  const auto outcome = selection.Evaluate(*function_, 0.07, 0, &meter);
+  ASSERT_TRUE(outcome.ok());
+  if (!outcome->from_cache) {
+    EXPECT_GT(meter.Total(), after_first);
+  }
+}
+
+TEST_F(RangeCachedSelectionTest, AgreesWithPlainVaoAcrossRateSweep) {
+  RangeCachedSelection cached(Comparator::kGreaterThan, 100.0, 4,
+                              Monotonicity::kDecreasing);
+  const SelectionVao plain(Comparator::kGreaterThan, 100.0);
+  Rng rng(5);
+  WorkMeter cached_meter, plain_meter;
+  for (int i = 0; i < 30; ++i) {
+    const double rate = rng.Uniform(0.03, 0.10);
+    for (std::size_t key = 0; key < 4; ++key) {
+      const auto a = cached.Evaluate(*function_, rate, key, &cached_meter);
+      const auto b = plain.Evaluate(
+          *function_, {rate, static_cast<double>(key)}, &plain_meter);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      if (!b->resolved_as_equal) {
+        EXPECT_EQ(a->passes, b->passes)
+            << "rate " << rate << " key " << key;
+      }
+    }
+  }
+  // The cache must have converted a large share of evaluations into free
+  // lookups.
+  EXPECT_GT(cached.cache().hits(), 40u);
+  EXPECT_LT(cached_meter.Total(), plain_meter.Total() / 2);
+}
+
+}  // namespace
+}  // namespace vaolib::operators

@@ -1,0 +1,348 @@
+// Property-based suites (parameterized gtest): the soundness and
+// equivalence invariants of the VAO design, swept across seeds, rates, and
+// function families.
+//
+//  * Soundness: result-object bounds always contain the converged answer,
+//    at every iteration, for every solver class.
+//  * Equivalence: VAO operators produce the same answers as traditional
+//    black-box operators (selection sets, argmax rows, sums within epsilon).
+//  * Cost model: converge-work stays within the paper's ~2x bound of the
+//    traditional cost for PDE functions, and ~1x for integrators/roots.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "common/rng.h"
+#include "finance/bond_model.h"
+#include "operators/min_max.h"
+#include "operators/selection.h"
+#include "operators/sum_ave.h"
+#include "operators/traditional.h"
+#include "vao/black_box.h"
+#include "vao/integral_result_object.h"
+#include "vao/root_result_object.h"
+#include "workload/portfolio_gen.h"
+#include "workload/selectivity.h"
+
+namespace vaolib {
+namespace {
+
+using finance::BondModelConfig;
+using finance::BondPricingFunction;
+
+// ---------------------------------------------------------------------------
+// PDE result-object soundness across portfolio seeds and rates.
+
+struct BondCase {
+  std::uint64_t seed;
+  double rate;
+};
+
+class PdeSoundnessProperty : public ::testing::TestWithParam<BondCase> {};
+
+TEST_P(PdeSoundnessProperty, BoundsAlwaysContainConvergedValue) {
+  const BondCase param = GetParam();
+  workload::PortfolioSpec spec;
+  spec.count = 3;
+  BondPricingFunction function(
+      workload::GeneratePortfolio(param.seed, spec), BondModelConfig{});
+
+  for (int bond = 0; bond < spec.count; ++bond) {
+    // First converge a twin object to learn the answer.
+    WorkMeter scratch;
+    auto oracle = function.Invoke(function.ArgsFor(param.rate, bond),
+                                  &scratch);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_TRUE(vao::ConvergeToMinWidth(oracle->get()).ok());
+    const double truth = (*oracle)->bounds().Mid();
+
+    // Then check every intermediate state of a fresh object.
+    WorkMeter meter;
+    auto object = function.Invoke(function.ArgsFor(param.rate, bond),
+                                  &meter);
+    ASSERT_TRUE(object.ok());
+    double prev_width = (*object)->bounds().Width();
+    int iteration = 0;
+    while (!(*object)->AtStoppingCondition()) {
+      EXPECT_TRUE((*object)->bounds().Contains(truth))
+          << "seed " << param.seed << " bond " << bond << " iter "
+          << iteration << " bounds " << (*object)->bounds() << " truth "
+          << truth;
+      ASSERT_TRUE((*object)->Iterate().ok());
+      EXPECT_LE((*object)->bounds().Width(), prev_width * 1.05);
+      prev_width = (*object)->bounds().Width();
+      ++iteration;
+    }
+    EXPECT_NEAR((*object)->bounds().Mid(), truth, 0.02);
+  }
+}
+
+TEST_P(PdeSoundnessProperty, ConvergeWorkWithinPaperCostModel) {
+  const BondCase param = GetParam();
+  workload::PortfolioSpec spec;
+  spec.count = 2;
+  BondPricingFunction function(
+      workload::GeneratePortfolio(param.seed + 1000, spec),
+      BondModelConfig{});
+  for (int bond = 0; bond < spec.count; ++bond) {
+    WorkMeter meter;
+    auto object = function.Invoke(function.ArgsFor(param.rate, bond),
+                                  &meter);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+    const double ratio = static_cast<double>(meter.ExecUnits()) /
+                         static_cast<double>((*object)->traditional_cost());
+    // Section 4.1: sum of iterations ~= 2x cost_trad.
+    EXPECT_GT(ratio, 1.1) << "seed " << param.seed;
+    EXPECT_LT(ratio, 4.0) << "seed " << param.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRates, PdeSoundnessProperty,
+    ::testing::Values(BondCase{1, 0.045}, BondCase{2, 0.0575},
+                      BondCase{3, 0.07}, BondCase{4, 0.0575},
+                      BondCase{5, 0.05}, BondCase{6, 0.065}),
+    [](const ::testing::TestParamInfo<BondCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_rate" +
+             std::to_string(static_cast<int>(info.param.rate * 10000));
+    });
+
+// ---------------------------------------------------------------------------
+// Integral soundness across a function family.
+
+struct IntegralCase {
+  const char* name;
+  double (*f)(double);
+  double a;
+  double b;
+  double exact;
+};
+
+class IntegralSoundnessProperty
+    : public ::testing::TestWithParam<IntegralCase> {};
+
+TEST_P(IntegralSoundnessProperty, BoundsContainExactValueThroughout) {
+  const IntegralCase param = GetParam();
+  vao::IntegralProblem problem;
+  problem.integrand = param.f;
+  problem.a = param.a;
+  problem.b = param.b;
+  vao::IntegralResultOptions options;
+  options.min_width = 1e-7;
+
+  WorkMeter meter;
+  auto object = vao::IntegralResultObject::Create(problem, options, &meter);
+  ASSERT_TRUE(object.ok());
+  while (!(*object)->AtStoppingCondition()) {
+    EXPECT_TRUE((*object)->bounds().Contains(param.exact))
+        << param.name << " bounds " << (*object)->bounds();
+    ASSERT_TRUE((*object)->Iterate().ok());
+  }
+  EXPECT_NEAR((*object)->bounds().Mid(), param.exact, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, IntegralSoundnessProperty,
+    ::testing::Values(
+        IntegralCase{"sin", [](double x) { return std::sin(x); }, 0.0,
+                     std::numbers::pi, 2.0},
+        IntegralCase{"exp", [](double x) { return std::exp(x); }, 0.0, 1.0,
+                     std::numbers::e - 1.0},
+        IntegralCase{"recip", [](double x) { return 1.0 / x; }, 1.0, 2.0,
+                     std::numbers::ln2},
+        IntegralCase{"gauss",
+                     [](double x) { return std::exp(-x * x); }, 0.0, 1.0,
+                     0.7468241328124271},
+        IntegralCase{"poly",
+                     [](double x) { return x * x * x - 2.0 * x + 1.0; },
+                     -1.0, 2.0, 3.75}),
+    [](const ::testing::TestParamInfo<IntegralCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Root soundness across a function family and both probe methods.
+
+struct RootCase {
+  const char* name;
+  double (*f)(double);
+  double lo;
+  double hi;
+  double root;
+  numeric::RootMethod method;
+};
+
+class RootSoundnessProperty : public ::testing::TestWithParam<RootCase> {};
+
+TEST_P(RootSoundnessProperty, BracketAlwaysContainsRoot) {
+  const RootCase param = GetParam();
+  vao::RootProblem problem;
+  problem.f = param.f;
+  problem.lo = param.lo;
+  problem.hi = param.hi;
+  vao::RootResultOptions options;
+  options.finder.method = param.method;
+  options.min_width = 1e-9;
+
+  WorkMeter meter;
+  auto object = vao::RootResultObject::Create(problem, options, &meter);
+  ASSERT_TRUE(object.ok());
+  while (!(*object)->AtStoppingCondition()) {
+    EXPECT_TRUE((*object)->bounds().Contains(param.root))
+        << param.name << " bracket " << (*object)->bounds();
+    ASSERT_TRUE((*object)->Iterate().ok());
+  }
+  EXPECT_NEAR((*object)->bounds().Mid(), param.root, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, RootSoundnessProperty,
+    ::testing::Values(
+        RootCase{"sqrt2_bisect", [](double x) { return x * x - 2.0; }, 0.0,
+                 2.0, std::numbers::sqrt2, numeric::RootMethod::kBisection},
+        RootCase{"sqrt2_illinois", [](double x) { return x * x - 2.0; },
+                 0.0, 2.0, std::numbers::sqrt2,
+                 numeric::RootMethod::kIllinois},
+        RootCase{"cosfix_bisect", [](double x) { return std::cos(x) - x; },
+                 0.0, 1.5, 0.7390851332151607,
+                 numeric::RootMethod::kBisection},
+        RootCase{"cosfix_illinois",
+                 [](double x) { return std::cos(x) - x; }, 0.0, 1.5,
+                 0.7390851332151607, numeric::RootMethod::kIllinois},
+        RootCase{"cubic_bisect",
+                 [](double x) { return x * x * x - x - 2.0; }, 1.0, 2.0,
+                 1.5213797068045676, numeric::RootMethod::kBisection}),
+    [](const ::testing::TestParamInfo<RootCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Operator equivalence on real bond functions, swept over seeds.
+
+class OperatorEquivalenceProperty
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 5;
+    function_ = std::make_unique<BondPricingFunction>(
+        workload::GeneratePortfolio(GetParam(), spec), BondModelConfig{});
+    black_box_ = std::make_unique<vao::CalibratedBlackBox>(function_.get());
+    for (int i = 0; i < spec.count; ++i) {
+      rows_.push_back(function_->ArgsFor(0.0575, i));
+    }
+  }
+
+  std::vector<vao::ResultObjectPtr> MakeObjects(WorkMeter* meter) {
+    std::vector<vao::ResultObjectPtr> objects;
+    for (const auto& row : rows_) {
+      auto object = function_->Invoke(row, meter);
+      EXPECT_TRUE(object.ok());
+      objects.push_back(std::move(object).value());
+    }
+    return objects;
+  }
+
+  std::unique_ptr<BondPricingFunction> function_;
+  std::unique_ptr<vao::CalibratedBlackBox> black_box_;
+  std::vector<std::vector<double>> rows_;
+};
+
+TEST_P(OperatorEquivalenceProperty, SelectionMatchesTraditional) {
+  // Use a constant that splits the portfolio.
+  std::vector<double> values;
+  for (const auto& row : rows_) {
+    values.push_back(black_box_->Call(row, nullptr).ValueOrDie());
+  }
+  const double constant =
+      workload::ConstantForGreaterSelectivity(values, 0.4).ValueOrDie();
+
+  const operators::SelectionVao vao(operators::Comparator::kGreaterThan,
+                                    constant);
+  const operators::TraditionalSelection trad(
+      operators::Comparator::kGreaterThan, constant);
+  WorkMeter vao_meter, trad_meter;
+  for (const auto& row : rows_) {
+    const auto vao_outcome = vao.Evaluate(*function_, row, &vao_meter);
+    const auto trad_outcome = trad.Evaluate(*black_box_, row, &trad_meter);
+    ASSERT_TRUE(vao_outcome.ok());
+    ASSERT_TRUE(trad_outcome.ok());
+    if (!vao_outcome->resolved_as_equal) {
+      EXPECT_EQ(vao_outcome->passes, *trad_outcome);
+    }
+  }
+  EXPECT_LT(vao_meter.ExecUnits(), trad_meter.ExecUnits());
+}
+
+TEST_P(OperatorEquivalenceProperty, MaxMatchesTraditional) {
+  WorkMeter vao_meter;
+  auto owned = MakeObjects(&vao_meter);
+  std::vector<vao::ResultObject*> objects;
+  for (auto& o : owned) objects.push_back(o.get());
+
+  operators::MinMaxOptions options;
+  options.epsilon = 0.01;
+  options.meter = &vao_meter;
+  const operators::MinMaxVao vao(options);
+  const auto vao_outcome = vao.Evaluate(objects);
+  ASSERT_TRUE(vao_outcome.ok());
+
+  WorkMeter trad_meter;
+  const auto trad_outcome = operators::TraditionalExtreme(
+      *black_box_, rows_, operators::ExtremeKind::kMax, &trad_meter);
+  ASSERT_TRUE(trad_outcome.ok());
+
+  if (!vao_outcome->tie) {
+    EXPECT_EQ(vao_outcome->winner_index, trad_outcome->winner_index);
+  }
+  EXPECT_NEAR(vao_outcome->winner_bounds.Mid(), trad_outcome->value, 0.02);
+  EXPECT_LT(vao_meter.ExecUnits(), trad_meter.ExecUnits());
+}
+
+TEST_P(OperatorEquivalenceProperty, SumBoundsContainTraditionalSum) {
+  Rng rng(GetParam());
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    weights.push_back(rng.Uniform(0.0, 3.0));
+    total_weight += weights.back();
+  }
+  // The paper's scaling: epsilon = total weight * minWidth, the error the
+  // traditional operator itself carries (Section 6.3).
+  const double epsilon = 0.01 * total_weight;
+
+  WorkMeter vao_meter;
+  auto owned = MakeObjects(&vao_meter);
+  std::vector<vao::ResultObject*> objects;
+  for (auto& o : owned) objects.push_back(o.get());
+  operators::SumAveOptions options;
+  options.epsilon = epsilon;
+  const operators::SumAveVao vao(options);
+  const auto vao_outcome = vao.Evaluate(objects, weights);
+  ASSERT_TRUE(vao_outcome.ok());
+
+  WorkMeter trad_meter;
+  const auto trad_outcome = operators::TraditionalWeightedSum(
+      *black_box_, rows_, weights, &trad_meter);
+  ASSERT_TRUE(trad_outcome.ok());
+
+  // The traditional sum carries up to sum(w_i * minWidth/2) of its own
+  // error, so compare with that slack added.
+  double slack = 0.0;
+  for (const double w : weights) slack += w * 0.005;
+  EXPECT_GE(trad_outcome->sum,
+            vao_outcome->sum_bounds.lo - slack);
+  EXPECT_LE(trad_outcome->sum,
+            vao_outcome->sum_bounds.hi + slack);
+  EXPECT_LE(vao_outcome->sum_bounds.Width(), epsilon + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorEquivalenceProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace vaolib

@@ -1,0 +1,202 @@
+// Tests for the SQL-ish query parser and the function registry, including
+// end-to-end execution of parsed queries against the engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+#include "finance/bond_model.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::engine {
+namespace {
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::PortfolioSpec spec;
+    spec.count = 5;
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        workload::GeneratePortfolio(31337, spec),
+        finance::BondModelConfig{});
+    ASSERT_TRUE(registry_.Register(function_.get()).ok());
+    stream_schema_ = Schema({{"rate", ColumnType::kDouble}});
+    relation_schema_ = Schema({{"bond_index", ColumnType::kDouble},
+                               {"position", ColumnType::kDouble}});
+  }
+
+  Result<Query> Parse(std::string_view sql) const {
+    return ParseQuery(sql, registry_, stream_schema_, relation_schema_);
+  }
+
+  std::unique_ptr<finance::BondPricingFunction> function_;
+  FunctionRegistry registry_;
+  Schema stream_schema_;
+  Schema relation_schema_;
+};
+
+TEST_F(SqlParserTest, RegistryRegisterAndLookup) {
+  EXPECT_EQ(registry_.size(), 1u);
+  EXPECT_TRUE(registry_.Lookup("bond_model").ok());
+  EXPECT_FALSE(registry_.Lookup("nope").ok());
+  // Duplicate and null registrations rejected.
+  EXPECT_EQ(registry_.Register(function_.get()).code(),
+            StatusCode::kAlreadyExists);
+  FunctionRegistry fresh;
+  EXPECT_FALSE(fresh.Register(nullptr).ok());
+}
+
+TEST_F(SqlParserTest, ParsesSelection) {
+  const auto query =
+      Parse("SELECT * FROM bd WHERE bond_model(rate, bond_index) > 100");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, QueryKind::kSelect);
+  EXPECT_EQ(query->cmp, operators::Comparator::kGreaterThan);
+  EXPECT_DOUBLE_EQ(query->constant, 100.0);
+  ASSERT_EQ(query->args.size(), 2u);
+  EXPECT_EQ(query->args[0].source, ArgRef::Source::kStreamField);
+  EXPECT_EQ(query->args[0].field, "rate");
+  EXPECT_EQ(query->args[1].source, ArgRef::Source::kRelationField);
+  EXPECT_EQ(query->args[1].field, "bond_index");
+}
+
+TEST_F(SqlParserTest, ParsesAllComparators) {
+  const struct {
+    const char* op;
+    operators::Comparator cmp;
+  } cases[] = {
+      {">", operators::Comparator::kGreaterThan},
+      {">=", operators::Comparator::kGreaterEqual},
+      {"<", operators::Comparator::kLessThan},
+      {"<=", operators::Comparator::kLessEqual},
+  };
+  for (const auto& c : cases) {
+    const auto query = Parse(
+        std::string("SELECT * FROM bd WHERE bond_model(rate, bond_index) ") +
+        c.op + " 95.5");
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(query->cmp, c.cmp);
+    EXPECT_DOUBLE_EQ(query->constant, 95.5);
+  }
+}
+
+TEST_F(SqlParserTest, ParsesBetween) {
+  const auto query = Parse(
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index) "
+      "BETWEEN 99 AND 101");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, QueryKind::kSelectRange);
+  EXPECT_DOUBLE_EQ(query->range_lo, 99.0);
+  EXPECT_DOUBLE_EQ(query->range_hi, 101.0);
+}
+
+TEST_F(SqlParserTest, ParsesAggregatesWithPrecision) {
+  auto query =
+      Parse("SELECT MAX(bond_model(rate, bond_index)) FROM bd "
+            "PRECISION 0.01");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, QueryKind::kMax);
+  EXPECT_DOUBLE_EQ(query->epsilon, 0.01);
+
+  query = Parse("select min(bond_model(rate, bond_index)) from bd "
+                "precision 0.05");
+  ASSERT_TRUE(query.ok()) << query.status();  // keywords case-insensitive
+  EXPECT_EQ(query->kind, QueryKind::kMin);
+
+  query = Parse("SELECT AVE(bond_model(rate, bond_index)) FROM bd");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->kind, QueryKind::kAve);
+
+  query = Parse("SELECT AVG(bond_model(rate, bond_index)) FROM bd");
+  ASSERT_TRUE(query.ok());  // AVG synonym
+  EXPECT_EQ(query->kind, QueryKind::kAve);
+}
+
+TEST_F(SqlParserTest, ParsesWeightedSum) {
+  const auto query = Parse(
+      "SELECT SUM(bond_model(rate, bond_index), position) FROM bd "
+      "PRECISION 5");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, QueryKind::kSum);
+  ASSERT_TRUE(query->weight_column.has_value());
+  EXPECT_EQ(*query->weight_column, "position");
+  EXPECT_DOUBLE_EQ(query->epsilon, 5.0);
+}
+
+TEST_F(SqlParserTest, ParsesTopK) {
+  const auto query = Parse(
+      "SELECT TOP 3 bond_model(rate, bond_index) FROM bd PRECISION 0.01");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, QueryKind::kTopK);
+  EXPECT_EQ(query->k, 3u);
+}
+
+TEST_F(SqlParserTest, ConstantArguments) {
+  const auto query =
+      Parse("SELECT * FROM bd WHERE bond_model(0.0575, bond_index) > 100");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->args[0].source, ArgRef::Source::kConstant);
+  EXPECT_DOUBLE_EQ(query->args[0].constant, 0.0575);
+}
+
+TEST_F(SqlParserTest, RejectsMalformedQueries) {
+  // Each case carries a distinct failure mode.
+  const char* bad[] = {
+      "",                                                       // empty
+      "UPDATE bd SET x = 1",                                    // not SELECT
+      "SELECT * FROM bd",                                       // no WHERE
+      "SELECT * FROM bd WHERE nope(rate, bond_index) > 1",      // unknown fn
+      "SELECT * FROM bd WHERE bond_model(rate) > 1",            // arity
+      "SELECT * FROM bd WHERE bond_model(rate, oops) > 1",      // unknown col
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index)",    // no cmp
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index) > ", // no const
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index) BETWEEN 5 AND 1",
+      "SELECT TOP 0 bond_model(rate, bond_index) FROM bd",      // k < 1
+      "SELECT TOP 2.5 bond_model(rate, bond_index) FROM bd",    // fractional
+      "SELECT MAX(bond_model(rate, bond_index), position) FROM bd",  // weight
+      "SELECT SUM(bond_model(rate, bond_index), oops) FROM bd",  // bad weight
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd PRECISION -1",
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd garbage",
+      "SELECT % FROM bd",                                       // bad char
+  };
+  for (const char* sql : bad) {
+    EXPECT_FALSE(Parse(sql).ok()) << sql;
+  }
+}
+
+TEST_F(SqlParserTest, ParsedQueryRunsEndToEnd) {
+  Relation bd(relation_schema_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bd.Append({static_cast<double>(i), 1.0}).ok());
+  }
+
+  const auto query =
+      Parse("SELECT MAX(bond_model(rate, bond_index)) FROM bd "
+            "PRECISION 0.01");
+  ASSERT_TRUE(query.ok());
+  auto executor = CqExecutor::Create(&bd, stream_schema_, *query,
+                                     ExecutionMode::kVao);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  const auto result = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->winner_row.has_value());
+  EXPECT_LE(result->aggregate_bounds.Width(), 0.01);
+
+  // The parsed selection agrees with the parsed MAX winner's bound.
+  const auto selection =
+      Parse("SELECT * FROM bd WHERE bond_model(rate, bond_index) > 100");
+  ASSERT_TRUE(selection.ok());
+  auto sel_exec = CqExecutor::Create(&bd, stream_schema_, *selection,
+                                     ExecutionMode::kVao);
+  ASSERT_TRUE(sel_exec.ok());
+  const auto sel_result = (*sel_exec)->ProcessTick({0.0575});
+  ASSERT_TRUE(sel_result.ok());
+  if (result->aggregate_bounds.lo > 100.0) {
+    EXPECT_FALSE(sel_result->passing_rows.empty());
+  }
+}
+
+}  // namespace
+}  // namespace vaolib::engine

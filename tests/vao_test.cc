@@ -1,0 +1,345 @@
+// Unit tests for src/vao: the iterative UDF interface over each solver
+// class, the shifted decorator, and the calibrated black-box baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "vao/black_box.h"
+#include "vao/integral_result_object.h"
+#include "vao/ode_result_object.h"
+#include "vao/pde_result_object.h"
+#include "vao/root_result_object.h"
+#include "vao/shifted_result_object.h"
+#include "fake_result_object.h"
+
+namespace vaolib::vao {
+namespace {
+
+// Constant-reaction PDE with closed form (C/r)(1 - e^{-rT}), x-independent.
+numeric::Pde1dProblem AnnuityProblem(double rbar, double c, double t_end) {
+  numeric::Pde1dProblem p;
+  p.diffusion = [](double) { return 1e-3; };
+  p.convection = [](double x) { return 0.01 - 0.2 * x; };
+  p.reaction = [rbar](double) { return rbar; };
+  p.source = [c](double) { return c; };
+  p.terminal = [](double) { return 0.0; };
+  p.x_min = 0.0;
+  p.x_max = 0.12;
+  p.t_end = t_end;
+  return p;
+}
+
+double AnnuityValue(double rbar, double c, double t_end) {
+  return c / rbar * (1.0 - std::exp(-rbar * t_end));
+}
+
+TEST(PdeResultObjectTest, BoundsContainClosedFormAtEveryIteration) {
+  const double truth = AnnuityValue(0.06, 23.0, 5.0);
+  WorkMeter meter;
+  auto made = PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05,
+                                      {}, &meter);
+  ASSERT_TRUE(made.ok()) << made.status();
+  ResultObject* object = made->get();
+  for (int i = 0; i < 12 && !object->AtStoppingCondition(); ++i) {
+    EXPECT_TRUE(object->bounds().Contains(truth))
+        << "iteration " << i << " bounds " << object->bounds();
+    ASSERT_TRUE(object->Iterate().ok());
+  }
+  EXPECT_TRUE(object->bounds().Contains(truth));
+  EXPECT_NEAR(object->bounds().Mid(), truth, 0.02);
+}
+
+TEST(PdeResultObjectTest, WidthShrinksMonotonically) {
+  WorkMeter meter;
+  auto made = PdeResultObject::Create(AnnuityProblem(0.05, 20.0, 4.0), 0.06,
+                                      {}, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  double prev = object->bounds().Width();
+  for (int i = 0; i < 10 && !object->AtStoppingCondition(); ++i) {
+    ASSERT_TRUE(object->Iterate().ok());
+    EXPECT_LE(object->bounds().Width(), prev * 1.05)
+        << "iteration " << i;
+    prev = object->bounds().Width();
+  }
+}
+
+TEST(PdeResultObjectTest, IterationWorkRoughlyDoubles) {
+  // Section 4.1: each iteration requires about twice the work of the one
+  // before, so the converge total is ~2x the final (traditional) solve.
+  WorkMeter meter;
+  auto made = PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05,
+                                      {}, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  ASSERT_TRUE(ConvergeToMinWidth(object).ok());
+  const double ratio = static_cast<double>(meter.ExecUnits()) /
+                       static_cast<double>(object->traditional_cost());
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(PdeResultObjectTest, EstCostTracksNextGrid) {
+  WorkMeter meter;
+  auto made =
+      PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05, {},
+                              &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t predicted = object->est_cost();
+    const std::uint64_t before = meter.ExecUnits();
+    ASSERT_TRUE(object->Iterate().ok());
+    const std::uint64_t actual = meter.ExecUnits() - before;
+    EXPECT_EQ(predicted, actual) << "iteration " << i;
+  }
+}
+
+TEST(PdeResultObjectTest, MaxIterationsExhausts) {
+  PdeResultOptions options;
+  options.max_iterations = 2;
+  options.min_width = 1e-12;  // unreachable
+  WorkMeter meter;
+  auto made = PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05,
+                                      options, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  ASSERT_TRUE(object->Iterate().ok());
+  ASSERT_TRUE(object->Iterate().ok());
+  EXPECT_EQ(object->Iterate().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PdeResultObjectTest, RejectsBadOptions) {
+  PdeResultOptions bad;
+  bad.min_width = 0.0;
+  EXPECT_FALSE(PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05,
+                                       bad, nullptr)
+                   .ok());
+  PdeResultOptions bad2;
+  bad2.safety_factor = 0.5;
+  EXPECT_FALSE(PdeResultObject::Create(AnnuityProblem(0.06, 23.0, 5.0), 0.05,
+                                       bad2, nullptr)
+                   .ok());
+}
+
+TEST(PdeFunctionTest, InvokeBuildsObjects) {
+  PdeFunction function(
+      "annuity", 1,
+      [](const std::vector<double>& args)
+          -> Result<std::pair<numeric::Pde1dProblem, double>> {
+        return std::make_pair(AnnuityProblem(0.06, 23.0, 5.0), args[0]);
+      },
+      {});
+  EXPECT_EQ(function.name(), "annuity");
+  EXPECT_EQ(function.arity(), 1);
+  WorkMeter meter;
+  auto object = function.Invoke({0.05}, &meter);
+  ASSERT_TRUE(object.ok());
+  EXPECT_GT((*object)->bounds().Width(), 0.0);
+  EXPECT_FALSE(function.Invoke({0.05, 0.06}, &meter).ok());  // wrong arity
+}
+
+TEST(OdeResultObjectTest, BoundsContainClosedForm) {
+  // w'' = w, w(0)=0, w(1)=1: w(0.5) = sinh(.5)/sinh(1).
+  numeric::OdeBvpProblem p;
+  p.p = [](double) { return 0.0; };
+  p.q = [](double) { return 1.0; };
+  p.r = [](double) { return 0.0; };
+  p.a = 0.0;
+  p.b = 1.0;
+  p.alpha = 0.0;
+  p.beta = 1.0;
+  const double truth = std::sinh(0.5) / std::sinh(1.0);
+
+  WorkMeter meter;
+  auto made = OdeResultObject::Create(p, 0.5, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  for (int i = 0; i < 8 && !object->AtStoppingCondition(); ++i) {
+    EXPECT_TRUE(object->bounds().Contains(truth))
+        << "iteration " << i << " bounds " << object->bounds();
+    ASSERT_TRUE(object->Iterate().ok());
+  }
+  EXPECT_NEAR(object->bounds().Mid(), truth, 1e-6);
+}
+
+TEST(OdeResultObjectTest, ConvergesToMinWidth) {
+  numeric::OdeBvpProblem p = numeric::MakeBeamDeflectionProblem(
+      500.0, 1e7, 0.1, 100.0, 10.0);
+  OdeResultOptions options;
+  options.min_width = 1e-7;
+  WorkMeter meter;
+  auto made = OdeResultObject::Create(p, 5.0, options, &meter);
+  ASSERT_TRUE(made.ok());
+  auto steps = ConvergeToMinWidth(made->get());
+  ASSERT_TRUE(steps.ok());
+  EXPECT_LT((*made)->bounds().Width(), 1e-7);
+}
+
+TEST(IntegralResultObjectTest, BoundsContainTruthAndConverge) {
+  IntegralProblem problem;
+  problem.integrand = [](double x) { return std::sin(x); };
+  problem.a = 0.0;
+  problem.b = std::numbers::pi;
+  IntegralResultOptions options;
+  options.min_width = 1e-6;
+
+  WorkMeter meter;
+  auto made = IntegralResultObject::Create(problem, options, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  while (!object->AtStoppingCondition()) {
+    EXPECT_TRUE(object->bounds().Contains(2.0)) << object->bounds();
+    ASSERT_TRUE(object->Iterate().ok());
+  }
+  EXPECT_NEAR(object->bounds().Mid(), 2.0, 1e-6);
+  // cost_trad == cumulative evaluations for integrators (Section 4.3).
+  EXPECT_EQ(object->traditional_cost(), meter.ExecUnits());
+}
+
+TEST(IntegralResultObjectTest, EstCostMatchesActual) {
+  IntegralProblem problem;
+  problem.integrand = [](double x) { return std::exp(x); };
+  problem.a = 0.0;
+  problem.b = 1.0;
+  WorkMeter meter;
+  auto made = IntegralResultObject::Create(problem, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t predicted = object->est_cost();
+    const std::uint64_t before = meter.ExecUnits();
+    ASSERT_TRUE(object->Iterate().ok());
+    EXPECT_EQ(meter.ExecUnits() - before, predicted);
+  }
+}
+
+TEST(RootResultObjectTest, BracketIsTheBound) {
+  RootProblem problem;
+  problem.f = [](double x) { return x * x - 2.0; };
+  problem.lo = 0.0;
+  problem.hi = 2.0;
+  WorkMeter meter;
+  auto made = RootResultObject::Create(problem, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  ResultObject* object = made->get();
+  const double root = std::sqrt(2.0);
+  while (!object->AtStoppingCondition()) {
+    EXPECT_TRUE(object->bounds().Contains(root));
+    ASSERT_TRUE(object->Iterate().ok());
+  }
+  EXPECT_NEAR(object->bounds().Mid(), root, 1e-9);
+}
+
+TEST(RootResultObjectTest, TraditionalCostIsCumulative) {
+  RootProblem problem;
+  problem.f = [](double x) { return std::cos(x) - x; };
+  problem.lo = 0.0;
+  problem.hi = 1.5;
+  WorkMeter meter;
+  auto made = RootResultObject::Create(problem, {}, &meter);
+  ASSERT_TRUE(made.ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE((*made)->Iterate().ok());
+  EXPECT_EQ((*made)->traditional_cost(), meter.ExecUnits());
+}
+
+TEST(ShiftedResultObjectTest, ShiftsBoundsNotBehaviour) {
+  testing::FakeResultObject::Config config;
+  config.true_value = 100.0;
+  config.initial_half_width = 8.0;
+  auto inner = std::make_unique<testing::FakeResultObject>(config);
+  auto* inner_raw = inner.get();
+  ShiftedResultObject shifted(std::move(inner), -25.0);
+
+  EXPECT_DOUBLE_EQ(shifted.bounds().Mid(), inner_raw->bounds().Mid() - 25.0);
+  EXPECT_DOUBLE_EQ(shifted.bounds().Width(), inner_raw->bounds().Width());
+  EXPECT_EQ(shifted.min_width(), inner_raw->min_width());
+  EXPECT_EQ(shifted.est_cost(), inner_raw->est_cost());
+  EXPECT_DOUBLE_EQ(shifted.est_bounds().Mid(),
+                   inner_raw->est_bounds().Mid() - 25.0);
+
+  ASSERT_TRUE(shifted.Iterate().ok());
+  EXPECT_EQ(shifted.iterations(), 1);
+  EXPECT_EQ(inner_raw->iterations(), 1);
+  EXPECT_TRUE(shifted.bounds().Contains(75.0));  // shifted true value
+}
+
+TEST(ConvergeToMinWidthTest, StopsAtFloorAndCountsSteps) {
+  testing::FakeResultObject::Config config;
+  config.initial_half_width = 8.0;  // width 16; floor 0.01
+  config.shrink = 0.5;
+  testing::FakeResultObject object(config);
+  const auto steps = ConvergeToMinWidth(&object);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_LT(object.bounds().Width(), 0.01);
+  EXPECT_EQ(*steps, object.iterations());
+  EXPECT_EQ(ConvergeToMinWidth(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CalibratedBlackBoxTest, CallReturnsConvergedValueAndChargesTradCost) {
+  PdeFunction function(
+      "annuity", 1,
+      [](const std::vector<double>& args)
+          -> Result<std::pair<numeric::Pde1dProblem, double>> {
+        return std::make_pair(AnnuityProblem(0.06, 23.0, 5.0), args[0]);
+      },
+      {});
+  CalibratedBlackBox black_box(&function);
+
+  WorkMeter meter;
+  auto value = black_box.Call({0.05}, &meter);
+  ASSERT_TRUE(value.ok());
+  EXPECT_NEAR(*value, AnnuityValue(0.06, 23.0, 5.0), 0.02);
+  EXPECT_GT(meter.ExecUnits(), 0u);
+
+  const auto record = black_box.Calibrate({0.05});
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(meter.ExecUnits(), record->cost);
+  EXPECT_LT(record->final_width, 0.01);
+  EXPECT_GT(record->iterations, 0);
+}
+
+TEST(CalibratedBlackBoxTest, CalibrationIsCachedPerArgs) {
+  PdeFunction function(
+      "annuity", 1,
+      [](const std::vector<double>& args)
+          -> Result<std::pair<numeric::Pde1dProblem, double>> {
+        return std::make_pair(AnnuityProblem(0.06, 23.0, 5.0), args[0]);
+      },
+      {});
+  CalibratedBlackBox black_box(&function);
+  ASSERT_TRUE(black_box.Call({0.05}, nullptr).ok());
+  EXPECT_EQ(black_box.cache_size(), 1u);
+  ASSERT_TRUE(black_box.Call({0.05}, nullptr).ok());
+  EXPECT_EQ(black_box.cache_size(), 1u);
+  ASSERT_TRUE(black_box.Call({0.06}, nullptr).ok());
+  EXPECT_EQ(black_box.cache_size(), 2u);
+}
+
+TEST(CalibratedBlackBoxTest, BlackBoxCostBelowVaoConvergeCost) {
+  // The whole point of the Section 6 baseline: a one-shot solve at the
+  // calibrated step sizes costs less than converging through the VAO
+  // interface (which pays for all intermediate iterations).
+  PdeFunction function(
+      "annuity", 1,
+      [](const std::vector<double>& args)
+          -> Result<std::pair<numeric::Pde1dProblem, double>> {
+        return std::make_pair(AnnuityProblem(0.06, 23.0, 5.0), args[0]);
+      },
+      {});
+  CalibratedBlackBox black_box(&function);
+  WorkMeter trad_meter;
+  ASSERT_TRUE(black_box.Call({0.05}, &trad_meter).ok());
+
+  WorkMeter vao_meter;
+  auto object = function.Invoke({0.05}, &vao_meter);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(ConvergeToMinWidth(object->get()).ok());
+  EXPECT_LT(trad_meter.ExecUnits(), vao_meter.ExecUnits());
+}
+
+}  // namespace
+}  // namespace vaolib::vao

@@ -1,0 +1,238 @@
+// Unit tests for src/workload: portfolio generation, the distribution-shift
+// scheme, hot-cold weights, and selectivity constants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stats.h"
+#include "vao/black_box.h"
+#include "workload/hot_cold.h"
+#include "workload/portfolio_gen.h"
+#include "workload/selectivity.h"
+#include "workload/shift_scheme.h"
+#include "finance/bond_model.h"
+#include "fake_result_object.h"
+
+namespace vaolib::workload {
+namespace {
+
+TEST(PortfolioGenTest, DeterministicAndWithinRanges) {
+  PortfolioSpec spec;
+  spec.count = 50;
+  const auto a = GeneratePortfolio(1234, spec);
+  const auto b = GeneratePortfolio(1234, spec);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].annual_cashflow, b[i].annual_cashflow);
+    EXPECT_GE(a[i].annual_cashflow, spec.cashflow_min);
+    EXPECT_LE(a[i].annual_cashflow, spec.cashflow_max);
+    EXPECT_GE(a[i].maturity_years, spec.maturity_min);
+    EXPECT_LE(a[i].maturity_years, spec.maturity_max);
+    EXPECT_GE(a[i].sigma, spec.sigma_min);
+    EXPECT_LE(a[i].sigma, spec.sigma_max);
+    EXPECT_EQ(a[i].id, static_cast<std::int64_t>(i));
+    EXPECT_FALSE(a[i].name.empty());
+  }
+}
+
+TEST(PortfolioGenTest, DifferentSeedsDiffer) {
+  PortfolioSpec spec;
+  spec.count = 10;
+  const auto a = GeneratePortfolio(1, spec);
+  const auto b = GeneratePortfolio(2, spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].annual_cashflow != b[i].annual_cashflow) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SelectivityTest, HitsRequestedFraction) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  for (const double s : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const auto constant = ConstantForGreaterSelectivity(values, s);
+    ASSERT_TRUE(constant.ok());
+    EXPECT_NEAR(MeasuredGreaterSelectivity(values, *constant), s, 0.011);
+  }
+}
+
+TEST(SelectivityTest, ExtremesSelectAllOrNothing) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      MeasuredGreaterSelectivity(
+          values, ConstantForGreaterSelectivity(values, 0.0).ValueOrDie()),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      MeasuredGreaterSelectivity(
+          values, ConstantForGreaterSelectivity(values, 1.0).ValueOrDie()),
+      1.0);
+}
+
+TEST(SelectivityTest, InputValidation) {
+  EXPECT_FALSE(ConstantForGreaterSelectivity({}, 0.5).ok());
+  EXPECT_FALSE(ConstantForGreaterSelectivity({1.0}, 1.5).ok());
+  EXPECT_FALSE(ConstantForGreaterSelectivity({1.0}, -0.5).ok());
+}
+
+TEST(HotColdTest, WeightsSumToTotalAndSplitByShare) {
+  Rng rng(5);
+  HotColdSpec spec;
+  spec.count = 200;
+  spec.hot_fraction = 0.10;
+  spec.hot_weight_share = 0.8;
+  spec.total_weight = 200.0;
+  const auto weights = HotColdWeights(spec, &rng);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), 200u);
+  const double total =
+      std::accumulate(weights->begin(), weights->end(), 0.0);
+  EXPECT_NEAR(total, 200.0, 1e-9);
+
+  // 20 hot weights of 8.0 each, 180 cold weights of 2/9 each.
+  std::vector<double> sorted = *weights;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  EXPECT_NEAR(sorted[0], 8.0, 1e-9);
+  EXPECT_NEAR(sorted[19], 8.0, 1e-9);
+  EXPECT_NEAR(sorted[20], 40.0 / 180.0, 1e-9);
+}
+
+TEST(HotColdTest, UniformWhenShareMatchesFraction) {
+  Rng rng(6);
+  HotColdSpec spec;
+  spec.count = 100;
+  spec.hot_fraction = 0.10;
+  spec.hot_weight_share = 0.10;
+  spec.total_weight = 100.0;
+  const auto weights = HotColdWeights(spec, &rng);
+  ASSERT_TRUE(weights.ok());
+  for (const double w : *weights) EXPECT_NEAR(w, 1.0, 1e-9);
+}
+
+TEST(HotColdTest, FullShareOnHotSetLeavesColdAtZero) {
+  Rng rng(7);
+  HotColdSpec spec;
+  spec.count = 50;
+  spec.hot_weight_share = 1.0;
+  const auto weights = HotColdWeights(spec, &rng);
+  ASSERT_TRUE(weights.ok());
+  int zero = 0, hot = 0;
+  for (const double w : *weights) {
+    if (w == 0.0) {
+      ++zero;
+    } else {
+      ++hot;
+    }
+  }
+  EXPECT_EQ(hot, 5);
+  EXPECT_EQ(zero, 45);
+}
+
+TEST(HotColdTest, InputValidation) {
+  Rng rng(8);
+  EXPECT_FALSE(HotColdWeights({}, nullptr).ok());
+  HotColdSpec empty;
+  empty.count = 0;
+  EXPECT_FALSE(HotColdWeights(empty, &rng).ok());
+  HotColdSpec bad_share;
+  bad_share.hot_weight_share = 1.5;
+  EXPECT_FALSE(HotColdWeights(bad_share, &rng).ok());
+}
+
+TEST(ShiftSchemeTest, DeltasReproduceTargetDistribution) {
+  Rng rng(9);
+  std::vector<double> real_values;
+  for (int i = 0; i < 400; ++i) real_values.push_back(90.0 + 0.05 * i);
+
+  TargetDistribution target;
+  target.shape = TargetShape::kGaussian;
+  target.mean = 100.0;
+  target.stddev = 2.0;
+  const auto deltas = ComputeShiftDeltas(real_values, target, &rng);
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), real_values.size());
+
+  RunningStats stats;
+  for (std::size_t i = 0; i < real_values.size(); ++i) {
+    stats.Add(real_values[i] + (*deltas)[i]);
+  }
+  EXPECT_NEAR(stats.Mean(), 100.0, 0.4);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.4);
+}
+
+TEST(ShiftSchemeTest, HalfGaussianStaysBelowMean) {
+  Rng rng(10);
+  std::vector<double> real_values(300, 100.0);
+  TargetDistribution target;
+  target.shape = TargetShape::kHalfGaussianBelow;
+  target.mean = 110.0;
+  target.stddev = 1.5;
+  const auto deltas = ComputeShiftDeltas(real_values, target, &rng);
+  ASSERT_TRUE(deltas.ok());
+  for (std::size_t i = 0; i < real_values.size(); ++i) {
+    EXPECT_LE(real_values[i] + (*deltas)[i], 110.0);
+  }
+}
+
+TEST(ShiftSchemeTest, ZeroStddevCollapsesToMean) {
+  Rng rng(11);
+  std::vector<double> real_values{95.0, 100.0, 105.0};
+  TargetDistribution target;
+  target.mean = 101.0;
+  target.stddev = 0.0;
+  const auto deltas = ComputeShiftDeltas(real_values, target, &rng);
+  ASSERT_TRUE(deltas.ok());
+  for (std::size_t i = 0; i < real_values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(real_values[i] + (*deltas)[i], 101.0);
+  }
+}
+
+TEST(ShiftSchemeTest, InputValidation) {
+  Rng rng(12);
+  TargetDistribution target;
+  EXPECT_FALSE(ComputeShiftDeltas({1.0}, target, nullptr).ok());
+  target.stddev = -1.0;
+  EXPECT_FALSE(ComputeShiftDeltas({1.0}, target, &rng).ok());
+}
+
+TEST(ShiftSchemeTest, ConvergedValuesMatchDirectConvergence) {
+  finance::BondModelConfig config;
+  PortfolioSpec spec;
+  spec.count = 3;
+  finance::BondPricingFunction fn(GeneratePortfolio(77, spec), config);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 3; ++i) rows.push_back(fn.ArgsFor(0.0575, i));
+
+  const auto values = ConvergedValues(fn, rows);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    WorkMeter meter;
+    auto object = fn.Invoke(rows[i], &meter);
+    ASSERT_TRUE(object.ok());
+    ASSERT_TRUE(vao::ConvergeToMinWidth(object->get()).ok());
+    EXPECT_NEAR((*values)[i], (*object)->bounds().Mid(), 1e-9);
+  }
+}
+
+TEST(ShiftSchemeTest, InvokeShiftedOffsetsBounds) {
+  finance::BondModelConfig config;
+  PortfolioSpec spec;
+  spec.count = 1;
+  finance::BondPricingFunction fn(GeneratePortfolio(78, spec), config);
+  WorkMeter meter_plain, meter_shifted;
+  auto plain = fn.Invoke(fn.ArgsFor(0.0575, 0), &meter_plain);
+  auto shifted =
+      InvokeShifted(fn, fn.ArgsFor(0.0575, 0), 7.5, &meter_shifted);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR((*shifted)->bounds().Mid(), (*plain)->bounds().Mid() + 7.5,
+              1e-9);
+  EXPECT_NEAR((*shifted)->bounds().Width(), (*plain)->bounds().Width(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace vaolib::workload
