@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl01_strategies.cc" "bench/CMakeFiles/abl01_strategies.dir/abl01_strategies.cc.o" "gcc" "bench/CMakeFiles/abl01_strategies.dir/abl01_strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/vaolib_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vaolib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/vaolib_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/vaolib_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/vao/CMakeFiles/vaolib_vao.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_strategies.dir/abl01_strategies.cc.o"
+  "CMakeFiles/abl01_strategies.dir/abl01_strategies.cc.o.d"
+  "abl01_strategies"
+  "abl01_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_safety_factor.dir/abl02_safety_factor.cc.o"
+  "CMakeFiles/abl02_safety_factor.dir/abl02_safety_factor.cc.o.d"
+  "abl02_safety_factor"
+  "abl02_safety_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_safety_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

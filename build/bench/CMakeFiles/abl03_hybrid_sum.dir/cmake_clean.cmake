@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_hybrid_sum.dir/abl03_hybrid_sum.cc.o"
+  "CMakeFiles/abl03_hybrid_sum.dir/abl03_hybrid_sum.cc.o.d"
+  "abl03_hybrid_sum"
+  "abl03_hybrid_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_hybrid_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_heap_index.dir/abl04_heap_index.cc.o"
+  "CMakeFiles/abl04_heap_index.dir/abl04_heap_index.cc.o.d"
+  "abl04_heap_index"
+  "abl04_heap_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_heap_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_function_cache.dir/abl05_function_cache.cc.o"
+  "CMakeFiles/abl05_function_cache.dir/abl05_function_cache.cc.o.d"
+  "abl05_function_cache"
+  "abl05_function_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_function_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

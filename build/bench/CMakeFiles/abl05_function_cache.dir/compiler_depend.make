@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl05_function_cache.
+# This may be replaced when dependencies are built.

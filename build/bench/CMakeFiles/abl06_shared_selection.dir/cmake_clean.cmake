@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl06_shared_selection.dir/abl06_shared_selection.cc.o"
+  "CMakeFiles/abl06_shared_selection.dir/abl06_shared_selection.cc.o.d"
+  "abl06_shared_selection"
+  "abl06_shared_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_shared_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl07_predicate_ranges.dir/abl07_predicate_ranges.cc.o"
+  "CMakeFiles/abl07_predicate_ranges.dir/abl07_predicate_ranges.cc.o.d"
+  "abl07_predicate_ranges"
+  "abl07_predicate_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_predicate_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl07_predicate_ranges.
+# This may be replaced when dependencies are built.

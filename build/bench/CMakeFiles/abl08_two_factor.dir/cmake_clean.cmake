@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl08_two_factor.dir/abl08_two_factor.cc.o"
+  "CMakeFiles/abl08_two_factor.dir/abl08_two_factor.cc.o.d"
+  "abl08_two_factor"
+  "abl08_two_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl08_two_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

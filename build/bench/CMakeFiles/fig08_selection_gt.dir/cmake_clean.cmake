@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_selection_gt.dir/fig08_selection_gt.cc.o"
+  "CMakeFiles/fig08_selection_gt.dir/fig08_selection_gt.cc.o.d"
+  "fig08_selection_gt"
+  "fig08_selection_gt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_selection_gt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

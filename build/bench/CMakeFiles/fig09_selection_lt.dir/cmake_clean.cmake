@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_selection_lt.dir/fig09_selection_lt.cc.o"
+  "CMakeFiles/fig09_selection_lt.dir/fig09_selection_lt.cc.o.d"
+  "fig09_selection_lt"
+  "fig09_selection_lt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_selection_lt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_selection_stress.dir/fig10_selection_stress.cc.o"
+  "CMakeFiles/fig10_selection_stress.dir/fig10_selection_stress.cc.o.d"
+  "fig10_selection_stress"
+  "fig10_selection_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_selection_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

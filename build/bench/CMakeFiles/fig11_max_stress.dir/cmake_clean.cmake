@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_max_stress.dir/fig11_max_stress.cc.o"
+  "CMakeFiles/fig11_max_stress.dir/fig11_max_stress.cc.o.d"
+  "fig11_max_stress"
+  "fig11_max_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_max_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sum_hotcold.dir/fig12_sum_hotcold.cc.o"
+  "CMakeFiles/fig12_sum_hotcold.dir/fig12_sum_hotcold.cc.o.d"
+  "fig12_sum_hotcold"
+  "fig12_sum_hotcold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sum_hotcold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

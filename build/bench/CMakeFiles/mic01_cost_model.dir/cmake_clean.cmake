@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic01_cost_model.dir/mic01_cost_model.cc.o"
+  "CMakeFiles/mic01_cost_model.dir/mic01_cost_model.cc.o.d"
+  "mic01_cost_model"
+  "mic01_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic01_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

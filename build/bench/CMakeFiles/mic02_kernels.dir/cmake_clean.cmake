@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mic02_kernels.dir/mic02_kernels.cc.o"
+  "CMakeFiles/mic02_kernels.dir/mic02_kernels.cc.o.d"
+  "mic02_kernels"
+  "mic02_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mic02_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

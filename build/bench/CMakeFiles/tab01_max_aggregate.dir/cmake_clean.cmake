@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_max_aggregate.dir/tab01_max_aggregate.cc.o"
+  "CMakeFiles/tab01_max_aggregate.dir/tab01_max_aggregate.cc.o.d"
+  "tab01_max_aggregate"
+  "tab01_max_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_max_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/vaolib_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/vaolib_bench_util.dir/selection_sweep.cc.o"
+  "CMakeFiles/vaolib_bench_util.dir/selection_sweep.cc.o.d"
+  "libvaolib_bench_util.a"
+  "libvaolib_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_bond.dir/best_bond.cpp.o"
+  "CMakeFiles/best_bond.dir/best_bond.cpp.o.d"
+  "best_bond"
+  "best_bond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_bond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

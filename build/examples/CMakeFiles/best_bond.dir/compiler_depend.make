@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for best_bond.
+# This may be replaced when dependencies are built.

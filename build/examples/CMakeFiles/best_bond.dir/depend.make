@@ -1,0 +1,2 @@
+# Empty dependencies file for best_bond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_monitor.dir/portfolio_monitor.cpp.o"
+  "CMakeFiles/portfolio_monitor.dir/portfolio_monitor.cpp.o.d"
+  "portfolio_monitor"
+  "portfolio_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

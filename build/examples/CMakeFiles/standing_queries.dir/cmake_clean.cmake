@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standing_queries.dir/standing_queries.cpp.o"
+  "CMakeFiles/standing_queries.dir/standing_queries.cpp.o.d"
+  "standing_queries"
+  "standing_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standing_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_alert.dir/threshold_alert.cpp.o"
+  "CMakeFiles/threshold_alert.dir/threshold_alert.cpp.o.d"
+  "threshold_alert"
+  "threshold_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_common.dir/logging.cc.o"
+  "CMakeFiles/vaolib_common.dir/logging.cc.o.d"
+  "CMakeFiles/vaolib_common.dir/rng.cc.o"
+  "CMakeFiles/vaolib_common.dir/rng.cc.o.d"
+  "CMakeFiles/vaolib_common.dir/stats.cc.o"
+  "CMakeFiles/vaolib_common.dir/stats.cc.o.d"
+  "CMakeFiles/vaolib_common.dir/status.cc.o"
+  "CMakeFiles/vaolib_common.dir/status.cc.o.d"
+  "CMakeFiles/vaolib_common.dir/table_writer.cc.o"
+  "CMakeFiles/vaolib_common.dir/table_writer.cc.o.d"
+  "libvaolib_common.a"
+  "libvaolib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/csv.cc" "src/engine/CMakeFiles/vaolib_engine.dir/csv.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/csv.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/vaolib_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/multi_query.cc" "src/engine/CMakeFiles/vaolib_engine.dir/multi_query.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/multi_query.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/engine/CMakeFiles/vaolib_engine.dir/relation.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/relation.cc.o.d"
+  "/root/repo/src/engine/sql_parser.cc" "src/engine/CMakeFiles/vaolib_engine.dir/sql_parser.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/sql_parser.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/vaolib_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/vaolib_engine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/operators/CMakeFiles/vaolib_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/vao/CMakeFiles/vaolib_vao.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_engine.dir/csv.cc.o"
+  "CMakeFiles/vaolib_engine.dir/csv.cc.o.d"
+  "CMakeFiles/vaolib_engine.dir/executor.cc.o"
+  "CMakeFiles/vaolib_engine.dir/executor.cc.o.d"
+  "CMakeFiles/vaolib_engine.dir/multi_query.cc.o"
+  "CMakeFiles/vaolib_engine.dir/multi_query.cc.o.d"
+  "CMakeFiles/vaolib_engine.dir/relation.cc.o"
+  "CMakeFiles/vaolib_engine.dir/relation.cc.o.d"
+  "CMakeFiles/vaolib_engine.dir/sql_parser.cc.o"
+  "CMakeFiles/vaolib_engine.dir/sql_parser.cc.o.d"
+  "CMakeFiles/vaolib_engine.dir/value.cc.o"
+  "CMakeFiles/vaolib_engine.dir/value.cc.o.d"
+  "libvaolib_engine.a"
+  "libvaolib_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

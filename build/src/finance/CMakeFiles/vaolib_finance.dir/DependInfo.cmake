@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/finance/bond.cc" "src/finance/CMakeFiles/vaolib_finance.dir/bond.cc.o" "gcc" "src/finance/CMakeFiles/vaolib_finance.dir/bond.cc.o.d"
+  "/root/repo/src/finance/bond_model.cc" "src/finance/CMakeFiles/vaolib_finance.dir/bond_model.cc.o" "gcc" "src/finance/CMakeFiles/vaolib_finance.dir/bond_model.cc.o.d"
+  "/root/repo/src/finance/two_factor_model.cc" "src/finance/CMakeFiles/vaolib_finance.dir/two_factor_model.cc.o" "gcc" "src/finance/CMakeFiles/vaolib_finance.dir/two_factor_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vao/CMakeFiles/vaolib_vao.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_finance.dir/bond.cc.o"
+  "CMakeFiles/vaolib_finance.dir/bond.cc.o.d"
+  "CMakeFiles/vaolib_finance.dir/bond_model.cc.o"
+  "CMakeFiles/vaolib_finance.dir/bond_model.cc.o.d"
+  "CMakeFiles/vaolib_finance.dir/two_factor_model.cc.o"
+  "CMakeFiles/vaolib_finance.dir/two_factor_model.cc.o.d"
+  "libvaolib_finance.a"
+  "libvaolib_finance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/integration.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/integration.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/integration.cc.o.d"
+  "/root/repo/src/numeric/ode_ivp.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/ode_ivp.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/ode_ivp.cc.o.d"
+  "/root/repo/src/numeric/ode_solver.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/ode_solver.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/ode_solver.cc.o.d"
+  "/root/repo/src/numeric/pde2d_solver.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/pde2d_solver.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/pde2d_solver.cc.o.d"
+  "/root/repo/src/numeric/pde_solver.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/pde_solver.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/pde_solver.cc.o.d"
+  "/root/repo/src/numeric/richardson.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/richardson.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/richardson.cc.o.d"
+  "/root/repo/src/numeric/roots.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/roots.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/roots.cc.o.d"
+  "/root/repo/src/numeric/tridiagonal.cc" "src/numeric/CMakeFiles/vaolib_numeric.dir/tridiagonal.cc.o" "gcc" "src/numeric/CMakeFiles/vaolib_numeric.dir/tridiagonal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

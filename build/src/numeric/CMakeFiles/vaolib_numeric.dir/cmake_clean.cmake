@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_numeric.dir/integration.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/integration.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/ode_ivp.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/ode_ivp.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/ode_solver.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/ode_solver.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/pde2d_solver.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/pde2d_solver.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/pde_solver.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/pde_solver.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/richardson.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/richardson.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/roots.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/roots.cc.o.d"
+  "CMakeFiles/vaolib_numeric.dir/tridiagonal.cc.o"
+  "CMakeFiles/vaolib_numeric.dir/tridiagonal.cc.o.d"
+  "libvaolib_numeric.a"
+  "libvaolib_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvaolib_numeric.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/min_max.cc" "src/operators/CMakeFiles/vaolib_operators.dir/min_max.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/min_max.cc.o.d"
+  "/root/repo/src/operators/operator_base.cc" "src/operators/CMakeFiles/vaolib_operators.dir/operator_base.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/operator_base.cc.o.d"
+  "/root/repo/src/operators/predicate_range_cache.cc" "src/operators/CMakeFiles/vaolib_operators.dir/predicate_range_cache.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/predicate_range_cache.cc.o.d"
+  "/root/repo/src/operators/selection.cc" "src/operators/CMakeFiles/vaolib_operators.dir/selection.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/selection.cc.o.d"
+  "/root/repo/src/operators/sum_ave.cc" "src/operators/CMakeFiles/vaolib_operators.dir/sum_ave.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/sum_ave.cc.o.d"
+  "/root/repo/src/operators/top_k.cc" "src/operators/CMakeFiles/vaolib_operators.dir/top_k.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/top_k.cc.o.d"
+  "/root/repo/src/operators/traditional.cc" "src/operators/CMakeFiles/vaolib_operators.dir/traditional.cc.o" "gcc" "src/operators/CMakeFiles/vaolib_operators.dir/traditional.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vao/CMakeFiles/vaolib_vao.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_operators.dir/min_max.cc.o"
+  "CMakeFiles/vaolib_operators.dir/min_max.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/operator_base.cc.o"
+  "CMakeFiles/vaolib_operators.dir/operator_base.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/predicate_range_cache.cc.o"
+  "CMakeFiles/vaolib_operators.dir/predicate_range_cache.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/selection.cc.o"
+  "CMakeFiles/vaolib_operators.dir/selection.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/sum_ave.cc.o"
+  "CMakeFiles/vaolib_operators.dir/sum_ave.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/top_k.cc.o"
+  "CMakeFiles/vaolib_operators.dir/top_k.cc.o.d"
+  "CMakeFiles/vaolib_operators.dir/traditional.cc.o"
+  "CMakeFiles/vaolib_operators.dir/traditional.cc.o.d"
+  "libvaolib_operators.a"
+  "libvaolib_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

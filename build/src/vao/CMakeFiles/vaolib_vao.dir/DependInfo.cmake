@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vao/black_box.cc" "src/vao/CMakeFiles/vaolib_vao.dir/black_box.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/black_box.cc.o.d"
+  "/root/repo/src/vao/function_cache.cc" "src/vao/CMakeFiles/vaolib_vao.dir/function_cache.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/function_cache.cc.o.d"
+  "/root/repo/src/vao/integral_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/integral_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/integral_result_object.cc.o.d"
+  "/root/repo/src/vao/ivp_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/ivp_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/ivp_result_object.cc.o.d"
+  "/root/repo/src/vao/ode_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/ode_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/ode_result_object.cc.o.d"
+  "/root/repo/src/vao/parallel.cc" "src/vao/CMakeFiles/vaolib_vao.dir/parallel.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/parallel.cc.o.d"
+  "/root/repo/src/vao/pde2d_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/pde2d_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/pde2d_result_object.cc.o.d"
+  "/root/repo/src/vao/pde_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/pde_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/pde_result_object.cc.o.d"
+  "/root/repo/src/vao/root_result_object.cc" "src/vao/CMakeFiles/vaolib_vao.dir/root_result_object.cc.o" "gcc" "src/vao/CMakeFiles/vaolib_vao.dir/root_result_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_vao.dir/black_box.cc.o"
+  "CMakeFiles/vaolib_vao.dir/black_box.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/function_cache.cc.o"
+  "CMakeFiles/vaolib_vao.dir/function_cache.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/integral_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/integral_result_object.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/ivp_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/ivp_result_object.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/ode_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/ode_result_object.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/parallel.cc.o"
+  "CMakeFiles/vaolib_vao.dir/parallel.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/pde2d_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/pde2d_result_object.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/pde_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/pde_result_object.cc.o.d"
+  "CMakeFiles/vaolib_vao.dir/root_result_object.cc.o"
+  "CMakeFiles/vaolib_vao.dir/root_result_object.cc.o.d"
+  "libvaolib_vao.a"
+  "libvaolib_vao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_vao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

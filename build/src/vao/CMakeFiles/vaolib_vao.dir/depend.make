@@ -1,0 +1,2 @@
+# Empty dependencies file for vaolib_vao.
+# This may be replaced when dependencies are built.

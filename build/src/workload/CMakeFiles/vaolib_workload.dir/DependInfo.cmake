@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/hot_cold.cc" "src/workload/CMakeFiles/vaolib_workload.dir/hot_cold.cc.o" "gcc" "src/workload/CMakeFiles/vaolib_workload.dir/hot_cold.cc.o.d"
+  "/root/repo/src/workload/portfolio_gen.cc" "src/workload/CMakeFiles/vaolib_workload.dir/portfolio_gen.cc.o" "gcc" "src/workload/CMakeFiles/vaolib_workload.dir/portfolio_gen.cc.o.d"
+  "/root/repo/src/workload/selectivity.cc" "src/workload/CMakeFiles/vaolib_workload.dir/selectivity.cc.o" "gcc" "src/workload/CMakeFiles/vaolib_workload.dir/selectivity.cc.o.d"
+  "/root/repo/src/workload/shift_scheme.cc" "src/workload/CMakeFiles/vaolib_workload.dir/shift_scheme.cc.o" "gcc" "src/workload/CMakeFiles/vaolib_workload.dir/shift_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vao/CMakeFiles/vaolib_vao.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/vaolib_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaolib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/vaolib_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaolib_workload.dir/hot_cold.cc.o"
+  "CMakeFiles/vaolib_workload.dir/hot_cold.cc.o.d"
+  "CMakeFiles/vaolib_workload.dir/portfolio_gen.cc.o"
+  "CMakeFiles/vaolib_workload.dir/portfolio_gen.cc.o.d"
+  "CMakeFiles/vaolib_workload.dir/selectivity.cc.o"
+  "CMakeFiles/vaolib_workload.dir/selectivity.cc.o.d"
+  "CMakeFiles/vaolib_workload.dir/shift_scheme.cc.o"
+  "CMakeFiles/vaolib_workload.dir/shift_scheme.cc.o.d"
+  "libvaolib_workload.a"
+  "libvaolib_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaolib_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_test.dir/finance_test.cc.o"
+  "CMakeFiles/finance_test.dir/finance_test.cc.o.d"
+  "finance_test"
+  "finance_test.pdb"
+  "finance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde2d_test.dir/pde2d_test.cc.o"
+  "CMakeFiles/pde2d_test.dir/pde2d_test.cc.o.d"
+  "pde2d_test"
+  "pde2d_test.pdb"
+  "pde2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_range_test.dir/predicate_range_test.cc.o"
+  "CMakeFiles/predicate_range_test.dir/predicate_range_test.cc.o.d"
+  "predicate_range_test"
+  "predicate_range_test.pdb"
+  "predicate_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

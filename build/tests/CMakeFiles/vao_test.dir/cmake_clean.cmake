@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vao_test.dir/vao_test.cc.o"
+  "CMakeFiles/vao_test.dir/vao_test.cc.o.d"
+  "vao_test"
+  "vao_test.pdb"
+  "vao_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vao_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
