@@ -1,0 +1,144 @@
+// Parallel scaling experiment: bulk result-object creation plus convergence
+// of the full bond portfolio at 1/2/4/8 threads on the shared pool. The
+// paper sizes production deployments in processors and calls the models
+// "easily parallelizable" (Section 6.1); this bench demonstrates that the
+// parallel runtime keeps the paper's deterministic cost accounting: work
+// units and converged bounds must be bit-identical at every thread count.
+// Speedup is reported, not asserted -- it depends on the host's cores -- but
+// any work-unit or bounds divergence is a hard failure.
+//
+// Output: the standard text table plus BENCH_parallel.json (RenderJson).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "vao/parallel.h"
+#include "vao/result_object.h"
+
+using namespace vaolib;
+using namespace vaolib::bench;
+
+namespace {
+
+struct Arm {
+  int threads = 1;
+  std::uint64_t work_units = 0;
+  std::vector<Bounds> bounds;
+  double wall_seconds = 0.0;
+};
+
+// One full portfolio pass: create every bond's result object, then converge
+// all of them to minWidth, both on `threads` workers.
+bool RunArm(const BenchContext& context, int threads, Arm* arm) {
+  arm->threads = threads;
+  WorkMeter meter;
+  const auto start = std::chrono::steady_clock::now();
+  auto invoked =
+      vao::InvokeAll(*context.function, context.rows, threads, &meter);
+  if (!invoked.ok()) {
+    std::fprintf(stderr, "InvokeAll(%d) failed: %s\n", threads,
+                 invoked.status().message().c_str());
+    return false;
+  }
+  std::vector<vao::ResultObject*> objects;
+  objects.reserve(invoked->size());
+  for (const auto& object : *invoked) objects.push_back(object.get());
+  const Status status = vao::ConvergeAllToMinWidth(objects, threads);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ConvergeAllToMinWidth(%d) failed: %s\n", threads,
+                 status.message().c_str());
+    return false;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  arm->wall_seconds = std::chrono::duration<double>(end - start).count();
+  arm->work_units = meter.Total();
+  arm->bounds.reserve(objects.size());
+  for (const auto* object : objects) arm->bounds.push_back(object->bounds());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  BenchContext context = MakeContext();
+  Calibrate(&context);
+  PrintPreamble(context,
+                "Parallel scaling: bulk invoke + converge-to-minWidth of the "
+                "portfolio at 1/2/4/8 threads");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", cores);
+  if (cores < 4) {
+    std::printf(
+        "NOTE: fewer than 4 hardware threads; speedups cannot materialize "
+        "here and are reported for completeness only.\n");
+  }
+  std::printf("\n");
+
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<Arm> arms;
+  for (const int threads : kThreadCounts) {
+    Arm arm;
+    if (!RunArm(context, threads, &arm)) return 1;
+    arms.push_back(std::move(arm));
+  }
+
+  // Hard determinism checks against the serial arm: identical work units and
+  // bit-identical converged bounds, per the ParallelFor/InvokeAll contracts.
+  const Arm& serial = arms.front();
+  for (const Arm& arm : arms) {
+    if (arm.work_units != serial.work_units) {
+      std::fprintf(stderr,
+                   "FAIL: work units diverge: %llu at %d threads vs %llu "
+                   "serial\n",
+                   static_cast<unsigned long long>(arm.work_units),
+                   arm.threads,
+                   static_cast<unsigned long long>(serial.work_units));
+      return 1;
+    }
+    for (std::size_t i = 0; i < serial.bounds.size(); ++i) {
+      if (arm.bounds[i].lo != serial.bounds[i].lo ||
+          arm.bounds[i].hi != serial.bounds[i].hi) {
+        std::fprintf(stderr,
+                     "FAIL: bounds diverge at bond %zu, %d threads\n", i,
+                     arm.threads);
+        return 1;
+      }
+    }
+  }
+  std::printf("determinism: work units and bounds identical across all "
+              "thread counts (%llu units)\n\n",
+              static_cast<unsigned long long>(serial.work_units));
+
+  TableWriter table("Parallel scaling (full portfolio, invoke + converge)",
+                    {"threads", "work_units", "wall_seconds", "speedup",
+                     "est_serial_seconds"});
+  for (const Arm& arm : arms) {
+    table.AddRow({TableWriter::Cell(arm.threads),
+                  TableWriter::Cell(arm.work_units),
+                  TableWriter::Cell(arm.wall_seconds, 4),
+                  TableWriter::Cell(serial.wall_seconds /
+                                        std::max(arm.wall_seconds, 1e-12),
+                                    2),
+                  TableWriter::Cell(context.EstSeconds(arm.work_units), 4)});
+  }
+  table.RenderText(std::cout);
+  std::printf("\ncsv:\n");
+  table.RenderCsv(std::cout);
+
+  std::ofstream json("BENCH_parallel.json");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_parallel.json for writing\n");
+    return 1;
+  }
+  table.RenderJson(json);
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "common/table_writer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 
 namespace vaolib {
@@ -52,6 +54,55 @@ void TableWriter::RenderText(std::ostream& os) const {
   for (const auto w : widths) total += w;
   os << std::string(total, '-') << "\n";
   for (const auto& row : rows_) emit_row(row);
+}
+
+void TableWriter::RenderJson(std::ostream& os) const {
+  auto quote = [](const std::string& text) {
+    std::string out = "\"";
+    for (const char ch : text) {
+      switch (ch) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  // A cell renders as a bare JSON number only when strtod consumes all of it
+  // and produces a finite value ("nan"/"inf" are not valid JSON numbers).
+  auto emit_cell = [&](const std::string& cell) {
+    if (!cell.empty()) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() + cell.size() && std::isfinite(value)) {
+        os << cell;
+        return;
+      }
+    }
+    os << quote(cell);
+  };
+  os << "{\n  \"title\": " << quote(title_) << ",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ",") << "\n    {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << quote(headers_[c]) << ": ";
+      emit_cell(rows_[r][c]);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
 }
 
 void TableWriter::RenderCsv(std::ostream& os) const {

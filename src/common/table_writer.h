@@ -1,6 +1,6 @@
 // Copyright 2026 The vaolib Authors.
-// TableWriter: renders benchmark results as aligned console tables and CSV,
-// so every bench binary prints the same rows/series the paper reports.
+// TableWriter: renders benchmark results as aligned console tables, CSV, and
+// JSON, so every bench binary prints the same rows/series the paper reports.
 
 #ifndef VAOLIB_COMMON_TABLE_WRITER_H_
 #define VAOLIB_COMMON_TABLE_WRITER_H_
@@ -35,6 +35,11 @@ class TableWriter {
 
   /// Writes an RFC-4180-ish CSV rendering (header row first) to \p os.
   void RenderCsv(std::ostream& os) const;
+
+  /// Writes a JSON object {"title": ..., "rows": [{header: cell, ...}]} to
+  /// \p os. Cells that parse fully as finite numbers are emitted unquoted,
+  /// everything else as strings.
+  void RenderJson(std::ostream& os) const;
 
   /// Number of data rows added so far.
   std::size_t row_count() const { return rows_.size(); }

@@ -1,0 +1,167 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace vaolib {
+
+thread_local bool ThreadPool::in_worker_ = false;
+
+namespace {
+
+// Runs one chunk, converting any escaping exception into a Status so worker
+// threads never unwind past the pool loop.
+Status RunChunk(const ThreadPool::ChunkBody& body, std::size_t begin,
+                std::size_t end, WorkMeter* meter) {
+  try {
+    return body(begin, end, meter);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+// State shared between a ParallelFor call and the runner tasks it enqueues.
+// Runners pull chunk indices from `next_chunk`; the caller waits on `done`.
+struct ForJob {
+  const ThreadPool::ChunkBody* body = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk_size = 1;
+  std::size_t num_chunks = 0;
+  bool metered = false;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> chunks_finished{0};
+  std::vector<WorkMeter> chunk_meters;
+  std::vector<Status> chunk_status;
+
+  std::mutex mutex;
+  std::condition_variable done;
+
+  void RunChunks() {
+    while (true) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(n, begin + chunk_size);
+      chunk_status[c] =
+          RunChunk(*body, begin, end, metered ? &chunk_meters[c] : nullptr);
+      if (chunks_finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        // Last chunk: wake the waiting caller. The lock pairs with the
+        // caller's wait so the notify cannot be lost.
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  in_worker_ = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(std::size_t n, const ForOptions& options,
+                               WorkMeter* meter, const ChunkBody& body) {
+  if (n == 0) return Status::OK();
+  if (in_worker_) {
+    return Status::FailedPrecondition(
+        "nested ParallelFor from inside a pool worker");
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->body = &body;
+  job->n = n;
+  job->chunk_size = std::max<std::size_t>(options.min_chunk, 1);
+  job->num_chunks = (n + job->chunk_size - 1) / job->chunk_size;
+  job->metered = meter != nullptr;
+  if (job->metered) job->chunk_meters.resize(job->num_chunks);
+  job->chunk_status.resize(job->num_chunks);
+
+  int parallelism = options.max_parallelism;
+  if (parallelism <= 0 || parallelism > thread_count()) {
+    parallelism = thread_count();
+  }
+  // Runner tasks beyond the first are only useful while chunks remain.
+  const std::size_t runners = std::min<std::size_t>(
+      static_cast<std::size_t>(parallelism), job->num_chunks);
+
+  if (runners > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The caller runs chunks too, so enqueue runners - 1 helpers.
+      for (std::size_t r = 0; r + 1 < runners; ++r) {
+        queue_.emplace_back([job]() { job->RunChunks(); });
+      }
+    }
+    wake_.notify_all();
+  }
+  // The calling thread always participates: parallelism 1 degrades to a
+  // plain serial loop with zero queue traffic. It counts as a worker while
+  // running chunks so nested ParallelFor is rejected no matter which thread
+  // a body lands on. (RunChunks cannot throw; RunChunk catches.)
+  in_worker_ = true;
+  job->RunChunks();
+  in_worker_ = false;
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&job]() {
+      return job->chunks_finished.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+  }
+
+  // Deterministic join: merge chunk meters and pick the error in chunk
+  // order, independent of which worker ran what.
+  Status first_error;
+  for (std::size_t c = 0; c < job->num_chunks; ++c) {
+    if (job->metered) meter->Merge(job->chunk_meters[c]);
+    if (first_error.ok() && !job->chunk_status[c].ok()) {
+      first_error = job->chunk_status[c];
+    }
+  }
+  return first_error;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = []() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw == 0 ? 4 : static_cast<int>(hw));
+  }();
+  return *pool;
+}
+
+}  // namespace vaolib

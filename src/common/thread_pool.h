@@ -1,0 +1,101 @@
+// Copyright 2026 The vaolib Authors.
+// ThreadPool: a persistent fixed-size worker pool with a chunked ParallelFor.
+//
+// The paper sizes production deployments in processors and calls its models
+// "easily parallelizable" (Section 6.1). Everything bulk-parallel in this
+// repository -- bulk Invoke(), bulk convergence, batch predicate resolution
+// -- runs through this pool rather than spawning std::threads per call:
+// workers are created once and reused, so per-tick parallel sections cost a
+// queue push instead of a thread spawn.
+//
+// Determinism contract: ParallelFor splits [0, n) into contiguous chunks and
+// gives every chunk its own WorkMeter; the chunk meters are merged into the
+// caller's meter in chunk order at join. Because chunk boundaries depend
+// only on (n, chunk size) -- never on the worker count or scheduling -- the
+// merged work-unit totals are bit-identical across any max_parallelism,
+// including serial execution.
+//
+// Error contract: every chunk is attempted even after another chunk has
+// failed, and the returned Status is the error of the lowest-indexed failing
+// chunk. A body that processes its range in index order therefore surfaces
+// the error of the lowest-indexed failing element, deterministically.
+// Exceptions escaping the body are captured and returned as Internal errors
+// (the pool never terminates the process and workers never die).
+
+#ifndef VAOLIB_COMMON_THREAD_POOL_H_
+#define VAOLIB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_meter.h"
+
+namespace vaolib {
+
+/// \brief Persistent fixed-size worker pool.
+///
+/// Thread-safe: ParallelFor may be called from multiple threads at once
+/// (calls share the workers). Nested ParallelFor from inside a body is not
+/// supported and returns FailedPrecondition.
+class ThreadPool {
+ public:
+  /// Processes the half-open index range [begin, end); charges work to
+  /// \p meter (null when the caller passed a null meter).
+  using ChunkBody =
+      std::function<Status(std::size_t begin, std::size_t end, WorkMeter* meter)>;
+
+  /// Spawns \p threads workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers; outstanding ParallelFor calls complete first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  struct ForOptions {
+    /// Workers used by this call; <= 0 or > pool size means the pool size.
+    /// 1 runs the chunks inline on the caller (no queueing at all).
+    int max_parallelism = 0;
+    /// Minimum indices per chunk (work-stealing granularity). Chunk
+    /// boundaries -- and therefore meter merges -- depend only on this and
+    /// n, never on max_parallelism.
+    std::size_t min_chunk = 1;
+  };
+
+  /// Runs \p body over [0, n) in contiguous chunks. All chunks are
+  /// attempted; returns the lowest-indexed failing chunk's error. Work is
+  /// charged to per-chunk meters merged into \p meter in chunk order at
+  /// join (pass null to skip metering).
+  Status ParallelFor(std::size_t n, const ForOptions& options, WorkMeter* meter,
+                     const ChunkBody& body);
+
+  /// Process-wide pool sized to the hardware concurrency, created on first
+  /// use and alive until process exit. Bulk helpers that take a `threads`
+  /// count use this pool with max_parallelism = threads, so differently
+  /// sized requests share one set of workers.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+
+  static thread_local bool in_worker_;
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_THREAD_POOL_H_

@@ -9,19 +9,32 @@
 #include "operators/sum_ave.h"
 #include "operators/top_k.h"
 #include "operators/traditional.h"
+#include "vao/parallel.h"
 
 namespace vaolib::engine {
 
+namespace {
+
+// Per-object Iterate() budget for the parallel coarse pre-phase. Iteration
+// cost roughly doubles per refinement step, so a cap this small keeps the
+// coarse work on rows the serial greedy loop would have pruned early to a
+// few percent of the total, while still fanning the broad early refinement
+// out across the pool.
+constexpr std::uint64_t kCoarseMaxSteps = 4;
+
+}  // namespace
+
 CqExecutor::CqExecutor(const Relation* relation, Schema stream_schema,
-                       Query query, ExecutionMode mode)
+                       Query query, ExecutionMode mode, int threads)
     : relation_(relation),
       stream_schema_(std::move(stream_schema)),
       query_(std::move(query)),
-      mode_(mode) {}
+      mode_(mode),
+      threads_(std::max(threads, 1)) {}
 
 Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
     const Relation* relation, Schema stream_schema, Query query,
-    ExecutionMode mode) {
+    ExecutionMode mode, int threads) {
   if (relation == nullptr) {
     return Status::InvalidArgument("executor requires a relation");
   }
@@ -36,7 +49,7 @@ Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
   }
 
   auto executor = std::unique_ptr<CqExecutor>(new CqExecutor(
-      relation, std::move(stream_schema), std::move(query), mode));
+      relation, std::move(stream_schema), std::move(query), mode, threads));
 
   for (const ArgRef& ref : executor->query_.args) {
     BoundArg bound;
@@ -137,43 +150,47 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
   const std::uint64_t work_before = meter_.Total();
   const std::size_t n = relation_->size();
 
+  // Per-row argument vectors for this tick (also the batch-path input).
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    rows.push_back(std::move(args));
+  }
+
   if (query_.kind == QueryKind::kSelect ||
       query_.kind == QueryKind::kSelectRange) {
     const operators::SelectionVao point_vao(query_.cmp, query_.constant);
     const operators::RangeSelectionVao range_vao(
         query_.range_lo, query_.range_hi, query_.range_inclusive);
+    std::vector<operators::SelectionOutcome> outcomes;
+    if (query_.kind == QueryKind::kSelect) {
+      VAOLIB_ASSIGN_OR_RETURN(
+          outcomes,
+          point_vao.EvaluateBatch(*query_.function, rows, threads_, &meter_));
+    } else {
+      VAOLIB_ASSIGN_OR_RETURN(
+          outcomes,
+          range_vao.EvaluateBatch(*query_.function, rows, threads_, &meter_));
+    }
     for (std::size_t row = 0; row < n; ++row) {
-      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
-                              BuildArgs(stream_tuple, row));
-      operators::SelectionOutcome outcome;
-      if (query_.kind == QueryKind::kSelect) {
-        VAOLIB_ASSIGN_OR_RETURN(
-            outcome, point_vao.Evaluate(*query_.function, args, &meter_));
-      } else {
-        VAOLIB_ASSIGN_OR_RETURN(
-            outcome, range_vao.Evaluate(*query_.function, args, &meter_));
-      }
-      if (outcome.passes) result.passing_rows.push_back(row);
-      result.stats.iterations += outcome.stats.iterations;
-      result.stats.objects_touched += outcome.stats.objects_touched;
+      if (outcomes[row].passes) result.passing_rows.push_back(row);
+      result.stats.iterations += outcomes[row].stats.iterations;
+      result.stats.objects_touched += outcomes[row].stats.objects_touched;
     }
     result.work_units = meter_.Total() - work_before;
     return result;
   }
 
-  // Aggregates: materialize one result object per relation row.
-  std::vector<vao::ResultObjectPtr> owned;
+  // Aggregates: materialize one result object per relation row (bulk
+  // invoke runs row-parallel when threads_ > 1).
+  VAOLIB_ASSIGN_OR_RETURN(
+      std::vector<vao::ResultObjectPtr> owned,
+      vao::InvokeAll(*query_.function, rows, threads_, &meter_));
   std::vector<vao::ResultObject*> objects;
-  owned.reserve(n);
   objects.reserve(n);
-  for (std::size_t row = 0; row < n; ++row) {
-    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
-                            BuildArgs(stream_tuple, row));
-    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
-                            query_.function->Invoke(args, &meter_));
-    objects.push_back(object.get());
-    owned.push_back(std::move(object));
-  }
+  for (const auto& object : owned) objects.push_back(object.get());
 
   switch (query_.kind) {
     case QueryKind::kMax:
@@ -184,6 +201,11 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
                          : operators::ExtremeKind::kMin;
       options.epsilon = query_.epsilon;
       options.meter = &meter_;
+      if (threads_ > 1) {
+        options.threads = threads_;
+        options.coarse_width = query_.epsilon;
+        options.coarse_max_steps = kCoarseMaxSteps;
+      }
       const operators::MinMaxVao vao(options);
       VAOLIB_ASSIGN_OR_RETURN(const operators::MinMaxOutcome outcome,
                               vao.Evaluate(objects));
@@ -200,6 +222,11 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
       operators::SumAveOptions options;
       options.epsilon = query_.epsilon;
       options.meter = &meter_;
+      if (threads_ > 1) {
+        options.threads = threads_;
+        options.coarse_width = query_.epsilon;
+        options.coarse_max_steps = kCoarseMaxSteps;
+      }
       const operators::SumAveVao vao(options);
       VAOLIB_ASSIGN_OR_RETURN(const operators::SumOutcome outcome,
                               vao.Evaluate(objects, weights));

@@ -53,11 +53,20 @@ struct TickResult {
 /// carried across ticks (function caching is orthogonal, Section 3.1).
 class CqExecutor {
  public:
-  /// Builds an executor and resolves all column references.
+  /// Builds an executor and resolves all column references. \p threads > 1
+  /// runs VAO-mode ticks on the shared thread pool: selection predicates
+  /// resolve row-parallel through the batch operator paths, aggregate
+  /// object creation goes through InvokeAll, and MIN/MAX/SUM/AVE run a
+  /// parallel coarse-convergence phase (to the query epsilon) before their
+  /// serial greedy refinement. Traditional mode ignores \p threads (its
+  /// baseline costs are charged, not solved). Requires the query's function
+  /// to support concurrent Invoke() -- true for every function in this
+  /// library, including CachingFunction.
   static Result<std::unique_ptr<CqExecutor>> Create(const Relation* relation,
                                                     Schema stream_schema,
                                                     Query query,
-                                                    ExecutionMode mode);
+                                                    ExecutionMode mode,
+                                                    int threads = 1);
 
   /// Re-evaluates the query for \p stream_tuple.
   Result<TickResult> ProcessTick(const Tuple& stream_tuple);
@@ -68,10 +77,11 @@ class CqExecutor {
 
   ExecutionMode mode() const { return mode_; }
   const Query& query() const { return query_; }
+  int threads() const { return threads_; }
 
  private:
   CqExecutor(const Relation* relation, Schema stream_schema, Query query,
-             ExecutionMode mode);
+             ExecutionMode mode, int threads);
 
   /// Resolves ArgRefs into per-row argument vectors for this tick.
   Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
@@ -86,6 +96,7 @@ class CqExecutor {
   Schema stream_schema_;
   Query query_;
   ExecutionMode mode_;
+  int threads_;
   WorkMeter meter_;
 
   /// Pre-resolved argument bindings: (source, column index or constant).

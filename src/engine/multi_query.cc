@@ -1,5 +1,6 @@
 #include "engine/multi_query.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
@@ -7,6 +8,7 @@
 #include "operators/selection.h"
 #include "operators/sum_ave.h"
 #include "operators/top_k.h"
+#include "vao/parallel.h"
 
 namespace vaolib::engine {
 
@@ -17,18 +19,23 @@ bool SameBinding(const ArgRef& a, const ArgRef& b) {
          a.constant == b.constant;
 }
 
+// Per-object Iterate() budget for the parallel coarse pre-phase; see the
+// identical constant in executor.cc for the rationale.
+constexpr std::uint64_t kCoarseMaxSteps = 4;
+
 }  // namespace
 
 MultiQueryExecutor::MultiQueryExecutor(const Relation* relation,
                                        Schema stream_schema,
-                                       std::vector<Query> queries)
+                                       std::vector<Query> queries, int threads)
     : relation_(relation),
       stream_schema_(std::move(stream_schema)),
-      queries_(std::move(queries)) {}
+      queries_(std::move(queries)),
+      threads_(std::max(threads, 1)) {}
 
 Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
     const Relation* relation, Schema stream_schema,
-    std::vector<Query> queries) {
+    std::vector<Query> queries, int threads) {
   if (relation == nullptr) {
     return Status::InvalidArgument("multi-query executor needs a relation");
   }
@@ -65,7 +72,7 @@ Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
   }
 
   auto executor = std::unique_ptr<MultiQueryExecutor>(new MultiQueryExecutor(
-      relation, std::move(stream_schema), std::move(queries)));
+      relation, std::move(stream_schema), std::move(queries), threads));
   for (const ArgRef& ref : executor->queries_.front().args) {
     BoundArg bound;
     bound.source = ref.source;
@@ -129,21 +136,23 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     return Status::FailedPrecondition("relation is empty");
   }
 
-  // One shared result object per relation row.
+  // One shared result object per relation row, created in bulk (row-parallel
+  // on the shared pool when threads_ > 1; work totals are identical either
+  // way because every object charges meter_ directly).
   const std::uint64_t creation_before = meter_.Total();
-  std::vector<vao::ResultObjectPtr> owned;
-  std::vector<vao::ResultObject*> objects;
-  owned.reserve(n);
-  objects.reserve(n);
   const auto* function = queries_.front().function;
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
   for (std::size_t row = 0; row < n; ++row) {
-    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+    VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
                             BuildArgs(stream_tuple, row));
-    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
-                            function->Invoke(args, &meter_));
-    objects.push_back(object.get());
-    owned.push_back(std::move(object));
+    rows.push_back(std::move(args));
   }
+  VAOLIB_ASSIGN_OR_RETURN(std::vector<vao::ResultObjectPtr> owned,
+                          vao::InvokeAll(*function, rows, threads_, &meter_));
+  std::vector<vao::ResultObject*> objects;
+  objects.reserve(n);
+  for (const auto& object : owned) objects.push_back(object.get());
   const std::uint64_t creation_cost = meter_.Total() - creation_before;
 
   std::vector<TickResult> results(queries_.size());
@@ -161,10 +170,11 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
   if (!predicates.empty()) {
     const std::uint64_t before = meter_.Total();
     const operators::MultiSelectionVao shared(predicates);
+    VAOLIB_ASSIGN_OR_RETURN(const auto outcomes,
+                            shared.EvaluateBatch(objects, threads_));
     std::uint64_t iterations = 0;
     for (std::size_t row = 0; row < n; ++row) {
-      VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
-                              shared.Evaluate(objects[row]));
+      const auto& outcome = outcomes[row];
       iterations += outcome.stats.iterations;
       for (std::size_t p = 0; p < select_query_indices.size(); ++p) {
         if (outcome.passes[p]) {
@@ -209,6 +219,11 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
                            : operators::ExtremeKind::kMin;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
+        if (threads_ > 1) {
+          options.threads = threads_;
+          options.coarse_width = query.epsilon;
+          options.coarse_max_steps = kCoarseMaxSteps;
+        }
         const operators::MinMaxVao vao(options);
         VAOLIB_ASSIGN_OR_RETURN(const auto outcome, vao.Evaluate(objects));
         result.winner_row = outcome.winner_index;
@@ -231,6 +246,11 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
         operators::SumAveOptions options;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
+        if (threads_ > 1) {
+          options.threads = threads_;
+          options.coarse_width = query.epsilon;
+          options.coarse_max_steps = kCoarseMaxSteps;
+        }
         const operators::SumAveVao vao(options);
         VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
                                 vao.Evaluate(objects, weights));

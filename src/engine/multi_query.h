@@ -32,9 +32,13 @@ class MultiQueryExecutor {
   /// Builds the executor; every query must have the same `function` and
   /// `args` bindings (InvalidArgument otherwise). Traditional mode is not
   /// supported here -- use one CqExecutor per query for baselines.
+  /// \p threads > 1 creates the per-tick shared objects through InvokeAll
+  /// and resolves the batched selection predicates row-parallel on the
+  /// shared pool; aggregate operators then run serially over the tightened
+  /// objects with a parallel coarse phase (see MinMaxOptions/SumAveOptions).
   static Result<std::unique_ptr<MultiQueryExecutor>> Create(
       const Relation* relation, Schema stream_schema,
-      std::vector<Query> queries);
+      std::vector<Query> queries, int threads = 1);
 
   /// Re-evaluates every query for \p stream_tuple over shared result
   /// objects. Results are parallel to the constructor's query list; each
@@ -47,10 +51,11 @@ class MultiQueryExecutor {
   void ResetMeter() { meter_.Reset(); }
 
   std::size_t query_count() const { return queries_.size(); }
+  int threads() const { return threads_; }
 
  private:
   MultiQueryExecutor(const Relation* relation, Schema stream_schema,
-                     std::vector<Query> queries);
+                     std::vector<Query> queries, int threads);
 
   Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
                                         std::size_t row) const;
@@ -58,6 +63,7 @@ class MultiQueryExecutor {
   const Relation* relation_;
   Schema stream_schema_;
   std::vector<Query> queries_;
+  int threads_;
   WorkMeter meter_;
 
   struct BoundArg {

@@ -51,13 +51,31 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
 
   const ExtremeKind kind = options_.kind;
   MinMaxOutcome outcome;
+  std::vector<bool> touched(objects.size(), false);
+
+  // Optional parallel phase: bulk-converge everything to the coarse width
+  // on the pool; the greedy loop below then starts from those states.
+  {
+    std::vector<std::uint64_t> coarse_iterations;
+    VAOLIB_RETURN_IF_ERROR(
+        ParallelCoarseConverge(objects, options_.threads,
+                               options_.coarse_width,
+                               options_.coarse_max_steps,
+                               &coarse_iterations));
+    for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+      outcome.stats.iterations += coarse_iterations[i];
+      if (coarse_iterations[i] > 0) touched[i] = true;
+    }
+    if (outcome.stats.iterations > options_.max_total_iterations) {
+      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
+    }
+  }
 
   // Candidate indices still able to be the maximum. Objects are pruned once
   // another candidate's lower bound exceeds their upper bound; pruned
   // objects are never reconsidered (bounds only tighten).
   std::vector<std::size_t> alive(objects.size());
   for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
-  std::vector<bool> touched(objects.size(), false);
   std::size_t round_robin_cursor = 0;
 
   auto bounds_of = [&](std::size_t i) {

@@ -15,6 +15,7 @@
 #define VAOLIB_OPERATORS_MIN_MAX_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "common/result.h"
@@ -49,6 +50,19 @@ struct MinMaxOptions {
   Rng* rng = nullptr;
   /// chooseIter bookkeeping work is charged here when non-null.
   WorkMeter* meter = nullptr;
+  /// Parallel pre-phase (ParallelCoarseConverge): with threads > 1 and a
+  /// finite coarse_width, every object is first refined toward width <=
+  /// max(coarse_width, its minWidth) on the shared pool; the greedy loop --
+  /// inherently serial, each choice depends on all prior ones -- then runs
+  /// from those deterministic states. coarse_max_steps caps the Iterate()
+  /// calls any one object gets in the pre-phase (0 = refine all the way to
+  /// coarse_width); since per-iteration cost typically grows geometrically,
+  /// a small cap keeps the extra work spent on rivals the greedy loop would
+  /// have pruned early to a few percent. Defaults keep the exact serial
+  /// behaviour.
+  int threads = 1;
+  double coarse_width = std::numeric_limits<double>::infinity();
+  std::uint64_t coarse_max_steps = 0;
 };
 
 /// \brief Adaptive MIN/MAX aggregate over a set of result objects.

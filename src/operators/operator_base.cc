@@ -1,6 +1,52 @@
 #include "operators/operator_base.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
 namespace vaolib::operators {
+
+Status ParallelCoarseConverge(const std::vector<vao::ResultObject*>& objects,
+                              int threads, double coarse_width,
+                              std::uint64_t max_steps_per_object,
+                              std::vector<std::uint64_t>* iterations_out) {
+  const std::size_t n = objects.size();
+  if (iterations_out != nullptr) {
+    iterations_out->assign(n, 0);
+  }
+  if (n == 0 || threads < 2 || !std::isfinite(coarse_width)) {
+    return Status::OK();
+  }
+
+  auto body = [&](std::size_t begin, std::size_t end,
+                  WorkMeter* /*chunk_meter*/) {
+    Status first_error;
+    for (std::size_t i = begin; i < end; ++i) {
+      vao::ResultObject* object = objects[i];
+      const double target = std::max(coarse_width, object->min_width());
+      std::uint64_t steps = 0;
+      while (object->bounds().Width() > target &&
+             !object->AtStoppingCondition() &&
+             (max_steps_per_object == 0 || steps < max_steps_per_object)) {
+        const Status status = object->Iterate();
+        if (!status.ok()) {
+          if (first_error.ok()) first_error = status;
+          break;
+        }
+        ++steps;
+      }
+      // Distinct indices per worker: no synchronization needed.
+      if (iterations_out != nullptr) (*iterations_out)[i] = steps;
+    }
+    return first_error;
+  };
+
+  ThreadPool::ForOptions options;
+  options.max_parallelism = threads;
+  return ThreadPool::Shared().ParallelFor(n, options, /*meter=*/nullptr,
+                                          body);
+}
 
 const char* ComparatorToString(Comparator cmp) {
   switch (cmp) {

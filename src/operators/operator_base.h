@@ -5,8 +5,11 @@
 #define VAOLIB_OPERATORS_OPERATOR_BASE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bounds.h"
+#include "common/status.h"
+#include "vao/result_object.h"
 
 namespace vaolib::operators {
 
@@ -41,6 +44,29 @@ struct OperatorStats {
   std::uint64_t choose_steps = 0;   ///< strategy invocations (chooseIter)
   std::uint64_t objects_touched = 0;///< objects iterated at least once
 };
+
+/// \brief Parallel pre-phase for aggregate VAOs: converges every object to
+/// width <= max(\p coarse_width, its minWidth) using up to \p threads
+/// workers of the shared pool, before the inherently serial greedy
+/// refinement loop runs on the caller. Each object is driven by exactly one
+/// worker, so its refinement path -- and the state the greedy loop starts
+/// from -- depends only on \p coarse_width and \p max_steps_per_object,
+/// never on the thread count.
+///
+/// \p max_steps_per_object caps how many Iterate() calls any single object
+/// may receive during this phase (0 = uncapped). Iteration cost typically
+/// grows geometrically with refinement depth, so a small cap bounds the
+/// work this phase can add beyond what the greedy loop would have done,
+/// while still parallelizing the broad early refinement.
+///
+/// \p iterations_out (if non-null) is resized to the object count and
+/// filled with per-object Iterate() counts (deterministic). A non-finite
+/// \p coarse_width or threads < 2 makes this a no-op. All objects are
+/// attempted; returns the lowest-indexed failing object's error.
+Status ParallelCoarseConverge(const std::vector<vao::ResultObject*>& objects,
+                              int threads, double coarse_width,
+                              std::uint64_t max_steps_per_object,
+                              std::vector<std::uint64_t>* iterations_out);
 
 }  // namespace vaolib::operators
 

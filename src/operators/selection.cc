@@ -1,8 +1,50 @@
 #include "operators/selection.h"
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace vaolib::operators {
+
+namespace {
+
+// Shared scaffolding of the batch paths: evaluates `eval(i, meter)` for
+// every i in [0, n) with up to `threads` workers of the shared pool, filling
+// `outcomes` in row order. Rows are grouped into contiguous chunks whose
+// scratch meters merge into `meter` in chunk order, so work totals are
+// independent of the thread count. All rows are attempted; the returned
+// error (if any) is that of the lowest-indexed failing row.
+template <typename Outcome, typename EvalRow>
+Result<std::vector<Outcome>> BatchEvaluate(std::size_t n, int threads,
+                                           WorkMeter* meter,
+                                           const EvalRow& eval) {
+  std::vector<Outcome> outcomes(n);
+  auto body = [&](std::size_t begin, std::size_t end,
+                  WorkMeter* chunk_meter) {
+    Status first_error;
+    for (std::size_t i = begin; i < end; ++i) {
+      auto result = eval(i, chunk_meter);
+      if (!result.ok()) {
+        if (first_error.ok()) first_error = result.status();
+        continue;
+      }
+      outcomes[i] = std::move(result).value();
+    }
+    return first_error;
+  };
+
+  Status status;
+  if (threads < 2 || n < 2) {
+    status = body(0, n, meter);
+  } else {
+    ThreadPool::ForOptions options;
+    options.max_parallelism = threads;
+    status = ThreadPool::Shared().ParallelFor(n, options, meter, body);
+  }
+  if (!status.ok()) return status;
+  return outcomes;
+}
+
+}  // namespace
 
 Result<SelectionOutcome> SelectionVao::Evaluate(
     vao::ResultObject* object) const {
@@ -41,6 +83,17 @@ Result<SelectionOutcome> SelectionVao::Evaluate(
   VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
                           function.Invoke(args, meter));
   return Evaluate(object.get());
+}
+
+Result<std::vector<SelectionOutcome>> SelectionVao::EvaluateBatch(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows, int threads,
+    WorkMeter* meter) const {
+  return BatchEvaluate<SelectionOutcome>(
+      rows.size(), threads, meter,
+      [&](std::size_t i, WorkMeter* row_meter) {
+        return Evaluate(function, rows[i], row_meter);
+      });
 }
 
 Result<SelectionOutcome> RangeSelectionVao::Evaluate(
@@ -84,6 +137,17 @@ Result<SelectionOutcome> RangeSelectionVao::Evaluate(
   VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
                           function.Invoke(args, meter));
   return Evaluate(object.get());
+}
+
+Result<std::vector<SelectionOutcome>> RangeSelectionVao::EvaluateBatch(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows, int threads,
+    WorkMeter* meter) const {
+  return BatchEvaluate<SelectionOutcome>(
+      rows.size(), threads, meter,
+      [&](std::size_t i, WorkMeter* row_meter) {
+        return Evaluate(function, rows[i], row_meter);
+      });
 }
 
 Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
@@ -134,6 +198,30 @@ Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
   VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
                           function.Invoke(args, meter));
   return Evaluate(object.get());
+}
+
+Result<std::vector<MultiSelectionVao::MultiOutcome>>
+MultiSelectionVao::EvaluateBatch(
+    const std::vector<vao::ResultObject*>& objects, int threads) const {
+  // Objects charge their creation meters directly (atomic), so the batch
+  // passes no meter of its own.
+  return BatchEvaluate<MultiOutcome>(
+      objects.size(), threads, /*meter=*/nullptr,
+      [&](std::size_t i, WorkMeter* /*row_meter*/) {
+        return Evaluate(objects[i]);
+      });
+}
+
+Result<std::vector<MultiSelectionVao::MultiOutcome>>
+MultiSelectionVao::EvaluateBatch(
+    const vao::VariableAccuracyFunction& function,
+    const std::vector<std::vector<double>>& rows, int threads,
+    WorkMeter* meter) const {
+  return BatchEvaluate<MultiOutcome>(
+      rows.size(), threads, meter,
+      [&](std::size_t i, WorkMeter* row_meter) {
+        return Evaluate(function, rows[i], row_meter);
+      });
 }
 
 Result<bool> TraditionalSelection::Evaluate(

@@ -42,6 +42,17 @@ class SelectionVao {
                                     const std::vector<double>& args,
                                     WorkMeter* meter) const;
 
+  /// Batch path: resolves the predicate for every row of \p rows using up
+  /// to \p threads workers of the shared pool (threads < 2 runs serially).
+  /// Each row gets a fresh result object driven by exactly one worker; work
+  /// is charged to per-chunk meters merged into \p meter deterministically,
+  /// so totals are independent of \p threads. All rows are attempted; on
+  /// failure returns the lowest-indexed failing row's error.
+  Result<std::vector<SelectionOutcome>> EvaluateBatch(
+      const vao::VariableAccuracyFunction& function,
+      const std::vector<std::vector<double>>& rows, int threads,
+      WorkMeter* meter) const;
+
   Comparator comparator() const { return cmp_; }
   double constant() const { return constant_; }
 
@@ -69,6 +80,12 @@ class RangeSelectionVao {
   Result<SelectionOutcome> Evaluate(
       const vao::VariableAccuracyFunction& function,
       const std::vector<double>& args, WorkMeter* meter) const;
+
+  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch.
+  Result<std::vector<SelectionOutcome>> EvaluateBatch(
+      const vao::VariableAccuracyFunction& function,
+      const std::vector<std::vector<double>>& rows, int threads,
+      WorkMeter* meter) const;
 
   const Bounds& range() const { return range_; }
   bool inclusive() const { return inclusive_; }
@@ -117,6 +134,19 @@ class MultiSelectionVao {
   Result<MultiOutcome> Evaluate(const vao::VariableAccuracyFunction& function,
                                 const std::vector<double>& args,
                                 WorkMeter* meter) const;
+
+  /// Batch path over already-created per-row objects: each object is
+  /// iterated (by exactly one worker) until every predicate is decided.
+  /// Objects charge whatever meters they were created against (WorkMeter
+  /// charging is atomic). All rows attempted; lowest-indexed error wins.
+  Result<std::vector<MultiOutcome>> EvaluateBatch(
+      const std::vector<vao::ResultObject*>& objects, int threads) const;
+
+  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch.
+  Result<std::vector<MultiOutcome>> EvaluateBatch(
+      const vao::VariableAccuracyFunction& function,
+      const std::vector<std::vector<double>>& rows, int threads,
+      WorkMeter* meter) const;
 
   const std::vector<Predicate>& predicates() const { return predicates_; }
 

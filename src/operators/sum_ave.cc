@@ -83,9 +83,14 @@ std::uint64_t Log2Ceil(std::size_t n) {
 
 Result<SumOutcome> SumAveVao::EvaluateWithHeap(
     const std::vector<vao::ResultObject*>& objects,
-    const std::vector<double>& weights) const {
+    const std::vector<double>& weights,
+    const std::vector<std::uint64_t>& coarse_iterations) const {
   SumOutcome outcome;
   std::vector<bool> touched(objects.size(), false);
+  for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+    outcome.stats.iterations += coarse_iterations[i];
+    if (coarse_iterations[i] > 0) touched[i] = true;
+  }
   Bounds sum = WeightedSumBounds(objects, weights);
 
   ScoreHeap heap;
@@ -140,13 +145,25 @@ Result<SumOutcome> SumAveVao::Evaluate(
       options_.rng == nullptr) {
     return Status::InvalidArgument("random strategy requires an Rng");
   }
+
+  // Optional parallel phase: bulk-converge everything to the coarse width
+  // on the pool; the serial greedy refinement starts from those states.
+  std::vector<std::uint64_t> coarse_iterations;
+  VAOLIB_RETURN_IF_ERROR(
+      ParallelCoarseConverge(objects, options_.threads, options_.coarse_width,
+                             options_.coarse_max_steps, &coarse_iterations));
+
   if (options_.use_heap_index &&
       options_.strategy == IterationStrategy::kGreedy) {
-    return EvaluateWithHeap(objects, weights);
+    return EvaluateWithHeap(objects, weights, coarse_iterations);
   }
 
   SumOutcome outcome;
   std::vector<bool> touched(objects.size(), false);
+  for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+    outcome.stats.iterations += coarse_iterations[i];
+    if (coarse_iterations[i] > 0) touched[i] = true;
+  }
   std::size_t round_robin_cursor = 0;
 
   // Incrementally maintained output interval: subtract an object's old

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,16 @@ struct SumAveOptions {
   std::uint64_t max_total_iterations = 50'000'000;
   Rng* rng = nullptr;      ///< required for kRandom
   WorkMeter* meter = nullptr;  ///< chooseIter charges, when non-null
+  /// Parallel pre-phase (ParallelCoarseConverge): with threads > 1 and a
+  /// finite coarse_width, every object is first refined toward width <=
+  /// max(coarse_width, its minWidth) on the shared pool before the serial
+  /// greedy loop. Objects the greedy loop would have skipped (tiny weight)
+  /// still pay coarse work, so coarse_max_steps caps the Iterate() calls
+  /// any one object gets in the pre-phase (0 = refine all the way to
+  /// coarse_width). Defaults keep the exact serial behaviour.
+  int threads = 1;
+  double coarse_width = std::numeric_limits<double>::infinity();
+  std::uint64_t coarse_max_steps = 0;
 };
 
 /// \brief Adaptive weighted-SUM aggregate over result objects.
@@ -64,10 +75,12 @@ class SumAveVao {
 
  private:
   /// Heap-indexed greedy path (options_.use_heap_index); assumes inputs
-  /// already validated.
+  /// already validated and the coarse phase (if any) already run, with its
+  /// per-object Iterate() counts in \p coarse_iterations (may be empty).
   Result<SumOutcome> EvaluateWithHeap(
       const std::vector<vao::ResultObject*>& objects,
-      const std::vector<double>& weights) const;
+      const std::vector<double>& weights,
+      const std::vector<std::uint64_t>& coarse_iterations) const;
 
   SumAveOptions options_;
 };

@@ -1,6 +1,7 @@
 #include "vao/function_cache.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/macros.h"
@@ -148,33 +149,94 @@ class LazyWriteBackResultObject : public ResultObject {
 
 }  // namespace
 
+BoundsCache::BoundsCache(std::size_t capacity, std::size_t shard_count) {
+  shard_count = std::max<std::size_t>(shard_count, 1);
+  // Every shard must hold at least one entry or small caches stop caching.
+  shard_count = std::min(shard_count, std::max<std::size_t>(capacity, 1));
+  per_shard_capacity_ =
+      std::max<std::size_t>((capacity + shard_count - 1) / shard_count, 1);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BoundsCache::Shard& BoundsCache::ShardFor(const std::vector<double>& args) {
+  // FNV-1a over the raw double bytes. Lookup and Update must agree on the
+  // shard for bit-identical arg vectors, which hashing the representation
+  // guarantees (the engine never mixes 0.0 and -0.0 spellings of a key).
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double d : args) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  }
+  return *shards_[h % shards_.size()];
+}
+
 std::optional<BoundsCache::Entry> BoundsCache::Lookup(
     const std::vector<double>& args) {
-  const auto it = entries_.find(args);
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& shard = ShardFor(args);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(args);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
   return it->second.entry;
 }
 
 void BoundsCache::Update(const std::vector<double>& args,
                          const Bounds& bounds, double min_width) {
-  const auto it = entries_.find(args);
-  if (it != entries_.end()) {
+  Shard& shard = ShardFor(args);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(args);
+  if (it != shard.entries.end()) {
     it->second.entry.bounds = Intersect(it->second.entry.bounds, bounds);
     it->second.entry.min_width = min_width;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
     return;
   }
-  lru_.push_front(args);
-  entries_.emplace(args, Slot{Entry{bounds, min_width}, lru_.begin()});
-  if (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
+  shard.lru.push_front(args);
+  shard.entries.emplace(args, Slot{Entry{bounds, min_width},
+                                   shard.lru.begin()});
+  if (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
   }
+}
+
+std::size_t BoundsCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+std::uint64_t BoundsCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->hits;
+  }
+  return total;
+}
+
+std::uint64_t BoundsCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->misses;
+  }
+  return total;
 }
 
 CachingFunction::CachingFunction(const VariableAccuracyFunction* inner,

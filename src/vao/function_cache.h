@@ -13,6 +13,12 @@
 //   * otherwise starts a fresh object whose visible bounds are the running
 //     intersection of its own bounds with the cached ones, writing the final
 //     bounds back when the object is destroyed.
+//
+// Concurrency: the store is sharded by argument-vector hash; each shard has
+// its own mutex, LRU list, and hit/miss counters (aggregated on read, so
+// the totals stay exact). Lookup/Update -- and therefore CachingFunction::
+// Invoke() and result-object destruction, which writes bounds back -- are
+// safe from any thread, including pool workers (common/thread_pool.h).
 
 #ifndef VAOLIB_VAO_FUNCTION_CACHE_H_
 #define VAOLIB_VAO_FUNCTION_CACHE_H_
@@ -21,6 +27,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,9 +36,10 @@
 
 namespace vaolib::vao {
 
-/// \brief LRU store of the best bounds seen per argument vector.
+/// \brief Sharded LRU store of the best bounds seen per argument vector.
 /// Shared (via shared_ptr) between the function and its live result objects
-/// so write-back on object destruction is always safe.
+/// so write-back on object destruction is always safe -- even when the
+/// destruction happens on a worker thread while other threads look up.
 class BoundsCache {
  public:
   struct Entry {
@@ -39,20 +47,31 @@ class BoundsCache {
     double min_width = 0.0;
   };
 
-  explicit BoundsCache(std::size_t capacity) : capacity_(capacity) {}
+  /// \p capacity is the total entry budget, split evenly across
+  /// \p shard_count mutex-guarded shards (clamped so each shard holds at
+  /// least one entry). Eviction is LRU *per shard*: an adversarial hash
+  /// skew can evict earlier than a global LRU would, which is an accepted
+  /// approximation -- soundness never depends on what the cache retains.
+  explicit BoundsCache(std::size_t capacity, std::size_t shard_count = 16);
 
   /// Returns the cached entry for \p args, refreshing its LRU position.
   std::optional<Entry> Lookup(const std::vector<double>& args);
 
   /// Records \p bounds for \p args, intersecting with any existing entry
   /// (both are sound, so the intersection is sound and at least as tight).
-  /// Evicts the least-recently-used entry beyond capacity.
+  /// Evicts the least-recently-used entry of the shard beyond its capacity.
   void Update(const std::vector<double>& args, const Bounds& bounds,
               double min_width);
 
-  std::size_t size() const { return entries_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  /// \name Aggregated over shards under their locks: exact, not approximate,
+  /// once concurrent writers have quiesced.
+  /// @{
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// @}
+
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
   using LruList = std::list<std::vector<double>>;
@@ -60,19 +79,28 @@ class BoundsCache {
     Entry entry;
     LruList::iterator lru_position;
   };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::vector<double>, Slot> entries;
+    LruList lru;  // front = most recent
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
 
-  std::size_t capacity_;
-  std::map<std::vector<double>, Slot> entries_;
-  LruList lru_;  // front = most recent
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  Shard& ShardFor(const std::vector<double>& args);
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// \brief Caching decorator over a VariableAccuracyFunction.
 ///
 /// The inner function is borrowed and must outlive this object; result
 /// objects returned by Invoke() may outlive the CachingFunction itself (the
-/// cache is shared-owned).
+/// cache is shared-owned). Invoke() is safe to call concurrently as long as
+/// the inner function's Invoke() is (true for all solver-backed functions in
+/// this library), so cached functions work under InvokeAll and the batch
+/// operator paths.
 class CachingFunction : public VariableAccuracyFunction {
  public:
   CachingFunction(const VariableAccuracyFunction* inner,

@@ -1,11 +1,6 @@
 #include "vao/parallel.h"
 
-#include "common/macros.h"
-
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include "common/thread_pool.h"
 
 namespace vaolib::vao {
 
@@ -17,47 +12,36 @@ Result<std::vector<ResultObjectPtr>> InvokeAll(
   std::vector<ResultObjectPtr> objects(n);
   if (n == 0) return objects;
 
-  if (threads < 2 || n < 2) {
-    for (std::size_t i = 0; i < n; ++i) {
-      auto object = function.Invoke(rows[i], meter);
-      if (!object.ok()) return object.status();
-      objects[i] = std::move(object).value();
-    }
-    return objects;
-  }
-
-  const auto worker_count = static_cast<std::size_t>(std::min<std::size_t>(
-      static_cast<std::size_t>(threads), n));
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  Status first_error;
-
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error.ok()) return;  // stop early after a failure
-      }
-      // WorkMeter charging is thread-safe, so all objects share the
-      // caller's meter directly (and stay bound to it for later Iterates).
+  // Every row is attempted; the body reports the first (lowest-indexed)
+  // error in its contiguous chunk, and the pool returns the lowest-indexed
+  // failing chunk's error -- together: the lowest-indexed failing row.
+  auto invoke_range = [&](std::size_t begin, std::size_t end,
+                          WorkMeter* /*chunk_meter*/) {
+    Status first_error;
+    for (std::size_t i = begin; i < end; ++i) {
       auto object = function.Invoke(rows[i], meter);
       if (!object.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) first_error = object.status();
-        return;
+        continue;
       }
       objects[i] = std::move(object).value();
     }
+    return first_error;
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(worker_count);
-  for (std::size_t t = 0; t < worker_count; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-
-  if (!first_error.ok()) return first_error;
+  Status status;
+  if (threads < 2 || n < 2) {
+    status = invoke_range(0, n, nullptr);
+  } else {
+    ThreadPool::ForOptions options;
+    options.max_parallelism = threads;
+    // Objects stay bound to the caller's meter for later Iterate() calls,
+    // so charge it directly (atomic) instead of per-chunk scratch meters;
+    // totals are deterministic because per-row work is.
+    status = ThreadPool::Shared().ParallelFor(n, options, /*meter=*/nullptr,
+                                              invoke_range);
+  }
+  if (!status.ok()) return status;
   return objects;
 }
 
@@ -69,45 +53,30 @@ Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
       return Status::InvalidArgument("null result object");
     }
   }
-  if (threads < 2 || n < 2) {
-    for (auto* object : objects) {
-      while (!object->AtStoppingCondition()) {
-        VAOLIB_RETURN_IF_ERROR(object->Iterate());
-      }
-    }
-    return Status::OK();
-  }
+  if (n == 0) return Status::OK();
 
-  const auto worker_count = static_cast<std::size_t>(std::min<std::size_t>(
-      static_cast<std::size_t>(threads), n));
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  Status first_error;
-
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error.ok()) return;
-      }
+  auto converge_range = [&](std::size_t begin, std::size_t end,
+                            WorkMeter* /*chunk_meter*/) {
+    Status first_error;
+    for (std::size_t i = begin; i < end; ++i) {
       while (!objects[i]->AtStoppingCondition()) {
         const Status status = objects[i]->Iterate();
         if (!status.ok()) {
-          std::lock_guard<std::mutex> lock(error_mutex);
           if (first_error.ok()) first_error = status;
-          return;
+          break;  // this object cannot progress; move to the next one
         }
       }
     }
+    return first_error;
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(worker_count);
-  for (std::size_t t = 0; t < worker_count; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-  return first_error;
+  if (threads < 2 || n < 2) {
+    return converge_range(0, n, nullptr);
+  }
+  ThreadPool::ForOptions options;
+  options.max_parallelism = threads;
+  return ThreadPool::Shared().ParallelFor(n, options, /*meter=*/nullptr,
+                                          converge_range);
 }
 
 }  // namespace vaolib::vao

@@ -3,13 +3,17 @@
 // are "easily parallelizable" and sizes production deployments in
 // processors (Section 6.1); these helpers parallelize the embarrassingly
 // parallel parts -- creating result objects for many rows, and converging
-// many objects -- across std::thread workers, with per-thread WorkMeters
-// merged into the caller's meter so deterministic accounting survives.
+// many objects -- on the shared persistent ThreadPool (common/thread_pool.h),
+// so a stream tick costs queue pushes rather than thread spawns.
 //
 // Thread-safety requirement: the function's Invoke() must be safe to call
-// concurrently (true for the pure solver-backed functions in this library:
-// Pde/Pde2d/Ode/Ivp/Integral/Root and the bond models). CachingFunction is
-// NOT safe here (single-writer cache); invoke it serially.
+// concurrently. That holds for the pure solver-backed functions in this
+// library (Pde/Pde2d/Ode/Ivp/Integral/Root and the bond models) AND for
+// CachingFunction, whose BoundsCache is sharded and locked per shard --
+// lookups, updates, and destructor write-backs are safe from any worker.
+//
+// Determinism: work-unit totals and returned errors are identical for every
+// thread count, including 1 (see the contracts on each helper).
 
 #ifndef VAOLIB_VAO_PARALLEL_H_
 #define VAOLIB_VAO_PARALLEL_H_
@@ -21,20 +25,30 @@
 namespace vaolib::vao {
 
 /// \brief Invokes \p function on every row of \p rows using up to
-/// \p threads workers. Returns the result objects in row order; all work is
-/// merged into \p meter (if non-null). threads < 2 falls back to serial.
+/// \p threads workers of the shared pool. Returns the result objects in row
+/// order; all work is charged to \p meter (if non-null), whose totals are
+/// independent of \p threads. threads < 2 runs serially on the caller.
 ///
-/// \return the first error encountered (remaining rows may be skipped).
+/// Objects are created against \p meter itself (not a per-chunk scratch
+/// meter) so later Iterate() calls keep charging it; WorkMeter charging is
+/// atomic, so this is safe from workers.
+///
+/// Error semantics: every row is attempted even after a failure, and the
+/// returned error is deterministically that of the lowest-indexed failing
+/// row regardless of thread count.
 Result<std::vector<ResultObjectPtr>> InvokeAll(
     const VariableAccuracyFunction& function,
     const std::vector<std::vector<double>>& rows, int threads,
     WorkMeter* meter);
 
 /// \brief Converges every object to its minWidth using up to \p threads
-/// workers (each object is driven by exactly one worker). Note: objects
-/// created against a caller meter charge THAT meter from worker threads,
-/// which is unsafe; create objects with per-use meters (e.g. via InvokeAll,
-/// which wires thread-local meters) or a null meter before using this.
+/// workers (each object is driven by exactly one worker, so per-object
+/// Iterate() sequences are serial). Objects charge whatever meter they were
+/// created against; WorkMeter charging is atomic, so caller-owned meters
+/// (e.g. wired by InvokeAll) are safe.
+///
+/// Error semantics: every object is attempted even after a failure; returns
+/// the error of the lowest-indexed failing object, deterministically.
 Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
                              int threads);
 

@@ -58,6 +58,22 @@ TEST_F(ParallelTest, InvokeAllPropagatesErrors) {
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST_F(ParallelTest, InvokeAllReturnsLowestIndexedRowError) {
+  // Two failing rows with distinguishable errors: the bad bond index sits at
+  // a lower row than the bad rate, so its InvalidArgument must win at every
+  // thread count (all rows are still attempted).
+  auto rows = rows_;
+  rows.insert(rows.begin() + 2, {0.0575, 99.0});  // bond index out of range
+  rows.push_back({9.9, 0.0});                     // rate outside the domain
+  for (const int threads : {1, 2, 4, 8}) {
+    WorkMeter meter;
+    const auto result = InvokeAll(*function_, rows, threads, &meter);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "threads " << threads;
+  }
+}
+
 TEST_F(ParallelTest, InvokeAllEmptyInput) {
   WorkMeter meter;
   const auto result = InvokeAll(*function_, {}, 4, &meter);

@@ -1,0 +1,209 @@
+// Copyright 2026 The vaolib Authors.
+// Tests for the persistent ThreadPool: chunk coverage, deterministic meter
+// merging across parallelism levels, error and exception propagation, and
+// pool reuse. Runnable under TSan (scripts/check_tsan.sh).
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_meter.h"
+#include "gtest/gtest.h"
+
+namespace vaolib {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 4;
+  options.min_chunk = 7;
+  const Status status = pool.ParallelFor(
+      kN, options, nullptr,
+      [&](std::size_t begin, std::size_t end, WorkMeter*) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.message();
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelismOneRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 1;
+  options.min_chunk = 3;
+  std::atomic<int> off_caller{0};
+  const Status status = pool.ParallelFor(
+      20, options, nullptr, [&](std::size_t, std::size_t, WorkMeter*) {
+        if (std::this_thread::get_id() != caller) ++off_caller;
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(off_caller.load(), 0);
+}
+
+TEST(ThreadPoolTest, MeterTotalsIndependentOfParallelism) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 337;  // deliberately not a multiple of min_chunk
+  std::uint64_t expected_exec = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected_exec += i + 1;
+
+  for (const int parallelism : {1, 2, 4, 8}) {
+    WorkMeter meter;
+    ThreadPool::ForOptions options;
+    options.max_parallelism = parallelism;
+    options.min_chunk = 5;
+    const Status status = pool.ParallelFor(
+        kN, options, &meter,
+        [](std::size_t begin, std::size_t end, WorkMeter* chunk_meter) {
+          for (std::size_t i = begin; i < end; ++i) {
+            chunk_meter->Charge(WorkKind::kExec, i + 1);
+            chunk_meter->Charge(WorkKind::kChooseIter, 1);
+          }
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(meter.Count(WorkKind::kExec), expected_exec)
+        << "parallelism " << parallelism;
+    EXPECT_EQ(meter.Count(WorkKind::kChooseIter), kN)
+        << "parallelism " << parallelism;
+  }
+}
+
+TEST(ThreadPoolTest, ReturnsLowestIndexedFailureDeterministically) {
+  ThreadPool pool(4);
+  // Indices 17 and 42 fail; the chunk holding 17 is the lowest-indexed
+  // failing chunk, and an in-order body hits 17 first within it.
+  const auto body = [](std::size_t begin, std::size_t end, WorkMeter*) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i == 17 || i == 42) {
+        return Status::NumericError("fail " + std::to_string(i));
+      }
+    }
+    return Status::OK();
+  };
+  for (const int parallelism : {1, 2, 4}) {
+    ThreadPool::ForOptions options;
+    options.max_parallelism = parallelism;
+    options.min_chunk = 5;
+    const Status status = pool.ParallelFor(100, options, nullptr, body);
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.Is(StatusCode::kNumericError));
+    EXPECT_EQ(status.message(), "fail 17") << "parallelism " << parallelism;
+  }
+}
+
+TEST(ThreadPoolTest, AllChunksAttemptedDespiteEarlyFailure) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> chunks_entered{0};
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 4;
+  options.min_chunk = 10;
+  const Status status = pool.ParallelFor(
+      100, options, nullptr, [&](std::size_t begin, std::size_t, WorkMeter*) {
+        chunks_entered.fetch_add(1, std::memory_order_relaxed);
+        if (begin == 0) return Status::NumericError("first chunk fails");
+        return Status::OK();
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(chunks_entered.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalAndPoolSurvives) {
+  ThreadPool pool(2);
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 2;
+  const Status status = pool.ParallelFor(
+      8, options, nullptr, [](std::size_t begin, std::size_t, WorkMeter*) {
+        if (begin == 0) throw std::runtime_error("boom");
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.Is(StatusCode::kInternal));
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+
+  // Workers must survive the throw and serve later calls.
+  std::atomic<int> count{0};
+  const Status again = pool.ParallelFor(
+      8, options, nullptr, [&](std::size_t begin, std::size_t end, WorkMeter*) {
+        count += static_cast<int>(end - begin);
+        return Status::OK();
+      });
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForIsRejected) {
+  ThreadPool pool(2);
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 2;
+  std::atomic<int> rejected{0};
+  const Status status = pool.ParallelFor(
+      4, options, nullptr, [&](std::size_t, std::size_t, WorkMeter*) {
+        const Status nested = pool.ParallelFor(
+            2, ThreadPool::ForOptions{}, nullptr,
+            [](std::size_t, std::size_t, WorkMeter*) { return Status::OK(); });
+        if (nested.Is(StatusCode::kFailedPrecondition)) ++rejected;
+        return nested;
+      });
+  EXPECT_TRUE(status.Is(StatusCode::kFailedPrecondition));
+  EXPECT_EQ(rejected.load(), 4);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsOkWithoutCallingBody) {
+  ThreadPool pool(2);
+  const Status status = pool.ParallelFor(
+      0, ThreadPool::ForOptions{}, nullptr,
+      [](std::size_t, std::size_t, WorkMeter*) {
+        ADD_FAILURE() << "body called for n = 0";
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(ThreadPoolTest, WorkersAreReusedAcrossManyCalls) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.thread_count(), 4);
+  ThreadPool::ForOptions options;
+  options.max_parallelism = 4;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    const Status status = pool.ParallelFor(
+        round + 1, options, nullptr,
+        [&](std::size_t begin, std::size_t end, WorkMeter*) {
+          std::uint64_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) local += i;
+          sum.fetch_add(local, std::memory_order_relaxed);
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok());
+    const auto n = static_cast<std::uint64_t>(round + 1);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  }
+  EXPECT_EQ(pool.thread_count(), 4);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace vaolib

@@ -3,10 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
+#include <thread>
+#include <vector>
 
 #include "vao/black_box.h"
+#include "vao/function_cache.h"
+#include "vao/parallel.h"
 #include "vao/integral_result_object.h"
 #include "vao/ode_result_object.h"
 #include "vao/pde_result_object.h"
@@ -339,6 +344,129 @@ TEST(CalibratedBlackBoxTest, BlackBoxCostBelowVaoConvergeCost) {
   ASSERT_TRUE(object.ok());
   ASSERT_TRUE(ConvergeToMinWidth(object->get()).ok());
   EXPECT_LT(trad_meter.ExecUnits(), vao_meter.ExecUnits());
+}
+
+// --- Concurrency stress tests (runnable under TSan, scripts/check_tsan.sh).
+
+PdeFunction MakeAnnuityFunction() {
+  return PdeFunction(
+      "annuity", 1,
+      [](const std::vector<double>& args)
+          -> Result<std::pair<numeric::Pde1dProblem, double>> {
+        return std::make_pair(AnnuityProblem(0.06, 23.0, 5.0), args[0]);
+      },
+      {});
+}
+
+TEST(BoundsCacheConcurrencyTest, ConcurrentLookupUpdateKeepsExactCounters) {
+  BoundsCache cache(128, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> invalid{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &invalid, t]() {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const std::vector<double> key = {static_cast<double>((op + t) % 16)};
+        cache.Update(key, Bounds(-1.0 - op, 1.0 + op), 1e-3);
+        const auto entry = cache.Lookup(key);
+        if (entry.has_value() && !entry->bounds.IsValid()) ++invalid;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(invalid.load(), 0);
+  // One Lookup per op; counters are aggregated under shard locks, so after
+  // the writers quiesce the totals are exact, not approximate.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(cache.size(), 16u);  // 16 distinct keys, capacity far larger
+}
+
+TEST(BoundsCacheConcurrencyTest, WriteBackSafeWhenObjectsDieOnWorkers) {
+  // Regression: write-back result objects used to race on destruction when
+  // a worker thread destroyed them while another thread was looking the
+  // same key up. Hammer exactly that pattern, then prove the cache is still
+  // sound: bounds served afterwards must contain the closed-form value.
+  const PdeFunction function = MakeAnnuityFunction();
+  const CachingFunction cached(&function);
+  const double truth = AnnuityValue(0.06, 23.0, 5.0);
+  constexpr int kKeys = 8;
+
+  WorkMeter meter;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cached, &meter, &failures]() {
+      for (int round = 0; round < 5; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          auto object = cached.Invoke({0.02 + 0.01 * k}, &meter);
+          if (!object.ok()) {
+            ++failures;
+            continue;
+          }
+          for (int i = 0; i < 2 && !(*object)->AtStoppingCondition(); ++i) {
+            if (!(*object)->Iterate().ok()) ++failures;
+          }
+          // Destroyed here, on this worker thread: the write-back races
+          // against the other threads' lookups of the same keys.
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(cached.cache().size(), static_cast<std::size_t>(kKeys));
+  constexpr std::uint64_t kInvokes = 4ull * 5 * kKeys;
+  EXPECT_EQ(cached.cache().hits() + cached.cache().misses(), kInvokes);
+  for (int k = 0; k < kKeys; ++k) {
+    auto object = cached.Invoke({0.02 + 0.01 * k}, &meter);
+    ASSERT_TRUE(object.ok());
+    EXPECT_TRUE((*object)->bounds().Contains(truth)) << "key " << k;
+  }
+}
+
+TEST(CachingFunctionConcurrencyTest, ConcurrentInvokeAllIsDeterministic) {
+  // Two identical caching wrappers over the same inner function, one driven
+  // serially, one with four pool workers: the lifted restriction means the
+  // parallel run must charge bit-identical work units.
+  const PdeFunction function = MakeAnnuityFunction();
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 32; ++i) rows.push_back({0.02 + 0.01 * (i % 8)});
+
+  auto run = [&rows](const CachingFunction& cached, int threads,
+                     WorkMeter* meter) {
+    auto objects = InvokeAll(cached, rows, threads, meter);
+    ASSERT_TRUE(objects.ok()) << objects.status();
+    std::vector<ResultObject*> raw;
+    for (const auto& object : *objects) raw.push_back(object.get());
+    ASSERT_TRUE(ConvergeAllToMinWidth(raw, threads).ok());
+  };
+
+  const CachingFunction serial_cached(&function);
+  const CachingFunction parallel_cached(&function);
+  WorkMeter serial_meter, parallel_meter;
+  run(serial_cached, 1, &serial_meter);
+  run(parallel_cached, 4, &parallel_meter);
+  EXPECT_EQ(serial_meter.Total(), parallel_meter.Total());
+  for (int kind = 0; kind < WorkMeter::kNumKinds; ++kind) {
+    EXPECT_EQ(serial_meter.Count(static_cast<WorkKind>(kind)),
+              parallel_meter.Count(static_cast<WorkKind>(kind)))
+        << "kind " << kind;
+  }
+
+  // Second round against the warm parallel cache: every distinct key is
+  // converged, so creation is served from the cache for free.
+  const double truth = AnnuityValue(0.06, 23.0, 5.0);
+  WorkMeter second_meter;
+  auto objects = InvokeAll(parallel_cached, rows, 4, &second_meter);
+  ASSERT_TRUE(objects.ok());
+  EXPECT_EQ(second_meter.Total(), 0u);
+  for (const auto& object : *objects) {
+    EXPECT_TRUE(object->bounds().Contains(truth));
+    EXPECT_TRUE(object->AtStoppingCondition());
+  }
 }
 
 }  // namespace
