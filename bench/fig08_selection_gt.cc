@@ -9,5 +9,6 @@
 int main() {
   return vaolib::bench::RunSelectionSweep(
       vaolib::operators::Comparator::kGreaterThan,
-      "Figure 8: selection model(rate, bond) > c, selectivity sweep");
+      "Figure 8: selection model(rate, bond) > c, selectivity sweep",
+      "BENCH_selection_gt.json");
 }

@@ -7,5 +7,6 @@
 int main() {
   return vaolib::bench::RunSelectionSweep(
       vaolib::operators::Comparator::kLessThan,
-      "Figure 9: selection model(rate, bond) < c, selectivity sweep");
+      "Figure 9: selection model(rate, bond) < c, selectivity sweep",
+      "BENCH_selection_lt.json");
 }

@@ -1,6 +1,7 @@
 #include "selection_sweep.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/stopwatch.h"
@@ -10,7 +11,8 @@
 
 namespace vaolib::bench {
 
-int RunSelectionSweep(operators::Comparator cmp, const char* title) {
+int RunSelectionSweep(operators::Comparator cmp, const char* title,
+                      const char* json_path) {
   BenchContext context = MakeContext();
   Calibrate(&context);
   PrintPreamble(context, title);
@@ -75,6 +77,15 @@ int RunSelectionSweep(operators::Comparator cmp, const char* title) {
   table.RenderText(std::cout);
   std::printf("\ncsv:\n");
   table.RenderCsv(std::cout);
+  if (json_path != nullptr) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    table.RenderJson(json);
+    std::printf("\nwrote %s\n", json_path);
+  }
   return 0;
 }
 

@@ -11,8 +11,10 @@ namespace vaolib::bench {
 
 /// \brief Runs the selection sweep of Figure 8 (cmp = >) or Figure 9
 /// (cmp = <) over selectivities {0.1 .. 0.9}, printing the table, and
-/// returns 0 on success.
-int RunSelectionSweep(operators::Comparator cmp, const char* title);
+/// returns 0 on success. When \p json_path is non-null the table is also
+/// written there as JSON (the BENCH_*.json artifact convention).
+int RunSelectionSweep(operators::Comparator cmp, const char* title,
+                      const char* json_path = nullptr);
 
 }  // namespace vaolib::bench
 

@@ -16,7 +16,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitizer="${VAOLIB_SANITIZE:-thread}"
 build_dir="${1:-${repo_root}/build-tsan}"
 
-targets=(thread_pool_test parallel_test vao_test extensions_test)
+targets=(thread_pool_test parallel_test vao_test extensions_test obs_test)
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

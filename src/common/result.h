@@ -22,10 +22,12 @@ template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (ok result).
-  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
 
   /// Implicit construction from an error Status.
-  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {
     if (std::get<1>(repr_).ok()) {
       repr_.template emplace<1>(
           Status::Internal("Result constructed from an OK status"));

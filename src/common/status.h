@@ -86,7 +86,9 @@ class Status {
   bool ok() const { return rep_ == nullptr; }
 
   /// Returns the status code (kOk when ok()).
-  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  StatusCode code() const {
+    return rep_ == nullptr ? StatusCode::kOk : rep_->code;
+  }
 
   /// Returns the error message ("" when ok()).
   const std::string& message() const;

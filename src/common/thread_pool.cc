@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -119,13 +120,25 @@ Status ThreadPool::ParallelFor(std::size_t n, const ForOptions& options,
   const std::size_t runners = std::min<std::size_t>(
       static_cast<std::size_t>(parallelism), job->num_chunks);
 
+  stat_parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   if (runners > 1) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       // The caller runs chunks too, so enqueue runners - 1 helpers.
+      const auto enqueued_at = std::chrono::steady_clock::now();
       for (std::size_t r = 0; r + 1 < runners; ++r) {
-        queue_.emplace_back([job]() { job->RunChunks(); });
+        queue_.emplace_back([this, job, enqueued_at]() {
+          const auto waited =
+              std::chrono::steady_clock::now() - enqueued_at;
+          stat_queue_wait_nanos_.fetch_add(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                      .count()),
+              std::memory_order_relaxed);
+          job->RunChunks();
+        });
       }
+      stat_tasks_enqueued_.fetch_add(runners - 1, std::memory_order_relaxed);
     }
     wake_.notify_all();
   }
@@ -144,6 +157,8 @@ Status ThreadPool::ParallelFor(std::size_t n, const ForOptions& options,
     });
   }
 
+  stat_chunks_executed_.fetch_add(job->num_chunks, std::memory_order_relaxed);
+
   // Deterministic join: merge chunk meters and pick the error in chunk
   // order, independent of which worker ran what.
   Status first_error;
@@ -154,6 +169,16 @@ Status ThreadPool::ParallelFor(std::size_t n, const ForOptions& options,
     }
   }
   return first_error;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.parallel_for_calls =
+      stat_parallel_for_calls_.load(std::memory_order_relaxed);
+  s.tasks_enqueued = stat_tasks_enqueued_.load(std::memory_order_relaxed);
+  s.chunks_executed = stat_chunks_executed_.load(std::memory_order_relaxed);
+  s.queue_wait_nanos = stat_queue_wait_nanos_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& ThreadPool::Shared() {

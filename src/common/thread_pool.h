@@ -25,8 +25,10 @@
 #ifndef VAOLIB_COMMON_THREAD_POOL_H_
 #define VAOLIB_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -47,8 +49,8 @@ class ThreadPool {
  public:
   /// Processes the half-open index range [begin, end); charges work to
   /// \p meter (null when the caller passed a null meter).
-  using ChunkBody =
-      std::function<Status(std::size_t begin, std::size_t end, WorkMeter* meter)>;
+  using ChunkBody = std::function<Status(std::size_t begin, std::size_t end,
+                                         WorkMeter* meter)>;
 
   /// Spawns \p threads workers (clamped to at least 1).
   explicit ThreadPool(int threads);
@@ -78,6 +80,22 @@ class ThreadPool {
   Status ParallelFor(std::size_t n, const ForOptions& options, WorkMeter* meter,
                      const ChunkBody& body);
 
+  /// \brief Cumulative activity counters, maintained with plain relaxed
+  /// atomics so the pool stays free of upward dependencies (the obs layer
+  /// reads these; it is not linked from here). Snapshot semantics match
+  /// WorkMeter: racy-but-atomic reads, exact once callers have quiesced.
+  struct Stats {
+    std::uint64_t parallel_for_calls = 0;
+    std::uint64_t tasks_enqueued = 0;
+    std::uint64_t chunks_executed = 0;
+    /// Total nanoseconds helper tasks spent queued before a worker picked
+    /// them up (enqueue to task start).
+    std::uint64_t queue_wait_nanos = 0;
+  };
+
+  /// Snapshot of the counters above.
+  Stats stats() const;
+
   /// Process-wide pool sized to the hardware concurrency, created on first
   /// use and alive until process exit. Bulk helpers that take a `threads`
   /// count use this pool with max_parallelism = threads, so differently
@@ -92,6 +110,11 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
+
+  std::atomic<std::uint64_t> stat_parallel_for_calls_{0};
+  std::atomic<std::uint64_t> stat_tasks_enqueued_{0};
+  std::atomic<std::uint64_t> stat_chunks_executed_{0};
+  std::atomic<std::uint64_t> stat_queue_wait_nanos_{0};
 
   static thread_local bool in_worker_;
 };

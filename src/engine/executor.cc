@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "engine/report_capture.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
 #include "operators/sum_ave.h"
@@ -21,6 +22,17 @@ namespace {
 // few percent of the total, while still fanning the broad early refinement
 // out across the pool.
 constexpr std::uint64_t kCoarseMaxSteps = 4;
+
+// Copies the operator-phase section of \p stats into \p report.
+void FillOperatorSection(const operators::OperatorStats& stats,
+                         obs::ExecutionReport* report) {
+  report->iterations = stats.iterations;
+  report->coarse_iterations = stats.coarse_iterations;
+  report->greedy_iterations = stats.greedy_iterations;
+  report->finalize_iterations = stats.finalize_iterations;
+  report->choose_steps = stats.choose_steps;
+  report->objects_touched = stats.objects_touched;
+}
 
 }  // namespace
 
@@ -148,6 +160,7 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
   TickResult result;
   result.kind = query_.kind;
   const std::uint64_t work_before = meter_.Total();
+  const ReportCapture capture(meter_, ReportCapture::CacheOf(query_.function));
   const std::size_t n = relation_->size();
 
   // Per-row argument vectors for this tick (also the batch-path input).
@@ -174,12 +187,19 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
           outcomes,
           range_vao.EvaluateBatch(*query_.function, rows, threads_, &meter_));
     }
+    std::uint64_t short_circuited = 0;
     for (std::size_t row = 0; row < n; ++row) {
       if (outcomes[row].passes) result.passing_rows.push_back(row);
-      result.stats.iterations += outcomes[row].stats.iterations;
-      result.stats.objects_touched += outcomes[row].stats.objects_touched;
+      if (outcomes[row].short_circuited) ++short_circuited;
+      result.stats.Merge(outcomes[row].stats);
     }
     result.work_units = meter_.Total() - work_before;
+    result.report.query_kind = QueryKindName(query_.kind);
+    result.report.rows_scanned = n;
+    result.report.rows_short_circuited = short_circuited;
+    FillOperatorSection(result.stats, &result.report);
+    capture.Finish(meter_, &result.report);
+    obs::RecordTickMetrics(result.report);
     return result;
   }
 
@@ -257,6 +277,14 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
       return Status::Internal("unreachable select in aggregate path");
   }
   result.work_units = meter_.Total() - work_before;
+  result.report.query_kind = QueryKindName(query_.kind);
+  result.report.rows_scanned = n;
+  // Rows the adaptive operator never had to iterate: their initial bounds
+  // alone were enough to rule them out of the answer.
+  result.report.rows_short_circuited = n - result.stats.objects_touched;
+  FillOperatorSection(result.stats, &result.report);
+  capture.Finish(meter_, &result.report);
+  obs::RecordTickMetrics(result.report);
   return result;
 }
 
@@ -264,6 +292,7 @@ Result<TickResult> CqExecutor::RunTraditional(const Tuple& stream_tuple) {
   TickResult result;
   result.kind = query_.kind;
   const std::uint64_t work_before = meter_.Total();
+  const ReportCapture capture(meter_, ReportCapture::CacheOf(query_.function));
   const std::size_t n = relation_->size();
 
   std::vector<std::vector<double>> rows;
@@ -341,6 +370,11 @@ Result<TickResult> CqExecutor::RunTraditional(const Tuple& stream_tuple) {
     }
   }
   result.work_units = meter_.Total() - work_before;
+  result.report.query_kind = QueryKindName(query_.kind);
+  result.report.rows_scanned = n;  // traditional mode never short-circuits
+  FillOperatorSection(result.stats, &result.report);
+  capture.Finish(meter_, &result.report);
+  obs::RecordTickMetrics(result.report);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "engine/query.h"
 #include "engine/relation.h"
 #include "engine/schema.h"
+#include "obs/execution_report.h"
 #include "vao/black_box.h"
 
 namespace vaolib::engine {
@@ -44,6 +45,10 @@ struct TickResult {
   operators::OperatorStats stats;
   /// Work units charged during this tick (all WorkKinds).
   std::uint64_t work_units = 0;
+
+  /// Structured observability account of this tick; report.work.Total()
+  /// always equals work_units.
+  obs::ExecutionReport report;
 };
 
 /// \brief Single-query continuous executor.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "engine/report_capture.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
 #include "operators/sum_ave.h"
@@ -136,11 +137,14 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     return Status::FailedPrecondition("relation is empty");
   }
 
+  const auto* function = queries_.front().function;
+  const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
+
   // One shared result object per relation row, created in bulk (row-parallel
   // on the shared pool when threads_ > 1; work totals are identical either
   // way because every object charges meter_ directly).
   const std::uint64_t creation_before = meter_.Total();
-  const auto* function = queries_.front().function;
+  const obs::WorkByKind creation_work_before = obs::WorkByKind::Capture(meter_);
   std::vector<std::vector<double>> rows;
   rows.reserve(n);
   for (std::size_t row = 0; row < n; ++row) {
@@ -154,6 +158,8 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
   objects.reserve(n);
   for (const auto& object : owned) objects.push_back(object.get());
   const std::uint64_t creation_cost = meter_.Total() - creation_before;
+  const obs::WorkByKind creation_work =
+      obs::WorkByKind::Capture(meter_).DeltaSince(creation_work_before);
 
   std::vector<TickResult> results(queries_.size());
   for (auto& result : results) result.kind = QueryKind::kSelect;
@@ -169,25 +175,38 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
   }
   if (!predicates.empty()) {
     const std::uint64_t before = meter_.Total();
+    const obs::WorkByKind work_before = obs::WorkByKind::Capture(meter_);
     const operators::MultiSelectionVao shared(predicates);
     VAOLIB_ASSIGN_OR_RETURN(const auto outcomes,
                             shared.EvaluateBatch(objects, threads_));
-    std::uint64_t iterations = 0;
+    operators::OperatorStats batch_stats;
+    std::uint64_t short_circuited = 0;
     for (std::size_t row = 0; row < n; ++row) {
       const auto& outcome = outcomes[row];
-      iterations += outcome.stats.iterations;
+      batch_stats.Merge(outcome.stats);
+      if (outcome.short_circuited) ++short_circuited;
       for (std::size_t p = 0; p < select_query_indices.size(); ++p) {
         if (outcome.passes[p]) {
           results[select_query_indices[p]].passing_rows.push_back(row);
         }
       }
     }
+    const obs::WorkByKind batch_work =
+        obs::WorkByKind::Capture(meter_).DeltaSince(work_before);
     for (const std::size_t q : select_query_indices) {
       results[q].kind = QueryKind::kSelect;
-      results[q].stats.iterations = iterations;
+      results[q].stats = batch_stats;
       // The selection batch (plus object creation) is attributed to the
       // selection group as a whole.
       results[q].work_units = meter_.Total() - before + creation_cost;
+      results[q].report.query_kind = QueryKindName(QueryKind::kSelect);
+      results[q].report.work = batch_work;
+      results[q].report.work.exec += creation_work.exec;
+      results[q].report.work.get_state += creation_work.get_state;
+      results[q].report.work.store_state += creation_work.store_state;
+      results[q].report.work.choose_iter += creation_work.choose_iter;
+      results[q].report.rows_scanned = n;
+      results[q].report.rows_short_circuited = short_circuited;
     }
   }
 
@@ -197,6 +216,8 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     TickResult& result = results[q];
     result.kind = query.kind;
     const std::uint64_t before = meter_.Total();
+    const obs::WorkByKind work_before = obs::WorkByKind::Capture(meter_);
+    std::uint64_t short_circuited = 0;
     switch (query.kind) {
       case QueryKind::kSelect:
         break;  // handled in phase 1
@@ -207,7 +228,8 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
           VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
                                   vao.Evaluate(objects[row]));
           if (outcome.passes) result.passing_rows.push_back(row);
-          result.stats.iterations += outcome.stats.iterations;
+          if (outcome.short_circuited) ++short_circuited;
+          result.stats.Merge(outcome.stats);
         }
         break;
       }
@@ -278,8 +300,43 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     }
     if (query.kind != QueryKind::kSelect) {
       result.work_units = meter_.Total() - before;
+      result.report.query_kind = QueryKindName(query.kind);
+      result.report.work =
+          obs::WorkByKind::Capture(meter_).DeltaSince(work_before);
+      result.report.rows_scanned = n;
+      result.report.rows_short_circuited =
+          query.kind == QueryKind::kSelectRange
+              ? short_circuited
+              // Shared objects the operator never had to iterate further.
+              : n - result.stats.objects_touched;
     }
+    result.report.iterations = result.stats.iterations;
+    result.report.coarse_iterations = result.stats.coarse_iterations;
+    result.report.greedy_iterations = result.stats.greedy_iterations;
+    result.report.finalize_iterations = result.stats.finalize_iterations;
+    result.report.choose_steps = result.stats.choose_steps;
+    result.report.objects_touched = result.stats.objects_touched;
   }
+
+  // Tick-wide account: whole-tick work (creation included), cache and pool
+  // deltas, operator section summed over every query's phase.
+  last_tick_report_ = obs::ExecutionReport();
+  last_tick_report_.query_kind = "multi";
+  last_tick_report_.rows_scanned = n;
+  for (const TickResult& result : results) {
+    last_tick_report_.iterations += result.report.iterations;
+    last_tick_report_.coarse_iterations += result.report.coarse_iterations;
+    last_tick_report_.greedy_iterations += result.report.greedy_iterations;
+    last_tick_report_.finalize_iterations +=
+        result.report.finalize_iterations;
+    last_tick_report_.choose_steps += result.report.choose_steps;
+    last_tick_report_.objects_touched += result.report.objects_touched;
+    last_tick_report_.rows_short_circuited =
+        std::max(last_tick_report_.rows_short_circuited,
+                 result.report.rows_short_circuited);
+  }
+  tick_capture.Finish(meter_, &last_tick_report_);
+  obs::RecordTickMetrics(last_tick_report_);
   return results;
 }
 

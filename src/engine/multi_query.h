@@ -50,6 +50,15 @@ class MultiQueryExecutor {
   const WorkMeter& meter() const { return meter_; }
   void ResetMeter() { meter_.Reset(); }
 
+  /// Tick-wide observability account of the most recent ProcessTick():
+  /// query_kind "multi", work/cache/pool sections covering the whole tick
+  /// (shared object creation included), operator section summed over the
+  /// per-query reports. Each TickResult additionally carries its own report
+  /// whose work section is that query's exact work_units split by kind.
+  const obs::ExecutionReport& last_tick_report() const {
+    return last_tick_report_;
+  }
+
   std::size_t query_count() const { return queries_.size(); }
   int threads() const { return threads_; }
 
@@ -65,6 +74,7 @@ class MultiQueryExecutor {
   std::vector<Query> queries_;
   int threads_;
   WorkMeter meter_;
+  obs::ExecutionReport last_tick_report_;
 
   struct BoundArg {
     ArgRef::Source source;

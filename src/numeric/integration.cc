@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace vaolib::numeric {
 
 namespace {
@@ -47,7 +49,9 @@ double RombergDiagonal(std::vector<double> column) {
 Result<double> CompositeValue(const std::vector<double>& samples, double a,
                               double b, IntegrationRule rule) {
   const std::size_t n = samples.size();
-  if (n < 2) return Status::InvalidArgument("composite rule needs >= 2 samples");
+  if (n < 2) {
+    return Status::InvalidArgument("composite rule needs >= 2 samples");
+  }
   const auto panels = n - 1;
   const double h = (b - a) / static_cast<double>(panels);
   if (rule == IntegrationRule::kTrapezoid ||
@@ -94,6 +98,7 @@ Result<RefinableIntegral> RefinableIntegral::Create(
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, 2 * options.work_per_eval);
   }
+  obs::CountSolverWork(obs::SolverKind::kIntegral, 2 * options.work_per_eval);
   // Simpson needs >= 2 panels for its first value; trapezoid works at one.
   if (options.rule == IntegrationRule::kTrapezoid ||
       options.rule == IntegrationRule::kRomberg) {
@@ -136,6 +141,9 @@ Status RefinableIntegral::AddLevel(WorkMeter* meter) {
     meter->Charge(WorkKind::kExec,
                   static_cast<std::uint64_t>(panels) * options_.work_per_eval);
   }
+  obs::CountSolverWork(obs::SolverKind::kIntegral,
+                       static_cast<std::uint64_t>(panels) *
+                           options_.work_per_eval);
   samples_.swap(next);
   ++level_;
   return Status::OK();
@@ -220,6 +228,8 @@ Result<double> Integrate(const std::function<double(double)>& f, double a,
     meter->Charge(WorkKind::kExec,
                   static_cast<std::uint64_t>(panels + 1) * work_per_eval);
   }
+  obs::CountSolverWork(obs::SolverKind::kIntegral,
+                       static_cast<std::uint64_t>(panels + 1) * work_per_eval);
   return CompositeValue(samples, a, b, rule);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace vaolib::numeric {
 
 Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
@@ -33,6 +35,8 @@ Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, static_cast<std::uint64_t>(steps) * 4);
   }
+  obs::CountSolverWork(obs::SolverKind::kIvp,
+                       static_cast<std::uint64_t>(steps) * 4);
   return y;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/tridiagonal.h"
+#include "obs/metrics.h"
 
 namespace vaolib::numeric {
 
@@ -59,7 +60,8 @@ Result<std::vector<double>> SolveOdeBvpProfile(const OdeBvpProblem& problem,
   // Fold the known boundary values into the first/last rows.
   {
     const double x1 = problem.a + dx;
-    sys.rhs[0] -= (1.0 / (dx * dx) + problem.p(x1) / (2.0 * dx)) * problem.alpha;
+    sys.rhs[0] -=
+        (1.0 / (dx * dx) + problem.p(x1) / (2.0 * dx)) * problem.alpha;
     sys.lower[0] = 0.0;
     const double xn = problem.a + dx * (n - 1);
     sys.rhs[n - 2] -=
@@ -83,6 +85,8 @@ Result<std::vector<double>> SolveOdeBvpProfile(const OdeBvpProblem& problem,
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, static_cast<std::uint64_t>(n - 1));
   }
+  obs::CountSolverWork(obs::SolverKind::kOde,
+                       static_cast<std::uint64_t>(n - 1));
   return profile;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "numeric/tridiagonal.h"
+#include "obs/metrics.h"
 
 namespace vaolib::numeric {
 
@@ -157,6 +158,7 @@ Result<double> SolvePde2d(const Pde2dProblem& problem, const Pde2dGrid& grid,
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, grid.MeshEntries());
   }
+  obs::CountSolverWork(obs::SolverKind::kPde2d, grid.MeshEntries());
 
   // Bilinear interpolation at the query point.
   const double px = (query_x - problem.x_min) / dx;

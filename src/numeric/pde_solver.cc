@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "numeric/tridiagonal.h"
+#include "obs/metrics.h"
 
 namespace vaolib::numeric {
 
@@ -146,6 +147,7 @@ Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, grid.MeshEntries());
   }
+  obs::CountSolverWork(obs::SolverKind::kPde, grid.MeshEntries());
   return u;
 }
 

@@ -32,7 +32,7 @@ enum class BoundaryKind {
 /// All coefficient callbacks must be pure functions of x (the problem class
 /// of Section 4.1; the paper's bond PDE has constant a, r, c and affine b).
 struct Pde1dProblem {
-  std::function<double(double)> diffusion;   ///< a(x), must be > 0 on [x_min,x_max]
+  std::function<double(double)> diffusion;   ///< a(x), > 0 on [x_min,x_max]
   std::function<double(double)> convection;  ///< b(x)
   std::function<double(double)> reaction;    ///< r(x)
   std::function<double(double)> source;      ///< c(x)
@@ -51,7 +51,7 @@ struct Pde1dProblem {
 
 /// \brief Discretization parameters: counts of intervals on each axis.
 struct PdeGrid {
-  int x_intervals = 8;  ///< number of dx cells; dx = (x_max - x_min) / x_intervals
+  int x_intervals = 8;  ///< dx cells; dx = (x_max - x_min) / x_intervals
   int t_steps = 8;      ///< number of dt steps; dt = t_end / t_steps
 
   double Dx(const Pde1dProblem& p) const {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace vaolib::numeric {
 
 BracketingRootFinder::BracketingRootFinder(std::function<double(double)> f,
@@ -23,6 +25,7 @@ Result<BracketingRootFinder> BracketingRootFinder::Create(
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, 2 * options.work_per_eval);
   }
+  obs::CountSolverWork(obs::SolverKind::kRoot, 2 * options.work_per_eval);
 
   if (finder.f_lo_ == 0.0) {
     finder.hi_ = lo;
@@ -66,6 +69,7 @@ Status BracketingRootFinder::Step(WorkMeter* meter) {
   if (meter != nullptr) {
     meter->Charge(WorkKind::kExec, options_.work_per_eval);
   }
+  obs::CountSolverWork(obs::SolverKind::kRoot, options_.work_per_eval);
   if (!std::isfinite(fx)) {
     return Status::NumericError("root probe produced non-finite value");
   }

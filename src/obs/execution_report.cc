@@ -1,0 +1,401 @@
+#include "obs/execution_report.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vaolib::obs {
+
+WorkByKind WorkByKind::Capture(const WorkMeter& meter) {
+  WorkByKind w;
+  w.exec = meter.Count(WorkKind::kExec);
+  w.get_state = meter.Count(WorkKind::kGetState);
+  w.store_state = meter.Count(WorkKind::kStoreState);
+  w.choose_iter = meter.Count(WorkKind::kChooseIter);
+  return w;
+}
+
+WorkByKind WorkByKind::DeltaSince(const WorkByKind& before) const {
+  WorkByKind d;
+  d.exec = exec - before.exec;
+  d.get_state = get_state - before.get_state;
+  d.store_state = store_state - before.store_state;
+  d.choose_iter = choose_iter - before.choose_iter;
+  return d;
+}
+
+void ExecutionReport::RenderJson(std::ostream& os) const {
+  os << "{";
+  os << "\"query_kind\": \"" << query_kind << "\", ";
+  os << "\"work_units\": {\"exec\": " << work.exec
+     << ", \"get_state\": " << work.get_state
+     << ", \"store_state\": " << work.store_state
+     << ", \"choose_iter\": " << work.choose_iter
+     << ", \"total\": " << work.Total() << "}, ";
+  os << "\"solver_work_units\": {";
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    if (k > 0) os << ", ";
+    os << "\"" << SolverKindName(static_cast<SolverKind>(k))
+       << "\": " << solver_work[k];
+  }
+  os << "}, ";
+  os << "\"operator\": {\"iterations\": " << iterations
+     << ", \"coarse_iterations\": " << coarse_iterations
+     << ", \"greedy_iterations\": " << greedy_iterations
+     << ", \"finalize_iterations\": " << finalize_iterations
+     << ", \"choose_steps\": " << choose_steps
+     << ", \"objects_touched\": " << objects_touched << "}, ";
+  os << "\"rows\": {\"scanned\": " << rows_scanned
+     << ", \"short_circuited\": " << rows_short_circuited << "}, ";
+  os << "\"cache\": {\"present\": " << (has_cache ? "true" : "false")
+     << ", \"hits\": " << cache_hits << ", \"misses\": " << cache_misses
+     << ", \"evictions\": " << cache_evictions << ", \"shards\": [";
+  for (std::size_t s = 0; s < cache_shards.size(); ++s) {
+    if (s > 0) os << ", ";
+    os << "{\"hits\": " << cache_shards[s].hits
+       << ", \"misses\": " << cache_shards[s].misses
+       << ", \"evictions\": " << cache_shards[s].evictions << "}";
+  }
+  os << "]}, ";
+  os << "\"thread_pool\": {\"parallel_fors\": " << pool_parallel_fors
+     << ", \"tasks_enqueued\": " << pool_tasks_enqueued
+     << ", \"chunks_executed\": " << pool_chunks_executed
+     << ", \"queue_wait_nanos\": " << pool_queue_wait_nanos << "}";
+  os << "}";
+}
+
+void ExecutionReport::RenderPrometheus(std::ostream& os) const {
+  const std::string kind_label = "{kind=\"" + query_kind + "\"}";
+  os << "# TYPE vaolib_query_work_units gauge\n";
+  os << "vaolib_query_work_units{kind=\"" << query_kind
+     << "\",work=\"exec\"} " << work.exec << "\n";
+  os << "vaolib_query_work_units{kind=\"" << query_kind
+     << "\",work=\"get_state\"} " << work.get_state << "\n";
+  os << "vaolib_query_work_units{kind=\"" << query_kind
+     << "\",work=\"store_state\"} " << work.store_state << "\n";
+  os << "vaolib_query_work_units{kind=\"" << query_kind
+     << "\",work=\"choose_iter\"} " << work.choose_iter << "\n";
+  os << "# TYPE vaolib_query_solver_work_units gauge\n";
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    os << "vaolib_query_solver_work_units{kind=\"" << query_kind
+       << "\",solver=\"" << SolverKindName(static_cast<SolverKind>(k))
+       << "\"} " << solver_work[k] << "\n";
+  }
+  os << "# TYPE vaolib_query_iterations gauge\n";
+  os << "vaolib_query_iterations{kind=\"" << query_kind
+     << "\",phase=\"coarse\"} " << coarse_iterations << "\n";
+  os << "vaolib_query_iterations{kind=\"" << query_kind
+     << "\",phase=\"greedy\"} " << greedy_iterations << "\n";
+  os << "vaolib_query_iterations{kind=\"" << query_kind
+     << "\",phase=\"finalize\"} " << finalize_iterations << "\n";
+  os << "# TYPE vaolib_query_choose_steps gauge\n";
+  os << "vaolib_query_choose_steps" << kind_label << " " << choose_steps
+     << "\n";
+  os << "# TYPE vaolib_query_objects_touched gauge\n";
+  os << "vaolib_query_objects_touched" << kind_label << " " << objects_touched
+     << "\n";
+  os << "# TYPE vaolib_query_rows gauge\n";
+  os << "vaolib_query_rows{kind=\"" << query_kind
+     << "\",outcome=\"scanned\"} " << rows_scanned << "\n";
+  os << "vaolib_query_rows{kind=\"" << query_kind
+     << "\",outcome=\"short_circuited\"} " << rows_short_circuited << "\n";
+  if (has_cache) {
+    os << "# TYPE vaolib_query_cache_events gauge\n";
+    os << "vaolib_query_cache_events{kind=\"" << query_kind
+       << "\",event=\"hit\"} " << cache_hits << "\n";
+    os << "vaolib_query_cache_events{kind=\"" << query_kind
+       << "\",event=\"miss\"} " << cache_misses << "\n";
+    os << "vaolib_query_cache_events{kind=\"" << query_kind
+       << "\",event=\"eviction\"} " << cache_evictions << "\n";
+  }
+  os << "# TYPE vaolib_query_pool_parallel_fors gauge\n";
+  os << "vaolib_query_pool_parallel_fors" << kind_label << " "
+     << pool_parallel_fors << "\n";
+  os << "# TYPE vaolib_query_pool_tasks_enqueued gauge\n";
+  os << "vaolib_query_pool_tasks_enqueued" << kind_label << " "
+     << pool_tasks_enqueued << "\n";
+  os << "# TYPE vaolib_query_pool_chunks_executed gauge\n";
+  os << "vaolib_query_pool_chunks_executed" << kind_label << " "
+     << pool_chunks_executed << "\n";
+  os << "# TYPE vaolib_query_pool_queue_wait_nanos gauge\n";
+  os << "vaolib_query_pool_queue_wait_nanos" << kind_label << " "
+     << pool_queue_wait_nanos << "\n";
+}
+
+namespace {
+
+// Minimal JSON reader covering exactly what RenderJson emits: objects,
+// arrays, strings, unsigned integers, and booleans. No floats, escapes
+// beyond \" and \\, or nulls -- the report never produces them.
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber, kBool } type;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+  std::string string;
+  std::uint64_t number = 0;
+  bool boolean = false;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<JsonValue>> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (std::isdigit(static_cast<unsigned char>(c))) return ParseNumber();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      auto v = std::make_unique<JsonValue>();
+      v->type = JsonValue::Type::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      auto v = std::make_unique<JsonValue>();
+      v->type = JsonValue::Type::kBool;
+      v->boolean = false;
+      return v;
+    }
+    return Status::InvalidArgument("unsupported JSON token");
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseObject() {
+    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      VAOLIB_ASSIGN_OR_RETURN(auto key, ParseString());
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
+      v->object[key->string] = std::move(value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseArray() {
+    if (!Consume('[')) return Status::InvalidArgument("expected '['");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
+      v->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Status::InvalidArgument("expected ',' or ']'");
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      v->string.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated JSON string");
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseNumber() {
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kNumber;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v->number = v->number * 10 + static_cast<std::uint64_t>(
+                                       text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed field accessors; every miss is an InvalidArgument so a malformed
+// report fails loudly instead of round-tripping zeros.
+Result<const JsonValue*> Child(const JsonValue& parent,
+                               const std::string& key) {
+  if (parent.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("expected JSON object for '" + key + "'");
+  }
+  const auto it = parent.object.find(key);
+  if (it == parent.object.end()) {
+    return Status::InvalidArgument("missing JSON field '" + key + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::uint64_t> GetNumber(const JsonValue& parent,
+                                const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  return v->number;
+}
+
+}  // namespace
+
+Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
+  JsonReader reader(json);
+  VAOLIB_ASSIGN_OR_RETURN(const auto root, reader.Parse());
+
+  ExecutionReport report;
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* kind, Child(*root, "query_kind"));
+  if (kind->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("query_kind is not a string");
+  }
+  report.query_kind = kind->string;
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* work, Child(*root, "work_units"));
+  VAOLIB_ASSIGN_OR_RETURN(report.work.exec, GetNumber(*work, "exec"));
+  VAOLIB_ASSIGN_OR_RETURN(report.work.get_state,
+                          GetNumber(*work, "get_state"));
+  VAOLIB_ASSIGN_OR_RETURN(report.work.store_state,
+                          GetNumber(*work, "store_state"));
+  VAOLIB_ASSIGN_OR_RETURN(report.work.choose_iter,
+                          GetNumber(*work, "choose_iter"));
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* solver,
+                          Child(*root, "solver_work_units"));
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    VAOLIB_ASSIGN_OR_RETURN(
+        report.solver_work[k],
+        GetNumber(*solver, SolverKindName(static_cast<SolverKind>(k))));
+  }
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* op, Child(*root, "operator"));
+  VAOLIB_ASSIGN_OR_RETURN(report.iterations, GetNumber(*op, "iterations"));
+  VAOLIB_ASSIGN_OR_RETURN(report.coarse_iterations,
+                          GetNumber(*op, "coarse_iterations"));
+  VAOLIB_ASSIGN_OR_RETURN(report.greedy_iterations,
+                          GetNumber(*op, "greedy_iterations"));
+  VAOLIB_ASSIGN_OR_RETURN(report.finalize_iterations,
+                          GetNumber(*op, "finalize_iterations"));
+  VAOLIB_ASSIGN_OR_RETURN(report.choose_steps,
+                          GetNumber(*op, "choose_steps"));
+  VAOLIB_ASSIGN_OR_RETURN(report.objects_touched,
+                          GetNumber(*op, "objects_touched"));
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* rows, Child(*root, "rows"));
+  VAOLIB_ASSIGN_OR_RETURN(report.rows_scanned, GetNumber(*rows, "scanned"));
+  VAOLIB_ASSIGN_OR_RETURN(report.rows_short_circuited,
+                          GetNumber(*rows, "short_circuited"));
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* cache, Child(*root, "cache"));
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* present,
+                          Child(*cache, "present"));
+  if (present->type != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("cache.present is not a bool");
+  }
+  report.has_cache = present->boolean;
+  VAOLIB_ASSIGN_OR_RETURN(report.cache_hits, GetNumber(*cache, "hits"));
+  VAOLIB_ASSIGN_OR_RETURN(report.cache_misses, GetNumber(*cache, "misses"));
+  VAOLIB_ASSIGN_OR_RETURN(report.cache_evictions,
+                          GetNumber(*cache, "evictions"));
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* shards, Child(*cache, "shards"));
+  if (shards->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("cache.shards is not an array");
+  }
+  for (const auto& shard : shards->array) {
+    CacheShardStats stats;
+    VAOLIB_ASSIGN_OR_RETURN(stats.hits, GetNumber(*shard, "hits"));
+    VAOLIB_ASSIGN_OR_RETURN(stats.misses, GetNumber(*shard, "misses"));
+    VAOLIB_ASSIGN_OR_RETURN(stats.evictions, GetNumber(*shard, "evictions"));
+    report.cache_shards.push_back(stats);
+  }
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* pool, Child(*root, "thread_pool"));
+  VAOLIB_ASSIGN_OR_RETURN(report.pool_parallel_fors,
+                          GetNumber(*pool, "parallel_fors"));
+  VAOLIB_ASSIGN_OR_RETURN(report.pool_tasks_enqueued,
+                          GetNumber(*pool, "tasks_enqueued"));
+  VAOLIB_ASSIGN_OR_RETURN(report.pool_chunks_executed,
+                          GetNumber(*pool, "chunks_executed"));
+  VAOLIB_ASSIGN_OR_RETURN(report.pool_queue_wait_nanos,
+                          GetNumber(*pool, "queue_wait_nanos"));
+  return report;
+}
+
+void RecordTickMetrics(const ExecutionReport& report) {
+  static Counter* ticks =
+      MetricsRegistry::Global().GetCounter("vaolib_ticks_total");
+  static Counter* work_by_kind[] = {
+      MetricsRegistry::Global().GetCounter("vaolib_work_units_total",
+                                           {{"kind", "exec"}}),
+      MetricsRegistry::Global().GetCounter("vaolib_work_units_total",
+                                           {{"kind", "get_state"}}),
+      MetricsRegistry::Global().GetCounter("vaolib_work_units_total",
+                                           {{"kind", "store_state"}}),
+      MetricsRegistry::Global().GetCounter("vaolib_work_units_total",
+                                           {{"kind", "choose_iter"}}),
+  };
+  static Histogram* tick_work = MetricsRegistry::Global().GetHistogram(
+      "vaolib_tick_work_units", {},
+      {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+  static Counter* short_circuited = MetricsRegistry::Global().GetCounter(
+      "vaolib_rows_short_circuited_total");
+  static Counter* scanned =
+      MetricsRegistry::Global().GetCounter("vaolib_rows_scanned_total");
+
+  ticks->Increment();
+  work_by_kind[0]->Add(report.work.exec);
+  work_by_kind[1]->Add(report.work.get_state);
+  work_by_kind[2]->Add(report.work.store_state);
+  work_by_kind[3]->Add(report.work.choose_iter);
+  tick_work->Observe(static_cast<double>(report.work.Total()));
+  scanned->Add(report.rows_scanned);
+  short_circuited->Add(report.rows_short_circuited);
+}
+
+}  // namespace vaolib::obs

@@ -1,0 +1,124 @@
+// Copyright 2026 The vaolib Authors.
+// ExecutionReport: the structured per-query execution account of the
+// observability layer. Every CqExecutor tick (and every MultiQueryExecutor
+// query phase) attaches one to its result, making the paper's quantitative
+// claims -- work units per tuple, cache effectiveness, parallel utilization,
+// adaptive short-circuiting -- observable on any individual query instead of
+// only as bench-level WorkMeter totals.
+//
+// The work-by-kind section is an exact delta of the executor's WorkMeter, so
+// report.Work().Total() always equals the legacy TickResult::work_units.
+// Solver-kind, cache, and thread-pool sections are deltas of process-wide
+// instrumentation; they are exact when one query runs at a time and
+// best-effort attributions under concurrency.
+
+#ifndef VAOLIB_OBS_EXECUTION_REPORT_H_
+#define VAOLIB_OBS_EXECUTION_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/work_meter.h"
+#include "obs/metrics.h"
+
+namespace vaolib::obs {
+
+/// \brief Work units split by the cost-model kinds of Section 3.2.
+struct WorkByKind {
+  std::uint64_t exec = 0;
+  std::uint64_t get_state = 0;
+  std::uint64_t store_state = 0;
+  std::uint64_t choose_iter = 0;
+
+  std::uint64_t Total() const {
+    return exec + get_state + store_state + choose_iter;
+  }
+
+  /// Snapshot of \p meter's current per-kind counts.
+  static WorkByKind Capture(const WorkMeter& meter);
+  WorkByKind DeltaSince(const WorkByKind& before) const;
+
+  bool operator==(const WorkByKind&) const = default;
+};
+
+/// \brief Per-shard bounds-cache activity (deltas over a query).
+struct CacheShardStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  bool operator==(const CacheShardStats&) const = default;
+};
+
+/// \brief Structured account of one query evaluation.
+struct ExecutionReport {
+  /// Source-level query kind ("select", "select_range", "min", "max",
+  /// "sum", "ave", "top_k") or a caller-chosen label.
+  std::string query_kind;
+
+  /// Exact WorkMeter delta for this query; Total() matches the legacy
+  /// TickResult::work_units.
+  WorkByKind work;
+
+  /// Global solver-counter deltas, indexed by SolverKind.
+  std::uint64_t solver_work[kNumSolverKinds] = {};
+
+  /// \name Operator phases: Iterate() calls split into the parallel coarse
+  /// pre-phase, the serial greedy/adaptive loop, and winner finalization.
+  /// @{
+  std::uint64_t iterations = 0;
+  std::uint64_t coarse_iterations = 0;
+  std::uint64_t greedy_iterations = 0;
+  std::uint64_t finalize_iterations = 0;
+  std::uint64_t choose_steps = 0;
+  std::uint64_t objects_touched = 0;
+  /// @}
+
+  /// \name Adaptive row accounting: rows whose answer was decided from
+  /// bounds alone, without converging the underlying solver.
+  /// @{
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t rows_short_circuited = 0;
+  /// @}
+
+  /// \name Bounds-cache activity (only when the query's function is a
+  /// CachingFunction; has_cache is false otherwise).
+  /// @{
+  bool has_cache = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::vector<CacheShardStats> cache_shards;
+  /// @}
+
+  /// \name Shared thread-pool activity during the query.
+  /// @{
+  std::uint64_t pool_parallel_fors = 0;
+  std::uint64_t pool_tasks_enqueued = 0;
+  std::uint64_t pool_chunks_executed = 0;
+  std::uint64_t pool_queue_wait_nanos = 0;
+  /// @}
+
+  /// Writes the report as one JSON object (TableWriter-style renderer).
+  void RenderJson(std::ostream& os) const;
+
+  /// Writes the report as Prometheus text (vaolib_query_* gauges), suitable
+  /// for scraping the most recent query's profile.
+  void RenderPrometheus(std::ostream& os) const;
+
+  /// Parses a report previously written by RenderJson (round-trip inverse).
+  static Result<ExecutionReport> FromJson(const std::string& json);
+
+  bool operator==(const ExecutionReport&) const = default;
+};
+
+/// \brief Bumps the global registry's per-tick metrics (ticks served, work
+/// units by kind, a tick-work histogram) from a finished report.
+void RecordTickMetrics(const ExecutionReport& report);
+
+}  // namespace vaolib::obs
+
+#endif  // VAOLIB_OBS_EXECUTION_REPORT_H_

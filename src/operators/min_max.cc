@@ -64,6 +64,7 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
                                &coarse_iterations));
     for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
       outcome.stats.iterations += coarse_iterations[i];
+      outcome.stats.coarse_iterations += coarse_iterations[i];
       if (coarse_iterations[i] > 0) touched[i] = true;
     }
     if (outcome.stats.iterations > options_.max_total_iterations) {
@@ -197,6 +198,7 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
 
     VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
     touched[chosen] = true;
+    ++outcome.stats.greedy_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
     }
@@ -209,6 +211,7 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
          !winner->AtStoppingCondition()) {
     VAOLIB_RETURN_IF_ERROR(winner->Iterate());
     touched[outcome.winner_index] = true;
+    ++outcome.stats.finalize_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
     }

@@ -43,6 +43,24 @@ struct OperatorStats {
   std::uint64_t iterations = 0;     ///< total Iterate() calls issued
   std::uint64_t choose_steps = 0;   ///< strategy invocations (chooseIter)
   std::uint64_t objects_touched = 0;///< objects iterated at least once
+
+  /// \name Phase split of `iterations` (coarse + greedy + finalize ==
+  /// iterations for the aggregate operators; selections are all-greedy).
+  /// @{
+  std::uint64_t coarse_iterations = 0;   ///< parallel coarse pre-phase
+  std::uint64_t greedy_iterations = 0;   ///< serial adaptive loop
+  std::uint64_t finalize_iterations = 0; ///< winner/member refinement
+  /// @}
+
+  /// Accumulates \p other into this (used by batch/multi-query paths).
+  void Merge(const OperatorStats& other) {
+    iterations += other.iterations;
+    choose_steps += other.choose_steps;
+    objects_touched += other.objects_touched;
+    coarse_iterations += other.coarse_iterations;
+    greedy_iterations += other.greedy_iterations;
+    finalize_iterations += other.finalize_iterations;
+  }
 };
 
 /// \brief Parallel pre-phase for aggregate VAOs: converges every object to

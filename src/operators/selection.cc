@@ -60,7 +60,9 @@ Result<SelectionOutcome> SelectionVao::Evaluate(
     VAOLIB_RETURN_IF_ERROR(object->Iterate());
     ++outcome.stats.iterations;
   }
+  outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.short_circuited = !object->AtStoppingCondition();
   outcome.final_bounds = object->bounds();
 
   if (!outcome.final_bounds.Contains(constant_)) {
@@ -114,7 +116,9 @@ Result<SelectionOutcome> RangeSelectionVao::Evaluate(
     VAOLIB_RETURN_IF_ERROR(object->Iterate());
     ++outcome.stats.iterations;
   }
+  outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.short_circuited = !object->AtStoppingCondition();
   outcome.final_bounds = object->bounds();
   const Bounds b = outcome.final_bounds;
 
@@ -173,7 +177,9 @@ Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
     VAOLIB_RETURN_IF_ERROR(object->Iterate());
     ++outcome.stats.iterations;
   }
+  outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
+  outcome.short_circuited = !object->AtStoppingCondition();
   outcome.final_bounds = object->bounds();
 
   outcome.passes.reserve(predicates_.size());

@@ -23,6 +23,10 @@ namespace vaolib::operators {
 struct SelectionOutcome {
   bool passes = false;           ///< predicate truth value
   bool resolved_as_equal = false;///< true when decided via the minWidth rule
+  /// True when the predicate was decided from bounds alone, before the
+  /// object reached its stopping condition -- the adaptive win the paper's
+  /// selection operator exists to harvest.
+  bool short_circuited = false;
   Bounds final_bounds;           ///< bounds when the decision was made
   OperatorStats stats;
 };
@@ -38,9 +42,9 @@ class SelectionVao {
 
   /// Invokes \p function on \p args and evaluates the fresh object;
   /// function work is charged to \p meter.
-  Result<SelectionOutcome> Evaluate(const vao::VariableAccuracyFunction& function,
-                                    const std::vector<double>& args,
-                                    WorkMeter* meter) const;
+  Result<SelectionOutcome> Evaluate(
+      const vao::VariableAccuracyFunction& function,
+      const std::vector<double>& args, WorkMeter* meter) const;
 
   /// Batch path: resolves the predicate for every row of \p rows using up
   /// to \p threads workers of the shared pool (threads < 2 runs serially).
@@ -122,6 +126,9 @@ class MultiSelectionVao {
     std::vector<bool> passes;
     /// Which predicates were resolved by the minWidth equality rule.
     std::vector<bool> resolved_as_equal;
+    /// True when every predicate was decided from bounds alone, before the
+    /// object reached its stopping condition.
+    bool short_circuited = false;
     Bounds final_bounds;
     OperatorStats stats;
   };

@@ -89,6 +89,7 @@ Result<SumOutcome> SumAveVao::EvaluateWithHeap(
   std::vector<bool> touched(objects.size(), false);
   for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
     outcome.stats.iterations += coarse_iterations[i];
+    outcome.stats.coarse_iterations += coarse_iterations[i];
     if (coarse_iterations[i] > 0) touched[i] = true;
   }
   Bounds sum = WeightedSumBounds(objects, weights);
@@ -125,6 +126,7 @@ Result<SumOutcome> SumAveVao::EvaluateWithHeap(
       heap.Update(chosen, GreedyScore(*objects[chosen], weights[chosen]));
     }
 
+    ++outcome.stats.greedy_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
     }
@@ -162,6 +164,7 @@ Result<SumOutcome> SumAveVao::Evaluate(
   std::vector<bool> touched(objects.size(), false);
   for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
     outcome.stats.iterations += coarse_iterations[i];
+    outcome.stats.coarse_iterations += coarse_iterations[i];
     if (coarse_iterations[i] > 0) touched[i] = true;
   }
   std::size_t round_robin_cursor = 0;
@@ -233,6 +236,7 @@ Result<SumOutcome> SumAveVao::Evaluate(
     sum.hi += weights[chosen] * (after.hi - before.hi);
     touched[chosen] = true;
 
+    ++outcome.stats.greedy_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
     }

@@ -49,9 +49,10 @@ Result<TopKOutcome> TopKVao::Evaluate(
     return View(objects[i]->est_bounds(), kind);
   };
 
-  auto iterate = [&](std::size_t i) -> Status {
+  auto iterate = [&](std::size_t i, std::uint64_t* phase_counter) -> Status {
     VAOLIB_RETURN_IF_ERROR(objects[i]->Iterate());
     touched[i] = true;
+    ++*phase_counter;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("TOP-K exceeded max_total_iterations");
     }
@@ -153,14 +154,15 @@ Result<TopKOutcome> TopKVao::Evaluate(
         }
       }
     }
-    VAOLIB_RETURN_IF_ERROR(iterate(chosen));
+    VAOLIB_RETURN_IF_ERROR(iterate(chosen, &outcome.stats.greedy_iterations));
   }
 
   // Refine every selected member to the precision constraint.
   for (const std::size_t i : members) {
     while (objects[i]->bounds().Width() > options_.epsilon &&
            !objects[i]->AtStoppingCondition()) {
-      VAOLIB_RETURN_IF_ERROR(iterate(i));
+      VAOLIB_RETURN_IF_ERROR(
+          iterate(i, &outcome.stats.finalize_iterations));
     }
   }
 

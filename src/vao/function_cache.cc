@@ -5,10 +5,33 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace vaolib::vao {
 
 namespace {
+
+// Global cache-event counters (the per-instance shard counters stay exact;
+// these feed the process-wide registry for exporters and dashboards).
+obs::Counter* CacheEventCounter(const char* event) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "vaolib_bounds_cache_events_total", {{"event", event}});
+}
+
+void CountCacheHit() {
+  static obs::Counter* counter = CacheEventCounter("hit");
+  counter->Increment();
+}
+
+void CountCacheMiss() {
+  static obs::Counter* counter = CacheEventCounter("miss");
+  counter->Increment();
+}
+
+void CountCacheEviction() {
+  static obs::Counter* counter = CacheEventCounter("eviction");
+  counter->Increment();
+}
 
 // Sound intersection of two sound intervals; if numerically disjoint (which
 // would indicate an unsound model upstream), fall back to the fresher one.
@@ -185,9 +208,11 @@ std::optional<BoundsCache::Entry> BoundsCache::Lookup(
   const auto it = shard.entries.find(args);
   if (it == shard.entries.end()) {
     ++shard.misses;
+    CountCacheMiss();
     return std::nullopt;
   }
   ++shard.hits;
+  CountCacheHit();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
   return it->second.entry;
 }
@@ -209,6 +234,8 @@ void BoundsCache::Update(const std::vector<double>& args,
   if (shard.entries.size() > per_shard_capacity_) {
     shard.entries.erase(shard.lru.back());
     shard.lru.pop_back();
+    ++shard.evictions;
+    CountCacheEviction();
   }
 }
 
@@ -237,6 +264,25 @@ std::uint64_t BoundsCache::misses() const {
     total += shard->misses;
   }
   return total;
+}
+
+std::uint64_t BoundsCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+std::vector<BoundsCache::ShardStats> BoundsCache::PerShardStats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.push_back(ShardStats{shard->hits, shard->misses, shard->evictions});
+  }
+  return stats;
 }
 
 CachingFunction::CachingFunction(const VariableAccuracyFunction* inner,

@@ -63,13 +63,25 @@ class BoundsCache {
   void Update(const std::vector<double>& args, const Bounds& bounds,
               double min_width);
 
+  /// \brief Per-shard activity counters, as exposed by PerShardStats().
+  struct ShardStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
   /// \name Aggregated over shards under their locks: exact, not approximate,
   /// once concurrent writers have quiesced.
   /// @{
   std::size_t size() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
   /// @}
+
+  /// Snapshot of every shard's counters, in shard order (observability
+  /// support: exposes the skew the sharded design trades for concurrency).
+  std::vector<ShardStats> PerShardStats() const;
 
   std::size_t shard_count() const { return shards_.size(); }
 
@@ -85,6 +97,7 @@ class BoundsCache {
     LruList lru;  // front = most recent
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
 
   Shard& ShardFor(const std::vector<double>& args);

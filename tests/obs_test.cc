@@ -1,0 +1,249 @@
+// Unit tests for src/obs/metrics: counter striping and concurrency,
+// histogram bucket-edge semantics, registry identity/rendering, the
+// runtime enable switch, solver-kind accounting, and the thread-pool
+// statistics the observability layer snapshots.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace vaolib::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CounterTest, AddValueReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(3);
+  counter.Increment();
+#ifndef VAOLIB_OBS_DISABLED
+  EXPECT_EQ(counter.Value(), 4u);
+#else
+  EXPECT_EQ(counter.Value(), 0u);  // mutations compile to nothing
+#endif
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+#ifndef VAOLIB_OBS_DISABLED
+
+// The registry concurrency stress from the issue: many pool workers
+// hammering the same counters must lose no increments (stripes make the
+// adds contention-free, but the sum must still be exact at quiesce).
+TEST(CounterTest, ConcurrentAddsUnderThreadPool) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress_total");
+  Gauge* gauge = registry.GetGauge("stress_gauge");
+  Histogram* histogram =
+      registry.GetHistogram("stress_hist", {}, {10.0, 100.0, 1000.0});
+
+  constexpr std::size_t kItems = 10000;
+  ThreadPool pool(4);
+  const auto status = pool.ParallelFor(
+      kItems, {.max_parallelism = 4, .min_chunk = 64}, nullptr,
+      [&](std::size_t begin, std::size_t end, WorkMeter*) {
+        for (std::size_t i = begin; i < end; ++i) {
+          counter->Increment();
+          gauge->Add(1);
+          histogram->Observe(static_cast<double>(i % 200));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status;
+
+  EXPECT_EQ(counter->Value(), kItems);
+  EXPECT_EQ(gauge->Value(), static_cast<std::int64_t>(kItems));
+  EXPECT_EQ(histogram->TotalCount(), kItems);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  ASSERT_EQ(histogram.upper_bounds().size(), 3u);
+
+  histogram.Observe(-5.0);   // below every bound -> first bucket
+  histogram.Observe(1.0);    // exactly on a bound counts as <= (Prometheus)
+  histogram.Observe(1.5);    // (1, 10]
+  histogram.Observe(10.0);   // edge again
+  histogram.Observe(99.9);   // (10, 100]
+  histogram.Observe(100.0);  // edge of the last finite bucket
+  histogram.Observe(101.0);  // overflows into +Inf
+
+  EXPECT_EQ(histogram.BucketCount(0), 2u);  // -5, 1.0
+  EXPECT_EQ(histogram.BucketCount(1), 2u);  // 1.5, 10.0
+  EXPECT_EQ(histogram.BucketCount(2), 2u);  // 99.9, 100.0
+  EXPECT_EQ(histogram.BucketCount(3), 1u);  // 101.0 -> +Inf
+  EXPECT_EQ(histogram.TotalCount(), 7u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), -5.0 + 1.0 + 1.5 + 10.0 + 99.9 + 100.0 +
+                                        101.0);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, StableIdentityByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", {{"op", "select"}});
+  Counter* b = registry.GetCounter("requests_total", {{"op", "select"}});
+  Counter* c = registry.GetCounter("requests_total", {{"op", "max"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  // Histogram bounds are fixed by the first registration.
+  Histogram* h1 = registry.GetHistogram("latency", {}, {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("latency", {}, {99.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->upper_bounds(), (std::vector<double>{1.0, 2.0}));
+
+  EXPECT_EQ(registry.metric_count(), 3u);
+
+  a->Add(7);
+  registry.ResetAll();
+  EXPECT_EQ(a->Value(), 0u);
+  EXPECT_EQ(registry.metric_count(), 3u);  // metrics stay registered
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("vaolib_demo_total", {{"kind", "exec"}})->Add(5);
+  registry.GetGauge("vaolib_demo_gauge")->Set(-2);
+  Histogram* h = registry.GetHistogram("vaolib_demo_hist", {}, {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(50.0);
+
+  std::ostringstream os;
+  registry.RenderPrometheus(os);
+  const std::string text = os.str();
+
+  EXPECT_TRUE(Contains(text, "# TYPE vaolib_demo_total counter")) << text;
+  EXPECT_TRUE(Contains(text, "vaolib_demo_total{kind=\"exec\"} 5")) << text;
+  EXPECT_TRUE(Contains(text, "# TYPE vaolib_demo_gauge gauge")) << text;
+  EXPECT_TRUE(Contains(text, "vaolib_demo_gauge -2")) << text;
+  EXPECT_TRUE(Contains(text, "# TYPE vaolib_demo_hist histogram")) << text;
+  // Cumulative buckets: le="10" includes the le="1" observation.
+  EXPECT_TRUE(Contains(text, "vaolib_demo_hist_bucket{le=\"1\"} 1")) << text;
+  EXPECT_TRUE(Contains(text, "vaolib_demo_hist_bucket{le=\"10\"} 1")) << text;
+  EXPECT_TRUE(Contains(text, "vaolib_demo_hist_bucket{le=\"+Inf\"} 2"))
+      << text;
+  EXPECT_TRUE(Contains(text, "vaolib_demo_hist_count 2")) << text;
+}
+
+TEST(MetricsRegistryTest, PrometheusGroupsInterleavedFamilies) {
+  MetricsRegistry registry;
+  // Register a second label variant of "events_total" AFTER an unrelated
+  // metric: the family must still render under a single # TYPE line.
+  registry.GetCounter("events_total", {{"event", "miss"}})->Add(1);
+  registry.GetCounter("other_total")->Add(2);
+  registry.GetCounter("events_total", {{"event", "hit"}})->Add(3);
+
+  std::ostringstream os;
+  registry.RenderPrometheus(os);
+  const std::string text = os.str();
+
+  std::size_t type_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE events_total counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+  EXPECT_TRUE(Contains(text, "events_total{event=\"miss\"} 1")) << text;
+  EXPECT_TRUE(Contains(text, "events_total{event=\"hit\"} 3")) << text;
+  // Both samples sit under the one TYPE line, before the next family.
+  EXPECT_LT(text.find("events_total{event=\"hit\"}"),
+            text.find("# TYPE other_total counter"))
+      << text;
+}
+
+TEST(MetricsRegistryTest, RenderJsonListsEveryFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"a", "b"}})->Add(3);
+  registry.GetGauge("g")->Set(4);
+  registry.GetHistogram("h", {}, {5.0})->Observe(1.0);
+
+  std::ostringstream os;
+  registry.RenderJson(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(Contains(json, "\"counters\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"gauges\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"histograms\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"c_total\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"a\"")) << json;
+}
+
+TEST(EnabledTest, RuntimeToggleStopsMutations) {
+  ASSERT_TRUE(Enabled());  // tests run with observability on
+  Counter counter;
+  counter.Add(1);
+  SetEnabled(false);
+  counter.Add(100);
+  Gauge gauge;
+  gauge.Set(42);
+  SetEnabled(true);
+  counter.Add(1);
+  EXPECT_EQ(counter.Value(), 2u);
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(SolverWorkTest, CountSolverWorkChargesPerKindCounter) {
+  const SolverWorkSnapshot before = SolverWorkSnapshot::Capture();
+  CountSolverWork(SolverKind::kPde, 17);
+  CountSolverWork(SolverKind::kRoot, 3);
+  const SolverWorkSnapshot delta =
+      SolverWorkSnapshot::Capture().DeltaSince(before);
+  EXPECT_EQ(delta.units[static_cast<int>(SolverKind::kPde)], 17u);
+  EXPECT_EQ(delta.units[static_cast<int>(SolverKind::kRoot)], 3u);
+  EXPECT_EQ(delta.units[static_cast<int>(SolverKind::kOde)], 0u);
+}
+
+TEST(SolverWorkTest, KindNamesAreStableLabels) {
+  EXPECT_STREQ(SolverKindName(SolverKind::kPde), "pde");
+  EXPECT_STREQ(SolverKindName(SolverKind::kPde2d), "pde2d");
+  EXPECT_STREQ(SolverKindName(SolverKind::kOde), "ode");
+  EXPECT_STREQ(SolverKindName(SolverKind::kIvp), "ivp");
+  EXPECT_STREQ(SolverKindName(SolverKind::kIntegral), "integral");
+  EXPECT_STREQ(SolverKindName(SolverKind::kRoot), "root");
+}
+
+#endif  // VAOLIB_OBS_DISABLED
+
+// ThreadPool statistics are plain relaxed atomics (the pool must not
+// depend on obs), so they count regardless of the observability switch.
+TEST(ThreadPoolStatsTest, ParallelForCountsCallsAndChunks) {
+  ThreadPool pool(3);
+  const ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.parallel_for_calls, 0u);
+  EXPECT_EQ(before.chunks_executed, 0u);
+
+  const auto status = pool.ParallelFor(
+      100, {.max_parallelism = 3, .min_chunk = 10}, nullptr,
+      [](std::size_t, std::size_t, WorkMeter*) { return Status::OK(); });
+  ASSERT_TRUE(status.ok()) << status;
+
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.parallel_for_calls, 1u);
+  EXPECT_EQ(after.chunks_executed, 10u);  // 100 indices / min_chunk 10
+  EXPECT_LE(after.tasks_enqueued, 2u);    // at most runners - 1 queued
+
+  // Inline execution (max_parallelism = 1) never queues tasks.
+  const auto inline_status = pool.ParallelFor(
+      10, {.max_parallelism = 1, .min_chunk = 1}, nullptr,
+      [](std::size_t, std::size_t, WorkMeter*) { return Status::OK(); });
+  ASSERT_TRUE(inline_status.ok());
+  EXPECT_EQ(pool.stats().parallel_for_calls, 2u);
+  EXPECT_EQ(pool.stats().tasks_enqueued, after.tasks_enqueued);
+}
+
+}  // namespace
+}  // namespace vaolib::obs
