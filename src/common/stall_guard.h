@@ -1,0 +1,53 @@
+// Copyright 2026 The vaolib Authors.
+// Refinement-stall detection shared by operator decision loops and the bulk
+// convergence helpers.
+
+#ifndef VAOLIB_COMMON_STALL_GUARD_H_
+#define VAOLIB_COMMON_STALL_GUARD_H_
+
+#include <limits>
+
+namespace vaolib {
+
+/// \brief Detects refinement stalls on one result object: Iterate() keeps
+/// returning OK but the bounds stop tightening while still above minWidth.
+/// Without a guard every convergence loop would spin on such an object until
+/// its global iteration budget (tens of millions of steps) runs out.
+///
+/// Observe() is fed the bounds width after each Iterate() of the object; the
+/// object counts as stalled after `limit` consecutive observations with no
+/// width reduction. Any real progress resets the counter, so slow-but-live
+/// solvers are never quarantined.
+class StallGuard {
+ public:
+  /// Consecutive no-progress Iterate() calls tolerated before declaring a
+  /// stall. Real solvers shrink every step (geometric refinement); a dozen
+  /// flat steps is far outside their behaviour yet cheap to wait out.
+  static constexpr int kDefaultLimit = 12;
+
+  explicit StallGuard(int limit = kDefaultLimit) : limit_(limit) {}
+
+  /// Records the width after one Iterate() call; returns true when the
+  /// object has now exceeded the no-progress limit.
+  bool Observe(double width) {
+    if (width < last_width_) {
+      no_progress_ = 0;
+    } else if (++no_progress_ >= limit_) {
+      stalled_ = true;
+    }
+    last_width_ = width;
+    return stalled_;
+  }
+
+  bool stalled() const { return stalled_; }
+
+ private:
+  double last_width_ = std::numeric_limits<double>::infinity();
+  int no_progress_ = 0;
+  int limit_;
+  bool stalled_ = false;
+};
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_STALL_GUARD_H_

@@ -32,21 +32,34 @@ void FillOperatorSection(const operators::OperatorStats& stats,
   report->finalize_iterations = stats.finalize_iterations;
   report->choose_steps = stats.choose_steps;
   report->objects_touched = stats.objects_touched;
+  report->stalled_objects = stats.stalled_objects;
+}
+
+// VAO failures the kDegrade policy may answer through the black-box
+// fallback: numeric breakdowns, exhausted iteration budgets, refinement
+// stalls. Anything else (bad bindings, empty inputs, ...) stays fatal --
+// the traditional path would fail the same way.
+bool IsDegradableFailure(const Status& status) {
+  return status.Is(StatusCode::kNumericError) ||
+         status.Is(StatusCode::kResourceExhausted) ||
+         status.Is(StatusCode::kNotConverged);
 }
 
 }  // namespace
 
 CqExecutor::CqExecutor(const Relation* relation, Schema stream_schema,
-                       Query query, ExecutionMode mode, int threads)
+                       Query query, ExecutionMode mode, int threads,
+                       ResiliencePolicy resilience)
     : relation_(relation),
       stream_schema_(std::move(stream_schema)),
       query_(std::move(query)),
       mode_(mode),
-      threads_(std::max(threads, 1)) {}
+      threads_(std::max(threads, 1)),
+      resilience_(resilience) {}
 
 Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
     const Relation* relation, Schema stream_schema, Query query,
-    ExecutionMode mode, int threads) {
+    ExecutionMode mode, int threads, ResiliencePolicy resilience) {
   if (relation == nullptr) {
     return Status::InvalidArgument("executor requires a relation");
   }
@@ -60,8 +73,9 @@ Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
         std::to_string(query.function->arity()));
   }
 
-  auto executor = std::unique_ptr<CqExecutor>(new CqExecutor(
-      relation, std::move(stream_schema), std::move(query), mode, threads));
+  auto executor = std::unique_ptr<CqExecutor>(
+      new CqExecutor(relation, std::move(stream_schema), std::move(query),
+                     mode, threads, resilience));
 
   for (const ArgRef& ref : executor->query_.args) {
     BoundArg bound;
@@ -177,18 +191,31 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
     const operators::SelectionVao point_vao(query_.cmp, query_.constant);
     const operators::RangeSelectionVao range_vao(
         query_.range_lo, query_.range_hi, query_.range_inclusive);
+    // Under kDegrade, failing rows are quarantined by the batch operator
+    // instead of failing the tick.
+    std::vector<Status> row_status;
+    std::vector<Status>* row_status_ptr =
+        resilience_ == ResiliencePolicy::kDegrade ? &row_status : nullptr;
     std::vector<operators::SelectionOutcome> outcomes;
     if (query_.kind == QueryKind::kSelect) {
       VAOLIB_ASSIGN_OR_RETURN(
-          outcomes,
-          point_vao.EvaluateBatch(*query_.function, rows, threads_, &meter_));
+          outcomes, point_vao.EvaluateBatch(*query_.function, rows, threads_,
+                                            &meter_, row_status_ptr));
     } else {
       VAOLIB_ASSIGN_OR_RETURN(
-          outcomes,
-          range_vao.EvaluateBatch(*query_.function, rows, threads_, &meter_));
+          outcomes, range_vao.EvaluateBatch(*query_.function, rows, threads_,
+                                            &meter_, row_status_ptr));
     }
     std::uint64_t short_circuited = 0;
     for (std::size_t row = 0; row < n; ++row) {
+      if (row_status_ptr != nullptr && !row_status[row].ok()) {
+        result.quarantined_rows.push_back(row);
+        result.degraded = true;
+        if (result.degradation_cause.ok()) {
+          result.degradation_cause = row_status[row];
+        }
+        continue;  // a quarantined row never enters passing_rows
+      }
       if (outcomes[row].passes) result.passing_rows.push_back(row);
       if (outcomes[row].short_circuited) ++short_circuited;
       result.stats.Merge(outcomes[row].stats);
@@ -197,6 +224,7 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
     result.report.query_kind = QueryKindName(query_.kind);
     result.report.rows_scanned = n;
     result.report.rows_short_circuited = short_circuited;
+    result.report.rows_quarantined = result.quarantined_rows.size();
     FillOperatorSection(result.stats, &result.report);
     capture.Finish(meter_, &result.report);
     obs::RecordTickMetrics(result.report);
@@ -205,9 +233,9 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
 
   // Aggregates: materialize one result object per relation row (bulk
   // invoke runs row-parallel when threads_ > 1).
-  VAOLIB_ASSIGN_OR_RETURN(
-      std::vector<vao::ResultObjectPtr> owned,
-      vao::InvokeAll(*query_.function, rows, threads_, &meter_));
+  auto invoked = vao::InvokeAll(*query_.function, rows, threads_, &meter_);
+  if (!invoked.ok()) return FallbackOrError(stream_tuple, invoked.status());
+  std::vector<vao::ResultObjectPtr> owned = std::move(invoked).value();
   std::vector<vao::ResultObject*> objects;
   objects.reserve(n);
   for (const auto& object : owned) objects.push_back(object.get());
@@ -227,12 +255,21 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
         options.coarse_max_steps = kCoarseMaxSteps;
       }
       const operators::MinMaxVao vao(options);
-      VAOLIB_ASSIGN_OR_RETURN(const operators::MinMaxOutcome outcome,
-                              vao.Evaluate(objects));
+      auto evaluated = vao.Evaluate(objects);
+      if (!evaluated.ok()) {
+        return FallbackOrError(stream_tuple, evaluated.status());
+      }
+      const operators::MinMaxOutcome outcome = std::move(evaluated).value();
       result.winner_row = outcome.winner_index;
       result.tie = outcome.tie;
       result.aggregate_bounds = outcome.winner_bounds;
       result.stats = outcome.stats;
+      if (outcome.precision_degraded) {
+        result.degraded = true;
+        result.degradation_cause = Status::ResourceExhausted(
+            "MIN/MAX quarantined stalled result objects; winner bounds may "
+            "be wider than epsilon");
+      }
       break;
     }
     case QueryKind::kSum:
@@ -248,10 +285,19 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
         options.coarse_max_steps = kCoarseMaxSteps;
       }
       const operators::SumAveVao vao(options);
-      VAOLIB_ASSIGN_OR_RETURN(const operators::SumOutcome outcome,
-                              vao.Evaluate(objects, weights));
+      auto evaluated = vao.Evaluate(objects, weights);
+      if (!evaluated.ok()) {
+        return FallbackOrError(stream_tuple, evaluated.status());
+      }
+      const operators::SumOutcome outcome = std::move(evaluated).value();
       result.aggregate_bounds = outcome.sum_bounds;
       result.stats = outcome.stats;
+      if (outcome.stats.stalled_objects > 0) {
+        result.degraded = true;
+        result.degradation_cause = Status::ResourceExhausted(
+            "SUM/AVE quarantined stalled result objects; output bounds may "
+            "be wider than epsilon");
+      }
       break;
     }
     case QueryKind::kTopK: {
@@ -260,8 +306,11 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
       options.epsilon = query_.epsilon;
       options.meter = &meter_;
       const operators::TopKVao vao(options);
-      VAOLIB_ASSIGN_OR_RETURN(const operators::TopKOutcome outcome,
-                              vao.Evaluate(objects));
+      auto evaluated = vao.Evaluate(objects);
+      if (!evaluated.ok()) {
+        return FallbackOrError(stream_tuple, evaluated.status());
+      }
+      const operators::TopKOutcome outcome = std::move(evaluated).value();
       result.top_rows = outcome.winners;
       result.top_bounds = outcome.winner_bounds;
       result.tie = outcome.tie;
@@ -270,6 +319,12 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
         result.aggregate_bounds = outcome.winner_bounds.front();
       }
       result.stats = outcome.stats;
+      if (outcome.precision_degraded) {
+        result.degraded = true;
+        result.degradation_cause = Status::ResourceExhausted(
+            "TOP-K quarantined stalled result objects; winner bounds may be "
+            "wider than epsilon");
+      }
       break;
     }
     case QueryKind::kSelect:
@@ -285,6 +340,29 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
   FillOperatorSection(result.stats, &result.report);
   capture.Finish(meter_, &result.report);
   obs::RecordTickMetrics(result.report);
+  return result;
+}
+
+Result<TickResult> CqExecutor::FallbackOrError(const Tuple& stream_tuple,
+                                               const Status& cause) {
+  if (resilience_ != ResiliencePolicy::kDegrade ||
+      !IsDegradableFailure(cause)) {
+    return cause;
+  }
+  if (black_box_ == nullptr) {
+    black_box_ = std::make_unique<vao::CalibratedBlackBox>(query_.function);
+  }
+  auto fallback = RunTraditional(stream_tuple);
+  if (!fallback.ok()) {
+    // Even the black box could not answer (e.g. its calibration pass hit the
+    // same stall); surface the original VAO failure, which names the root
+    // cause, with the fallback's failure appended.
+    return cause.WithContext("black-box fallback also failed (" +
+                             fallback.status().ToString() + ")");
+  }
+  TickResult result = std::move(fallback).value();
+  result.degraded = true;
+  result.degradation_cause = cause;
   return result;
 }
 

@@ -23,6 +23,21 @@ namespace vaolib::engine {
 /// operators (the Section 6 baseline).
 enum class ExecutionMode { kVao, kTraditional };
 
+/// \brief How a VAO-mode tick reacts to result-object failures (NaN/Inf or
+/// inverted bounds, Iterate() errors, refinement stalls, iteration budgets).
+enum class ResiliencePolicy {
+  /// Any failing row/object fails the whole tick with its Status (default;
+  /// matches the pre-resilience behaviour exactly).
+  kStrict,
+  /// Selections quarantine failing rows (excluded from passing_rows,
+  /// reported in TickResult::quarantined_rows) and still answer; aggregates
+  /// whose VAO evaluation fails with a degradable code (NumericError,
+  /// ResourceExhausted, NotConverged) fall back to the calibrated black-box
+  /// path and mark the result degraded. Crashes and hangs become answers
+  /// with an attached cause, never silent wrong results.
+  kDegrade,
+};
+
 /// \brief Output of one stream tick.
 struct TickResult {
   QueryKind kind = QueryKind::kSelect;
@@ -46,6 +61,20 @@ struct TickResult {
   /// Work units charged during this tick (all WorkKinds).
   std::uint64_t work_units = 0;
 
+  /// \name Resilience accounting. Row quarantine and black-box fallback
+  /// happen only under ResiliencePolicy::kDegrade; the degraded flag is
+  /// also set (in any policy) when an aggregate quarantined stalled
+  /// objects, since the answer is then sound but coarser than requested.
+  /// @{
+  /// True when any quarantine or black-box fallback happened this tick.
+  bool degraded = false;
+  /// The first failure that triggered degradation (OK when !degraded).
+  Status degradation_cause;
+  /// kSelect/kSelectRange: rows whose evaluation failed; they are excluded
+  /// from passing_rows (ascending order).
+  std::vector<std::size_t> quarantined_rows;
+  /// @}
+
   /// Structured observability account of this tick; report.work.Total()
   /// always equals work_units.
   obs::ExecutionReport report;
@@ -67,11 +96,13 @@ class CqExecutor {
   /// baseline costs are charged, not solved). Requires the query's function
   /// to support concurrent Invoke() -- true for every function in this
   /// library, including CachingFunction.
-  static Result<std::unique_ptr<CqExecutor>> Create(const Relation* relation,
-                                                    Schema stream_schema,
-                                                    Query query,
-                                                    ExecutionMode mode,
-                                                    int threads = 1);
+  ///
+  /// \p resilience selects the VAO-mode failure policy (see
+  /// ResiliencePolicy); traditional mode ignores it.
+  static Result<std::unique_ptr<CqExecutor>> Create(
+      const Relation* relation, Schema stream_schema, Query query,
+      ExecutionMode mode, int threads = 1,
+      ResiliencePolicy resilience = ResiliencePolicy::kStrict);
 
   /// Re-evaluates the query for \p stream_tuple.
   Result<TickResult> ProcessTick(const Tuple& stream_tuple);
@@ -83,10 +114,11 @@ class CqExecutor {
   ExecutionMode mode() const { return mode_; }
   const Query& query() const { return query_; }
   int threads() const { return threads_; }
+  ResiliencePolicy resilience() const { return resilience_; }
 
  private:
   CqExecutor(const Relation* relation, Schema stream_schema, Query query,
-             ExecutionMode mode, int threads);
+             ExecutionMode mode, int threads, ResiliencePolicy resilience);
 
   /// Resolves ArgRefs into per-row argument vectors for this tick.
   Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
@@ -95,6 +127,14 @@ class CqExecutor {
   Result<TickResult> RunVao(const Tuple& stream_tuple);
   Result<TickResult> RunTraditional(const Tuple& stream_tuple);
 
+  /// kDegrade handling of a failed VAO aggregate: when \p cause is a
+  /// degradable code, re-answers the tick through the calibrated black-box
+  /// path (created lazily) and marks the result degraded; otherwise (or in
+  /// strict mode) forwards \p cause. The fallback's report covers only the
+  /// fallback work; meter() accumulates both attempts.
+  Result<TickResult> FallbackOrError(const Tuple& stream_tuple,
+                                     const Status& cause);
+
   Result<std::vector<double>> ResolveWeights() const;
 
   const Relation* relation_;
@@ -102,6 +142,7 @@ class CqExecutor {
   Query query_;
   ExecutionMode mode_;
   int threads_;
+  ResiliencePolicy resilience_;
   WorkMeter meter_;
 
   /// Pre-resolved argument bindings: (source, column index or constant).

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <iomanip>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -365,6 +367,76 @@ Result<Query> ParseQuery(std::string_view sql,
   VAOLIB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens), registry, stream_schema, relation_schema);
   return parser.Parse();
+}
+
+namespace {
+
+// Shortest decimal that re-parses (via strtod in the tokenizer) to exactly
+// the same double; max_digits10 always does, fewer digits are tried first.
+std::string FormatNumber(double value) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << value;
+    if (std::strtod(os.str().c_str(), nullptr) == value) return os.str();
+  }
+  return std::to_string(value);
+}
+
+void FormatCall(const Query& query, std::ostream& os) {
+  os << (query.function != nullptr ? query.function->name() : "null") << "(";
+  for (std::size_t i = 0; i < query.args.size(); ++i) {
+    if (i > 0) os << ", ";
+    const ArgRef& arg = query.args[i];
+    if (arg.source == ArgRef::Source::kConstant) {
+      os << FormatNumber(arg.constant);
+    } else {
+      os << arg.field;
+    }
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string FormatQuery(const Query& query, std::string_view relation) {
+  std::ostringstream os;
+  os << "SELECT ";
+  switch (query.kind) {
+    case QueryKind::kSelect:
+      os << "* FROM " << relation << " WHERE ";
+      FormatCall(query, os);
+      os << " " << operators::ComparatorToString(query.cmp) << " "
+         << FormatNumber(query.constant) << " PRECISION "
+         << FormatNumber(query.epsilon);
+      return os.str();
+    case QueryKind::kSelectRange:
+      os << "* FROM " << relation << " WHERE ";
+      FormatCall(query, os);
+      os << " BETWEEN " << FormatNumber(query.range_lo) << " AND "
+         << FormatNumber(query.range_hi) << " PRECISION "
+         << FormatNumber(query.epsilon);
+      return os.str();
+    case QueryKind::kTopK:
+      os << "TOP " << query.k << " ";
+      FormatCall(query, os);
+      break;
+    case QueryKind::kMax:
+    case QueryKind::kMin:
+    case QueryKind::kSum:
+    case QueryKind::kAve: {
+      const char* name = query.kind == QueryKind::kMax   ? "MAX"
+                         : query.kind == QueryKind::kMin ? "MIN"
+                         : query.kind == QueryKind::kSum ? "SUM"
+                                                         : "AVE";
+      os << name << "(";
+      FormatCall(query, os);
+      if (query.weight_column.has_value()) os << ", " << *query.weight_column;
+      os << ")";
+      break;
+    }
+  }
+  os << " FROM " << relation << " PRECISION " << FormatNumber(query.epsilon);
+  return os.str();
 }
 
 }  // namespace vaolib::engine

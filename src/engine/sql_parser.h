@@ -61,6 +61,16 @@ Result<Query> ParseQuery(std::string_view sql,
                          const Schema& stream_schema,
                          const Schema& relation_schema);
 
+/// \brief Prints \p query back to the surface syntax ParseQuery accepts, the
+/// round-trip inverse: ParseQuery(FormatQuery(q)) reproduces q field-for-field
+/// for any q ParseQuery can produce (numbers are printed with enough digits
+/// to round-trip exactly). The relation name is not recorded in Query, so the
+/// placeholder \p relation is printed in the FROM clause.
+///
+/// Queries built by hand can stray outside the grammar (an exclusive BETWEEN,
+/// a null function); those print on a best-effort basis and may not reparse.
+std::string FormatQuery(const Query& query, std::string_view relation = "rel");
+
 }  // namespace vaolib::engine
 
 #endif  // VAOLIB_ENGINE_SQL_PARSER_H_

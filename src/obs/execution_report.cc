@@ -47,9 +47,11 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
      << ", \"greedy_iterations\": " << greedy_iterations
      << ", \"finalize_iterations\": " << finalize_iterations
      << ", \"choose_steps\": " << choose_steps
-     << ", \"objects_touched\": " << objects_touched << "}, ";
+     << ", \"objects_touched\": " << objects_touched
+     << ", \"stalled_objects\": " << stalled_objects << "}, ";
   os << "\"rows\": {\"scanned\": " << rows_scanned
-     << ", \"short_circuited\": " << rows_short_circuited << "}, ";
+     << ", \"short_circuited\": " << rows_short_circuited
+     << ", \"quarantined\": " << rows_quarantined << "}, ";
   os << "\"cache\": {\"present\": " << (has_cache ? "true" : "false")
      << ", \"hits\": " << cache_hits << ", \"misses\": " << cache_misses
      << ", \"evictions\": " << cache_evictions << ", \"shards\": [";
@@ -97,11 +99,16 @@ void ExecutionReport::RenderPrometheus(std::ostream& os) const {
   os << "# TYPE vaolib_query_objects_touched gauge\n";
   os << "vaolib_query_objects_touched" << kind_label << " " << objects_touched
      << "\n";
+  os << "# TYPE vaolib_query_stalled_objects gauge\n";
+  os << "vaolib_query_stalled_objects" << kind_label << " " << stalled_objects
+     << "\n";
   os << "# TYPE vaolib_query_rows gauge\n";
   os << "vaolib_query_rows{kind=\"" << query_kind
      << "\",outcome=\"scanned\"} " << rows_scanned << "\n";
   os << "vaolib_query_rows{kind=\"" << query_kind
      << "\",outcome=\"short_circuited\"} " << rows_short_circuited << "\n";
+  os << "vaolib_query_rows{kind=\"" << query_kind
+     << "\",outcome=\"quarantined\"} " << rows_quarantined << "\n";
   if (has_cache) {
     os << "# TYPE vaolib_query_cache_events gauge\n";
     os << "vaolib_query_cache_events{kind=\"" << query_kind
@@ -326,11 +333,15 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
                           GetNumber(*op, "choose_steps"));
   VAOLIB_ASSIGN_OR_RETURN(report.objects_touched,
                           GetNumber(*op, "objects_touched"));
+  VAOLIB_ASSIGN_OR_RETURN(report.stalled_objects,
+                          GetNumber(*op, "stalled_objects"));
 
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* rows, Child(*root, "rows"));
   VAOLIB_ASSIGN_OR_RETURN(report.rows_scanned, GetNumber(*rows, "scanned"));
   VAOLIB_ASSIGN_OR_RETURN(report.rows_short_circuited,
                           GetNumber(*rows, "short_circuited"));
+  VAOLIB_ASSIGN_OR_RETURN(report.rows_quarantined,
+                          GetNumber(*rows, "quarantined"));
 
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* cache, Child(*root, "cache"));
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* present,

@@ -75,6 +75,9 @@ struct ExecutionReport {
   std::uint64_t finalize_iterations = 0;
   std::uint64_t choose_steps = 0;
   std::uint64_t objects_touched = 0;
+  /// Objects quarantined after a refinement stall (bounds stopped
+  /// tightening above minWidth); see OperatorStats::stalled_objects.
+  std::uint64_t stalled_objects = 0;
   /// @}
 
   /// \name Adaptive row accounting: rows whose answer was decided from
@@ -82,6 +85,10 @@ struct ExecutionReport {
   /// @{
   std::uint64_t rows_scanned = 0;
   std::uint64_t rows_short_circuited = 0;
+  /// Rows excluded from the answer because their evaluation failed and the
+  /// executor ran with ResiliencePolicy::kDegrade (0 in strict mode, where
+  /// any failing row fails the whole tick).
+  std::uint64_t rows_quarantined = 0;
   /// @}
 
   /// \name Bounds-cache activity (only when the query's function is a

@@ -26,6 +26,7 @@ Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
     if (object == nullptr) {
       return Status::InvalidArgument("MIN/MAX over a null result object");
     }
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, "MIN/MAX"));
     max_min_width = std::max(max_min_width, object->min_width());
   }
   // Footnote 10: bounds within epsilon cannot be guaranteed when epsilon is
@@ -52,6 +53,20 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
   const ExtremeKind kind = options_.kind;
   MinMaxOutcome outcome;
   std::vector<bool> touched(objects.size(), false);
+
+  // Per-object stall tracking: an object whose Iterate() keeps succeeding
+  // without tightening its bounds is quarantined from further iteration and
+  // treated as converged. Its frozen bounds remain sound, so the answer
+  // stays correct -- merely coarser than minWidth would have allowed.
+  std::vector<StallGuard> stall(objects.size());
+  auto effectively_converged = [&](std::size_t i) {
+    return objects[i]->AtStoppingCondition() || stall[i].stalled();
+  };
+  auto observe_iterate = [&](std::size_t i) -> Status {
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[i], "MIN/MAX"));
+    stall[i].Observe(objects[i]->bounds().Width());
+    return Status::OK();
+  };
 
   // Optional parallel phase: bulk-converge everything to the coarse width
   // on the pool; the greedy loop below then starts from those states.
@@ -110,9 +125,8 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
     // Termination case (2): guess and all (overlapping) rivals converged.
     // Every live rival overlaps the guess: non-overlap would imply either
     // domination (pruned above) or a higher upper bound than the guess.
-    const bool all_converged = std::all_of(
-        alive.begin(), alive.end(),
-        [&](std::size_t i) { return objects[i]->AtStoppingCondition(); });
+    const bool all_converged =
+        std::all_of(alive.begin(), alive.end(), effectively_converged);
     if (all_converged) {
       outcome.winner_index = guess;
       outcome.tie = true;
@@ -125,7 +139,7 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
     // Choose the next iteration among live, non-converged candidates.
     std::vector<std::size_t> iterable;
     for (const std::size_t i : alive) {
-      if (!objects[i]->AtStoppingCondition()) iterable.push_back(i);
+      if (!effectively_converged(i)) iterable.push_back(i);
     }
     // all_converged was false, so iterable is non-empty.
 
@@ -197,6 +211,7 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
     }
 
     VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
+    VAOLIB_RETURN_IF_ERROR(observe_iterate(chosen));
     touched[chosen] = true;
     ++outcome.stats.greedy_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
@@ -205,11 +220,13 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
   }
 
   // Refine the winner to the precision constraint. Its stopping condition
-  // implies width < minWidth <= epsilon, so this always terminates.
+  // implies width < minWidth <= epsilon, so this always terminates (a
+  // stalled winner is quarantined with sound-but-wider bounds instead).
   vao::ResultObject* winner = objects[outcome.winner_index];
   while (winner->bounds().Width() > options_.epsilon &&
-         !winner->AtStoppingCondition()) {
+         !effectively_converged(outcome.winner_index)) {
     VAOLIB_RETURN_IF_ERROR(winner->Iterate());
+    VAOLIB_RETURN_IF_ERROR(observe_iterate(outcome.winner_index));
     touched[outcome.winner_index] = true;
     ++outcome.stats.finalize_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
@@ -221,6 +238,10 @@ Result<MinMaxOutcome> MinMaxVao::Evaluate(
   for (const bool t : touched) {
     if (t) ++outcome.stats.objects_touched;
   }
+  for (const StallGuard& guard : stall) {
+    if (guard.stalled()) ++outcome.stats.stalled_objects;
+  }
+  outcome.precision_degraded = outcome.stats.stalled_objects > 0;
   return outcome;
 }
 

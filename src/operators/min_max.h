@@ -34,6 +34,10 @@ struct MinMaxOutcome {
   /// mutually indistinguishable within their minWidths.
   bool tie = false;
   std::vector<std::size_t> tied_indices;  ///< overlapping converged rivals
+  /// True when a refinement stall (see OperatorStats::stalled_objects) froze
+  /// some bounds early: the answer is still sound, but winner_bounds may be
+  /// wider than epsilon and ties may be coarser than minWidth would allow.
+  bool precision_degraded = false;
   OperatorStats stats;
 };
 

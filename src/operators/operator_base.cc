@@ -26,8 +26,11 @@ Status ParallelCoarseConverge(const std::vector<vao::ResultObject*>& objects,
       vao::ResultObject* object = objects[i];
       const double target = std::max(coarse_width, object->min_width());
       std::uint64_t steps = 0;
+      // The coarse phase is opportunistic, so a stalled object just exits
+      // early (no error); the serial loop that follows handles it.
+      StallGuard guard;
       while (object->bounds().Width() > target &&
-             !object->AtStoppingCondition() &&
+             !object->AtStoppingCondition() && !guard.stalled() &&
              (max_steps_per_object == 0 || steps < max_steps_per_object)) {
         const Status status = object->Iterate();
         if (!status.ok()) {
@@ -35,6 +38,7 @@ Status ParallelCoarseConverge(const std::vector<vao::ResultObject*>& objects,
           break;
         }
         ++steps;
+        guard.Observe(object->bounds().Width());
       }
       // Distinct indices per worker: no synchronization needed.
       if (iterations_out != nullptr) (*iterations_out)[i] = steps;
@@ -46,6 +50,20 @@ Status ParallelCoarseConverge(const std::vector<vao::ResultObject*>& objects,
   options.max_parallelism = threads;
   return ThreadPool::Shared().ParallelFor(n, options, /*meter=*/nullptr,
                                           body);
+}
+
+Status ValidateObjectBounds(const vao::ResultObject& object, const char* who) {
+  const Bounds b = object.bounds();
+  if (!std::isfinite(b.lo) || !std::isfinite(b.hi)) {
+    return Status::NumericError(std::string(who) +
+                                ": result object produced non-finite bounds");
+  }
+  if (b.lo > b.hi) {
+    return Status::NumericError(std::string(who) +
+                                ": result object produced inverted bounds "
+                                "(L > H)");
+  }
+  return Status::OK();
 }
 
 const char* ComparatorToString(Comparator cmp) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bounds.h"
+#include "common/stall_guard.h"
 #include "common/status.h"
 #include "vao/result_object.h"
 
@@ -43,6 +44,11 @@ struct OperatorStats {
   std::uint64_t iterations = 0;     ///< total Iterate() calls issued
   std::uint64_t choose_steps = 0;   ///< strategy invocations (chooseIter)
   std::uint64_t objects_touched = 0;///< objects iterated at least once
+  /// Objects whose refinement stalled (Iterate() kept succeeding but the
+  /// bounds stopped tightening before minWidth) and were quarantined from
+  /// further iteration. Their frozen bounds stay sound, so aggregate
+  /// answers remain correct but may be wider than requested.
+  std::uint64_t stalled_objects = 0;
 
   /// \name Phase split of `iterations` (coarse + greedy + finalize ==
   /// iterations for the aggregate operators; selections are all-greedy).
@@ -57,11 +63,21 @@ struct OperatorStats {
     iterations += other.iterations;
     choose_steps += other.choose_steps;
     objects_touched += other.objects_touched;
+    stalled_objects += other.stalled_objects;
     coarse_iterations += other.coarse_iterations;
     greedy_iterations += other.greedy_iterations;
     finalize_iterations += other.finalize_iterations;
   }
 };
+
+/// \brief Validates a result object's current bounds before they enter a
+/// decision: both endpoints finite and lo <= hi. A solver breakdown (NaN/Inf
+/// endpoints) or a buggy implementation (L > H) would otherwise flow silently
+/// into predicate comparisons -- NaN compares false against everything, so a
+/// poisoned row would quietly "fail" its predicate instead of surfacing.
+///
+/// \return NumericError naming \p who when the bounds are malformed.
+Status ValidateObjectBounds(const vao::ResultObject& object, const char* who);
 
 /// \brief Parallel pre-phase for aggregate VAOs: converges every object to
 /// width <= max(\p coarse_width, its minWidth) using up to \p threads

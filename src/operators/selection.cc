@@ -13,18 +13,28 @@ namespace {
 // scratch meters merge into `meter` in chunk order, so work totals are
 // independent of the thread count. All rows are attempted; the returned
 // error (if any) is that of the lowest-indexed failing row.
+//
+// With a non-null `row_status`, per-row errors are quarantined there (the
+// failed row keeps its default outcome) and the batch itself succeeds.
 template <typename Outcome, typename EvalRow>
 Result<std::vector<Outcome>> BatchEvaluate(std::size_t n, int threads,
                                            WorkMeter* meter,
+                                           std::vector<Status>* row_status,
                                            const EvalRow& eval) {
   std::vector<Outcome> outcomes(n);
+  if (row_status != nullptr) row_status->assign(n, Status::OK());
   auto body = [&](std::size_t begin, std::size_t end,
                   WorkMeter* chunk_meter) {
     Status first_error;
     for (std::size_t i = begin; i < end; ++i) {
       auto result = eval(i, chunk_meter);
       if (!result.ok()) {
-        if (first_error.ok()) first_error = result.status();
+        // Distinct indices per worker: no synchronization needed.
+        if (row_status != nullptr) {
+          (*row_status)[i] = result.status();
+        } else if (first_error.ok()) {
+          first_error = result.status();
+        }
         continue;
       }
       outcomes[i] = std::move(result).value();
@@ -44,6 +54,31 @@ Result<std::vector<Outcome>> BatchEvaluate(std::size_t n, int threads,
   return outcomes;
 }
 
+// Drives `object` while `undecided(bounds)` holds and the stopping condition
+// has not been reached, validating the bounds before every decision (NaN/Inf
+// or inverted bounds must surface as NumericError, not flow into
+// comparisons) and guarding against refinement stalls so a non-converging
+// object cannot spin the loop forever.
+template <typename Undecided>
+Status DriveWhileUndecided(vao::ResultObject* object, const char* who,
+                           std::uint64_t* iterations,
+                           const Undecided& undecided) {
+  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
+  StallGuard guard;
+  while (undecided(object->bounds()) && !object->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object->Iterate());
+    ++*iterations;
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
+    if (guard.Observe(object->bounds().Width())) {
+      return Status::ResourceExhausted(
+          std::string(who) +
+          ": refinement stalled before deciding the predicate (bounds "
+          "stopped tightening above minWidth)");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<SelectionOutcome> SelectionVao::Evaluate(
@@ -55,11 +90,9 @@ Result<SelectionOutcome> SelectionVao::Evaluate(
   SelectionOutcome outcome;
   // Iterate while the bounds still straddle the constant and the stopping
   // condition has not been reached (Section 3.2).
-  while (object->bounds().Contains(constant_) &&
-         !object->AtStoppingCondition()) {
-    VAOLIB_RETURN_IF_ERROR(object->Iterate());
-    ++outcome.stats.iterations;
-  }
+  VAOLIB_RETURN_IF_ERROR(DriveWhileUndecided(
+      object, "selection", &outcome.stats.iterations,
+      [&](const Bounds& b) { return b.Contains(constant_); }));
   outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
   outcome.short_circuited = !object->AtStoppingCondition();
@@ -90,9 +123,9 @@ Result<SelectionOutcome> SelectionVao::Evaluate(
 Result<std::vector<SelectionOutcome>> SelectionVao::EvaluateBatch(
     const vao::VariableAccuracyFunction& function,
     const std::vector<std::vector<double>>& rows, int threads,
-    WorkMeter* meter) const {
+    WorkMeter* meter, std::vector<Status>* row_status) const {
   return BatchEvaluate<SelectionOutcome>(
-      rows.size(), threads, meter,
+      rows.size(), threads, meter, row_status,
       [&](std::size_t i, WorkMeter* row_meter) {
         return Evaluate(function, rows[i], row_meter);
       });
@@ -110,12 +143,11 @@ Result<SelectionOutcome> RangeSelectionVao::Evaluate(
   SelectionOutcome outcome;
   // The predicate is undecided while either endpoint lies strictly inside
   // the bounds; iterate until both endpoints are cleared or convergence.
-  while ((object->bounds().Contains(range_.lo) ||
-          object->bounds().Contains(range_.hi)) &&
-         !object->AtStoppingCondition()) {
-    VAOLIB_RETURN_IF_ERROR(object->Iterate());
-    ++outcome.stats.iterations;
-  }
+  VAOLIB_RETURN_IF_ERROR(DriveWhileUndecided(
+      object, "range selection", &outcome.stats.iterations,
+      [&](const Bounds& b) {
+        return b.Contains(range_.lo) || b.Contains(range_.hi);
+      }));
   outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
   outcome.short_circuited = !object->AtStoppingCondition();
@@ -146,9 +178,9 @@ Result<SelectionOutcome> RangeSelectionVao::Evaluate(
 Result<std::vector<SelectionOutcome>> RangeSelectionVao::EvaluateBatch(
     const vao::VariableAccuracyFunction& function,
     const std::vector<std::vector<double>>& rows, int threads,
-    WorkMeter* meter) const {
+    WorkMeter* meter, std::vector<Status>* row_status) const {
   return BatchEvaluate<SelectionOutcome>(
-      rows.size(), threads, meter,
+      rows.size(), threads, meter, row_status,
       [&](std::size_t i, WorkMeter* row_meter) {
         return Evaluate(function, rows[i], row_meter);
       });
@@ -166,17 +198,14 @@ Result<MultiSelectionVao::MultiOutcome> MultiSelectionVao::Evaluate(
   MultiOutcome outcome;
   // Iterate while ANY constant is still inside the bounds; the nearest
   // constant to the true value dictates the total work.
-  auto any_undecided = [&]() {
-    const Bounds b = object->bounds();
-    for (const Predicate& p : predicates_) {
-      if (b.Contains(p.constant)) return true;
-    }
-    return false;
-  };
-  while (any_undecided() && !object->AtStoppingCondition()) {
-    VAOLIB_RETURN_IF_ERROR(object->Iterate());
-    ++outcome.stats.iterations;
-  }
+  VAOLIB_RETURN_IF_ERROR(DriveWhileUndecided(
+      object, "multi-selection", &outcome.stats.iterations,
+      [&](const Bounds& b) {
+        for (const Predicate& p : predicates_) {
+          if (b.Contains(p.constant)) return true;
+        }
+        return false;
+      }));
   outcome.stats.greedy_iterations = outcome.stats.iterations;
   outcome.stats.objects_touched = outcome.stats.iterations > 0 ? 1 : 0;
   outcome.short_circuited = !object->AtStoppingCondition();
@@ -212,7 +241,7 @@ MultiSelectionVao::EvaluateBatch(
   // Objects charge their creation meters directly (atomic), so the batch
   // passes no meter of its own.
   return BatchEvaluate<MultiOutcome>(
-      objects.size(), threads, /*meter=*/nullptr,
+      objects.size(), threads, /*meter=*/nullptr, /*row_status=*/nullptr,
       [&](std::size_t i, WorkMeter* /*row_meter*/) {
         return Evaluate(objects[i]);
       });
@@ -222,9 +251,9 @@ Result<std::vector<MultiSelectionVao::MultiOutcome>>
 MultiSelectionVao::EvaluateBatch(
     const vao::VariableAccuracyFunction& function,
     const std::vector<std::vector<double>>& rows, int threads,
-    WorkMeter* meter) const {
+    WorkMeter* meter, std::vector<Status>* row_status) const {
   return BatchEvaluate<MultiOutcome>(
-      rows.size(), threads, meter,
+      rows.size(), threads, meter, row_status,
       [&](std::size_t i, WorkMeter* row_meter) {
         return Evaluate(function, rows[i], row_meter);
       });

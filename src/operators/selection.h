@@ -52,10 +52,16 @@ class SelectionVao {
   /// is charged to per-chunk meters merged into \p meter deterministically,
   /// so totals are independent of \p threads. All rows are attempted; on
   /// failure returns the lowest-indexed failing row's error.
+  ///
+  /// When \p row_status is non-null, failing rows are quarantined instead:
+  /// the batch succeeds, (*row_status)[i] carries each row's Status, and a
+  /// quarantined row's outcome is the default (predicate fails). Poisoned
+  /// rows (NaN bounds, stalled refinement) then cost one error entry rather
+  /// than the whole tick.
   Result<std::vector<SelectionOutcome>> EvaluateBatch(
       const vao::VariableAccuracyFunction& function,
       const std::vector<std::vector<double>>& rows, int threads,
-      WorkMeter* meter) const;
+      WorkMeter* meter, std::vector<Status>* row_status = nullptr) const;
 
   Comparator comparator() const { return cmp_; }
   double constant() const { return constant_; }
@@ -85,11 +91,12 @@ class RangeSelectionVao {
       const vao::VariableAccuracyFunction& function,
       const std::vector<double>& args, WorkMeter* meter) const;
 
-  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch.
+  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch
+  /// (including the \p row_status quarantine mode).
   Result<std::vector<SelectionOutcome>> EvaluateBatch(
       const vao::VariableAccuracyFunction& function,
       const std::vector<std::vector<double>>& rows, int threads,
-      WorkMeter* meter) const;
+      WorkMeter* meter, std::vector<Status>* row_status = nullptr) const;
 
   const Bounds& range() const { return range_; }
   bool inclusive() const { return inclusive_; }
@@ -149,11 +156,12 @@ class MultiSelectionVao {
   Result<std::vector<MultiOutcome>> EvaluateBatch(
       const std::vector<vao::ResultObject*>& objects, int threads) const;
 
-  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch.
+  /// Batch path over \p rows; same contract as SelectionVao::EvaluateBatch
+  /// (including the \p row_status quarantine mode).
   Result<std::vector<MultiOutcome>> EvaluateBatch(
       const vao::VariableAccuracyFunction& function,
       const std::vector<std::vector<double>>& rows, int threads,
-      WorkMeter* meter) const;
+      WorkMeter* meter, std::vector<Status>* row_status = nullptr) const;
 
   const std::vector<Predicate>& predicates() const { return predicates_; }
 

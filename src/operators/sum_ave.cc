@@ -22,6 +22,7 @@ Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
     if (object == nullptr) {
       return Status::InvalidArgument("SUM/AVE over a null result object");
     }
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, "SUM/AVE"));
   }
   for (const double w : weights) {
     if (!(w >= 0.0)) {
@@ -94,6 +95,10 @@ Result<SumOutcome> SumAveVao::EvaluateWithHeap(
   }
   Bounds sum = WeightedSumBounds(objects, weights);
 
+  // Stalled objects are quarantined: they simply stop being re-pushed into
+  // the heap, so their (sound, frozen) contribution stays in the sum.
+  std::vector<StallGuard> stall(objects.size());
+
   ScoreHeap heap;
   heap.Reset(objects.size());
   for (std::size_t i = 0; i < objects.size(); ++i) {
@@ -118,11 +123,14 @@ Result<SumOutcome> SumAveVao::EvaluateWithHeap(
 
     const Bounds before = objects[chosen]->bounds();
     VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[chosen], "SUM/AVE"));
     const Bounds after = objects[chosen]->bounds();
     sum.lo += weights[chosen] * (after.lo - before.lo);
     sum.hi += weights[chosen] * (after.hi - before.hi);
     touched[chosen] = true;
-    if (!objects[chosen]->AtStoppingCondition()) {
+    stall[chosen].Observe(after.Width());
+    if (!objects[chosen]->AtStoppingCondition() &&
+        !stall[chosen].stalled()) {
       heap.Update(chosen, GreedyScore(*objects[chosen], weights[chosen]));
     }
 
@@ -135,6 +143,9 @@ Result<SumOutcome> SumAveVao::EvaluateWithHeap(
   outcome.sum_bounds = WeightedSumBounds(objects, weights);
   for (const bool t : touched) {
     if (t) ++outcome.stats.objects_touched;
+  }
+  for (const StallGuard& guard : stall) {
+    if (guard.stalled()) ++outcome.stats.stalled_objects;
   }
   return outcome;
 }
@@ -174,11 +185,16 @@ Result<SumOutcome> SumAveVao::Evaluate(
   // loop round is O(1) on the interval itself.
   Bounds sum = WeightedSumBounds(objects, weights);
 
+  // Stalled objects are quarantined from the candidate set; their frozen
+  // (still sound) contribution remains in the sum.
+  std::vector<StallGuard> stall(objects.size());
+
   while (sum.Width() > options_.epsilon) {
     // Candidates: objects that may still tighten.
     std::vector<std::size_t> iterable;
     for (std::size_t i = 0; i < objects.size(); ++i) {
-      if (!objects[i]->AtStoppingCondition() && weights[i] > 0.0) {
+      if (!objects[i]->AtStoppingCondition() && !stall[i].stalled() &&
+          weights[i] > 0.0) {
         iterable.push_back(i);
       }
     }
@@ -231,10 +247,12 @@ Result<SumOutcome> SumAveVao::Evaluate(
 
     const Bounds before = objects[chosen]->bounds();
     VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[chosen], "SUM/AVE"));
     const Bounds after = objects[chosen]->bounds();
     sum.lo += weights[chosen] * (after.lo - before.lo);
     sum.hi += weights[chosen] * (after.hi - before.hi);
     touched[chosen] = true;
+    stall[chosen].Observe(after.Width());
 
     ++outcome.stats.greedy_iterations;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
@@ -246,6 +264,9 @@ Result<SumOutcome> SumAveVao::Evaluate(
   outcome.sum_bounds = WeightedSumBounds(objects, weights);
   for (const bool t : touched) {
     if (t) ++outcome.stats.objects_touched;
+  }
+  for (const StallGuard& guard : stall) {
+    if (guard.stalled()) ++outcome.stats.stalled_objects;
   }
   return outcome;
 }

@@ -30,6 +30,7 @@ Result<TopKOutcome> TopKVao::Evaluate(
     if (object == nullptr) {
       return Status::InvalidArgument("TOP-K over a null result object");
     }
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, "TOP-K"));
     max_min_width = std::max(max_min_width, object->min_width());
   }
   if (options_.epsilon < max_min_width) {
@@ -49,8 +50,17 @@ Result<TopKOutcome> TopKVao::Evaluate(
     return View(objects[i]->est_bounds(), kind);
   };
 
+  // Stalled objects are quarantined (treated as converged); their frozen
+  // bounds stay sound, so the selection stays correct, merely coarser.
+  std::vector<StallGuard> stall(n);
+  auto effectively_converged = [&](std::size_t i) {
+    return objects[i]->AtStoppingCondition() || stall[i].stalled();
+  };
+
   auto iterate = [&](std::size_t i, std::uint64_t* phase_counter) -> Status {
     VAOLIB_RETURN_IF_ERROR(objects[i]->Iterate());
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[i], "TOP-K"));
+    stall[i].Observe(objects[i]->bounds().Width());
     touched[i] = true;
     ++*phase_counter;
     if (++outcome.stats.iterations > options_.max_total_iterations) {
@@ -100,7 +110,7 @@ Result<TopKOutcome> TopKVao::Evaluate(
 
     std::vector<std::size_t> iterable;
     for (const std::size_t i : conflicted) {
-      if (!objects[i]->AtStoppingCondition()) iterable.push_back(i);
+      if (!effectively_converged(i)) iterable.push_back(i);
     }
     if (iterable.empty()) {
       // Everything straddling the boundary is converged: membership of the
@@ -160,7 +170,7 @@ Result<TopKOutcome> TopKVao::Evaluate(
   // Refine every selected member to the precision constraint.
   for (const std::size_t i : members) {
     while (objects[i]->bounds().Width() > options_.epsilon &&
-           !objects[i]->AtStoppingCondition()) {
+           !effectively_converged(i)) {
       VAOLIB_RETURN_IF_ERROR(
           iterate(i, &outcome.stats.finalize_iterations));
     }
@@ -178,6 +188,10 @@ Result<TopKOutcome> TopKVao::Evaluate(
   for (const bool t : touched) {
     if (t) ++outcome.stats.objects_touched;
   }
+  for (const StallGuard& guard : stall) {
+    if (guard.stalled()) ++outcome.stats.stalled_objects;
+  }
+  outcome.precision_degraded = outcome.stats.stalled_objects > 0;
   return outcome;
 }
 

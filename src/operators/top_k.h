@@ -33,6 +33,10 @@ struct TopKOutcome {
   /// True when the boundary could not be fully separated within minWidths:
   /// the membership of the last slots is only determined up to ties.
   bool tie = false;
+  /// True when a refinement stall (see OperatorStats::stalled_objects) froze
+  /// some bounds early: the selection is still sound, but winner bounds may
+  /// be wider than epsilon and ties coarser than minWidth would allow.
+  bool precision_degraded = false;
   OperatorStats stats;
 };
 

@@ -1,0 +1,158 @@
+#include "testing/chaos_result_object.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace vaolib::testing {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kLyingEstimates:
+      return "lying-estimates";
+    case FaultKind::kStalledConvergence:
+      return "stalled-convergence";
+    case FaultKind::kNanBounds:
+      return "nan-bounds";
+    case FaultKind::kInfBounds:
+      return "inf-bounds";
+    case FaultKind::kInvertedBounds:
+      return "inverted-bounds";
+    case FaultKind::kIterateFailure:
+      return "iterate-failure";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Draw(FaultKind kind, Rng* rng) {
+  FaultPlan plan;
+  plan.kind = kind;
+  plan.trigger_iteration = static_cast<int>(rng->UniformInt(0, 6));
+  // Log-uniform in [1/16, 16]: covers both "cheaper/tighter than promised"
+  // and wildly optimistic estimates.
+  plan.cost_factor = std::exp2(rng->Uniform(-4.0, 4.0));
+  plan.width_factor = std::exp2(rng->Uniform(-4.0, 4.0));
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  return std::string(FaultKindName(kind)) + "@" +
+         std::to_string(trigger_iteration);
+}
+
+Bounds ChaosResultObject::bounds() const {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (!Armed()) return inner_->bounds();
+  switch (plan_.kind) {
+    case FaultKind::kNanBounds:
+      return Bounds(kNan, kNan);
+    case FaultKind::kInfBounds:
+      return Bounds(-kInf, kInf);
+    case FaultKind::kInvertedBounds: {
+      const Bounds b = inner_->bounds();
+      // Swap endpoints, nudging apart so a degenerate [v, v] still inverts.
+      const double gap = std::max(b.Width(), 1.0);
+      return Bounds(b.Mid() + 0.5 * gap, b.Mid() - 0.5 * gap);
+    }
+    case FaultKind::kStalledConvergence:
+      if (!froze_) {
+        froze_ = true;
+        frozen_bounds_ = inner_->bounds();
+      }
+      return frozen_bounds_;
+    case FaultKind::kNone:
+    case FaultKind::kLyingEstimates:
+    case FaultKind::kIterateFailure:
+      break;
+  }
+  return inner_->bounds();
+}
+
+Status ChaosResultObject::Iterate() {
+  if (Armed() && plan_.kind == FaultKind::kIterateFailure) {
+    ++iterations_;
+    return Status::NumericError("injected Iterate() failure (" +
+                                plan_.ToString() + ")");
+  }
+  if (Armed() && plan_.kind == FaultKind::kStalledConvergence) {
+    // Freeze the visible bounds (if not already) and burn the call without
+    // driving the inner solver: succeeds, but makes no progress.
+    if (!froze_) {
+      froze_ = true;
+      frozen_bounds_ = inner_->bounds();
+    }
+    ++iterations_;
+    return Status::OK();
+  }
+  ++iterations_;
+  return inner_->Iterate();
+}
+
+std::uint64_t ChaosResultObject::est_cost() const {
+  if (plan_.kind == FaultKind::kLyingEstimates) {
+    const double lied =
+        static_cast<double>(inner_->est_cost()) * plan_.cost_factor;
+    return lied < 1.0 ? 1 : static_cast<std::uint64_t>(lied);
+  }
+  return inner_->est_cost();
+}
+
+Bounds ChaosResultObject::est_bounds() const {
+  if (plan_.kind == FaultKind::kLyingEstimates) {
+    const Bounds honest = inner_->est_bounds();
+    return Bounds::Centered(honest.Mid(),
+                            0.5 * honest.Width() * plan_.width_factor);
+  }
+  // Bounds faults leak into the estimate too -- estimates derive from the
+  // same broken state in a real solver.
+  if (Armed() && plan_.kind != FaultKind::kNone) return bounds();
+  return inner_->est_bounds();
+}
+
+std::uint64_t HashArgs(const std::vector<double>& args) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const double arg : args) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(arg), "double must be 64-bit");
+    std::memcpy(&bits, &arg, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001B3ULL;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+ChaosFunction::ChaosFunction(const vao::VariableAccuracyFunction* inner,
+                             const ChaosOptions& options)
+    : inner_(inner),
+      options_(options),
+      name_("chaos(" + inner->name() + ")") {}
+
+FaultPlan ChaosFunction::PlanFor(const std::vector<double>& args) const {
+  if (options_.kinds.empty()) return FaultPlan{};
+  Rng rng(HashArgs(args) ^ options_.seed);
+  if (!rng.Bernoulli(options_.fault_probability)) return FaultPlan{};
+  const auto pick = static_cast<std::size_t>(rng.UniformInt(
+      0, static_cast<std::int64_t>(options_.kinds.size()) - 1));
+  return FaultPlan::Draw(options_.kinds[pick], &rng);
+}
+
+Result<vao::ResultObjectPtr> ChaosFunction::Invoke(
+    const std::vector<double>& args, WorkMeter* meter) const {
+  FaultPlan plan = PlanFor(args);
+  if (plan.kind != FaultKind::kNone && options_.transient) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (invocations_[args]++ > 0) plan = FaultPlan{};
+  }
+  auto inner = inner_->Invoke(args, meter);
+  if (!inner.ok()) return inner.status();
+  return vao::ResultObjectPtr(
+      new ChaosResultObject(std::move(inner).value(), plan));
+}
+
+}  // namespace vaolib::testing

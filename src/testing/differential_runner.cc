@@ -1,0 +1,569 @@
+#include "testing/differential_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+#include "operators/min_max.h"
+#include "operators/sum_ave.h"
+#include "testing/invariant_checker.h"
+#include "testing/oracle.h"
+#include "vao/function_cache.h"
+
+namespace vaolib::testing {
+
+namespace {
+
+/// Derives the query-draw stream for one (seed, variant) pair; independent
+/// of the workload stream so adding variants never reshuffles workloads.
+Rng QueryRng(std::uint64_t seed, const KindVariant& variant) {
+  const auto kind = static_cast<std::uint64_t>(variant.kind);
+  return Rng(seed * 0x9E3779B97F4A7C15ULL + kind * 1315423911ULL +
+             variant.k * 2654435761ULL + 1);
+}
+
+engine::Query Mutate(engine::Query query, Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      break;
+    case Mutation::kFlipComparator:
+      switch (query.cmp) {
+        case operators::Comparator::kGreaterThan:
+          query.cmp = operators::Comparator::kLessEqual;
+          break;
+        case operators::Comparator::kLessEqual:
+          query.cmp = operators::Comparator::kGreaterThan;
+          break;
+        case operators::Comparator::kLessThan:
+          query.cmp = operators::Comparator::kGreaterEqual;
+          break;
+        case operators::Comparator::kGreaterEqual:
+          query.cmp = operators::Comparator::kLessThan;
+          break;
+      }
+      break;
+    case Mutation::kSwapMinMax:
+      if (query.kind == engine::QueryKind::kMax) {
+        query.kind = engine::QueryKind::kMin;
+      } else if (query.kind == engine::QueryKind::kMin) {
+        query.kind = engine::QueryKind::kMax;
+      }
+      break;
+  }
+  return query;
+}
+
+bool ContainsWithSlack(const Bounds& b, double v, double slack) {
+  return v >= b.lo - slack && v <= b.hi + slack;
+}
+
+/// Index set of the k largest (sign=+1) or smallest (sign=-1) true values.
+std::set<std::size_t> TrueTopSet(const std::vector<double>& values,
+                                 std::size_t k, double sign) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sign * values[a] > sign * values[b];
+  });
+  return {order.begin(), order.begin() + std::min(k, order.size())};
+}
+
+/// Differential + soundness check of one extreme answer against the ground
+/// truth. \p sign is +1 for MAX, -1 for MIN.
+std::optional<std::string> CheckExtremeAnswer(
+    std::size_t winner, const Bounds& winner_bounds, bool tie, bool degraded,
+    const std::vector<double>& true_values, double min_width, double sign,
+    double epsilon, const OracleAnswer* oracle) {
+  if (winner >= true_values.size()) return "winner index out of range";
+  const double winner_value = true_values[winner];
+  if (!winner_bounds.Contains(winner_value)) {
+    std::ostringstream os;
+    os << "winner bounds " << winner_bounds << " exclude true value "
+       << winner_value;
+    return os.str();
+  }
+  if (!degraded && winner_bounds.Width() > epsilon + 1e-12) {
+    return "winner bounds wider than epsilon";
+  }
+  double best = sign * true_values[0];
+  for (const double v : true_values) best = std::max(best, sign * v);
+  if (!tie && sign * winner_value < best) {
+    std::ostringstream os;
+    os << "winner row " << winner << " (value " << winner_value
+       << ") is not the extreme (best " << sign * best
+       << ") and no tie was reported";
+    return os.str();
+  }
+  // Even under a reported tie the winner must sit within the mutual
+  // indistinguishability window: two converged objects overlap only when
+  // their values are within the sum of their final widths.
+  if (best - sign * winner_value > 2.0 * min_width + 1e-9) {
+    return "tie-reported winner is further than minWidth from the extreme";
+  }
+  if (oracle != nullptr && !oracle->IsAdmissible(winner)) {
+    return "winner is dominated under the oracle's converged bounds";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckSumAnswer(const Bounds& sum_bounds,
+                                          bool degraded,
+                                          const std::vector<double>& weights,
+                                          const std::vector<double>& values,
+                                          double min_width, double epsilon,
+                                          const OracleAnswer* oracle) {
+  double true_sum = 0.0;
+  double scale = 1.0;
+  double width_floor = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    true_sum += weights[i] * values[i];
+    scale += std::abs(weights[i]) * (std::abs(values[i]) + 1.0);
+    width_floor += std::abs(weights[i]) * min_width;
+  }
+  const double slack = 1e-9 * scale;
+  if (!ContainsWithSlack(sum_bounds, true_sum, slack)) {
+    std::ostringstream os;
+    os << "sum bounds " << sum_bounds << " exclude true weighted sum "
+       << true_sum;
+    return os.str();
+  }
+  if (!degraded &&
+      sum_bounds.Width() > std::max(epsilon, width_floor) + slack) {
+    return "sum bounds wider than both epsilon and the minWidth floor";
+  }
+  if (oracle != nullptr) {
+    // The VAO interval is a weighted sum of per-object bounds that are
+    // nested outside the converged ones, so it must contain the oracle's.
+    if (oracle->aggregate_bounds.lo < sum_bounds.lo - slack ||
+        oracle->aggregate_bounds.hi > sum_bounds.hi + slack) {
+      return "sum bounds do not contain the oracle's converged interval";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DifferentialOptions DifferentialOptions::FromEnv() {
+  return FromEnv(DifferentialOptions{});
+}
+
+DifferentialOptions DifferentialOptions::FromEnv(DifferentialOptions base) {
+  if (const char* seeds = std::getenv("VAOLIB_DIFF_SEEDS")) {
+    const unsigned long long parsed = std::strtoull(seeds, nullptr, 10);
+    if (parsed > 0) base.seeds = static_cast<std::size_t>(parsed);
+  }
+  if (const char* artifact = std::getenv("VAOLIB_DIFF_ARTIFACT")) {
+    base.artifact_path = artifact;
+  }
+  return base;
+}
+
+const char* DifferentialRunner::FamilyOf(engine::QueryKind kind) {
+  switch (kind) {
+    case engine::QueryKind::kSelect:
+    case engine::QueryKind::kSelectRange:
+      return "selection";
+    case engine::QueryKind::kMax:
+    case engine::QueryKind::kMin:
+      return "minmax";
+    case engine::QueryKind::kSum:
+    case engine::QueryKind::kAve:
+      return "sumave";
+    case engine::QueryKind::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct ComboContext {
+  const Workload* workload = nullptr;
+  const engine::Query* query = nullptr;   // unmutated (what the oracle saw)
+  const OracleAnswer* oracle = nullptr;
+};
+
+/// Full differential + invariant check of one tick against the oracle.
+std::optional<std::string> CheckTick(const engine::TickResult& tick,
+                                     const ComboContext& ctx) {
+  const Status accounting = InvariantChecker::CheckTickAccounting(tick);
+  if (!accounting.ok()) return accounting.ToString();
+
+  const Workload& w = *ctx.workload;
+  const engine::Query& query = *ctx.query;
+  const OracleAnswer& oracle = *ctx.oracle;
+  switch (query.kind) {
+    case engine::QueryKind::kSelect:
+    case engine::QueryKind::kSelectRange: {
+      std::vector<std::size_t> expected;
+      for (std::size_t row = 0; row < oracle.passes.size(); ++row) {
+        if (oracle.passes[row]) expected.push_back(row);
+      }
+      if (tick.passing_rows != expected) {
+        std::ostringstream os;
+        os << "passing rows diverge from oracle (got "
+           << tick.passing_rows.size() << " rows, oracle says "
+           << expected.size() << ")";
+        for (std::size_t row = 0; row < oracle.passes.size(); ++row) {
+          const bool got =
+              std::binary_search(tick.passing_rows.begin(),
+                                 tick.passing_rows.end(), row);
+          if (got != oracle.passes[row]) {
+            os << "; first divergence at row " << row << " (vao="
+               << (got ? "pass" : "fail")
+               << " oracle=" << (oracle.passes[row] ? "pass" : "fail")
+               << " true=" << w.true_values[row] << ")";
+            break;
+          }
+        }
+        return os.str();
+      }
+      break;
+    }
+    case engine::QueryKind::kMax:
+    case engine::QueryKind::kMin: {
+      if (!tick.winner_row.has_value()) return "no winner reported";
+      return CheckExtremeAnswer(
+          *tick.winner_row, tick.aggregate_bounds, tick.tie, tick.degraded,
+          w.true_values, w.min_width,
+          query.kind == engine::QueryKind::kMax ? 1.0 : -1.0, query.epsilon,
+          &oracle);
+    }
+    case engine::QueryKind::kTopK: {
+      if (tick.top_rows.size() != query.k) {
+        return "top-k returned " + std::to_string(tick.top_rows.size()) +
+               " rows, expected " + std::to_string(query.k);
+      }
+      const std::set<std::size_t> winners(tick.top_rows.begin(),
+                                          tick.top_rows.end());
+      if (winners.size() != query.k) return "top-k returned duplicate rows";
+      for (const std::size_t row : winners) {
+        if (!oracle.IsAdmissible(row)) {
+          return "top-k selected row " + std::to_string(row) +
+                 ", dominated under the oracle's converged bounds";
+        }
+      }
+      for (const std::size_t row : oracle.required) {
+        if (winners.count(row) == 0) {
+          return "top-k missed row " + std::to_string(row) +
+                 ", required under the oracle's converged bounds";
+        }
+      }
+      if (!tick.tie) {
+        const std::set<std::size_t> truth =
+            TrueTopSet(w.true_values, query.k, 1.0);
+        if (winners != truth && !tick.degraded) {
+          return "top-k set diverges from the true top-k with no tie "
+                 "reported";
+        }
+      }
+      for (std::size_t i = 0; i < tick.top_rows.size(); ++i) {
+        if (!tick.top_bounds[i].Contains(w.true_values[tick.top_rows[i]])) {
+          return "top-k bounds exclude the true value of row " +
+                 std::to_string(tick.top_rows[i]);
+        }
+        if (!tick.degraded &&
+            tick.top_bounds[i].Width() > query.epsilon + 1e-12) {
+          return "top-k member bounds wider than epsilon";
+        }
+      }
+      break;
+    }
+    case engine::QueryKind::kSum:
+    case engine::QueryKind::kAve: {
+      auto weights = OracleExecutor::ResolveWeights(query, w.relation);
+      if (!weights.ok()) return weights.status().ToString();
+      return CheckSumAnswer(tick.aggregate_bounds, tick.degraded,
+                            weights.value(), w.true_values, w.min_width,
+                            query.epsilon, &oracle);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Runs one cold tick of \p query (already mutated if requested) at the
+/// given thread count, optionally behind a fresh CachingFunction.
+Result<engine::TickResult> ExecuteOnce(const Workload& workload,
+                                       engine::Query query, int threads,
+                                       bool cache,
+                                       engine::TickResult* warm_tick) {
+  std::unique_ptr<vao::CachingFunction> caching;
+  if (cache) {
+    caching = std::make_unique<vao::CachingFunction>(query.function);
+    query.function = caching.get();
+  }
+  VAOLIB_ASSIGN_OR_RETURN(
+      auto executor,
+      engine::CqExecutor::Create(&workload.relation, engine::Schema{}, query,
+                                 engine::ExecutionMode::kVao, threads));
+  VAOLIB_ASSIGN_OR_RETURN(engine::TickResult tick, executor->ProcessTick({}));
+  if (warm_tick != nullptr) {
+    // Second tick on the same executor: with a cache it re-serves the bounds
+    // already paid for; without one it must simply reproduce the answer.
+    VAOLIB_ASSIGN_OR_RETURN(*warm_tick, executor->ProcessTick({}));
+  }
+  return tick;
+}
+
+}  // namespace
+
+Result<std::optional<std::string>> DifferentialRunner::RunOne(
+    std::uint64_t seed, const KindVariant& variant, std::size_t rows,
+    int threads, bool cache) {
+  WorkloadSpec spec;
+  spec.rows = rows;
+  const Workload workload = MakeWorkload(spec, seed);
+  Rng rng = QueryRng(seed, variant);
+  const engine::Query query =
+      MakeQuery(workload, variant.kind, variant.k, &rng);
+  const OracleExecutor oracle_executor(workload.function.get());
+  VAOLIB_ASSIGN_OR_RETURN(const OracleAnswer oracle,
+                          oracle_executor.Answer(query, workload.relation));
+  VAOLIB_ASSIGN_OR_RETURN(
+      const engine::TickResult tick,
+      ExecuteOnce(workload, Mutate(query, options_.mutation), threads, cache,
+                  nullptr));
+  const ComboContext ctx{&workload, &query, &oracle};
+  return CheckTick(tick, ctx);
+}
+
+Status DifferentialRunner::RecordFailure(std::uint64_t seed,
+                                         const KindVariant& variant,
+                                         int threads, bool cache,
+                                         std::string detail,
+                                         DifferentialSummary* summary) {
+  DifferentialFailure failure;
+  failure.seed = seed;
+  failure.variant = variant;
+  failure.rows = options_.rows;
+  failure.threads = threads;
+  failure.cache = cache;
+  failure.detail = std::move(detail);
+
+  if (options_.shrink) {
+    // Halve the workload while the mismatch persists; the smallest failing
+    // relation is the one worth staring at.
+    std::size_t rows = failure.rows;
+    while (rows > 2) {
+      const std::size_t smaller = rows / 2;
+      auto rerun = RunOne(seed, variant, smaller, threads, cache);
+      if (!rerun.ok() || !rerun.value().has_value()) break;
+      rows = smaller;
+      failure.detail = *rerun.value();
+    }
+    failure.rows = rows;
+  }
+
+  // Rebuild the shrunk query purely for the repro line.
+  WorkloadSpec spec;
+  spec.rows = failure.rows;
+  const Workload workload = MakeWorkload(spec, seed);
+  Rng rng = QueryRng(seed, variant);
+  const engine::Query query =
+      MakeQuery(workload, variant.kind, variant.k, &rng);
+  std::ostringstream repro;
+  repro << "repro: seed=" << seed << " rows=" << failure.rows
+        << " threads=" << threads << " cache=" << (cache ? 1 : 0) << " k="
+        << variant.k << " query=\"" << engine::FormatQuery(query, "synth")
+        << "\"";
+  failure.repro = repro.str();
+
+  if (!options_.artifact_path.empty()) {
+    std::ofstream artifact(options_.artifact_path, std::ios::app);
+    artifact << failure.repro << " detail=\"" << failure.detail << "\"\n";
+  }
+  summary->failures.push_back(std::move(failure));
+  return Status::OK();
+}
+
+Status DifferentialRunner::RunVariant(std::uint64_t seed,
+                                      const KindVariant& variant,
+                                      DifferentialSummary* summary) {
+  WorkloadSpec spec;
+  spec.rows = options_.rows;
+  const Workload workload = MakeWorkload(spec, seed);
+  Rng rng = QueryRng(seed, variant);
+  const engine::Query query =
+      MakeQuery(workload, variant.kind, variant.k, &rng);
+  const engine::Query mutated = Mutate(query, options_.mutation);
+  const OracleExecutor oracle_executor(workload.function.get());
+  VAOLIB_ASSIGN_OR_RETURN(const OracleAnswer oracle,
+                          oracle_executor.Answer(query, workload.relation));
+  const ComboContext ctx{&workload, &query, &oracle};
+  const char* family = FamilyOf(variant.kind);
+  const bool is_selection = variant.kind == engine::QueryKind::kSelect ||
+                            variant.kind == engine::QueryKind::kSelectRange;
+
+  for (const bool cache : options_.cache_modes) {
+    std::vector<std::pair<int, engine::TickResult>> ticks;
+    for (const int threads : options_.thread_counts) {
+      engine::TickResult warm;
+      const bool want_warm = cache && threads == options_.thread_counts.back();
+      auto executed = ExecuteOnce(workload, mutated, threads, cache,
+                                  want_warm ? &warm : nullptr);
+      VAOLIB_RETURN_IF_ERROR(executed.status());
+      const engine::TickResult tick = std::move(executed).value();
+      ++summary->combos;
+      ++summary->combos_by_family[family];
+      if (auto detail = CheckTick(tick, ctx)) {
+        VAOLIB_RETURN_IF_ERROR(RecordFailure(seed, variant, threads, cache,
+                                             *detail, summary));
+        continue;
+      }
+      ticks.emplace_back(threads, tick);
+      if (want_warm) {
+        ++summary->combos;
+        ++summary->combos_by_family[family];
+        if (auto detail = CheckTick(warm, ctx)) {
+          VAOLIB_RETURN_IF_ERROR(RecordFailure(
+              seed, variant, threads, cache,
+              "warm-cache tick: " + *detail, summary));
+        }
+      }
+    }
+    // Determinism: selections must match at every thread count (the batch
+    // path's contract); aggregates must match across parallel thread counts
+    // (the coarse phase depends on coarse_width, never on worker count).
+    for (std::size_t i = 1; i < ticks.size(); ++i) {
+      const bool comparable =
+          is_selection || (ticks[i - 1].first > 1 && ticks[i].first > 1);
+      if (!comparable) continue;
+      const Status equal = InvariantChecker::CheckTicksEqual(
+          ticks[i - 1].second, ticks[i].second, /*require_equal_work=*/true);
+      if (!equal.ok()) {
+        VAOLIB_RETURN_IF_ERROR(RecordFailure(
+            seed, variant, ticks[i].first, cache,
+            "thread count " + std::to_string(ticks[i - 1].first) + " vs " +
+                std::to_string(ticks[i].first) + ": " + equal.ToString(),
+            summary));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
+                                            DifferentialSummary* summary) {
+  WorkloadSpec spec;
+  spec.rows = options_.rows;
+  const Workload workload = MakeWorkload(spec, seed);
+  const double epsilon = workload.min_width * 20.0;
+  WorkMeter meter;
+
+  auto make_objects = [&]() -> Result<std::vector<vao::ResultObjectPtr>> {
+    std::vector<vao::ResultObjectPtr> owned;
+    owned.reserve(workload.relation.size());
+    for (std::size_t row = 0; row < workload.relation.size(); ++row) {
+      VAOLIB_ASSIGN_OR_RETURN(
+          vao::ResultObjectPtr object,
+          workload.function->Invoke({static_cast<double>(row)}, &meter));
+      owned.push_back(std::move(object));
+    }
+    return owned;
+  };
+  auto raw = [](const std::vector<vao::ResultObjectPtr>& owned) {
+    std::vector<vao::ResultObject*> objects;
+    objects.reserve(owned.size());
+    for (const auto& object : owned) objects.push_back(object.get());
+    return objects;
+  };
+
+  for (const operators::ExtremeKind kind :
+       {operators::ExtremeKind::kMax, operators::ExtremeKind::kMin}) {
+    for (const operators::IterationStrategy strategy : options_.strategies) {
+      VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
+      Rng strategy_rng(seed ^ 0xA5A5A5A5ULL);
+      operators::MinMaxOptions options;
+      const bool swap = options_.mutation == Mutation::kSwapMinMax;
+      options.kind = swap ? (kind == operators::ExtremeKind::kMax
+                                 ? operators::ExtremeKind::kMin
+                                 : operators::ExtremeKind::kMax)
+                          : kind;
+      options.epsilon = epsilon;
+      options.strategy = strategy;
+      options.rng = &strategy_rng;
+      const operators::MinMaxVao vao(options);
+      VAOLIB_ASSIGN_OR_RETURN(const operators::MinMaxOutcome outcome,
+                              vao.Evaluate(raw(owned)));
+      ++summary->combos;
+      ++summary->combos_by_family["minmax"];
+      if (auto detail = CheckExtremeAnswer(
+              outcome.winner_index, outcome.winner_bounds, outcome.tie,
+              outcome.precision_degraded, workload.true_values,
+              workload.min_width,
+              kind == operators::ExtremeKind::kMax ? 1.0 : -1.0, epsilon,
+              nullptr)) {
+        const KindVariant variant{kind == operators::ExtremeKind::kMax
+                                      ? engine::QueryKind::kMax
+                                      : engine::QueryKind::kMin,
+                                  1};
+        VAOLIB_RETURN_IF_ERROR(RecordFailure(
+            seed, variant, 1, false,
+            "strategy sweep (" + std::to_string(static_cast<int>(strategy)) +
+                "): " + *detail,
+            summary));
+      }
+    }
+  }
+
+  struct SumVariant {
+    operators::IterationStrategy strategy;
+    bool heap;
+  };
+  std::vector<SumVariant> sum_variants;
+  for (const operators::IterationStrategy strategy : options_.strategies) {
+    sum_variants.push_back({strategy, false});
+  }
+  sum_variants.push_back({operators::IterationStrategy::kGreedy, true});
+  for (const SumVariant& sum_variant : sum_variants) {
+    VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
+    Rng strategy_rng(seed ^ 0x5A5A5A5AULL);
+    operators::SumAveOptions options;
+    options.epsilon = epsilon;
+    options.strategy = sum_variant.strategy;
+    options.use_heap_index = sum_variant.heap;
+    options.rng = &strategy_rng;
+    const operators::SumAveVao vao(options);
+    VAOLIB_ASSIGN_OR_RETURN(const operators::SumOutcome outcome,
+                            vao.Evaluate(raw(owned), workload.weights));
+    ++summary->combos;
+    ++summary->combos_by_family["sumave"];
+    if (auto detail = CheckSumAnswer(outcome.sum_bounds,
+                                     outcome.stats.stalled_objects > 0,
+                                     workload.weights, workload.true_values,
+                                     workload.min_width, epsilon, nullptr)) {
+      VAOLIB_RETURN_IF_ERROR(RecordFailure(
+          seed, {engine::QueryKind::kSum, 1}, 1, false,
+          "strategy sweep (heap=" + std::to_string(sum_variant.heap) +
+              "): " + *detail,
+          summary));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DifferentialSummary> DifferentialRunner::RunAll() {
+  DifferentialSummary summary;
+  for (std::size_t i = 0; i < options_.seeds; ++i) {
+    const std::uint64_t seed = options_.base_seed + i;
+    for (const KindVariant& variant : options_.kinds) {
+      VAOLIB_RETURN_IF_ERROR(RunVariant(seed, variant, &summary));
+      if (summary.failures.size() >= options_.max_failures) return summary;
+    }
+    if (!options_.strategies.empty()) {
+      VAOLIB_RETURN_IF_ERROR(RunStrategySweep(seed, &summary));
+      if (summary.failures.size() >= options_.max_failures) return summary;
+    }
+  }
+  return summary;
+}
+
+}  // namespace vaolib::testing

@@ -1,0 +1,145 @@
+// Copyright 2026 The vaolib Authors.
+// DifferentialRunner: drives thousands of seeded workloads through the VAO
+// engine across query kinds x thread counts x cache on/off (plus a direct
+// iteration-strategy sweep over the aggregate operators), checks every
+// answer against the OracleExecutor and the workloads' known true values,
+// validates the InvariantChecker properties on each tick, and shrinks any
+// failure to a minimal (seed, rows) repro it can print.
+//
+// Replay workflow: every failure is fully determined by
+// (seed, kind, k, rows, threads, cache) -- rebuild the workload from the
+// seed and re-run the one combo via RunOne(). Environment knobs:
+//   VAOLIB_DIFF_SEEDS     overrides DifferentialOptions::seeds
+//   VAOLIB_DIFF_ARTIFACT  file to append failing-combo repro lines to
+
+#ifndef VAOLIB_TESTING_DIFFERENTIAL_RUNNER_H_
+#define VAOLIB_TESTING_DIFFERENTIAL_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "testing/workload_gen.h"
+
+namespace vaolib::testing {
+
+/// \brief Deliberate defects the runner can plant in the system under test,
+/// to prove the harness catches them. The oracle always sees the unmutated
+/// query; the engine sees the mutated one.
+enum class Mutation {
+  kNone,
+  kFlipComparator,  ///< selection: > <-> <=, < <-> >= (broken comparison)
+  kSwapMinMax,      ///< extreme aggregates: MAX answered as MIN
+};
+
+/// \brief One query-kind variant in the sweep (k matters only for kTopK).
+struct KindVariant {
+  engine::QueryKind kind = engine::QueryKind::kSelect;
+  std::size_t k = 1;
+};
+
+/// \brief Runner configuration. Defaults give >= 2000 combos per operator
+/// family (selection, min/max, sum/ave, top-k) at 250 seeds.
+struct DifferentialOptions {
+  std::size_t seeds = 250;
+  std::uint64_t base_seed = 0x0D1FF5EEDULL;
+  std::size_t rows = 14;
+  std::vector<int> thread_counts = {1, 3};
+  std::vector<bool> cache_modes = {false, true};
+  std::vector<KindVariant> kinds = {
+      {engine::QueryKind::kSelect, 1}, {engine::QueryKind::kSelectRange, 1},
+      {engine::QueryKind::kMax, 1},    {engine::QueryKind::kMin, 1},
+      {engine::QueryKind::kSum, 1},    {engine::QueryKind::kAve, 1},
+      {engine::QueryKind::kTopK, 1},   {engine::QueryKind::kTopK, 3},
+  };
+  /// Direct MinMaxVao/SumAveVao sweep over these strategies (the executor
+  /// path always runs the paper's greedy strategy).
+  std::vector<operators::IterationStrategy> strategies = {
+      operators::IterationStrategy::kGreedy,
+      operators::IterationStrategy::kRoundRobin,
+      operators::IterationStrategy::kRandom,
+  };
+  Mutation mutation = Mutation::kNone;
+  /// Stop after this many failures (each one shrinks, which re-runs combos).
+  std::size_t max_failures = 8;
+  bool shrink = true;
+  /// Failing-combo repro lines are appended here when non-empty.
+  std::string artifact_path;
+
+  /// Applies VAOLIB_DIFF_SEEDS / VAOLIB_DIFF_ARTIFACT over \p base (or over
+  /// the defaults, in the zero-argument form).
+  static DifferentialOptions FromEnv(DifferentialOptions base);
+  static DifferentialOptions FromEnv();
+};
+
+/// \brief A mismatch, shrunk to the smallest failing workload.
+struct DifferentialFailure {
+  std::uint64_t seed = 0;
+  KindVariant variant;
+  std::size_t rows = 0;
+  int threads = 1;
+  bool cache = false;
+  std::string detail;  ///< what diverged from the oracle
+  std::string repro;   ///< one-line replay recipe incl. the query text
+};
+
+/// \brief Aggregate result of a RunAll() sweep.
+struct DifferentialSummary {
+  std::uint64_t combos = 0;
+  /// Combos checked per operator family: "selection", "minmax", "sumave",
+  /// "topk".
+  std::map<std::string, std::uint64_t> combos_by_family;
+  std::vector<DifferentialFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// \brief The differential sweep driver.
+class DifferentialRunner {
+ public:
+  explicit DifferentialRunner(const DifferentialOptions& options)
+      : options_(options) {}
+
+  /// Runs the full sweep. A non-OK status means the harness itself broke
+  /// (oracle failure, executor construction error); answer mismatches are
+  /// reported in the summary, not as a status.
+  Result<DifferentialSummary> RunAll();
+
+  /// Re-checks one combo; returns the mismatch description, or nullopt when
+  /// the combo passes. This is the replay entry point for failing seeds.
+  Result<std::optional<std::string>> RunOne(std::uint64_t seed,
+                                            const KindVariant& variant,
+                                            std::size_t rows, int threads,
+                                            bool cache);
+
+  const DifferentialOptions& options() const { return options_; }
+
+  /// Operator family of \p kind ("selection", "minmax", "sumave", "topk").
+  static const char* FamilyOf(engine::QueryKind kind);
+
+ private:
+  /// Checks every thread x cache combo of one (seed, variant) pair against
+  /// a shared oracle answer, including cross-thread determinism, and
+  /// appends mismatches to \p summary (shrinking them first).
+  Status RunVariant(std::uint64_t seed, const KindVariant& variant,
+                    DifferentialSummary* summary);
+
+  /// Direct MinMaxVao/SumAveVao strategy sweep for one seed.
+  Status RunStrategySweep(std::uint64_t seed, DifferentialSummary* summary);
+
+  /// Shrinks a failing combo by halving the row count while the mismatch
+  /// persists, then records it.
+  Status RecordFailure(std::uint64_t seed, const KindVariant& variant,
+                       int threads, bool cache, std::string detail,
+                       DifferentialSummary* summary);
+
+  DifferentialOptions options_;
+};
+
+}  // namespace vaolib::testing
+
+#endif  // VAOLIB_TESTING_DIFFERENTIAL_RUNNER_H_

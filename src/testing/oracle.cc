@@ -1,0 +1,195 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "operators/operator_base.h"
+#include "operators/sum_ave.h"
+#include "vao/black_box.h"
+
+namespace vaolib::testing {
+
+namespace {
+
+/// Resolves the query's argument bindings for \p row (relation fields and
+/// constants only; the oracle has no stream tuple).
+Result<std::vector<double>> BuildRowArgs(const engine::Query& query,
+                                         const engine::Relation& relation,
+                                         std::size_t row) {
+  std::vector<double> args;
+  args.reserve(query.args.size());
+  for (const engine::ArgRef& ref : query.args) {
+    switch (ref.source) {
+      case engine::ArgRef::Source::kConstant:
+        args.push_back(ref.constant);
+        break;
+      case engine::ArgRef::Source::kRelationField: {
+        VAOLIB_ASSIGN_OR_RETURN(const std::size_t col,
+                                relation.schema().IndexOf(ref.field));
+        VAOLIB_ASSIGN_OR_RETURN(const engine::Value cell,
+                                relation.At(row, col));
+        VAOLIB_ASSIGN_OR_RETURN(const double v, cell.AsDouble());
+        args.push_back(v);
+        break;
+      }
+      case engine::ArgRef::Source::kStreamField:
+        return Status::Unimplemented(
+            "oracle does not resolve stream-field bindings");
+    }
+  }
+  return args;
+}
+
+void DecideSelect(const engine::Query& query, OracleAnswer* answer) {
+  for (const Bounds& b : answer->converged) {
+    if (!b.Contains(query.constant)) {
+      answer->passes.push_back(
+          operators::CompareExact(b.Mid(), query.cmp, query.constant));
+      answer->resolved_as_equal.push_back(false);
+    } else {
+      // Converged straddling the constant: the minWidth equality rule.
+      answer->passes.push_back(
+          operators::CompareExact(query.constant, query.cmp, query.constant));
+      answer->resolved_as_equal.push_back(true);
+    }
+  }
+}
+
+void DecideRange(const engine::Query& query, OracleAnswer* answer) {
+  const Bounds range(query.range_lo, query.range_hi);
+  for (const Bounds& b : answer->converged) {
+    if (!b.Contains(range.lo) && !b.Contains(range.hi)) {
+      answer->passes.push_back(range.Contains(b.Mid()));
+      answer->resolved_as_equal.push_back(false);
+    } else {
+      // Converged on an endpoint: inclusive ranges pass, exclusive fail.
+      answer->passes.push_back(query.range_inclusive);
+      answer->resolved_as_equal.push_back(true);
+    }
+  }
+}
+
+/// Fills best/admissible/required for a k-extreme query. Works in "maximize"
+/// space: \p sign is +1 for kMax/kTopK and -1 for kMin.
+void DecideExtreme(double sign, std::size_t k, OracleAnswer* answer) {
+  const std::size_t n = answer->converged.size();
+  auto lo = [&](std::size_t i) {
+    const Bounds& b = answer->converged[i];
+    return sign > 0 ? b.lo : -b.hi;
+  };
+  auto hi = [&](std::size_t i) {
+    const Bounds& b = answer->converged[i];
+    return sign > 0 ? b.hi : -b.lo;
+  };
+  answer->best_row = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (lo(i) + hi(i) > lo(answer->best_row) + hi(answer->best_row)) {
+      answer->best_row = i;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t dominated_by = 0;  // rivals strictly above row i
+    std::size_t dominates = 0;     // rivals strictly below row i
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (lo(j) > hi(i)) ++dominated_by;
+      if (lo(i) > hi(j)) ++dominates;
+    }
+    if (dominated_by < k) answer->admissible.push_back(i);
+    if (dominates >= n - k) answer->required.push_back(i);
+  }
+}
+
+}  // namespace
+
+bool OracleAnswer::IsAdmissible(std::size_t row) const {
+  return std::find(admissible.begin(), admissible.end(), row) !=
+         admissible.end();
+}
+
+bool OracleAnswer::IsRequired(std::size_t row) const {
+  return std::find(required.begin(), required.end(), row) != required.end();
+}
+
+Result<std::vector<double>> OracleExecutor::ResolveWeights(
+    const engine::Query& query, const engine::Relation& relation) {
+  const std::size_t n = relation.size();
+  if (query.weight_column.has_value()) {
+    return relation.NumericColumn(*query.weight_column);
+  }
+  if (query.kind == engine::QueryKind::kAve) {
+    return operators::AveWeights(n);
+  }
+  return operators::SumWeights(n);
+}
+
+Result<OracleAnswer> OracleExecutor::Answer(const engine::Query& query,
+                                            const engine::Relation& relation,
+                                            std::uint64_t budget) const {
+  if (relation.size() == 0) {
+    return Status::FailedPrecondition("oracle needs a non-empty relation");
+  }
+  OracleAnswer answer;
+  answer.kind = query.kind;
+  answer.converged.reserve(relation.size());
+
+  // The black-box pass: one fresh object per row, converged to minWidth.
+  // Work is charged to a scratch meter; the oracle's cost is not the
+  // subject under test.
+  WorkMeter scratch;
+  for (std::size_t row = 0; row < relation.size(); ++row) {
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                            BuildRowArgs(query, relation, row));
+    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object,
+                            function_->Invoke(args, &scratch));
+    const auto converged = vao::ConvergeToMinWidth(object.get(), budget);
+    if (!converged.ok()) {
+      return converged.status().WithContext("oracle row " +
+                                            std::to_string(row));
+    }
+    const Bounds b = object->bounds();
+    if (!b.IsValid()) {
+      return Status::NumericError("oracle row " + std::to_string(row) +
+                                  " converged to malformed bounds");
+    }
+    answer.converged.push_back(b);
+  }
+
+  switch (query.kind) {
+    case engine::QueryKind::kSelect:
+      DecideSelect(query, &answer);
+      break;
+    case engine::QueryKind::kSelectRange:
+      DecideRange(query, &answer);
+      break;
+    case engine::QueryKind::kMax:
+    case engine::QueryKind::kMin:
+      DecideExtreme(query.kind == engine::QueryKind::kMax ? 1.0 : -1.0, 1,
+                    &answer);
+      answer.aggregate_bounds = answer.converged[answer.best_row];
+      break;
+    case engine::QueryKind::kTopK:
+      DecideExtreme(1.0, query.k, &answer);
+      answer.aggregate_bounds = answer.converged[answer.best_row];
+      break;
+    case engine::QueryKind::kSum:
+    case engine::QueryKind::kAve: {
+      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> weights,
+                              ResolveWeights(query, relation));
+      if (weights.size() != answer.converged.size()) {
+        return Status::InvalidArgument("weight column length mismatch");
+      }
+      double lo = 0.0;
+      double hi = 0.0;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        lo += weights[i] * answer.converged[i].lo;
+        hi += weights[i] * answer.converged[i].hi;
+      }
+      answer.aggregate_bounds = Bounds(lo, hi);
+      break;
+    }
+  }
+  return answer;
+}
+
+}  // namespace vaolib::testing

@@ -1,0 +1,101 @@
+// Copyright 2026 The vaolib Authors.
+// OracleExecutor: the reference answer for differential testing.
+//
+// The oracle answers a query the way a traditional system would -- converge
+// every row's result object all the way to minWidth (the black-box path) --
+// and then decides from the fully converged bounds, applying the SAME
+// minWidth equality rules the VAOs use:
+//
+//   * selection      converged bounds exclude the constant -> decide by
+//                    side; still straddling -> "equal" (strict comparisons
+//                    false, non-strict true);
+//   * BETWEEN        bounds contain neither endpoint -> inside/outside by
+//                    midpoint; straddling an endpoint -> inclusive passes,
+//                    exclusive fails;
+//   * MIN/MAX/TOP-K  rows are *admissible* unless strictly dominated by
+//                    enough rivals' converged bounds, and *required* when
+//                    they strictly dominate enough rivals -- the answer set
+//                    a sound adaptive operator may/must return;
+//   * SUM/AVE        the weighted interval over converged bounds, which any
+//                    sound VAO interval must contain.
+//
+// Because honest result objects refine by nesting (each Iterate() keeps the
+// new bounds inside the old), a VAO that decides early from wide bounds and
+// the oracle deciding late from converged bounds reach the same conclusion;
+// any divergence is a soundness bug in an operator or solver.
+
+#ifndef VAOLIB_TESTING_ORACLE_H_
+#define VAOLIB_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bounds.h"
+#include "common/result.h"
+#include "engine/query.h"
+#include "engine/relation.h"
+#include "vao/result_object.h"
+
+namespace vaolib::testing {
+
+/// \brief The oracle's reference answer for one query over one relation.
+struct OracleAnswer {
+  engine::QueryKind kind = engine::QueryKind::kSelect;
+
+  /// Per-row bounds converged to minWidth (the black-box evaluation).
+  std::vector<Bounds> converged;
+
+  /// \name kSelect / kSelectRange
+  /// @{
+  std::vector<bool> passes;
+  std::vector<bool> resolved_as_equal;  ///< decided by the minWidth rule
+  /// @}
+
+  /// \name kMax / kMin / kTopK
+  /// @{
+  /// Best row by converged midpoint (ties broken by lowest index).
+  std::size_t best_row = 0;
+  /// Rows a sound answer MAY select (not strictly dominated by k rivals).
+  std::vector<std::size_t> admissible;
+  /// Rows every sound answer MUST select (strictly dominate n-k rivals).
+  std::vector<std::size_t> required;
+  /// @}
+
+  /// kMax/kMin: best row's converged bounds. kSum/kAve: the weighted
+  /// interval [sum w*L, sum w*H] over converged bounds.
+  Bounds aggregate_bounds;
+
+  bool IsAdmissible(std::size_t row) const;
+  bool IsRequired(std::size_t row) const;
+};
+
+/// \brief Answers queries through full convergence for differential checks.
+class OracleExecutor {
+ public:
+  /// \p function is the PRISTINE function (no chaos or caching wrappers);
+  /// borrowed, must outlive the oracle.
+  explicit OracleExecutor(const vao::VariableAccuracyFunction* function)
+      : function_(function) {}
+
+  /// Answers \p query over \p relation. Only relation-field and constant
+  /// argument bindings are supported (the oracle has no stream).
+  ///
+  /// \p budget caps the Iterate() calls spent converging any single row;
+  /// a stalled or budget-blown row surfaces as ResourceExhausted rather
+  /// than a hang (the oracle is as guarded as the paths it checks).
+  Result<OracleAnswer> Answer(const engine::Query& query,
+                              const engine::Relation& relation,
+                              std::uint64_t budget = 1'000'000) const;
+
+  /// The weights Answer() used for kSum/kAve (mirrors the engine's
+  /// resolution: weight column when named, else 1 / 1/N).
+  static Result<std::vector<double>> ResolveWeights(
+      const engine::Query& query, const engine::Relation& relation);
+
+ private:
+  const vao::VariableAccuracyFunction* function_;
+};
+
+}  // namespace vaolib::testing
+
+#endif  // VAOLIB_TESTING_ORACLE_H_

@@ -1,0 +1,132 @@
+#include "testing/workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "workload/hot_cold.h"
+#include "workload/selectivity.h"
+
+namespace vaolib::testing {
+
+Result<vao::ResultObjectPtr> SyntheticTableFunction::Invoke(
+    const std::vector<double>& args, WorkMeter* meter) const {
+  if (args.size() != 1) {
+    return Status::InvalidArgument("synthetic table function expects 1 arg");
+  }
+  const double id = args[0];
+  if (!(id >= 0.0) || id != std::floor(id) ||
+      id >= static_cast<double>(configs_.size())) {
+    return Status::InvalidArgument("row id " + std::to_string(id) +
+                                   " outside the synthetic table");
+  }
+  vao::SyntheticResultObject::Config config =
+      configs_[static_cast<std::size_t>(id)];
+  config.meter = meter;
+  return vao::ResultObjectPtr(new vao::SyntheticResultObject(config));
+}
+
+Workload MakeWorkload(const WorkloadSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<vao::SyntheticResultObject::Config> configs;
+  std::vector<double> true_values;
+  configs.reserve(spec.rows);
+  true_values.reserve(spec.rows);
+  for (std::size_t row = 0; row < spec.rows; ++row) {
+    vao::SyntheticResultObject::Config config;
+    config.true_value = rng.Uniform(spec.value_lo, spec.value_hi);
+    config.initial_half_width =
+        rng.Uniform(spec.initial_half_width_lo, spec.initial_half_width_hi);
+    config.shrink = rng.Uniform(spec.shrink_lo, spec.shrink_hi);
+    config.skew = rng.NextDouble();
+    config.min_width = spec.min_width;
+    config.cost_per_iteration =
+        static_cast<std::uint64_t>(rng.UniformInt(1, 8));
+    config.cost_growth = rng.Uniform(1.0, 2.0);
+    true_values.push_back(config.true_value);
+    configs.push_back(config);
+  }
+
+  workload::HotColdSpec hot_cold;
+  hot_cold.count = spec.rows;
+  hot_cold.hot_fraction = spec.hot_fraction;
+  hot_cold.hot_weight_share = spec.hot_weight_share;
+  hot_cold.total_weight = static_cast<double>(spec.rows);
+  std::vector<double> weights =
+      workload::HotColdWeights(hot_cold, &rng).ValueOrDie();
+
+  engine::Schema schema({{"id", engine::ColumnType::kDouble},
+                         {"weight", engine::ColumnType::kDouble}});
+  Workload workload{nullptr, engine::Relation(std::move(schema)),
+                    std::move(true_values), std::move(weights),
+                    spec.min_width};
+  for (std::size_t row = 0; row < spec.rows; ++row) {
+    const Status appended =
+        workload.relation.Append({static_cast<double>(row),
+                                  workload.weights[row]});
+    if (!appended.ok()) internal::DieOnError(appended, "Relation::Append");
+  }
+  workload.function =
+      std::make_unique<SyntheticTableFunction>(std::move(configs));
+  return workload;
+}
+
+engine::Query MakeQuery(const Workload& workload, engine::QueryKind kind,
+                        std::size_t k, Rng* rng) {
+  engine::Query query;
+  query.kind = kind;
+  query.function = workload.function.get();
+  query.args = {engine::ArgRef::RelationField("id")};
+  query.epsilon = workload.min_width * rng->Uniform(1.0, 40.0);
+  query.k = std::max<std::size_t>(1, std::min(k, workload.relation.size()));
+
+  // A threshold at a requested selectivity; once in a while sit it right on
+  // (or within minWidth of) a true value to stress the equal-rule boundary.
+  auto draw_constant = [&]() {
+    const double selectivity = rng->NextDouble();
+    double c = workload::ConstantForGreaterSelectivity(workload.true_values,
+                                                       selectivity)
+                   .ValueOrDie();
+    if (rng->Bernoulli(0.25)) {
+      const auto pick = static_cast<std::size_t>(rng->UniformInt(
+          0, static_cast<std::int64_t>(workload.true_values.size()) - 1));
+      c = workload.true_values[pick] +
+          rng->Uniform(-workload.min_width, workload.min_width);
+    }
+    return c;
+  };
+
+  switch (kind) {
+    case engine::QueryKind::kSelect: {
+      const operators::Comparator comparators[] = {
+          operators::Comparator::kGreaterThan,
+          operators::Comparator::kGreaterEqual,
+          operators::Comparator::kLessThan,
+          operators::Comparator::kLessEqual,
+      };
+      query.cmp = comparators[rng->UniformInt(0, 3)];
+      query.constant = draw_constant();
+      break;
+    }
+    case engine::QueryKind::kSelectRange: {
+      double a = draw_constant();
+      double b = draw_constant();
+      if (b < a) std::swap(a, b);
+      query.range_lo = a;
+      query.range_hi = b;
+      query.range_inclusive = true;  // the surface grammar's BETWEEN
+      break;
+    }
+    case engine::QueryKind::kSum:
+      if (rng->Bernoulli(0.5)) query.weight_column = "weight";
+      break;
+    case engine::QueryKind::kMax:
+    case engine::QueryKind::kMin:
+    case engine::QueryKind::kAve:
+    case engine::QueryKind::kTopK:
+      break;
+  }
+  return query;
+}
+
+}  // namespace vaolib::testing

@@ -1,17 +1,29 @@
 #include "vao/black_box.h"
 
 #include "common/macros.h"
+#include "common/stall_guard.h"
 
 namespace vaolib::vao {
 
-Result<int> ConvergeToMinWidth(ResultObject* object) {
+Result<int> ConvergeToMinWidth(ResultObject* object,
+                               std::uint64_t max_iterations) {
   if (object == nullptr) {
     return Status::InvalidArgument("null result object");
   }
   int steps = 0;
+  StallGuard guard;
   while (!object->AtStoppingCondition()) {
+    if (static_cast<std::uint64_t>(steps) >= max_iterations) {
+      return Status::ResourceExhausted(
+          "ConvergeToMinWidth exceeded its iteration budget");
+    }
     VAOLIB_RETURN_IF_ERROR(object->Iterate());
     ++steps;
+    if (guard.Observe(object->bounds().Width())) {
+      return Status::ResourceExhausted(
+          "ConvergeToMinWidth stalled: bounds stopped tightening above "
+          "minWidth");
+    }
   }
   return steps;
 }

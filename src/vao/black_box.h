@@ -75,7 +75,12 @@ class CalibratedBlackBox : public BlackBoxFunction {
 /// \brief Drives \p object until AtStoppingCondition() (or error), the
 /// "run every model to full accuracy" loop traditional systems are stuck
 /// with. Returns the total number of Iterate() calls made.
-Result<int> ConvergeToMinWidth(ResultObject* object);
+///
+/// The loop is budgeted: ResourceExhausted after \p max_iterations Iterate()
+/// calls, or as soon as the bounds stop tightening while still above
+/// minWidth (StallGuard) -- a stalled object would otherwise hang the loop.
+Result<int> ConvergeToMinWidth(ResultObject* object,
+                               std::uint64_t max_iterations = 50'000'000);
 
 }  // namespace vaolib::vao
 

@@ -1,5 +1,6 @@
 #include "vao/parallel.h"
 
+#include "common/stall_guard.h"
 #include "common/thread_pool.h"
 
 namespace vaolib::vao {
@@ -46,7 +47,8 @@ Result<std::vector<ResultObjectPtr>> InvokeAll(
 }
 
 Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
-                             int threads) {
+                             int threads,
+                             std::uint64_t max_iterations_per_object) {
   const std::size_t n = objects.size();
   for (const auto* object : objects) {
     if (object == nullptr) {
@@ -59,11 +61,30 @@ Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
                             WorkMeter* /*chunk_meter*/) {
     Status first_error;
     for (std::size_t i = begin; i < end; ++i) {
+      std::uint64_t steps = 0;
+      StallGuard guard;
       while (!objects[i]->AtStoppingCondition()) {
+        if (steps >= max_iterations_per_object) {
+          if (first_error.ok()) {
+            first_error = Status::ResourceExhausted(
+                "ConvergeAllToMinWidth exceeded the per-object iteration "
+                "budget");
+          }
+          break;
+        }
         const Status status = objects[i]->Iterate();
         if (!status.ok()) {
           if (first_error.ok()) first_error = status;
           break;  // this object cannot progress; move to the next one
+        }
+        ++steps;
+        if (guard.Observe(objects[i]->bounds().Width())) {
+          if (first_error.ok()) {
+            first_error = Status::ResourceExhausted(
+                "ConvergeAllToMinWidth stalled: bounds stopped tightening "
+                "above minWidth");
+          }
+          break;
         }
       }
     }

@@ -18,6 +18,7 @@
 #ifndef VAOLIB_VAO_PARALLEL_H_
 #define VAOLIB_VAO_PARALLEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "vao/result_object.h"
@@ -49,8 +50,15 @@ Result<std::vector<ResultObjectPtr>> InvokeAll(
 ///
 /// Error semantics: every object is attempted even after a failure; returns
 /// the error of the lowest-indexed failing object, deterministically.
+///
+/// Each object's loop is budgeted: ResourceExhausted after
+/// \p max_iterations_per_object Iterate() calls, or as soon as its bounds
+/// stop tightening while still above minWidth (StallGuard) -- one stalled
+/// object would otherwise hang the whole bulk convergence.
 Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
-                             int threads);
+                             int threads,
+                             std::uint64_t max_iterations_per_object =
+                                 50'000'000);
 
 }  // namespace vaolib::vao
 

@@ -1,0 +1,174 @@
+// Seeded property tests driving ScoreHeap and PredicateRangeCache through
+// adversarial operation orderings, checked against trivially-correct
+// reference models. Any divergence prints the seed that reproduces it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "operators/predicate_range_cache.h"
+#include "operators/score_heap.h"
+
+namespace vaolib::operators {
+namespace {
+
+// --- ScoreHeap vs. a naive map-based priority model ---------------------
+
+/// Reference model: live scores in a map; best = max by score. Scores are
+/// drawn distinct so the arg-max is unique and pop order is fully specified.
+class ReferenceHeap {
+ public:
+  void Update(std::size_t index, double score) { live_[index] = score; }
+  void Remove(std::size_t index) { live_.erase(index); }
+
+  std::optional<std::pair<std::size_t, double>> PopBest() {
+    if (live_.empty()) return std::nullopt;
+    auto best = live_.begin();
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    const auto result = *best;
+    live_.erase(best);
+    return result;
+  }
+
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  std::map<std::size_t, double> live_;
+};
+
+TEST(ScoreHeapPropertyTest, AgreesWithReferenceUnderRandomOps) {
+  constexpr std::size_t kIndices = 16;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    ScoreHeap heap;
+    heap.Reset(kIndices);
+    ReferenceHeap reference;
+    double next_score = 0.0;  // strictly increasing => always distinct
+
+    for (int op = 0; op < 400; ++op) {
+      const std::int64_t choice = rng.UniformInt(0, 9);
+      const auto index =
+          static_cast<std::size_t>(rng.UniformInt(0, kIndices - 1));
+      if (choice < 5) {
+        // Update dominates: heaps degrade under stale-entry pressure.
+        next_score += rng.NextDouble() + 1e-9;
+        heap.Update(index, next_score);
+        reference.Update(index, next_score);
+      } else if (choice < 7) {
+        heap.Remove(index);
+        reference.Remove(index);
+      } else {
+        std::size_t popped_index = 0;
+        double popped_score = 0.0;
+        const bool popped = heap.PopBest(&popped_index, &popped_score);
+        const auto expected = reference.PopBest();
+        ASSERT_EQ(popped, expected.has_value())
+            << "seed=" << seed << " op=" << op;
+        if (popped) {
+          EXPECT_EQ(popped_index, expected->first)
+              << "seed=" << seed << " op=" << op;
+          EXPECT_DOUBLE_EQ(popped_score, expected->second)
+              << "seed=" << seed << " op=" << op;
+        }
+      }
+    }
+
+    // Drain: the heap must surrender exactly the model's remaining entries,
+    // in descending score order.
+    std::size_t popped_index = 0;
+    double popped_score = 0.0;
+    double previous = std::numeric_limits<double>::infinity();
+    while (reference.size() > 0) {
+      ASSERT_TRUE(heap.PopBest(&popped_index, &popped_score)) << seed;
+      const auto expected = reference.PopBest();
+      ASSERT_TRUE(expected.has_value());
+      EXPECT_EQ(popped_index, expected->first) << "seed=" << seed;
+      EXPECT_LE(popped_score, previous) << "seed=" << seed;
+      previous = popped_score;
+    }
+    EXPECT_FALSE(heap.PopBest(&popped_index, &popped_score)) << seed;
+  }
+}
+
+TEST(ScoreHeapPropertyTest, PopConsumesEntryUntilNextUpdate) {
+  ScoreHeap heap;
+  heap.Reset(2);
+  heap.Update(0, 5.0);
+  heap.Update(0, 7.0);  // supersedes the 5.0 entry
+  std::size_t index = 0;
+  double score = 0.0;
+  ASSERT_TRUE(heap.PopBest(&index, &score));
+  EXPECT_EQ(index, 0u);
+  EXPECT_DOUBLE_EQ(score, 7.0);
+  // The stale 5.0 entry must not resurface.
+  EXPECT_FALSE(heap.PopBest(&index, &score));
+  heap.Update(0, 1.0);
+  ASSERT_TRUE(heap.PopBest(&index, &score));
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+// --- PredicateRangeCache vs. monotone ground truth ----------------------
+
+TEST(PredicateRangeCachePropertyTest, NeverContradictsMonotoneTruth) {
+  // Ground truth per key: predicate true iff s <= threshold[key]. Record
+  // truthful observations in adversarial (random) order; the cache may
+  // answer "unknown" but must never answer wrongly.
+  constexpr std::size_t kKeys = 6;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    std::vector<double> threshold(kKeys);
+    for (double& t : threshold) t = rng.Uniform(-10.0, 10.0);
+    PredicateRangeCache cache(kKeys);
+
+    for (int op = 0; op < 500; ++op) {
+      const auto key = static_cast<std::size_t>(rng.UniformInt(0, kKeys - 1));
+      const double s = rng.Uniform(-12.0, 12.0);
+      if (rng.Bernoulli(0.5)) {
+        cache.Record(key, s, /*passes=*/s <= threshold[key]);
+      } else {
+        const std::optional<bool> known = cache.Lookup(key, s);
+        if (known.has_value()) {
+          EXPECT_EQ(*known, s <= threshold[key])
+              << "seed=" << seed << " key=" << key << " s=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(PredicateRangeCachePropertyTest, KnowledgeOnlyGrows) {
+  // Once the cache answers a query, later truthful records must never make
+  // it forget (the thresholds only widen).
+  Rng rng(99);
+  const double threshold = 3.0;
+  PredicateRangeCache cache(1);
+  std::vector<double> probes;
+  for (int i = 0; i < 50; ++i) probes.push_back(rng.Uniform(-5.0, 8.0));
+
+  std::vector<bool> was_known(probes.size(), false);
+  for (int round = 0; round < 100; ++round) {
+    const double s = rng.Uniform(-5.0, 8.0);
+    cache.Record(0, s, s <= threshold);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const std::optional<bool> known = cache.Lookup(0, probes[i]);
+      if (was_known[i]) {
+        ASSERT_TRUE(known.has_value()) << "round " << round << " forgot";
+      }
+      if (known.has_value()) {
+        was_known[i] = true;
+        EXPECT_EQ(*known, probes[i] <= threshold);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vaolib::operators
