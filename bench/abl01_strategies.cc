@@ -21,13 +21,13 @@ using namespace vaolib::bench;
 
 namespace {
 
-const char* StrategyName(operators::IterationStrategy strategy) {
+const char* StrategyName(operators::StrategyKind strategy) {
   switch (strategy) {
-    case operators::IterationStrategy::kGreedy:
+    case operators::StrategyKind::kGreedy:
       return "greedy";
-    case operators::IterationStrategy::kRoundRobin:
+    case operators::StrategyKind::kRoundRobin:
       return "round-robin";
-    case operators::IterationStrategy::kRandom:
+    case operators::StrategyKind::kRandom:
       return "random";
   }
   return "?";
@@ -46,9 +46,9 @@ int main() {
                     {"operator", "strategy", "units", "est_s", "wall_s",
                      "iters", "vs_greedy"});
 
-  const auto strategies = {operators::IterationStrategy::kGreedy,
-                           operators::IterationStrategy::kRoundRobin,
-                           operators::IterationStrategy::kRandom};
+  const auto strategies = {operators::StrategyKind::kGreedy,
+                           operators::StrategyKind::kRoundRobin,
+                           operators::StrategyKind::kRandom};
 
   // --- MAX over the real portfolio. ----------------------------------------
   std::uint64_t greedy_units = 0;
@@ -78,7 +78,7 @@ int main() {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
-    if (strategy == operators::IterationStrategy::kGreedy) {
+    if (strategy == operators::StrategyKind::kGreedy) {
       greedy_units = meter.Total();
     }
     table.AddRow({"MAX", StrategyName(strategy),
@@ -130,7 +130,7 @@ int main() {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
-    if (strategy == operators::IterationStrategy::kGreedy) {
+    if (strategy == operators::StrategyKind::kGreedy) {
       greedy_units = meter.Total();
     }
     table.AddRow({"SUM(hot=80%)", StrategyName(strategy),

@@ -1,0 +1,20 @@
+// Copyright 2026 The vaolib Authors.
+//
+// Compile-only check that the single-include facade is self-contained.
+// Built as the `vaolib_facade_check` object library with -Wall -Wextra
+// -Werror; it must stay the ONLY include in this file.
+
+#include <vaolib/vaolib.h>
+
+// Reference one symbol per module group so the facade cannot degrade into
+// a header that parses but exports nothing.
+namespace vaolib::facade_check {
+
+static_assert(sizeof(Bounds) > 0, "common surfaced");
+static_assert(sizeof(vao::BoundsCache::Entry) > 0, "vao surfaced");
+static_assert(sizeof(operators::OperatorOptions) > 0, "operators surfaced");
+static_assert(sizeof(engine::Query::Builder) > 0, "engine surfaced");
+static_assert(sizeof(engine::SchedulerOptions) > 0, "scheduler surfaced");
+static_assert(sizeof(obs::ExecutionReport) > 0, "obs surfaced");
+
+}  // namespace vaolib::facade_check

@@ -32,12 +32,13 @@ int main() {
     }
   }
 
-  engine::Query q3;
-  q3.kind = engine::QueryKind::kMax;
-  q3.function = &model;
-  q3.args = {engine::ArgRef::StreamField("rate"),
-             engine::ArgRef::RelationField("bond_index")};
-  q3.epsilon = 0.01;
+  const engine::Query q3 =
+      engine::Query::Builder(&model)
+          .Args({engine::ArgRef::StreamField("rate"),
+                 engine::ArgRef::RelationField("bond_index")})
+          .Max()
+          .Epsilon(0.01)
+          .Build();
 
   const engine::Schema stream_schema(
       {{"rate", engine::ColumnType::kDouble}});

@@ -31,22 +31,22 @@ int main() {
   const engine::Schema stream_schema(
       {{"rate", engine::ColumnType::kDouble}});
 
+  const std::vector<engine::ArgRef> args = {
+      engine::ArgRef::StreamField("rate"),
+      engine::ArgRef::RelationField("bond_index")};
+
   // Query A: TOP-5 bonds by model price, each within $0.01.
-  engine::Query top5;
-  top5.kind = engine::QueryKind::kTopK;
-  top5.k = 5;
-  top5.function = &model;
-  top5.args = {engine::ArgRef::StreamField("rate"),
-               engine::ArgRef::RelationField("bond_index")};
-  top5.epsilon = 0.01;
+  const engine::Query top5 = engine::Query::Builder(&model)
+                                 .Args(args)
+                                 .TopK(5)
+                                 .Epsilon(0.01)
+                                 .Build();
 
   // Query B: bonds priced near par, in [99, 101].
-  engine::Query near_par;
-  near_par.kind = engine::QueryKind::kSelectRange;
-  near_par.function = &model;
-  near_par.args = top5.args;
-  near_par.range_lo = 99.0;
-  near_par.range_hi = 101.0;
+  const engine::Query near_par = engine::Query::Builder(&model)
+                                     .Args(args)
+                                     .SelectRange(99.0, 101.0)
+                                     .Build();
 
   auto top5_exec = engine::CqExecutor::Create(&bd, stream_schema, top5,
                                               engine::ExecutionMode::kVao);

@@ -51,13 +51,14 @@ int main() {
     }
   }
 
-  engine::Query q2;
-  q2.kind = engine::QueryKind::kSum;
-  q2.function = &model;
-  q2.args = {engine::ArgRef::StreamField("rate"),
-             engine::ArgRef::RelationField("bond_index")};
-  q2.weight_column = "position";
-  q2.epsilon = 0.01 * static_cast<double>(bonds.size());  // $0.01 per bond
+  const engine::Query q2 =
+      engine::Query::Builder(&model)
+          .Args({engine::ArgRef::StreamField("rate"),
+                 engine::ArgRef::RelationField("bond_index")})
+          .Sum()
+          .WeightColumn("position")
+          .Epsilon(0.01 * static_cast<double>(bonds.size()))  // $0.01 per bond
+          .Build();
 
   auto vao_exec = engine::CqExecutor::Create(
       &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), q2,

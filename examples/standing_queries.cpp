@@ -33,30 +33,26 @@ int main() {
   const engine::Schema stream_schema(
       {{"rate", engine::ColumnType::kDouble}});
 
-  auto base = [&](engine::QueryKind kind) {
-    engine::Query query;
-    query.kind = kind;
-    query.function = &model;
-    query.args = {engine::ArgRef::StreamField("rate"),
-                  engine::ArgRef::RelationField("bond_index")};
-    return query;
-  };
+  const std::vector<engine::ArgRef> args = {
+      engine::ArgRef::StreamField("rate"),
+      engine::ArgRef::RelationField("bond_index")};
+  auto base = [&] { return engine::Query::Builder(&model).Args(args); };
 
-  engine::Query above_100 = base(engine::QueryKind::kSelect);
-  above_100.constant = 100.0;
-  engine::Query above_110 = base(engine::QueryKind::kSelect);
-  above_110.constant = 110.0;
-  engine::Query below_90 = base(engine::QueryKind::kSelect);
-  below_90.cmp = operators::Comparator::kLessThan;
-  below_90.constant = 90.0;
-  engine::Query best = base(engine::QueryKind::kMax);
-  best.epsilon = 0.01;
-  engine::Query top3 = base(engine::QueryKind::kTopK);
-  top3.k = 3;
-  top3.epsilon = 0.01;
-  engine::Query value = base(engine::QueryKind::kSum);
-  value.weight_column = "position";
-  value.epsilon = 0.25 * static_cast<double>(bonds.size());  // $0.25/bond
+  using operators::Comparator;
+  const engine::Query above_100 =
+      base().Select(Comparator::kGreaterThan, 100.0).Build();
+  const engine::Query above_110 =
+      base().Select(Comparator::kGreaterThan, 110.0).Build();
+  const engine::Query below_90 =
+      base().Select(Comparator::kLessThan, 90.0).Build();
+  const engine::Query best = base().Max().Epsilon(0.01).Build();
+  const engine::Query top3 = base().TopK(3).Epsilon(0.01).Build();
+  const engine::Query value =
+      base()
+          .Sum()
+          .WeightColumn("position")
+          .Epsilon(0.25 * static_cast<double>(bonds.size()))  // $0.25/bond
+          .Build();
 
   const std::vector<engine::Query> queries{above_100, above_110, below_90,
                                            best, top3, value};

@@ -34,13 +34,12 @@ int main() {
     }
   }
 
-  engine::Query q1;
-  q1.kind = engine::QueryKind::kSelect;
-  q1.function = &model;
-  q1.args = {engine::ArgRef::StreamField("rate"),
-             engine::ArgRef::RelationField("bond_index")};
-  q1.cmp = operators::Comparator::kGreaterThan;
-  q1.constant = 100.0;
+  const engine::Query q1 =
+      engine::Query::Builder(&model)
+          .Args({engine::ArgRef::StreamField("rate"),
+                 engine::ArgRef::RelationField("bond_index")})
+          .Select(operators::Comparator::kGreaterThan, 100.0)
+          .Build();
 
   auto executor = engine::CqExecutor::Create(
       &bd, engine::Schema({{"rate", engine::ColumnType::kDouble}}), q1,

@@ -1,0 +1,88 @@
+// Copyright 2026 The vaolib Authors.
+//
+// Single-include public facade for vaolib. Applications include this one
+// header and link the vaolib_engine target:
+//
+//   #include <vaolib/vaolib.h>
+//
+//   vaolib::engine::Query q = vaolib::engine::Query::Builder(&model)
+//                                 .Args({...})
+//                                 .Max()
+//                                 .Epsilon(0.01)
+//                                 .Build();
+//
+// The facade must compile standalone under -Wall -Wextra -Werror; CI
+// builds the `vaolib_facade_check` target to enforce that every public
+// header stays self-contained (see cmake/facade_check.cc).
+
+#ifndef VAOLIB_VAOLIB_H_
+#define VAOLIB_VAOLIB_H_
+
+/// \defgroup vaolib_common Common infrastructure
+/// Status/Result error handling, sound interval \ref vaolib::Bounds,
+/// deterministic \ref vaolib::Rng, the \ref vaolib::WorkMeter work-unit
+/// clock every budget in the library is denominated in, and the shared
+/// \ref vaolib::ThreadPool.
+
+#include "common/bounds.h"       // IWYU pragma: export
+#include "common/result.h"       // IWYU pragma: export
+#include "common/rng.h"          // IWYU pragma: export
+#include "common/status.h"       // IWYU pragma: export
+#include "common/thread_pool.h"  // IWYU pragma: export
+#include "common/work_meter.h"   // IWYU pragma: export
+
+/// \defgroup vaolib_vao Variable-accuracy functions
+/// The paper's core abstraction: \ref vaolib::vao::VariableAccuracyFunction
+/// produces a \ref vaolib::vao::ResultObject whose bounds tighten with each
+/// Iterate() call. Includes the black-box adapter, the sharded
+/// \ref vaolib::vao::BoundsCache / CachingFunction memoization layer, and
+/// the parallel StepAll batch driver.
+
+#include "vao/black_box.h"       // IWYU pragma: export
+#include "vao/function_cache.h"  // IWYU pragma: export
+#include "vao/parallel.h"        // IWYU pragma: export
+#include "vao/result_object.h"   // IWYU pragma: export
+
+/// \defgroup vaolib_operators Adaptive operators and iteration strategies
+/// The four VAO operator families (selection, MIN/MAX, SUM/AVE, TOP-K)
+/// configured through \ref vaolib::operators::OperatorOptions, the
+/// pluggable \ref vaolib::operators::IterationStrategy, and the resumable
+/// \ref vaolib::operators::IterationTask unit the cross-query scheduler
+/// interleaves.
+
+#include "operators/iteration_strategy.h"  // IWYU pragma: export
+#include "operators/iteration_task.h"      // IWYU pragma: export
+#include "operators/min_max.h"             // IWYU pragma: export
+#include "operators/operator_base.h"       // IWYU pragma: export
+#include "operators/selection.h"           // IWYU pragma: export
+#include "operators/sum_ave.h"             // IWYU pragma: export
+#include "operators/top_k.h"               // IWYU pragma: export
+#include "operators/traditional.h"         // IWYU pragma: export
+
+/// \defgroup vaolib_engine Continuous-query engine
+/// Declarative \ref vaolib::engine::Query (with the fluent
+/// \ref vaolib::engine::Query::Builder), relations/schemas, the
+/// single-query \ref vaolib::engine::CqExecutor, the shared-result
+/// \ref vaolib::engine::MultiQueryExecutor, and the budget-aware
+/// \ref vaolib::engine::WorkScheduler with its fair-share / EDF / greedy
+/// global policies.
+
+#include "engine/executor.h"     // IWYU pragma: export
+#include "engine/multi_query.h"  // IWYU pragma: export
+#include "engine/query.h"        // IWYU pragma: export
+#include "engine/relation.h"     // IWYU pragma: export
+#include "engine/scheduler.h"    // IWYU pragma: export
+#include "engine/schema.h"       // IWYU pragma: export
+#include "engine/sql_parser.h"   // IWYU pragma: export
+#include "engine/value.h"        // IWYU pragma: export
+
+/// \defgroup vaolib_obs Observability
+/// Process-wide \ref vaolib::obs::MetricsRegistry (Prometheus-style
+/// counters/gauges) and the per-query \ref vaolib::obs::ExecutionReport
+/// with JSON / Prometheus renderers, including the scheduler section
+/// (policy, budget, spend, starvation, deadline misses).
+
+#include "obs/execution_report.h"  // IWYU pragma: export
+#include "obs/metrics.h"           // IWYU pragma: export
+
+#endif  // VAOLIB_VAOLIB_H_

@@ -61,6 +61,13 @@ struct TickResult {
   /// Work units charged during this tick (all WorkKinds).
   std::uint64_t work_units = 0;
 
+  /// False when a scheduled tick's work budget ran out before this query
+  /// finished: the answer above is then a sound partial result (aggregate
+  /// bounds are an envelope containing the true value; undecided selection
+  /// rows resolve by their current bounds). Always true for unscheduled
+  /// execution, which drives every query to convergence.
+  bool converged = true;
+
   /// \name Resilience accounting. Row quarantine and black-box fallback
   /// happen only under ResiliencePolicy::kDegrade; the degraded flag is
   /// also set (in any policy) when an aggregate quarantined stalled

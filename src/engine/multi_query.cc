@@ -1,10 +1,12 @@
 #include "engine/multi_query.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "operators/iteration_task.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
 #include "operators/sum_ave.h"
@@ -28,15 +30,27 @@ constexpr std::uint64_t kCoarseMaxSteps = 4;
 
 MultiQueryExecutor::MultiQueryExecutor(const Relation* relation,
                                        Schema stream_schema,
-                                       std::vector<Query> queries, int threads)
+                                       std::vector<Query> queries,
+                                       MultiQueryOptions options)
     : relation_(relation),
       stream_schema_(std::move(stream_schema)),
       queries_(std::move(queries)),
-      threads_(std::max(threads, 1)) {}
+      options_(std::move(options)) {
+  options_.threads = std::max(options_.threads, 1);
+}
 
 Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
     const Relation* relation, Schema stream_schema,
     std::vector<Query> queries, int threads) {
+  MultiQueryOptions options;
+  options.threads = threads;
+  return Create(relation, std::move(stream_schema), std::move(queries),
+                options);
+}
+
+Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
+    const Relation* relation, Schema stream_schema,
+    std::vector<Query> queries, const MultiQueryOptions& options) {
   if (relation == nullptr) {
     return Status::InvalidArgument("multi-query executor needs a relation");
   }
@@ -71,9 +85,19 @@ Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
   if (static_cast<int>(first.args.size()) != first.function->arity()) {
     return Status::InvalidArgument("argument binding arity mismatch");
   }
+  if (!options.schedules.empty() &&
+      options.schedules.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "schedules must be empty or parallel to the query list");
+  }
+  for (const QuerySchedule& schedule : options.schedules) {
+    if (!(schedule.priority > 0.0)) {
+      return Status::InvalidArgument("scheduler priorities must be positive");
+    }
+  }
 
   auto executor = std::unique_ptr<MultiQueryExecutor>(new MultiQueryExecutor(
-      relation, std::move(stream_schema), std::move(queries), threads));
+      relation, std::move(stream_schema), std::move(queries), options));
   for (const ArgRef& ref : executor->queries_.front().args) {
     BoundArg bound;
     bound.source = ref.source;
@@ -127,24 +151,18 @@ Result<std::vector<double>> MultiQueryExecutor::BuildArgs(
   return args;
 }
 
-Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
-    const Tuple& stream_tuple) {
-  if (stream_tuple.size() != stream_schema_.size()) {
-    return Status::InvalidArgument("stream tuple does not match schema");
-  }
-  const std::size_t n = relation_->size();
-  if (n == 0) {
-    return Status::FailedPrecondition("relation is empty");
-  }
-
-  const auto* function = queries_.front().function;
-  const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
-
+Result<std::vector<vao::ResultObjectPtr>>
+MultiQueryExecutor::CreateSharedObjects(const Tuple& stream_tuple,
+                                        std::uint64_t* creation_cost,
+                                        obs::WorkByKind* creation_work) {
   // One shared result object per relation row, created in bulk (row-parallel
-  // on the shared pool when threads_ > 1; work totals are identical either
+  // on the shared pool when threads > 1; work totals are identical either
   // way because every object charges meter_ directly).
+  const std::size_t n = relation_->size();
+  const auto* function = queries_.front().function;
   const std::uint64_t creation_before = meter_.Total();
-  const obs::WorkByKind creation_work_before = obs::WorkByKind::Capture(meter_);
+  const obs::WorkByKind creation_work_before =
+      obs::WorkByKind::Capture(meter_);
   std::vector<std::vector<double>> rows;
   rows.reserve(n);
   for (std::size_t row = 0; row < n; ++row) {
@@ -152,14 +170,41 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
                             BuildArgs(stream_tuple, row));
     rows.push_back(std::move(args));
   }
-  VAOLIB_ASSIGN_OR_RETURN(std::vector<vao::ResultObjectPtr> owned,
-                          vao::InvokeAll(*function, rows, threads_, &meter_));
+  VAOLIB_ASSIGN_OR_RETURN(
+      std::vector<vao::ResultObjectPtr> owned,
+      vao::InvokeAll(*function, rows, options_.threads, &meter_));
+  *creation_cost = meter_.Total() - creation_before;
+  *creation_work =
+      obs::WorkByKind::Capture(meter_).DeltaSince(creation_work_before);
+  return owned;
+}
+
+Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
+    const Tuple& stream_tuple) {
+  if (stream_tuple.size() != stream_schema_.size()) {
+    return Status::InvalidArgument("stream tuple does not match schema");
+  }
+  if (relation_->size() == 0) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+  return options_.scheduled ? ProcessTickScheduled(stream_tuple)
+                            : ProcessTickShared(stream_tuple);
+}
+
+Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
+    const Tuple& stream_tuple) {
+  const std::size_t n = relation_->size();
+  const auto* function = queries_.front().function;
+  const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
+
+  std::uint64_t creation_cost = 0;
+  obs::WorkByKind creation_work;
+  VAOLIB_ASSIGN_OR_RETURN(
+      std::vector<vao::ResultObjectPtr> owned,
+      CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
   std::vector<vao::ResultObject*> objects;
   objects.reserve(n);
   for (const auto& object : owned) objects.push_back(object.get());
-  const std::uint64_t creation_cost = meter_.Total() - creation_before;
-  const obs::WorkByKind creation_work =
-      obs::WorkByKind::Capture(meter_).DeltaSince(creation_work_before);
 
   std::vector<TickResult> results(queries_.size());
   for (auto& result : results) result.kind = QueryKind::kSelect;
@@ -178,7 +223,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     const obs::WorkByKind work_before = obs::WorkByKind::Capture(meter_);
     const operators::MultiSelectionVao shared(predicates);
     VAOLIB_ASSIGN_OR_RETURN(const auto outcomes,
-                            shared.EvaluateBatch(objects, threads_));
+                            shared.EvaluateBatch(objects, options_.threads));
     operators::OperatorStats batch_stats;
     std::uint64_t short_circuited = 0;
     for (std::size_t row = 0; row < n; ++row) {
@@ -241,8 +286,8 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
                            : operators::ExtremeKind::kMin;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
-        if (threads_ > 1) {
-          options.threads = threads_;
+        if (options_.threads > 1) {
+          options.threads = options_.threads;
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
@@ -268,8 +313,8 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
         operators::SumAveOptions options;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
-        if (threads_ > 1) {
-          options.threads = threads_;
+        if (options_.threads > 1) {
+          options.threads = options_.threads;
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
@@ -334,6 +379,274 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     last_tick_report_.rows_short_circuited =
         std::max(last_tick_report_.rows_short_circuited,
                  result.report.rows_short_circuited);
+  }
+  tick_capture.Finish(meter_, &last_tick_report_);
+  obs::RecordTickMetrics(last_tick_report_);
+  return results;
+}
+
+Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
+    const Tuple& stream_tuple) {
+  const std::size_t n = relation_->size();
+  const auto* function = queries_.front().function;
+  const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
+
+  std::uint64_t creation_cost = 0;
+  obs::WorkByKind creation_work;
+  VAOLIB_ASSIGN_OR_RETURN(
+      std::vector<vao::ResultObjectPtr> owned,
+      CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
+  std::vector<vao::ResultObject*> objects;
+  objects.reserve(n);
+  for (const auto& object : owned) objects.push_back(object.get());
+
+  std::vector<TickResult> results(queries_.size());
+
+  // One resumable task per query over the SHARED objects: a step granted to
+  // one query tightens bounds every other query reads, so work composes
+  // across the set exactly as in the classic path -- the scheduler only
+  // decides the order and how far the budget reaches.
+  std::vector<std::unique_ptr<operators::IterationTask>> tasks(
+      queries_.size());
+  // Fills the query's answer from its task after the scheduler run (sound
+  // at any point: tasks snapshot partial answers).
+  std::vector<std::function<void(TickResult&)>> decode(queries_.size());
+  std::vector<bool> is_selection(queries_.size(), false);
+
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const Query& query = queries_[q];
+    switch (query.kind) {
+      case QueryKind::kSelect: {
+        is_selection[q] = true;
+        const operators::Comparator cmp = query.cmp;
+        const double constant = query.constant;
+        VAOLIB_ASSIGN_OR_RETURN(
+            auto task,
+            operators::MultiRowDecisionTask::Create(
+                objects, "selection",
+                [constant](const Bounds& b) { return b.Contains(constant); },
+                options_.threads));
+        auto* raw = task.get();
+        tasks[q] = std::move(task);
+        decode[q] = [raw, cmp, constant, &objects](TickResult& result) {
+          for (std::size_t row = 0; row < objects.size(); ++row) {
+            const Bounds b = objects[row]->bounds();
+            // Same decision rules as SelectionVao: cleared bounds decide
+            // exactly; bounds still containing the constant resolve with
+            // the minWidth equality rule (also the sound default for rows
+            // the budget left undecided -- flagged by converged = false).
+            const bool passes =
+                b.Contains(constant)
+                    ? operators::CompareExact(constant, cmp, constant)
+                    : operators::CompareExact(b.Mid(), cmp, constant);
+            if (passes) result.passing_rows.push_back(row);
+            if (raw->RowSettled(row) &&
+                !objects[row]->AtStoppingCondition()) {
+              ++result.report.rows_short_circuited;
+            }
+          }
+          result.stats = raw->stats();
+          result.converged = raw->Converged();
+        };
+        break;
+      }
+      case QueryKind::kSelectRange: {
+        is_selection[q] = true;
+        if (!Bounds(query.range_lo, query.range_hi).IsValid()) {
+          return Status::InvalidArgument("range selection needs lo <= hi");
+        }
+        const Bounds range(query.range_lo, query.range_hi);
+        const bool inclusive = query.range_inclusive;
+        VAOLIB_ASSIGN_OR_RETURN(
+            auto task, operators::MultiRowDecisionTask::Create(
+                           objects, "range selection",
+                           [range](const Bounds& b) {
+                             return b.Contains(range.lo) ||
+                                    b.Contains(range.hi);
+                           },
+                           options_.threads));
+        auto* raw = task.get();
+        tasks[q] = std::move(task);
+        decode[q] = [raw, range, inclusive, &objects](TickResult& result) {
+          for (std::size_t row = 0; row < objects.size(); ++row) {
+            const Bounds b = objects[row]->bounds();
+            // RangeSelectionVao's rules: both endpoints cleared decides by
+            // interval membership, a straddled endpoint resolves by the
+            // endpoint-equality rule (inclusive passes, exclusive fails).
+            const bool passes =
+                (!b.Contains(range.lo) && !b.Contains(range.hi))
+                    ? range.Contains(b.Mid())
+                    : inclusive;
+            if (passes) result.passing_rows.push_back(row);
+            if (raw->RowSettled(row) &&
+                !objects[row]->AtStoppingCondition()) {
+              ++result.report.rows_short_circuited;
+            }
+          }
+          result.stats = raw->stats();
+          result.converged = raw->Converged();
+        };
+        break;
+      }
+      case QueryKind::kMax:
+      case QueryKind::kMin: {
+        operators::MinMaxOptions options;
+        options.kind = query.kind == QueryKind::kMax
+                           ? operators::ExtremeKind::kMax
+                           : operators::ExtremeKind::kMin;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        if (options_.threads > 1) {
+          options.threads = options_.threads;
+          options.coarse_width = query.epsilon;
+          options.coarse_max_steps = kCoarseMaxSteps;
+        }
+        VAOLIB_ASSIGN_OR_RETURN(
+            auto task, operators::MinMaxIterationTask::Create(options,
+                                                              objects));
+        auto* raw = task.get();
+        tasks[q] = std::move(task);
+        decode[q] = [raw](TickResult& result) {
+          const operators::MinMaxOutcome outcome = raw->Snapshot();
+          result.winner_row = outcome.winner_index;
+          result.tie = outcome.tie;
+          result.aggregate_bounds = outcome.winner_bounds;
+          result.stats = outcome.stats;
+          result.converged = outcome.converged;
+        };
+        break;
+      }
+      case QueryKind::kSum:
+      case QueryKind::kAve: {
+        std::vector<double> weights;
+        if (query.weight_column.has_value()) {
+          VAOLIB_ASSIGN_OR_RETURN(
+              weights, relation_->NumericColumn(*query.weight_column));
+        } else if (query.kind == QueryKind::kAve) {
+          weights = operators::AveWeights(n);
+        } else {
+          weights = operators::SumWeights(n);
+        }
+        operators::SumAveOptions options;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        if (options_.threads > 1) {
+          options.threads = options_.threads;
+          options.coarse_width = query.epsilon;
+          options.coarse_max_steps = kCoarseMaxSteps;
+        }
+        VAOLIB_ASSIGN_OR_RETURN(
+            auto task, operators::SumAveIterationTask::Create(
+                           options, objects, std::move(weights)));
+        auto* raw = task.get();
+        tasks[q] = std::move(task);
+        decode[q] = [raw](TickResult& result) {
+          const operators::SumOutcome outcome = raw->Snapshot();
+          result.aggregate_bounds = outcome.sum_bounds;
+          result.stats = outcome.stats;
+          result.converged = outcome.converged;
+        };
+        break;
+      }
+      case QueryKind::kTopK: {
+        operators::TopKOptions options;
+        options.k = query.k;
+        options.epsilon = query.epsilon;
+        options.meter = &meter_;
+        VAOLIB_ASSIGN_OR_RETURN(
+            auto task,
+            operators::TopKIterationTask::Create(options, objects));
+        auto* raw = task.get();
+        tasks[q] = std::move(task);
+        decode[q] = [raw](TickResult& result) {
+          const operators::TopKOutcome outcome = raw->Snapshot();
+          result.top_rows = outcome.winners;
+          result.top_bounds = outcome.winner_bounds;
+          result.tie = outcome.tie;
+          if (!outcome.winners.empty()) {
+            result.winner_row = outcome.winners.front();
+            result.aggregate_bounds = outcome.winner_bounds.front();
+          }
+          result.stats = outcome.stats;
+          result.converged = outcome.converged;
+        };
+        break;
+      }
+    }
+  }
+
+  std::vector<WorkScheduler::Entry> entries(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    entries[q].task = tasks[q].get();
+    if (!options_.schedules.empty()) {
+      entries[q].schedule = options_.schedules[q];
+    }
+  }
+  WorkScheduler scheduler(options_.scheduler);
+  VAOLIB_ASSIGN_OR_RETURN(const std::vector<TaskScheduleStats> sched_stats,
+                          scheduler.Run(entries, &meter_));
+
+  const char* policy_name = SchedulerPolicyName(options_.scheduler.policy);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const Query& query = queries_[q];
+    TickResult& result = results[q];
+    result.kind = query.kind;
+    decode[q](result);
+
+    // Exact attribution: the work units the scheduler granted this query
+    // (object creation is accounted in the tick-wide report below).
+    result.work_units = sched_stats[q].spent;
+    result.report.query_kind = QueryKindName(query.kind);
+    result.report.work = sched_stats[q].work;
+    result.report.rows_scanned = n;
+    if (!is_selection[q]) {
+      result.report.rows_short_circuited = n - result.stats.objects_touched;
+    }
+    result.report.iterations = result.stats.iterations;
+    result.report.coarse_iterations = result.stats.coarse_iterations;
+    result.report.greedy_iterations = result.stats.greedy_iterations;
+    result.report.finalize_iterations = result.stats.finalize_iterations;
+    result.report.choose_steps = result.stats.choose_steps;
+    result.report.objects_touched = result.stats.objects_touched;
+    result.report.stalled_objects = result.stats.stalled_objects;
+
+    result.report.scheduled = true;
+    result.report.scheduler_policy = policy_name;
+    result.report.scheduler_budget = options_.scheduler.budget;
+    result.report.scheduler_spent = sched_stats[q].spent;
+    result.report.scheduler_steps = sched_stats[q].steps;
+    result.report.scheduler_finished_at = sched_stats[q].finished_at;
+    result.report.converged = result.converged;
+    result.report.starved = sched_stats[q].starved;
+    result.report.missed_deadline = sched_stats[q].missed_deadline;
+  }
+
+  last_tick_report_ = obs::ExecutionReport();
+  last_tick_report_.query_kind = "multi";
+  last_tick_report_.rows_scanned = n;
+  last_tick_report_.scheduled = true;
+  last_tick_report_.scheduler_policy = policy_name;
+  last_tick_report_.scheduler_budget = options_.scheduler.budget;
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const TickResult& result = results[q];
+    last_tick_report_.iterations += result.report.iterations;
+    last_tick_report_.coarse_iterations += result.report.coarse_iterations;
+    last_tick_report_.greedy_iterations += result.report.greedy_iterations;
+    last_tick_report_.finalize_iterations +=
+        result.report.finalize_iterations;
+    last_tick_report_.choose_steps += result.report.choose_steps;
+    last_tick_report_.objects_touched += result.report.objects_touched;
+    last_tick_report_.rows_short_circuited =
+        std::max(last_tick_report_.rows_short_circuited,
+                 result.report.rows_short_circuited);
+    last_tick_report_.scheduler_spent += sched_stats[q].spent;
+    last_tick_report_.scheduler_steps += sched_stats[q].steps;
+    last_tick_report_.converged =
+        last_tick_report_.converged && result.converged;
+    last_tick_report_.starved =
+        last_tick_report_.starved || sched_stats[q].starved;
+    last_tick_report_.missed_deadline =
+        last_tick_report_.missed_deadline || sched_stats[q].missed_deadline;
   }
   tick_capture.Finish(meter_, &last_tick_report_);
   obs::RecordTickMetrics(last_tick_report_);

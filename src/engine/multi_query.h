@@ -23,8 +23,30 @@
 #include "engine/query.h"
 #include "engine/relation.h"
 #include "engine/schema.h"
+#include "engine/scheduler.h"
 
 namespace vaolib::engine {
+
+/// \brief How a MultiQueryExecutor runs its query set.
+struct MultiQueryOptions {
+  /// > 1 creates the per-tick shared objects through InvokeAll and runs
+  /// row-parallel phases on the shared pool.
+  int threads = 1;
+
+  /// When true, each tick turns every query into a resumable IterationTask
+  /// over the shared objects and drives them through a WorkScheduler
+  /// instead of converging queries one after another: the `scheduler`
+  /// policy decides who gets each work grant, and when its budget runs out
+  /// every unfinished query still reports a sound partial answer with
+  /// TickResult::converged = false. When false (default), ticks run the
+  /// classic two-phase converge-everything path and `scheduler`/`schedules`
+  /// are ignored.
+  bool scheduled = false;
+  SchedulerOptions scheduler;
+  /// Per-query scheduling parameters, parallel to the query list; empty
+  /// means defaults (priority 1, no deadline, no reserve) for every query.
+  std::vector<QuerySchedule> schedules;
+};
 
 /// \brief Shared-execution runner for a set of standing queries.
 class MultiQueryExecutor {
@@ -32,10 +54,18 @@ class MultiQueryExecutor {
   /// Builds the executor; every query must have the same `function` and
   /// `args` bindings (InvalidArgument otherwise). Traditional mode is not
   /// supported here -- use one CqExecutor per query for baselines.
-  /// \p threads > 1 creates the per-tick shared objects through InvokeAll
-  /// and resolves the batched selection predicates row-parallel on the
-  /// shared pool; aggregate operators then run serially over the tightened
-  /// objects with a parallel coarse phase (see MinMaxOptions/SumAveOptions).
+  /// With options.threads > 1 the per-tick shared objects are created
+  /// through InvokeAll and the batched selection predicates resolve
+  /// row-parallel on the shared pool; aggregate operators then run serially
+  /// over the tightened objects with a parallel coarse phase (see
+  /// MinMaxOptions/SumAveOptions). options.scheduled switches ticks to
+  /// budget-aware scheduled execution (see MultiQueryOptions).
+  static Result<std::unique_ptr<MultiQueryExecutor>> Create(
+      const Relation* relation, Schema stream_schema,
+      std::vector<Query> queries, const MultiQueryOptions& options);
+
+  /// Pre-scheduler signature, kept so existing call sites compile
+  /// unchanged; equivalent to passing MultiQueryOptions{.threads = threads}.
   static Result<std::unique_ptr<MultiQueryExecutor>> Create(
       const Relation* relation, Schema stream_schema,
       std::vector<Query> queries, int threads = 1);
@@ -44,6 +74,12 @@ class MultiQueryExecutor {
   /// objects. Results are parallel to the constructor's query list; each
   /// TickResult's work_units reports the work attributable to that query's
   /// operator phase (object creation is charged to the first phase).
+  ///
+  /// In scheduled mode each TickResult's work_units is instead the exact
+  /// work-unit spend the scheduler granted that query (the spends sum to
+  /// the scheduler run's meter delta; object creation is accounted in the
+  /// tick-wide report), and converged reflects whether the query finished
+  /// within the budget.
   Result<std::vector<TickResult>> ProcessTick(const Tuple& stream_tuple);
 
   /// Cumulative work across all ticks and queries.
@@ -60,19 +96,32 @@ class MultiQueryExecutor {
   }
 
   std::size_t query_count() const { return queries_.size(); }
-  int threads() const { return threads_; }
+  int threads() const { return options_.threads; }
+  const MultiQueryOptions& options() const { return options_; }
 
  private:
   MultiQueryExecutor(const Relation* relation, Schema stream_schema,
-                     std::vector<Query> queries, int threads);
+                     std::vector<Query> queries, MultiQueryOptions options);
 
   Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
                                         std::size_t row) const;
 
+  /// Creates the tick's shared result objects (one per relation row) and
+  /// reports their creation cost (total and by kind).
+  Result<std::vector<vao::ResultObjectPtr>> CreateSharedObjects(
+      const Tuple& stream_tuple, std::uint64_t* creation_cost,
+      obs::WorkByKind* creation_work);
+
+  /// Classic path: converge every query, selections batched first.
+  Result<std::vector<TickResult>> ProcessTickShared(const Tuple& stream_tuple);
+  /// Budget-aware path: one IterationTask per query under a WorkScheduler.
+  Result<std::vector<TickResult>> ProcessTickScheduled(
+      const Tuple& stream_tuple);
+
   const Relation* relation_;
   Schema stream_schema_;
   std::vector<Query> queries_;
-  int threads_;
+  MultiQueryOptions options_;
   WorkMeter meter_;
   obs::ExecutionReport last_tick_report_;
 

@@ -75,6 +75,93 @@ struct Query {
 
   /// Result-set size for kTopK (an extension; k = 1 degenerates to kMax).
   std::size_t k = 1;
+
+  class Builder;
+};
+
+/// \brief Fluent construction of a Query. Every example and test reads
+/// better as
+///
+///   Query q = Query::Builder(&model)
+///                 .Args({ArgRef::StreamField("rate"),
+///                        ArgRef::RelationField("coupon")})
+///                 .Select(operators::Comparator::kGreaterThan, 100.0)
+///                 .Build();
+///
+/// than as six field assignments; the field-assignment form stays valid
+/// (Query is still an aggregate) for code that prefers it.
+class Query::Builder {
+ public:
+  /// \p function is borrowed and must outlive the executor (same contract
+  /// as Query::function).
+  explicit Builder(const vao::VariableAccuracyFunction* function) {
+    query_.function = function;
+  }
+
+  /// Replaces the argument bindings.
+  Builder& Args(std::vector<ArgRef> args) {
+    query_.args = std::move(args);
+    return *this;
+  }
+  /// Appends one argument binding.
+  Builder& Arg(ArgRef arg) {
+    query_.args.push_back(std::move(arg));
+    return *this;
+  }
+
+  /// \name Query shapes (each sets `kind` plus its shape-specific fields).
+  /// @{
+  Builder& Select(operators::Comparator cmp, double constant) {
+    query_.kind = QueryKind::kSelect;
+    query_.cmp = cmp;
+    query_.constant = constant;
+    return *this;
+  }
+  Builder& SelectRange(double lo, double hi, bool inclusive = true) {
+    query_.kind = QueryKind::kSelectRange;
+    query_.range_lo = lo;
+    query_.range_hi = hi;
+    query_.range_inclusive = inclusive;
+    return *this;
+  }
+  Builder& Max() {
+    query_.kind = QueryKind::kMax;
+    return *this;
+  }
+  Builder& Min() {
+    query_.kind = QueryKind::kMin;
+    return *this;
+  }
+  Builder& Sum() {
+    query_.kind = QueryKind::kSum;
+    return *this;
+  }
+  Builder& Ave() {
+    query_.kind = QueryKind::kAve;
+    return *this;
+  }
+  Builder& TopK(std::size_t k) {
+    query_.kind = QueryKind::kTopK;
+    query_.k = k;
+    return *this;
+  }
+  /// @}
+
+  /// Precision constraint on aggregate outputs.
+  Builder& Epsilon(double epsilon) {
+    query_.epsilon = epsilon;
+    return *this;
+  }
+  /// Relation column supplying SUM weights.
+  Builder& WeightColumn(std::string column) {
+    query_.weight_column = std::move(column);
+    return *this;
+  }
+
+  Query Build() const { return query_; }
+
+ private:
+  Query query_;
 };
 
 }  // namespace vaolib::engine

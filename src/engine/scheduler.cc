@@ -1,0 +1,291 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "obs/metrics.h"
+
+namespace vaolib::engine {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Benefit-per-work score used by kGreedyGlobal. Estimates self-calibrate
+// inside IterationTask, so a task that just made a cheap high-gain step
+// floats to the top; transition steps (benefit 0) sink but stay
+// schedulable -- when every score is 0 the heap still yields someone.
+double GreedyScore(const operators::IterationTask& task) {
+  return task.EstimatedBenefit() / std::max(1.0, task.EstimatedCost());
+}
+
+struct PolicyCounters {
+  obs::Counter* runs;
+  obs::Counter* steps;
+  obs::Counter* work_units;
+  obs::Counter* starved;
+  obs::Counter* deadline_misses;
+  obs::Counter* budget_exhausted;
+};
+
+// One cached counter set per policy (registry lookups happen once).
+const PolicyCounters& CountersFor(SchedulerPolicy policy) {
+  static const auto* counters = [] {
+    auto* sets = new PolicyCounters[3];
+    for (int p = 0; p < 3; ++p) {
+      const obs::MetricsRegistry::Labels labels = {
+          {"policy", SchedulerPolicyName(static_cast<SchedulerPolicy>(p))}};
+      auto& registry = obs::MetricsRegistry::Global();
+      sets[p].runs =
+          registry.GetCounter("vaolib_scheduler_runs_total", labels);
+      sets[p].steps =
+          registry.GetCounter("vaolib_scheduler_steps_total", labels);
+      sets[p].work_units =
+          registry.GetCounter("vaolib_scheduler_work_units_total", labels);
+      sets[p].starved = registry.GetCounter(
+          "vaolib_scheduler_starved_queries_total", labels);
+      sets[p].deadline_misses = registry.GetCounter(
+          "vaolib_scheduler_deadline_misses_total", labels);
+      sets[p].budget_exhausted = registry.GetCounter(
+          "vaolib_scheduler_budget_exhausted_total", labels);
+    }
+    return sets;
+  }();
+  return counters[static_cast<int>(policy)];
+}
+
+// Lazy max-heap entry for kGreedyGlobal: scores go stale whenever a step
+// (of this task, or of another task sharing its result objects) moves the
+// uncertainty; stale pops are re-scored and re-pushed instead of eagerly
+// rebuilding the heap.
+struct HeapEntry {
+  double score = 0.0;
+  std::size_t index = 0;
+};
+
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.index > b.index;  // max-heap prefers the lowest index on ties
+  }
+};
+
+using GreedyHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>;
+
+}  // namespace
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kGreedyGlobal:
+      return "greedy_global";
+    case SchedulerPolicy::kFairShare:
+      return "fair_share";
+    case SchedulerPolicy::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+std::size_t WorkScheduler::PickFairShare(
+    const std::vector<Entry>& entries,
+    const std::vector<TaskScheduleStats>& stats) const {
+  // Smallest spent/priority ratio wins; ties go to the lowest index, so
+  // the order is deterministic and a fresh task set round-robins.
+  std::size_t best = kNone;
+  double best_ratio = 0.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].task->Done()) continue;
+    const double ratio = static_cast<double>(stats[i].spent) /
+                         entries[i].schedule.priority;
+    if (best == kNone || ratio < best_ratio) {
+      best = i;
+      best_ratio = ratio;
+    }
+  }
+  return best;
+}
+
+std::size_t WorkScheduler::PickDeadline(
+    const std::vector<Entry>& entries,
+    const std::vector<TaskScheduleStats>& stats,
+    std::uint64_t total_spent) const {
+  // A task may consume budget only while what remains still covers every
+  // OTHER unfinished task's unmet reserve; its own reserve is excluded, so
+  // a task whose reserve is unmet always has headroom of exactly that
+  // reserve. With Sum(reserves) <= budget this guarantees each query its
+  // reserved share no matter the deadline order.
+  auto eligible = [&](std::size_t q) {
+    if (entries[q].task->Done()) return false;
+    if (options_.budget == 0) return true;
+    std::uint64_t others_unmet = 0;
+    for (std::size_t p = 0; p < entries.size(); ++p) {
+      if (p == q || entries[p].task->Done()) continue;
+      const std::uint64_t reserve = entries[p].schedule.reserve;
+      if (stats[p].spent < reserve) others_unmet += reserve - stats[p].spent;
+    }
+    return total_spent < options_.budget &&
+           options_.budget - total_spent > others_unmet;
+  };
+
+  // Earliest deadline first; deadline 0 = none = after everything else.
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::size_t best = kNone;
+  std::uint64_t best_deadline = kInf;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!eligible(i)) continue;
+    const std::uint64_t deadline =
+        entries[i].schedule.deadline == 0 ? kInf : entries[i].schedule.deadline;
+    if (best == kNone || deadline < best_deadline) {
+      best = i;
+      best_deadline = deadline;
+    }
+  }
+  return best;
+}
+
+std::size_t WorkScheduler::PickGreedy(const std::vector<Entry>& entries) const {
+  // Fallback scan (used when the lazy heap is exhausted by done tasks).
+  std::size_t best = kNone;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].task->Done()) continue;
+    const double score = GreedyScore(*entries[i].task);
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::size_t WorkScheduler::PickNext(
+    const std::vector<Entry>& entries,
+    const std::vector<TaskScheduleStats>& stats,
+    std::uint64_t total_spent) const {
+  switch (options_.policy) {
+    case SchedulerPolicy::kGreedyGlobal:
+      return PickGreedy(entries);
+    case SchedulerPolicy::kFairShare:
+      return PickFairShare(entries, stats);
+    case SchedulerPolicy::kDeadline:
+      return PickDeadline(entries, stats, total_spent);
+  }
+  return kNone;
+}
+
+Result<std::vector<TaskScheduleStats>> WorkScheduler::Run(
+    const std::vector<Entry>& entries, WorkMeter* meter) {
+  if (meter == nullptr) {
+    return Status::InvalidArgument(
+        "scheduler requires a work meter (it is the budget's clock)");
+  }
+  for (const Entry& entry : entries) {
+    if (entry.task == nullptr) {
+      return Status::InvalidArgument("scheduler entry has a null task");
+    }
+    if (!(entry.schedule.priority > 0.0)) {
+      return Status::InvalidArgument(
+          "scheduler priorities must be positive");
+    }
+  }
+
+  std::vector<TaskScheduleStats> stats(entries.size());
+  std::uint64_t total_spent = 0;
+  bool budget_exhausted = false;
+
+  // kGreedyGlobal keeps a lazy max-heap over benefit/cost scores; stale
+  // entries (score changed since push, or task finished) are skipped or
+  // re-scored on pop instead of rebuilding.
+  const bool use_heap = options_.policy == SchedulerPolicy::kGreedyGlobal;
+  GreedyHeap heap;
+  if (use_heap) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].task->Done()) {
+        heap.push({GreedyScore(*entries[i].task), i});
+      }
+    }
+  }
+  auto pop_greedy = [&]() -> std::size_t {
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (entries[top.index].task->Done()) continue;
+      const double fresh = GreedyScore(*entries[top.index].task);
+      if (fresh != top.score) {
+        heap.push({fresh, top.index});  // stale: re-score and retry
+        continue;
+      }
+      return top.index;
+    }
+    return PickGreedy(entries);
+  };
+
+  while (true) {
+    if (options_.budget > 0 && total_spent >= options_.budget) {
+      budget_exhausted = std::any_of(
+          entries.begin(), entries.end(),
+          [](const Entry& e) { return !e.task->Done(); });
+      break;
+    }
+    const std::size_t pick =
+        use_heap ? pop_greedy() : PickNext(entries, stats, total_spent);
+    if (pick == kNone) {
+      // No task eligible: everyone is done, or (kDeadline) the remaining
+      // budget is fully committed to reserves nobody can use.
+      budget_exhausted = std::any_of(
+          entries.begin(), entries.end(),
+          [](const Entry& e) { return !e.task->Done(); });
+      break;
+    }
+
+    operators::IterationTask* task = entries[pick].task;
+    const std::uint64_t before = meter->Total();
+    const obs::WorkByKind work_before = obs::WorkByKind::Capture(*meter);
+    const Status status = task->Step(meter);
+    const std::uint64_t delta = meter->Total() - before;
+    const obs::WorkByKind work_delta =
+        obs::WorkByKind::Capture(*meter).DeltaSince(work_before);
+    stats[pick].spent += delta;
+    stats[pick].steps += 1;
+    stats[pick].work.exec += work_delta.exec;
+    stats[pick].work.get_state += work_delta.get_state;
+    stats[pick].work.store_state += work_delta.store_state;
+    stats[pick].work.choose_iter += work_delta.choose_iter;
+    total_spent += delta;
+    if (!status.ok()) return status;
+    if (task->Done()) {
+      stats[pick].finished_at = total_spent;
+    } else if (use_heap) {
+      heap.push({GreedyScore(*task), pick});
+    }
+  }
+
+  std::uint64_t starved_count = 0;
+  std::uint64_t miss_count = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool done = entries[i].task->Done();
+    stats[i].converged = entries[i].task->Converged();
+    stats[i].starved = !done && stats[i].steps == 0;
+    const std::uint64_t deadline = entries[i].schedule.deadline;
+    stats[i].missed_deadline =
+        deadline > 0 && (!done || stats[i].finished_at > deadline);
+    if (stats[i].starved) ++starved_count;
+    if (stats[i].missed_deadline) ++miss_count;
+  }
+
+  const PolicyCounters& counters = CountersFor(options_.policy);
+  counters.runs->Increment();
+  counters.work_units->Add(total_spent);
+  std::uint64_t total_steps = 0;
+  for (const TaskScheduleStats& s : stats) total_steps += s.steps;
+  counters.steps->Add(total_steps);
+  counters.starved->Add(starved_count);
+  counters.deadline_misses->Add(miss_count);
+  if (budget_exhausted) counters.budget_exhausted->Increment();
+
+  return stats;
+}
+
+}  // namespace vaolib::engine

@@ -1,0 +1,136 @@
+// Copyright 2026 The vaolib Authors.
+// WorkScheduler: budget-aware interleaving of resumable operator tasks
+// across queries.
+//
+// The operator layer exposes its convergence loops as IterationTasks
+// (operators/iteration_task.h); this module decides WHICH task gets the
+// next Step() when many queries compete for a shared work budget. Because
+// every task is sound to abandon -- Snapshot() always returns a provable
+// partial answer -- budget exhaustion degrades answers to converged=false
+// instead of blocking the tick.
+//
+// Accounting contract: Run() drives tasks serially and brackets every
+// Step() with WorkMeter::Total() deltas, so the per-task `spent` numbers
+// sum EXACTLY to the meter delta of the whole run. Tests assert this
+// invariant (DESIGN.md section 4d).
+
+#ifndef VAOLIB_ENGINE_SCHEDULER_H_
+#define VAOLIB_ENGINE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/work_meter.h"
+#include "obs/execution_report.h"
+#include "operators/iteration_task.h"
+
+namespace vaolib::engine {
+
+/// \brief How the scheduler picks the next task to step.
+enum class SchedulerPolicy {
+  /// Global benefit/cost greedy: step the task whose next Step() promises
+  /// the largest accuracy gain per work unit (a lazy max-heap over the
+  /// tasks' self-calibrating estimates). Converges the whole query set
+  /// with the least total work; no fairness guarantee.
+  kGreedyGlobal,
+  /// Weighted fair share: step the unfinished task with the smallest
+  /// spent/priority ratio. Starvation-free -- every unfinished task is
+  /// stepped at least once every n picks once its ratio lags.
+  kFairShare,
+  /// Earliest deadline first over the tick's work clock, with per-query
+  /// budget reserves: a task may spend beyond its own needs only while the
+  /// remaining budget still covers every other unfinished task's unmet
+  /// reserve. Tasks without a deadline (deadline == 0) run last.
+  kDeadline,
+};
+
+/// \brief Label value for \p policy ("greedy_global", "fair_share",
+/// "deadline").
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+/// \brief Per-query scheduling parameters.
+struct QuerySchedule {
+  /// kFairShare weight; spending targets are proportional to it (> 0).
+  double priority = 1.0;
+  /// kDeadline: work-clock deadline in work units since the run began;
+  /// 0 means no deadline (scheduled after all deadline-bearing tasks).
+  std::uint64_t deadline = 0;
+  /// kDeadline: work units guaranteed to this query; other tasks may not
+  /// consume budget that the reserve still needs.
+  std::uint64_t reserve = 0;
+};
+
+/// \brief Scheduler-wide parameters.
+struct SchedulerOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kGreedyGlobal;
+  /// Total work-unit budget for one Run(); 0 = unlimited (run every task
+  /// to completion).
+  std::uint64_t budget = 0;
+};
+
+/// \brief Per-task account of one Run().
+struct TaskScheduleStats {
+  /// Work units this task's steps charged (exact meter deltas). The sum
+  /// over all tasks equals the run's whole meter delta.
+  std::uint64_t spent = 0;
+  /// Number of Step() calls granted.
+  std::uint64_t steps = 0;
+  /// `spent` split by WorkKind.
+  obs::WorkByKind work;
+  /// Work-clock time (total spent across ALL tasks) when this task
+  /// finished; 0 while unfinished.
+  std::uint64_t finished_at = 0;
+  /// Task completed its work (IterationTask::Converged()).
+  bool converged = false;
+  /// Unfinished and never stepped: the budget ran out before the policy
+  /// ever reached this task.
+  bool starved = false;
+  /// Had a deadline and either finished after it or not at all.
+  bool missed_deadline = false;
+};
+
+/// \brief Budget-aware multi-task stepper. Stateless between runs; create
+/// one per tick (cheap) or reuse.
+class WorkScheduler {
+ public:
+  /// One schedulable unit: a live task plus its query's parameters.
+  struct Entry {
+    operators::IterationTask* task = nullptr;  ///< borrowed, non-null
+    QuerySchedule schedule;
+  };
+
+  explicit WorkScheduler(const SchedulerOptions& options)
+      : options_(options) {}
+
+  /// Steps the entries' tasks until all are Done() or the budget is
+  /// exhausted, charging bookkeeping to \p meter (required: it is the
+  /// budget's clock). Tasks already Done() on entry are fine (their stats
+  /// just record zero steps without counting as starved). Returns per-entry
+  /// stats parallel to \p entries; a Step() error fails the run with that
+  /// task's Status.
+  Result<std::vector<TaskScheduleStats>> Run(
+      const std::vector<Entry>& entries, WorkMeter* meter);
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  /// Policy dispatch: index of the next entry to step, or npos when no
+  /// entry is eligible (all done, or reserves block everyone).
+  std::size_t PickNext(const std::vector<Entry>& entries,
+                       const std::vector<TaskScheduleStats>& stats,
+                       std::uint64_t total_spent) const;
+
+  std::size_t PickGreedy(const std::vector<Entry>& entries) const;
+  std::size_t PickFairShare(const std::vector<Entry>& entries,
+                            const std::vector<TaskScheduleStats>& stats) const;
+  std::size_t PickDeadline(const std::vector<Entry>& entries,
+                           const std::vector<TaskScheduleStats>& stats,
+                           std::uint64_t total_spent) const;
+
+  SchedulerOptions options_;
+};
+
+}  // namespace vaolib::engine
+
+#endif  // VAOLIB_ENGINE_SCHEDULER_H_

@@ -65,7 +65,17 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
   os << "\"thread_pool\": {\"parallel_fors\": " << pool_parallel_fors
      << ", \"tasks_enqueued\": " << pool_tasks_enqueued
      << ", \"chunks_executed\": " << pool_chunks_executed
-     << ", \"queue_wait_nanos\": " << pool_queue_wait_nanos << "}";
+     << ", \"queue_wait_nanos\": " << pool_queue_wait_nanos << "}, ";
+  os << "\"scheduler\": {\"scheduled\": " << (scheduled ? "true" : "false")
+     << ", \"policy\": \"" << scheduler_policy << "\""
+     << ", \"budget\": " << scheduler_budget
+     << ", \"spent\": " << scheduler_spent
+     << ", \"steps\": " << scheduler_steps
+     << ", \"finished_at\": " << scheduler_finished_at
+     << ", \"converged\": " << (converged ? "true" : "false")
+     << ", \"starved\": " << (starved ? "true" : "false")
+     << ", \"missed_deadline\": " << (missed_deadline ? "true" : "false")
+     << "}";
   os << "}";
 }
 
@@ -130,6 +140,28 @@ void ExecutionReport::RenderPrometheus(std::ostream& os) const {
   os << "# TYPE vaolib_query_pool_queue_wait_nanos gauge\n";
   os << "vaolib_query_pool_queue_wait_nanos" << kind_label << " "
      << pool_queue_wait_nanos << "\n";
+  if (scheduled) {
+    const std::string sched_label = "{kind=\"" + query_kind + "\",policy=\"" +
+                                    scheduler_policy + "\"}";
+    os << "# TYPE vaolib_query_scheduler_budget gauge\n";
+    os << "vaolib_query_scheduler_budget" << sched_label << " "
+       << scheduler_budget << "\n";
+    os << "# TYPE vaolib_query_scheduler_spent gauge\n";
+    os << "vaolib_query_scheduler_spent" << sched_label << " "
+       << scheduler_spent << "\n";
+    os << "# TYPE vaolib_query_scheduler_steps gauge\n";
+    os << "vaolib_query_scheduler_steps" << sched_label << " "
+       << scheduler_steps << "\n";
+    os << "# TYPE vaolib_query_scheduler_converged gauge\n";
+    os << "vaolib_query_scheduler_converged" << sched_label << " "
+       << (converged ? 1 : 0) << "\n";
+    os << "# TYPE vaolib_query_scheduler_starved gauge\n";
+    os << "vaolib_query_scheduler_starved" << sched_label << " "
+       << (starved ? 1 : 0) << "\n";
+    os << "# TYPE vaolib_query_scheduler_missed_deadline gauge\n";
+    os << "vaolib_query_scheduler_missed_deadline" << sched_label << " "
+       << (missed_deadline ? 1 : 0) << "\n";
+  }
 }
 
 namespace {
@@ -291,6 +323,14 @@ Result<std::uint64_t> GetNumber(const JsonValue& parent,
   return v->number;
 }
 
+Result<bool> GetBool(const JsonValue& parent, const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("field '" + key + "' is not a bool");
+  }
+  return v->boolean;
+}
+
 }  // namespace
 
 Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
@@ -375,6 +415,24 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
                           GetNumber(*pool, "chunks_executed"));
   VAOLIB_ASSIGN_OR_RETURN(report.pool_queue_wait_nanos,
                           GetNumber(*pool, "queue_wait_nanos"));
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* sched, Child(*root, "scheduler"));
+  VAOLIB_ASSIGN_OR_RETURN(report.scheduled, GetBool(*sched, "scheduled"));
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* policy, Child(*sched, "policy"));
+  if (policy->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("scheduler.policy is not a string");
+  }
+  report.scheduler_policy = policy->string;
+  VAOLIB_ASSIGN_OR_RETURN(report.scheduler_budget,
+                          GetNumber(*sched, "budget"));
+  VAOLIB_ASSIGN_OR_RETURN(report.scheduler_spent, GetNumber(*sched, "spent"));
+  VAOLIB_ASSIGN_OR_RETURN(report.scheduler_steps, GetNumber(*sched, "steps"));
+  VAOLIB_ASSIGN_OR_RETURN(report.scheduler_finished_at,
+                          GetNumber(*sched, "finished_at"));
+  VAOLIB_ASSIGN_OR_RETURN(report.converged, GetBool(*sched, "converged"));
+  VAOLIB_ASSIGN_OR_RETURN(report.starved, GetBool(*sched, "starved"));
+  VAOLIB_ASSIGN_OR_RETURN(report.missed_deadline,
+                          GetBool(*sched, "missed_deadline"));
   return report;
 }
 

@@ -109,6 +109,25 @@ struct ExecutionReport {
   std::uint64_t pool_queue_wait_nanos = 0;
   /// @}
 
+  /// \name Cross-query scheduling account (engine/scheduler.h). Only
+  /// meaningful when `scheduled` is true -- the query ran under a
+  /// WorkScheduler with a global work budget; `converged` is then false
+  /// whenever the budget ran out before this query finished. The spent
+  /// numbers of all queries in one scheduled tick sum exactly to the
+  /// scheduler run's WorkMeter delta.
+  /// @{
+  bool scheduled = false;
+  std::string scheduler_policy;
+  std::uint64_t scheduler_budget = 0;
+  std::uint64_t scheduler_spent = 0;
+  std::uint64_t scheduler_steps = 0;
+  /// Work-clock time at which this query finished (0 while unfinished).
+  std::uint64_t scheduler_finished_at = 0;
+  bool converged = true;
+  bool starved = false;
+  bool missed_deadline = false;
+  /// @}
+
   /// Writes the report as one JSON object (TableWriter-style renderer).
   void RenderJson(std::ostream& os) const;
 

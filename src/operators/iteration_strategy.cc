@@ -1,0 +1,95 @@
+#include "operators/iteration_strategy.h"
+
+namespace vaolib::operators {
+
+namespace {
+
+// The paper's chooseIter: highest predicted benefit per estimated CPU
+// cycle, first maximum winning ties; when no candidate predicts progress
+// (estimates can be wrong), the one with the largest actual width measure,
+// so the real bounds keep tightening and termination conditions eventually
+// fire.
+class GreedyStrategy : public IterationStrategy {
+ public:
+  const char* name() const override { return "greedy"; }
+  bool WantsScores() const override { return true; }
+
+  std::size_t Choose(
+      const std::vector<IterationCandidate>& candidates) override {
+    std::size_t chosen = candidates.front().index;
+    double best_score = -1.0;
+    for (const IterationCandidate& c : candidates) {
+      const double score = c.benefit / c.cost;
+      if (score > best_score) {
+        best_score = score;
+        chosen = c.index;
+      }
+    }
+    if (best_score <= 0.0) {
+      double widest = -1.0;
+      for (const IterationCandidate& c : candidates) {
+        if (c.width > widest) {
+          widest = c.width;
+          chosen = c.index;
+        }
+      }
+    }
+    return chosen;
+  }
+};
+
+class RoundRobinStrategy : public IterationStrategy {
+ public:
+  const char* name() const override { return "round_robin"; }
+  bool WantsScores() const override { return false; }
+
+  std::size_t Choose(
+      const std::vector<IterationCandidate>& candidates) override {
+    const std::size_t chosen =
+        candidates[cursor_ % candidates.size()].index;
+    ++cursor_;
+    return chosen;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class RandomStrategy : public IterationStrategy {
+ public:
+  explicit RandomStrategy(Rng* rng) : rng_(rng) {}
+
+  const char* name() const override { return "random"; }
+  bool WantsScores() const override { return false; }
+
+  std::size_t Choose(
+      const std::vector<IterationCandidate>& candidates) override {
+    return candidates[static_cast<std::size_t>(rng_->UniformInt(
+                          0, static_cast<std::int64_t>(candidates.size()) -
+                                 1))]
+        .index;
+  }
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<IterationStrategy>> MakeStrategy(StrategyKind kind,
+                                                        Rng* rng) {
+  switch (kind) {
+    case StrategyKind::kGreedy:
+      return std::unique_ptr<IterationStrategy>(new GreedyStrategy());
+    case StrategyKind::kRoundRobin:
+      return std::unique_ptr<IterationStrategy>(new RoundRobinStrategy());
+    case StrategyKind::kRandom:
+      if (rng == nullptr) {
+        return Status::InvalidArgument("random strategy requires an Rng");
+      }
+      return std::unique_ptr<IterationStrategy>(new RandomStrategy(rng));
+  }
+  return Status::InvalidArgument("unknown strategy kind");
+}
+
+}  // namespace vaolib::operators

@@ -1,0 +1,1005 @@
+#include "operators/iteration_task.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "vao/parallel.h"
+
+namespace vaolib::operators {
+
+namespace {
+
+// Work in "max space": for kMin every interval is negated ([-H, -L]) so the
+// minimum becomes the maximum, and results are negated back at the end.
+Bounds View(const Bounds& b, ExtremeKind kind) {
+  return kind == ExtremeKind::kMax ? b : Bounds(-b.hi, -b.lo);
+}
+
+Bounds Unview(const Bounds& b, ExtremeKind kind) {
+  return kind == ExtremeKind::kMax ? b : Bounds(-b.hi, -b.lo);
+}
+
+// Greedy score ingredients of Section 5.2: weighted predicted error
+// reduction and estimated CPU cycles (the strategy divides them).
+double SumReduction(const vao::ResultObject& object, double weight) {
+  const Bounds cur = object.bounds();
+  const Bounds est = object.est_bounds();
+  return std::max(0.0, weight * ((est.lo - cur.lo) + (cur.hi - est.hi)));
+}
+
+double EstCostOf(const vao::ResultObject& object) {
+  return static_cast<double>(
+      std::max<std::uint64_t>(object.est_cost(), 1));
+}
+
+double GreedyScore(const vao::ResultObject& object, double weight) {
+  return SumReduction(object, weight) / EstCostOf(object);
+}
+
+std::uint64_t Log2Ceil(std::size_t n) {
+  std::uint64_t bits = 1;
+  while (n > 1) {
+    ++bits;
+    n >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IterationTask base
+// ---------------------------------------------------------------------------
+
+Status IterationTask::Step(WorkMeter* meter) {
+  if (done_) {
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " task stepped after completion");
+  }
+  const std::uint64_t cost_before = meter != nullptr ? meter->Total() : 0;
+  const double uncertainty_before = CurrentUncertainty();
+  const Status status = StepImpl(meter);
+  if (!status.ok()) {
+    done_ = true;
+    converged_ = false;
+    return status;
+  }
+  const double uncertainty_after = done_ ? 0.0 : CurrentUncertainty();
+  est_benefit_ = std::max(0.0, uncertainty_before - uncertainty_after);
+  if (meter != nullptr) {
+    est_cost_ = std::max<double>(
+        1.0, static_cast<double>(meter->Total() - cost_before));
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+double IterationTask::EstimatedBenefit() const {
+  if (done_) return 0.0;
+  return calibrated_ ? est_benefit_ : CurrentUncertainty();
+}
+
+double IterationTask::EstimatedCost() const { return est_cost_; }
+
+Result<bool> DriveTask(IterationTask* task, const OperatorOptions& options) {
+  WorkMeter* meter = options.meter;
+  const std::uint64_t base = meter != nullptr ? meter->Total() : 0;
+  while (!task->Done()) {
+    if (options.budget > 0 && meter != nullptr &&
+        meter->Total() - base >= options.budget) {
+      return false;
+    }
+    VAOLIB_RETURN_IF_ERROR(task->Step(meter));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MinMaxIterationTask
+// ---------------------------------------------------------------------------
+
+MinMaxIterationTask::MinMaxIterationTask(
+    const MinMaxOptions& options,
+    const std::vector<vao::ResultObject*>& objects,
+    std::unique_ptr<IterationStrategy> strategy)
+    : options_(options),
+      objects_(objects),
+      strategy_(std::move(strategy)),
+      stall_(objects.size()),
+      touched_(objects.size(), false) {}
+
+Result<std::unique_ptr<MinMaxIterationTask>> MinMaxIterationTask::Create(
+    const MinMaxOptions& options,
+    const std::vector<vao::ResultObject*>& objects) {
+  VAOLIB_RETURN_IF_ERROR(ValidateMinMaxInputs(objects, options.epsilon));
+  VAOLIB_ASSIGN_OR_RETURN(auto strategy,
+                          MakeStrategy(options.strategy, options.rng));
+  return std::unique_ptr<MinMaxIterationTask>(
+      new MinMaxIterationTask(options, objects, std::move(strategy)));
+}
+
+Bounds MinMaxIterationTask::ViewOf(std::size_t i) const {
+  return View(objects_[i]->bounds(), options_.kind);
+}
+
+Bounds MinMaxIterationTask::EstViewOf(std::size_t i) const {
+  return View(objects_[i]->est_bounds(), options_.kind);
+}
+
+bool MinMaxIterationTask::EffectivelyConverged(std::size_t i) const {
+  return objects_[i]->AtStoppingCondition() || stall_[i].stalled();
+}
+
+Status MinMaxIterationTask::ObserveIterate(std::size_t i) {
+  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "MIN/MAX"));
+  stall_[i].Observe(objects_[i]->bounds().Width());
+  return Status::OK();
+}
+
+Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
+  switch (phase_) {
+    case Phase::kCoarse: {
+      // Optional parallel phase: bulk-converge everything to the coarse
+      // width on the pool; the greedy search starts from those states.
+      std::vector<std::uint64_t> coarse_iterations;
+      VAOLIB_RETURN_IF_ERROR(ParallelCoarseConverge(
+          objects_, options_.threads, options_.coarse_width,
+          options_.coarse_max_steps, &coarse_iterations));
+      for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+        outcome_.stats.iterations += coarse_iterations[i];
+        outcome_.stats.coarse_iterations += coarse_iterations[i];
+        if (coarse_iterations[i] > 0) touched_[i] = true;
+      }
+      if (outcome_.stats.iterations > options_.max_total_iterations) {
+        return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
+      }
+      // Candidate indices still able to be the maximum; pruned candidates
+      // are never reconsidered (bounds only tighten).
+      alive_.resize(objects_.size());
+      std::iota(alive_.begin(), alive_.end(), std::size_t{0});
+      phase_ = Phase::kSearch;
+      return Status::OK();
+    }
+
+    case Phase::kSearch: {
+      // Prune dominated candidates.
+      double best_lo = -std::numeric_limits<double>::infinity();
+      for (const std::size_t i : alive_) {
+        best_lo = std::max(best_lo, ViewOf(i).lo);
+      }
+      std::erase_if(alive_,
+                    [&](std::size_t i) { return ViewOf(i).hi < best_lo; });
+
+      // Guess o'_max: the candidate with the highest upper bound.
+      std::size_t guess = alive_.front();
+      for (const std::size_t i : alive_) {
+        if (ViewOf(i).hi > ViewOf(guess).hi) guess = i;
+      }
+
+      // Termination case (1): every rival eliminated.
+      if (alive_.size() == 1) {
+        outcome_.winner_index = guess;
+        phase_ = Phase::kFinalize;
+        return Status::OK();
+      }
+      // Termination case (2): guess and all (overlapping) rivals converged.
+      const bool all_converged = std::all_of(
+          alive_.begin(), alive_.end(),
+          [&](std::size_t i) { return EffectivelyConverged(i); });
+      if (all_converged) {
+        outcome_.winner_index = guess;
+        outcome_.tie = true;
+        for (const std::size_t i : alive_) {
+          if (i != guess) outcome_.tied_indices.push_back(i);
+        }
+        phase_ = Phase::kFinalize;
+        return Status::OK();
+      }
+
+      // Choose the next iteration among live, non-converged candidates
+      // (all_converged was false, so the set is non-empty).
+      std::vector<std::size_t> iterable;
+      for (const std::size_t i : alive_) {
+        if (!EffectivelyConverged(i)) iterable.push_back(i);
+      }
+
+      ++outcome_.stats.choose_steps;
+      if (meter != nullptr) {
+        // O(N) per choice without indexing (Section 5.1).
+        meter->Charge(WorkKind::kChooseIter, alive_.size());
+      }
+
+      std::vector<IterationCandidate> candidates;
+      candidates.reserve(iterable.size());
+      if (strategy_->WantsScores()) {
+        // Estimated total-overlap reduction with the guess, per CPU cycle.
+        const Bounds guess_bounds = ViewOf(guess);
+        for (const std::size_t i : iterable) {
+          double reduction = 0.0;
+          if (i == guess) {
+            // Iterating the guess shrinks its overlap with every rival.
+            const Bounds est = EstViewOf(guess);
+            for (const std::size_t j : alive_) {
+              if (j == guess) continue;
+              const Bounds other = ViewOf(j);
+              reduction +=
+                  std::max(0.0, guess_bounds.OverlapWidth(other) -
+                                    est.OverlapWidth(other));
+            }
+          } else {
+            // Iterating rival i shrinks only the (guess, i) overlap. With
+            // est inside the current bounds this equals the paper's
+            // min(o_i.H - o'max.L, o_i.H - o_i.estH).
+            const Bounds cur = ViewOf(i);
+            const Bounds est = EstViewOf(i);
+            reduction = std::max(0.0, guess_bounds.OverlapWidth(cur) -
+                                          guess_bounds.OverlapWidth(est));
+          }
+          candidates.push_back(IterationCandidate{
+              i, reduction, EstCostOf(*objects_[i]), ViewOf(i).Width()});
+        }
+      } else {
+        for (const std::size_t i : iterable) {
+          candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
+        }
+      }
+      const std::size_t chosen = strategy_->Choose(candidates);
+
+      VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
+      VAOLIB_RETURN_IF_ERROR(ObserveIterate(chosen));
+      touched_[chosen] = true;
+      ++outcome_.stats.greedy_iterations;
+      if (++outcome_.stats.iterations > options_.max_total_iterations) {
+        return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
+      }
+      return Status::OK();
+    }
+
+    case Phase::kFinalize: {
+      // Refine the winner to the precision constraint. Its stopping
+      // condition implies width < minWidth <= epsilon, so this always
+      // terminates (a stalled winner is quarantined with sound-but-wider
+      // bounds instead).
+      vao::ResultObject* winner = objects_[outcome_.winner_index];
+      if (winner->bounds().Width() > options_.epsilon &&
+          !EffectivelyConverged(outcome_.winner_index)) {
+        VAOLIB_RETURN_IF_ERROR(winner->Iterate());
+        VAOLIB_RETURN_IF_ERROR(ObserveIterate(outcome_.winner_index));
+        touched_[outcome_.winner_index] = true;
+        ++outcome_.stats.finalize_iterations;
+        if (++outcome_.stats.iterations > options_.max_total_iterations) {
+          return Status::NotConverged(
+              "MIN/MAX exceeded max_total_iterations");
+        }
+        return Status::OK();
+      }
+      Finish();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("MIN/MAX task in unknown phase");
+}
+
+void MinMaxIterationTask::Finish() {
+  outcome_.winner_bounds = objects_[outcome_.winner_index]->bounds();
+  outcome_.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++outcome_.stats.objects_touched;
+  }
+  outcome_.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++outcome_.stats.stalled_objects;
+  }
+  outcome_.precision_degraded = outcome_.stats.stalled_objects > 0;
+  outcome_.converged = true;
+  MarkDone(true);
+}
+
+double MinMaxIterationTask::CurrentUncertainty() const {
+  if (Done()) return 0.0;
+  if (phase_ == Phase::kFinalize) {
+    return objects_[outcome_.winner_index]->bounds().Width();
+  }
+  // Envelope width of the candidate set in max space: how much higher than
+  // the best proven lower bound the true extreme could still be.
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  if (alive_.empty()) {
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      const Bounds b = ViewOf(i);
+      lo = std::max(lo, b.lo);
+      hi = std::max(hi, b.hi);
+    }
+  } else {
+    for (const std::size_t i : alive_) {
+      const Bounds b = ViewOf(i);
+      lo = std::max(lo, b.lo);
+      hi = std::max(hi, b.hi);
+    }
+  }
+  return std::max(0.0, hi - lo);
+}
+
+MinMaxOutcome MinMaxIterationTask::Snapshot() const {
+  if (Done()) return outcome_;
+
+  MinMaxOutcome partial = outcome_;
+  partial.converged = false;
+  partial.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++partial.stats.objects_touched;
+  }
+  partial.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++partial.stats.stalled_objects;
+  }
+  partial.precision_degraded = partial.stats.stalled_objects > 0;
+
+  if (phase_ == Phase::kFinalize) {
+    // Membership is settled; only the winner's width is still open.
+    partial.winner_bounds = objects_[partial.winner_index]->bounds();
+    return partial;
+  }
+
+  // Best current guess plus a sound envelope: the true extreme value lies in
+  // [max lo, max hi] over the surviving candidates (in max space) -- the
+  // guess's own bounds could exclude it, the envelope cannot.
+  std::vector<std::size_t> all;
+  const std::vector<std::size_t>* candidates = &alive_;
+  if (alive_.empty()) {
+    all.resize(objects_.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    candidates = &all;
+  }
+  std::size_t guess = candidates->front();
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const std::size_t i : *candidates) {
+    const Bounds b = ViewOf(i);
+    if (b.hi > ViewOf(guess).hi) guess = i;
+    lo = std::max(lo, b.lo);
+    hi = std::max(hi, b.hi);
+  }
+  partial.winner_index = guess;
+  partial.winner_bounds = Unview(Bounds(lo, hi), options_.kind);
+  return partial;
+}
+
+// ---------------------------------------------------------------------------
+// SumAveIterationTask
+// ---------------------------------------------------------------------------
+
+SumAveIterationTask::SumAveIterationTask(
+    const SumAveOptions& options,
+    const std::vector<vao::ResultObject*>& objects,
+    std::vector<double> weights,
+    std::unique_ptr<IterationStrategy> strategy)
+    : options_(options),
+      objects_(objects),
+      weights_(std::move(weights)),
+      strategy_(std::move(strategy)),
+      stall_(objects.size()),
+      touched_(objects.size(), false) {}
+
+Result<std::unique_ptr<SumAveIterationTask>> SumAveIterationTask::Create(
+    const SumAveOptions& options,
+    const std::vector<vao::ResultObject*>& objects,
+    std::vector<double> weights) {
+  VAOLIB_RETURN_IF_ERROR(
+      ValidateSumAveInputs(objects, weights, options.epsilon));
+  VAOLIB_ASSIGN_OR_RETURN(auto strategy,
+                          MakeStrategy(options.strategy, options.rng));
+  return std::unique_ptr<SumAveIterationTask>(new SumAveIterationTask(
+      options, objects, std::move(weights), std::move(strategy)));
+}
+
+Bounds SumAveIterationTask::ExactSum() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const Bounds b = objects_[i]->bounds();
+    lo += weights_[i] * b.lo;
+    hi += weights_[i] * b.hi;
+  }
+  return Bounds(lo, hi);
+}
+
+Status SumAveIterationTask::ApplyIterate(std::size_t chosen) {
+  // Incrementally maintained output interval: subtract the object's old
+  // weighted contribution and add the new one, so each round is O(1) on the
+  // interval itself.
+  const Bounds before = objects_[chosen]->bounds();
+  VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
+  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[chosen], "SUM/AVE"));
+  const Bounds after = objects_[chosen]->bounds();
+  sum_.lo += weights_[chosen] * (after.lo - before.lo);
+  sum_.hi += weights_[chosen] * (after.hi - before.hi);
+  touched_[chosen] = true;
+  stall_[chosen].Observe(after.Width());
+  return Status::OK();
+}
+
+Status SumAveIterationTask::StepImpl(WorkMeter* meter) {
+  switch (phase_) {
+    case Phase::kCoarse: {
+      std::vector<std::uint64_t> coarse_iterations;
+      VAOLIB_RETURN_IF_ERROR(ParallelCoarseConverge(
+          objects_, options_.threads, options_.coarse_width,
+          options_.coarse_max_steps, &coarse_iterations));
+      for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+        outcome_.stats.iterations += coarse_iterations[i];
+        outcome_.stats.coarse_iterations += coarse_iterations[i];
+        if (coarse_iterations[i] > 0) touched_[i] = true;
+      }
+      sum_ = ExactSum();
+      if (options_.use_heap_index &&
+          options_.strategy == StrategyKind::kGreedy) {
+        heap_.Reset(objects_.size());
+        for (std::size_t i = 0; i < objects_.size(); ++i) {
+          if (weights_[i] > 0.0 && !objects_[i]->AtStoppingCondition()) {
+            heap_.Update(i, GreedyScore(*objects_[i], weights_[i]));
+          }
+        }
+        phase_ = Phase::kHeapScan;
+      } else {
+        phase_ = Phase::kScan;
+      }
+      return Status::OK();
+    }
+
+    case Phase::kScan:
+      return StepScan(meter);
+    case Phase::kHeapScan:
+      return StepHeap(meter);
+  }
+  return Status::Internal("SUM/AVE task in unknown phase");
+}
+
+Status SumAveIterationTask::StepScan(WorkMeter* meter) {
+  if (!(sum_.Width() > options_.epsilon)) {
+    Finish();
+    return Status::OK();
+  }
+
+  // Candidates: objects that may still tighten. Stalled objects are
+  // quarantined from the set; their frozen (still sound) contribution
+  // remains in the sum.
+  std::vector<std::size_t> iterable;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (!objects_[i]->AtStoppingCondition() && !stall_[i].stalled() &&
+        weights_[i] > 0.0) {
+      iterable.push_back(i);
+    }
+  }
+  if (iterable.empty()) {
+    outcome_.limited_by_min_width = true;
+    Finish();
+    return Status::OK();
+  }
+
+  ++outcome_.stats.choose_steps;
+  if (meter != nullptr) {
+    meter->Charge(WorkKind::kChooseIter, iterable.size());
+  }
+
+  std::vector<IterationCandidate> candidates;
+  candidates.reserve(iterable.size());
+  if (strategy_->WantsScores()) {
+    // The paper's heuristic: estimated weighted error reduction
+    // w_i * [(estL - L) + (H - estH)] per estimated CPU cycle; the widest
+    // actual weighted width is the no-predicted-progress fallback.
+    for (const std::size_t i : iterable) {
+      candidates.push_back(IterationCandidate{
+          i, SumReduction(*objects_[i], weights_[i]), EstCostOf(*objects_[i]),
+          weights_[i] * objects_[i]->bounds().Width()});
+    }
+  } else {
+    for (const std::size_t i : iterable) {
+      candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
+    }
+  }
+  const std::size_t chosen = strategy_->Choose(candidates);
+
+  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen));
+  ++outcome_.stats.greedy_iterations;
+  if (++outcome_.stats.iterations > options_.max_total_iterations) {
+    return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
+  }
+  return Status::OK();
+}
+
+Status SumAveIterationTask::StepHeap(WorkMeter* meter) {
+  if (!(sum_.Width() > options_.epsilon)) {
+    Finish();
+    return Status::OK();
+  }
+
+  std::size_t chosen = 0;
+  double score = 0.0;
+  if (!heap_.PopBest(&chosen, &score)) {
+    outcome_.limited_by_min_width = true;
+    Finish();
+    return Status::OK();
+  }
+  ++outcome_.stats.choose_steps;
+  if (meter != nullptr) {
+    // One heap pop plus one push: O(log N).
+    meter->Charge(WorkKind::kChooseIter, 2 * Log2Ceil(objects_.size()));
+  }
+
+  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen));
+  // Stalled objects simply stop being re-pushed, so their (sound, frozen)
+  // contribution stays in the sum.
+  if (!objects_[chosen]->AtStoppingCondition() && !stall_[chosen].stalled()) {
+    heap_.Update(chosen, GreedyScore(*objects_[chosen], weights_[chosen]));
+  }
+
+  ++outcome_.stats.greedy_iterations;
+  if (++outcome_.stats.iterations > options_.max_total_iterations) {
+    return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
+  }
+  return Status::OK();
+}
+
+void SumAveIterationTask::Finish() {
+  // Recompute exactly to shed accumulated floating-point drift.
+  outcome_.sum_bounds = ExactSum();
+  outcome_.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++outcome_.stats.objects_touched;
+  }
+  outcome_.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++outcome_.stats.stalled_objects;
+  }
+  outcome_.converged = true;
+  MarkDone(true);
+}
+
+double SumAveIterationTask::CurrentUncertainty() const {
+  if (Done()) return 0.0;
+  if (phase_ == Phase::kCoarse) return ExactSum().Width();
+  return sum_.Width();
+}
+
+SumOutcome SumAveIterationTask::Snapshot() const {
+  if (Done()) return outcome_;
+
+  SumOutcome partial = outcome_;
+  partial.converged = false;
+  partial.sum_bounds = ExactSum();
+  partial.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++partial.stats.objects_touched;
+  }
+  partial.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++partial.stats.stalled_objects;
+  }
+  return partial;
+}
+
+// ---------------------------------------------------------------------------
+// TopKIterationTask
+// ---------------------------------------------------------------------------
+
+TopKIterationTask::TopKIterationTask(
+    const TopKOptions& options,
+    const std::vector<vao::ResultObject*>& objects,
+    std::unique_ptr<IterationStrategy> strategy)
+    : options_(options),
+      objects_(objects),
+      strategy_(std::move(strategy)),
+      stall_(objects.size()),
+      touched_(objects.size(), false),
+      order_(objects.size()) {
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+}
+
+Result<std::unique_ptr<TopKIterationTask>> TopKIterationTask::Create(
+    const TopKOptions& options,
+    const std::vector<vao::ResultObject*>& objects) {
+  VAOLIB_RETURN_IF_ERROR(
+      ValidateTopKInputs(objects, options.k, options.epsilon));
+  VAOLIB_ASSIGN_OR_RETURN(auto strategy,
+                          MakeStrategy(options.strategy, options.rng));
+  return std::unique_ptr<TopKIterationTask>(
+      new TopKIterationTask(options, objects, std::move(strategy)));
+}
+
+Bounds TopKIterationTask::ViewOf(std::size_t i) const {
+  return View(objects_[i]->bounds(), options_.kind);
+}
+
+Bounds TopKIterationTask::EstViewOf(std::size_t i) const {
+  return View(objects_[i]->est_bounds(), options_.kind);
+}
+
+bool TopKIterationTask::EffectivelyConverged(std::size_t i) const {
+  return objects_[i]->AtStoppingCondition() || stall_[i].stalled();
+}
+
+Status TopKIterationTask::IterateOne(std::size_t i,
+                                     std::uint64_t* phase_counter) {
+  VAOLIB_RETURN_IF_ERROR(objects_[i]->Iterate());
+  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "TOP-K"));
+  stall_[i].Observe(objects_[i]->bounds().Width());
+  touched_[i] = true;
+  ++*phase_counter;
+  if (++outcome_.stats.iterations > options_.max_total_iterations) {
+    return Status::NotConverged("TOP-K exceeded max_total_iterations");
+  }
+  return Status::OK();
+}
+
+Status TopKIterationTask::StepImpl(WorkMeter* meter) {
+  const std::size_t n = objects_.size();
+  const std::size_t k = options_.k;
+
+  switch (phase_) {
+    case Phase::kCoarse: {
+      std::vector<std::uint64_t> coarse_iterations;
+      VAOLIB_RETURN_IF_ERROR(ParallelCoarseConverge(
+          objects_, options_.threads, options_.coarse_width,
+          options_.coarse_max_steps, &coarse_iterations));
+      for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
+        outcome_.stats.iterations += coarse_iterations[i];
+        outcome_.stats.coarse_iterations += coarse_iterations[i];
+        if (coarse_iterations[i] > 0) touched_[i] = true;
+      }
+      if (outcome_.stats.iterations > options_.max_total_iterations) {
+        return Status::NotConverged("TOP-K exceeded max_total_iterations");
+      }
+      phase_ = Phase::kBoundary;
+      return Status::OK();
+    }
+
+    case Phase::kBoundary: {
+      // Guess the top-k set: the k candidates with the highest upper bounds.
+      std::partial_sort(order_.begin(),
+                        order_.begin() + static_cast<std::ptrdiff_t>(k),
+                        order_.end(), [&](std::size_t a, std::size_t b) {
+                          return ViewOf(a).hi > ViewOf(b).hi;
+                        });
+      members_.assign(order_.begin(),
+                      order_.begin() + static_cast<std::ptrdiff_t>(k));
+
+      if (k == n) {  // everything is selected; only refinement remains
+        phase_ = Phase::kFinalize;
+        return Status::OK();
+      }
+
+      // Selection boundary: members must end strictly above all outsiders.
+      double boundary_lo = std::numeric_limits<double>::infinity();
+      for (const std::size_t i : members_) {
+        boundary_lo = std::min(boundary_lo, ViewOf(i).lo);
+      }
+      double boundary_hi = -std::numeric_limits<double>::infinity();
+      for (std::size_t idx = k; idx < n; ++idx) {
+        boundary_hi = std::max(boundary_hi, ViewOf(order_[idx]).hi);
+      }
+      if (boundary_lo > boundary_hi) {  // fully separated
+        phase_ = Phase::kFinalize;
+        return Status::OK();
+      }
+
+      // Conflicted objects: members reachable from below, outsiders
+      // reaching into the member zone.
+      std::vector<std::size_t> conflicted;
+      for (const std::size_t i : members_) {
+        if (ViewOf(i).lo <= boundary_hi) conflicted.push_back(i);
+      }
+      for (std::size_t idx = k; idx < n; ++idx) {
+        if (ViewOf(order_[idx]).hi >= boundary_lo) {
+          conflicted.push_back(order_[idx]);
+        }
+      }
+
+      std::vector<std::size_t> iterable;
+      for (const std::size_t i : conflicted) {
+        if (!EffectivelyConverged(i)) iterable.push_back(i);
+      }
+      if (iterable.empty()) {
+        // Everything straddling the boundary is converged: membership of
+        // the last slots is tie-determined (termination case 2 of
+        // Section 5.1).
+        outcome_.tie = true;
+        phase_ = Phase::kFinalize;
+        return Status::OK();
+      }
+
+      ++outcome_.stats.choose_steps;
+      if (meter != nullptr) {
+        meter->Charge(WorkKind::kChooseIter, conflicted.size());
+      }
+
+      std::vector<IterationCandidate> candidates;
+      candidates.reserve(iterable.size());
+      if (strategy_->WantsScores()) {
+        // Greedy: the largest predicted cross-boundary overlap reduction
+        // per estimated CPU cycle.
+        const auto member_set_end =
+            order_.begin() + static_cast<std::ptrdiff_t>(k);
+        for (const std::size_t i : iterable) {
+          const bool is_member =
+              std::find(order_.begin(), member_set_end, i) != member_set_end;
+          const Bounds cur = ViewOf(i);
+          const Bounds est = EstViewOf(i);
+          double gain;
+          if (is_member) {
+            // Raising a member's lower bound toward the outsiders' ceiling.
+            gain = std::min(boundary_hi - cur.lo, est.lo - cur.lo);
+          } else {
+            // Lowering an outsider's upper bound toward the members' floor.
+            gain = std::min(cur.hi - boundary_lo, cur.hi - est.hi);
+          }
+          gain = std::max(gain, 0.0);
+          candidates.push_back(IterationCandidate{
+              i, gain, EstCostOf(*objects_[i]), ViewOf(i).Width()});
+        }
+      } else {
+        for (const std::size_t i : iterable) {
+          candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
+        }
+      }
+      const std::size_t chosen = strategy_->Choose(candidates);
+      return IterateOne(chosen, &outcome_.stats.greedy_iterations);
+    }
+
+    case Phase::kFinalize: {
+      // Refine every selected member to the precision constraint.
+      while (finalize_cursor_ < members_.size()) {
+        const std::size_t i = members_[finalize_cursor_];
+        if (objects_[i]->bounds().Width() > options_.epsilon &&
+            !EffectivelyConverged(i)) {
+          return IterateOne(i, &outcome_.stats.finalize_iterations);
+        }
+        ++finalize_cursor_;
+      }
+      Finish();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("TOP-K task in unknown phase");
+}
+
+void TopKIterationTask::Finish() {
+  // Order winners by extremity (descending midpoint in max space).
+  std::vector<std::size_t> winners = members_;
+  std::sort(winners.begin(), winners.end(),
+            [&](std::size_t a, std::size_t b) {
+              return ViewOf(a).Mid() > ViewOf(b).Mid();
+            });
+  outcome_.winners.clear();
+  outcome_.winner_bounds.clear();
+  for (const std::size_t i : winners) {
+    outcome_.winners.push_back(i);
+    outcome_.winner_bounds.push_back(objects_[i]->bounds());
+  }
+  outcome_.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++outcome_.stats.objects_touched;
+  }
+  outcome_.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++outcome_.stats.stalled_objects;
+  }
+  outcome_.precision_degraded = outcome_.stats.stalled_objects > 0;
+  outcome_.converged = true;
+  MarkDone(true);
+}
+
+double TopKIterationTask::CurrentUncertainty() const {
+  if (Done()) return 0.0;
+  const std::size_t n = objects_.size();
+  const std::size_t k = options_.k;
+
+  // Current top-k guess by upper bound (order_ untouched: this is const).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return ViewOf(a).hi > ViewOf(b).hi;
+                    });
+
+  // Cross-boundary overlap still to resolve, plus member widths still above
+  // the precision constraint.
+  double uncertainty = 0.0;
+  if (k < n) {
+    double boundary_lo = std::numeric_limits<double>::infinity();
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      boundary_lo = std::min(boundary_lo, ViewOf(order[idx]).lo);
+    }
+    double boundary_hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t idx = k; idx < n; ++idx) {
+      boundary_hi = std::max(boundary_hi, ViewOf(order[idx]).hi);
+    }
+    uncertainty += std::max(0.0, boundary_hi - boundary_lo);
+  }
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    uncertainty += std::max(
+        0.0, objects_[order[idx]]->bounds().Width() - options_.epsilon);
+  }
+  return uncertainty;
+}
+
+TopKOutcome TopKIterationTask::Snapshot() const {
+  if (Done()) return outcome_;
+
+  TopKOutcome partial = outcome_;
+  partial.converged = false;
+
+  // Best current guess at the member set: the settled members_ when the
+  // boundary phase has produced one, else the current top-k by upper bound.
+  std::vector<std::size_t> guess = members_;
+  if (guess.empty()) {
+    std::vector<std::size_t> order(objects_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(
+        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(options_.k),
+        order.end(), [&](std::size_t a, std::size_t b) {
+          return ViewOf(a).hi > ViewOf(b).hi;
+        });
+    guess.assign(order.begin(),
+                 order.begin() + static_cast<std::ptrdiff_t>(options_.k));
+  }
+  std::sort(guess.begin(), guess.end(), [&](std::size_t a, std::size_t b) {
+    return ViewOf(a).Mid() > ViewOf(b).Mid();
+  });
+  partial.winners.clear();
+  partial.winner_bounds.clear();
+  for (const std::size_t i : guess) {
+    partial.winners.push_back(i);
+    partial.winner_bounds.push_back(objects_[i]->bounds());
+  }
+  partial.stats.objects_touched = 0;
+  for (const bool t : touched_) {
+    if (t) ++partial.stats.objects_touched;
+  }
+  partial.stats.stalled_objects = 0;
+  for (const StallGuard& guard : stall_) {
+    if (guard.stalled()) ++partial.stats.stalled_objects;
+  }
+  partial.precision_degraded = partial.stats.stalled_objects > 0;
+  return partial;
+}
+
+// ---------------------------------------------------------------------------
+// SingleObjectDecisionTask
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<SingleObjectDecisionTask>>
+SingleObjectDecisionTask::Create(vao::ResultObject* object, const char* who,
+                                 UndecidedFn undecided) {
+  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
+  return std::unique_ptr<SingleObjectDecisionTask>(
+      new SingleObjectDecisionTask(object, who, std::move(undecided)));
+}
+
+Status SingleObjectDecisionTask::StepImpl(WorkMeter* /*meter*/) {
+  // One body of the historical DriveWhileUndecided loop: iterate while the
+  // bounds still straddle the predicate and the stopping condition has not
+  // been reached, validating before every decision (NaN/Inf or inverted
+  // bounds must surface as NumericError, not flow into comparisons).
+  if (undecided_(object_->bounds()) && !object_->AtStoppingCondition()) {
+    VAOLIB_RETURN_IF_ERROR(object_->Iterate());
+    ++iterations_;
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object_, who_));
+    if (guard_.Observe(object_->bounds().Width())) {
+      return Status::ResourceExhausted(
+          std::string(who_) +
+          ": refinement stalled before deciding the predicate (bounds "
+          "stopped tightening above minWidth)");
+    }
+    return Status::OK();
+  }
+  MarkDone(true);
+  return Status::OK();
+}
+
+double SingleObjectDecisionTask::CurrentUncertainty() const {
+  if (Done()) return 0.0;
+  return object_->bounds().Width();
+}
+
+// ---------------------------------------------------------------------------
+// MultiRowDecisionTask
+// ---------------------------------------------------------------------------
+
+MultiRowDecisionTask::MultiRowDecisionTask(
+    std::vector<vao::ResultObject*> objects, const char* who,
+    UndecidedFn undecided, int threads)
+    : objects_(std::move(objects)),
+      who_(who),
+      undecided_(std::move(undecided)),
+      threads_(threads),
+      stall_(objects_.size()),
+      settled_(objects_.size(), false),
+      touched_(objects_.size(), false) {}
+
+Result<std::unique_ptr<MultiRowDecisionTask>> MultiRowDecisionTask::Create(
+    std::vector<vao::ResultObject*> objects, const char* who,
+    UndecidedFn undecided, int threads) {
+  for (const auto* object : objects) {
+    if (object == nullptr) {
+      return Status::InvalidArgument(std::string(who) +
+                                     " over a null result object");
+    }
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
+  }
+  auto task = std::unique_ptr<MultiRowDecisionTask>(new MultiRowDecisionTask(
+      std::move(objects), who, std::move(undecided), threads));
+  bool all_settled = true;
+  for (std::size_t i = 0; i < task->objects_.size(); ++i) {
+    task->Resettle(i);
+    all_settled = all_settled && task->settled_[i];
+  }
+  if (all_settled) {
+    task->stats_.objects_touched = 0;
+    task->MarkDone(true);
+  }
+  return task;
+}
+
+void MultiRowDecisionTask::Resettle(std::size_t i) {
+  settled_[i] = !undecided_(objects_[i]->bounds()) ||
+                objects_[i]->AtStoppingCondition() || stall_[i].stalled();
+}
+
+Status MultiRowDecisionTask::StepImpl(WorkMeter* /*meter*/) {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    // Re-settle before collecting: under a scheduler, other queries' tasks
+    // tighten the same shared objects between our steps, so a row may have
+    // become decidable (or converged) since we last looked at it.
+    if (!settled_[i]) Resettle(i);
+    if (!settled_[i]) pending.push_back(i);
+  }
+  if (pending.empty()) {
+    MarkDone(true);
+    return Status::OK();
+  }
+
+  // One refinement notch for every undecided row, fanned out over the pool.
+  std::vector<vao::ResultObject*> batch;
+  batch.reserve(pending.size());
+  for (const std::size_t i : pending) batch.push_back(objects_[i]);
+  VAOLIB_RETURN_IF_ERROR(vao::StepAll(batch, threads_));
+
+  for (const std::size_t i : pending) {
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], who_));
+    if (!touched_[i]) {
+      touched_[i] = true;
+      ++stats_.objects_touched;
+    }
+    ++stats_.iterations;
+    ++stats_.greedy_iterations;
+    // A stalled row is quarantined, not an error: its frozen bounds stay
+    // sound, and the query reports the row as undecidable at this budget.
+    if (stall_[i].Observe(objects_[i]->bounds().Width())) {
+      ++stats_.stalled_objects;
+    }
+    Resettle(i);
+  }
+
+  bool all_settled = true;
+  for (const bool s : settled_) all_settled = all_settled && s;
+  if (all_settled) MarkDone(true);
+  return Status::OK();
+}
+
+double MultiRowDecisionTask::CurrentUncertainty() const {
+  if (Done()) return 0.0;
+  double unsettled = 0.0;
+  for (const bool s : settled_) {
+    if (!s) unsettled += 1.0;
+  }
+  return unsettled;
+}
+
+}  // namespace vaolib::operators

@@ -4,20 +4,22 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "operators/iteration_task.h"
 
 namespace vaolib::operators {
 
 namespace {
 
-// The implementation works in "max space": for kMin every interval is
-// negated ([-H, -L]) so the minimum becomes the maximum, and the outcome is
-// negated back at the end.
+// The oracle works in "max space": for kMin every interval is negated
+// ([-H, -L]) so the minimum becomes the maximum.
 Bounds View(const Bounds& b, ExtremeKind kind) {
   return kind == ExtremeKind::kMax ? b : Bounds(-b.hi, -b.lo);
 }
 
-Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
-                      double epsilon) {
+}  // namespace
+
+Status ValidateMinMaxInputs(const std::vector<vao::ResultObject*>& objects,
+                            double epsilon) {
   if (objects.empty()) {
     return Status::InvalidArgument("MIN/MAX over an empty object set");
   }
@@ -40,215 +42,22 @@ Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
   return Status::OK();
 }
 
-}  // namespace
-
 Result<MinMaxOutcome> MinMaxVao::Evaluate(
     const std::vector<vao::ResultObject*>& objects) const {
-  VAOLIB_RETURN_IF_ERROR(ValidateInputs(objects, options_.epsilon));
-  if (options_.strategy == IterationStrategy::kRandom &&
-      options_.rng == nullptr) {
-    return Status::InvalidArgument("random strategy requires an Rng");
-  }
-
-  const ExtremeKind kind = options_.kind;
-  MinMaxOutcome outcome;
-  std::vector<bool> touched(objects.size(), false);
-
-  // Per-object stall tracking: an object whose Iterate() keeps succeeding
-  // without tightening its bounds is quarantined from further iteration and
-  // treated as converged. Its frozen bounds remain sound, so the answer
-  // stays correct -- merely coarser than minWidth would have allowed.
-  std::vector<StallGuard> stall(objects.size());
-  auto effectively_converged = [&](std::size_t i) {
-    return objects[i]->AtStoppingCondition() || stall[i].stalled();
-  };
-  auto observe_iterate = [&](std::size_t i) -> Status {
-    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[i], "MIN/MAX"));
-    stall[i].Observe(objects[i]->bounds().Width());
-    return Status::OK();
-  };
-
-  // Optional parallel phase: bulk-converge everything to the coarse width
-  // on the pool; the greedy loop below then starts from those states.
-  {
-    std::vector<std::uint64_t> coarse_iterations;
-    VAOLIB_RETURN_IF_ERROR(
-        ParallelCoarseConverge(objects, options_.threads,
-                               options_.coarse_width,
-                               options_.coarse_max_steps,
-                               &coarse_iterations));
-    for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
-      outcome.stats.iterations += coarse_iterations[i];
-      outcome.stats.coarse_iterations += coarse_iterations[i];
-      if (coarse_iterations[i] > 0) touched[i] = true;
-    }
-    if (outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
-    }
-  }
-
-  // Candidate indices still able to be the maximum. Objects are pruned once
-  // another candidate's lower bound exceeds their upper bound; pruned
-  // objects are never reconsidered (bounds only tighten).
-  std::vector<std::size_t> alive(objects.size());
-  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
-  std::size_t round_robin_cursor = 0;
-
-  auto bounds_of = [&](std::size_t i) {
-    return View(objects[i]->bounds(), kind);
-  };
-  auto est_of = [&](std::size_t i) {
-    return View(objects[i]->est_bounds(), kind);
-  };
-
-  while (true) {
-    // Prune dominated candidates.
-    double best_lo = -std::numeric_limits<double>::infinity();
-    for (const std::size_t i : alive) {
-      best_lo = std::max(best_lo, bounds_of(i).lo);
-    }
-    std::erase_if(alive, [&](std::size_t i) {
-      return bounds_of(i).hi < best_lo;
-    });
-
-    // Guess o'_max: the candidate with the highest upper bound.
-    std::size_t guess = alive.front();
-    for (const std::size_t i : alive) {
-      if (bounds_of(i).hi > bounds_of(guess).hi) guess = i;
-    }
-
-    // Termination case (1): every rival eliminated.
-    if (alive.size() == 1) {
-      outcome.winner_index = guess;
-      break;
-    }
-    // Termination case (2): guess and all (overlapping) rivals converged.
-    // Every live rival overlaps the guess: non-overlap would imply either
-    // domination (pruned above) or a higher upper bound than the guess.
-    const bool all_converged =
-        std::all_of(alive.begin(), alive.end(), effectively_converged);
-    if (all_converged) {
-      outcome.winner_index = guess;
-      outcome.tie = true;
-      for (const std::size_t i : alive) {
-        if (i != guess) outcome.tied_indices.push_back(i);
-      }
-      break;
-    }
-
-    // Choose the next iteration among live, non-converged candidates.
-    std::vector<std::size_t> iterable;
-    for (const std::size_t i : alive) {
-      if (!effectively_converged(i)) iterable.push_back(i);
-    }
-    // all_converged was false, so iterable is non-empty.
-
-    std::size_t chosen = iterable.front();
-    ++outcome.stats.choose_steps;
-    if (options_.meter != nullptr) {
-      // O(N) per choice without indexing (Section 5.1).
-      options_.meter->Charge(WorkKind::kChooseIter, alive.size());
-    }
-
-    switch (options_.strategy) {
-      case IterationStrategy::kGreedy: {
-        // Estimated total-overlap reduction with the guess, per CPU cycle.
-        const Bounds guess_bounds = bounds_of(guess);
-        double best_score = -1.0;
-        for (const std::size_t i : iterable) {
-          double reduction = 0.0;
-          if (i == guess) {
-            // Iterating the guess shrinks its overlap with every rival.
-            const Bounds est = est_of(guess);
-            for (const std::size_t j : alive) {
-              if (j == guess) continue;
-              const Bounds other = bounds_of(j);
-              reduction += std::max(
-                  0.0, guess_bounds.OverlapWidth(other) -
-                           est.OverlapWidth(other));
-            }
-          } else {
-            // Iterating rival i shrinks only the (guess, i) overlap. With
-            // est inside the current bounds this equals the paper's
-            // min(o_i.H - o'max.L, o_i.H - o_i.estH).
-            const Bounds cur = bounds_of(i);
-            const Bounds est = est_of(i);
-            reduction = std::max(0.0, guess_bounds.OverlapWidth(cur) -
-                                          guess_bounds.OverlapWidth(est));
-          }
-          const double cost =
-              static_cast<double>(std::max<std::uint64_t>(
-                  objects[i]->est_cost(), 1));
-          const double score = reduction / cost;
-          if (score > best_score) {
-            best_score = score;
-            chosen = i;
-          }
-        }
-        if (best_score <= 0.0) {
-          // No predicted progress anywhere (estimates can be wrong); fall
-          // back to the widest un-converged candidate so real bounds keep
-          // tightening and a termination case eventually fires.
-          double widest = -1.0;
-          for (const std::size_t i : iterable) {
-            const double w = bounds_of(i).Width();
-            if (w > widest) {
-              widest = w;
-              chosen = i;
-            }
-          }
-        }
-        break;
-      }
-      case IterationStrategy::kRoundRobin:
-        chosen = iterable[round_robin_cursor % iterable.size()];
-        ++round_robin_cursor;
-        break;
-      case IterationStrategy::kRandom:
-        chosen = iterable[static_cast<std::size_t>(options_.rng->UniformInt(
-            0, static_cast<std::int64_t>(iterable.size()) - 1))];
-        break;
-    }
-
-    VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
-    VAOLIB_RETURN_IF_ERROR(observe_iterate(chosen));
-    touched[chosen] = true;
-    ++outcome.stats.greedy_iterations;
-    if (++outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
-    }
-  }
-
-  // Refine the winner to the precision constraint. Its stopping condition
-  // implies width < minWidth <= epsilon, so this always terminates (a
-  // stalled winner is quarantined with sound-but-wider bounds instead).
-  vao::ResultObject* winner = objects[outcome.winner_index];
-  while (winner->bounds().Width() > options_.epsilon &&
-         !effectively_converged(outcome.winner_index)) {
-    VAOLIB_RETURN_IF_ERROR(winner->Iterate());
-    VAOLIB_RETURN_IF_ERROR(observe_iterate(outcome.winner_index));
-    touched[outcome.winner_index] = true;
-    ++outcome.stats.finalize_iterations;
-    if (++outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
-    }
-  }
-
-  outcome.winner_bounds = winner->bounds();
-  for (const bool t : touched) {
-    if (t) ++outcome.stats.objects_touched;
-  }
-  for (const StallGuard& guard : stall) {
-    if (guard.stalled()) ++outcome.stats.stalled_objects;
-  }
-  outcome.precision_degraded = outcome.stats.stalled_objects > 0;
-  return outcome;
+  // The whole convergence loop lives in the resumable task; Evaluate just
+  // drives it to completion (or to the work budget, when one is set).
+  VAOLIB_ASSIGN_OR_RETURN(auto task,
+                          MinMaxIterationTask::Create(options_, objects));
+  VAOLIB_ASSIGN_OR_RETURN(const bool finished,
+                          DriveTask(task.get(), options_));
+  (void)finished;  // Snapshot() reports convergence itself.
+  return task->Snapshot();
 }
 
 Result<MinMaxOutcome> OptimalExtremeOracle(
     const std::vector<vao::ResultObject*>& objects, std::size_t winner_index,
     ExtremeKind kind, double epsilon) {
-  VAOLIB_RETURN_IF_ERROR(ValidateInputs(objects, epsilon));
+  VAOLIB_RETURN_IF_ERROR(ValidateMinMaxInputs(objects, epsilon));
   if (winner_index >= objects.size()) {
     return Status::InvalidArgument("oracle winner_index out of range");
   }

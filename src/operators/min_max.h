@@ -38,35 +38,19 @@ struct MinMaxOutcome {
   /// some bounds early: the answer is still sound, but winner_bounds may be
   /// wider than epsilon and ties may be coarser than minWidth would allow.
   bool precision_degraded = false;
+  /// False when evaluation stopped on a work budget before termination: the
+  /// winner is then the current best guess and winner_bounds a sound
+  /// envelope for the true extreme, but neither is final.
+  bool converged = true;
   OperatorStats stats;
 };
 
-/// \brief Configuration of a MIN/MAX VAO.
-struct MinMaxOptions {
+/// \brief Configuration of a MIN/MAX VAO. All shared knobs (epsilon,
+/// strategy, threads/coarse pre-phase, budget, meter) live on
+/// OperatorOptions; epsilon must additionally be at least the largest input
+/// minWidth (the paper's footnote 10).
+struct MinMaxOptions : OperatorOptions {
   ExtremeKind kind = ExtremeKind::kMax;
-  /// Precision constraint on the output bounds width. Must be at least the
-  /// largest minWidth among the inputs (the paper's footnote 10).
-  double epsilon = 0.01;
-  IterationStrategy strategy = IterationStrategy::kGreedy;
-  /// Safety valve against adversarial inputs; NotConverged when exceeded.
-  std::uint64_t max_total_iterations = 50'000'000;
-  /// Required when strategy == kRandom.
-  Rng* rng = nullptr;
-  /// chooseIter bookkeeping work is charged here when non-null.
-  WorkMeter* meter = nullptr;
-  /// Parallel pre-phase (ParallelCoarseConverge): with threads > 1 and a
-  /// finite coarse_width, every object is first refined toward width <=
-  /// max(coarse_width, its minWidth) on the shared pool; the greedy loop --
-  /// inherently serial, each choice depends on all prior ones -- then runs
-  /// from those deterministic states. coarse_max_steps caps the Iterate()
-  /// calls any one object gets in the pre-phase (0 = refine all the way to
-  /// coarse_width); since per-iteration cost typically grows geometrically,
-  /// a small cap keeps the extra work spent on rivals the greedy loop would
-  /// have pruned early to a few percent. Defaults keep the exact serial
-  /// behaviour.
-  int threads = 1;
-  double coarse_width = std::numeric_limits<double>::infinity();
-  std::uint64_t coarse_max_steps = 0;
 };
 
 /// \brief Adaptive MIN/MAX aggregate over a set of result objects.
@@ -86,6 +70,13 @@ class MinMaxVao {
  private:
   MinMaxOptions options_;
 };
+
+/// \brief Validates MIN/MAX inputs: at least one object, all non-null with
+/// well-formed bounds, and \p epsilon >= the largest input minWidth (the
+/// paper's footnote 10). Shared by the VAO, its IterationTask, and the
+/// oracle baseline.
+Status ValidateMinMaxInputs(const std::vector<vao::ResultObject*>& objects,
+                            double epsilon);
 
 /// \brief The Section 6.2 "Optimal" baseline: an iteration strategy that is
 /// told the winning index a priori. It converges the winner to epsilon

@@ -66,6 +66,18 @@ Status ValidateObjectBounds(const vao::ResultObject& object, const char* who) {
   return Status::OK();
 }
 
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kGreedy:
+      return "greedy";
+    case StrategyKind::kRoundRobin:
+      return "round_robin";
+    case StrategyKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
 const char* ComparatorToString(Comparator cmp) {
   switch (cmp) {
     case Comparator::kGreaterThan:

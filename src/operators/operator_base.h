@@ -5,11 +5,14 @@
 #define VAOLIB_OPERATORS_OPERATOR_BASE_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/bounds.h"
+#include "common/rng.h"
 #include "common/stall_guard.h"
 #include "common/status.h"
+#include "common/work_meter.h"
 #include "vao/result_object.h"
 
 namespace vaolib::operators {
@@ -31,12 +34,54 @@ bool CompareExact(double value, Comparator cmp, double constant);
 /// \brief Which extreme a MIN/MAX operator seeks.
 enum class ExtremeKind { kMax, kMin };
 
-/// \brief Iteration-choice strategy for aggregate VAOs. kGreedy is the
+/// \brief Iteration-choice strategy kind for aggregate VAOs. kGreedy is the
 /// paper's design (Section 5); the others exist for the strategy ablation.
-enum class IterationStrategy {
+/// Resolved into a pluggable IterationStrategy object by MakeStrategy()
+/// (operators/iteration_strategy.h).
+enum class StrategyKind {
   kGreedy,      ///< best estimated benefit per CPU cycle (the paper)
   kRoundRobin,  ///< cycle through live candidates
   kRandom,      ///< uniform over live candidates
+};
+
+/// \brief Returns the source-level spelling ("greedy", "round_robin",
+/// "random").
+const char* StrategyKindName(StrategyKind kind);
+
+/// \brief Options shared by every operator family -- the one consolidated
+/// configuration surface behind the unified operator API. Family-specific
+/// option structs (MinMaxOptions, SumAveOptions, TopKOptions) derive from
+/// this, so code that configures "threads + strategy + budget" works the
+/// same way against any operator. Function-result caching composes at the
+/// function layer (vao::CachingFunction), not here.
+struct OperatorOptions {
+  /// Precision constraint on the output bounds width (the paper's epsilon).
+  double epsilon = 0.01;
+  /// Iteration-choice strategy for the adaptive refinement loop.
+  StrategyKind strategy = StrategyKind::kGreedy;
+  /// Safety valve against adversarial inputs; NotConverged when exceeded.
+  std::uint64_t max_total_iterations = 50'000'000;
+  /// Required when strategy == kRandom.
+  Rng* rng = nullptr;
+  /// chooseIter bookkeeping work is charged here when non-null.
+  WorkMeter* meter = nullptr;
+  /// Parallel pre-phase (ParallelCoarseConverge): with threads > 1 and a
+  /// finite coarse_width, every object is first refined toward width <=
+  /// max(coarse_width, its minWidth) on the shared pool; the adaptive loop
+  /// -- inherently serial, each choice depends on all prior ones -- then
+  /// runs from those deterministic states. coarse_max_steps caps the
+  /// Iterate() calls any one object gets in the pre-phase (0 = refine all
+  /// the way to coarse_width). Defaults keep the exact serial behaviour.
+  int threads = 1;
+  double coarse_width = std::numeric_limits<double>::infinity();
+  std::uint64_t coarse_max_steps = 0;
+  /// Per-evaluation work-unit budget (0 = unlimited). Requires `meter`:
+  /// when the meter delta since evaluation start reaches the budget, the
+  /// operator stops and returns its current sound-but-unconverged snapshot
+  /// with `converged = false` instead of blocking. The engine's
+  /// WorkScheduler enforces cross-query budgets one level up through the
+  /// same IterationTask surface.
+  std::uint64_t budget = 0;
 };
 
 /// \brief Per-evaluation execution statistics reported by every operator.

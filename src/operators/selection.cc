@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "operators/iteration_task.h"
 
 namespace vaolib::operators {
 
@@ -55,27 +56,20 @@ Result<std::vector<Outcome>> BatchEvaluate(std::size_t n, int threads,
 }
 
 // Drives `object` while `undecided(bounds)` holds and the stopping condition
-// has not been reached, validating the bounds before every decision (NaN/Inf
-// or inverted bounds must surface as NumericError, not flow into
-// comparisons) and guarding against refinement stalls so a non-converging
-// object cannot spin the loop forever.
+// has not been reached. The loop itself lives in SingleObjectDecisionTask
+// (operators/iteration_task.h) so the engine's scheduler can run the same
+// refinement step-at-a-time; this helper drives the task to completion for
+// the classic blocking evaluation path.
 template <typename Undecided>
 Status DriveWhileUndecided(vao::ResultObject* object, const char* who,
                            std::uint64_t* iterations,
                            const Undecided& undecided) {
-  VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
-  StallGuard guard;
-  while (undecided(object->bounds()) && !object->AtStoppingCondition()) {
-    VAOLIB_RETURN_IF_ERROR(object->Iterate());
-    ++*iterations;
-    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, who));
-    if (guard.Observe(object->bounds().Width())) {
-      return Status::ResourceExhausted(
-          std::string(who) +
-          ": refinement stalled before deciding the predicate (bounds "
-          "stopped tightening above minWidth)");
-    }
+  VAOLIB_ASSIGN_OR_RETURN(
+      auto task, SingleObjectDecisionTask::Create(object, who, undecided));
+  while (!task->Done()) {
+    VAOLIB_RETURN_IF_ERROR(task->Step(/*meter=*/nullptr));
   }
+  *iterations += task->iterations();
   return Status::OK();
 }
 

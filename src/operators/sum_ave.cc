@@ -4,14 +4,13 @@
 #include <numeric>
 
 #include "common/macros.h"
-#include "operators/score_heap.h"
+#include "operators/iteration_task.h"
 
 namespace vaolib::operators {
 
-namespace {
-
-Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
-                      const std::vector<double>& weights, double epsilon) {
+Status ValidateSumAveInputs(const std::vector<vao::ResultObject*>& objects,
+                            const std::vector<double>& weights,
+                            double epsilon) {
   if (objects.empty()) {
     return Status::InvalidArgument("SUM/AVE over an empty object set");
   }
@@ -35,20 +34,6 @@ Status ValidateInputs(const std::vector<vao::ResultObject*>& objects,
   return Status::OK();
 }
 
-Bounds WeightedSumBounds(const std::vector<vao::ResultObject*>& objects,
-                         const std::vector<double>& weights) {
-  double lo = 0.0;
-  double hi = 0.0;
-  for (std::size_t i = 0; i < objects.size(); ++i) {
-    const Bounds b = objects[i]->bounds();
-    lo += weights[i] * b.lo;
-    hi += weights[i] * b.hi;
-  }
-  return Bounds(lo, hi);
-}
-
-}  // namespace
-
 std::vector<double> SumWeights(std::size_t n) {
   return std::vector<double>(n, 1.0);
 }
@@ -57,218 +42,18 @@ std::vector<double> AveWeights(std::size_t n) {
   return std::vector<double>(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
 }
 
-namespace {
-
-// Greedy score of Section 5.2: weighted predicted error reduction per
-// estimated CPU cycle.
-double GreedyScore(const vao::ResultObject& object, double weight) {
-  const Bounds cur = object.bounds();
-  const Bounds est = object.est_bounds();
-  const double reduction =
-      std::max(0.0, weight * ((est.lo - cur.lo) + (cur.hi - est.hi)));
-  const double cost =
-      static_cast<double>(std::max<std::uint64_t>(object.est_cost(), 1));
-  return reduction / cost;
-}
-
-std::uint64_t Log2Ceil(std::size_t n) {
-  std::uint64_t bits = 1;
-  while (n > 1) {
-    ++bits;
-    n >>= 1;
-  }
-  return bits;
-}
-
-}  // namespace
-
-Result<SumOutcome> SumAveVao::EvaluateWithHeap(
-    const std::vector<vao::ResultObject*>& objects,
-    const std::vector<double>& weights,
-    const std::vector<std::uint64_t>& coarse_iterations) const {
-  SumOutcome outcome;
-  std::vector<bool> touched(objects.size(), false);
-  for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
-    outcome.stats.iterations += coarse_iterations[i];
-    outcome.stats.coarse_iterations += coarse_iterations[i];
-    if (coarse_iterations[i] > 0) touched[i] = true;
-  }
-  Bounds sum = WeightedSumBounds(objects, weights);
-
-  // Stalled objects are quarantined: they simply stop being re-pushed into
-  // the heap, so their (sound, frozen) contribution stays in the sum.
-  std::vector<StallGuard> stall(objects.size());
-
-  ScoreHeap heap;
-  heap.Reset(objects.size());
-  for (std::size_t i = 0; i < objects.size(); ++i) {
-    if (weights[i] > 0.0 && !objects[i]->AtStoppingCondition()) {
-      heap.Update(i, GreedyScore(*objects[i], weights[i]));
-    }
-  }
-
-  while (sum.Width() > options_.epsilon) {
-    std::size_t chosen = 0;
-    double score = 0.0;
-    if (!heap.PopBest(&chosen, &score)) {
-      outcome.limited_by_min_width = true;
-      break;
-    }
-    ++outcome.stats.choose_steps;
-    if (options_.meter != nullptr) {
-      // One heap pop plus one push: O(log N).
-      options_.meter->Charge(WorkKind::kChooseIter,
-                             2 * Log2Ceil(objects.size()));
-    }
-
-    const Bounds before = objects[chosen]->bounds();
-    VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
-    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[chosen], "SUM/AVE"));
-    const Bounds after = objects[chosen]->bounds();
-    sum.lo += weights[chosen] * (after.lo - before.lo);
-    sum.hi += weights[chosen] * (after.hi - before.hi);
-    touched[chosen] = true;
-    stall[chosen].Observe(after.Width());
-    if (!objects[chosen]->AtStoppingCondition() &&
-        !stall[chosen].stalled()) {
-      heap.Update(chosen, GreedyScore(*objects[chosen], weights[chosen]));
-    }
-
-    ++outcome.stats.greedy_iterations;
-    if (++outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
-    }
-  }
-
-  outcome.sum_bounds = WeightedSumBounds(objects, weights);
-  for (const bool t : touched) {
-    if (t) ++outcome.stats.objects_touched;
-  }
-  for (const StallGuard& guard : stall) {
-    if (guard.stalled()) ++outcome.stats.stalled_objects;
-  }
-  return outcome;
-}
-
 Result<SumOutcome> SumAveVao::Evaluate(
     const std::vector<vao::ResultObject*>& objects,
     const std::vector<double>& weights) const {
-  VAOLIB_RETURN_IF_ERROR(ValidateInputs(objects, weights, options_.epsilon));
-  if (options_.strategy == IterationStrategy::kRandom &&
-      options_.rng == nullptr) {
-    return Status::InvalidArgument("random strategy requires an Rng");
-  }
-
-  // Optional parallel phase: bulk-converge everything to the coarse width
-  // on the pool; the serial greedy refinement starts from those states.
-  std::vector<std::uint64_t> coarse_iterations;
-  VAOLIB_RETURN_IF_ERROR(
-      ParallelCoarseConverge(objects, options_.threads, options_.coarse_width,
-                             options_.coarse_max_steps, &coarse_iterations));
-
-  if (options_.use_heap_index &&
-      options_.strategy == IterationStrategy::kGreedy) {
-    return EvaluateWithHeap(objects, weights, coarse_iterations);
-  }
-
-  SumOutcome outcome;
-  std::vector<bool> touched(objects.size(), false);
-  for (std::size_t i = 0; i < coarse_iterations.size(); ++i) {
-    outcome.stats.iterations += coarse_iterations[i];
-    outcome.stats.coarse_iterations += coarse_iterations[i];
-    if (coarse_iterations[i] > 0) touched[i] = true;
-  }
-  std::size_t round_robin_cursor = 0;
-
-  // Incrementally maintained output interval: subtract an object's old
-  // weighted contribution and add the new one after each iteration, so each
-  // loop round is O(1) on the interval itself.
-  Bounds sum = WeightedSumBounds(objects, weights);
-
-  // Stalled objects are quarantined from the candidate set; their frozen
-  // (still sound) contribution remains in the sum.
-  std::vector<StallGuard> stall(objects.size());
-
-  while (sum.Width() > options_.epsilon) {
-    // Candidates: objects that may still tighten.
-    std::vector<std::size_t> iterable;
-    for (std::size_t i = 0; i < objects.size(); ++i) {
-      if (!objects[i]->AtStoppingCondition() && !stall[i].stalled() &&
-          weights[i] > 0.0) {
-        iterable.push_back(i);
-      }
-    }
-    if (iterable.empty()) {
-      outcome.limited_by_min_width = true;
-      break;
-    }
-
-    std::size_t chosen = iterable.front();
-    ++outcome.stats.choose_steps;
-    if (options_.meter != nullptr) {
-      options_.meter->Charge(WorkKind::kChooseIter, iterable.size());
-    }
-
-    switch (options_.strategy) {
-      case IterationStrategy::kGreedy: {
-        // The paper's heuristic: estimated weighted error reduction
-        // w_i * [(estL - L) + (H - estH)] per estimated CPU cycle.
-        double best_score = -1.0;
-        for (const std::size_t i : iterable) {
-          const double score = GreedyScore(*objects[i], weights[i]);
-          if (score > best_score) {
-            best_score = score;
-            chosen = i;
-          }
-        }
-        if (best_score <= 0.0) {
-          // Estimates predict no progress; fall back to the largest actual
-          // weighted width so the loop keeps making real progress.
-          double widest = -1.0;
-          for (const std::size_t i : iterable) {
-            const double w = weights[i] * objects[i]->bounds().Width();
-            if (w > widest) {
-              widest = w;
-              chosen = i;
-            }
-          }
-        }
-        break;
-      }
-      case IterationStrategy::kRoundRobin:
-        chosen = iterable[round_robin_cursor % iterable.size()];
-        ++round_robin_cursor;
-        break;
-      case IterationStrategy::kRandom:
-        chosen = iterable[static_cast<std::size_t>(options_.rng->UniformInt(
-            0, static_cast<std::int64_t>(iterable.size()) - 1))];
-        break;
-    }
-
-    const Bounds before = objects[chosen]->bounds();
-    VAOLIB_RETURN_IF_ERROR(objects[chosen]->Iterate());
-    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[chosen], "SUM/AVE"));
-    const Bounds after = objects[chosen]->bounds();
-    sum.lo += weights[chosen] * (after.lo - before.lo);
-    sum.hi += weights[chosen] * (after.hi - before.hi);
-    touched[chosen] = true;
-    stall[chosen].Observe(after.Width());
-
-    ++outcome.stats.greedy_iterations;
-    if (++outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
-    }
-  }
-
-  // Recompute exactly to shed accumulated floating-point drift.
-  outcome.sum_bounds = WeightedSumBounds(objects, weights);
-  for (const bool t : touched) {
-    if (t) ++outcome.stats.objects_touched;
-  }
-  for (const StallGuard& guard : stall) {
-    if (guard.stalled()) ++outcome.stats.stalled_objects;
-  }
-  return outcome;
+  // The whole convergence loop (scan and heap-indexed paths alike) lives in
+  // the resumable task; Evaluate just drives it to completion (or to the
+  // work budget, when one is set).
+  VAOLIB_ASSIGN_OR_RETURN(
+      auto task, SumAveIterationTask::Create(options_, objects, weights));
+  VAOLIB_ASSIGN_OR_RETURN(const bool finished,
+                          DriveTask(task.get(), options_));
+  (void)finished;  // Snapshot() reports convergence itself.
+  return task->Snapshot();
 }
 
 Result<TraditionalSumOutcome> TraditionalWeightedSum(
@@ -308,7 +93,7 @@ Result<HybridSumVao::HybridOutcome> HybridSumVao::Evaluate(
     const std::vector<double>& weights,
     const TraditionalCall& traditional) const {
   VAOLIB_RETURN_IF_ERROR(
-      ValidateInputs(objects, weights, options_.vao.epsilon));
+      ValidateSumAveInputs(objects, weights, options_.vao.epsilon));
 
   HybridOutcome outcome;
   outcome.used_vao = ShouldUseVao(weights);

@@ -33,32 +33,22 @@ struct SumOutcome {
   /// precision constraint was met (the constraint then holds as tightly as
   /// the inputs allow).
   bool limited_by_min_width = false;
+  /// False when evaluation stopped on a work budget before termination:
+  /// sum_bounds is still a sound interval for the weighted sum, merely wider
+  /// than epsilon.
+  bool converged = true;
   OperatorStats stats;
 };
 
-/// \brief Configuration of a SUM/AVE VAO.
-struct SumAveOptions {
-  /// Precision constraint on the output interval width.
-  double epsilon = 0.01;
-  IterationStrategy strategy = IterationStrategy::kGreedy;
+/// \brief Configuration of a SUM/AVE VAO. All shared knobs (epsilon,
+/// strategy, threads/coarse pre-phase, budget, meter) live on
+/// OperatorOptions.
+struct SumAveOptions : OperatorOptions {
   /// With the greedy strategy, pick iterations through a lazy max-heap in
   /// O(log N) instead of the O(N) scan -- the indexing optimization the
   /// paper mentions as unnecessary at 500 bonds but available (Section 5.2).
   /// Valid because a SUM score depends only on its own object's state.
   bool use_heap_index = false;
-  std::uint64_t max_total_iterations = 50'000'000;
-  Rng* rng = nullptr;      ///< required for kRandom
-  WorkMeter* meter = nullptr;  ///< chooseIter charges, when non-null
-  /// Parallel pre-phase (ParallelCoarseConverge): with threads > 1 and a
-  /// finite coarse_width, every object is first refined toward width <=
-  /// max(coarse_width, its minWidth) on the shared pool before the serial
-  /// greedy loop. Objects the greedy loop would have skipped (tiny weight)
-  /// still pay coarse work, so coarse_max_steps caps the Iterate() calls
-  /// any one object gets in the pre-phase (0 = refine all the way to
-  /// coarse_width). Defaults keep the exact serial behaviour.
-  int threads = 1;
-  double coarse_width = std::numeric_limits<double>::infinity();
-  std::uint64_t coarse_max_steps = 0;
 };
 
 /// \brief Adaptive weighted-SUM aggregate over result objects.
@@ -74,16 +64,15 @@ class SumAveVao {
   const SumAveOptions& options() const { return options_; }
 
  private:
-  /// Heap-indexed greedy path (options_.use_heap_index); assumes inputs
-  /// already validated and the coarse phase (if any) already run, with its
-  /// per-object Iterate() counts in \p coarse_iterations (may be empty).
-  Result<SumOutcome> EvaluateWithHeap(
-      const std::vector<vao::ResultObject*>& objects,
-      const std::vector<double>& weights,
-      const std::vector<std::uint64_t>& coarse_iterations) const;
-
   SumAveOptions options_;
 };
+
+/// \brief Validates SUM/AVE inputs: non-empty objects, all non-null with
+/// well-formed bounds, matching nonnegative weights, epsilon > 0. Shared by
+/// the VAO, its IterationTask, and the hybrid operator.
+Status ValidateSumAveInputs(const std::vector<vao::ResultObject*>& objects,
+                            const std::vector<double>& weights,
+                            double epsilon);
 
 /// \brief Weights vector of n ones (SUM semantics).
 std::vector<double> SumWeights(std::size_t n);

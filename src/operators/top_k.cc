@@ -1,28 +1,19 @@
 #include "operators/top_k.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/macros.h"
+#include "operators/iteration_task.h"
 
 namespace vaolib::operators {
 
-namespace {
-
-// Work in "max space" (negate for kMin), as in min_max.cc.
-Bounds View(const Bounds& b, ExtremeKind kind) {
-  return kind == ExtremeKind::kMax ? b : Bounds(-b.hi, -b.lo);
-}
-
-}  // namespace
-
-Result<TopKOutcome> TopKVao::Evaluate(
-    const std::vector<vao::ResultObject*>& objects) const {
+Status ValidateTopKInputs(const std::vector<vao::ResultObject*>& objects,
+                          std::size_t k, double epsilon) {
   const std::size_t n = objects.size();
   if (n == 0) {
     return Status::InvalidArgument("TOP-K over an empty object set");
   }
-  if (options_.k < 1 || options_.k > n) {
+  if (k < 1 || k > n) {
     return Status::InvalidArgument("TOP-K k must lie in [1, n]");
   }
   double max_min_width = 0.0;
@@ -33,166 +24,24 @@ Result<TopKOutcome> TopKVao::Evaluate(
     VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object, "TOP-K"));
     max_min_width = std::max(max_min_width, object->min_width());
   }
-  if (options_.epsilon < max_min_width) {
+  if (epsilon < max_min_width) {
     return Status::InvalidArgument(
         "precision constraint below the largest input minWidth");
   }
+  return Status::OK();
+}
 
-  const ExtremeKind kind = options_.kind;
-  const std::size_t k = options_.k;
-  TopKOutcome outcome;
-  std::vector<bool> touched(n, false);
-
-  auto bounds_of = [&](std::size_t i) {
-    return View(objects[i]->bounds(), kind);
-  };
-  auto est_of = [&](std::size_t i) {
-    return View(objects[i]->est_bounds(), kind);
-  };
-
-  // Stalled objects are quarantined (treated as converged); their frozen
-  // bounds stay sound, so the selection stays correct, merely coarser.
-  std::vector<StallGuard> stall(n);
-  auto effectively_converged = [&](std::size_t i) {
-    return objects[i]->AtStoppingCondition() || stall[i].stalled();
-  };
-
-  auto iterate = [&](std::size_t i, std::uint64_t* phase_counter) -> Status {
-    VAOLIB_RETURN_IF_ERROR(objects[i]->Iterate());
-    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects[i], "TOP-K"));
-    stall[i].Observe(objects[i]->bounds().Width());
-    touched[i] = true;
-    ++*phase_counter;
-    if (++outcome.stats.iterations > options_.max_total_iterations) {
-      return Status::NotConverged("TOP-K exceeded max_total_iterations");
-    }
-    return Status::OK();
-  };
-
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-
-  std::vector<std::size_t> members;
-  while (true) {
-    // Guess the top-k set: the k candidates with the highest upper bounds.
-    std::partial_sort(order.begin(),
-                      order.begin() + static_cast<std::ptrdiff_t>(k),
-                      order.end(), [&](std::size_t a, std::size_t b) {
-                        return bounds_of(a).hi > bounds_of(b).hi;
-                      });
-    members.assign(order.begin(),
-                   order.begin() + static_cast<std::ptrdiff_t>(k));
-
-    if (k == n) break;  // everything is selected; only refinement remains
-
-    // Selection boundary: members must end strictly above all outsiders.
-    double boundary_lo = std::numeric_limits<double>::infinity();
-    for (const std::size_t i : members) {
-      boundary_lo = std::min(boundary_lo, bounds_of(i).lo);
-    }
-    double boundary_hi = -std::numeric_limits<double>::infinity();
-    for (std::size_t idx = k; idx < n; ++idx) {
-      boundary_hi = std::max(boundary_hi, bounds_of(order[idx]).hi);
-    }
-    if (boundary_lo > boundary_hi) break;  // fully separated
-
-    // Conflicted objects: members reachable from below, outsiders reaching
-    // into the member zone.
-    std::vector<std::size_t> conflicted;
-    for (const std::size_t i : members) {
-      if (bounds_of(i).lo <= boundary_hi) conflicted.push_back(i);
-    }
-    for (std::size_t idx = k; idx < n; ++idx) {
-      if (bounds_of(order[idx]).hi >= boundary_lo) {
-        conflicted.push_back(order[idx]);
-      }
-    }
-
-    std::vector<std::size_t> iterable;
-    for (const std::size_t i : conflicted) {
-      if (!effectively_converged(i)) iterable.push_back(i);
-    }
-    if (iterable.empty()) {
-      // Everything straddling the boundary is converged: membership of the
-      // last slots is tie-determined (termination case 2 of Section 5.1).
-      outcome.tie = true;
-      break;
-    }
-
-    ++outcome.stats.choose_steps;
-    if (options_.meter != nullptr) {
-      options_.meter->Charge(WorkKind::kChooseIter, conflicted.size());
-    }
-
-    // Greedy: the largest predicted cross-boundary overlap reduction per
-    // estimated CPU cycle.
-    std::size_t chosen = iterable.front();
-    double best_score = -1.0;
-    const auto member_set_end =
-        order.begin() + static_cast<std::ptrdiff_t>(k);
-    for (const std::size_t i : iterable) {
-      const bool is_member =
-          std::find(order.begin(), member_set_end, i) != member_set_end;
-      const Bounds cur = bounds_of(i);
-      const Bounds est = est_of(i);
-      double gain;
-      if (is_member) {
-        // Raising a member's lower bound toward the outsiders' ceiling.
-        gain = std::min(boundary_hi - cur.lo, est.lo - cur.lo);
-      } else {
-        // Lowering an outsider's upper bound toward the members' floor.
-        gain = std::min(cur.hi - boundary_lo, cur.hi - est.hi);
-      }
-      gain = std::max(gain, 0.0);
-      const double cost = static_cast<double>(
-          std::max<std::uint64_t>(objects[i]->est_cost(), 1));
-      const double score = gain / cost;
-      if (score > best_score) {
-        best_score = score;
-        chosen = i;
-      }
-    }
-    if (best_score <= 0.0) {
-      // Predictions stalled; iterate the widest conflicted object so the
-      // real bounds keep making progress.
-      double widest = -1.0;
-      for (const std::size_t i : iterable) {
-        const double w = bounds_of(i).Width();
-        if (w > widest) {
-          widest = w;
-          chosen = i;
-        }
-      }
-    }
-    VAOLIB_RETURN_IF_ERROR(iterate(chosen, &outcome.stats.greedy_iterations));
-  }
-
-  // Refine every selected member to the precision constraint.
-  for (const std::size_t i : members) {
-    while (objects[i]->bounds().Width() > options_.epsilon &&
-           !effectively_converged(i)) {
-      VAOLIB_RETURN_IF_ERROR(
-          iterate(i, &outcome.stats.finalize_iterations));
-    }
-  }
-
-  // Order winners by extremity (descending midpoint in max space).
-  std::sort(members.begin(), members.end(),
-            [&](std::size_t a, std::size_t b) {
-              return bounds_of(a).Mid() > bounds_of(b).Mid();
-            });
-  for (const std::size_t i : members) {
-    outcome.winners.push_back(i);
-    outcome.winner_bounds.push_back(objects[i]->bounds());
-  }
-  for (const bool t : touched) {
-    if (t) ++outcome.stats.objects_touched;
-  }
-  for (const StallGuard& guard : stall) {
-    if (guard.stalled()) ++outcome.stats.stalled_objects;
-  }
-  outcome.precision_degraded = outcome.stats.stalled_objects > 0;
-  return outcome;
+Result<TopKOutcome> TopKVao::Evaluate(
+    const std::vector<vao::ResultObject*>& objects) const {
+  // The whole boundary-separation and finalization loop lives in the
+  // resumable task; Evaluate just drives it to completion (or to the work
+  // budget, when one is set).
+  VAOLIB_ASSIGN_OR_RETURN(auto task,
+                          TopKIterationTask::Create(options_, objects));
+  VAOLIB_ASSIGN_OR_RETURN(const bool finished,
+                          DriveTask(task.get(), options_));
+  (void)finished;  // Snapshot() reports convergence itself.
+  return task->Snapshot();
 }
 
 }  // namespace vaolib::operators

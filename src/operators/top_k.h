@@ -37,18 +37,21 @@ struct TopKOutcome {
   /// some bounds early: the selection is still sound, but winner bounds may
   /// be wider than epsilon and ties coarser than minWidth would allow.
   bool precision_degraded = false;
+  /// False when evaluation stopped on a work budget before termination: the
+  /// winners are then the current best guess at the top-k set, each with its
+  /// current (sound) bounds, but membership is not final.
+  bool converged = true;
   OperatorStats stats;
 };
 
-/// \brief Configuration of a TOP-K VAO.
-struct TopKOptions {
+/// \brief Configuration of a TOP-K VAO. All shared knobs (epsilon, strategy,
+/// threads/coarse pre-phase, budget, meter) live on OperatorOptions; epsilon
+/// must additionally be at least the largest input minWidth (footnote-10
+/// rule). TOP-K historically hard-wired the greedy strategy; it now honours
+/// `strategy` like the other aggregates (kGreedy by default).
+struct TopKOptions : OperatorOptions {
   std::size_t k = 1;
   ExtremeKind kind = ExtremeKind::kMax;
-  /// Precision constraint on each returned member's bounds width; must be
-  /// at least the largest input minWidth (footnote-10 rule).
-  double epsilon = 0.01;
-  std::uint64_t max_total_iterations = 50'000'000;
-  WorkMeter* meter = nullptr;  ///< chooseIter charges, when non-null
 };
 
 /// \brief Adaptive TOP-K aggregate over a set of result objects.
@@ -66,6 +69,12 @@ class TopKVao {
  private:
   TopKOptions options_;
 };
+
+/// \brief Validates TOP-K inputs: non-empty objects, 1 <= k <= n, all
+/// non-null with well-formed bounds, epsilon >= the largest input minWidth.
+/// Shared by the VAO and its IterationTask.
+Status ValidateTopKInputs(const std::vector<vao::ResultObject*>& objects,
+                          std::size_t k, double epsilon);
 
 }  // namespace vaolib::operators
 

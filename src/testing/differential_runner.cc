@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "engine/executor.h"
+#include "engine/multi_query.h"
 #include "engine/sql_parser.h"
 #include "operators/min_max.h"
 #include "operators/sum_ave.h"
@@ -478,7 +479,7 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
 
   for (const operators::ExtremeKind kind :
        {operators::ExtremeKind::kMax, operators::ExtremeKind::kMin}) {
-    for (const operators::IterationStrategy strategy : options_.strategies) {
+    for (const operators::StrategyKind strategy : options_.strategies) {
       VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
       Rng strategy_rng(seed ^ 0xA5A5A5A5ULL);
       operators::MinMaxOptions options;
@@ -515,14 +516,14 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
   }
 
   struct SumVariant {
-    operators::IterationStrategy strategy;
+    operators::StrategyKind strategy;
     bool heap;
   };
   std::vector<SumVariant> sum_variants;
-  for (const operators::IterationStrategy strategy : options_.strategies) {
+  for (const operators::StrategyKind strategy : options_.strategies) {
     sum_variants.push_back({strategy, false});
   }
-  sum_variants.push_back({operators::IterationStrategy::kGreedy, true});
+  sum_variants.push_back({operators::StrategyKind::kGreedy, true});
   for (const SumVariant& sum_variant : sum_variants) {
     VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
     Rng strategy_rng(seed ^ 0x5A5A5A5AULL);
@@ -550,6 +551,177 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
   return Status::OK();
 }
 
+namespace {
+
+/// Soundness-only checks for a budget-truncated scheduled answer: the tick
+/// need not match the oracle, but everything it claims must be provable.
+std::optional<std::string> CheckScheduledPartial(
+    const engine::TickResult& tick, const ComboContext& ctx) {
+  const Workload& w = *ctx.workload;
+  const engine::Query& query = *ctx.query;
+  switch (query.kind) {
+    case engine::QueryKind::kSelect:
+    case engine::QueryKind::kSelectRange:
+      // Undecided rows resolve by the sound midpoint rule; the set itself
+      // carries no oracle-comparable claim until converged.
+      return std::nullopt;
+    case engine::QueryKind::kMax:
+    case engine::QueryKind::kMin: {
+      const double sign =
+          query.kind == engine::QueryKind::kMax ? 1.0 : -1.0;
+      double best = sign * w.true_values[0];
+      for (const double v : w.true_values) best = std::max(best, sign * v);
+      best *= sign;
+      // Pre-finalize snapshots report a candidate envelope that must
+      // contain the true extreme; finalize-phase snapshots report the
+      // settled winner's own bounds, which must contain ITS true value.
+      bool sound = ContainsWithSlack(tick.aggregate_bounds, best, 1e-9);
+      if (!sound && tick.winner_row.has_value() &&
+          *tick.winner_row < w.true_values.size()) {
+        sound = ContainsWithSlack(tick.aggregate_bounds,
+                                  w.true_values[*tick.winner_row], 1e-9);
+      }
+      if (!sound) {
+        std::ostringstream os;
+        os << "partial extreme bounds " << tick.aggregate_bounds
+           << " exclude both the true extreme " << best
+           << " and the reported winner's true value";
+        return os.str();
+      }
+      return std::nullopt;
+    }
+    case engine::QueryKind::kSum:
+    case engine::QueryKind::kAve: {
+      auto weights = OracleExecutor::ResolveWeights(query, w.relation);
+      if (!weights.ok()) return weights.status().ToString();
+      return CheckSumAnswer(tick.aggregate_bounds, /*degraded=*/true,
+                            weights.value(), w.true_values, w.min_width,
+                            query.epsilon, ctx.oracle);
+    }
+    case engine::QueryKind::kTopK: {
+      for (std::size_t i = 0; i < tick.top_rows.size(); ++i) {
+        const std::size_t row = tick.top_rows[i];
+        if (row >= w.true_values.size()) {
+          return "partial top-k row index out of range";
+        }
+        if (!ContainsWithSlack(tick.top_bounds[i], w.true_values[row],
+                               1e-9)) {
+          return "partial top-k bounds exclude the true value of row " +
+                 std::to_string(row);
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status DifferentialRunner::RunSchedulerSweep(std::uint64_t seed,
+                                             DifferentialSummary* summary) {
+  WorkloadSpec spec;
+  spec.rows = options_.rows;
+  const Workload workload = MakeWorkload(spec, seed);
+  const OracleExecutor oracle_executor(workload.function.get());
+
+  std::vector<engine::Query> queries;
+  std::vector<OracleAnswer> oracles;
+  queries.reserve(options_.kinds.size());
+  oracles.reserve(options_.kinds.size());
+  for (const KindVariant& variant : options_.kinds) {
+    Rng rng = QueryRng(seed, variant);
+    engine::Query query = MakeQuery(workload, variant.kind, variant.k, &rng);
+    VAOLIB_ASSIGN_OR_RETURN(OracleAnswer oracle,
+                            oracle_executor.Answer(query, workload.relation));
+    queries.push_back(std::move(query));
+    oracles.push_back(std::move(oracle));
+  }
+
+  struct ScheduledRun {
+    std::vector<engine::TickResult> ticks;
+    obs::ExecutionReport tick_report;
+  };
+  auto run_once = [&](engine::SchedulerPolicy policy,
+                      std::uint64_t budget) -> Result<ScheduledRun> {
+    engine::MultiQueryOptions mq;
+    mq.scheduled = true;
+    mq.scheduler.policy = policy;
+    mq.scheduler.budget = budget;
+    VAOLIB_ASSIGN_OR_RETURN(
+        auto executor,
+        engine::MultiQueryExecutor::Create(&workload.relation,
+                                           engine::Schema{}, queries, mq));
+    VAOLIB_ASSIGN_OR_RETURN(auto ticks, executor->ProcessTick({}));
+    return ScheduledRun{std::move(ticks), executor->last_tick_report()};
+  };
+
+  for (const engine::SchedulerPolicy policy : options_.scheduler_policies) {
+    VAOLIB_ASSIGN_OR_RETURN(const ScheduledRun unbudgeted,
+                            run_once(policy, 0));
+    std::vector<std::uint64_t> budgets = {0};
+    for (const double fraction : options_.budget_fractions) {
+      budgets.push_back(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 fraction *
+                 static_cast<double>(
+                     unbudgeted.tick_report.scheduler_spent))));
+    }
+
+    for (const std::uint64_t budget : budgets) {
+      ScheduledRun run;
+      if (budget == 0) {
+        run = unbudgeted;
+      } else {
+        VAOLIB_ASSIGN_OR_RETURN(run, run_once(policy, budget));
+      }
+      const std::string label =
+          std::string("scheduler policy=") +
+          engine::SchedulerPolicyName(policy) +
+          " budget=" + std::to_string(budget) + ": ";
+
+      // Budget invariant: per-query spends sum exactly to the scheduler
+      // run's total (surfaced through the tick-wide report).
+      std::uint64_t spent_sum = 0;
+      for (const engine::TickResult& tick : run.ticks) {
+        spent_sum += tick.work_units;
+      }
+      if (spent_sum != run.tick_report.scheduler_spent) {
+        VAOLIB_RETURN_IF_ERROR(RecordFailure(
+            seed, options_.kinds.front(), 1, false,
+            label + "per-query spends sum to " + std::to_string(spent_sum) +
+                " but the scheduler reports " +
+                std::to_string(run.tick_report.scheduler_spent),
+            summary));
+      }
+
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const engine::TickResult& tick = run.ticks[q];
+        const ComboContext ctx{&workload, &queries[q], &oracles[q]};
+        ++summary->combos;
+        ++summary->combos_by_family[FamilyOf(queries[q].kind)];
+        std::optional<std::string> detail;
+        if (budget == 0 && !tick.converged) {
+          detail = "unbudgeted scheduled run did not converge";
+        } else if (tick.converged) {
+          detail = CheckTick(tick, ctx);
+        } else {
+          detail = CheckScheduledPartial(tick, ctx);
+        }
+        if (detail.has_value()) {
+          VAOLIB_RETURN_IF_ERROR(RecordFailure(seed, options_.kinds[q], 1,
+                                               false, label + *detail,
+                                               summary));
+        }
+      }
+      if (summary->failures.size() >= options_.max_failures) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<DifferentialSummary> DifferentialRunner::RunAll() {
   DifferentialSummary summary;
   for (std::size_t i = 0; i < options_.seeds; ++i) {
@@ -560,6 +732,10 @@ Result<DifferentialSummary> DifferentialRunner::RunAll() {
     }
     if (!options_.strategies.empty()) {
       VAOLIB_RETURN_IF_ERROR(RunStrategySweep(seed, &summary));
+      if (summary.failures.size() >= options_.max_failures) return summary;
+    }
+    if (!options_.scheduler_policies.empty()) {
+      VAOLIB_RETURN_IF_ERROR(RunSchedulerSweep(seed, &summary));
       if (summary.failures.size() >= options_.max_failures) return summary;
     }
   }

@@ -23,6 +23,7 @@
 
 #include "common/result.h"
 #include "engine/query.h"
+#include "engine/scheduler.h"
 #include "testing/workload_gen.h"
 
 namespace vaolib::testing {
@@ -58,11 +59,24 @@ struct DifferentialOptions {
   };
   /// Direct MinMaxVao/SumAveVao sweep over these strategies (the executor
   /// path always runs the paper's greedy strategy).
-  std::vector<operators::IterationStrategy> strategies = {
-      operators::IterationStrategy::kGreedy,
-      operators::IterationStrategy::kRoundRobin,
-      operators::IterationStrategy::kRandom,
+  std::vector<operators::StrategyKind> strategies = {
+      operators::StrategyKind::kGreedy,
+      operators::StrategyKind::kRoundRobin,
+      operators::StrategyKind::kRandom,
   };
+  /// Scheduled-execution axis: per seed, all `kinds` run as ONE
+  /// MultiQueryExecutor batch under each policy -- first unbudgeted (every
+  /// answer must then match the oracle exactly, converged = true), then
+  /// again at each `budget_fractions` slice of that run's own spend
+  /// (converged answers must still match the oracle exactly; unconverged
+  /// ones must stay within the oracle's bounds and the per-query spends
+  /// must sum to the scheduler's reported total). Empty disables the axis.
+  std::vector<engine::SchedulerPolicy> scheduler_policies = {
+      engine::SchedulerPolicy::kGreedyGlobal,
+      engine::SchedulerPolicy::kFairShare,
+      engine::SchedulerPolicy::kDeadline,
+  };
+  std::vector<double> budget_fractions = {0.4};
   Mutation mutation = Mutation::kNone;
   /// Stop after this many failures (each one shrinks, which re-runs combos).
   std::size_t max_failures = 8;
@@ -130,6 +144,11 @@ class DifferentialRunner {
 
   /// Direct MinMaxVao/SumAveVao strategy sweep for one seed.
   Status RunStrategySweep(std::uint64_t seed, DifferentialSummary* summary);
+
+  /// Scheduled MultiQueryExecutor sweep for one seed: every policy,
+  /// unbudgeted then at each budget fraction (see
+  /// DifferentialOptions::scheduler_policies).
+  Status RunSchedulerSweep(std::uint64_t seed, DifferentialSummary* summary);
 
   /// Shrinks a failing combo by halving the row count while the mismatch
   /// persists, then records it.

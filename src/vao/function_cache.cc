@@ -204,14 +204,28 @@ BoundsCache::Shard& BoundsCache::ShardFor(const std::vector<double>& args) {
 std::optional<BoundsCache::Entry> BoundsCache::Lookup(
     const std::vector<double>& args) {
   Shard& shard = ShardFor(args);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  {
+    // Miss fast path: probe under the shared lock so concurrent misses --
+    // every pool worker during a cold InvokeAll -- proceed in parallel
+    // instead of convoying on the exclusive lock.
+    std::shared_lock<std::shared_mutex> read(shard.mutex);
+    if (shard.entries.find(args) == shard.entries.end()) {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      CountCacheMiss();
+      return std::nullopt;
+    }
+  }
+  // Probable hit: the LRU splice mutates the shard, so upgrade to the
+  // exclusive lock and re-find (the entry may have been evicted between
+  // the two locks -- then it is a miss after all).
+  std::unique_lock<std::shared_mutex> write(shard.mutex);
   const auto it = shard.entries.find(args);
   if (it == shard.entries.end()) {
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     CountCacheMiss();
     return std::nullopt;
   }
-  ++shard.hits;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   CountCacheHit();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
   return it->second.entry;
@@ -220,7 +234,7 @@ std::optional<BoundsCache::Entry> BoundsCache::Lookup(
 void BoundsCache::Update(const std::vector<double>& args,
                          const Bounds& bounds, double min_width) {
   Shard& shard = ShardFor(args);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
   const auto it = shard.entries.find(args);
   if (it != shard.entries.end()) {
     it->second.entry.bounds = Intersect(it->second.entry.bounds, bounds);
@@ -234,7 +248,7 @@ void BoundsCache::Update(const std::vector<double>& args,
   if (shard.entries.size() > per_shard_capacity_) {
     shard.entries.erase(shard.lru.back());
     shard.lru.pop_back();
-    ++shard.evictions;
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
     CountCacheEviction();
   }
 }
@@ -242,7 +256,7 @@ void BoundsCache::Update(const std::vector<double>& args,
 std::size_t BoundsCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
     total += shard->entries.size();
   }
   return total;
@@ -251,8 +265,7 @@ std::size_t BoundsCache::size() const {
 std::uint64_t BoundsCache::hits() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->hits;
+    total += shard->hits.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -260,8 +273,7 @@ std::uint64_t BoundsCache::hits() const {
 std::uint64_t BoundsCache::misses() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->misses;
+    total += shard->misses.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -269,8 +281,7 @@ std::uint64_t BoundsCache::misses() const {
 std::uint64_t BoundsCache::evictions() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->evictions;
+    total += shard->evictions.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -279,8 +290,10 @@ std::vector<BoundsCache::ShardStats> BoundsCache::PerShardStats() const {
   std::vector<ShardStats> stats;
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    stats.push_back(ShardStats{shard->hits, shard->misses, shard->evictions});
+    stats.push_back(
+        ShardStats{shard->hits.load(std::memory_order_relaxed),
+                   shard->misses.load(std::memory_order_relaxed),
+                   shard->evictions.load(std::memory_order_relaxed)});
   }
   return stats;
 }

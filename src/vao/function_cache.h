@@ -15,20 +15,26 @@
 //     bounds back when the object is destroyed.
 //
 // Concurrency: the store is sharded by argument-vector hash; each shard has
-// its own mutex, LRU list, and hit/miss counters (aggregated on read, so
-// the totals stay exact). Lookup/Update -- and therefore CachingFunction::
-// Invoke() and result-object destruction, which writes bounds back -- are
-// safe from any thread, including pool workers (common/thread_pool.h).
+// its own reader-writer lock, LRU list, and atomic hit/miss counters
+// (aggregated on read, so the totals stay exact). A Lookup MISS -- the hot
+// case for cold working sets, hit concurrently by every pool worker during
+// InvokeAll -- takes only the shard's shared lock and bumps an atomic, so
+// misses never serialize behind each other; only hits (which must splice
+// the LRU list) and Updates take the exclusive lock. Lookup/Update -- and
+// therefore CachingFunction::Invoke() and result-object destruction, which
+// writes bounds back -- are safe from any thread, including pool workers
+// (common/thread_pool.h).
 
 #ifndef VAOLIB_VAO_FUNCTION_CACHE_H_
 #define VAOLIB_VAO_FUNCTION_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +61,10 @@ class BoundsCache {
   explicit BoundsCache(std::size_t capacity, std::size_t shard_count = 16);
 
   /// Returns the cached entry for \p args, refreshing its LRU position.
+  /// Misses probe under the shard's shared lock only (concurrent misses do
+  /// not serialize); hits upgrade to the exclusive lock for the LRU splice,
+  /// re-checking the entry in between (it may have been evicted, in which
+  /// case the lookup is a miss after all).
   std::optional<Entry> Lookup(const std::vector<double>& args);
 
   /// Records \p bounds for \p args, intersecting with any existing entry
@@ -92,12 +102,15 @@ class BoundsCache {
     LruList::iterator lru_position;
   };
   struct Shard {
-    mutable std::mutex mutex;
+    /// Shared for miss probes, exclusive for hits (LRU splice) and Updates.
+    mutable std::shared_mutex mutex;
     std::map<std::vector<double>, Slot> entries;
     LruList lru;  // front = most recent
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    /// Atomic so the miss path (shared lock) and stat readers (no lock at
+    /// all) never contend on the exclusive lock.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const std::vector<double>& args);

@@ -100,4 +100,32 @@ Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
                                           converge_range);
 }
 
+Status StepAll(const std::vector<ResultObject*>& objects, int threads) {
+  const std::size_t n = objects.size();
+  for (const auto* object : objects) {
+    if (object == nullptr) {
+      return Status::InvalidArgument("null result object");
+    }
+  }
+  if (n == 0) return Status::OK();
+
+  auto step_range = [&](std::size_t begin, std::size_t end,
+                        WorkMeter* /*chunk_meter*/) {
+    Status first_error;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Status status = objects[i]->Iterate();
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+    return first_error;
+  };
+
+  if (threads < 2 || n < 2) {
+    return step_range(0, n, nullptr);
+  }
+  ThreadPool::ForOptions options;
+  options.max_parallelism = threads;
+  return ThreadPool::Shared().ParallelFor(n, options, /*meter=*/nullptr,
+                                          step_range);
+}
+
 }  // namespace vaolib::vao

@@ -60,6 +60,19 @@ Status ConvergeAllToMinWidth(const std::vector<ResultObject*>& objects,
                              std::uint64_t max_iterations_per_object =
                                  50'000'000);
 
+/// \brief Gives every listed object exactly one Iterate() call, using up to
+/// \p threads workers of the shared pool (threads < 2 runs serially on the
+/// caller). This is the batched form of a resumable task step: the engine's
+/// scheduler refines many independent rows one notch per scheduling round,
+/// and this fans one round out over the pool. Objects charge whatever meter
+/// they were created against (atomic), so work totals are independent of
+/// the thread count, and each object receives exactly one call regardless
+/// of errors elsewhere.
+///
+/// Error semantics: every object is attempted even after a failure; returns
+/// the error of the lowest-indexed failing object, deterministically.
+Status StepAll(const std::vector<ResultObject*>& objects, int threads);
+
 }  // namespace vaolib::vao
 
 #endif  // VAOLIB_VAO_PARALLEL_H_

@@ -164,8 +164,8 @@ TEST(MinMaxVaoTest, FindsMinSymmetrically) {
 
 TEST(MinMaxVaoTest, CorrectOnRandomSetsAllStrategies) {
   for (const auto strategy :
-       {IterationStrategy::kGreedy, IterationStrategy::kRoundRobin,
-        IterationStrategy::kRandom}) {
+       {StrategyKind::kGreedy, StrategyKind::kRoundRobin,
+        StrategyKind::kRandom}) {
     Rng rng(7);
     Rng strategy_rng(11);
     for (int trial = 0; trial < 50; ++trial) {
@@ -262,7 +262,7 @@ TEST(MinMaxVaoTest, RandomStrategyRequiresRng) {
   auto object = MakeFake(100.0);
   std::vector<vao::ResultObject*> ptrs{&object};
   MinMaxOptions options;
-  options.strategy = IterationStrategy::kRandom;
+  options.strategy = StrategyKind::kRandom;
   const MinMaxVao vao(options);
   EXPECT_FALSE(vao.Evaluate(ptrs).ok());
 }

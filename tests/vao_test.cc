@@ -383,6 +383,40 @@ TEST(BoundsCacheConcurrencyTest, ConcurrentLookupUpdateKeepsExactCounters) {
   EXPECT_EQ(cache.size(), 16u);  // 16 distinct keys, capacity far larger
 }
 
+TEST(BoundsCacheConcurrencyTest, ColdMissStormStaysExactAndLockFree) {
+  // Regression for the reader-writer miss path: Lookup misses used to take
+  // the shard's exclusive lock, convoying every pool worker during a cold
+  // InvokeAll. Misses now probe under a shared lock with atomic counters.
+  // Hammer a miss-heavy mix (most keys never inserted) concurrently with
+  // inserts and evictions on a deliberately tiny cache, then check the
+  // counters still balance exactly.
+  BoundsCache cache(/*capacity=*/8, /*shard_count=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> invalid{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &invalid, t]() {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        // 1 insert per 8 lookups over a key space 64x the capacity: almost
+        // every probe is a miss, and inserts keep evicting concurrently.
+        const std::vector<double> key = {
+            static_cast<double>((op * 7 + t * 131) % 512)};
+        if (op % 8 == 0) {
+          cache.Update(key, Bounds(-2.0, 2.0), 1e-3);
+        }
+        const auto entry = cache.Lookup(key);
+        if (entry.has_value() && !entry->bounds.IsValid()) ++invalid;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(invalid.load(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(cache.size(), 8u);
+}
+
 TEST(BoundsCacheConcurrencyTest, WriteBackSafeWhenObjectsDieOnWorkers) {
   // Regression: write-back result objects used to race on destruction when
   // a worker thread destroyed them while another thread was looking the
