@@ -1,0 +1,160 @@
+// obs01: tracing overhead on the Figure 8 selection workload. Four arms run
+// the identical sweep (selectivity 0.5, every bond):
+//   disabled  observability compiled in but switched off (the floor),
+//   off       obs on, tracing off -- the production default; must cost
+//             < 1% over the floor or the "one relaxed load" claim is false,
+//   flight    decision events + coarse spans into the rings; < 5%,
+//   full      everything including fine spans (reported, not asserted).
+// Each arm takes the min wall time over several repetitions (the usual
+// bench trick: noise only ever adds time), and the inner repeat count is
+// autoscaled so the floor arm runs long enough to resolve 1% differences.
+// A small absolute slack keeps 1-core CI runners from flaking the gate.
+// Writes BENCH_trace_overhead.json and exits non-zero when a gate fails.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "operators/selection.h"
+#include "workload/selectivity.h"
+
+namespace {
+
+using vaolib::Stopwatch;
+using vaolib::TableWriter;
+using vaolib::WorkMeter;
+using vaolib::bench::BenchContext;
+
+constexpr int kReps = 7;
+constexpr double kOffLimit = 0.01;     // off-mode gate: < 1% over the floor
+constexpr double kFlightLimit = 0.05;  // flight-mode gate: < 5%
+constexpr double kAbsSlackSeconds = 0.010;
+
+// One workload pass: the fig08 selection at the given constant over every
+// bond. Returns false on solver failure (which aborts the bench).
+bool RunSweep(const BenchContext& context,
+              const vaolib::operators::SelectionVao& vao, int inner) {
+  for (int i = 0; i < inner; ++i) {
+    WorkMeter meter;
+    for (const auto& row : context.rows) {
+      const auto outcome = vao.Evaluate(*context.function, row, &meter);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "selection VAO failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double MinWallSeconds(const BenchContext& context,
+                      const vaolib::operators::SelectionVao& vao, int inner,
+                      bool* ok) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    vaolib::obs::ClearTrace();
+    const Stopwatch wall;
+    if (!RunSweep(context, vao, inner)) {
+      *ok = false;
+      return best;
+    }
+    best = std::min(best, wall.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  BenchContext context = vaolib::bench::MakeContext();
+  vaolib::bench::Calibrate(&context);
+  vaolib::bench::PrintPreamble(
+      context, "obs01: tracing overhead, fig08 selection workload");
+
+  const auto constant = vaolib::workload::ConstantForGreaterSelectivity(
+      context.converged_values, 0.5);
+  if (!constant.ok()) {
+    std::fprintf(stderr, "constant selection failed: %s\n",
+                 constant.status().ToString().c_str());
+    return 1;
+  }
+  const vaolib::operators::SelectionVao vao(
+      vaolib::operators::Comparator::kGreaterThan, *constant);
+
+  // Autoscale the inner repeat count so the floor arm runs >= ~50 ms; a
+  // 1% gate over a sub-millisecond run would only measure timer noise.
+  vaolib::obs::SetEnabled(false);
+  vaolib::obs::SetTraceMode(vaolib::obs::TraceMode::kOff);
+  bool ok = true;
+  const Stopwatch probe;
+  if (!RunSweep(context, vao, 1)) return 1;
+  const double once = std::max(probe.ElapsedSeconds(), 1e-6);
+  const int inner =
+      static_cast<int>(std::clamp(std::ceil(0.05 / once), 1.0, 200.0));
+  std::printf("inner repeats per measurement: %d (single pass %.4fs)\n\n",
+              inner, once);
+
+  struct Arm {
+    const char* name;
+    bool obs_enabled;
+    vaolib::obs::TraceMode mode;
+    double limit;  // relative gate vs. the floor; <0 means report-only
+  };
+  const Arm arms[] = {
+      {"disabled", false, vaolib::obs::TraceMode::kOff, -1.0},
+      {"off", true, vaolib::obs::TraceMode::kOff, kOffLimit},
+      {"flight", true, vaolib::obs::TraceMode::kFlight, kFlightLimit},
+      {"full", true, vaolib::obs::TraceMode::kFull, -1.0},
+  };
+
+  TableWriter table("obs01: tracing overhead (min of reps)",
+                    {"arm", "min_wall_s", "overhead_pct", "limit_pct",
+                     "pass"});
+  double floor_seconds = 0.0;
+  bool all_pass = true;
+  for (const Arm& arm : arms) {
+    vaolib::obs::SetEnabled(arm.obs_enabled);
+    vaolib::obs::SetTraceMode(arm.mode);
+    const double seconds = MinWallSeconds(context, vao, inner, &ok);
+    if (!ok) return 1;
+    if (arm.limit < 0.0 && floor_seconds == 0.0) floor_seconds = seconds;
+    const double overhead = seconds / floor_seconds - 1.0;
+    const bool gated = arm.limit >= 0.0;
+    const bool pass =
+        !gated ||
+        seconds <= floor_seconds * (1.0 + arm.limit) + kAbsSlackSeconds;
+    if (!pass) all_pass = false;
+    table.AddRow({std::string(arm.name), TableWriter::Cell(seconds, 4),
+                  TableWriter::Cell(overhead * 100.0, 2),
+                  TableWriter::Cell(gated ? arm.limit * 100.0 : -1.0, 2),
+                  TableWriter::Cell(pass ? 1 : 0)});
+  }
+  vaolib::obs::SetTraceMode(vaolib::obs::TraceMode::kOff);
+  vaolib::obs::SetEnabled(true);
+
+  table.RenderText(std::cout);
+  std::ofstream json("BENCH_trace_overhead.json");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_trace_overhead.json\n");
+    return 1;
+  }
+  table.RenderJson(json);
+  std::printf("\nwrote BENCH_trace_overhead.json\n");
+  if (!all_pass) {
+    std::fprintf(stderr, "tracing overhead gate FAILED\n");
+    return 1;
+  }
+  std::printf("tracing overhead gates passed\n");
+  return 0;
+}

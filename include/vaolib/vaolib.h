@@ -78,11 +78,16 @@
 
 /// \defgroup vaolib_obs Observability
 /// Process-wide \ref vaolib::obs::MetricsRegistry (Prometheus-style
-/// counters/gauges) and the per-query \ref vaolib::obs::ExecutionReport
-/// with JSON / Prometheus renderers, including the scheduler section
-/// (policy, budget, spend, starvation, deadline misses).
+/// counters/gauges), the per-query \ref vaolib::obs::ExecutionReport
+/// with JSON / Prometheus renderers (scheduler section and
+/// estimator-calibration audit included), and the execution tracer:
+/// span timelines, per-iteration decision events, and the
+/// \ref vaolib::obs::FlightRecorder post-mortem dumps
+/// (VAOLIB_TRACE / VAOLIB_TRACE_RING / VAOLIB_TRACE_DUMP).
 
 #include "obs/execution_report.h"  // IWYU pragma: export
+#include "obs/flight_recorder.h"   // IWYU pragma: export
 #include "obs/metrics.h"           // IWYU pragma: export
+#include "obs/trace.h"             // IWYU pragma: export
 
 #endif  // VAOLIB_VAOLIB_H_

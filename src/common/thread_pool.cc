@@ -6,6 +6,8 @@
 #include <exception>
 #include <memory>
 
+#include "common/trace_hook.h"
+
 namespace vaolib {
 
 thread_local bool ThreadPool::in_worker_ = false;
@@ -48,8 +50,17 @@ struct ForJob {
       if (c >= num_chunks) return;
       const std::size_t begin = c * chunk_size;
       const std::size_t end = std::min(n, begin + chunk_size);
+      // The tracer's hook is non-null only while tracing is on, so the
+      // usual cost here is one relaxed load.
+      const TraceSpanHookFn span_hook =
+          TraceSpanHook().load(std::memory_order_relaxed);
+      const std::uint64_t span_start =
+          span_hook != nullptr ? TraceHookNowNs() : 0;
       chunk_status[c] =
           RunChunk(*body, begin, end, metered ? &chunk_meters[c] : nullptr);
+      if (span_hook != nullptr) {
+        span_hook("chunk", span_start, TraceHookNowNs());
+      }
       if (chunks_finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
         // Last chunk: wake the waiting caller. The lock pairs with the

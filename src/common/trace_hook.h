@@ -1,0 +1,40 @@
+// Copyright 2026 The vaolib Authors.
+// Trace hook seam for vaolib_common: the thread pool wants to emit spans
+// for the chunks it executes, but common sits below the observability
+// library in the link order and must not include obs headers. The obs
+// tracer installs a function pointer here (only while tracing is on, so
+// the off-mode cost stays one relaxed load per chunk); common call sites
+// invoke it with raw steady_clock timestamps and the tracer rebases them
+// onto its own epoch.
+
+#ifndef VAOLIB_COMMON_TRACE_HOOK_H_
+#define VAOLIB_COMMON_TRACE_HOOK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vaolib {
+
+/// \brief Span callback: (name, start, end) in absolute steady_clock ns.
+/// `name` must be a string literal.
+using TraceSpanHookFn = void (*)(const char* name, std::uint64_t start_ns,
+                                 std::uint64_t end_ns);
+
+/// \brief The installed hook cell (nullptr = tracing off or obs unlinked).
+inline std::atomic<TraceSpanHookFn>& TraceSpanHook() {
+  static std::atomic<TraceSpanHookFn> hook{nullptr};
+  return hook;
+}
+
+/// \brief Absolute steady_clock nanoseconds, for hook timestamps.
+inline std::uint64_t TraceHookNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace vaolib
+
+#endif  // VAOLIB_COMMON_TRACE_HOOK_H_

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "obs/trace.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
 #include "operators/sum_ave.h"
@@ -171,6 +172,7 @@ Result<TickResult> CqExecutor::ProcessTick(const Tuple& stream_tuple) {
 }
 
 Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
+  const obs::ScopedSpan tick_span("tick", QueryKindName(query_.kind));
   TickResult result;
   result.kind = query_.kind;
   const std::uint64_t work_before = meter_.Total();
@@ -367,6 +369,7 @@ Result<TickResult> CqExecutor::FallbackOrError(const Tuple& stream_tuple,
 }
 
 Result<TickResult> CqExecutor::RunTraditional(const Tuple& stream_tuple) {
+  const obs::ScopedSpan tick_span("tick", "traditional");
   TickResult result;
   result.kind = query_.kind;
   const std::uint64_t work_before = meter_.Total();

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "obs/trace.h"
 #include "operators/iteration_task.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
@@ -193,6 +194,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
 
 Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
     const Tuple& stream_tuple) {
+  const obs::ScopedSpan tick_span("tick", "multi_shared");
   const std::size_t n = relation_->size();
   const auto* function = queries_.front().function;
   const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
@@ -387,6 +389,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
 
 Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
     const Tuple& stream_tuple) {
+  const obs::ScopedSpan tick_span("tick", "multi_scheduled");
   const std::size_t n = relation_->size();
   const auto* function = queries_.front().function;
   const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::engine {
 
@@ -191,6 +192,8 @@ Result<std::vector<TaskScheduleStats>> WorkScheduler::Run(
     }
   }
 
+  const obs::ScopedSpan run_span("scheduler",
+                                 SchedulerPolicyName(options_.policy));
   std::vector<TaskScheduleStats> stats(entries.size());
   std::uint64_t total_spent = 0;
   bool budget_exhausted = false;
@@ -243,7 +246,12 @@ Result<std::vector<TaskScheduleStats>> WorkScheduler::Run(
     operators::IterationTask* task = entries[pick].task;
     const std::uint64_t before = meter->Total();
     const obs::WorkByKind work_before = obs::WorkByKind::Capture(*meter);
-    const Status status = task->Step(meter);
+    Status status = Status::OK();
+    {
+      const obs::ScopedSpan step_span("sched_step", task->name(),
+                                      obs::TraceDetail::kFine);
+      status = task->Step(meter);
+    }
     const std::uint64_t delta = meter->Total() - before;
     const obs::WorkByKind work_delta =
         obs::WorkByKind::Capture(*meter).DeltaSince(work_before);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
@@ -160,6 +161,7 @@ void RefinableIntegral::UpdateErrorBound() {
 }
 
 Status RefinableIntegral::Refine(WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "integral", obs::TraceDetail::kFine);
   coarse_value_ = fine_value_;
   previous_error_ = error_bound_;
   VAOLIB_RETURN_IF_ERROR(AddLevel(meter));

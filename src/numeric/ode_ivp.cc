@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
 Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
                               WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "ivp", obs::TraceDetail::kFine);
   if (!problem.f) {
     return Status::InvalidArgument("IVP right-hand side is empty");
   }

@@ -5,6 +5,7 @@
 
 #include "numeric/tridiagonal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
@@ -28,6 +29,7 @@ OdeBvpProblem MakeBeamDeflectionProblem(double stress_s, double modulus_e,
 Result<std::vector<double>> SolveOdeBvpProfile(const OdeBvpProblem& problem,
                                                int intervals,
                                                WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "ode", obs::TraceDetail::kFine);
   if (!problem.p || !problem.q || !problem.r) {
     return Status::InvalidArgument("ODE problem has unset coefficient(s)");
   }

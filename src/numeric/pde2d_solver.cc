@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "numeric/tridiagonal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
@@ -32,6 +33,7 @@ Status ValidateInputs(const Pde2dProblem& p, const Pde2dGrid& grid) {
 
 Result<double> SolvePde2d(const Pde2dProblem& problem, const Pde2dGrid& grid,
                           double query_x, double query_y, WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "pde2d", obs::TraceDetail::kFine);
   VAOLIB_RETURN_IF_ERROR(ValidateInputs(problem, grid));
   if (query_x < problem.x_min || query_x > problem.x_max ||
       query_y < problem.y_min || query_y > problem.y_max) {

@@ -6,6 +6,7 @@
 
 #include "numeric/tridiagonal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
@@ -40,6 +41,7 @@ Status ValidateInputs(const Pde1dProblem& p, const PdeGrid& grid) {
 Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
                                             const PdeGrid& grid,
                                             WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "pde", obs::TraceDetail::kFine);
   VAOLIB_RETURN_IF_ERROR(ValidateInputs(problem, grid));
 
   const int nx = grid.x_intervals;  // nodes 0..nx

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::numeric {
 
@@ -61,6 +62,7 @@ double BracketingRootFinder::ProbePoint() const {
 }
 
 Status BracketingRootFinder::Step(WorkMeter* meter) {
+  const obs::ScopedSpan span("solver", "root", obs::TraceDetail::kFine);
   if (hi_ <= lo_) return Status::OK();  // degenerate: exact root found
 
   const double x = ProbePoint();

@@ -1,13 +1,24 @@
 #include "obs/execution_report.h"
 
-#include <cctype>
-#include <map>
+#include <cstdio>
 #include <memory>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/json_util.h"
 
 namespace vaolib::obs {
+
+namespace {
+
+// max_digits10 rendering so FromJson (strtod) round-trips bit-exactly.
+void AppendExactDouble(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
 
 WorkByKind WorkByKind::Capture(const WorkMeter& meter) {
   WorkByKind w;
@@ -75,7 +86,27 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
      << ", \"converged\": " << (converged ? "true" : "false")
      << ", \"starved\": " << (starved ? "true" : "false")
      << ", \"missed_deadline\": " << (missed_deadline ? "true" : "false")
-     << "}";
+     << "}, ";
+  os << "\"calibration\": {";
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    const CalibrationKindStats& c = calibration[k];
+    if (k > 0) os << ", ";
+    os << "\"" << SolverKindName(static_cast<SolverKind>(k))
+       << "\": {\"samples\": " << c.samples << ", \"cost_err_sum\": ";
+    AppendExactDouble(os, c.cost_err_sum);
+    os << ", \"cost_abs_err_sum\": ";
+    AppendExactDouble(os, c.cost_abs_err_sum);
+    os << ", \"lo_err_sum\": ";
+    AppendExactDouble(os, c.lo_err_sum);
+    os << ", \"lo_abs_err_sum\": ";
+    AppendExactDouble(os, c.lo_abs_err_sum);
+    os << ", \"hi_err_sum\": ";
+    AppendExactDouble(os, c.hi_err_sum);
+    os << ", \"hi_abs_err_sum\": ";
+    AppendExactDouble(os, c.hi_abs_err_sum);
+    os << "}";
+  }
+  os << "}";
   os << "}";
 }
 
@@ -162,180 +193,60 @@ void ExecutionReport::RenderPrometheus(std::ostream& os) const {
     os << "vaolib_query_scheduler_missed_deadline" << sched_label << " "
        << (missed_deadline ? 1 : 0) << "\n";
   }
+  bool any_calibration = false;
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    any_calibration = any_calibration || calibration[k].samples > 0;
+  }
+  if (any_calibration) {
+    os << "# TYPE vaolib_query_estimator_samples gauge\n";
+    for (int k = 0; k < kNumSolverKinds; ++k) {
+      if (calibration[k].samples == 0) continue;
+      os << "vaolib_query_estimator_samples{kind=\"" << query_kind
+         << "\",solver=\"" << SolverKindName(static_cast<SolverKind>(k))
+         << "\"} " << calibration[k].samples << "\n";
+    }
+    os << "# TYPE vaolib_query_estimator_bias gauge\n";
+    for (int k = 0; k < kNumSolverKinds; ++k) {
+      const CalibrationKindStats& c = calibration[k];
+      if (c.samples == 0) continue;
+      const char* solver = SolverKindName(static_cast<SolverKind>(k));
+      const double bias[3] = {c.CostBias(), c.LoBias(), c.HiBias()};
+      const char* estimate[3] = {"cost", "lo", "hi"};
+      for (int e = 0; e < 3; ++e) {
+        os << "vaolib_query_estimator_bias{kind=\"" << query_kind
+           << "\",solver=\"" << solver << "\",estimate=\"" << estimate[e]
+           << "\"} ";
+        AppendExactDouble(os, bias[e]);
+        os << "\n";
+      }
+    }
+    os << "# TYPE vaolib_query_estimator_mae gauge\n";
+    for (int k = 0; k < kNumSolverKinds; ++k) {
+      const CalibrationKindStats& c = calibration[k];
+      if (c.samples == 0) continue;
+      const char* solver = SolverKindName(static_cast<SolverKind>(k));
+      const double mae[3] = {c.CostMae(), c.LoMae(), c.HiMae()};
+      const char* estimate[3] = {"cost", "lo", "hi"};
+      for (int e = 0; e < 3; ++e) {
+        os << "vaolib_query_estimator_mae{kind=\"" << query_kind
+           << "\",solver=\"" << solver << "\",estimate=\"" << estimate[e]
+           << "\"} ";
+        AppendExactDouble(os, mae[e]);
+        os << "\n";
+      }
+    }
+  }
 }
 
-namespace {
-
-// Minimal JSON reader covering exactly what RenderJson emits: objects,
-// arrays, strings, unsigned integers, and booleans. No floats, escapes
-// beyond \" and \\, or nulls -- the report never produces them.
-struct JsonValue {
-  enum class Type { kObject, kArray, kString, kNumber, kBool } type;
-  std::map<std::string, std::unique_ptr<JsonValue>> object;
-  std::vector<std::unique_ptr<JsonValue>> array;
-  std::string string;
-  std::uint64_t number = 0;
-  bool boolean = false;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  Result<std::unique_ptr<JsonValue>> Parse() {
-    auto value = ParseValue();
-    if (!value.ok()) return value;
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Status::InvalidArgument("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<std::unique_ptr<JsonValue>> ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unexpected end of JSON");
-    }
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (std::isdigit(static_cast<unsigned char>(c))) return ParseNumber();
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      auto v = std::make_unique<JsonValue>();
-      v->type = JsonValue::Type::kBool;
-      v->boolean = true;
-      return v;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      auto v = std::make_unique<JsonValue>();
-      v->type = JsonValue::Type::kBool;
-      v->boolean = false;
-      return v;
-    }
-    return Status::InvalidArgument("unsupported JSON token");
-  }
-
-  Result<std::unique_ptr<JsonValue>> ParseObject() {
-    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
-    auto v = std::make_unique<JsonValue>();
-    v->type = JsonValue::Type::kObject;
-    SkipSpace();
-    if (Consume('}')) return v;
-    while (true) {
-      VAOLIB_ASSIGN_OR_RETURN(auto key, ParseString());
-      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
-      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
-      v->object[key->string] = std::move(value);
-      if (Consume(',')) continue;
-      if (Consume('}')) return v;
-      return Status::InvalidArgument("expected ',' or '}'");
-    }
-  }
-
-  Result<std::unique_ptr<JsonValue>> ParseArray() {
-    if (!Consume('[')) return Status::InvalidArgument("expected '['");
-    auto v = std::make_unique<JsonValue>();
-    v->type = JsonValue::Type::kArray;
-    SkipSpace();
-    if (Consume(']')) return v;
-    while (true) {
-      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
-      v->array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return v;
-      return Status::InvalidArgument("expected ',' or ']'");
-    }
-  }
-
-  Result<std::unique_ptr<JsonValue>> ParseString() {
-    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
-    auto v = std::make_unique<JsonValue>();
-    v->type = JsonValue::Type::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
-      v->string.push_back(text_[pos_]);
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unterminated JSON string");
-    }
-    ++pos_;  // closing quote
-    return v;
-  }
-
-  Result<std::unique_ptr<JsonValue>> ParseNumber() {
-    auto v = std::make_unique<JsonValue>();
-    v->type = JsonValue::Type::kNumber;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      v->number = v->number * 10 + static_cast<std::uint64_t>(
-                                       text_[pos_] - '0');
-      ++pos_;
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// Typed field accessors; every miss is an InvalidArgument so a malformed
-// report fails loudly instead of round-tripping zeros.
-Result<const JsonValue*> Child(const JsonValue& parent,
-                               const std::string& key) {
-  if (parent.type != JsonValue::Type::kObject) {
-    return Status::InvalidArgument("expected JSON object for '" + key + "'");
-  }
-  const auto it = parent.object.find(key);
-  if (it == parent.object.end()) {
-    return Status::InvalidArgument("missing JSON field '" + key + "'");
-  }
-  return it->second.get();
-}
-
-Result<std::uint64_t> GetNumber(const JsonValue& parent,
-                                const std::string& key) {
-  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
-  if (v->type != JsonValue::Type::kNumber) {
-    return Status::InvalidArgument("field '" + key + "' is not a number");
-  }
-  return v->number;
-}
-
-Result<bool> GetBool(const JsonValue& parent, const std::string& key) {
-  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
-  if (v->type != JsonValue::Type::kBool) {
-    return Status::InvalidArgument("field '" + key + "' is not a bool");
-  }
-  return v->boolean;
-}
-
-}  // namespace
-
-Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
-  JsonReader reader(json);
-  VAOLIB_ASSIGN_OR_RETURN(const auto root, reader.Parse());
+Result<ExecutionReport> ExecutionReport::FromJson(const std::string& text) {
+  // The shared obs/json_util.h reader (also used by the flight-recorder
+  // replay path and trace_inspect) covers everything RenderJson emits.
+  using json::Child;
+  using json::GetBool;
+  using json::GetDouble;
+  using json::GetNumber;
+  using json::JsonValue;
+  VAOLIB_ASSIGN_OR_RETURN(const auto root, json::Parse(text));
 
   ExecutionReport report;
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* kind, Child(*root, "query_kind"));
@@ -433,6 +344,28 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& json) {
   VAOLIB_ASSIGN_OR_RETURN(report.starved, GetBool(*sched, "starved"));
   VAOLIB_ASSIGN_OR_RETURN(report.missed_deadline,
                           GetBool(*sched, "missed_deadline"));
+
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* calibration,
+                          Child(*root, "calibration"));
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    VAOLIB_ASSIGN_OR_RETURN(
+        const JsonValue* kind_stats,
+        Child(*calibration, SolverKindName(static_cast<SolverKind>(k))));
+    CalibrationKindStats& c = report.calibration[k];
+    VAOLIB_ASSIGN_OR_RETURN(c.samples, GetNumber(*kind_stats, "samples"));
+    VAOLIB_ASSIGN_OR_RETURN(c.cost_err_sum,
+                            GetDouble(*kind_stats, "cost_err_sum"));
+    VAOLIB_ASSIGN_OR_RETURN(c.cost_abs_err_sum,
+                            GetDouble(*kind_stats, "cost_abs_err_sum"));
+    VAOLIB_ASSIGN_OR_RETURN(c.lo_err_sum,
+                            GetDouble(*kind_stats, "lo_err_sum"));
+    VAOLIB_ASSIGN_OR_RETURN(c.lo_abs_err_sum,
+                            GetDouble(*kind_stats, "lo_abs_err_sum"));
+    VAOLIB_ASSIGN_OR_RETURN(c.hi_err_sum,
+                            GetDouble(*kind_stats, "hi_err_sum"));
+    VAOLIB_ASSIGN_OR_RETURN(c.hi_abs_err_sum,
+                            GetDouble(*kind_stats, "hi_abs_err_sum"));
+  }
   return report;
 }
 

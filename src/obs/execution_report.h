@@ -53,6 +53,35 @@ struct CacheShardStats {
   bool operator==(const CacheShardStats&) const = default;
 };
 
+/// \brief Estimator-calibration account for one solver kind: signed and
+/// absolute error sums of the UDF's estCPU/estL/estH predictions against
+/// the actuals each Iterate() produced (obs::RecordEstimatorSample deltas
+/// over a query). Stored as sums so the JSON round-trip is exact; bias and
+/// MAE are derived views.
+struct CalibrationKindStats {
+  std::uint64_t samples = 0;
+  double cost_err_sum = 0.0;
+  double cost_abs_err_sum = 0.0;
+  double lo_err_sum = 0.0;
+  double lo_abs_err_sum = 0.0;
+  double hi_err_sum = 0.0;
+  double hi_abs_err_sum = 0.0;
+
+  double CostBias() const { return Mean(cost_err_sum); }
+  double CostMae() const { return Mean(cost_abs_err_sum); }
+  double LoBias() const { return Mean(lo_err_sum); }
+  double LoMae() const { return Mean(lo_abs_err_sum); }
+  double HiBias() const { return Mean(hi_err_sum); }
+  double HiMae() const { return Mean(hi_abs_err_sum); }
+
+  bool operator==(const CalibrationKindStats&) const = default;
+
+ private:
+  double Mean(double sum) const {
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+  }
+};
+
 /// \brief Structured account of one query evaluation.
 struct ExecutionReport {
   /// Source-level query kind ("select", "select_range", "min", "max",
@@ -127,6 +156,10 @@ struct ExecutionReport {
   bool starved = false;
   bool missed_deadline = false;
   /// @}
+
+  /// Estimator-calibration deltas for this query, indexed by SolverKind
+  /// (all zero when obs is disabled or the function never iterated).
+  CalibrationKindStats calibration[kNumSolverKinds] = {};
 
   /// Writes the report as one JSON object (TableWriter-style renderer).
   void RenderJson(std::ostream& os) const;

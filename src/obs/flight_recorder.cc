@@ -1,0 +1,71 @@
+#include "obs/flight_recorder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/trace.h"
+
+namespace vaolib::obs {
+
+namespace {
+
+std::string Sanitize(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) || c == '-' || c == '_' ? c : '_');
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  if (const char* env = std::getenv("VAOLIB_TRACE_DUMP")) {
+    dir_ = env;
+  }
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked intentionally: dump triggers can fire from static teardown-ish
+  // paths in tests; same rationale as MetricsRegistry::Global().
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::SetDumpDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dir_ = std::move(dir);
+}
+
+bool FlightRecorder::Armed() const {
+  if (CurrentTraceMode() == TraceMode::kOff) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !dir_.empty();
+}
+
+std::optional<std::string> FlightRecorder::Dump(const std::string& reason) {
+  if (!Armed()) return std::nullopt;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Chaos-heavy runs trip stall triggers constantly; a flight recorder
+    // that can fill a disk is broken, so cap dumps per process.
+    if (next_seq_ >= kMaxDumps) return std::nullopt;
+    path = dir_ + "/flight-" + std::to_string(next_seq_++) + "-" +
+           Sanitize(reason) + ".json";
+  }
+  std::ofstream out(path);
+  if (!out) return std::nullopt;
+  ExportChromeTrace(out);
+  return out ? std::optional<std::string>(path) : std::nullopt;
+}
+
+std::uint64_t FlightRecorder::dump_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+}  // namespace vaolib::obs

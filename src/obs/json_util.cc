@@ -1,0 +1,219 @@
+#include "obs/json_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vaolib::obs::json {
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<JsonValue>> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return ParseNumber();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      auto v = std::make_unique<JsonValue>();
+      v->type = JsonValue::Type::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      auto v = std::make_unique<JsonValue>();
+      v->type = JsonValue::Type::kBool;
+      v->boolean = false;
+      return v;
+    }
+    return Status::InvalidArgument("unsupported JSON token");
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseObject() {
+    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      VAOLIB_ASSIGN_OR_RETURN(auto key, ParseString());
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
+      v->object[key->string] = std::move(value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseArray() {
+    if (!Consume('[')) return Status::InvalidArgument("expected '['");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      VAOLIB_ASSIGN_OR_RETURN(auto value, ParseValue());
+      v->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Status::InvalidArgument("expected ',' or ']'");
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        const char escaped = text_[pos_];
+        c = escaped == 'n' ? '\n' : escaped == 't' ? '\t' : escaped;
+      }
+      v->string.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated JSON string");
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseNumber() {
+    const std::size_t start = pos_;
+    bool integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      integer = false;
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integer = false;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    auto v = std::make_unique<JsonValue>();
+    v->type = JsonValue::Type::kNumber;
+    v->real = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("malformed JSON number '" + token + "'");
+    }
+    v->is_integer = integer;
+    if (integer) {
+      v->number = std::strtoull(token.c_str(), nullptr, 10);
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<JsonValue>> Parse(const std::string& text) {
+  JsonReader reader(text);
+  return reader.Parse();
+}
+
+Result<const JsonValue*> Child(const JsonValue& parent,
+                               const std::string& key) {
+  if (parent.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("expected JSON object for '" + key + "'");
+  }
+  const auto it = parent.object.find(key);
+  if (it == parent.object.end()) {
+    return Status::InvalidArgument("missing JSON field '" + key + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::uint64_t> GetNumber(const JsonValue& parent,
+                                const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kNumber || !v->is_integer) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' is not an unsigned integer");
+  }
+  return v->number;
+}
+
+Result<double> GetDouble(const JsonValue& parent, const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  return v->real;
+}
+
+Result<bool> GetBool(const JsonValue& parent, const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("field '" + key + "' is not a bool");
+  }
+  return v->boolean;
+}
+
+Result<std::string> GetString(const JsonValue& parent,
+                              const std::string& key) {
+  VAOLIB_ASSIGN_OR_RETURN(const JsonValue* v, Child(parent, key));
+  if (v->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("field '" + key + "' is not a string");
+  }
+  return v->string;
+}
+
+}  // namespace vaolib::obs::json

@@ -1,0 +1,56 @@
+// Copyright 2026 The vaolib Authors.
+// Minimal JSON reader shared by the observability artifacts that must parse
+// their own output: ExecutionReport::FromJson round-trips, flight-recorder
+// dump replay (trace_test), and the trace_inspect CLI. Covers objects,
+// arrays, strings (escapes \" \\ \n \t), booleans, and numbers -- unsigned
+// integers keep their exact uint64 value, and all numbers (signed,
+// decimal, exponent) are retained as doubles parsed with strtod so a value
+// rendered at max_digits10 round-trips bit-exactly.
+
+#ifndef VAOLIB_OBS_JSON_UTIL_H_
+#define VAOLIB_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vaolib::obs::json {
+
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber, kBool } type;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+  std::string string;
+  /// Exact value when the token was a plain unsigned integer.
+  std::uint64_t number = 0;
+  /// Always set for kNumber (strtod of the full token).
+  double real = 0.0;
+  /// True when the token was digits only (number is then exact).
+  bool is_integer = false;
+  bool boolean = false;
+};
+
+/// \brief Parses \p text into a value tree; trailing non-space characters
+/// are an error.
+Result<std::unique_ptr<JsonValue>> Parse(const std::string& text);
+
+/// \name Typed field accessors; every miss is an InvalidArgument so a
+/// malformed document fails loudly instead of round-tripping zeros.
+/// @{
+Result<const JsonValue*> Child(const JsonValue& parent,
+                               const std::string& key);
+Result<std::uint64_t> GetNumber(const JsonValue& parent,
+                                const std::string& key);
+Result<double> GetDouble(const JsonValue& parent, const std::string& key);
+Result<bool> GetBool(const JsonValue& parent, const std::string& key);
+Result<std::string> GetString(const JsonValue& parent,
+                              const std::string& key);
+/// @}
+
+}  // namespace vaolib::obs::json
+
+#endif  // VAOLIB_OBS_JSON_UTIL_H_

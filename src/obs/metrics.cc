@@ -173,6 +173,31 @@ void Histogram::Observe(double value) {
 #endif
 }
 
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    const std::uint64_t count = BucketCount(i);
+    if (count == 0) continue;
+    cumulative += count;
+    if (static_cast<double>(cumulative) >= rank) {
+      const double upper = upper_bounds_[i];
+      const double lower =
+          i == 0 ? (upper > 0.0 ? 0.0 : upper) : upper_bounds_[i - 1];
+      const double into_bucket =
+          rank - static_cast<double>(cumulative - count);
+      return lower +
+             (upper - lower) * (into_bucket / static_cast<double>(count));
+    }
+  }
+  // The q-th observation sits in the +Inf bucket: the last finite bound is
+  // the tightest sound answer a fixed-bucket histogram can give.
+  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+}
+
 std::uint64_t Histogram::TotalCount() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) {

@@ -151,6 +151,15 @@ class Histogram {
   double Sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+
+  /// Prometheus-style quantile estimate (q in [0,1], clamped): finds the
+  /// bucket holding the q-th observation and interpolates linearly inside
+  /// it. The first bucket's lower edge is 0 when its upper bound is
+  /// positive (the Prometheus convention), otherwise the bound itself; a
+  /// quantile landing in the +Inf bucket returns the last finite bound.
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:

@@ -1,5 +1,7 @@
 #include "operators/iteration_strategy.h"
 
+#include "obs/trace.h"
+
 namespace vaolib::operators {
 
 namespace {
@@ -16,6 +18,8 @@ class GreedyStrategy : public IterationStrategy {
 
   std::size_t Choose(
       const std::vector<IterationCandidate>& candidates) override {
+    const obs::ScopedSpan span("strategy", "greedy_choose",
+                               obs::TraceDetail::kFine);
     std::size_t chosen = candidates.front().index;
     double best_score = -1.0;
     for (const IterationCandidate& c : candidates) {

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "vao/parallel.h"
 
 namespace vaolib::operators {
@@ -47,6 +49,68 @@ std::uint64_t Log2Ceil(std::size_t n) {
     n >>= 1;
   }
   return bits;
+}
+
+// Decision-trace capture: arm immediately before the chosen object's
+// Iterate(), commit immediately after. Reads only the free accessors
+// (bounds(), est_bounds(), est_cost(), WorkMeter::Total()), so arming a
+// capture never changes work totals or iterate sequences -- the determinism
+// contract of obs/trace.h.
+struct DecisionCapture {
+  bool active = false;
+  obs::Decision decision;
+  const vao::ResultObject* object = nullptr;
+  const WorkMeter* meter = nullptr;
+  std::uint64_t work_before = 0;
+};
+
+DecisionCapture BeginDecision(const char* op, const char* phase,
+                              std::size_t index,
+                              const vao::ResultObject& object,
+                              const WorkMeter* meter, double score) {
+  DecisionCapture capture;
+  capture.active = obs::DecisionTraceActive();
+  if (!capture.active) return capture;
+  capture.object = &object;
+  capture.meter = meter;
+  capture.decision.op = op;
+  capture.decision.phase = phase;
+  capture.decision.object_index = static_cast<std::uint64_t>(index);
+  const Bounds before = object.bounds();
+  capture.decision.lo_before = before.lo;
+  capture.decision.hi_before = before.hi;
+  const Bounds est = object.est_bounds();
+  capture.decision.est_lo = est.lo;
+  capture.decision.est_hi = est.hi;
+  capture.decision.est_cost = static_cast<double>(object.est_cost());
+  capture.decision.score = score;
+  capture.work_before = meter != nullptr ? meter->Total() : 0;
+  return capture;
+}
+
+void CommitDecision(DecisionCapture* capture) {
+  if (!capture->active) return;
+  const Bounds after = capture->object->bounds();
+  capture->decision.lo_after = after.lo;
+  capture->decision.hi_after = after.hi;
+  capture->decision.actual_cost =
+      capture->meter != nullptr
+          ? static_cast<double>(capture->meter->Total() -
+                                capture->work_before)
+          : 0.0;
+  obs::RecordDecision(capture->decision);
+}
+
+// The greedy benefit/cost score of the candidate the strategy picked (zero
+// when it was not scored).
+double ChosenScore(const std::vector<IterationCandidate>& candidates,
+                   std::size_t chosen) {
+  for (const IterationCandidate& candidate : candidates) {
+    if (candidate.index == chosen) {
+      return candidate.benefit / std::max(candidate.cost, 1.0);
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -249,7 +313,11 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
       }
       const std::size_t chosen = strategy_->Choose(candidates);
 
+      DecisionCapture trace =
+          BeginDecision(name(), "search", chosen, *objects_[chosen], meter,
+                        ChosenScore(candidates, chosen));
       VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
+      CommitDecision(&trace);
       VAOLIB_RETURN_IF_ERROR(ObserveIterate(chosen));
       touched_[chosen] = true;
       ++outcome_.stats.greedy_iterations;
@@ -267,7 +335,10 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
       vao::ResultObject* winner = objects_[outcome_.winner_index];
       if (winner->bounds().Width() > options_.epsilon &&
           !EffectivelyConverged(outcome_.winner_index)) {
+        DecisionCapture trace = BeginDecision(
+            name(), "finalize", outcome_.winner_index, *winner, meter, 0.0);
         VAOLIB_RETURN_IF_ERROR(winner->Iterate());
+        CommitDecision(&trace);
         VAOLIB_RETURN_IF_ERROR(ObserveIterate(outcome_.winner_index));
         touched_[outcome_.winner_index] = true;
         ++outcome_.stats.finalize_iterations;
@@ -408,12 +479,16 @@ Bounds SumAveIterationTask::ExactSum() const {
   return Bounds(lo, hi);
 }
 
-Status SumAveIterationTask::ApplyIterate(std::size_t chosen) {
+Status SumAveIterationTask::ApplyIterate(std::size_t chosen, WorkMeter* meter,
+                                         const char* phase, double score) {
   // Incrementally maintained output interval: subtract the object's old
   // weighted contribution and add the new one, so each round is O(1) on the
   // interval itself.
   const Bounds before = objects_[chosen]->bounds();
+  DecisionCapture trace =
+      BeginDecision(name(), phase, chosen, *objects_[chosen], meter, score);
   VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
+  CommitDecision(&trace);
   VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[chosen], "SUM/AVE"));
   const Bounds after = objects_[chosen]->bounds();
   sum_.lo += weights_[chosen] * (after.lo - before.lo);
@@ -504,7 +579,8 @@ Status SumAveIterationTask::StepScan(WorkMeter* meter) {
   }
   const std::size_t chosen = strategy_->Choose(candidates);
 
-  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen));
+  VAOLIB_RETURN_IF_ERROR(
+      ApplyIterate(chosen, meter, "scan", ChosenScore(candidates, chosen)));
   ++outcome_.stats.greedy_iterations;
   if (++outcome_.stats.iterations > options_.max_total_iterations) {
     return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
@@ -531,7 +607,7 @@ Status SumAveIterationTask::StepHeap(WorkMeter* meter) {
     meter->Charge(WorkKind::kChooseIter, 2 * Log2Ceil(objects_.size()));
   }
 
-  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen));
+  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen, meter, "heap", score));
   // Stalled objects simply stop being re-pushed, so their (sound, frozen)
   // contribution stays in the sum.
   if (!objects_[chosen]->AtStoppingCondition() && !stall_[chosen].stalled()) {
@@ -624,8 +700,13 @@ bool TopKIterationTask::EffectivelyConverged(std::size_t i) const {
 }
 
 Status TopKIterationTask::IterateOne(std::size_t i,
-                                     std::uint64_t* phase_counter) {
+                                     std::uint64_t* phase_counter,
+                                     WorkMeter* meter, const char* phase,
+                                     double score) {
+  DecisionCapture trace =
+      BeginDecision(name(), phase, i, *objects_[i], meter, score);
   VAOLIB_RETURN_IF_ERROR(objects_[i]->Iterate());
+  CommitDecision(&trace);
   VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "TOP-K"));
   stall_[i].Observe(objects_[i]->bounds().Width());
   touched_[i] = true;
@@ -747,7 +828,8 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
         }
       }
       const std::size_t chosen = strategy_->Choose(candidates);
-      return IterateOne(chosen, &outcome_.stats.greedy_iterations);
+      return IterateOne(chosen, &outcome_.stats.greedy_iterations, meter,
+                        "boundary", ChosenScore(candidates, chosen));
     }
 
     case Phase::kFinalize: {
@@ -756,7 +838,8 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
         const std::size_t i = members_[finalize_cursor_];
         if (objects_[i]->bounds().Width() > options_.epsilon &&
             !EffectivelyConverged(i)) {
-          return IterateOne(i, &outcome_.stats.finalize_iterations);
+          return IterateOne(i, &outcome_.stats.finalize_iterations, meter,
+                            "finalize", 0.0);
         }
         ++finalize_cursor_;
       }
@@ -881,16 +964,21 @@ SingleObjectDecisionTask::Create(vao::ResultObject* object, const char* who,
       new SingleObjectDecisionTask(object, who, std::move(undecided)));
 }
 
-Status SingleObjectDecisionTask::StepImpl(WorkMeter* /*meter*/) {
+Status SingleObjectDecisionTask::StepImpl(WorkMeter* meter) {
   // One body of the historical DriveWhileUndecided loop: iterate while the
   // bounds still straddle the predicate and the stopping condition has not
   // been reached, validating before every decision (NaN/Inf or inverted
   // bounds must surface as NumericError, not flow into comparisons).
   if (undecided_(object_->bounds()) && !object_->AtStoppingCondition()) {
+    DecisionCapture trace =
+        BeginDecision(name(), "decide", 0, *object_, meter, 0.0);
     VAOLIB_RETURN_IF_ERROR(object_->Iterate());
+    CommitDecision(&trace);
     ++iterations_;
     VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*object_, who_));
     if (guard_.Observe(object_->bounds().Width())) {
+      obs::RecordInstant("stall", name(), obs::TraceDetail::kCoarse);
+      obs::FlightRecorder::Global().DumpIfArmed("predicate-stall");
       return Status::ResourceExhausted(
           std::string(who_) +
           ": refinement stalled before deciding the predicate (bounds "
@@ -966,12 +1054,46 @@ Status MultiRowDecisionTask::StepImpl(WorkMeter* /*meter*/) {
   }
 
   // One refinement notch for every undecided row, fanned out over the pool.
+  // Decision tracing captures the pre-iterate state up front and records
+  // after the batch, on this (driving) thread in pending order, so the
+  // event sequence is deterministic regardless of how the pool interleaves.
+  const bool tracing = obs::DecisionTraceActive();
+  struct RowBefore {
+    Bounds bounds;
+    Bounds est;
+    double est_cost;
+  };
+  std::vector<RowBefore> before;
+  if (tracing) {
+    before.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      before.push_back(RowBefore{
+          objects_[i]->bounds(), objects_[i]->est_bounds(),
+          static_cast<double>(objects_[i]->est_cost())});
+    }
+  }
   std::vector<vao::ResultObject*> batch;
   batch.reserve(pending.size());
   for (const std::size_t i : pending) batch.push_back(objects_[i]);
   VAOLIB_RETURN_IF_ERROR(vao::StepAll(batch, threads_));
 
-  for (const std::size_t i : pending) {
+  for (std::size_t p = 0; p < pending.size(); ++p) {
+    const std::size_t i = pending[p];
+    if (tracing) {
+      obs::Decision decision;
+      decision.op = name();
+      decision.phase = "batch";
+      decision.object_index = static_cast<std::uint64_t>(i);
+      decision.lo_before = before[p].bounds.lo;
+      decision.hi_before = before[p].bounds.hi;
+      decision.est_lo = before[p].est.lo;
+      decision.est_hi = before[p].est.hi;
+      decision.est_cost = before[p].est_cost;
+      const Bounds after = objects_[i]->bounds();
+      decision.lo_after = after.lo;
+      decision.hi_after = after.hi;
+      obs::RecordDecision(decision);
+    }
     VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], who_));
     if (!touched_[i]) {
       touched_[i] = true;

@@ -175,7 +175,8 @@ class SumAveIterationTask : public IterationTask {
 
   Status StepScan(WorkMeter* meter);
   Status StepHeap(WorkMeter* meter);
-  Status ApplyIterate(std::size_t chosen);
+  Status ApplyIterate(std::size_t chosen, WorkMeter* meter, const char* phase,
+                      double score);
   Bounds ExactSum() const;
   void Finish();
 
@@ -219,7 +220,8 @@ class TopKIterationTask : public IterationTask {
   Bounds ViewOf(std::size_t i) const;
   Bounds EstViewOf(std::size_t i) const;
   bool EffectivelyConverged(std::size_t i) const;
-  Status IterateOne(std::size_t i, std::uint64_t* phase_counter);
+  Status IterateOne(std::size_t i, std::uint64_t* phase_counter,
+                    WorkMeter* meter, const char* phase, double score);
   void Finish();
 
   TopKOptions options_;

@@ -10,6 +10,9 @@
 
 #include "common/macros.h"
 #include "engine/executor.h"
+#include "engine/report_capture.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "engine/multi_query.h"
 #include "engine/sql_parser.h"
 #include "operators/min_max.h"
@@ -380,6 +383,16 @@ Status DifferentialRunner::RecordFailure(std::uint64_t seed,
   if (!options_.artifact_path.empty()) {
     std::ofstream artifact(options_.artifact_path, std::ios::app);
     artifact << failure.repro << " detail=\"" << failure.detail << "\"\n";
+  }
+  if (obs::FlightRecorder::Global().Armed()) {
+    // Clear the rings and replay only the failing combo so the dump holds
+    // exactly that combo's decision sequence -- a deterministic artifact a
+    // reader (or trace_test) can diff against a fresh re-run.
+    obs::ClearTrace();
+    const auto replay = RunOne(seed, variant, failure.rows, threads, cache);
+    (void)replay;
+    obs::FlightRecorder::Global().Dump("seed-" + std::to_string(seed) + "-" +
+                                       engine::QueryKindName(variant.kind));
   }
   summary->failures.push_back(std::move(failure));
   return Status::OK();

@@ -2,11 +2,16 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
+
 namespace vaolib::testing {
 
 namespace {
 
 Status Violation(const std::string& what) {
+  // Violations are exactly the moments the flight recorder exists for:
+  // snapshot the last-N decision events before the failure propagates.
+  obs::FlightRecorder::Global().DumpIfArmed("invariant-" + what);
   return Status::FailedPrecondition("invariant violated: " + what);
 }
 

@@ -1,0 +1,63 @@
+// Copyright 2026 The vaolib Authors.
+// CalibrationProbe: captures a result object's estCPU/estL/estH immediately
+// before an Iterate() and, on Commit(), records them against the measured
+// cost and the refined bounds into the estimator-calibration histograms
+// (obs::RecordEstimatorSample). Reads only the free accessors -- bounds(),
+// est_cost(), est_bounds(), WorkMeter::Total() -- so arming the probe never
+// changes work totals or answers.
+
+#ifndef VAOLIB_VAO_CALIBRATION_PROBE_H_
+#define VAOLIB_VAO_CALIBRATION_PROBE_H_
+
+#include <cstdint>
+
+#include "common/bounds.h"
+#include "common/work_meter.h"
+#include "obs/trace.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Arms at the top of a result object's Iterate(); Commit() on the
+/// success path records one calibration sample. A probe without a meter is
+/// inert (the audit needs the measured cost to compare against estCPU).
+class CalibrationProbe {
+ public:
+  CalibrationProbe(obs::SolverKind kind, const ResultObject& object,
+                   const WorkMeter* meter)
+      : active_(obs::Enabled() && meter != nullptr),
+        kind_(kind),
+        object_(object),
+        meter_(meter) {
+    if (active_) {
+      est_bounds_ = object_.est_bounds();
+      est_cost_ = static_cast<double>(object_.est_cost());
+      work_before_ = meter_->Total();
+    }
+  }
+  CalibrationProbe(const CalibrationProbe&) = delete;
+  CalibrationProbe& operator=(const CalibrationProbe&) = delete;
+
+  /// Records the sample against the object's current (post-Iterate) state.
+  void Commit() const {
+    if (!active_) return;
+    const Bounds after = object_.bounds();
+    obs::RecordEstimatorSample(
+        kind_, est_cost_, est_bounds_.lo, est_bounds_.hi,
+        static_cast<double>(meter_->Total() - work_before_), after.lo,
+        after.hi);
+  }
+
+ private:
+  const bool active_;
+  const obs::SolverKind kind_;
+  const ResultObject& object_;
+  const WorkMeter* meter_;
+  Bounds est_bounds_{0.0, 0.0};
+  double est_cost_ = 0.0;
+  std::uint64_t work_before_ = 0;
+};
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_CALIBRATION_PROBE_H_

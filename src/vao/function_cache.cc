@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaolib::vao {
 
@@ -203,6 +204,23 @@ BoundsCache::Shard& BoundsCache::ShardFor(const std::vector<double>& args) {
 
 std::optional<BoundsCache::Entry> BoundsCache::Lookup(
     const std::vector<double>& args) {
+  // Lookups are far too hot to span individually, so full-mode traces get
+  // every 16th one per thread -- enough to see convoying without paying a
+  // ring push per probe.
+  static thread_local std::uint32_t lookup_tick = 0;
+  struct SampledSpan {
+    bool active;
+    std::uint64_t start;
+    ~SampledSpan() {
+      if (active) {
+        obs::RecordSpan("cache", "lookup", start, obs::TraceNowNs(),
+                        obs::TraceDetail::kFine);
+      }
+    }
+  };
+  const bool sampled = obs::TraceActive(obs::TraceDetail::kFine) &&
+                       (lookup_tick++ % 16 == 0);
+  const SampledSpan span{sampled, sampled ? obs::TraceNowNs() : 0};
   Shard& shard = ShardFor(args);
   {
     // Miss fast path: probe under the shared lock so concurrent misses --

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "vao/calibration_probe.h"
 
 namespace vaolib::vao {
 
@@ -34,9 +35,11 @@ Status IntegralResultObject::Iterate() {
     return Status::ResourceExhausted(
         "integral result object at max_iterations");
   }
+  const CalibrationProbe probe(obs::SolverKind::kIntegral, *this, meter());
   ChargeStateOverhead();
   VAOLIB_RETURN_IF_ERROR(integral_->Refine(meter()));
   BumpIterations();
+  probe.Commit();
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "vao/calibration_probe.h"
 
 namespace vaolib::vao {
 
@@ -70,6 +71,7 @@ Status IvpResultObject::Iterate() {
   if (iterations() >= options_.max_iterations) {
     return Status::ResourceExhausted("IVP result object at max_iterations");
   }
+  const CalibrationProbe probe(obs::SolverKind::kIvp, *this, meter());
   ChargeStateOverhead();
 
   const double h = StepSize();
@@ -82,6 +84,7 @@ Status IvpResultObject::Iterate() {
   value_ = solved.value();
   BumpIterations();
   RefreshDerivedState();
+  probe.Commit();
   return Status::OK();
 }
 

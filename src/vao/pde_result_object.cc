@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "vao/calibration_probe.h"
 
 namespace vaolib::vao {
 
@@ -85,6 +86,7 @@ Status PdeResultObject::Iterate() {
   if (iterations() >= options_.max_iterations) {
     return Status::ResourceExhausted("PDE result object at max_iterations");
   }
+  const CalibrationProbe probe(obs::SolverKind::kPde, *this, meter());
   ChargeStateOverhead();
 
   const double dt = grid_.Dt(problem_);
@@ -114,6 +116,7 @@ Status PdeResultObject::Iterate() {
   value_ = new_value;
   BumpIterations();
   RefreshDerivedState();
+  probe.Commit();
   return Status::OK();
 }
 

@@ -72,6 +72,26 @@ ExecutionReport FullySetReport() {
   report.pool_tasks_enqueued = 602;
   report.pool_chunks_executed = 603;
   report.pool_queue_wait_nanos = 604;
+  report.scheduled = true;
+  report.scheduler_policy = "deadline";
+  report.scheduler_budget = 701;
+  report.scheduler_spent = 702;
+  report.scheduler_steps = 703;
+  report.scheduler_finished_at = 704;
+  report.converged = false;
+  report.starved = true;
+  report.missed_deadline = true;
+  for (int k = 0; k < kNumSolverKinds; ++k) {
+    CalibrationKindStats& c = report.calibration[k];
+    const double base = static_cast<double>(k + 1);
+    c.samples = 800u + static_cast<std::uint64_t>(k);
+    c.cost_err_sum = -0.125 * base;  // dyadic: exact through %.17g
+    c.cost_abs_err_sum = 0.25 * base;
+    c.lo_err_sum = -0.5 * base;
+    c.lo_abs_err_sum = 0.5 * base;
+    c.hi_err_sum = 1.5 * base;
+    c.hi_abs_err_sum = 2.5 * base;
+  }
   return report;
 }
 
@@ -95,6 +115,62 @@ TEST(ExecutionReportTest, JsonRoundTripOfDefaultReport) {
   EXPECT_EQ(*parsed, original);
   EXPECT_FALSE(parsed->has_cache);
   EXPECT_TRUE(parsed->cache_shards.empty());
+}
+
+TEST(ExecutionReportTest, SchedulerFieldsSurviveTheRoundTrip) {
+  ExecutionReport original;
+  original.query_kind = "sum";
+  original.scheduled = true;
+  original.scheduler_policy = "fair_share";
+  original.scheduler_budget = 1000;
+  original.scheduler_spent = 999;
+  original.scheduler_steps = 17;
+  original.scheduler_finished_at = 0;  // unfinished
+  original.converged = false;
+  original.starved = true;
+  original.missed_deadline = true;
+
+  std::ostringstream os;
+  original.RenderJson(os);
+  const auto parsed = ExecutionReport::FromJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->scheduler_spent, 999u);
+  EXPECT_TRUE(parsed->starved);
+  EXPECT_TRUE(parsed->missed_deadline);
+  EXPECT_FALSE(parsed->converged);
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(ExecutionReportTest, CalibrationBlockRoundTripsAndDerivesBiasMae) {
+  ExecutionReport original;
+  original.query_kind = "max";
+  CalibrationKindStats& ode =
+      original.calibration[static_cast<int>(SolverKind::kOde)];
+  ode.samples = 4;
+  ode.cost_err_sum = -2.0;  // estimator overshot cost by 0.5/sample
+  ode.cost_abs_err_sum = 3.0;
+  ode.lo_err_sum = 1.0;
+  ode.lo_abs_err_sum = 1.0;
+  ode.hi_err_sum = -0.5;
+  ode.hi_abs_err_sum = 0.5;
+
+  std::ostringstream os;
+  original.RenderJson(os);
+  const auto parsed = ExecutionReport::FromJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, original);
+
+  const CalibrationKindStats& back =
+      parsed->calibration[static_cast<int>(SolverKind::kOde)];
+  EXPECT_DOUBLE_EQ(back.CostBias(), -0.5);
+  EXPECT_DOUBLE_EQ(back.CostMae(), 0.75);
+  EXPECT_DOUBLE_EQ(back.LoBias(), 0.25);
+  EXPECT_DOUBLE_EQ(back.HiMae(), 0.125);
+  // Empty kinds stay all-zero with well-defined derived views.
+  const CalibrationKindStats& empty =
+      parsed->calibration[static_cast<int>(SolverKind::kRoot)];
+  EXPECT_EQ(empty.samples, 0u);
+  EXPECT_DOUBLE_EQ(empty.CostBias(), 0.0);
 }
 
 TEST(ExecutionReportTest, FromJsonRejectsMalformedInput) {

@@ -245,5 +245,70 @@ TEST(ThreadPoolStatsTest, ParallelForCountsCallsAndChunks) {
   EXPECT_EQ(pool.stats().tasks_enqueued, after.tasks_enqueued);
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);
+#ifndef VAOLIB_OBS_DISABLED
+  // All mass sits in (10, 20]; the median interpolates to its midpoint.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 20.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(2.0), 20.0);
+#endif
+}
+
+TEST(HistogramTest, QuantileBucketEdgesAndFirstBucketLowerBound) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(1.0);
+  histogram.Observe(1.0);
+  histogram.Observe(2.0);
+  histogram.Observe(2.0);
+#ifndef VAOLIB_OBS_DISABLED
+  // rank 2 lands exactly on the first bucket's upper edge; the first
+  // bucket's lower edge is 0 when its upper bound is positive.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 2.0);
+#endif
+
+  // A first bucket with a non-positive upper bound cannot borrow 0 as its
+  // lower edge; the bound itself is the tightest sound answer.
+  Histogram negative({-2.0, 0.0});
+  negative.Observe(-3.0);
+#ifndef VAOLIB_OBS_DISABLED
+  EXPECT_DOUBLE_EQ(negative.Quantile(1.0), -2.0);
+#endif
+}
+
+TEST(HistogramTest, QuantileSingleBucketOverflowAndEmpty) {
+  Histogram histogram({5.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty -> 0
+  histogram.Observe(100.0);                        // lands in +Inf
+#ifndef VAOLIB_OBS_DISABLED
+  // The +Inf bucket has no upper edge: the last finite bound is the
+  // tightest sound answer a fixed-bucket histogram can give.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 5.0);
+  histogram.Observe(3.0);
+  // rank 1 is now satisfied inside the single finite bucket, whose whole
+  // [0, 5] width it interpolates across.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+#endif
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("escape_total", {{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  std::ostringstream os;
+  registry.RenderPrometheus(os);
+  // Quote, backslash, and newline must come out as \" \\ \n -- a raw
+  // newline inside a label value corrupts the whole exposition format.
+  EXPECT_TRUE(Contains(os.str(), "path=\"a\\\"b\\\\c\\nd\""))
+      << os.str();
+  EXPECT_FALSE(Contains(os.str(), "a\"b"));
+}
+
 }  // namespace
 }  // namespace vaolib::obs
