@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -225,6 +226,37 @@ Result<std::vector<TaskScheduleStats>> WorkScheduler::Run(
     return PickGreedy(entries);
   };
 
+  // One task step with exact accounting: the meter delta of the Step() is
+  // attributed to the task, the heap (kGreedyGlobal) gets the fresh score.
+  auto step_one = [&](std::size_t idx) -> Status {
+    operators::IterationTask* task = entries[idx].task;
+    const std::uint64_t before = meter->Total();
+    const obs::WorkByKind work_before = obs::WorkByKind::Capture(*meter);
+    Status status = Status::OK();
+    {
+      const obs::ScopedSpan step_span("sched_step", task->name(),
+                                      obs::TraceDetail::kFine);
+      status = task->Step(meter);
+    }
+    const std::uint64_t delta = meter->Total() - before;
+    const obs::WorkByKind work_delta =
+        obs::WorkByKind::Capture(*meter).DeltaSince(work_before);
+    stats[idx].spent += delta;
+    stats[idx].steps += 1;
+    stats[idx].work.exec += work_delta.exec;
+    stats[idx].work.get_state += work_delta.get_state;
+    stats[idx].work.store_state += work_delta.store_state;
+    stats[idx].work.choose_iter += work_delta.choose_iter;
+    total_spent += delta;
+    if (!status.ok()) return status;
+    if (task->Done()) {
+      stats[idx].finished_at = total_spent;
+    } else if (use_heap) {
+      heap.push({GreedyScore(*task), idx});
+    }
+    return Status::OK();
+  };
+
   while (true) {
     if (options_.budget > 0 && total_spent >= options_.budget) {
       budget_exhausted = std::any_of(
@@ -243,30 +275,41 @@ Result<std::vector<TaskScheduleStats>> WorkScheduler::Run(
       break;
     }
 
-    operators::IterationTask* task = entries[pick].task;
-    const std::uint64_t before = meter->Total();
-    const obs::WorkByKind work_before = obs::WorkByKind::Capture(*meter);
-    Status status = Status::OK();
-    {
-      const obs::ScopedSpan step_span("sched_step", task->name(),
-                                      obs::TraceDetail::kFine);
-      status = task->Step(meter);
+    // Round membership: the pick, plus (kGreedyGlobal batch rounds) up to
+    // batch_k - 1 other unfinished tasks of the same kind, best-scored
+    // first. Running same-kind tasks back to back keeps the operators'
+    // kernel batches of the same solver family warm across queries.
+    std::vector<std::size_t> round{pick};
+    if (use_heap && options_.batch_k > 1) {
+      const std::string_view kind = entries[pick].task->name();
+      std::vector<std::size_t> peers;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i == pick || entries[i].task->Done()) continue;
+        if (std::string_view(entries[i].task->name()) != kind) continue;
+        peers.push_back(i);
+      }
+      std::stable_sort(peers.begin(), peers.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return GreedyScore(*entries[a].task) >
+                                GreedyScore(*entries[b].task);
+                       });
+      const std::size_t extra =
+          static_cast<std::size_t>(options_.batch_k) - 1;
+      for (std::size_t j = 0; j < peers.size() && j < extra; ++j) {
+        round.push_back(peers[j]);
+      }
     }
-    const std::uint64_t delta = meter->Total() - before;
-    const obs::WorkByKind work_delta =
-        obs::WorkByKind::Capture(*meter).DeltaSince(work_before);
-    stats[pick].spent += delta;
-    stats[pick].steps += 1;
-    stats[pick].work.exec += work_delta.exec;
-    stats[pick].work.get_state += work_delta.get_state;
-    stats[pick].work.store_state += work_delta.store_state;
-    stats[pick].work.choose_iter += work_delta.choose_iter;
-    total_spent += delta;
-    if (!status.ok()) return status;
-    if (task->Done()) {
-      stats[pick].finished_at = total_spent;
-    } else if (use_heap) {
-      heap.push({GreedyScore(*task), pick});
+
+    for (std::size_t r = 0; r < round.size(); ++r) {
+      // The budget is the loop-top check for the first member; later
+      // members re-check so a batch round can never overshoot further than
+      // a single step would.
+      if (r > 0 && options_.budget > 0 && total_spent >= options_.budget) {
+        break;
+      }
+      if (entries[round[r]].task->Done()) continue;
+      const Status status = step_one(round[r]);
+      if (!status.ok()) return status;
     }
   }
 

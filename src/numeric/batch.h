@@ -1,0 +1,56 @@
+// Copyright 2026 The vaolib Authors.
+// Shared types for the batched (struct-of-arrays) numeric kernels.
+//
+// The batch kernels execute K independent problem instances in lockstep
+// over contiguous per-plane arrays laid out as plane[row * K + system], so
+// the innermost loop runs over adjacent systems and auto-vectorizes. Each
+// lane performs exactly the IEEE operation sequence of its scalar
+// counterpart, making batch results bit-identical to scalar results
+// per system (see DESIGN.md section 4f).
+//
+// Failures are per-system: one lane hitting a zero pivot or a non-finite
+// value must not poison its neighbours, so kernels report failures through
+// BatchKernelReport instead of a whole-batch Status.
+
+#ifndef VAOLIB_NUMERIC_BATCH_H_
+#define VAOLIB_NUMERIC_BATCH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace vaolib::numeric {
+
+/// \brief Per-system failure record of one batch kernel invocation.
+struct BatchKernelReport {
+  /// One entry per system: -1 when the lane completed, otherwise the
+  /// row/step index where it first failed (zero pivot, non-finite value).
+  /// Values of failed lanes in the output planes are unspecified; values of
+  /// successful lanes are bit-identical to a scalar solve.
+  std::vector<std::int32_t> failed_row;
+
+  void Reset(std::size_t num_systems) {
+    failed_row.assign(num_systems, -1);
+  }
+
+  bool ok(std::size_t system) const { return failed_row[system] < 0; }
+
+  bool all_ok() const {
+    for (const std::int32_t row : failed_row) {
+      if (row >= 0) return false;
+    }
+    return true;
+  }
+
+  std::size_t num_failed() const {
+    std::size_t failed = 0;
+    for (const std::int32_t row : failed_row) {
+      if (row >= 0) ++failed;
+    }
+    return failed;
+  }
+};
+
+}  // namespace vaolib::numeric
+
+#endif  // VAOLIB_NUMERIC_BATCH_H_

@@ -176,6 +176,68 @@ Status RefinableIntegral::Refine(WorkMeter* meter) {
   return Status::OK();
 }
 
+Status RefinableIntegral::RefineBatch(
+    const std::vector<RefinableIntegral*>& integrals, WorkMeter* meter) {
+  const std::size_t k = integrals.size();
+  if (k == 0) return Status::InvalidArgument("integral batch is empty");
+  if (k == 1) return integrals[0]->Refine(meter);
+  for (RefinableIntegral* integral : integrals) {
+    if (integral == nullptr) {
+      return Status::InvalidArgument("integral batch contains null");
+    }
+  }
+  const IntegrationRule rule = integrals[0]->options_.rule;
+  const int level = integrals[0]->level_;
+  for (const RefinableIntegral* integral : integrals) {
+    if (integral->options_.rule != rule || integral->level_ != level) {
+      return Status::InvalidArgument(
+          "integral batch must share rule and level");
+    }
+    if (integral->level_ >= integral->options_.max_level) {
+      return Status::ResourceExhausted("integral refinement at max_level");
+    }
+  }
+
+  const obs::ScopedSpan span("solver", "integral_batch",
+                             obs::TraceDetail::kFine);
+  // Integrand evaluations stay per-object (each lane has its own f).
+  // AddLevel cannot fail here: the shared level was checked against every
+  // object's max_level above.
+  for (RefinableIntegral* integral : integrals) {
+    integral->coarse_value_ = integral->fine_value_;
+    integral->previous_error_ = integral->error_bound_;
+    VAOLIB_RETURN_IF_ERROR(integral->AddLevel(meter));
+  }
+
+  // Stage the samples into one SoA plane and run the composite reduction
+  // across the batch.
+  const std::size_t n = integrals[0]->samples_.size();
+  std::vector<double> plane(n * k);
+  std::vector<double> a(k);
+  std::vector<double> b(k);
+  std::vector<double> values(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    a[s] = integrals[s]->a_;
+    b[s] = integrals[s]->b_;
+    const std::vector<double>& samples = integrals[s]->samples_;
+    for (std::size_t i = 0; i < n; ++i) plane[i * k + s] = samples[i];
+  }
+  internal::CompositeValueBatch(plane.data(), n, k, a.data(), b.data(), rule,
+                                values.data());
+
+  for (std::size_t s = 0; s < k; ++s) {
+    RefinableIntegral* integral = integrals[s];
+    if (rule == IntegrationRule::kRomberg) {
+      integral->trapezoid_history_.push_back(values[s]);
+      integral->fine_value_ = RombergDiagonal(integral->trapezoid_history_);
+    } else {
+      integral->fine_value_ = values[s];
+    }
+    integral->UpdateErrorBound();
+  }
+  return Status::OK();
+}
+
 double RefinableIntegral::PredictedErrorAfterRefine() const {
   if (options_.rule == IntegrationRule::kRomberg) {
     // Romberg converges superlinearly; extrapolate from the observed
@@ -234,5 +296,46 @@ Result<double> Integrate(const std::function<double(double)>& f, double a,
                        static_cast<std::uint64_t>(panels + 1) * work_per_eval);
   return CompositeValue(samples, a, b, rule);
 }
+
+namespace internal {
+
+void CompositeValueBatch(const double* samples, std::size_t n, std::size_t k,
+                         const double* a, const double* b,
+                         IntegrationRule rule, double* values) {
+  const std::size_t panels = n - 1;
+  if (rule == IntegrationRule::kTrapezoid ||
+      rule == IntegrationRule::kRomberg) {
+    const std::size_t last = panels * k;
+    for (std::size_t s = 0; s < k; ++s) {
+      values[s] = 0.5 * (samples[s] + samples[last + s]);
+    }
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const std::size_t base = i * k;
+      for (std::size_t s = 0; s < k; ++s) values[s] += samples[base + s];
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      const double h = (b[s] - a[s]) / static_cast<double>(panels);
+      values[s] = values[s] * h;
+    }
+    return;
+  }
+  const std::size_t last = panels * k;
+  for (std::size_t s = 0; s < k; ++s) {
+    values[s] = samples[s] + samples[last + s];
+  }
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const std::size_t base = i * k;
+    const double weight = i % 2 == 1 ? 4.0 : 2.0;
+    for (std::size_t s = 0; s < k; ++s) {
+      values[s] += samples[base + s] * weight;
+    }
+  }
+  for (std::size_t s = 0; s < k; ++s) {
+    const double h = (b[s] - a[s]) / static_cast<double>(panels);
+    values[s] = values[s] * h / 3.0;
+  }
+}
+
+}  // namespace internal
 
 }  // namespace vaolib::numeric

@@ -64,6 +64,18 @@ class RefinableIntegral {
   /// \return ResourceExhausted at max_level.
   Status Refine(WorkMeter* meter);
 
+  /// Refines every integral of \p integrals once, in lockstep. All must
+  /// share the same rule and level (panel count); integrand evaluations stay
+  /// per-object, but the composite-rule reduction runs over a contiguous
+  /// struct-of-arrays sample plane across the batch. Per-object results are
+  /// bit-identical to calling Refine() on each. Charges per object exactly
+  /// what Refine() would.
+  ///
+  /// \return InvalidArgument for an empty/mixed batch, ResourceExhausted
+  /// when the shared level is at max_level (no object is mutated then).
+  static Status RefineBatch(const std::vector<RefinableIntegral*>& integrals,
+                            WorkMeter* meter);
+
   /// Current best estimate (finest-level composite value).
   double estimate() const { return fine_value_; }
 
@@ -128,6 +140,21 @@ class RefinableIntegral {
 Result<double> Integrate(const std::function<double(double)>& f, double a,
                          double b, IntegrationRule rule, int panels,
                          std::uint64_t work_per_eval, WorkMeter* meter);
+
+namespace internal {
+
+/// Composite rule over K sample columns in lockstep. \p samples is a dense
+/// plane with layout samples[i * k + s] (sample i of system s); every system
+/// has \p n samples over its own [a[s], b[s]]. Writes the rule value per
+/// system into \p values. For kRomberg this is the plain trapezoid column
+/// value, as in the scalar path. Preconditions (checked by callers): n >= 2,
+/// and an even panel count for kSimpson. Each lane performs the identical
+/// IEEE operation sequence of the scalar composite rule.
+void CompositeValueBatch(const double* samples, std::size_t n, std::size_t k,
+                         const double* a, const double* b,
+                         IntegrationRule rule, double* values);
+
+}  // namespace internal
 
 }  // namespace vaolib::numeric
 

@@ -42,4 +42,84 @@ Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
   return y;
 }
 
+Status SolveOdeIvpRk4Batch(const OdeIvpBatch& batch, int steps,
+                           WorkMeter* meter, std::vector<double>* results,
+                           BatchKernelReport* report) {
+  const obs::ScopedSpan span("solver", "ivp_batch", obs::TraceDetail::kFine);
+  const std::size_t k = batch.problems.size();
+  if (k == 0) {
+    return Status::InvalidArgument("IVP batch is empty");
+  }
+  if (steps < 1) {
+    return Status::InvalidArgument("IVP requires steps >= 1");
+  }
+  report->Reset(k);
+
+  std::vector<double> h(k, 0.0);
+  std::vector<double> t(k, 0.0);
+  std::vector<double> y(k, 0.0);
+  std::vector<double> k1(k, 0.0);
+  std::vector<double> k2(k, 0.0);
+  std::vector<double> k3(k, 0.0);
+  std::vector<double> k4(k, 0.0);
+  std::vector<char> active(k, 1);
+
+  for (std::size_t s = 0; s < k; ++s) {
+    const OdeIvpProblem& problem = batch.problems[s];
+    if (!problem.f || !(problem.t1 > problem.t0)) {
+      active[s] = 0;
+      report->failed_row[s] = 0;
+      continue;
+    }
+    h[s] = (problem.t1 - problem.t0) / steps;
+    t[s] = problem.t0;
+    y[s] = problem.y0;
+  }
+
+  for (int i = 0; i < steps; ++i) {
+    for (std::size_t s = 0; s < k; ++s) {
+      if (active[s]) k1[s] = batch.problems[s].f(t[s], y[s]);
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      if (active[s]) {
+        k2[s] = batch.problems[s].f(t[s] + 0.5 * h[s],
+                                    y[s] + 0.5 * h[s] * k1[s]);
+      }
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      if (active[s]) {
+        k3[s] = batch.problems[s].f(t[s] + 0.5 * h[s],
+                                    y[s] + 0.5 * h[s] * k2[s]);
+      }
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      if (active[s]) k4[s] = batch.problems[s].f(t[s] + h[s], y[s] + h[s] * k3[s]);
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      if (!active[s]) continue;
+      y[s] += h[s] / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]);
+      t[s] = batch.problems[s].t0 + h[s] * (i + 1);
+      if (!std::isfinite(y[s])) {
+        active[s] = 0;
+        report->failed_row[s] = i;
+      }
+    }
+  }
+
+  std::uint64_t ok_lanes = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    if (report->ok(s)) ++ok_lanes;
+  }
+  if (meter != nullptr && ok_lanes > 0) {
+    meter->Charge(WorkKind::kExec,
+                  static_cast<std::uint64_t>(steps) * 4 * ok_lanes);
+  }
+  if (ok_lanes > 0) {
+    obs::CountSolverWork(obs::SolverKind::kIvp,
+                         static_cast<std::uint64_t>(steps) * 4 * ok_lanes);
+  }
+  results->assign(y.begin(), y.end());
+  return Status::OK();
+}
+
 }  // namespace vaolib::numeric

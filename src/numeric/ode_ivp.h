@@ -8,9 +8,11 @@
 #define VAOLIB_NUMERIC_ODE_IVP_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/work_meter.h"
+#include "numeric/batch.h"
 
 namespace vaolib::numeric {
 
@@ -31,6 +33,32 @@ struct OdeIvpProblem {
 /// NumericError if the trajectory leaves the finite range.
 Result<double> SolveOdeIvpRk4(const OdeIvpProblem& problem, int steps,
                               WorkMeter* meter);
+
+/// \brief K independent scalar IVPs advanced in lockstep with the same step
+/// count. Right-hand sides stay per-lane scalar callbacks; the state,
+/// step-size, and stage arrays are contiguous so the combination arithmetic
+/// batches across lanes.
+struct OdeIvpBatch {
+  std::vector<OdeIvpProblem> problems;
+};
+
+/// \brief Integrates every lane of \p batch with \p steps uniform RK4 steps,
+/// writing y(t1) per lane into \p results (resized to the batch size).
+///
+/// Per-lane results are bit-identical to SolveOdeIvpRk4 on the same problem:
+/// each lane performs the identical IEEE operation sequence. A lane whose
+/// trajectory leaves the finite range is recorded in \p report with the step
+/// index at which it failed and stops evaluating its right-hand side; a lane
+/// with an invalid problem (empty f, t1 <= t0) is recorded as failing at
+/// step 0. Failed lanes never poison their neighbours. Charges 4 exec units
+/// per step to \p meter for each successful lane, matching the scalar
+/// solver's charge.
+///
+/// \return InvalidArgument only for structural errors (empty batch,
+/// steps < 1); lane failures are reported per system.
+Status SolveOdeIvpRk4Batch(const OdeIvpBatch& batch, int steps,
+                           WorkMeter* meter, std::vector<double>* results,
+                           BatchKernelReport* report);
 
 }  // namespace vaolib::numeric
 

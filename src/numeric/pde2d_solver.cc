@@ -81,6 +81,7 @@ Result<double> SolvePde2d(const Pde2dProblem& problem, const Pde2dGrid& grid,
   }
 
   TridiagonalSystem sys;
+  TridiagonalScratch scratch;  // reused across every sweep of the march
   std::vector<double> line;
 
   // One implicit sweep along the x axis for every y row: solves
@@ -134,7 +135,7 @@ Result<double> SolvePde2d(const Pde2dProblem& problem, const Pde2dGrid& grid,
         sys.lower[sweep_n - 1] -= un;
       }
 
-      VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &line));
+      VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &line, &scratch));
 
       if (!problem.dirichlet_zero) {
         line[0] = 2.0 * line[1] - line[2];

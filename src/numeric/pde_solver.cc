@@ -75,6 +75,7 @@ Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
 
   TridiagonalSystem sys;
   sys.Resize(nx + 1);
+  TridiagonalScratch scratch;  // reused across the time march
   std::vector<double> next;
 
   for (int m = 0; m < grid.t_steps; ++m) {
@@ -129,7 +130,7 @@ Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
       sys.lower[nx - 1] -= unm1;
     }
 
-    VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &next));
+    VAOLIB_RETURN_IF_ERROR(SolveTridiagonal(sys, &next, &scratch));
 
     if (problem.left_boundary == BoundaryKind::kLinear) {
       next[0] = 2.0 * next[1] - next[2];
@@ -151,6 +152,220 @@ Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
   }
   obs::CountSolverWork(obs::SolverKind::kPde, grid.MeshEntries());
   return u;
+}
+
+Status SolvePdeProfileBatch(const std::vector<const Pde1dProblem*>& problems,
+                            const PdeGrid& grid, WorkMeter* meter,
+                            std::vector<std::vector<double>>* profiles,
+                            BatchKernelReport* report) {
+  const obs::ScopedSpan span("solver", "pde_batch", obs::TraceDetail::kFine);
+  const std::size_t lanes = problems.size();
+  if (lanes == 0) return Status::InvalidArgument("PDE batch is empty");
+  for (const Pde1dProblem* problem : problems) {
+    if (problem == nullptr) {
+      return Status::InvalidArgument("PDE batch contains null problem");
+    }
+    VAOLIB_RETURN_IF_ERROR(ValidateInputs(*problem, grid));
+  }
+
+  const int nx = grid.x_intervals;  // nodes 0..nx, shared across lanes
+  const std::size_t rows = static_cast<std::size_t>(nx) + 1;
+  report->Reset(lanes);
+
+  // Per-lane spatial step, time step, and t-independent node coefficients,
+  // computed with the exact expressions of the scalar solver so each lane's
+  // march is bit-identical to SolvePdeProfile.
+  std::vector<double> dx(lanes), dt(lanes);
+  std::vector<std::vector<double>> a(lanes), b(lanes), r(lanes), c(lanes);
+  std::vector<double> u(rows * lanes);  // current profile, SoA plane
+  for (std::size_t s = 0; s < lanes; ++s) {
+    const Pde1dProblem& problem = *problems[s];
+    dx[s] = grid.Dx(problem);
+    dt[s] = grid.Dt(problem);
+    a[s].resize(rows);
+    b[s].resize(rows);
+    r[s].resize(rows);
+    c[s].resize(rows);
+    for (int i = 0; i <= nx; ++i) {
+      const double x = problem.x_min + dx[s] * i;
+      a[s][i] = problem.diffusion(x);
+      b[s][i] = problem.convection(x);
+      r[s][i] = problem.reaction(x);
+      c[s][i] = problem.source(x);
+      if (!(a[s][i] > 0.0)) {
+        return Status::InvalidArgument(
+            "diffusion coefficient must be > 0 at x=" + std::to_string(x));
+      }
+      u[static_cast<std::size_t>(i) * lanes + s] = problem.terminal(x);
+    }
+  }
+
+  TridiagonalBatch batch;
+  batch.Resize(lanes, rows);
+  TridiagonalBatchScratch scratch;
+  BatchKernelReport step_report;
+  std::vector<double> solutions;
+  std::vector<char> active(lanes, 1);
+  std::size_t num_active = lanes;
+
+  for (int m = 0; m < grid.t_steps && num_active > 0; ++m) {
+    for (std::size_t s = 0; s < lanes; ++s) {
+      if (!active[s]) {
+        // Frozen lane: benign identity rows so the lockstep solve stays
+        // well-conditioned without touching live lanes.
+        for (int i = 0; i <= nx; ++i) {
+          const std::size_t at = static_cast<std::size_t>(i) * lanes + s;
+          batch.lower[at] = 0.0;
+          batch.diag[at] = 1.0;
+          batch.upper[at] = 0.0;
+          batch.rhs[at] = 0.0;
+        }
+        continue;
+      }
+      const Pde1dProblem& problem = *problems[s];
+      const double tau_next = dt[s] * (m + 1);
+      const double t_next = problem.t_end - tau_next;
+
+      for (int i = 1; i < nx; ++i) {
+        const double diff = a[s][i] / (dx[s] * dx[s]);
+        const double conv = b[s][i] / (2.0 * dx[s]);
+        const std::size_t at = static_cast<std::size_t>(i) * lanes + s;
+        batch.lower[at] = -dt[s] * (diff - conv);
+        batch.diag[at] = 1.0 + dt[s] * (2.0 * diff + r[s][i]);
+        batch.upper[at] = -dt[s] * (diff + conv);
+        batch.rhs[at] = u[at] + dt[s] * c[s][i];
+      }
+
+      const std::size_t row0 = s;
+      const std::size_t row1 = lanes + s;
+      if (problem.left_boundary == BoundaryKind::kDirichlet) {
+        batch.lower[row0] = 0.0;
+        batch.diag[row0] = 1.0;
+        batch.upper[row0] = 0.0;
+        batch.rhs[row0] = problem.left_value(t_next);
+      } else {
+        batch.lower[row0] = 0.0;
+        batch.diag[row0] = 1.0;
+        batch.upper[row0] = 0.0;
+        batch.rhs[row0] = 0.0;
+        const double l1 = batch.lower[row1];
+        batch.lower[row1] = 0.0;
+        batch.diag[row1] += 2.0 * l1;
+        batch.upper[row1] -= l1;
+      }
+
+      const std::size_t rown = static_cast<std::size_t>(nx) * lanes + s;
+      const std::size_t rownm1 = static_cast<std::size_t>(nx - 1) * lanes + s;
+      if (problem.right_boundary == BoundaryKind::kDirichlet) {
+        batch.lower[rown] = 0.0;
+        batch.diag[rown] = 1.0;
+        batch.upper[rown] = 0.0;
+        batch.rhs[rown] = problem.right_value(t_next);
+      } else {
+        batch.lower[rown] = 0.0;
+        batch.diag[rown] = 1.0;
+        batch.upper[rown] = 0.0;
+        batch.rhs[rown] = 0.0;
+        const double unm1 = batch.upper[rownm1];
+        batch.upper[rownm1] = 0.0;
+        batch.diag[rownm1] += 2.0 * unm1;
+        batch.lower[rownm1] -= unm1;
+      }
+    }
+
+    VAOLIB_RETURN_IF_ERROR(
+        SolveTridiagonalBatch(batch, &solutions, &step_report, &scratch));
+
+    for (std::size_t s = 0; s < lanes; ++s) {
+      if (!active[s]) continue;
+      if (!step_report.ok(s)) {
+        active[s] = 0;
+        report->failed_row[s] = m;
+        --num_active;
+        continue;
+      }
+      const Pde1dProblem& problem = *problems[s];
+      if (problem.left_boundary == BoundaryKind::kLinear) {
+        solutions[s] = 2.0 * solutions[lanes + s] - solutions[2 * lanes + s];
+      }
+      if (problem.right_boundary == BoundaryKind::kLinear) {
+        const std::size_t rown = static_cast<std::size_t>(nx) * lanes + s;
+        solutions[rown] =
+            2.0 * solutions[rown - lanes] - solutions[rown - 2 * lanes];
+      }
+      bool finite = true;
+      for (int i = 0; i <= nx; ++i) {
+        if (!std::isfinite(solutions[static_cast<std::size_t>(i) * lanes + s])) {
+          finite = false;
+          break;
+        }
+      }
+      if (!finite) {
+        active[s] = 0;
+        report->failed_row[s] = m;
+        --num_active;
+        continue;
+      }
+      for (int i = 0; i <= nx; ++i) {
+        const std::size_t at = static_cast<std::size_t>(i) * lanes + s;
+        u[at] = solutions[at];
+      }
+    }
+  }
+
+  std::uint64_t ok_lanes = 0;
+  for (std::size_t s = 0; s < lanes; ++s) {
+    if (report->ok(s)) ++ok_lanes;
+  }
+  if (meter != nullptr && ok_lanes > 0) {
+    meter->Charge(WorkKind::kExec, grid.MeshEntries() * ok_lanes);
+  }
+  if (ok_lanes > 0) {
+    obs::CountSolverWork(obs::SolverKind::kPde, grid.MeshEntries() * ok_lanes);
+  }
+
+  profiles->assign(lanes, std::vector<double>());
+  for (std::size_t s = 0; s < lanes; ++s) {
+    std::vector<double>& profile = (*profiles)[s];
+    profile.resize(rows);
+    for (int i = 0; i <= nx; ++i) {
+      profile[i] = u[static_cast<std::size_t>(i) * lanes + s];
+    }
+  }
+  return Status::OK();
+}
+
+Status SolvePdeBatch(const std::vector<const Pde1dProblem*>& problems,
+                     const PdeGrid& grid, const std::vector<double>& query_x,
+                     WorkMeter* meter, std::vector<double>* values,
+                     BatchKernelReport* report) {
+  if (query_x.size() != problems.size()) {
+    return Status::InvalidArgument("PDE batch query count mismatch");
+  }
+  for (std::size_t s = 0; s < problems.size(); ++s) {
+    if (problems[s] == nullptr) {
+      return Status::InvalidArgument("PDE batch contains null problem");
+    }
+    if (query_x[s] < problems[s]->x_min || query_x[s] > problems[s]->x_max) {
+      return Status::OutOfRange("query_x outside PDE domain");
+    }
+  }
+  std::vector<std::vector<double>> profiles;
+  VAOLIB_RETURN_IF_ERROR(
+      SolvePdeProfileBatch(problems, grid, meter, &profiles, report));
+  values->assign(problems.size(), 0.0);
+  for (std::size_t s = 0; s < problems.size(); ++s) {
+    if (!report->ok(s)) continue;
+    const Pde1dProblem& problem = *problems[s];
+    const std::vector<double>& profile = profiles[s];
+    const double dx = grid.Dx(problem);
+    const double pos = (query_x[s] - problem.x_min) / dx;
+    auto lo = static_cast<std::size_t>(pos);
+    if (lo >= profile.size() - 1) lo = profile.size() - 2;
+    const double frac = pos - static_cast<double>(lo);
+    (*values)[s] = profile[lo] * (1.0 - frac) + profile[lo + 1] * frac;
+  }
+  return Status::OK();
 }
 
 Result<double> SolvePde(const Pde1dProblem& problem, const PdeGrid& grid,

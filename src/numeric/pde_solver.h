@@ -15,9 +15,11 @@
 #define VAOLIB_NUMERIC_PDE_SOLVER_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/work_meter.h"
+#include "numeric/batch.h"
 
 namespace vaolib::numeric {
 
@@ -80,6 +82,32 @@ Result<double> SolvePde(const Pde1dProblem& problem, const PdeGrid& grid,
 Result<std::vector<double>> SolvePdeProfile(const Pde1dProblem& problem,
                                             const PdeGrid& grid,
                                             WorkMeter* meter);
+
+/// \brief Marches K independent problems on the same grid in lockstep,
+/// batching the per-step tridiagonal solves into one SoA kernel call.
+/// Writes the t = 0 profile of each lane into \p profiles (values of failed
+/// lanes are unspecified). Per-lane profiles are bit-identical to
+/// SolvePdeProfile on the same problem and grid.
+///
+/// A lane whose tridiagonal solve breaks down or produces a non-finite value
+/// is recorded in \p report with the time-step index at which it failed and
+/// frozen; the remaining lanes keep marching. Charges grid.MeshEntries()
+/// exec units per successful lane, matching the scalar solver.
+///
+/// \return InvalidArgument when the batch is empty or any lane's problem is
+/// malformed (nothing is charged then); numeric failures are per-lane.
+Status SolvePdeProfileBatch(const std::vector<const Pde1dProblem*>& problems,
+                            const PdeGrid& grid, WorkMeter* meter,
+                            std::vector<std::vector<double>>* profiles,
+                            BatchKernelReport* report);
+
+/// \brief Batched counterpart of SolvePde: solves every lane on the shared
+/// grid and interpolates lane s at query_x[s]. Values of failed lanes are
+/// unspecified; per-lane values are bit-identical to SolvePde.
+Status SolvePdeBatch(const std::vector<const Pde1dProblem*>& problems,
+                     const PdeGrid& grid, const std::vector<double>& query_x,
+                     WorkMeter* meter, std::vector<double>* values,
+                     BatchKernelReport* report);
 
 }  // namespace vaolib::numeric
 

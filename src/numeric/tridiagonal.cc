@@ -1,6 +1,7 @@
 #include "numeric/tridiagonal.h"
 
 #include <cmath>
+#include <string>
 
 namespace vaolib::numeric {
 
@@ -11,8 +12,18 @@ void TridiagonalSystem::Resize(std::size_t n) {
   rhs.assign(n, 0.0);
 }
 
+void TridiagonalBatch::Resize(std::size_t k, std::size_t n) {
+  num_systems = k;
+  rows = n;
+  lower.assign(n * k, 0.0);
+  diag.assign(n * k, 0.0);
+  upper.assign(n * k, 0.0);
+  rhs.assign(n * k, 0.0);
+}
+
 Status SolveTridiagonal(const TridiagonalSystem& system,
-                        std::vector<double>* solution) {
+                        std::vector<double>* solution,
+                        TridiagonalScratch* scratch) {
   const std::size_t n = system.diag.size();
   if (n == 0) {
     return Status::InvalidArgument("tridiagonal system is empty");
@@ -22,9 +33,12 @@ Status SolveTridiagonal(const TridiagonalSystem& system,
     return Status::InvalidArgument("tridiagonal band sizes disagree");
   }
 
-  // Forward sweep with scratch copies of the modified bands.
-  std::vector<double> c_prime(n, 0.0);
-  std::vector<double> d_prime(n, 0.0);
+  // Forward sweep over the modified bands; every entry is overwritten, so
+  // the scratch needs resizing only (no clearing).
+  scratch->c_prime.resize(n);
+  scratch->d_prime.resize(n);
+  std::vector<double>& c_prime = scratch->c_prime;
+  std::vector<double>& d_prime = scratch->d_prime;
 
   double pivot = system.diag[0];
   if (std::abs(pivot) < 1e-300) {
@@ -46,6 +60,110 @@ Status SolveTridiagonal(const TridiagonalSystem& system,
   for (std::size_t i = n - 1; i-- > 0;) {
     (*solution)[i] = d_prime[i] - c_prime[i] * (*solution)[i + 1];
   }
+  return Status::OK();
+}
+
+Status SolveTridiagonal(const TridiagonalSystem& system,
+                        std::vector<double>* solution) {
+  static thread_local TridiagonalScratch scratch;
+  return SolveTridiagonal(system, solution, &scratch);
+}
+
+namespace internal {
+
+void SolveTridiagonalBatchGeneric(const double* lower, const double* diag,
+                                  const double* upper, const double* rhs,
+                                  std::size_t rows, std::size_t k,
+                                  double* c_prime, double* d_prime,
+                                  double* solution,
+                                  std::int32_t* failed_row) {
+  // Row 0: plain divisions by the first pivot. A lane whose pivot
+  // underflows is neutralized with a unit pivot (branchless select) so the
+  // division still happens in lockstep without perturbing other lanes; its
+  // first failing row is recorded and its outputs are unspecified.
+  for (std::size_t s = 0; s < k; ++s) {
+    const double pivot = diag[s];
+    const bool ok = !(std::abs(pivot) < 1e-300);
+    if (!ok && failed_row[s] < 0) failed_row[s] = 0;
+    const double safe = ok ? pivot : 1.0;
+    c_prime[s] = upper[s] / safe;
+    d_prime[s] = rhs[s] / safe;
+  }
+  for (std::size_t row = 1; row < rows; ++row) {
+    const std::size_t base = row * k;
+    const std::size_t prev = base - k;
+    for (std::size_t s = 0; s < k; ++s) {
+      const double pivot = diag[base + s] - lower[base + s] * c_prime[prev + s];
+      const bool ok = !(std::abs(pivot) < 1e-300);
+      if (!ok && failed_row[s] < 0) {
+        failed_row[s] = static_cast<std::int32_t>(row);
+      }
+      const double safe = ok ? pivot : 1.0;
+      c_prime[base + s] = upper[base + s] / safe;
+      d_prime[base + s] =
+          (rhs[base + s] - lower[base + s] * d_prime[prev + s]) / safe;
+    }
+  }
+
+  const std::size_t last = (rows - 1) * k;
+  for (std::size_t s = 0; s < k; ++s) solution[last + s] = d_prime[last + s];
+  for (std::size_t row = rows - 1; row-- > 0;) {
+    const std::size_t base = row * k;
+    const std::size_t next = base + k;
+    for (std::size_t s = 0; s < k; ++s) {
+      solution[base + s] =
+          d_prime[base + s] - c_prime[base + s] * solution[next + s];
+    }
+  }
+}
+
+}  // namespace internal
+
+bool TridiagonalBatchUsesAvx2() {
+#if defined(VAOLIB_SIMD_AVX2)
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Status SolveTridiagonalBatch(const TridiagonalBatch& batch,
+                             std::vector<double>* solutions,
+                             BatchKernelReport* report,
+                             TridiagonalBatchScratch* scratch) {
+  const std::size_t k = batch.num_systems;
+  const std::size_t n = batch.rows;
+  if (k == 0 || n == 0) {
+    return Status::InvalidArgument("tridiagonal batch is empty");
+  }
+  const std::size_t plane = n * k;
+  if (batch.lower.size() != plane || batch.diag.size() != plane ||
+      batch.upper.size() != plane || batch.rhs.size() != plane) {
+    return Status::InvalidArgument("tridiagonal batch plane sizes disagree");
+  }
+
+  static thread_local TridiagonalBatchScratch local_scratch;
+  TridiagonalBatchScratch* work =
+      scratch != nullptr ? scratch : &local_scratch;
+  work->c_prime.resize(plane);
+  work->d_prime.resize(plane);
+  solutions->resize(plane);
+  report->Reset(k);
+
+#if defined(VAOLIB_SIMD_AVX2)
+  if (TridiagonalBatchUsesAvx2() && k >= 4) {
+    internal::SolveTridiagonalBatchAvx2(
+        batch.lower.data(), batch.diag.data(), batch.upper.data(),
+        batch.rhs.data(), n, k, work->c_prime.data(), work->d_prime.data(),
+        solutions->data(), report->failed_row.data());
+    return Status::OK();
+  }
+#endif
+  internal::SolveTridiagonalBatchGeneric(
+      batch.lower.data(), batch.diag.data(), batch.upper.data(),
+      batch.rhs.data(), n, k, work->c_prime.data(), work->d_prime.data(),
+      solutions->data(), report->failed_row.data());
   return Status::OK();
 }
 

@@ -1,6 +1,9 @@
 // Copyright 2026 The vaolib Authors.
 // Thomas-algorithm solver for tridiagonal linear systems, the inner kernel
-// of the implicit finite-difference PDE/ODE solvers.
+// of the implicit finite-difference PDE/ODE solvers. Available in two
+// shapes: the scalar solver (one system) and a struct-of-arrays batch
+// solver running K independent systems in lockstep (see batch.h for the
+// layout and bit-identity contract).
 
 #ifndef VAOLIB_NUMERIC_TRIDIAGONAL_H_
 #define VAOLIB_NUMERIC_TRIDIAGONAL_H_
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "numeric/batch.h"
 
 namespace vaolib::numeric {
 
@@ -27,15 +31,105 @@ struct TridiagonalSystem {
   std::size_t size() const { return diag.size(); }
 };
 
+/// \brief Reusable forward-sweep workspace for SolveTridiagonal. Callers
+/// running many solves of similar size (the PDE time march) hold one of
+/// these to avoid a pair of heap allocations per solve.
+struct TridiagonalScratch {
+  std::vector<double> c_prime;
+  std::vector<double> d_prime;
+};
+
 /// \brief Solves \p system in place by the Thomas algorithm, writing the
 /// solution into \p solution (resized to n). O(n) time, no pivoting:
 /// requires a (weakly) diagonally dominant system, which the implicit
-/// schemes in this library always produce.
+/// schemes in this library always produce. \p scratch holds the modified
+/// bands between calls; its capacity grows to n and is reused.
 ///
 /// \return InvalidArgument on band-size mismatch, NumericError when a pivot
 /// underflows (non-dominant system).
 Status SolveTridiagonal(const TridiagonalSystem& system,
+                        std::vector<double>* solution,
+                        TridiagonalScratch* scratch);
+
+/// \brief Scratch-less convenience overload; uses a thread-local workspace.
+Status SolveTridiagonal(const TridiagonalSystem& system,
                         std::vector<double>* solution);
+
+/// \brief K independent tridiagonal systems of n rows each, stored as
+/// struct-of-arrays planes with layout plane[row * K + system] so the inner
+/// loop over systems is contiguous (auto-vectorizable). lower[0] and
+/// upper[n-1] of each system are ignored, as in TridiagonalSystem.
+struct TridiagonalBatch {
+  std::size_t num_systems = 0;  ///< K
+  std::size_t rows = 0;         ///< n
+
+  std::vector<double> lower;  ///< size rows * num_systems
+  std::vector<double> diag;   ///< size rows * num_systems
+  std::vector<double> upper;  ///< size rows * num_systems
+  std::vector<double> rhs;    ///< size rows * num_systems
+
+  /// Resizes all four planes to \p n rows x \p k systems, zero-filled.
+  void Resize(std::size_t k, std::size_t n);
+
+  /// Plane offset of (row, system).
+  std::size_t IndexOf(std::size_t row, std::size_t system) const {
+    return row * num_systems + system;
+  }
+};
+
+/// \brief Reusable workspace for SolveTridiagonalBatch (the c'/d' planes).
+struct TridiagonalBatchScratch {
+  std::vector<double> c_prime;
+  std::vector<double> d_prime;
+};
+
+/// \brief Solves all systems of \p batch in lockstep, writing solutions into
+/// \p solutions (resized to rows * num_systems, same plane layout).
+///
+/// Per-system results are bit-identical to SolveTridiagonal on the same
+/// bands: every lane performs the identical IEEE operation sequence. A lane
+/// whose pivot underflows is recorded in \p report (the first failing row)
+/// and neutralized with a unit pivot so the remaining lanes are unaffected;
+/// its output values are unspecified. \p report is reset to the batch size.
+/// \p scratch may be null (a thread-local workspace is used).
+///
+/// When the library is built with VAOLIB_ENABLE_SIMD and the CPU supports
+/// AVX2, a 4-wide SIMD path is dispatched at runtime; it performs the same
+/// non-fused operation sequence and produces identical results.
+///
+/// \return InvalidArgument on plane-size mismatch or an empty batch; pivot
+/// failures are per-system and never fail the whole batch.
+Status SolveTridiagonalBatch(const TridiagonalBatch& batch,
+                             std::vector<double>* solutions,
+                             BatchKernelReport* report,
+                             TridiagonalBatchScratch* scratch = nullptr);
+
+/// \brief True when the runtime-dispatched AVX2 path is compiled in AND the
+/// CPU supports it (exposed for benches/tests to label their output).
+bool TridiagonalBatchUsesAvx2();
+
+namespace internal {
+
+/// Portable lockstep kernel (the scalar fallback); planes are dense
+/// rows x k. Defined in tridiagonal.cc; exposed for the SIMD TU and tests.
+void SolveTridiagonalBatchGeneric(const double* lower, const double* diag,
+                                  const double* upper, const double* rhs,
+                                  std::size_t rows, std::size_t k,
+                                  double* c_prime, double* d_prime,
+                                  double* solution,
+                                  std::int32_t* failed_row);
+
+#if defined(VAOLIB_SIMD_AVX2)
+/// AVX2 lockstep kernel, compiled only when VAOLIB_ENABLE_SIMD=ON (its TU
+/// is built with -mavx2); call only when the CPU supports AVX2.
+void SolveTridiagonalBatchAvx2(const double* lower, const double* diag,
+                               const double* upper, const double* rhs,
+                               std::size_t rows, std::size_t k,
+                               double* c_prime, double* d_prime,
+                               double* solution, std::int32_t* failed_row);
+#endif
+
+}  // namespace internal
 
 }  // namespace vaolib::numeric
 

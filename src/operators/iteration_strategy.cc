@@ -1,5 +1,8 @@
 #include "operators/iteration_strategy.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "obs/trace.h"
 
 namespace vaolib::operators {
@@ -39,6 +42,74 @@ class GreedyStrategy : public IterationStrategy {
       }
     }
     return chosen;
+  }
+};
+
+// The batch tier's chooseIter: the same scoring as GreedyStrategy, but
+// taking the K best candidates per cycle instead of one. Ranking is by
+// score descending with enumeration order breaking ties, so the top-1 is
+// exactly the greedy first-maximum and K=1 reproduces GreedyStrategy; when
+// no candidate predicts progress, ranking falls back to actual widths, as
+// in the scalar fallback scan.
+class BatchGreedyStrategy : public IterationStrategy {
+ public:
+  const char* name() const override { return "batch_greedy"; }
+  bool WantsScores() const override { return true; }
+
+  std::size_t Choose(
+      const std::vector<IterationCandidate>& candidates) override {
+    std::size_t chosen = candidates.front().index;
+    double best_score = -1.0;
+    for (const IterationCandidate& c : candidates) {
+      const double score = c.benefit / c.cost;
+      if (score > best_score) {
+        best_score = score;
+        chosen = c.index;
+      }
+    }
+    if (best_score <= 0.0) {
+      double widest = -1.0;
+      for (const IterationCandidate& c : candidates) {
+        if (c.width > widest) {
+          widest = c.width;
+          chosen = c.index;
+        }
+      }
+    }
+    return chosen;
+  }
+
+  void ChooseBatch(const std::vector<IterationCandidate>& candidates,
+                   std::size_t max_batch,
+                   std::vector<std::size_t>* chosen) override {
+    const obs::ScopedSpan span("strategy", "batch_greedy_choose",
+                               obs::TraceDetail::kFine);
+    const std::size_t take = std::min(
+        std::max<std::size_t>(max_batch, 1), candidates.size());
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    double best_score = -1.0;
+    for (const IterationCandidate& c : candidates) {
+      best_score = std::max(best_score, c.benefit / c.cost);
+    }
+    if (best_score > 0.0) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return candidates[a].benefit / candidates[a].cost >
+                                candidates[b].benefit / candidates[b].cost;
+                       });
+    } else {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return candidates[a].width > candidates[b].width;
+                       });
+    }
+    chosen->clear();
+    chosen->reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      chosen->push_back(candidates[order[i]].index);
+    }
   }
 };
 
@@ -92,6 +163,8 @@ Result<std::unique_ptr<IterationStrategy>> MakeStrategy(StrategyKind kind,
         return Status::InvalidArgument("random strategy requires an Rng");
       }
       return std::unique_ptr<IterationStrategy>(new RandomStrategy(rng));
+    case StrategyKind::kBatchGreedy:
+      return std::unique_ptr<IterationStrategy>(new BatchGreedyStrategy());
   }
   return Status::InvalidArgument("unknown strategy kind");
 }

@@ -57,6 +57,18 @@ class IterationStrategy {
   /// greedy first-maximum tie-break depends on that order).
   virtual std::size_t Choose(
       const std::vector<IterationCandidate>& candidates) = 0;
+
+  /// Fills \p chosen with up to \p max_batch candidate *input indices* for
+  /// one cycle, best first, never empty for non-empty \p candidates. The
+  /// base implementation picks exactly Choose() -- one object per cycle --
+  /// so only batch-aware strategies (kBatchGreedy) ever return more. With
+  /// max_batch <= 1 every implementation must reproduce Choose() exactly.
+  virtual void ChooseBatch(const std::vector<IterationCandidate>& candidates,
+                           std::size_t max_batch,
+                           std::vector<std::size_t>* chosen) {
+    (void)max_batch;
+    chosen->assign(1, Choose(candidates));
+  }
 };
 
 /// \brief Builds the strategy for \p kind. \p rng is required for

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "vao/batch_iterate.h"
 #include "vao/parallel.h"
 
 namespace vaolib::operators {
@@ -111,6 +112,69 @@ double ChosenScore(const std::vector<IterationCandidate>& candidates,
     }
   }
   return 0.0;
+}
+
+// One batch cycle through the batch execution tier: capture every chosen
+// object's decision before-state up front, hand the whole set to
+// vao::IterateBatch (which routes compatible objects through the lockstep
+// kernels), then record decisions in chosen order with actual_cost taken
+// from the per-object spend the batch tier attributes -- those spends sum
+// exactly to the shared meter's delta, so traces and accounting match the
+// scalar path. Returns the first failing object's status.
+Status IterateChosenBatch(const char* op, const char* phase,
+                          const std::vector<vao::ResultObject*>& objects,
+                          const std::vector<std::size_t>& chosen,
+                          const std::vector<double>& scores, WorkMeter* meter,
+                          vao::BatchIterateOutcome* outcome) {
+  const bool tracing = obs::DecisionTraceActive();
+  std::vector<obs::Decision> decisions;
+  if (tracing) {
+    decisions.reserve(chosen.size());
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      const std::size_t i = chosen[j];
+      obs::Decision decision;
+      decision.op = op;
+      decision.phase = phase;
+      decision.object_index = static_cast<std::uint64_t>(i);
+      const Bounds before = objects[i]->bounds();
+      decision.lo_before = before.lo;
+      decision.hi_before = before.hi;
+      const Bounds est = objects[i]->est_bounds();
+      decision.est_lo = est.lo;
+      decision.est_hi = est.hi;
+      decision.est_cost = static_cast<double>(objects[i]->est_cost());
+      decision.score = scores[j];
+      decisions.push_back(decision);
+    }
+  }
+
+  std::vector<vao::ResultObject*> batch;
+  batch.reserve(chosen.size());
+  for (const std::size_t i : chosen) batch.push_back(objects[i]);
+  *outcome = vao::IterateBatch(batch, meter);
+
+  Status first_error;
+  for (std::size_t j = 0; j < chosen.size(); ++j) {
+    if (tracing) {
+      const Bounds after = objects[chosen[j]]->bounds();
+      decisions[j].lo_after = after.lo;
+      decisions[j].hi_after = after.hi;
+      decisions[j].actual_cost = static_cast<double>(outcome->spent[j]);
+      obs::RecordDecision(decisions[j]);
+    }
+    if (first_error.ok() && !outcome->statuses[j].ok()) {
+      first_error = outcome->statuses[j];
+    }
+  }
+  return first_error;
+}
+
+// Batch width of one adaptive cycle: only the batch-aware strategies read
+// OperatorOptions::batch_k; everything else stays at the paper's one object
+// per cycle.
+std::size_t CycleBatchK(const OperatorOptions& options) {
+  if (options.strategy != StrategyKind::kBatchGreedy) return 1;
+  return static_cast<std::size_t>(std::max(options.batch_k, 1));
 }
 
 }  // namespace
@@ -311,17 +375,43 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
           candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
         }
       }
-      const std::size_t chosen = strategy_->Choose(candidates);
+      std::vector<std::size_t> picks;
+      strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
 
-      DecisionCapture trace =
-          BeginDecision(name(), "search", chosen, *objects_[chosen], meter,
-                        ChosenScore(candidates, chosen));
-      VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
-      CommitDecision(&trace);
-      VAOLIB_RETURN_IF_ERROR(ObserveIterate(chosen));
-      touched_[chosen] = true;
-      ++outcome_.stats.greedy_iterations;
-      if (++outcome_.stats.iterations > options_.max_total_iterations) {
+      if (picks.size() == 1) {
+        const std::size_t chosen = picks.front();
+        DecisionCapture trace =
+            BeginDecision(name(), "search", chosen, *objects_[chosen], meter,
+                          ChosenScore(candidates, chosen));
+        VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
+        CommitDecision(&trace);
+        VAOLIB_RETURN_IF_ERROR(ObserveIterate(chosen));
+        touched_[chosen] = true;
+        ++outcome_.stats.greedy_iterations;
+        if (++outcome_.stats.iterations > options_.max_total_iterations) {
+          return Status::NotConverged(
+              "MIN/MAX exceeded max_total_iterations");
+        }
+        return Status::OK();
+      }
+
+      // Batch cycle (kBatchGreedy with batch_k > 1): the top-K candidates
+      // refine together through the lockstep kernels.
+      std::vector<double> scores;
+      scores.reserve(picks.size());
+      for (const std::size_t i : picks) {
+        scores.push_back(ChosenScore(candidates, i));
+      }
+      vao::BatchIterateOutcome batch_outcome;
+      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
+          name(), "search", objects_, picks, scores, meter, &batch_outcome));
+      for (const std::size_t i : picks) {
+        VAOLIB_RETURN_IF_ERROR(ObserveIterate(i));
+        touched_[i] = true;
+        ++outcome_.stats.greedy_iterations;
+      }
+      outcome_.stats.iterations += picks.size();
+      if (outcome_.stats.iterations > options_.max_total_iterations) {
         return Status::NotConverged("MIN/MAX exceeded max_total_iterations");
       }
       return Status::OK();
@@ -512,7 +602,8 @@ Status SumAveIterationTask::StepImpl(WorkMeter* meter) {
       }
       sum_ = ExactSum();
       if (options_.use_heap_index &&
-          options_.strategy == StrategyKind::kGreedy) {
+          (options_.strategy == StrategyKind::kGreedy ||
+           options_.strategy == StrategyKind::kBatchGreedy)) {
         heap_.Reset(objects_.size());
         for (std::size_t i = 0; i < objects_.size(); ++i) {
           if (weights_[i] > 0.0 && !objects_[i]->AtStoppingCondition()) {
@@ -577,13 +668,53 @@ Status SumAveIterationTask::StepScan(WorkMeter* meter) {
       candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
     }
   }
-  const std::size_t chosen = strategy_->Choose(candidates);
+  std::vector<std::size_t> picks;
+  strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
 
-  VAOLIB_RETURN_IF_ERROR(
-      ApplyIterate(chosen, meter, "scan", ChosenScore(candidates, chosen)));
-  ++outcome_.stats.greedy_iterations;
-  if (++outcome_.stats.iterations > options_.max_total_iterations) {
+  if (picks.size() == 1) {
+    const std::size_t chosen = picks.front();
+    VAOLIB_RETURN_IF_ERROR(
+        ApplyIterate(chosen, meter, "scan", ChosenScore(candidates, chosen)));
+    ++outcome_.stats.greedy_iterations;
+    if (++outcome_.stats.iterations > options_.max_total_iterations) {
+      return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
+    }
+    return Status::OK();
+  }
+
+  std::vector<double> scores;
+  scores.reserve(picks.size());
+  for (const std::size_t i : picks) {
+    scores.push_back(ChosenScore(candidates, i));
+  }
+  VAOLIB_RETURN_IF_ERROR(ApplyIterateBatch(picks, scores, meter, "scan"));
+  outcome_.stats.greedy_iterations += picks.size();
+  outcome_.stats.iterations += picks.size();
+  if (outcome_.stats.iterations > options_.max_total_iterations) {
     return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
+  }
+  return Status::OK();
+}
+
+Status SumAveIterationTask::ApplyIterateBatch(
+    const std::vector<std::size_t>& chosen, const std::vector<double>& scores,
+    WorkMeter* meter, const char* phase) {
+  // Batch form of ApplyIterate: one lockstep dispatch, then the same
+  // incremental interval maintenance per object.
+  std::vector<Bounds> before;
+  before.reserve(chosen.size());
+  for (const std::size_t i : chosen) before.push_back(objects_[i]->bounds());
+  vao::BatchIterateOutcome batch_outcome;
+  VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
+      name(), phase, objects_, chosen, scores, meter, &batch_outcome));
+  for (std::size_t j = 0; j < chosen.size(); ++j) {
+    const std::size_t i = chosen[j];
+    VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "SUM/AVE"));
+    const Bounds after = objects_[i]->bounds();
+    sum_.lo += weights_[i] * (after.lo - before[j].lo);
+    sum_.hi += weights_[i] * (after.hi - before[j].hi);
+    touched_[i] = true;
+    stall_[i].Observe(after.Width());
   }
   return Status::OK();
 }
@@ -594,28 +725,44 @@ Status SumAveIterationTask::StepHeap(WorkMeter* meter) {
     return Status::OK();
   }
 
+  // Pop up to batch_k best-scored objects for this cycle (one for the
+  // scalar strategies). Each pop-plus-push is O(log N) chooseIter work.
+  const std::size_t batch_k = CycleBatchK(options_);
+  std::vector<std::size_t> picks;
+  std::vector<double> scores;
   std::size_t chosen = 0;
   double score = 0.0;
-  if (!heap_.PopBest(&chosen, &score)) {
+  while (picks.size() < batch_k && heap_.PopBest(&chosen, &score)) {
+    picks.push_back(chosen);
+    scores.push_back(score);
+    ++outcome_.stats.choose_steps;
+    if (meter != nullptr) {
+      meter->Charge(WorkKind::kChooseIter, 2 * Log2Ceil(objects_.size()));
+    }
+  }
+  if (picks.empty()) {
     outcome_.limited_by_min_width = true;
     Finish();
     return Status::OK();
   }
-  ++outcome_.stats.choose_steps;
-  if (meter != nullptr) {
-    // One heap pop plus one push: O(log N).
-    meter->Charge(WorkKind::kChooseIter, 2 * Log2Ceil(objects_.size()));
-  }
 
-  VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen, meter, "heap", score));
+  if (picks.size() == 1) {
+    VAOLIB_RETURN_IF_ERROR(
+        ApplyIterate(picks.front(), meter, "heap", scores.front()));
+  } else {
+    VAOLIB_RETURN_IF_ERROR(ApplyIterateBatch(picks, scores, meter, "heap"));
+  }
   // Stalled objects simply stop being re-pushed, so their (sound, frozen)
   // contribution stays in the sum.
-  if (!objects_[chosen]->AtStoppingCondition() && !stall_[chosen].stalled()) {
-    heap_.Update(chosen, GreedyScore(*objects_[chosen], weights_[chosen]));
+  for (const std::size_t i : picks) {
+    if (!objects_[i]->AtStoppingCondition() && !stall_[i].stalled()) {
+      heap_.Update(i, GreedyScore(*objects_[i], weights_[i]));
+    }
   }
 
-  ++outcome_.stats.greedy_iterations;
-  if (++outcome_.stats.iterations > options_.max_total_iterations) {
+  outcome_.stats.greedy_iterations += picks.size();
+  outcome_.stats.iterations += picks.size();
+  if (outcome_.stats.iterations > options_.max_total_iterations) {
     return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
   }
   return Status::OK();
@@ -827,9 +974,34 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
           candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
         }
       }
-      const std::size_t chosen = strategy_->Choose(candidates);
-      return IterateOne(chosen, &outcome_.stats.greedy_iterations, meter,
-                        "boundary", ChosenScore(candidates, chosen));
+      std::vector<std::size_t> picks;
+      strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
+      if (picks.size() == 1) {
+        const std::size_t chosen = picks.front();
+        return IterateOne(chosen, &outcome_.stats.greedy_iterations, meter,
+                          "boundary", ChosenScore(candidates, chosen));
+      }
+
+      std::vector<double> scores;
+      scores.reserve(picks.size());
+      for (const std::size_t i : picks) {
+        scores.push_back(ChosenScore(candidates, i));
+      }
+      vao::BatchIterateOutcome batch_outcome;
+      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
+          name(), "boundary", objects_, picks, scores, meter,
+          &batch_outcome));
+      for (const std::size_t i : picks) {
+        VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "TOP-K"));
+        stall_[i].Observe(objects_[i]->bounds().Width());
+        touched_[i] = true;
+        ++outcome_.stats.greedy_iterations;
+      }
+      outcome_.stats.iterations += picks.size();
+      if (outcome_.stats.iterations > options_.max_total_iterations) {
+        return Status::NotConverged("TOP-K exceeded max_total_iterations");
+      }
+      return Status::OK();
     }
 
     case Phase::kFinalize: {
@@ -1039,7 +1211,7 @@ void MultiRowDecisionTask::Resettle(std::size_t i) {
                 objects_[i]->AtStoppingCondition() || stall_[i].stalled();
 }
 
-Status MultiRowDecisionTask::StepImpl(WorkMeter* /*meter*/) {
+Status MultiRowDecisionTask::StepImpl(WorkMeter* meter) {
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < objects_.size(); ++i) {
     // Re-settle before collecting: under a scheduler, other queries' tasks
@@ -1075,7 +1247,19 @@ Status MultiRowDecisionTask::StepImpl(WorkMeter* /*meter*/) {
   std::vector<vao::ResultObject*> batch;
   batch.reserve(pending.size());
   for (const std::size_t i : pending) batch.push_back(objects_[i]);
-  VAOLIB_RETURN_IF_ERROR(vao::StepAll(batch, threads_));
+  if (threads_ < 2) {
+    // Single-threaded: route the notch through the batch execution tier so
+    // rows backed by compatible solvers share one lockstep kernel call.
+    // Results and work totals are bit-identical to iterating each row, so
+    // the thread-count determinism contract is unaffected.
+    const vao::BatchIterateOutcome batch_outcome =
+        vao::IterateBatch(batch, meter);
+    for (const Status& status : batch_outcome.statuses) {
+      VAOLIB_RETURN_IF_ERROR(status);
+    }
+  } else {
+    VAOLIB_RETURN_IF_ERROR(vao::StepAll(batch, threads_));
+  }
 
   for (std::size_t p = 0; p < pending.size(); ++p) {
     const std::size_t i = pending[p];

@@ -177,6 +177,9 @@ class SumAveIterationTask : public IterationTask {
   Status StepHeap(WorkMeter* meter);
   Status ApplyIterate(std::size_t chosen, WorkMeter* meter, const char* phase,
                       double score);
+  Status ApplyIterateBatch(const std::vector<std::size_t>& chosen,
+                           const std::vector<double>& scores, WorkMeter* meter,
+                           const char* phase);
   Bounds ExactSum() const;
   void Finish();
 

@@ -74,6 +74,8 @@ const char* StrategyKindName(StrategyKind kind) {
       return "round_robin";
     case StrategyKind::kRandom:
       return "random";
+    case StrategyKind::kBatchGreedy:
+      return "batch_greedy";
   }
   return "?";
 }

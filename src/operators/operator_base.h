@@ -39,13 +39,15 @@ enum class ExtremeKind { kMax, kMin };
 /// Resolved into a pluggable IterationStrategy object by MakeStrategy()
 /// (operators/iteration_strategy.h).
 enum class StrategyKind {
-  kGreedy,      ///< best estimated benefit per CPU cycle (the paper)
-  kRoundRobin,  ///< cycle through live candidates
-  kRandom,      ///< uniform over live candidates
+  kGreedy,       ///< best estimated benefit per CPU cycle (the paper)
+  kRoundRobin,   ///< cycle through live candidates
+  kRandom,       ///< uniform over live candidates
+  kBatchGreedy,  ///< top-K by greedy score per cycle (batch execution tier);
+                 ///< K = OperatorOptions::batch_k, K=1 == kGreedy exactly
 };
 
 /// \brief Returns the source-level spelling ("greedy", "round_robin",
-/// "random").
+/// "random", "batch_greedy").
 const char* StrategyKindName(StrategyKind kind);
 
 /// \brief Options shared by every operator family -- the one consolidated
@@ -59,6 +61,12 @@ struct OperatorOptions {
   double epsilon = 0.01;
   /// Iteration-choice strategy for the adaptive refinement loop.
   StrategyKind strategy = StrategyKind::kGreedy;
+  /// Objects refined per adaptive cycle under kBatchGreedy: the strategy
+  /// picks the top-K candidates by greedy score and the operator executes
+  /// them through the batch kernels (vao::IterateBatch). 1 preserves the
+  /// paper's one-object-per-cycle semantics exactly; ignored by the other
+  /// strategies.
+  int batch_k = 1;
   /// Safety valve against adversarial inputs; NotConverged when exceeded.
   std::uint64_t max_total_iterations = 50'000'000;
   /// Required when strategy == kRandom.

@@ -490,9 +490,24 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
     return objects;
   };
 
+  // The sweep axes: every configured strategy at the paper's one object
+  // per cycle, plus batch-greedy at every configured batch width.
+  struct StrategyVariant {
+    operators::StrategyKind strategy;
+    int batch_k;
+  };
+  std::vector<StrategyVariant> strategy_variants;
+  for (const operators::StrategyKind strategy : options_.strategies) {
+    strategy_variants.push_back({strategy, 1});
+  }
+  for (const int batch_k : options_.batch_ks) {
+    strategy_variants.push_back(
+        {operators::StrategyKind::kBatchGreedy, batch_k});
+  }
+
   for (const operators::ExtremeKind kind :
        {operators::ExtremeKind::kMax, operators::ExtremeKind::kMin}) {
-    for (const operators::StrategyKind strategy : options_.strategies) {
+    for (const StrategyVariant& strategy_variant : strategy_variants) {
       VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
       Rng strategy_rng(seed ^ 0xA5A5A5A5ULL);
       operators::MinMaxOptions options;
@@ -502,7 +517,8 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
                                  : operators::ExtremeKind::kMax)
                           : kind;
       options.epsilon = epsilon;
-      options.strategy = strategy;
+      options.strategy = strategy_variant.strategy;
+      options.batch_k = strategy_variant.batch_k;
       options.rng = &strategy_rng;
       const operators::MinMaxVao vao(options);
       VAOLIB_ASSIGN_OR_RETURN(const operators::MinMaxOutcome outcome,
@@ -521,7 +537,10 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
                                   1};
         VAOLIB_RETURN_IF_ERROR(RecordFailure(
             seed, variant, 1, false,
-            "strategy sweep (" + std::to_string(static_cast<int>(strategy)) +
+            "strategy sweep (" +
+                std::string(operators::StrategyKindName(
+                    strategy_variant.strategy)) +
+                ", batch_k=" + std::to_string(strategy_variant.batch_k) +
                 "): " + *detail,
             summary));
       }
@@ -531,12 +550,19 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
   struct SumVariant {
     operators::StrategyKind strategy;
     bool heap;
+    int batch_k;
   };
   std::vector<SumVariant> sum_variants;
   for (const operators::StrategyKind strategy : options_.strategies) {
-    sum_variants.push_back({strategy, false});
+    sum_variants.push_back({strategy, false, 1});
   }
-  sum_variants.push_back({operators::StrategyKind::kGreedy, true});
+  sum_variants.push_back({operators::StrategyKind::kGreedy, true, 1});
+  for (const int batch_k : options_.batch_ks) {
+    sum_variants.push_back(
+        {operators::StrategyKind::kBatchGreedy, false, batch_k});
+    sum_variants.push_back(
+        {operators::StrategyKind::kBatchGreedy, true, batch_k});
+  }
   for (const SumVariant& sum_variant : sum_variants) {
     VAOLIB_ASSIGN_OR_RETURN(const auto owned, make_objects());
     Rng strategy_rng(seed ^ 0x5A5A5A5AULL);
@@ -544,6 +570,7 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
     options.epsilon = epsilon;
     options.strategy = sum_variant.strategy;
     options.use_heap_index = sum_variant.heap;
+    options.batch_k = sum_variant.batch_k;
     options.rng = &strategy_rng;
     const operators::SumAveVao vao(options);
     VAOLIB_ASSIGN_OR_RETURN(const operators::SumOutcome outcome,
@@ -556,7 +583,10 @@ Status DifferentialRunner::RunStrategySweep(std::uint64_t seed,
                                      workload.min_width, epsilon, nullptr)) {
       VAOLIB_RETURN_IF_ERROR(RecordFailure(
           seed, {engine::QueryKind::kSum, 1}, 1, false,
-          "strategy sweep (heap=" + std::to_string(sum_variant.heap) +
+          "strategy sweep (" +
+              std::string(operators::StrategyKindName(sum_variant.strategy)) +
+              ", heap=" + std::to_string(sum_variant.heap) +
+              ", batch_k=" + std::to_string(sum_variant.batch_k) +
               "): " + *detail,
           summary));
     }

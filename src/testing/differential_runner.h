@@ -64,6 +64,12 @@ struct DifferentialOptions {
       operators::StrategyKind::kRoundRobin,
       operators::StrategyKind::kRandom,
   };
+  /// Batch-greedy axis of the strategy sweep: every K here additionally
+  /// runs the aggregates with StrategyKind::kBatchGreedy and
+  /// OperatorOptions::batch_k = K (the top-K-per-cycle batch execution
+  /// tier). Unbudgeted runs must produce oracle-exact answers at every K.
+  /// Empty disables the axis.
+  std::vector<int> batch_ks = {1, 4, 16};
   /// Scheduled-execution axis: per seed, all `kinds` run as ONE
   /// MultiQueryExecutor batch under each policy -- first unbudgeted (every
   /// answer must then match the oracle exactly, converged = true), then

@@ -1,0 +1,50 @@
+// Copyright 2026 The vaolib Authors.
+// IterateBatch: the vao-layer entry point of the batch execution tier.
+//
+// Operators hand it the result objects a strategy picked for one cycle; it
+// groups them by batch_key(), dispatches each group of two or more
+// compatible objects to the matching lockstep kernel (PDE, RK4, quadrature;
+// ShiftedResultObject wrappers are unwrapped first), and iterates the rest
+// one by one. Per-object results are bit-identical to calling Iterate() on
+// each object, and per-object spends sum exactly to the shared WorkMeter's
+// delta, so the accounting invariants and decision traces of the scalar
+// path keep holding. Batch sizes are observed in the vaolib_batch_size
+// histogram; group dispatches run under a "batch" trace span.
+
+#ifndef VAOLIB_VAO_BATCH_ITERATE_H_
+#define VAOLIB_VAO_BATCH_ITERATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_meter.h"
+#include "vao/result_object.h"
+
+namespace vaolib::vao {
+
+/// \brief Per-object outcome of one IterateBatch call.
+struct BatchIterateOutcome {
+  /// Status of each object's Iterate(), in input order.
+  std::vector<Status> statuses;
+  /// Work units attributable to each object. Sums exactly to the delta of
+  /// the meter passed to IterateBatch across the call (when the objects
+  /// charge that meter, which operators guarantee).
+  std::vector<std::uint64_t> spent;
+  /// Number of groups (>= 2 objects) executed by a lockstep kernel.
+  std::size_t kernel_batches = 0;
+  /// Objects covered by those kernel groups.
+  std::size_t kernel_objects = 0;
+};
+
+/// \brief Iterates every object once, batching compatible ones through the
+/// SoA kernels. \p meter must be the meter the objects charge (used to
+/// bracket the objects that fall back to scalar Iterate()); it may be null
+/// only if no object charges one, in which case spends of scalar-iterated
+/// objects read 0.
+BatchIterateOutcome IterateBatch(const std::vector<ResultObject*>& objects,
+                                 WorkMeter* meter);
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_BATCH_ITERATE_H_

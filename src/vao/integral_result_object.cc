@@ -43,6 +43,75 @@ Status IntegralResultObject::Iterate() {
   return Status::OK();
 }
 
+std::string IntegralResultObject::batch_key() const {
+  if (iterations() >= options_.max_iterations) return {};
+  if (integral_->level() >= options_.integral.max_level) return {};
+  return "intg:" + std::to_string(static_cast<int>(options_.integral.rule)) +
+         ":" + std::to_string(integral_->level());
+}
+
+std::vector<Status> IntegralResultObject::IterateGroup(
+    const std::vector<IntegralResultObject*>& objects,
+    std::vector<std::uint64_t>* spent) {
+  const std::size_t k = objects.size();
+  std::vector<Status> statuses(k, Status::OK());
+  spent->assign(k, 0);
+  if (k == 0) return statuses;
+
+  const std::string key = objects[0]->batch_key();
+  WorkMeter* meter = objects[0]->meter();
+  for (const IntegralResultObject* object : objects) {
+    if (key.empty() || object->batch_key() != key ||
+        object->meter() != meter) {
+      statuses.assign(k, Status::InvalidArgument(
+                             "integral iterate group needs one shared "
+                             "batch_key and meter"));
+      return statuses;
+    }
+  }
+
+  const bool calibrate = obs::Enabled() && meter != nullptr;
+  std::vector<numeric::RefinableIntegral*> integrals(k);
+  std::vector<std::uint64_t> refine_cost(k);
+  std::vector<Bounds> est_before(k, Bounds(0.0, 0.0));
+  std::vector<double> est_cost_before(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    IntegralResultObject* object = objects[i];
+    if (calibrate) {
+      est_before[i] = object->est_bounds();
+      est_cost_before[i] = static_cast<double>(object->est_cost());
+    }
+    object->ChargeStateOverhead();
+    integrals[i] = object->integral_.get();
+    refine_cost[i] = object->integral_->CostOfNextRefine();
+  }
+
+  const Status refine_status =
+      numeric::RefinableIntegral::RefineBatch(integrals, meter);
+  if (!refine_status.ok()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      statuses[i] = refine_status;
+      (*spent)[i] = 2;  // the state overhead already charged
+    }
+    return statuses;
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    IntegralResultObject* object = objects[i];
+    (*spent)[i] = 2 + refine_cost[i];
+    object->BumpIterations();
+    if (calibrate) {
+      const Bounds after = object->bounds();
+      obs::RecordEstimatorSample(obs::SolverKind::kIntegral,
+                                 est_cost_before[i], est_before[i].lo,
+                                 est_before[i].hi,
+                                 static_cast<double>((*spent)[i]), after.lo,
+                                 after.hi);
+    }
+  }
+  return statuses;
+}
+
 Result<ResultObjectPtr> IntegralFunction::Invoke(
     const std::vector<double>& args, WorkMeter* meter) const {
   if (static_cast<int>(args.size()) != arity_) {

@@ -59,6 +59,20 @@ class IntegralResultObject : public ResultObjectBase {
     return integral_->total_evaluations();
   }
 
+  /// "intg:<rule>:<level>"; empty at max_iterations or the integral's
+  /// max_level. Same-key objects share rule and panel count, which is what
+  /// the lockstep composite reduction requires.
+  std::string batch_key() const override;
+
+  /// Runs one Iterate() on every object through the lockstep quadrature
+  /// refinement. Preconditions: all objects share the same non-empty
+  /// batch_key() and the same WorkMeter. Per-object results are
+  /// bit-identical to scalar Iterate(); \p spent receives each object's
+  /// work-unit share, summing exactly to what the shared meter was charged.
+  static std::vector<Status> IterateGroup(
+      const std::vector<IntegralResultObject*>& objects,
+      std::vector<std::uint64_t>* spent);
+
  private:
   IntegralResultObject(numeric::RefinableIntegral integral,
                        const IntegralResultOptions& options, WorkMeter* meter);

@@ -88,6 +88,88 @@ Status IvpResultObject::Iterate() {
   return Status::OK();
 }
 
+std::string IvpResultObject::batch_key() const {
+  if (iterations() >= options_.max_iterations) return {};
+  return "ivp:" + std::to_string(steps_);
+}
+
+std::vector<Status> IvpResultObject::IterateGroup(
+    const std::vector<IvpResultObject*>& objects,
+    std::vector<std::uint64_t>* spent) {
+  const std::size_t k = objects.size();
+  std::vector<Status> statuses(k, Status::OK());
+  spent->assign(k, 0);
+  if (k == 0) return statuses;
+
+  const std::string key = objects[0]->batch_key();
+  WorkMeter* meter = objects[0]->meter();
+  for (const IvpResultObject* object : objects) {
+    if (key.empty() || object->batch_key() != key ||
+        object->meter() != meter) {
+      statuses.assign(k, Status::InvalidArgument(
+                             "IVP iterate group needs one shared batch_key "
+                             "and meter"));
+      return statuses;
+    }
+  }
+
+  const bool calibrate = obs::Enabled() && meter != nullptr;
+  const int next_steps = objects[0]->steps_ * 2;
+  numeric::OdeIvpBatch batch;
+  batch.problems.resize(k);
+  std::vector<double> hs(k);
+  std::vector<Bounds> est_before(k, Bounds(0.0, 0.0));
+  std::vector<double> est_cost_before(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    IvpResultObject* object = objects[i];
+    if (calibrate) {
+      est_before[i] = object->est_bounds();
+      est_cost_before[i] = static_cast<double>(object->est_cost());
+    }
+    object->ChargeStateOverhead();
+    batch.problems[i] = object->problem_;
+    hs[i] = object->StepSize();
+  }
+
+  numeric::BatchKernelReport report;
+  std::vector<double> values;
+  const Status solve_status =
+      numeric::SolveOdeIvpRk4Batch(batch, next_steps, meter, &values, &report);
+  if (!solve_status.ok()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      statuses[i] = solve_status;
+      (*spent)[i] = 2;  // the state overhead already charged
+    }
+    return statuses;
+  }
+
+  const std::uint64_t step_cost = static_cast<std::uint64_t>(next_steps) * 4;
+  for (std::size_t i = 0; i < k; ++i) {
+    IvpResultObject* object = objects[i];
+    (*spent)[i] = 2;
+    if (!report.ok(i)) {
+      statuses[i] = Status::NumericError("RK4 trajectory became non-finite");
+      continue;
+    }
+    (*spent)[i] += step_cost;
+    const double h = hs[i];
+    object->k_ = (16.0 / 15.0) * (object->value_ - values[i]) /
+                 (h * h * h * h);
+    object->steps_ = next_steps;
+    object->value_ = values[i];
+    object->BumpIterations();
+    object->RefreshDerivedState();
+    if (calibrate) {
+      const Bounds after = object->bounds();
+      obs::RecordEstimatorSample(obs::SolverKind::kIvp, est_cost_before[i],
+                                 est_before[i].lo, est_before[i].hi,
+                                 static_cast<double>((*spent)[i]), after.lo,
+                                 after.hi);
+    }
+  }
+  return statuses;
+}
+
 Result<ResultObjectPtr> IvpFunction::Invoke(const std::vector<double>& args,
                                             WorkMeter* meter) const {
   if (static_cast<int>(args.size()) != arity_) {

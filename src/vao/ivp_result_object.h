@@ -42,6 +42,18 @@ class IvpResultObject : public ResultObjectBase {
     return static_cast<std::uint64_t>(steps_) * 4;
   }
 
+  /// "ivp:<steps>" (the next Iterate() doubles it); empty at max_iterations.
+  std::string batch_key() const override;
+
+  /// Runs one Iterate() on every object through the lockstep RK4 kernel.
+  /// Preconditions: all objects share the same non-empty batch_key() and the
+  /// same WorkMeter. Per-object results are bit-identical to scalar
+  /// Iterate(); \p spent receives each object's work-unit share, summing
+  /// exactly to what the shared meter was charged.
+  static std::vector<Status> IterateGroup(
+      const std::vector<IvpResultObject*>& objects,
+      std::vector<std::uint64_t>* spent);
+
   /// Step count backing the current value.
   int current_steps() const { return steps_; }
 

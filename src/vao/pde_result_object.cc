@@ -62,24 +62,130 @@ Result<ResultObjectPtr> PdeResultObject::Create(numeric::Pde1dProblem problem,
   return ResultObjectPtr(std::move(object));
 }
 
-void PdeResultObject::RefreshDerivedState() {
+numeric::PdeGrid PdeResultObject::NextRefinementGrid() const {
   const double dt = grid_.Dt(problem_);
   const double dx = grid_.Dx(problem_);
-  bounds_ = model_.BoundsFor(value_, dt, dx);
   const numeric::StepAxis axis = model_.PreferredAxis(dt, dx);
-  est_bounds_ = model_.PredictBoundsAfterHalving(value_, dt, dx, axis);
   numeric::PdeGrid next = grid_;
   if (axis == numeric::StepAxis::kTime) {
     next.t_steps *= 2;
   } else {
     next.x_intervals *= 2;
   }
+  return next;
+}
+
+void PdeResultObject::RefreshDerivedState() {
+  const double dt = grid_.Dt(problem_);
+  const double dx = grid_.Dx(problem_);
+  bounds_ = model_.BoundsFor(value_, dt, dx);
+  const numeric::StepAxis axis = model_.PreferredAxis(dt, dx);
+  est_bounds_ = model_.PredictBoundsAfterHalving(value_, dt, dx, axis);
+  const numeric::PdeGrid next = NextRefinementGrid();
   // The initial extrapolation probes are memoized, so the first halvings can
   // be free; estCPU must reflect that or the greedy strategies over-price
   // them.
   const bool cached =
       solve_cache_.contains({next.x_intervals, next.t_steps});
   est_cost_ = cached ? 0 : next.MeshEntries();
+}
+
+std::string PdeResultObject::batch_key() const {
+  if (iterations() >= options_.max_iterations) return {};
+  const numeric::PdeGrid next = NextRefinementGrid();
+  // A memoized next solve is (nearly) free in the scalar path; keep it out
+  // of kernel batches, which would re-pay for it.
+  if (solve_cache_.contains({next.x_intervals, next.t_steps})) return {};
+  return "pde:" + std::to_string(next.x_intervals) + ":" +
+         std::to_string(next.t_steps);
+}
+
+std::vector<Status> PdeResultObject::IterateGroup(
+    const std::vector<PdeResultObject*>& objects,
+    std::vector<std::uint64_t>* spent) {
+  const std::size_t k = objects.size();
+  std::vector<Status> statuses(k, Status::OK());
+  spent->assign(k, 0);
+  if (k == 0) return statuses;
+
+  const std::string key = objects[0]->batch_key();
+  WorkMeter* meter = objects[0]->meter();
+  for (const PdeResultObject* object : objects) {
+    if (key.empty() || object->batch_key() != key ||
+        object->meter() != meter) {
+      statuses.assign(k, Status::InvalidArgument(
+                             "PDE iterate group needs one shared batch_key "
+                             "and meter"));
+      return statuses;
+    }
+  }
+
+  const bool calibrate = obs::Enabled() && meter != nullptr;
+  const numeric::PdeGrid next = objects[0]->NextRefinementGrid();
+  std::vector<const numeric::Pde1dProblem*> problems(k);
+  std::vector<double> queries(k);
+  std::vector<double> dts(k), dxs(k);
+  std::vector<numeric::StepAxis> axes(k);
+  std::vector<Bounds> est_before(k, Bounds(0.0, 0.0));
+  std::vector<double> est_cost_before(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    PdeResultObject* object = objects[i];
+    if (calibrate) {
+      est_before[i] = object->est_bounds();
+      est_cost_before[i] = static_cast<double>(object->est_cost());
+    }
+    object->ChargeStateOverhead();
+    problems[i] = &object->problem_;
+    queries[i] = object->query_x_;
+    dts[i] = object->grid_.Dt(object->problem_);
+    dxs[i] = object->grid_.Dx(object->problem_);
+    axes[i] = object->model_.PreferredAxis(dts[i], dxs[i]);
+  }
+
+  numeric::BatchKernelReport report;
+  std::vector<double> values;
+  const Status solve_status = numeric::SolvePdeBatch(
+      problems, next, queries, meter, &values, &report);
+  if (!solve_status.ok()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      statuses[i] = solve_status;
+      (*spent)[i] = 2;  // the state overhead already charged
+    }
+    return statuses;
+  }
+
+  const std::uint64_t mesh = next.MeshEntries();
+  for (std::size_t i = 0; i < k; ++i) {
+    PdeResultObject* object = objects[i];
+    (*spent)[i] = 2;
+    if (!report.ok(i)) {
+      statuses[i] = Status::NumericError(
+          "PDE batch lane failed at time step " +
+          std::to_string(report.failed_row[i]));
+      continue;
+    }
+    (*spent)[i] += mesh;
+    const double new_value = values[i];
+    object->solve_cache_.emplace(
+        std::make_pair(next.x_intervals, next.t_steps), new_value);
+    if (axes[i] == numeric::StepAxis::kTime) {
+      object->model_.EstimateK1(object->value_, new_value, dts[i]);
+    } else {
+      object->model_.EstimateK2(object->value_, new_value, dxs[i]);
+    }
+    object->grid_ = next;
+    object->value_ = new_value;
+    object->BumpIterations();
+    object->RefreshDerivedState();
+    if (calibrate) {
+      const Bounds after = object->bounds();
+      obs::RecordEstimatorSample(obs::SolverKind::kPde, est_cost_before[i],
+                                 est_before[i].lo, est_before[i].hi,
+                                 static_cast<double>((*spent)[i]), after.lo,
+                                 after.hi);
+    }
+  }
+  return statuses;
 }
 
 Status PdeResultObject::Iterate() {

@@ -50,6 +50,20 @@ class PdeResultObject : public ResultObjectBase {
     return grid_.MeshEntries();
   }
 
+  /// "pde:<nx>:<nt>" of the next refinement grid; empty at max_iterations or
+  /// when the next solve is already memoized (batching a free solve would
+  /// pay for it).
+  std::string batch_key() const override;
+
+  /// Runs one Iterate() on every object through the lockstep PDE kernel.
+  /// Preconditions: all objects share the same non-empty batch_key() and the
+  /// same WorkMeter. Per-object results are bit-identical to scalar
+  /// Iterate(); \p spent receives each object's work-unit share, summing
+  /// exactly to what the shared meter was charged.
+  static std::vector<Status> IterateGroup(
+      const std::vector<PdeResultObject*>& objects,
+      std::vector<std::uint64_t>* spent);
+
   /// Grid currently backing the bounds (exposed for calibration/tests).
   const numeric::PdeGrid& current_grid() const { return grid_; }
 
@@ -65,6 +79,9 @@ class PdeResultObject : public ResultObjectBase {
 
   /// Solves at \p grid, memoizing so a grid is never paid for twice.
   Result<double> SolveAt(const numeric::PdeGrid& grid);
+
+  /// Grid the next Iterate() will solve (preferred axis halved).
+  numeric::PdeGrid NextRefinementGrid() const;
 
   /// Refreshes bounds_, est_bounds_, est_cost_ from the model and grid.
   void RefreshDerivedState();

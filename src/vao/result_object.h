@@ -77,6 +77,14 @@ class ResultObject {
   /// True when bounds().Width() < min_width(): the stopping condition of
   /// Section 3.2. Operators must not call Iterate() past this point.
   bool AtStoppingCondition() const { return bounds().Width() < min_width(); }
+
+  /// Batch-compatibility key for the next Iterate(). Two objects whose keys
+  /// are equal and non-empty can have their next refinement executed
+  /// together by one SoA batch kernel (vao::IterateBatch) with results
+  /// bit-identical to calling Iterate() on each. The empty key (the
+  /// default) means "not batchable right now" -- at a refinement cap, about
+  /// to hit a memoized solve, or simply not backed by a batch kernel.
+  virtual std::string batch_key() const { return {}; }
 };
 
 using ResultObjectPtr = std::unique_ptr<ResultObject>;

@@ -39,8 +39,15 @@ class ShiftedResultObject : public ResultObject {
     return inner_->traditional_cost();
   }
 
+  /// The inner object's key: a shifted object batches whenever its backing
+  /// object does (shifting only relabels bounds, never the solve).
+  std::string batch_key() const override { return inner_->batch_key(); }
+
   double shift() const { return shift_; }
   const ResultObject& inner() const { return *inner_; }
+
+  /// Mutable inner object, for the batch dispatcher to unwrap.
+  ResultObject* mutable_inner() { return inner_.get(); }
 
  private:
   ResultObjectPtr inner_;
