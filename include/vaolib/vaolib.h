@@ -90,4 +90,20 @@
 #include "obs/metrics.h"           // IWYU pragma: export
 #include "obs/trace.h"             // IWYU pragma: export
 
+/// \defgroup vaolib_server Serving layer
+/// The standing-query server (link vaolib_server): length-framed wire
+/// codec, the text protocol whose query payloads are ParseQuery/FormatQuery
+/// round-trips, multi-tenant \ref vaolib::server::AdmissionController
+/// mapping quotas onto scheduler reserves, the tick-fanning
+/// \ref vaolib::server::Dispatcher, the transport-independent
+/// \ref vaolib::server::StandingQueryServer session layer, and replayable
+/// load scenarios shared with scripts/loadgen.py.
+
+#include "server/admission.h"   // IWYU pragma: export
+#include "server/dispatcher.h"  // IWYU pragma: export
+#include "server/frame.h"       // IWYU pragma: export
+#include "server/protocol.h"    // IWYU pragma: export
+#include "server/scenario.h"    // IWYU pragma: export
+#include "server/server.h"      // IWYU pragma: export
+
 #endif  // VAOLIB_VAOLIB_H_

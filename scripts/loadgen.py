@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Load generator for the vaolib standing-query server.
+
+Replays a scenario file (the format of src/server/scenario.h -- the same
+files the in-process bench consumes, so a storm that fails in CI can be
+replayed byte-for-byte against a live server) over TCP:
+
+    SESSION <name> <tenant> [reports]   open a connection, HELLO as <tenant>
+    SEND <name> <payload...>            send one request payload verbatim
+    TICKS <name> <count> <base> <step>  send <count> TICKs: base + step*i
+    CLOSE <name>                        drop the connection (no BYE)
+
+Usage:
+    # Against a server you started yourself:
+    tools/vaolib_server --port 7411 &
+    scripts/loadgen.py --port 7411 scripts/scenarios/smoke.scenario
+
+    # Or let loadgen spawn the server (waits for its LISTENING line,
+    # ephemeral port, tears it down afterwards):
+    scripts/loadgen.py --spawn build/tools/vaolib_server \\
+        --spawn-arg=--bonds --spawn-arg=16 scripts/scenarios/smoke.scenario
+
+Prints a per-session reply account and exits non-zero on any ERR reply,
+protocol violation, or missing RESULT traffic. Pure standard library.
+"""
+
+import argparse
+import socket
+import subprocess
+import sys
+import time
+
+
+def encode_frame(payload: str) -> bytes:
+    """Length-framed wire format: '<decimal len>\\n<payload>'."""
+    raw = payload.encode()
+    return str(len(raw)).encode() + b"\n" + raw
+
+
+class FrameDecoder:
+    """Incremental decoder mirroring src/server/frame.cc."""
+
+    def __init__(self) -> None:
+        self.buffer = b""
+
+    def feed(self, data: bytes) -> list:
+        self.buffer += data
+        frames = []
+        while True:
+            newline = self.buffer.find(b"\n")
+            if newline < 0:
+                break
+            header = self.buffer[:newline]
+            if not header.isdigit():
+                raise ValueError(f"malformed frame header {header!r}")
+            length = int(header)
+            end = newline + 1 + length
+            if len(self.buffer) < end:
+                break
+            frames.append(self.buffer[newline + 1:end].decode())
+            self.buffer = self.buffer[end:]
+        return frames
+
+
+class Session:
+    def __init__(self, name: str, tenant: str, host: str, port: int,
+                 reports: bool, timeout: float) -> None:
+        self.name = name
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.decoder = FrameDecoder()
+        self.replies = []
+        self.errors = []
+        self.results = 0
+        self.shed = 0
+        hello = "HELLO " + tenant + (" reports" if reports else "")
+        self.send(hello)
+
+    def send(self, payload: str) -> None:
+        self.sock.sendall(encode_frame(payload))
+
+    def pump(self, deadline: float) -> None:
+        """Drains whatever the server has queued for this session."""
+        self.sock.settimeout(max(0.01, deadline - time.monotonic()))
+        try:
+            while True:
+                data = self.sock.recv(65536)
+                if not data:
+                    return
+                for frame in self.decoder.feed(data):
+                    self.replies.append(frame)
+                    if frame.startswith("ERR "):
+                        self.errors.append(frame)
+                    elif frame.startswith("RESULT "):
+                        self.results += 1
+                    elif frame.startswith("SHED "):
+                        self.shed += 1
+                self.sock.settimeout(0.05)
+        except socket.timeout:
+            return
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def format_tick(value: float) -> str:
+    """repr() is the shortest round-trip form, matching scenario.cc."""
+    return repr(value)
+
+
+def parse_scenario(path: str) -> list:
+    steps = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            words = line.split(" ")
+            op = next((w for w in words if w), "")
+            if not op or op.startswith("#"):
+                continue
+            rest = line[line.index(op) + len(op):].lstrip(" ")
+            if op == "SESSION":
+                parts = rest.split()
+                if len(parts) not in (2, 3) or (
+                        len(parts) == 3 and parts[2] != "reports"):
+                    sys.exit(f"{path}:{line_no}: bad SESSION line")
+                steps.append(("SESSION", parts[0], parts[1],
+                              len(parts) == 3))
+            elif op == "SEND":
+                name, _, payload = rest.partition(" ")
+                if not name or not payload:
+                    sys.exit(f"{path}:{line_no}: bad SEND line")
+                steps.append(("SEND", name, payload))
+            elif op == "TICKS":
+                parts = rest.split()
+                if len(parts) != 4:
+                    sys.exit(f"{path}:{line_no}: bad TICKS line")
+                steps.append(("TICKS", parts[0], int(parts[1]),
+                              float(parts[2]), float(parts[3])))
+            elif op == "CLOSE":
+                if not rest.strip():
+                    sys.exit(f"{path}:{line_no}: bad CLOSE line")
+                steps.append(("CLOSE", rest.strip()))
+            else:
+                sys.exit(f"{path}:{line_no}: unknown step '{op}'")
+    return steps
+
+
+def spawn_server(binary: str, extra_args: list) -> tuple:
+    """Starts the server on an ephemeral port; returns (process, port)."""
+    process = subprocess.Popen(
+        [binary, "--port", "0"] + extra_args,
+        stdout=subprocess.PIPE, text=True)
+    line = process.stdout.readline().strip()
+    if not line.startswith("LISTENING "):
+        process.kill()
+        sys.exit(f"server did not announce a port (got {line!r})")
+    return process, int(line.split()[1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay a scenario file against a vaolib_server.")
+    parser.add_argument("scenario", help="scenario file to replay")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7411)
+    parser.add_argument("--spawn", metavar="BINARY",
+                        help="spawn this vaolib_server binary on an "
+                             "ephemeral port instead of connecting")
+    parser.add_argument("--spawn-arg", action="append", default=[],
+                        help="extra argument for --spawn (repeatable)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-step reply timeout in seconds")
+    args = parser.parse_args()
+
+    steps = parse_scenario(args.scenario)
+    if not steps:
+        sys.exit(f"{args.scenario}: no steps")
+
+    process = None
+    port = args.port
+    if args.spawn:
+        process, port = spawn_server(args.spawn, args.spawn_arg)
+
+    sessions = {}   # live, still pumped during TICKS
+    finished = {}   # CLOSEd, kept for the final account
+    failed = False
+    try:
+        for step in steps:
+            kind = step[0]
+            if kind == "SESSION":
+                _, name, tenant, reports = step
+                if name in sessions:
+                    sys.exit(f"duplicate session '{name}'")
+                sessions[name] = Session(name, tenant, args.host, port,
+                                         reports, args.timeout)
+            elif kind == "SEND":
+                _, name, payload = step
+                sessions[name].send(payload)
+            elif kind == "TICKS":
+                _, name, count, base, tick_step = step
+                for i in range(count):
+                    sessions[name].send(
+                        "TICK " + format_tick(base + tick_step * i))
+                    # Results fan out to every session; drain as we go so
+                    # socket buffers stay small during a storm.
+                    deadline = time.monotonic() + args.timeout
+                    for session in sessions.values():
+                        session.pump(deadline)
+            elif kind == "CLOSE":
+                _, name = step
+                finished[name] = sessions.pop(name)
+                finished[name].close()
+
+        deadline = time.monotonic() + args.timeout
+        for session in sessions.values():
+            session.pump(deadline)
+    finally:
+        for session in sessions.values():
+            session.close()
+        if process is not None:
+            process.terminate()
+            process.wait(timeout=10)
+
+    finished.update(sessions)
+    total_results = 0
+    for name in sorted(finished):
+        session = finished[name]
+        total_results += session.results
+        print(f"{name}: {len(session.replies)} replies, "
+              f"{session.results} results, {session.shed} shed, "
+              f"{len(session.errors)} errors")
+        for error in session.errors:
+            print(f"  {error}")
+            failed = True
+    if total_results == 0 and any(s[0] == "TICKS" for s in steps):
+        print("FAIL: a tick storm produced no RESULT frames")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "operators/iteration_task.h"
 #include "operators/min_max.h"
@@ -95,6 +96,10 @@ Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
     if (!(schedule.priority > 0.0)) {
       return Status::InvalidArgument("scheduler priorities must be positive");
     }
+  }
+  if (!options.owners.empty() && options.owners.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "owners must be empty or parallel to the query list");
   }
 
   auto executor = std::unique_ptr<MultiQueryExecutor>(new MultiQueryExecutor(
@@ -584,6 +589,9 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
     if (!options_.schedules.empty()) {
       entries[q].schedule = options_.schedules[q];
     }
+    if (!options_.owners.empty()) {
+      tasks[q]->set_owner(options_.owners[q]);
+    }
   }
   WorkScheduler scheduler(options_.scheduler);
   VAOLIB_ASSIGN_OR_RETURN(const std::vector<TaskScheduleStats> sched_stats,
@@ -622,6 +630,13 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
     result.report.converged = result.converged;
     result.report.starved = sched_stats[q].starved;
     result.report.missed_deadline = sched_stats[q].missed_deadline;
+    if (!options_.owners.empty()) {
+      result.report.tenant = options_.owners[q];
+      obs::MetricsRegistry::Global()
+          .GetCounter("vaolib_owner_work_units_total",
+                      {{"owner", options_.owners[q]}})
+          ->Add(sched_stats[q].spent);
+    }
   }
 
   last_tick_report_ = obs::ExecutionReport();

@@ -16,6 +16,7 @@
 #define VAOLIB_ENGINE_MULTI_QUERY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/work_meter.h"
@@ -46,6 +47,13 @@ struct MultiQueryOptions {
   /// Per-query scheduling parameters, parallel to the query list; empty
   /// means defaults (priority 1, no deadline, no reserve) for every query.
   std::vector<QuerySchedule> schedules;
+
+  /// Per-query owner labels (tenant ids in multi-tenant serving), parallel
+  /// to the query list or empty. In scheduled mode each owner's exact
+  /// per-tick spend is attributed on the query's ExecutionReport (`tenant`)
+  /// and on its IterationTask, and accumulated into the
+  /// vaolib_owner_work_units_total{owner=...} counter.
+  std::vector<std::string> owners;
 };
 
 /// \brief Shared-execution runner for a set of standing queries.

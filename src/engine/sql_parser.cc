@@ -62,6 +62,22 @@ Status SyntaxError(const std::string& message, std::size_t position) {
                                  std::to_string(position) + ")");
 }
 
+// Renders the offending token for "expected X, got Y" messages.
+std::string TokenDesc(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    default:
+      return "'" + token.text + "'";
+  }
+}
+
 Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   std::size_t i = 0;
@@ -164,7 +180,8 @@ class Parser {
   }
   Status ExpectKeyword(const char* keyword) {
     if (!PeekKeyword(keyword)) {
-      return SyntaxError(std::string("expected ") + keyword,
+      return SyntaxError(std::string("expected ") + keyword + ", got " +
+                             TokenDesc(Peek()),
                          Peek().position);
     }
     Take();
@@ -172,7 +189,9 @@ class Parser {
   }
   Status Expect(TokenKind kind, const char* what) {
     if (Peek().kind != kind) {
-      return SyntaxError(std::string("expected ") + what, Peek().position);
+      return SyntaxError(std::string("expected ") + what + ", got " +
+                             TokenDesc(Peek()),
+                         Peek().position);
     }
     Take();
     return Status::OK();
@@ -180,7 +199,9 @@ class Parser {
 
   Result<double> TakeNumber(const char* what) {
     if (Peek().kind != TokenKind::kNumber) {
-      return SyntaxError(std::string("expected ") + what, Peek().position);
+      return SyntaxError(std::string("expected ") + what + ", got " +
+                             TokenDesc(Peek()),
+                         Peek().position);
     }
     return Take().number;
   }
@@ -218,7 +239,14 @@ Status Parser::ParseCall(Query* query) {
     return SyntaxError("expected function name", Peek().position);
   }
   const Token name = Take();
-  VAOLIB_ASSIGN_OR_RETURN(query->function, registry_.Lookup(name.text));
+  // Resolve by hand instead of bubbling the registry's bare NotFound: the
+  // wire error must point at the token inside the query text.
+  const auto function = registry_.Lookup(name.text);
+  if (!function.ok()) {
+    return SyntaxError("unknown function '" + name.text + "'",
+                       name.position);
+  }
+  query->function = *function;
   VAOLIB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
   if (Peek().kind != TokenKind::kRParen) {
     while (true) {
@@ -228,7 +256,8 @@ Status Parser::ParseCall(Query* query) {
       } else if (Peek().kind == TokenKind::kNumber) {
         query->args.push_back(ArgRef::Constant(Take().number));
       } else {
-        return SyntaxError("expected argument", Peek().position);
+        return SyntaxError("expected argument, got " + TokenDesc(Peek()),
+                           Peek().position);
       }
       if (Peek().kind == TokenKind::kComma) {
         Take();
@@ -251,9 +280,11 @@ Status Parser::ParseCall(Query* query) {
 Status Parser::MaybeParsePrecision(Query* query) {
   if (PeekKeyword("PRECISION")) {
     Take();
+    const Token value = Peek();  // the number itself, not what follows it
     VAOLIB_ASSIGN_OR_RETURN(query->epsilon, TakeNumber("precision value"));
     if (!(query->epsilon > 0.0)) {
-      return SyntaxError("precision must be > 0", Peek().position);
+      return SyntaxError("precision must be > 0, got '" + value.text + "'",
+                         value.position);
     }
   }
   return Status::OK();
@@ -273,11 +304,15 @@ Result<Query> Parser::Parse() {
     if (PeekKeyword("BETWEEN")) {
       Take();
       query.kind = QueryKind::kSelectRange;
+      const Token lo = Peek();
       VAOLIB_ASSIGN_OR_RETURN(query.range_lo, TakeNumber("range low"));
       VAOLIB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      const Token hi = Peek();
       VAOLIB_ASSIGN_OR_RETURN(query.range_hi, TakeNumber("range high"));
       if (query.range_hi < query.range_lo) {
-        return SyntaxError("BETWEEN bounds out of order", Peek().position);
+        return SyntaxError("BETWEEN bounds out of order ('" + lo.text +
+                               "' > '" + hi.text + "')",
+                           hi.position);
       }
     } else if (Peek().kind == TokenKind::kCompare) {
       query.kind = QueryKind::kSelect;
@@ -294,15 +329,19 @@ Result<Query> Parser::Parse() {
       VAOLIB_ASSIGN_OR_RETURN(query.constant,
                               TakeNumber("comparison constant"));
     } else {
-      return SyntaxError("expected comparison or BETWEEN", Peek().position);
+      return SyntaxError(
+          "expected comparison or BETWEEN, got " + TokenDesc(Peek()),
+          Peek().position);
     }
   } else if (PeekKeyword("TOP")) {
     // SELECT TOP k call FROM <rel> [PRECISION e]
     Take();
+    const Token count = Peek();  // the number itself, not what follows it
     VAOLIB_ASSIGN_OR_RETURN(const double k, TakeNumber("TOP count"));
     if (k < 1.0 || k != static_cast<double>(static_cast<std::size_t>(k))) {
-      return SyntaxError("TOP count must be a positive integer",
-                         Peek().position);
+      return SyntaxError("TOP count must be a positive integer, got '" +
+                             count.text + "'",
+                         count.position);
     }
     query.kind = QueryKind::kTopK;
     query.k = static_cast<std::size_t>(k);
@@ -321,7 +360,8 @@ Result<Query> Parser::Parse() {
     } else if (aggregate == "AVE" || aggregate == "AVG") {
       query.kind = QueryKind::kAve;
     } else {
-      return SyntaxError("expected *, TOP, MAX, MIN, SUM, or AVE",
+      return SyntaxError("expected *, TOP, MAX, MIN, SUM, or AVE, got '" +
+                             Peek().text + "'",
                          Peek().position);
     }
     Take();
@@ -334,7 +374,9 @@ Result<Query> Parser::Parse() {
       }
       Take();
       if (Peek().kind != TokenKind::kIdent) {
-        return SyntaxError("expected weight column name", Peek().position);
+        return SyntaxError(
+            "expected weight column name, got " + TokenDesc(Peek()),
+            Peek().position);
       }
       const Token weight = Take();
       if (!relation_schema_.IndexOf(weight.text).ok()) {
@@ -347,7 +389,9 @@ Result<Query> Parser::Parse() {
     VAOLIB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     VAOLIB_RETURN_IF_ERROR(Expect(TokenKind::kIdent, "relation name"));
   } else {
-    return SyntaxError("expected *, TOP, or an aggregate", Peek().position);
+    return SyntaxError(
+        "expected *, TOP, or an aggregate, got " + TokenDesc(Peek()),
+        Peek().position);
   }
 
   VAOLIB_RETURN_IF_ERROR(MaybeParsePrecision(&query));

@@ -86,6 +86,7 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
      << ", \"converged\": " << (converged ? "true" : "false")
      << ", \"starved\": " << (starved ? "true" : "false")
      << ", \"missed_deadline\": " << (missed_deadline ? "true" : "false")
+     << ", \"tenant\": \"" << tenant << "\""
      << "}, ";
   os << "\"calibration\": {";
   for (int k = 0; k < kNumSolverKinds; ++k) {
@@ -344,6 +345,13 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& text) {
   VAOLIB_ASSIGN_OR_RETURN(report.starved, GetBool(*sched, "starved"));
   VAOLIB_ASSIGN_OR_RETURN(report.missed_deadline,
                           GetBool(*sched, "missed_deadline"));
+  // Tolerated as absent: reports serialized before the tenant field existed.
+  if (const auto tenant_field = Child(*sched, "tenant"); tenant_field.ok()) {
+    if ((*tenant_field)->type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("scheduler.tenant is not a string");
+    }
+    report.tenant = (*tenant_field)->string;
+  }
 
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* calibration,
                           Child(*root, "calibration"));

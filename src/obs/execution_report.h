@@ -155,6 +155,9 @@ struct ExecutionReport {
   bool converged = true;
   bool starved = false;
   bool missed_deadline = false;
+  /// Owning tenant in multi-tenant serving (server/dispatcher.h); empty
+  /// outside the server.
+  std::string tenant;
   /// @}
 
   /// Estimator-calibration deltas for this query, indexed by SolverKind

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -71,6 +73,12 @@ class IterationTask {
   /// erroring); budget-abandoned tasks are simply never Done.
   bool Converged() const { return done_ && converged_; }
 
+  /// Owner label for spend attribution (the tenant id in multi-tenant
+  /// serving; empty outside it). Purely descriptive: scheduling never
+  /// reads it.
+  const std::string& owner() const { return owner_; }
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+
  protected:
   /// One loop body of the operator. Must call MarkDone() when the machine
   /// reaches its terminal state.
@@ -91,6 +99,7 @@ class IterationTask {
   bool calibrated_ = false;
   double est_benefit_ = 0.0;
   double est_cost_ = 1.0;
+  std::string owner_;
 };
 
 /// \brief Drives \p task to completion, honouring \p options.budget when

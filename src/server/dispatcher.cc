@@ -1,0 +1,271 @@
+#include "server/dispatcher.h"
+
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "server/protocol.h"
+
+namespace vaolib::server {
+
+namespace {
+
+struct DispatcherMetrics {
+  obs::Gauge* standing_queries;
+  obs::Counter* registrations;
+  obs::Counter* withdrawals;
+  obs::Counter* ticks;
+  obs::Counter* results;
+  obs::Counter* shed_overload;
+  obs::Histogram* tick_latency;
+};
+
+const DispatcherMetrics& Metrics() {
+  static const DispatcherMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return DispatcherMetrics{
+        registry.GetGauge("vaolib_server_standing_queries"),
+        registry.GetCounter("vaolib_server_registrations_total"),
+        registry.GetCounter("vaolib_server_withdrawals_total"),
+        registry.GetCounter("vaolib_server_ticks_total"),
+        registry.GetCounter("vaolib_server_results_total"),
+        registry.GetCounter("vaolib_server_shed_total",
+                            {{"reason", "overload"}}),
+        registry.GetHistogram("vaolib_server_tick_latency_seconds", {},
+                              {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
+                               30.0}),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(const engine::Relation* relation,
+                       engine::Schema stream_schema,
+                       const engine::FunctionRegistry* registry,
+                       DispatcherConfig config)
+    : relation_(relation),
+      stream_schema_(std::move(stream_schema)),
+      registry_(registry),
+      config_(std::move(config)),
+      admission_(config_.admission) {}
+
+Result<engine::Query> Dispatcher::ParseSql(const std::string& sql) const {
+  return engine::ParseQuery(sql, *registry_, stream_schema_,
+                            relation_->schema());
+}
+
+std::string Dispatcher::GroupKeyOf(const engine::Query& query) {
+  // Two queries sharing a key satisfy MultiQueryExecutor's sharing
+  // precondition: same function instance, same argument bindings.
+  std::ostringstream os;
+  os << static_cast<const void*>(query.function);
+  for (const engine::ArgRef& arg : query.args) {
+    os << '|';
+    switch (arg.source) {
+      case engine::ArgRef::Source::kStreamField:
+        os << 's' << arg.field;
+        break;
+      case engine::ArgRef::Source::kRelationField:
+        os << 'r' << arg.field;
+        break;
+      case engine::ArgRef::Source::kConstant:
+        os << 'c' << std::setprecision(17) << arg.constant;
+        break;
+    }
+  }
+  return os.str();
+}
+
+AdmissionDecision Dispatcher::Register(std::uint64_t session,
+                                       const std::string& tenant,
+                                       const std::string& query_id,
+                                       const engine::Query& query,
+                                       bool want_reports) {
+  AdmissionDecision decision;
+  const QueryKey key{session, query_id};
+  if (standing_.count(key) > 0) {
+    decision.outcome = AdmissionDecision::Outcome::kRejected;
+    decision.reason = Status::AlreadyExists(
+        "query id '" + query_id + "' is already registered on this session");
+    return decision;
+  }
+  // Validate the query against this dispatcher's relation/schemas NOW, with
+  // a single-query probe executor, so a bad registration fails its own
+  // REGISTER instead of failing the whole group's next tick.
+  {
+    engine::MultiQueryOptions probe;
+    probe.scheduled = true;
+    probe.scheduler.policy = config_.policy;
+    const auto validated = engine::MultiQueryExecutor::Create(
+        relation_, stream_schema_, {query}, probe);
+    if (!validated.ok()) {
+      decision.outcome = AdmissionDecision::Outcome::kRejected;
+      decision.reason = validated.status();
+      return decision;
+    }
+  }
+  decision = admission_.AdmitQuery(tenant, relation_->size());
+  if (decision.outcome != AdmissionDecision::Outcome::kAdmitted) {
+    return decision;
+  }
+  StandingQuery standing;
+  standing.tenant = tenant;
+  standing.query = query;
+  standing.want_reports = want_reports;
+  standing_.emplace(key, std::move(standing));
+  dirty_ = true;
+  Metrics().registrations->Increment();
+  Metrics().standing_queries->Set(static_cast<std::int64_t>(
+      standing_.size()));
+  return decision;
+}
+
+Status Dispatcher::Withdraw(std::uint64_t session,
+                            const std::string& query_id) {
+  const auto it = standing_.find(QueryKey{session, query_id});
+  if (it == standing_.end()) {
+    return Status::NotFound("no standing query '" + query_id +
+                            "' on this session");
+  }
+  admission_.ReleaseQuery(it->second.tenant, relation_->size(),
+                          /*shed=*/false);
+  standing_.erase(it);
+  dirty_ = true;
+  Metrics().withdrawals->Increment();
+  Metrics().standing_queries->Set(static_cast<std::int64_t>(
+      standing_.size()));
+  return Status::OK();
+}
+
+void Dispatcher::WithdrawSession(std::uint64_t session) {
+  for (auto it = standing_.lower_bound(QueryKey{session, ""});
+       it != standing_.end() && it->first.first == session;) {
+    admission_.ReleaseQuery(it->second.tenant, relation_->size(),
+                            /*shed=*/false);
+    it = standing_.erase(it);
+    dirty_ = true;
+    Metrics().withdrawals->Increment();
+  }
+  Metrics().standing_queries->Set(static_cast<std::int64_t>(
+      standing_.size()));
+}
+
+Status Dispatcher::RebuildGroups() {
+  groups_.clear();
+  for (const auto& [key, standing] : standing_) {
+    groups_[GroupKeyOf(standing.query)].members.push_back(key);
+  }
+  const std::size_t total = standing_.size();
+  for (auto& [signature, group] : groups_) {
+    // Each group's scheduler gets the tick budget in proportion to its
+    // share of the standing-query set (integer division may strand a few
+    // units; they come back as soon as the mix changes).
+    group.budget =
+        config_.tick_budget > 0 && total > 0
+            ? config_.tick_budget * group.members.size() / total
+            : 0;
+    engine::MultiQueryOptions options;
+    options.threads = config_.threads;
+    options.scheduled = true;
+    options.scheduler.policy = config_.policy;
+    options.scheduler.budget = group.budget;
+    std::vector<engine::Query> queries;
+    queries.reserve(group.members.size());
+    for (const QueryKey& member : group.members) {
+      const StandingQuery& standing = standing_.at(member);
+      queries.push_back(standing.query);
+      options.schedules.push_back(
+          admission_.ScheduleFor(standing.tenant, group.budget));
+      options.owners.push_back(standing.tenant);
+    }
+    VAOLIB_ASSIGN_OR_RETURN(
+        group.executor,
+        engine::MultiQueryExecutor::Create(relation_, stream_schema_,
+                                           std::move(queries), options));
+  }
+  return Status::OK();
+}
+
+Result<TickSummary> Dispatcher::Tick(const engine::Tuple& stream_tuple,
+                                     std::vector<Delivery>* deliveries) {
+  const auto start = std::chrono::steady_clock::now();
+  if (dirty_) {
+    VAOLIB_RETURN_IF_ERROR(RebuildGroups());
+    dirty_ = false;
+  }
+  ++tick_seq_;
+  TickSummary summary;
+  summary.seq = tick_seq_;
+
+  std::vector<QueryKey> to_shed;
+  for (auto& [signature, group] : groups_) {
+    const std::uint64_t before = group.executor->meter().Total();
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<engine::TickResult> results,
+                            group.executor->ProcessTick(stream_tuple));
+    summary.work_units += group.executor->meter().Total() - before;
+
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      const QueryKey& member = group.members[i];
+      StandingQuery& standing = standing_.at(member);
+      const engine::TickResult& result = results[i];
+      ++summary.queries;
+      if (result.converged) ++summary.converged;
+
+      deliveries->push_back(
+          {member.first, FormatResult(member.second, tick_seq_, result)});
+      if (standing.want_reports) {
+        std::ostringstream os;
+        os << "REPORT " << member.second << " seq=" << tick_seq_ << " ";
+        result.report.RenderJson(os);
+        deliveries->push_back({member.first, os.str()});
+      }
+      Metrics().results->Increment();
+      admission_.RecordResult(standing.tenant, result.report.scheduler_spent,
+                              result.converged,
+                              result.report.missed_deadline);
+
+      if (result.converged) {
+        standing.misses = 0;
+      } else if (config_.shed_after_misses > 0 &&
+                 !admission_.QuotaFor(standing.tenant).reserved() &&
+                 ++standing.misses >= config_.shed_after_misses) {
+        to_shed.push_back(member);
+      }
+    }
+  }
+
+  for (const QueryKey& member : to_shed) {
+    const auto it = standing_.find(member);
+    admission_.ReleaseQuery(it->second.tenant, relation_->size(),
+                            /*shed=*/true);
+    deliveries->push_back(
+        {member.first,
+         FormatShed(member.second, config_.admission.retry_after_ticks,
+                    "unconverged for " +
+                        std::to_string(config_.shed_after_misses) +
+                        " consecutive ticks; re-register after backoff")});
+    standing_.erase(it);
+    dirty_ = true;
+    Metrics().shed_overload->Increment();
+    ++summary.shed;
+  }
+  total_shed_ += summary.shed;
+  if (summary.shed > 0) {
+    Metrics().standing_queries->Set(static_cast<std::int64_t>(
+        standing_.size()));
+  }
+
+  total_work_units_ += summary.work_units;
+  summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  Metrics().ticks->Increment();
+  Metrics().tick_latency->Observe(summary.wall_seconds);
+  return summary;
+}
+
+}  // namespace vaolib::server

@@ -1,0 +1,154 @@
+// Copyright 2026 The vaolib Authors.
+// Dispatcher: the standing-query set and its tick loop.
+//
+// Sessions (server/server.h) register and withdraw queries; the dispatcher
+// groups them by shared (function, argument-binding) signature -- the
+// sharing precondition of MultiQueryExecutor -- and on every stream tick
+// drives each group through scheduled execution with a per-tick work
+// budget. Results fan back out as protocol frames addressed to the owning
+// sessions.
+//
+// Overload degrades in two sound stages rather than failing:
+//   1. Budget exhaustion: the scheduler stops granting work and every
+//      unfinished query still answers with a sound partial [L,H] interval,
+//      delivered with converged=0 (the paper's budget-exhaustion path).
+//   2. Shedding: a best-effort query that stayed unconverged for
+//      `shed_after_misses` consecutive ticks is evicted -- its owner gets a
+//      SHED frame with RETRY-AFTER -- so a persistently oversubscribed
+//      server returns to a query set it can serve. Reserved tenants are
+//      never shed; their admission reserves guarantee them budget first.
+
+#ifndef VAOLIB_SERVER_DISPATCHER_H_
+#define VAOLIB_SERVER_DISPATCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/multi_query.h"
+#include "engine/relation.h"
+#include "engine/schema.h"
+#include "engine/sql_parser.h"
+#include "server/admission.h"
+
+namespace vaolib::server {
+
+/// \brief Dispatcher-wide execution parameters.
+struct DispatcherConfig {
+  /// Scheduler work-unit budget for one tick, split over query groups
+  /// proportional to their query counts. 0 = unlimited (converge-all).
+  std::uint64_t tick_budget = 0;
+  /// Scheduling policy inside each group. kDeadline honours the admission
+  /// reserves and is the default for multi-tenant serving.
+  engine::SchedulerPolicy policy = engine::SchedulerPolicy::kDeadline;
+  /// Threads for shared object creation / row-parallel phases.
+  int threads = 1;
+  /// Evict a best-effort standing query after this many CONSECUTIVE
+  /// unconverged ticks (0 disables eviction). Reserved tenants are exempt.
+  int shed_after_misses = 3;
+  AdmissionConfig admission;
+};
+
+/// \brief One outbound protocol payload addressed to a session.
+struct Delivery {
+  std::uint64_t session = 0;
+  std::string payload;
+};
+
+/// \brief Account of one Tick() call.
+struct TickSummary {
+  std::uint64_t seq = 0;
+  std::size_t queries = 0;    ///< standing queries evaluated
+  std::size_t converged = 0;  ///< finished within the budget
+  std::size_t shed = 0;       ///< evicted this tick
+  std::uint64_t work_units = 0;
+  double wall_seconds = 0.0;
+};
+
+/// \brief Owns the standing-query set and executes stream ticks. Not
+/// thread-safe: one thread (the server loop) drives it.
+class Dispatcher {
+ public:
+  /// \p relation and \p registry are borrowed and must outlive the
+  /// dispatcher.
+  Dispatcher(const engine::Relation* relation, engine::Schema stream_schema,
+             const engine::FunctionRegistry* registry,
+             DispatcherConfig config);
+
+  /// Parses wire query text against this dispatcher's schemas/registry.
+  Result<engine::Query> ParseSql(const std::string& sql) const;
+
+  /// Registers a standing query owned by (\p session, \p query_id). The
+  /// admission decision is returned verbatim; only kAdmitted registers.
+  /// \p want_reports subscribes the owner to REPORT frames for this query.
+  AdmissionDecision Register(std::uint64_t session, const std::string& tenant,
+                             const std::string& query_id,
+                             const engine::Query& query, bool want_reports);
+
+  /// Withdraws one standing query (NotFound if absent).
+  Status Withdraw(std::uint64_t session, const std::string& query_id);
+
+  /// Withdraws every query a closing session still holds.
+  void WithdrawSession(std::uint64_t session);
+
+  /// Evaluates every standing query for \p stream_tuple; RESULT / REPORT /
+  /// SHED frames are appended to \p deliveries. Succeeds with zero queries
+  /// (an empty tick still advances the sequence number).
+  Result<TickSummary> Tick(const engine::Tuple& stream_tuple,
+                           std::vector<Delivery>* deliveries);
+
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  const DispatcherConfig& config() const { return config_; }
+  const engine::Schema& stream_schema() const { return stream_schema_; }
+
+  std::size_t query_count() const { return standing_.size(); }
+  std::uint64_t ticks() const { return tick_seq_; }
+  std::uint64_t total_work_units() const { return total_work_units_; }
+  std::uint64_t total_shed() const { return total_shed_; }
+
+ private:
+  struct StandingQuery {
+    std::string tenant;
+    engine::Query query;
+    bool want_reports = false;
+    int misses = 0;  ///< consecutive unconverged ticks
+  };
+  /// (session, query id) -> standing query; map order makes group member
+  /// order (and thus scheduling order) deterministic.
+  using QueryKey = std::pair<std::uint64_t, std::string>;
+
+  struct Group {
+    std::vector<QueryKey> members;
+    std::unique_ptr<engine::MultiQueryExecutor> executor;
+    std::uint64_t budget = 0;
+  };
+
+  /// Shared-execution signature: queries with equal keys may share one
+  /// MultiQueryExecutor (same function, same argument bindings).
+  static std::string GroupKeyOf(const engine::Query& query);
+
+  /// Rebuilds `groups_` (and their executors) from `standing_`.
+  Status RebuildGroups();
+
+  const engine::Relation* relation_;
+  engine::Schema stream_schema_;
+  const engine::FunctionRegistry* registry_;
+  DispatcherConfig config_;
+  AdmissionController admission_;
+
+  std::map<QueryKey, StandingQuery> standing_;
+  std::map<std::string, Group> groups_;
+  bool dirty_ = true;
+
+  std::uint64_t tick_seq_ = 0;
+  std::uint64_t total_work_units_ = 0;
+  std::uint64_t total_shed_ = 0;
+};
+
+}  // namespace vaolib::server
+
+#endif  // VAOLIB_SERVER_DISPATCHER_H_

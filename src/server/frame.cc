@@ -1,0 +1,98 @@
+#include "server/frame.h"
+
+#include <utility>
+
+namespace vaolib::server {
+
+namespace {
+
+// 10 digits cover any length the size ceiling can admit; more digits in a
+// header means a garbage or adversarial stream.
+constexpr std::size_t kMaxHeaderDigits = 10;
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame.reserve(frame.size() + 1 + payload.size());
+  frame.push_back('\n');
+  frame.append(payload);
+  return frame;
+}
+
+Status FrameDecoder::Feed(std::string_view bytes) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "frame stream is broken; close the session");
+  }
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    if (state_ == State::kHeader) {
+      const char c = bytes[i];
+      if (c >= '0' && c <= '9') {
+        if (++header_digits_ > kMaxHeaderDigits) {
+          broken_ = true;
+          return Status::InvalidArgument("frame length header too long");
+        }
+        declared_length_ = declared_length_ * 10 +
+                           static_cast<std::size_t>(c - '0');
+        if (declared_length_ > max_frame_bytes_) {
+          broken_ = true;
+          return Status::ResourceExhausted(
+              "frame of " + std::to_string(declared_length_) +
+              " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+              "-byte frame limit");
+        }
+        header_has_digits_ = true;
+        ++i;
+        continue;
+      }
+      if (c == '\n' && header_has_digits_) {
+        ++i;
+        state_ = State::kPayload;
+        partial_.clear();
+        partial_.reserve(declared_length_);
+        if (declared_length_ == 0) {
+          complete_.emplace_back();
+          state_ = State::kHeader;
+          header_has_digits_ = false;
+          declared_length_ = 0;
+          header_digits_ = 0;
+        }
+        continue;
+      }
+      broken_ = true;
+      return Status::InvalidArgument(
+          std::string("malformed frame header byte '") + c + "'");
+    }
+    // kPayload: copy up to the declared length.
+    const std::size_t want = declared_length_ - partial_.size();
+    const std::size_t take = std::min(want, bytes.size() - i);
+    partial_.append(bytes.substr(i, take));
+    i += take;
+    if (partial_.size() == declared_length_) {
+      complete_.push_back(std::move(partial_));
+      partial_.clear();
+      state_ = State::kHeader;
+      header_has_digits_ = false;
+      declared_length_ = 0;
+      header_digits_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> FrameDecoder::Next() {
+  if (complete_.empty()) return std::nullopt;
+  std::string payload = std::move(complete_.front());
+  complete_.pop_front();
+  return payload;
+}
+
+std::size_t FrameDecoder::buffered_bytes() const {
+  std::size_t total = partial_.size();
+  for (const std::string& payload : complete_) total += payload.size();
+  return total;
+}
+
+}  // namespace vaolib::server

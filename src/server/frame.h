@@ -1,0 +1,79 @@
+// Copyright 2026 The vaolib Authors.
+// Length-framed wire codec for the standing-query server.
+//
+// A frame is the decimal byte length of the payload, a single '\n', then
+// exactly that many payload bytes:
+//
+//   22\nREGISTER q1 SELECT...
+//
+// Length-framing (rather than newline-delimiting) keeps the payload fully
+// opaque: query text may legally contain any byte, including '\n' (the SQL
+// grammar treats it as whitespace) and the header delimiter itself, and
+// still round-trips exactly. The decoder is an incremental push parser --
+// feed it arbitrary byte slices (a TCP read may split one frame or merge
+// several) and pull complete payloads out -- with hard limits on header
+// digits and payload size so a malicious or broken peer cannot make the
+// server buffer unbounded input.
+
+#ifndef VAOLIB_SERVER_FRAME_H_
+#define VAOLIB_SERVER_FRAME_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace vaolib::server {
+
+/// \brief Hard ceiling on one frame's payload bytes (default 1 MiB).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// \brief Encodes \p payload as one wire frame ("<len>\n<payload>").
+std::string EncodeFrame(std::string_view payload);
+
+/// \brief Incremental frame decoder. Feed() accepts arbitrary byte slices;
+/// Next() pops complete payloads in arrival order. A framing violation
+/// (non-digit header byte, missing length, oversized frame) fails Feed()
+/// permanently: the stream is unsynchronizable after a bad header, so the
+/// session must be dropped.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes \p bytes. InvalidArgument on a malformed header,
+  /// ResourceExhausted on an oversized declared length; both are sticky
+  /// (every later Feed() returns FailedPrecondition).
+  Status Feed(std::string_view bytes);
+
+  /// Next complete payload, or nullopt when none is buffered.
+  std::optional<std::string> Next();
+
+  /// True after a Feed() error; the connection should be closed.
+  bool broken() const { return broken_; }
+
+  /// Payload bytes buffered in incomplete + undelivered frames (test and
+  /// backpressure support).
+  std::size_t buffered_bytes() const;
+
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  enum class State { kHeader, kPayload };
+
+  std::size_t max_frame_bytes_;
+  State state_ = State::kHeader;
+  bool broken_ = false;
+  bool header_has_digits_ = false;
+  std::size_t declared_length_ = 0;
+  std::size_t header_digits_ = 0;
+  std::string partial_;                // payload bytes of the current frame
+  std::deque<std::string> complete_;   // decoded, not yet delivered
+};
+
+}  // namespace vaolib::server
+
+#endif  // VAOLIB_SERVER_FRAME_H_

@@ -1,0 +1,96 @@
+// Copyright 2026 The vaolib Authors.
+// Text protocol of the standing-query server. Every frame payload (see
+// server/frame.h) is one message; the first space-delimited token is the
+// verb. Query text rides the existing SQL surface syntax verbatim --
+// ParseQuery is the wire parser and FormatQuery the wire printer, so any
+// query the library can express is expressible on the wire.
+//
+// Client -> server:
+//   HELLO <tenant> [reports]          bind this session to a tenant; the
+//                                     optional `reports` flag subscribes the
+//                                     session to per-result REPORT frames
+//   REGISTER <qid> <sql...>           register a standing query under a
+//                                     session-chosen id
+//   WITHDRAW <qid>                    remove a standing query
+//   TICK <v1> [v2 ...]                inject one stream tuple; results fan
+//                                     out to every owning session
+//   STATS                             one-line server account
+//   BYE                               withdraw everything and close
+//
+// Server -> client:
+//   OK <verb> ...                     command acknowledged
+//   ERR <code> <message>              command failed (code = Status code
+//                                     name, e.g. invalid-argument)
+//   SHED <qid|REGISTER> RETRY-AFTER <ticks> <reason>
+//                                     load was shed: a registration was
+//                                     refused, or a standing query was
+//                                     evicted after sustained overload
+//   RESULT <qid> seq=<n> kind=<kind> converged=<0|1> lo=<v> hi=<v>
+//          [winner=<row>] [rows=<r1,r2,...>] [top=<r1,r2,...>] work=<units>
+//                                     one query's answer for one tick; lo/hi
+//                                     is the sound [L,H] interval (partial
+//                                     but still sound when converged=0)
+//   REPORT <qid> seq=<n> <json>       the query's ExecutionReport (only for
+//                                     sessions that said HELLO ... reports)
+
+#ifndef VAOLIB_SERVER_PROTOCOL_H_
+#define VAOLIB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+
+namespace vaolib::server {
+
+/// \brief Client-request verbs.
+enum class Verb {
+  kHello,
+  kRegister,
+  kWithdraw,
+  kTick,
+  kStats,
+  kBye,
+};
+
+/// \brief One parsed client request.
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string tenant;               ///< kHello
+  bool want_reports = false;        ///< kHello: subscribe to REPORT frames
+  std::string query_id;             ///< kRegister / kWithdraw
+  std::string sql;                  ///< kRegister: ParseQuery text, verbatim
+  std::vector<double> tick_values;  ///< kTick: the stream tuple
+};
+
+/// \brief Parses one frame payload into a Request. InvalidArgument carries
+/// the offending token so the ERR reply is actionable.
+Result<Request> ParseRequest(std::string_view payload);
+
+/// \brief True when \p id is a legal tenant or query id: 1-64 bytes of
+/// [A-Za-z0-9_.-]. Keeps ids single-token on the wire.
+bool IsValidId(std::string_view id);
+
+/// \name Reply formatters.
+/// @{
+
+/// "ERR <code-name> <message>".
+std::string FormatErr(const Status& status);
+
+/// "SHED <what> RETRY-AFTER <ticks> <reason>".
+std::string FormatShed(std::string_view what, std::uint64_t retry_after_ticks,
+                       std::string_view reason);
+
+/// "RESULT <qid> seq=<n> ..." for one query's tick answer. Bounds print
+/// with round-trip precision.
+std::string FormatResult(std::string_view query_id, std::uint64_t tick_seq,
+                         const engine::TickResult& result);
+
+/// @}
+
+}  // namespace vaolib::server
+
+#endif  // VAOLIB_SERVER_PROTOCOL_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The vaolib Authors.
+// Scenario files: replayable standing-query-server workloads.
+//
+// One line per step, '#' comments, blank lines ignored:
+//
+//   SESSION <name> <tenant> [reports]   open a session, HELLO as <tenant>
+//   SEND <name> <payload...>            send one request payload verbatim
+//                                       (the rest of the line, spaces kept)
+//   TICKS <name> <count> <base> <step>  send <count> single-value TICKs
+//                                       from <name>: value_i = base + step*i
+//   CLOSE <name>                        drop the session (no BYE)
+//
+// The same format drives the in-process load bench (bench/srv01_load.cc)
+// and the external load generator (scripts/loadgen.py), so a storm that
+// fails in CI can be replayed byte-for-byte against a live server. The
+// TICKS series is a deterministic arithmetic ramp on purpose: both
+// implementations produce identical wire bytes with no shared RNG.
+
+#ifndef VAOLIB_SERVER_SCENARIO_H_
+#define VAOLIB_SERVER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vaolib::server {
+
+/// \brief One scenario step.
+struct ScenarioStep {
+  enum class Kind { kSession, kSend, kTicks, kClose };
+  Kind kind = Kind::kSend;
+  std::string session;  ///< every step names its session
+  std::string tenant;   ///< kSession
+  bool reports = false; ///< kSession
+  std::string payload;  ///< kSend: the request payload, verbatim
+  std::uint64_t count = 0;  ///< kTicks
+  double base = 0.0;        ///< kTicks
+  double step = 0.0;        ///< kTicks
+};
+
+/// \brief Parses scenario text. InvalidArgument names the offending line.
+Result<std::vector<ScenarioStep>> ParseScenario(std::string_view text);
+
+/// \brief Renders steps back to scenario text (ParseScenario's inverse for
+/// any step list it can produce).
+std::string FormatScenario(const std::vector<ScenarioStep>& steps);
+
+}  // namespace vaolib::server
+
+#endif  // VAOLIB_SERVER_SCENARIO_H_

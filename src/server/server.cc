@@ -1,0 +1,207 @@
+#include "server/server.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/protocol.h"
+
+namespace vaolib::server {
+
+namespace {
+
+obs::Gauge* SessionsGauge() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Global().GetGauge("vaolib_server_sessions");
+  return gauge;
+}
+
+}  // namespace
+
+StandingQueryServer::StandingQueryServer(
+    const engine::Relation* relation, engine::Schema stream_schema,
+    const engine::FunctionRegistry* registry, ServerConfig config)
+    : stream_schema_(stream_schema),
+      config_(std::move(config)),
+      dispatcher_(relation, std::move(stream_schema), registry,
+                  config_.dispatcher) {}
+
+std::uint64_t StandingQueryServer::OpenSession() {
+  const std::uint64_t id = next_session_++;
+  sessions_.emplace(id, Session(config_.max_frame_bytes));
+  SessionsGauge()->Set(static_cast<std::int64_t>(sessions_.size()));
+  return id;
+}
+
+void StandingQueryServer::CloseSession(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  dispatcher_.WithdrawSession(session);
+  sessions_.erase(it);
+  SessionsGauge()->Set(static_cast<std::int64_t>(sessions_.size()));
+}
+
+void StandingQueryServer::Reply(std::uint64_t session,
+                                std::string_view payload) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  it->second.outbox += EncodeFrame(payload);
+}
+
+void StandingQueryServer::HandleBytes(std::uint64_t session,
+                                      std::string_view bytes) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  Session& state = it->second;
+  if (state.closing) return;
+
+  const Status fed = state.decoder.Feed(bytes);
+  // Drain every frame that decoded cleanly before surfacing the framing
+  // error: bytes before the corruption point are still valid requests.
+  while (true) {
+    const auto payload = state.decoder.Next();
+    if (!payload.has_value()) break;
+    HandleRequest(session, *payload);
+    if (state.closing) return;
+  }
+  if (!fed.ok()) {
+    Reply(session, FormatErr(fed));
+    state.closing = true;
+  }
+}
+
+void StandingQueryServer::HandleRequest(std::uint64_t session,
+                                        const std::string& payload) {
+  Session& state = sessions_.at(session);
+  const auto parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    Reply(session, FormatErr(parsed.status()));
+    return;
+  }
+  const Request& request = *parsed;
+
+  if (state.tenant.empty() && request.verb != Verb::kHello) {
+    Reply(session, FormatErr(Status::FailedPrecondition(
+                       "say HELLO <tenant> before anything else")));
+    return;
+  }
+
+  switch (request.verb) {
+    case Verb::kHello: {
+      if (!state.tenant.empty()) {
+        Reply(session, FormatErr(Status::FailedPrecondition(
+                           "session is already bound to tenant '" +
+                           state.tenant + "'")));
+        return;
+      }
+      state.tenant = request.tenant;
+      state.want_reports = request.want_reports;
+      Reply(session, "OK HELLO " + state.tenant +
+                         (state.want_reports ? " reports" : ""));
+      return;
+    }
+    case Verb::kRegister: {
+      const auto query = dispatcher_.ParseSql(request.sql);
+      if (!query.ok()) {
+        Reply(session, FormatErr(query.status()));
+        return;
+      }
+      const AdmissionDecision decision =
+          dispatcher_.Register(session, state.tenant, request.query_id,
+                               *query, state.want_reports);
+      switch (decision.outcome) {
+        case AdmissionDecision::Outcome::kAdmitted:
+          Reply(session, "OK REGISTER " + request.query_id);
+          return;
+        case AdmissionDecision::Outcome::kRejected:
+          Reply(session, FormatErr(decision.reason));
+          return;
+        case AdmissionDecision::Outcome::kShed:
+          Reply(session,
+                FormatShed("REGISTER", decision.retry_after_ticks,
+                           decision.reason.message()));
+          return;
+      }
+      return;
+    }
+    case Verb::kWithdraw: {
+      const Status withdrawn = dispatcher_.Withdraw(session,
+                                                    request.query_id);
+      if (!withdrawn.ok()) {
+        Reply(session, FormatErr(withdrawn));
+        return;
+      }
+      Reply(session, "OK WITHDRAW " + request.query_id);
+      return;
+    }
+    case Verb::kTick: {
+      if (request.tick_values.size() != stream_schema_.size()) {
+        Reply(session,
+              FormatErr(Status::InvalidArgument(
+                  "TICK carries " +
+                  std::to_string(request.tick_values.size()) +
+                  " values but the stream schema has " +
+                  std::to_string(stream_schema_.size()) + " columns")));
+        return;
+      }
+      engine::Tuple tuple;
+      tuple.reserve(request.tick_values.size());
+      for (const double value : request.tick_values) {
+        tuple.emplace_back(value);
+      }
+      std::vector<Delivery> deliveries;
+      const auto summary = dispatcher_.Tick(tuple, &deliveries);
+      if (!summary.ok()) {
+        Reply(session, FormatErr(summary.status()));
+        return;
+      }
+      for (const Delivery& delivery : deliveries) {
+        Reply(delivery.session, delivery.payload);
+      }
+      std::ostringstream os;
+      os << "OK TICK seq=" << summary->seq << " queries=" << summary->queries
+         << " converged=" << summary->converged << " shed=" << summary->shed
+         << " work=" << summary->work_units;
+      Reply(session, os.str());
+      return;
+    }
+    case Verb::kStats: {
+      std::ostringstream os;
+      os << "OK STATS sessions=" << sessions_.size()
+         << " queries=" << dispatcher_.query_count()
+         << " ticks=" << dispatcher_.ticks()
+         << " work=" << dispatcher_.total_work_units()
+         << " shed=" << dispatcher_.total_shed();
+      for (const auto& [tenant, usage] : dispatcher_.admission().AllUsage()) {
+        os << " tenant." << tenant << "=q:" << usage.queries
+           << ",work:" << usage.work_units
+           << ",unconverged:" << usage.unconverged_results
+           << ",misses:" << usage.deadline_misses
+           << ",shed:" << usage.shed_queries
+           << ",rejected:" << usage.rejected_registrations;
+      }
+      Reply(session, os.str());
+      return;
+    }
+    case Verb::kBye: {
+      dispatcher_.WithdrawSession(session);
+      Reply(session, "OK BYE");
+      state.closing = true;
+      return;
+    }
+  }
+}
+
+std::string StandingQueryServer::DrainOutput(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return {};
+  return std::exchange(it->second.outbox, {});
+}
+
+bool StandingQueryServer::ShouldClose(std::uint64_t session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() || it->second.closing;
+}
+
+}  // namespace vaolib::server

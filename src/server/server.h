@@ -1,0 +1,97 @@
+// Copyright 2026 The vaolib Authors.
+// StandingQueryServer: session management over the dispatcher.
+//
+// This is the transport-independent core of the serving layer: callers
+// (tools/vaolib_server.cc's TCP loop, the in-process load bench, tests)
+// open a session per client connection, push whatever bytes arrived into
+// HandleBytes(), and write back whatever DrainOutput() returns. Framing
+// (server/frame.h), the request grammar (server/protocol.h), tenant
+// admission, and result fan-out all live behind those three calls, so a
+// transport is ~30 lines of socket plumbing.
+//
+// Sessions are single-tenant: the first request must be HELLO <tenant>,
+// which binds the session. A malformed frame stream is unrecoverable by
+// design (framing is byte-exact); the session gets one final ERR and
+// should_close() turns true. BYE (or CloseSession) withdraws every standing
+// query the session still owns, returning its quota to the tenant.
+
+#ifndef VAOLIB_SERVER_SERVER_H_
+#define VAOLIB_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "server/dispatcher.h"
+#include "server/frame.h"
+
+namespace vaolib::server {
+
+/// \brief Server-wide configuration.
+struct ServerConfig {
+  DispatcherConfig dispatcher;
+  /// Per-session inbound frame size ceiling.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// \brief Transport-independent standing-query server: sessions in, framed
+/// bytes out. Not thread-safe; one thread (the transport loop) drives it.
+class StandingQueryServer {
+ public:
+  /// \p relation and \p registry are borrowed and must outlive the server.
+  StandingQueryServer(const engine::Relation* relation,
+                      engine::Schema stream_schema,
+                      const engine::FunctionRegistry* registry,
+                      ServerConfig config);
+
+  /// Opens a session (one per client connection); returns its id.
+  std::uint64_t OpenSession();
+
+  /// Closes a session, withdrawing all its standing queries. Unknown ids
+  /// are ignored (double close is fine).
+  void CloseSession(std::uint64_t session);
+
+  /// Feeds raw bytes from the session's connection. Complete frames are
+  /// parsed and executed immediately; replies (and any fan-out to OTHER
+  /// sessions triggered by a TICK) accumulate in per-session outboxes.
+  void HandleBytes(std::uint64_t session, std::string_view bytes);
+
+  /// Returns-and-clears the session's pending outbound bytes (frames,
+  /// ready to write to the socket verbatim).
+  std::string DrainOutput(std::uint64_t session);
+
+  /// True when the session asked to close (BYE) or its frame stream broke;
+  /// the transport should flush DrainOutput() one last time and disconnect.
+  bool ShouldClose(std::uint64_t session) const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+  Dispatcher& dispatcher() { return dispatcher_; }
+  const Dispatcher& dispatcher() const { return dispatcher_; }
+
+ private:
+  struct Session {
+    FrameDecoder decoder;
+    std::string tenant;  ///< empty until HELLO
+    bool want_reports = false;
+    bool closing = false;
+    std::string outbox;
+
+    explicit Session(std::size_t max_frame_bytes)
+        : decoder(max_frame_bytes) {}
+  };
+
+  /// Executes one complete frame payload for \p session.
+  void HandleRequest(std::uint64_t session, const std::string& payload);
+  void Reply(std::uint64_t session, std::string_view payload);
+
+  engine::Schema stream_schema_;
+  ServerConfig config_;
+  Dispatcher dispatcher_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace vaolib::server
+
+#endif  // VAOLIB_SERVER_SERVER_H_

@@ -1,0 +1,694 @@
+// Tests for the standing-query serving layer: the length-framed wire
+// codec (split/merged/truncated/oversized streams, fuzz round-trips of
+// payloads full of protocol-delimiter bytes), the request protocol,
+// multi-tenant admission (quota ERR vs capacity SHED, withdraw returning
+// quota, isolation under concurrent registers), the dispatcher's result
+// fan-out and overload shedding, and full client sessions end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/sql_parser.h"
+#include "finance/bond_model.h"
+#include "obs/execution_report.h"
+#include "server/admission.h"
+#include "server/dispatcher.h"
+#include "server/frame.h"
+#include "server/protocol.h"
+#include "server/scenario.h"
+#include "server/server.h"
+#include "workload/portfolio_gen.h"
+
+namespace vaolib::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(FrameTest, EncodesLengthThenPayload) {
+  EXPECT_EQ(EncodeFrame("HELLO t1"), "8\nHELLO t1");
+  EXPECT_EQ(EncodeFrame(""), "0\n");
+}
+
+TEST(FrameTest, DecodesMergedFrames) {
+  FrameDecoder decoder;
+  ASSERT_TRUE(
+      decoder.Feed(EncodeFrame("one") + EncodeFrame("") + EncodeFrame("two"))
+          .ok());
+  EXPECT_EQ(decoder.Next(), "one");
+  EXPECT_EQ(decoder.Next(), "");
+  EXPECT_EQ(decoder.Next(), "two");
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameTest, DecodesByteSplitFrames) {
+  // A TCP read can split a frame anywhere, including inside the header.
+  const std::string wire = EncodeFrame("first payload") + EncodeFrame("2nd");
+  FrameDecoder decoder;
+  for (const char byte : wire) {
+    ASSERT_TRUE(decoder.Feed(std::string_view(&byte, 1)).ok());
+  }
+  EXPECT_EQ(decoder.Next(), "first payload");
+  EXPECT_EQ(decoder.Next(), "2nd");
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameTest, TruncatedFrameStaysPendingWithoutError) {
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed("10\nhalf").ok());
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_FALSE(decoder.broken());
+  EXPECT_GT(decoder.buffered_bytes(), 0u);
+  ASSERT_TRUE(decoder.Feed("-done").ok());  // 4 + 5 = 9... still short
+  EXPECT_FALSE(decoder.Next().has_value());
+  ASSERT_TRUE(decoder.Feed("!").ok());
+  EXPECT_EQ(decoder.Next(), "half-done!");
+}
+
+TEST(FrameTest, PayloadMayContainDelimiterBytes) {
+  // '\n' and digits are payload like any other byte: length-framing keeps
+  // them opaque. "7\n3\nTICK" must decode as the 7-byte payload "3\nTICK".
+  const std::string payload = "3\nTICK";
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(EncodeFrame(payload)).ok());
+  EXPECT_EQ(decoder.Next(), payload);
+}
+
+TEST(FrameTest, OversizedFrameIsRejectedAndSticky) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  const Status fed = decoder.Feed("1000000\n");
+  EXPECT_EQ(fed.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(decoder.broken());
+  EXPECT_EQ(decoder.Feed("5\nhello").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameTest, MalformedHeaderIsRejected) {
+  FrameDecoder decoder;
+  const Status fed = decoder.Feed("nope\n");
+  EXPECT_EQ(fed.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.broken());
+}
+
+TEST(FrameTest, FramesDecodedBeforeCorruptionAreStillDelivered) {
+  FrameDecoder decoder;
+  const Status fed = decoder.Feed(EncodeFrame("good") + "x\n");
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(decoder.Next(), "good");
+}
+
+TEST(FrameTest, FuzzRoundTripArbitraryPayloadsAndSplits) {
+  Rng rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    // Payloads biased toward the dangerous alphabet: digits and newlines.
+    std::vector<std::string> payloads(
+        static_cast<std::size_t>(rng.UniformInt(1, 5)));
+    std::string wire;
+    for (std::string& payload : payloads) {
+      const std::size_t len = static_cast<std::size_t>(
+          rng.UniformInt(0, 64));
+      for (std::size_t i = 0; i < len; ++i) {
+        const char alphabet[] = "0123456789\n\n \tABCxyz";
+        payload += alphabet[rng.UniformInt(0, sizeof(alphabet) - 2)];
+      }
+      wire += EncodeFrame(payload);
+    }
+    FrameDecoder decoder;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          rng.UniformInt(1, 7));
+      const std::string_view slice =
+          std::string_view(wire).substr(offset, chunk);
+      ASSERT_TRUE(decoder.Feed(slice).ok());
+      offset += slice.size();
+    }
+    for (const std::string& payload : payloads) {
+      const auto decoded = decoder.Next();
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, payload);
+    }
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  auto hello = ParseRequest("HELLO desk1 reports");
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->verb, Verb::kHello);
+  EXPECT_EQ(hello->tenant, "desk1");
+  EXPECT_TRUE(hello->want_reports);
+
+  auto reg = ParseRequest("REGISTER q1 SELECT * FROM bd WHERE f(x) > 1");
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg->verb, Verb::kRegister);
+  EXPECT_EQ(reg->query_id, "q1");
+  EXPECT_EQ(reg->sql, "SELECT * FROM bd WHERE f(x) > 1");
+
+  auto withdraw = ParseRequest("WITHDRAW q1");
+  ASSERT_TRUE(withdraw.ok());
+  EXPECT_EQ(withdraw->verb, Verb::kWithdraw);
+  EXPECT_EQ(withdraw->query_id, "q1");
+
+  auto tick = ParseRequest("TICK 0.045 -1.5");
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(tick->verb, Verb::kTick);
+  EXPECT_EQ(tick->tick_values, (std::vector<double>{0.045, -1.5}));
+
+  EXPECT_EQ(ParseRequest("STATS")->verb, Verb::kStats);
+  EXPECT_EQ(ParseRequest("BYE")->verb, Verb::kBye);
+}
+
+TEST(ProtocolTest, ErrorsNameTheOffendingToken) {
+  const auto unknown = ParseRequest("PING");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("'PING'"), std::string::npos);
+
+  const auto bad_id = ParseRequest("REGISTER bad!id SELECT * FROM bd");
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_NE(bad_id.status().message().find("'bad!id'"), std::string::npos);
+
+  const auto bad_value = ParseRequest("TICK 0.045 banana");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("'banana'"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("TICK").ok());
+  EXPECT_FALSE(ParseRequest("HELLO bad tenant extra").ok());
+}
+
+TEST(ProtocolTest, QueryTextWithNewlinesSurvivesTheWire) {
+  // Fuzz-style round trip: SQL containing the protocol's own delimiter
+  // bytes ('\n' headers, digits) framed, decoded, parsed, and re-parsed
+  // into the same query. The SQL grammar treats '\n' as whitespace, so
+  // newline-formatted registrations are legal and must not desync framing.
+  workload::PortfolioSpec spec;
+  spec.count = 4;
+  const auto bonds = workload::GeneratePortfolio(7, spec);
+  const finance::BondPricingFunction model(bonds,
+                                           finance::BondModelConfig{});
+  engine::FunctionRegistry registry;
+  ASSERT_TRUE(registry.Register(&model).ok());
+  const engine::Schema stream({{"rate", engine::ColumnType::kDouble}});
+  const engine::Schema relation(
+      {{"bond_index", engine::ColumnType::kDouble}});
+
+  const std::string sql =
+      "SELECT\nMAX(bond_model(rate,\n bond_index))\nFROM bd\nPRECISION "
+      "0.25";
+  const std::string payload = "REGISTER q9\n7 " + sql;
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(EncodeFrame(payload)).ok());
+  const auto decoded = decoder.Next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+
+  // ParseRequest tokenizes on spaces only, so the '\n' smuggled into the
+  // id position makes "q9\n7" one (invalid) token -- a clean ERR, never a
+  // silently resynchronized stream.
+  EXPECT_FALSE(ParseRequest(*decoded).ok());
+
+  // A clean registration with the newline-formatted SQL round-trips.
+  const auto request = ParseRequest("REGISTER q9 " + sql);
+  ASSERT_TRUE(request.ok());
+  const auto parsed =
+      engine::ParseQuery(request->sql, registry, stream, relation);
+  ASSERT_TRUE(parsed.ok());
+  const auto reparsed = engine::ParseQuery(
+      engine::FormatQuery(*parsed, "bd"), registry, stream, relation);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->kind, engine::QueryKind::kMax);
+  EXPECT_EQ(reparsed->epsilon, 0.25);
+}
+
+TEST(ProtocolTest, FormatResultRendersBoundsAndRows) {
+  engine::TickResult result;
+  result.kind = engine::QueryKind::kSelect;
+  result.passing_rows = {1, 4, 7};
+  result.converged = false;
+  result.work_units = 42;
+  const std::string line = FormatResult("q3", 9, result);
+  EXPECT_NE(line.find("RESULT q3 seq=9 kind=select converged=0"),
+            std::string::npos);
+  EXPECT_NE(line.find("rows=1,4,7"), std::string::npos);
+  EXPECT_NE(line.find("work=42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+
+TEST(AdmissionTest, QueryQuotaRejectsCleanly) {
+  AdmissionConfig config;
+  config.default_quota.max_queries = 2;
+  AdmissionController admission(config);
+
+  EXPECT_EQ(admission.AdmitQuery("t1", 10).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  EXPECT_EQ(admission.AdmitQuery("t1", 10).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  const AdmissionDecision third = admission.AdmitQuery("t1", 10);
+  EXPECT_EQ(third.outcome, AdmissionDecision::Outcome::kRejected);
+  EXPECT_EQ(third.reason.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.reason.message().find("t1"), std::string::npos);
+  EXPECT_EQ(admission.UsageFor("t1").rejected_registrations, 1u);
+
+  // Another tenant is unaffected (isolation).
+  EXPECT_EQ(admission.AdmitQuery("t2", 10).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+}
+
+TEST(AdmissionTest, WithdrawReturnsQuota) {
+  AdmissionConfig config;
+  config.default_quota.max_queries = 1;
+  AdmissionController admission(config);
+  ASSERT_EQ(admission.AdmitQuery("t1", 8).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  ASSERT_EQ(admission.AdmitQuery("t1", 8).outcome,
+            AdmissionDecision::Outcome::kRejected);
+  admission.ReleaseQuery("t1", 8, /*shed=*/false);
+  EXPECT_EQ(admission.UsageFor("t1").queries, 0u);
+  EXPECT_EQ(admission.UsageFor("t1").objects, 0u);
+  EXPECT_EQ(admission.AdmitQuery("t1", 8).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+}
+
+TEST(AdmissionTest, ObjectQuotaCountsRelationRows) {
+  AdmissionConfig config;
+  config.default_quota.max_queries = 100;
+  config.default_quota.max_objects = 100;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.AdmitQuery("t1", 60).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  const AdmissionDecision over = admission.AdmitQuery("t1", 60);
+  EXPECT_EQ(over.outcome, AdmissionDecision::Outcome::kRejected);
+  EXPECT_NE(over.reason.message().find("object"), std::string::npos);
+}
+
+TEST(AdmissionTest, ServerCapacityShedsWithRetryAfter) {
+  AdmissionConfig config;
+  config.default_quota.max_queries = 100;
+  config.max_total_queries = 2;
+  config.retry_after_ticks = 5;
+  AdmissionController admission(config);
+  ASSERT_EQ(admission.AdmitQuery("t1", 1).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  ASSERT_EQ(admission.AdmitQuery("t2", 1).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  const AdmissionDecision shed = admission.AdmitQuery("t3", 1);
+  EXPECT_EQ(shed.outcome, AdmissionDecision::Outcome::kShed);
+  EXPECT_EQ(shed.retry_after_ticks, 5u);
+}
+
+TEST(AdmissionTest, TenantIsolationUnderConcurrentRegisters) {
+  AdmissionConfig config;
+  config.default_quota.max_queries = 8;
+  config.max_total_queries = 1u << 20;
+  AdmissionController admission(config);
+
+  constexpr int kTenants = 8;
+  constexpr int kAttempts = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&admission, t] {
+      const std::string tenant = "tenant" + std::to_string(t);
+      for (int i = 0; i < kAttempts; ++i) {
+        admission.AdmitQuery(tenant, 4);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every tenant lands exactly at its own quota -- 8 admitted, 24
+  // rejected -- no matter how the registers interleaved.
+  for (int t = 0; t < kTenants; ++t) {
+    const TenantUsage usage =
+        admission.UsageFor("tenant" + std::to_string(t));
+    EXPECT_EQ(usage.queries, 8u);
+    EXPECT_EQ(usage.objects, 32u);
+    EXPECT_EQ(usage.rejected_registrations,
+              static_cast<std::uint64_t>(kAttempts - 8));
+  }
+  EXPECT_EQ(admission.total_queries(),
+            static_cast<std::size_t>(kTenants * 8));
+}
+
+TEST(AdmissionTest, SchedulesMapQuotasOntoSchedulerParameters) {
+  AdmissionConfig config;
+  AdmissionController admission(config);
+  TenantQuota reserved;
+  reserved.work_share = 2.0;
+  reserved.reserve_units = 1000;
+  admission.SetQuota("vip", reserved);
+
+  ASSERT_EQ(admission.AdmitQuery("vip", 1).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+  ASSERT_EQ(admission.AdmitQuery("vip", 1).outcome,
+            AdmissionDecision::Outcome::kAdmitted);
+
+  const engine::QuerySchedule schedule =
+      admission.ScheduleFor("vip", /*tick_budget=*/50000);
+  EXPECT_DOUBLE_EQ(schedule.priority, 1.0);  // share 2.0 over 2 queries
+  EXPECT_EQ(schedule.reserve, 500u);         // reserve split per query
+  EXPECT_EQ(schedule.deadline, 50000u);      // EDF: run before best-effort
+
+  const engine::QuerySchedule best_effort =
+      admission.ScheduleFor("other", /*tick_budget=*/50000);
+  EXPECT_EQ(best_effort.reserve, 0u);
+  EXPECT_EQ(best_effort.deadline, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end sessions (in-process transport)
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildWorkload(); }
+
+  void BuildWorkload() {
+    workload::PortfolioSpec spec;
+    spec.count = 6;
+    bonds_ = workload::GeneratePortfolio(4242, spec);
+    function_ = std::make_unique<finance::BondPricingFunction>(
+        bonds_, finance::BondModelConfig{});
+    relation_ = std::make_unique<engine::Relation>(engine::Schema(
+        {{"bond_index", engine::ColumnType::kDouble},
+         {"position", engine::ColumnType::kDouble}}));
+    for (std::size_t i = 0; i < bonds_.size(); ++i) {
+      ASSERT_TRUE(
+          relation_->Append({static_cast<double>(i), 1.0}).ok());
+    }
+    registry_ = std::make_unique<engine::FunctionRegistry>();
+    ASSERT_TRUE(registry_->Register(function_.get()).ok());
+  }
+
+  std::unique_ptr<StandingQueryServer> MakeServer(ServerConfig config) {
+    return std::make_unique<StandingQueryServer>(
+        relation_.get(),
+        engine::Schema({{"rate", engine::ColumnType::kDouble}}),
+        registry_.get(), config);
+  }
+
+  // Sends one request payload and returns the session's decoded replies.
+  static std::vector<std::string> Send(StandingQueryServer& server,
+                                       std::uint64_t session,
+                                       const std::string& payload) {
+    server.HandleBytes(session, EncodeFrame(payload));
+    return Drain(server, session);
+  }
+
+  static std::vector<std::string> Drain(StandingQueryServer& server,
+                                        std::uint64_t session) {
+    FrameDecoder decoder;
+    EXPECT_TRUE(decoder.Feed(server.DrainOutput(session)).ok());
+    std::vector<std::string> replies;
+    while (const auto reply = decoder.Next()) replies.push_back(*reply);
+    return replies;
+  }
+
+  std::vector<finance::Bond> bonds_;
+  std::unique_ptr<finance::BondPricingFunction> function_;
+  std::unique_ptr<engine::Relation> relation_;
+  std::unique_ptr<engine::FunctionRegistry> registry_;
+};
+
+TEST_F(ServerTest, HelloIsRequiredFirst) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  const auto replies = Send(*server, session, "STATS");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ERR failed-precondition", 0), 0u)
+      << replies[0];
+  EXPECT_FALSE(server->ShouldClose(session));
+
+  const auto hello = Send(*server, session, "HELLO desk1");
+  ASSERT_EQ(hello.size(), 1u);
+  EXPECT_EQ(hello[0], "OK HELLO desk1");
+
+  const auto again = Send(*server, session, "HELLO desk2");
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].rfind("ERR failed-precondition", 0), 0u);
+}
+
+TEST_F(ServerTest, ResultsFanOutToEveryOwningSession) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t alice = server->OpenSession();
+  const std::uint64_t bob = server->OpenSession();
+  ASSERT_EQ(Send(*server, alice, "HELLO alice")[0], "OK HELLO alice");
+  ASSERT_EQ(Send(*server, bob, "HELLO bob")[0], "OK HELLO bob");
+
+  ASSERT_EQ(Send(*server, alice,
+                 "REGISTER best SELECT MAX(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER best");
+  ASSERT_EQ(Send(*server, bob,
+                 "REGISTER alert SELECT * FROM bd WHERE "
+                 "bond_model(rate, bond_index) > 100")[0],
+            "OK REGISTER alert");
+
+  // Bob injects the tick; both sessions get THEIR OWN query's result.
+  const auto bob_replies = Send(*server, bob, "TICK 0.045");
+  ASSERT_EQ(bob_replies.size(), 2u);
+  EXPECT_EQ(bob_replies[0].rfind("RESULT alert seq=1 kind=select", 0), 0u)
+      << bob_replies[0];
+  EXPECT_EQ(bob_replies[1].rfind("OK TICK seq=1 queries=2", 0), 0u)
+      << bob_replies[1];
+
+  const auto alice_replies = Drain(*server, alice);
+  ASSERT_EQ(alice_replies.size(), 1u);
+  EXPECT_EQ(alice_replies[0].rfind("RESULT best seq=1 kind=max", 0), 0u)
+      << alice_replies[0];
+  EXPECT_NE(alice_replies[0].find("converged=1"), std::string::npos);
+}
+
+TEST_F(ServerTest, ReportSubscriptionDeliversParseableReports) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1 reports")[0],
+            "OK HELLO desk1 reports");
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER q1 SELECT MIN(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER q1");
+
+  const auto replies = Send(*server, session, "TICK 0.05");
+  ASSERT_EQ(replies.size(), 3u);  // RESULT, REPORT, OK TICK
+  EXPECT_EQ(replies[0].rfind("RESULT q1", 0), 0u);
+  ASSERT_EQ(replies[1].rfind("REPORT q1 seq=1 ", 0), 0u) << replies[1];
+
+  const std::string json = replies[1].substr(replies[1].find('{'));
+  const auto report = obs::ExecutionReport::FromJson(json);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->query_kind, "min");
+  EXPECT_TRUE(report->scheduled);
+  EXPECT_EQ(report->tenant, "desk1");
+  EXPECT_TRUE(report->converged);
+}
+
+TEST_F(ServerTest, WithdrawStopsDeliveriesAndFreesQuota) {
+  ServerConfig config;
+  config.dispatcher.admission.default_quota.max_queries = 1;
+  auto server = MakeServer(config);
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1")[0], "OK HELLO desk1");
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER q1");
+
+  // Quota (1) is full: the second register is a clean ERR...
+  const auto full = Send(*server, session,
+                         "REGISTER q2 SELECT MIN(bond_model(rate, "
+                         "bond_index)) FROM bd PRECISION 0.5");
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].rfind("ERR resource-exhausted", 0), 0u) << full[0];
+
+  // ...withdraw frees it...
+  ASSERT_EQ(Send(*server, session, "WITHDRAW q1")[0], "OK WITHDRAW q1");
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER q2 SELECT MIN(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER q2");
+
+  // ...and only q2 answers the tick.
+  const auto replies = Send(*server, session, "TICK 0.05");
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].rfind("RESULT q2", 0), 0u);
+  EXPECT_EQ(Send(*server, session, "WITHDRAW q1")[0].rfind("ERR not-found",
+                                                           0),
+            0u);
+}
+
+TEST_F(ServerTest, RegisterErrorsAreActionable) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1")[0], "OK HELLO desk1");
+
+  const auto bad_sql = Send(
+      *server, session, "REGISTER q1 SELECT NONSENSE(rate) FROM bd");
+  ASSERT_EQ(bad_sql.size(), 1u);
+  EXPECT_EQ(bad_sql[0].rfind("ERR invalid-argument", 0), 0u) << bad_sql[0];
+  EXPECT_NE(bad_sql[0].find("NONSENSE"), std::string::npos) << bad_sql[0];
+  EXPECT_NE(bad_sql[0].find("offset"), std::string::npos) << bad_sql[0];
+
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER q1");
+  const auto duplicate = Send(
+      *server, session,
+      "REGISTER q1 SELECT MIN(bond_model(rate, bond_index)) FROM bd");
+  EXPECT_EQ(duplicate[0].rfind("ERR already-exists", 0), 0u)
+      << duplicate[0];
+}
+
+TEST_F(ServerTest, OverloadShedsBestEffortButNeverReservedTenants) {
+  ServerConfig config;
+  // A budget far too small for anything to converge, and instant (1-miss)
+  // eviction, so a single tick sheds every best-effort query.
+  config.dispatcher.tick_budget = 1;
+  config.dispatcher.shed_after_misses = 1;
+  auto server = MakeServer(config);
+
+  TenantQuota vip;
+  vip.reserve_units = 1u << 30;  // effectively unlimited headroom
+  server->dispatcher().admission().SetQuota("vip", vip);
+
+  const std::uint64_t vip_session = server->OpenSession();
+  const std::uint64_t housemoney = server->OpenSession();
+  ASSERT_EQ(Send(*server, vip_session, "HELLO vip")[0], "OK HELLO vip");
+  ASSERT_EQ(Send(*server, housemoney, "HELLO besteffort")[0],
+            "OK HELLO besteffort");
+  ASSERT_EQ(Send(*server, vip_session,
+                 "REGISTER v SELECT MAX(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER v");
+  ASSERT_EQ(Send(*server, housemoney,
+                 "REGISTER b SELECT MIN(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER b");
+
+  const auto tick = Send(*server, vip_session, "TICK 0.05");
+  // The vip session sent the tick: RESULT v + OK TICK.
+  ASSERT_GE(tick.size(), 2u);
+  EXPECT_EQ(tick[0].rfind("RESULT v", 0), 0u) << tick[0];
+
+  const auto best_effort_replies = Drain(*server, housemoney);
+  ASSERT_EQ(best_effort_replies.size(), 2u);
+  EXPECT_EQ(best_effort_replies[0].rfind("RESULT b", 0), 0u);
+  EXPECT_NE(best_effort_replies[0].find("converged=0"), std::string::npos)
+      << best_effort_replies[0];
+  EXPECT_EQ(best_effort_replies[1].rfind("SHED b RETRY-AFTER", 0), 0u)
+      << best_effort_replies[1];
+
+  // The shed query is gone; the reserved tenant's stands.
+  EXPECT_EQ(server->dispatcher().query_count(), 1u);
+  EXPECT_EQ(
+      server->dispatcher().admission().UsageFor("besteffort").shed_queries,
+      1u);
+  EXPECT_EQ(server->dispatcher().admission().UsageFor("vip").shed_queries,
+            0u);
+}
+
+TEST_F(ServerTest, ByeWithdrawsEverythingAndCloses) {
+  ServerConfig config;
+  config.dispatcher.admission.default_quota.max_queries = 1;
+  auto server = MakeServer(config);
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1")[0], "OK HELLO desk1");
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 0.5")[0],
+            "OK REGISTER q1");
+  const auto bye = Send(*server, session, "BYE");
+  ASSERT_EQ(bye.size(), 1u);
+  EXPECT_EQ(bye[0], "OK BYE");
+  EXPECT_TRUE(server->ShouldClose(session));
+  server->CloseSession(session);
+  EXPECT_EQ(server->dispatcher().query_count(), 0u);
+  EXPECT_EQ(server->dispatcher().admission().UsageFor("desk1").queries, 0u);
+  EXPECT_EQ(server->session_count(), 0u);
+}
+
+TEST_F(ServerTest, BrokenFramingGetsOneErrThenCloses) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  server->HandleBytes(session, "this is not a frame");
+  const auto replies = Drain(*server, session);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ERR invalid-argument", 0), 0u) << replies[0];
+  EXPECT_TRUE(server->ShouldClose(session));
+}
+
+TEST_F(ServerTest, TickArityIsValidated) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1")[0], "OK HELLO desk1");
+  const auto replies = Send(*server, session, "TICK 0.05 0.06");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ERR invalid-argument", 0), 0u);
+  EXPECT_NE(replies[0].find("stream schema"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario files
+
+TEST(ScenarioTest, ParsesAndFormatsRoundTrip) {
+  const std::string text =
+      "# tick storm\n"
+      "SESSION vip tenant-vip reports\n"
+      "SESSION noisy tenant-noisy\n"
+      "SEND vip REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) FROM "
+      "bd\n"
+      "TICKS vip 100 0.03 0.0001\n"
+      "CLOSE noisy\n";
+  const auto steps = ParseScenario(text);
+  ASSERT_TRUE(steps.ok()) << steps.status().message();
+  ASSERT_EQ(steps->size(), 5u);
+  EXPECT_EQ((*steps)[0].kind, ScenarioStep::Kind::kSession);
+  EXPECT_EQ((*steps)[0].tenant, "tenant-vip");
+  EXPECT_TRUE((*steps)[0].reports);
+  EXPECT_EQ((*steps)[2].kind, ScenarioStep::Kind::kSend);
+  EXPECT_EQ((*steps)[2].payload.rfind("REGISTER q1 ", 0), 0u);
+  EXPECT_EQ((*steps)[3].kind, ScenarioStep::Kind::kTicks);
+  EXPECT_EQ((*steps)[3].count, 100u);
+  EXPECT_DOUBLE_EQ((*steps)[3].base, 0.03);
+  EXPECT_EQ((*steps)[4].kind, ScenarioStep::Kind::kClose);
+
+  const auto reparsed = ParseScenario(FormatScenario(*steps));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), steps->size());
+  for (std::size_t i = 0; i < steps->size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].kind, (*steps)[i].kind);
+    EXPECT_EQ((*reparsed)[i].session, (*steps)[i].session);
+    EXPECT_EQ((*reparsed)[i].payload, (*steps)[i].payload);
+    EXPECT_EQ((*reparsed)[i].count, (*steps)[i].count);
+  }
+}
+
+TEST(ScenarioTest, ErrorsNameTheLine) {
+  const auto bad = ParseScenario("SESSION a t1\nWHAT now\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("'WHAT'"), std::string::npos);
+
+  const auto bad_count = ParseScenario("TICKS s -3 0.1 0.2\n");
+  ASSERT_FALSE(bad_count.ok());
+  EXPECT_NE(bad_count.status().message().find("positive integer"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vaolib::server

@@ -166,6 +166,55 @@ TEST_F(SqlParserTest, RejectsMalformedQueries) {
   }
 }
 
+TEST_F(SqlParserTest, ErrorsNameTheOffendingTokenAndPosition) {
+  // Every rejection must say WHAT token broke the parse and WHERE, so the
+  // server's ERR replies (which carry these messages verbatim) are
+  // actionable without access to the server log.
+  const auto expect_error = [this](const std::string& sql,
+                                   const std::string& fragment,
+                                   std::size_t offset) {
+    const auto query = Parse(sql);
+    ASSERT_FALSE(query.ok()) << sql;
+    const std::string message = query.status().message();
+    EXPECT_NE(message.find(fragment), std::string::npos)
+        << sql << " -> " << message;
+    EXPECT_NE(message.find("(at offset " + std::to_string(offset) + ")"),
+              std::string::npos)
+        << sql << " -> " << message;
+  };
+
+  const std::string unknown_fn =
+      "SELECT * FROM bd WHERE nope(rate, bond_index) > 1";
+  expect_error(unknown_fn, "unknown function 'nope'",
+               unknown_fn.find("nope"));
+
+  const std::string zero_precision =
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd PRECISION 0";
+  expect_error(zero_precision, "precision must be > 0, got '0'",
+               zero_precision.find(" 0") + 1);
+
+  const std::string fractional_top =
+      "SELECT TOP 2.5 bond_model(rate, bond_index) FROM bd";
+  expect_error(fractional_top, "TOP count must be a positive integer, got '2.5'",
+               fractional_top.find("2.5"));
+
+  const std::string inverted_between =
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index) BETWEEN 5 AND 1";
+  expect_error(inverted_between, "BETWEEN bounds out of order ('5' > '1')",
+               inverted_between.find(" AND 1") + 5);
+
+  const std::string bad_char = "SELECT % FROM bd";
+  expect_error(bad_char, "unexpected character '%'", bad_char.find('%'));
+
+  const std::string truncated = "SELECT * FROM bd";
+  expect_error(truncated, "got end of input", truncated.size());
+
+  const std::string trailing =
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd garbage";
+  expect_error(trailing, "unexpected trailing input: 'garbage'",
+               trailing.find("garbage"));
+}
+
 TEST_F(SqlParserTest, ParsedQueryRunsEndToEnd) {
   Relation bd(relation_schema_);
   for (int i = 0; i < 5; ++i) {
