@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 #include <utility>
 
 #include "common/macros.h"
@@ -127,6 +128,14 @@ Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
   return executor;
 }
 
+void MultiQueryExecutor::ApplyPredictiveOptions(
+    operators::OperatorOptions* options) const {
+  options->strategy = options_.strategy;
+  options->sentinel_probes = options_.sentinel_probes;
+  options->feedback = options_.history.get();
+  options->object_ids = &object_ids_;
+}
+
 Result<std::vector<double>> MultiQueryExecutor::BuildArgs(
     const Tuple& stream_tuple, std::size_t row) const {
   std::vector<double> args;
@@ -193,6 +202,13 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
   if (relation_->size() == 0) {
     return Status::FailedPrecondition("relation is empty");
   }
+  if (object_ids_.size() != relation_->size()) {
+    object_ids_.resize(relation_->size());
+    std::iota(object_ids_.begin(), object_ids_.end(), std::uint64_t{0});
+  }
+  // Tick boundary for the cross-tick cost history: decay last tick's
+  // learned ratios before this tick's operators read or extend them.
+  if (options_.history != nullptr) options_.history->BeginTick();
   return options_.scheduled ? ProcessTickScheduled(stream_tuple)
                             : ProcessTickShared(stream_tuple);
 }
@@ -298,6 +314,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
+        ApplyPredictiveOptions(&options);
         const operators::MinMaxVao vao(options);
         VAOLIB_ASSIGN_OR_RETURN(const auto outcome, vao.Evaluate(objects));
         result.winner_row = outcome.winner_index;
@@ -325,6 +342,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
+        ApplyPredictiveOptions(&options);
         const operators::SumAveVao vao(options);
         VAOLIB_ASSIGN_OR_RETURN(const auto outcome,
                                 vao.Evaluate(objects, weights));
@@ -337,6 +355,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
         options.k = query.k;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
+        ApplyPredictiveOptions(&options);
         const operators::TopKVao vao(options);
         VAOLIB_ASSIGN_OR_RETURN(const auto outcome, vao.Evaluate(objects));
         result.top_rows = outcome.winners;
@@ -434,6 +453,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
                 objects, "selection",
                 [constant](const Bounds& b) { return b.Contains(constant); },
                 options_.threads));
+        task->SetFeedback(options_.history.get(), &object_ids_);
         auto* raw = task.get();
         tasks[q] = std::move(task);
         decode[q] = [raw, cmp, constant, &objects](TickResult& result) {
@@ -473,6 +493,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
                                     b.Contains(range.hi);
                            },
                            options_.threads));
+        task->SetFeedback(options_.history.get(), &object_ids_);
         auto* raw = task.get();
         tasks[q] = std::move(task);
         decode[q] = [raw, range, inclusive, &objects](TickResult& result) {
@@ -509,6 +530,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
+        ApplyPredictiveOptions(&options);
         VAOLIB_ASSIGN_OR_RETURN(
             auto task, operators::MinMaxIterationTask::Create(options,
                                                               objects));
@@ -543,6 +565,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
           options.coarse_width = query.epsilon;
           options.coarse_max_steps = kCoarseMaxSteps;
         }
+        ApplyPredictiveOptions(&options);
         VAOLIB_ASSIGN_OR_RETURN(
             auto task, operators::SumAveIterationTask::Create(
                            options, objects, std::move(weights)));
@@ -561,6 +584,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
         options.k = query.k;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
+        ApplyPredictiveOptions(&options);
         VAOLIB_ASSIGN_OR_RETURN(
             auto task,
             operators::TopKIterationTask::Create(options, objects));

@@ -15,16 +15,19 @@
 #ifndef VAOLIB_ENGINE_MULTI_QUERY_H_
 #define VAOLIB_ENGINE_MULTI_QUERY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/work_meter.h"
+#include "engine/cost_history.h"
 #include "engine/executor.h"
 #include "engine/query.h"
 #include "engine/relation.h"
 #include "engine/schema.h"
 #include "engine/scheduler.h"
+#include "operators/operator_base.h"
 
 namespace vaolib::engine {
 
@@ -54,6 +57,21 @@ struct MultiQueryOptions {
   /// and on its IterationTask, and accumulated into the
   /// vaolib_owner_work_units_total{owner=...} counter.
   std::vector<std::string> owners;
+
+  /// Iteration strategy for every aggregate operator the executor runs
+  /// (kCalibratedGreedy / kSentinelGreedy enable calibration-corrected
+  /// scoring; see operators/operator_base.h).
+  operators::StrategyKind strategy = operators::StrategyKind::kGreedy;
+  /// kSentinelGreedy: probe budget per correlation group.
+  int sentinel_probes = 2;
+
+  /// Optional per-(row, solver kind) cost history shared across ticks: the
+  /// executor records every serial iterate into it (keyed by row index, so
+  /// identities survive the per-tick result-object rebuild), calls
+  /// BeginTick() once per tick, and the corrected strategies read it back.
+  /// Share one store across executors (the server dispatcher does, per
+  /// query group) to carry corrections across rebuilds.
+  std::shared_ptr<CostHistory> history;
 };
 
 /// \brief Shared-execution runner for a set of standing queries.
@@ -114,6 +132,10 @@ class MultiQueryExecutor {
   Result<std::vector<double>> BuildArgs(const Tuple& stream_tuple,
                                         std::size_t row) const;
 
+  /// Stamps the predictive-planning knobs (strategy, sentinel budget,
+  /// feedback store, stable object ids) onto an aggregate's options.
+  void ApplyPredictiveOptions(operators::OperatorOptions* options) const;
+
   /// Creates the tick's shared result objects (one per relation row) and
   /// reports their creation cost (total and by kind).
   Result<std::vector<vao::ResultObjectPtr>> CreateSharedObjects(
@@ -139,6 +161,9 @@ class MultiQueryExecutor {
     double constant = 0.0;
   };
   std::vector<BoundArg> bound_args_;  ///< shared bindings (validated equal)
+  /// Stable per-row identities for the cost history (row index: the
+  /// relation row a shared object was built from, constant across ticks).
+  std::vector<std::uint64_t> object_ids_;
 };
 
 }  // namespace vaolib::engine

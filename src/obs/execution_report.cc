@@ -1,5 +1,6 @@
 #include "obs/execution_report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -12,7 +13,14 @@ namespace vaolib::obs {
 namespace {
 
 // max_digits10 rendering so FromJson (strtod) round-trips bit-exactly.
+// Non-finite values would print "nan"/"inf" -- invalid JSON that breaks the
+// round-trip -- so they render as 0 (they can only arise from a poisoned
+// accumulator; the calibration sums drop non-finite samples upstream).
 void AppendExactDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   os << buf;

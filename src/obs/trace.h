@@ -113,6 +113,10 @@ struct TraceEvent {
   double est_cost = 0.0;              ///< predicted work units
   double actual_cost = 0.0;           ///< measured work-unit delta
   double score = 0.0;                 ///< greedy benefit/cost score that won
+  /// Score the raw (uncorrected) estimates would have produced. Equal to
+  /// `score` under the classic strategies; under kCalibratedGreedy /
+  /// kSentinelGreedy the gap between the two is why the pick changed.
+  double raw_score = 0.0;
   /// @}
 };
 
@@ -137,6 +141,7 @@ struct Decision {
   double est_cost = 0.0;
   double actual_cost = 0.0;
   double score = 0.0;
+  double raw_score = 0.0;  ///< score from uncorrected estimates
 };
 
 /// \brief Records one per-iteration decision event. Callers should gate on
@@ -210,6 +215,24 @@ struct CalibrationSnapshot {
     double cost_err_sum = 0.0, cost_abs_err_sum = 0.0;
     double lo_err_sum = 0.0, lo_abs_err_sum = 0.0;
     double hi_err_sum = 0.0, hi_abs_err_sum = 0.0;
+
+    /// \name Guarded bias/MAE accessors (error convention: actual - est).
+    /// Zero-sample kinds return 0.0 -- never NaN -- so consumers (the
+    /// calibrated scoring path, ExecutionReport JSON) stay finite and
+    /// fall back to raw estimates bit-exactly.
+    /// @{
+    double CostBias() const { return Mean(cost_err_sum); }
+    double CostMae() const { return Mean(cost_abs_err_sum); }
+    double LoBias() const { return Mean(lo_err_sum); }
+    double LoMae() const { return Mean(lo_abs_err_sum); }
+    double HiBias() const { return Mean(hi_err_sum); }
+    double HiMae() const { return Mean(hi_abs_err_sum); }
+    /// @}
+
+   private:
+    double Mean(double sum) const {
+      return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+    }
   };
   Kind kinds[kNumSolverKinds] = {};
 

@@ -16,7 +16,13 @@ namespace {
 // fire.
 class GreedyStrategy : public IterationStrategy {
  public:
-  const char* name() const override { return "greedy"; }
+  // The corrected strategies (kCalibratedGreedy, kSentinelGreedy) share
+  // this comparison logic verbatim -- their corrections are applied to the
+  // candidates' benefit/cost by the IterationTask before Choose() runs --
+  // so they differ here only by name.
+  explicit GreedyStrategy(const char* name = "greedy") : name_(name) {}
+
+  const char* name() const override { return name_; }
   bool WantsScores() const override { return true; }
 
   std::size_t Choose(
@@ -43,6 +49,9 @@ class GreedyStrategy : public IterationStrategy {
     }
     return chosen;
   }
+
+ private:
+  const char* name_;
 };
 
 // The batch tier's chooseIter: the same scoring as GreedyStrategy, but
@@ -165,6 +174,12 @@ Result<std::unique_ptr<IterationStrategy>> MakeStrategy(StrategyKind kind,
       return std::unique_ptr<IterationStrategy>(new RandomStrategy(rng));
     case StrategyKind::kBatchGreedy:
       return std::unique_ptr<IterationStrategy>(new BatchGreedyStrategy());
+    case StrategyKind::kCalibratedGreedy:
+      return std::unique_ptr<IterationStrategy>(
+          new GreedyStrategy("calibrated_greedy"));
+    case StrategyKind::kSentinelGreedy:
+      return std::unique_ptr<IterationStrategy>(
+          new GreedyStrategy("sentinel_greedy"));
   }
   return Status::InvalidArgument("unknown strategy kind");
 }

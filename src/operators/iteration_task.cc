@@ -68,7 +68,8 @@ struct DecisionCapture {
 DecisionCapture BeginDecision(const char* op, const char* phase,
                               std::size_t index,
                               const vao::ResultObject& object,
-                              const WorkMeter* meter, double score) {
+                              const WorkMeter* meter, double score,
+                              double raw_score) {
   DecisionCapture capture;
   capture.active = obs::DecisionTraceActive();
   if (!capture.active) return capture;
@@ -85,6 +86,7 @@ DecisionCapture BeginDecision(const char* op, const char* phase,
   capture.decision.est_hi = est.hi;
   capture.decision.est_cost = static_cast<double>(object.est_cost());
   capture.decision.score = score;
+  capture.decision.raw_score = raw_score;
   capture.work_before = meter != nullptr ? meter->Total() : 0;
   return capture;
 }
@@ -124,7 +126,9 @@ double ChosenScore(const std::vector<IterationCandidate>& candidates,
 Status IterateChosenBatch(const char* op, const char* phase,
                           const std::vector<vao::ResultObject*>& objects,
                           const std::vector<std::size_t>& chosen,
-                          const std::vector<double>& scores, WorkMeter* meter,
+                          const std::vector<double>& scores,
+                          const std::vector<double>& raw_scores,
+                          WorkMeter* meter,
                           vao::BatchIterateOutcome* outcome) {
   const bool tracing = obs::DecisionTraceActive();
   std::vector<obs::Decision> decisions;
@@ -144,6 +148,7 @@ Status IterateChosenBatch(const char* op, const char* phase,
       decision.est_hi = est.hi;
       decision.est_cost = static_cast<double>(objects[i]->est_cost());
       decision.score = scores[j];
+      decision.raw_score = j < raw_scores.size() ? raw_scores[j] : scores[j];
       decisions.push_back(decision);
     }
   }
@@ -237,6 +242,7 @@ MinMaxIterationTask::MinMaxIterationTask(
     : options_(options),
       objects_(objects),
       strategy_(std::move(strategy)),
+      corrector_(options_, objects_),
       stall_(objects.size()),
       touched_(objects.size(), false) {}
 
@@ -341,16 +347,38 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
         meter->Charge(WorkKind::kChooseIter, alive_.size());
       }
 
+      // Sentinel probing (kSentinelGreedy): spend this cycle on a pending
+      // correlation-group probe instead of the greedy pick; the observed
+      // outcome re-ranks the probe's whole group.
+      std::size_t probe = 0;
+      if (corrector_.NextProbe(iterable, &probe)) {
+        DecisionCapture trace = BeginDecision(
+            name(), "sentinel", probe, *objects_[probe], meter, 0.0, 0.0);
+        const ScoreCorrector::Observation observation =
+            corrector_.BeginObserve(probe, meter);
+        VAOLIB_RETURN_IF_ERROR(objects_[probe]->Iterate());
+        CommitDecision(&trace);
+        corrector_.CommitObserve(observation, &outcome_.stats);
+        VAOLIB_RETURN_IF_ERROR(ObserveIterate(probe));
+        touched_[probe] = true;
+        ++outcome_.stats.greedy_iterations;
+        if (++outcome_.stats.iterations > options_.max_total_iterations) {
+          return Status::NotConverged(
+              "MIN/MAX exceeded max_total_iterations");
+        }
+        return Status::OK();
+      }
+
       std::vector<IterationCandidate> candidates;
+      std::vector<IterationCandidate> raw_candidates;
       candidates.reserve(iterable.size());
       if (strategy_->WantsScores()) {
         // Estimated total-overlap reduction with the guess, per CPU cycle.
         const Bounds guess_bounds = ViewOf(guess);
-        for (const std::size_t i : iterable) {
+        const auto reduction_of = [&](std::size_t i, const Bounds& est) {
           double reduction = 0.0;
           if (i == guess) {
             // Iterating the guess shrinks its overlap with every rival.
-            const Bounds est = EstViewOf(guess);
             for (const std::size_t j : alive_) {
               if (j == guess) continue;
               const Bounds other = ViewOf(j);
@@ -363,18 +391,38 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
             // est inside the current bounds this equals the paper's
             // min(o_i.H - o'max.L, o_i.H - o_i.estH).
             const Bounds cur = ViewOf(i);
-            const Bounds est = EstViewOf(i);
             reduction = std::max(0.0, guess_bounds.OverlapWidth(cur) -
                                           guess_bounds.OverlapWidth(est));
           }
-          candidates.push_back(IterationCandidate{
-              i, reduction, EstCostOf(*objects_[i]), ViewOf(i).Width()});
+          return reduction;
+        };
+        raw_candidates.reserve(iterable.size());
+        for (const std::size_t i : iterable) {
+          const double raw_cost = EstCostOf(*objects_[i]);
+          const double raw_reduction = reduction_of(i, EstViewOf(i));
+          double reduction = raw_reduction;
+          double cost = raw_cost;
+          if (corrector_.correcting()) {
+            const ScoreCorrector::Corrected corrected = corrector_.Correct(
+                i, objects_[i]->bounds(), objects_[i]->est_bounds(),
+                raw_cost);
+            if (corrected.changed) {
+              cost = corrected.cost;
+              reduction = reduction_of(i, View(corrected.est, options_.kind));
+            }
+          }
+          candidates.push_back(
+              IterationCandidate{i, reduction, cost, ViewOf(i).Width()});
+          raw_candidates.push_back(IterationCandidate{
+              i, raw_reduction, raw_cost, ViewOf(i).Width()});
         }
       } else {
         for (const std::size_t i : iterable) {
           candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
         }
       }
+      const std::vector<IterationCandidate>& raws =
+          raw_candidates.empty() ? candidates : raw_candidates;
       std::vector<std::size_t> picks;
       strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
 
@@ -382,9 +430,13 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
         const std::size_t chosen = picks.front();
         DecisionCapture trace =
             BeginDecision(name(), "search", chosen, *objects_[chosen], meter,
-                          ChosenScore(candidates, chosen));
+                          ChosenScore(candidates, chosen),
+                          ChosenScore(raws, chosen));
+        const ScoreCorrector::Observation observation =
+            corrector_.BeginObserve(chosen, meter);
         VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
         CommitDecision(&trace);
+        corrector_.CommitObserve(observation, &outcome_.stats);
         VAOLIB_RETURN_IF_ERROR(ObserveIterate(chosen));
         touched_[chosen] = true;
         ++outcome_.stats.greedy_iterations;
@@ -398,14 +450,25 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
       // Batch cycle (kBatchGreedy with batch_k > 1): the top-K candidates
       // refine together through the lockstep kernels.
       std::vector<double> scores;
+      std::vector<double> raw_scores;
       scores.reserve(picks.size());
+      raw_scores.reserve(picks.size());
+      std::vector<ScoreCorrector::Observation> observations;
+      observations.reserve(picks.size());
       for (const std::size_t i : picks) {
         scores.push_back(ChosenScore(candidates, i));
+        raw_scores.push_back(ChosenScore(raws, i));
+        observations.push_back(corrector_.BeginObserve(i, nullptr));
       }
       vao::BatchIterateOutcome batch_outcome;
-      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
-          name(), "search", objects_, picks, scores, meter, &batch_outcome));
-      for (const std::size_t i : picks) {
+      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(name(), "search", objects_,
+                                                picks, scores, raw_scores,
+                                                meter, &batch_outcome));
+      for (std::size_t j = 0; j < picks.size(); ++j) {
+        const std::size_t i = picks[j];
+        corrector_.CommitObserveCost(
+            observations[j], static_cast<double>(batch_outcome.spent[j]),
+            &outcome_.stats);
         VAOLIB_RETURN_IF_ERROR(ObserveIterate(i));
         touched_[i] = true;
         ++outcome_.stats.greedy_iterations;
@@ -425,10 +488,14 @@ Status MinMaxIterationTask::StepImpl(WorkMeter* meter) {
       vao::ResultObject* winner = objects_[outcome_.winner_index];
       if (winner->bounds().Width() > options_.epsilon &&
           !EffectivelyConverged(outcome_.winner_index)) {
-        DecisionCapture trace = BeginDecision(
-            name(), "finalize", outcome_.winner_index, *winner, meter, 0.0);
+        DecisionCapture trace =
+            BeginDecision(name(), "finalize", outcome_.winner_index, *winner,
+                          meter, 0.0, 0.0);
+        const ScoreCorrector::Observation observation =
+            corrector_.BeginObserve(outcome_.winner_index, meter);
         VAOLIB_RETURN_IF_ERROR(winner->Iterate());
         CommitDecision(&trace);
+        corrector_.CommitObserve(observation, &outcome_.stats);
         VAOLIB_RETURN_IF_ERROR(ObserveIterate(outcome_.winner_index));
         touched_[outcome_.winner_index] = true;
         ++outcome_.stats.finalize_iterations;
@@ -543,6 +610,7 @@ SumAveIterationTask::SumAveIterationTask(
       objects_(objects),
       weights_(std::move(weights)),
       strategy_(std::move(strategy)),
+      corrector_(options_, objects_),
       stall_(objects.size()),
       touched_(objects.size(), false) {}
 
@@ -570,15 +638,20 @@ Bounds SumAveIterationTask::ExactSum() const {
 }
 
 Status SumAveIterationTask::ApplyIterate(std::size_t chosen, WorkMeter* meter,
-                                         const char* phase, double score) {
+                                         const char* phase, double score,
+                                         double raw_score) {
   // Incrementally maintained output interval: subtract the object's old
   // weighted contribution and add the new one, so each round is O(1) on the
   // interval itself.
   const Bounds before = objects_[chosen]->bounds();
-  DecisionCapture trace =
-      BeginDecision(name(), phase, chosen, *objects_[chosen], meter, score);
+  DecisionCapture trace = BeginDecision(name(), phase, chosen,
+                                        *objects_[chosen], meter, score,
+                                        raw_score);
+  const ScoreCorrector::Observation observation =
+      corrector_.BeginObserve(chosen, meter);
   VAOLIB_RETURN_IF_ERROR(objects_[chosen]->Iterate());
   CommitDecision(&trace);
+  corrector_.CommitObserve(observation, &outcome_.stats);
   VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[chosen], "SUM/AVE"));
   const Bounds after = objects_[chosen]->bounds();
   sum_.lo += weights_[chosen] * (after.lo - before.lo);
@@ -601,6 +674,10 @@ Status SumAveIterationTask::StepImpl(WorkMeter* meter) {
         if (coarse_iterations[i] > 0) touched_[i] = true;
       }
       sum_ = ExactSum();
+      // The lazy heap caches each object's score at push time, which is
+      // only sound while scores depend on the object alone. The corrected
+      // strategies re-derive scores from live history/sentinel state every
+      // cycle, so they always take the O(N) scan path.
       if (options_.use_heap_index &&
           (options_.strategy == StrategyKind::kGreedy ||
            options_.strategy == StrategyKind::kBatchGreedy)) {
@@ -652,29 +729,61 @@ Status SumAveIterationTask::StepScan(WorkMeter* meter) {
     meter->Charge(WorkKind::kChooseIter, iterable.size());
   }
 
+  // Sentinel probing: pending correlation-group probes pre-empt the greedy
+  // pick (kSentinelGreedy only; NextProbe is a no-op otherwise).
+  std::size_t probe = 0;
+  if (corrector_.NextProbe(iterable, &probe)) {
+    VAOLIB_RETURN_IF_ERROR(ApplyIterate(probe, meter, "sentinel", 0.0, 0.0));
+    ++outcome_.stats.greedy_iterations;
+    if (++outcome_.stats.iterations > options_.max_total_iterations) {
+      return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
+    }
+    return Status::OK();
+  }
+
   std::vector<IterationCandidate> candidates;
+  std::vector<IterationCandidate> raw_candidates;
   candidates.reserve(iterable.size());
   if (strategy_->WantsScores()) {
     // The paper's heuristic: estimated weighted error reduction
     // w_i * [(estL - L) + (H - estH)] per estimated CPU cycle; the widest
     // actual weighted width is the no-predicted-progress fallback.
+    raw_candidates.reserve(iterable.size());
     for (const std::size_t i : iterable) {
-      candidates.push_back(IterationCandidate{
-          i, SumReduction(*objects_[i], weights_[i]), EstCostOf(*objects_[i]),
-          weights_[i] * objects_[i]->bounds().Width()});
+      const double raw_benefit = SumReduction(*objects_[i], weights_[i]);
+      const double raw_cost = EstCostOf(*objects_[i]);
+      double benefit = raw_benefit;
+      double cost = raw_cost;
+      if (corrector_.correcting()) {
+        const Bounds cur = objects_[i]->bounds();
+        const ScoreCorrector::Corrected corrected =
+            corrector_.Correct(i, cur, objects_[i]->est_bounds(), raw_cost);
+        if (corrected.changed) {
+          cost = corrected.cost;
+          benefit = std::max(0.0, weights_[i] * ((corrected.est.lo - cur.lo) +
+                                                 (cur.hi - corrected.est.hi)));
+        }
+      }
+      const double width = weights_[i] * objects_[i]->bounds().Width();
+      candidates.push_back(IterationCandidate{i, benefit, cost, width});
+      raw_candidates.push_back(
+          IterationCandidate{i, raw_benefit, raw_cost, width});
     }
   } else {
     for (const std::size_t i : iterable) {
       candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
     }
   }
+  const std::vector<IterationCandidate>& raws =
+      raw_candidates.empty() ? candidates : raw_candidates;
   std::vector<std::size_t> picks;
   strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
 
   if (picks.size() == 1) {
     const std::size_t chosen = picks.front();
-    VAOLIB_RETURN_IF_ERROR(
-        ApplyIterate(chosen, meter, "scan", ChosenScore(candidates, chosen)));
+    VAOLIB_RETURN_IF_ERROR(ApplyIterate(chosen, meter, "scan",
+                                        ChosenScore(candidates, chosen),
+                                        ChosenScore(raws, chosen)));
     ++outcome_.stats.greedy_iterations;
     if (++outcome_.stats.iterations > options_.max_total_iterations) {
       return Status::NotConverged("SUM/AVE exceeded max_total_iterations");
@@ -683,11 +792,15 @@ Status SumAveIterationTask::StepScan(WorkMeter* meter) {
   }
 
   std::vector<double> scores;
+  std::vector<double> raw_scores;
   scores.reserve(picks.size());
+  raw_scores.reserve(picks.size());
   for (const std::size_t i : picks) {
     scores.push_back(ChosenScore(candidates, i));
+    raw_scores.push_back(ChosenScore(raws, i));
   }
-  VAOLIB_RETURN_IF_ERROR(ApplyIterateBatch(picks, scores, meter, "scan"));
+  VAOLIB_RETURN_IF_ERROR(
+      ApplyIterateBatch(picks, scores, raw_scores, meter, "scan"));
   outcome_.stats.greedy_iterations += picks.size();
   outcome_.stats.iterations += picks.size();
   if (outcome_.stats.iterations > options_.max_total_iterations) {
@@ -698,17 +811,27 @@ Status SumAveIterationTask::StepScan(WorkMeter* meter) {
 
 Status SumAveIterationTask::ApplyIterateBatch(
     const std::vector<std::size_t>& chosen, const std::vector<double>& scores,
-    WorkMeter* meter, const char* phase) {
+    const std::vector<double>& raw_scores, WorkMeter* meter,
+    const char* phase) {
   // Batch form of ApplyIterate: one lockstep dispatch, then the same
   // incremental interval maintenance per object.
   std::vector<Bounds> before;
   before.reserve(chosen.size());
-  for (const std::size_t i : chosen) before.push_back(objects_[i]->bounds());
+  std::vector<ScoreCorrector::Observation> observations;
+  observations.reserve(chosen.size());
+  for (const std::size_t i : chosen) {
+    before.push_back(objects_[i]->bounds());
+    observations.push_back(corrector_.BeginObserve(i, nullptr));
+  }
   vao::BatchIterateOutcome batch_outcome;
-  VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
-      name(), phase, objects_, chosen, scores, meter, &batch_outcome));
+  VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(name(), phase, objects_, chosen,
+                                            scores, raw_scores, meter,
+                                            &batch_outcome));
   for (std::size_t j = 0; j < chosen.size(); ++j) {
     const std::size_t i = chosen[j];
+    corrector_.CommitObserveCost(observations[j],
+                                 static_cast<double>(batch_outcome.spent[j]),
+                                 &outcome_.stats);
     VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "SUM/AVE"));
     const Bounds after = objects_[i]->bounds();
     sum_.lo += weights_[i] * (after.lo - before[j].lo);
@@ -747,10 +870,11 @@ Status SumAveIterationTask::StepHeap(WorkMeter* meter) {
   }
 
   if (picks.size() == 1) {
-    VAOLIB_RETURN_IF_ERROR(
-        ApplyIterate(picks.front(), meter, "heap", scores.front()));
+    VAOLIB_RETURN_IF_ERROR(ApplyIterate(picks.front(), meter, "heap",
+                                        scores.front(), scores.front()));
   } else {
-    VAOLIB_RETURN_IF_ERROR(ApplyIterateBatch(picks, scores, meter, "heap"));
+    VAOLIB_RETURN_IF_ERROR(
+        ApplyIterateBatch(picks, scores, scores, meter, "heap"));
   }
   // Stalled objects simply stop being re-pushed, so their (sound, frozen)
   // contribution stays in the sum.
@@ -817,6 +941,7 @@ TopKIterationTask::TopKIterationTask(
     : options_(options),
       objects_(objects),
       strategy_(std::move(strategy)),
+      corrector_(options_, objects_),
       stall_(objects.size()),
       touched_(objects.size(), false),
       order_(objects.size()) {
@@ -849,11 +974,14 @@ bool TopKIterationTask::EffectivelyConverged(std::size_t i) const {
 Status TopKIterationTask::IterateOne(std::size_t i,
                                      std::uint64_t* phase_counter,
                                      WorkMeter* meter, const char* phase,
-                                     double score) {
+                                     double score, double raw_score) {
   DecisionCapture trace =
-      BeginDecision(name(), phase, i, *objects_[i], meter, score);
+      BeginDecision(name(), phase, i, *objects_[i], meter, score, raw_score);
+  const ScoreCorrector::Observation observation =
+      corrector_.BeginObserve(i, meter);
   VAOLIB_RETURN_IF_ERROR(objects_[i]->Iterate());
   CommitDecision(&trace);
+  corrector_.CommitObserve(observation, &outcome_.stats);
   VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "TOP-K"));
   stall_[i].Observe(objects_[i]->bounds().Width());
   touched_[i] = true;
@@ -945,18 +1073,24 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
         meter->Charge(WorkKind::kChooseIter, conflicted.size());
       }
 
+      // Sentinel probing: pending correlation-group probes pre-empt the
+      // greedy pick (kSentinelGreedy only).
+      std::size_t probe = 0;
+      if (corrector_.NextProbe(iterable, &probe)) {
+        return IterateOne(probe, &outcome_.stats.greedy_iterations, meter,
+                          "sentinel", 0.0, 0.0);
+      }
+
       std::vector<IterationCandidate> candidates;
+      std::vector<IterationCandidate> raw_candidates;
       candidates.reserve(iterable.size());
       if (strategy_->WantsScores()) {
         // Greedy: the largest predicted cross-boundary overlap reduction
         // per estimated CPU cycle.
         const auto member_set_end =
             order_.begin() + static_cast<std::ptrdiff_t>(k);
-        for (const std::size_t i : iterable) {
-          const bool is_member =
-              std::find(order_.begin(), member_set_end, i) != member_set_end;
-          const Bounds cur = ViewOf(i);
-          const Bounds est = EstViewOf(i);
+        const auto gain_of = [&](bool is_member, const Bounds& cur,
+                                 const Bounds& est) {
           double gain;
           if (is_member) {
             // Raising a member's lower bound toward the outsiders' ceiling.
@@ -965,33 +1099,68 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
             // Lowering an outsider's upper bound toward the members' floor.
             gain = std::min(cur.hi - boundary_lo, cur.hi - est.hi);
           }
-          gain = std::max(gain, 0.0);
-          candidates.push_back(IterationCandidate{
-              i, gain, EstCostOf(*objects_[i]), ViewOf(i).Width()});
+          return std::max(gain, 0.0);
+        };
+        raw_candidates.reserve(iterable.size());
+        for (const std::size_t i : iterable) {
+          const bool is_member =
+              std::find(order_.begin(), member_set_end, i) != member_set_end;
+          const Bounds cur = ViewOf(i);
+          const double raw_gain = gain_of(is_member, cur, EstViewOf(i));
+          const double raw_cost = EstCostOf(*objects_[i]);
+          double gain = raw_gain;
+          double cost = raw_cost;
+          if (corrector_.correcting()) {
+            const ScoreCorrector::Corrected corrected = corrector_.Correct(
+                i, objects_[i]->bounds(), objects_[i]->est_bounds(),
+                raw_cost);
+            if (corrected.changed) {
+              cost = corrected.cost;
+              gain = gain_of(is_member, cur,
+                             View(corrected.est, options_.kind));
+            }
+          }
+          candidates.push_back(
+              IterationCandidate{i, gain, cost, ViewOf(i).Width()});
+          raw_candidates.push_back(
+              IterationCandidate{i, raw_gain, raw_cost, ViewOf(i).Width()});
         }
       } else {
         for (const std::size_t i : iterable) {
           candidates.push_back(IterationCandidate{i, 0.0, 1.0, 0.0});
         }
       }
+      const std::vector<IterationCandidate>& raws =
+          raw_candidates.empty() ? candidates : raw_candidates;
       std::vector<std::size_t> picks;
       strategy_->ChooseBatch(candidates, CycleBatchK(options_), &picks);
       if (picks.size() == 1) {
         const std::size_t chosen = picks.front();
         return IterateOne(chosen, &outcome_.stats.greedy_iterations, meter,
-                          "boundary", ChosenScore(candidates, chosen));
+                          "boundary", ChosenScore(candidates, chosen),
+                          ChosenScore(raws, chosen));
       }
 
       std::vector<double> scores;
+      std::vector<double> raw_scores;
       scores.reserve(picks.size());
+      raw_scores.reserve(picks.size());
+      std::vector<ScoreCorrector::Observation> observations;
+      observations.reserve(picks.size());
       for (const std::size_t i : picks) {
         scores.push_back(ChosenScore(candidates, i));
+        raw_scores.push_back(ChosenScore(raws, i));
+        observations.push_back(corrector_.BeginObserve(i, nullptr));
       }
       vao::BatchIterateOutcome batch_outcome;
-      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(
-          name(), "boundary", objects_, picks, scores, meter,
-          &batch_outcome));
-      for (const std::size_t i : picks) {
+      VAOLIB_RETURN_IF_ERROR(IterateChosenBatch(name(), "boundary", objects_,
+                                                picks, scores, raw_scores,
+                                                meter, &batch_outcome));
+      for (std::size_t j = 0; j < picks.size(); ++j) {
+        const std::size_t i = picks[j];
+        corrector_.CommitObserveCost(
+            observations[j], static_cast<double>(batch_outcome.spent[j]),
+            &outcome_.stats);
         VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], "TOP-K"));
         stall_[i].Observe(objects_[i]->bounds().Width());
         touched_[i] = true;
@@ -1011,7 +1180,7 @@ Status TopKIterationTask::StepImpl(WorkMeter* meter) {
         if (objects_[i]->bounds().Width() > options_.epsilon &&
             !EffectivelyConverged(i)) {
           return IterateOne(i, &outcome_.stats.finalize_iterations, meter,
-                            "finalize", 0.0);
+                            "finalize", 0.0, 0.0);
         }
         ++finalize_cursor_;
       }
@@ -1143,7 +1312,7 @@ Status SingleObjectDecisionTask::StepImpl(WorkMeter* meter) {
   // bounds must surface as NumericError, not flow into comparisons).
   if (undecided_(object_->bounds()) && !object_->AtStoppingCondition()) {
     DecisionCapture trace =
-        BeginDecision(name(), "decide", 0, *object_, meter, 0.0);
+        BeginDecision(name(), "decide", 0, *object_, meter, 0.0, 0.0);
     VAOLIB_RETURN_IF_ERROR(object_->Iterate());
     CommitDecision(&trace);
     ++iterations_;
@@ -1230,13 +1399,17 @@ Status MultiRowDecisionTask::StepImpl(WorkMeter* meter) {
   // after the batch, on this (driving) thread in pending order, so the
   // event sequence is deterministic regardless of how the pool interleaves.
   const bool tracing = obs::DecisionTraceActive();
+  // Feedback recording reuses the same pre-captured state; it also runs on
+  // the driving thread in pending order, so the history a run leaves behind
+  // is identical at every thread count.
+  const bool capture_before = tracing || feedback_ != nullptr;
   struct RowBefore {
     Bounds bounds;
     Bounds est;
     double est_cost;
   };
   std::vector<RowBefore> before;
-  if (tracing) {
+  if (capture_before) {
     before.reserve(pending.size());
     for (const std::size_t i : pending) {
       before.push_back(RowBefore{
@@ -1277,6 +1450,25 @@ Status MultiRowDecisionTask::StepImpl(WorkMeter* meter) {
       decision.lo_after = after.lo;
       decision.hi_after = after.hi;
       obs::RecordDecision(decision);
+    }
+    if (feedback_ != nullptr) {
+      // Shrink-only observation: per-row cost is unattributable on the
+      // threaded path, and a serially-attributed cost would make the
+      // recorded history depend on the thread count.
+      CostObservation cost_observation;
+      cost_observation.est_cost = std::max(before[p].est_cost, 1.0);
+      cost_observation.actual_cost = -1.0;
+      cost_observation.est_shrink =
+          std::max(0.0, before[p].est.lo - before[p].bounds.lo) +
+          std::max(0.0, before[p].bounds.hi - before[p].est.hi);
+      cost_observation.actual_shrink = std::max(
+          0.0, before[p].bounds.Width() - objects_[i]->bounds().Width());
+      const std::uint64_t id =
+          feedback_ids_ != nullptr && i < feedback_ids_->size()
+              ? (*feedback_ids_)[i]
+              : static_cast<std::uint64_t>(i);
+      feedback_->Record(id, objects_[i]->calibration_kind(),
+                        cost_observation);
     }
     VAOLIB_RETURN_IF_ERROR(ValidateObjectBounds(*objects_[i], who_));
     if (!touched_[i]) {

@@ -30,6 +30,7 @@
 #include "operators/iteration_strategy.h"
 #include "operators/min_max.h"
 #include "operators/operator_base.h"
+#include "operators/score_corrector.h"
 #include "operators/score_heap.h"
 #include "operators/sum_ave.h"
 #include "operators/top_k.h"
@@ -148,6 +149,7 @@ class MinMaxIterationTask : public IterationTask {
   MinMaxOptions options_;
   std::vector<vao::ResultObject*> objects_;
   std::unique_ptr<IterationStrategy> strategy_;
+  ScoreCorrector corrector_;
   std::vector<StallGuard> stall_;
   std::vector<bool> touched_;
   std::vector<std::size_t> alive_;
@@ -185,10 +187,11 @@ class SumAveIterationTask : public IterationTask {
   Status StepScan(WorkMeter* meter);
   Status StepHeap(WorkMeter* meter);
   Status ApplyIterate(std::size_t chosen, WorkMeter* meter, const char* phase,
-                      double score);
+                      double score, double raw_score);
   Status ApplyIterateBatch(const std::vector<std::size_t>& chosen,
-                           const std::vector<double>& scores, WorkMeter* meter,
-                           const char* phase);
+                           const std::vector<double>& scores,
+                           const std::vector<double>& raw_scores,
+                           WorkMeter* meter, const char* phase);
   Bounds ExactSum() const;
   void Finish();
 
@@ -196,6 +199,7 @@ class SumAveIterationTask : public IterationTask {
   std::vector<vao::ResultObject*> objects_;
   std::vector<double> weights_;
   std::unique_ptr<IterationStrategy> strategy_;
+  ScoreCorrector corrector_;
   std::vector<StallGuard> stall_;
   std::vector<bool> touched_;
   Bounds sum_;
@@ -233,12 +237,14 @@ class TopKIterationTask : public IterationTask {
   Bounds EstViewOf(std::size_t i) const;
   bool EffectivelyConverged(std::size_t i) const;
   Status IterateOne(std::size_t i, std::uint64_t* phase_counter,
-                    WorkMeter* meter, const char* phase, double score);
+                    WorkMeter* meter, const char* phase, double score,
+                    double raw_score);
   void Finish();
 
   TopKOptions options_;
   std::vector<vao::ResultObject*> objects_;
   std::unique_ptr<IterationStrategy> strategy_;
+  ScoreCorrector corrector_;
   std::vector<StallGuard> stall_;
   std::vector<bool> touched_;
   std::vector<std::size_t> order_;
@@ -300,6 +306,18 @@ class MultiRowDecisionTask : public IterationTask {
 
   const char* name() const override { return "selection_rows"; }
 
+  /// Attaches a cost-history store: each refined row's predicted-vs-actual
+  /// bound shrink is recorded after every Step(). Only shrink is recorded
+  /// (actual per-row cost is unattributable on the threaded path, and
+  /// recording it serially-only would make the history depend on the
+  /// thread count). \p ids, when non-null, maps row index -> stable object
+  /// id; both pointers are borrowed and must outlive the task.
+  void SetFeedback(CostFeedback* feedback,
+                   const std::vector<std::uint64_t>* ids) {
+    feedback_ = feedback;
+    feedback_ids_ = ids;
+  }
+
   /// True when row \p i no longer needs refinement (predicate decidable
   /// from bounds, object converged, or quarantined after a stall).
   bool RowSettled(std::size_t i) const { return settled_[i]; }
@@ -321,6 +339,8 @@ class MultiRowDecisionTask : public IterationTask {
   const char* who_;
   UndecidedFn undecided_;
   int threads_;
+  CostFeedback* feedback_ = nullptr;
+  const std::vector<std::uint64_t>* feedback_ids_ = nullptr;
   std::vector<StallGuard> stall_;
   std::vector<bool> settled_;
   std::vector<bool> touched_;

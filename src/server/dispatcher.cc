@@ -173,6 +173,13 @@ Status Dispatcher::RebuildGroups() {
     options.scheduled = true;
     options.scheduler.policy = config_.policy;
     options.scheduler.budget = group.budget;
+    options.strategy = config_.strategy;
+    options.sentinel_probes = config_.sentinel_probes;
+    // The history store outlives the executor: fetch-or-create per group
+    // signature so corrections learned before a rebuild keep applying.
+    auto& history = histories_[signature];
+    if (history == nullptr) history = std::make_shared<engine::CostHistory>();
+    options.history = history;
     std::vector<engine::Query> queries;
     queries.reserve(group.members.size());
     for (const QueryKey& member : group.members) {
@@ -186,6 +193,11 @@ Status Dispatcher::RebuildGroups() {
         group.executor,
         engine::MultiQueryExecutor::Create(relation_, stream_schema_,
                                            std::move(queries), options));
+  }
+  // Drop histories whose signature no longer has a group; a signature that
+  // comes back later starts learning from scratch.
+  for (auto it = histories_.begin(); it != histories_.end();) {
+    it = groups_.count(it->first) ? std::next(it) : histories_.erase(it);
   }
   return Status::OK();
 }

@@ -49,6 +49,14 @@ struct DispatcherConfig {
   /// Evict a best-effort standing query after this many CONSECUTIVE
   /// unconverged ticks (0 disables eviction). Reserved tenants are exempt.
   int shed_after_misses = 3;
+  /// Iteration strategy for every group's aggregate operators.
+  /// kCalibratedGreedy / kSentinelGreedy turn on calibration-corrected
+  /// scoring backed by a per-group CostHistory that survives group
+  /// rebuilds, so corrections learned on tick N still apply after a
+  /// register/withdraw churns the group set.
+  operators::StrategyKind strategy = operators::StrategyKind::kGreedy;
+  /// kSentinelGreedy: probe budget per correlation group.
+  int sentinel_probes = 2;
   AdmissionConfig admission;
 };
 
@@ -142,6 +150,10 @@ class Dispatcher {
 
   std::map<QueryKey, StandingQuery> standing_;
   std::map<std::string, Group> groups_;
+  /// Per-group-signature cost history; keyed like `groups_` but kept
+  /// across RebuildGroups() so learned corrections survive query churn.
+  /// Signatures with no surviving group are pruned on rebuild.
+  std::map<std::string, std::shared_ptr<engine::CostHistory>> histories_;
   bool dirty_ = true;
 
   std::uint64_t tick_seq_ = 0;

@@ -81,6 +81,16 @@ class ChaosResultObject : public vao::ResultObject {
   std::uint64_t traditional_cost() const override {
     return inner_->traditional_cost();
   }
+  // Identity passes through untouched: a chaos object lies about estimates
+  // and bounds, never about which solver family / correlation group it
+  // belongs to (that is exactly the situation the calibrated strategies
+  // must correct).
+  int calibration_kind() const override {
+    return inner_->calibration_kind();
+  }
+  std::string correlation_key() const override {
+    return inner_->correlation_key();
+  }
 
   const FaultPlan& plan() const { return plan_; }
   const vao::ResultObject& inner() const { return *inner_; }

@@ -94,6 +94,12 @@ class WriteBackResultObject : public ResultObject {
   std::uint64_t traditional_cost() const override {
     return inner_->traditional_cost();
   }
+  int calibration_kind() const override {
+    return inner_->calibration_kind();
+  }
+  std::string correlation_key() const override {
+    return inner_->correlation_key();
+  }
 
  private:
   ResultObjectPtr inner_;
@@ -158,6 +164,12 @@ class LazyWriteBackResultObject : public ResultObject {
   int iterations() const override { return iterations_; }
   std::uint64_t traditional_cost() const override {
     return inner_ != nullptr ? inner_->traditional_cost() : 0;
+  }
+  int calibration_kind() const override {
+    return inner_ != nullptr ? inner_->calibration_kind() : -1;
+  }
+  std::string correlation_key() const override {
+    return inner_ != nullptr ? inner_->correlation_key() : std::string();
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "numeric/integration.h"
+#include "obs/metrics.h"
 #include "vao/result_object.h"
 
 namespace vaolib::vao {
@@ -47,6 +48,10 @@ class IntegralResultObject : public ResultObjectBase {
   Bounds est_bounds() const override {
     return integral_->PredictedBoundsAfterRefine();
   }
+  int calibration_kind() const override {
+    return static_cast<int>(obs::SolverKind::kIntegral);
+  }
+
   std::uint64_t traditional_cost() const override {
     // A one-shot composite rule at the final resolution evaluates every
     // current sample point once; the refinable integral evaluated exactly

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "numeric/ode_ivp.h"
+#include "obs/metrics.h"
 #include "vao/result_object.h"
 
 namespace vaolib::vao {
@@ -38,6 +39,10 @@ class IvpResultObject : public ResultObjectBase {
   Status Iterate() override;
   std::uint64_t est_cost() const override { return est_cost_; }
   Bounds est_bounds() const override { return est_bounds_; }
+  int calibration_kind() const override {
+    return static_cast<int>(obs::SolverKind::kIvp);
+  }
+
   std::uint64_t traditional_cost() const override {
     return static_cast<std::uint64_t>(steps_) * 4;
   }

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "numeric/ode_solver.h"
+#include "obs/metrics.h"
 #include "vao/result_object.h"
 
 namespace vaolib::vao {
@@ -39,6 +40,10 @@ class OdeResultObject : public ResultObjectBase {
   Status Iterate() override;
   std::uint64_t est_cost() const override { return est_cost_; }
   Bounds est_bounds() const override { return est_bounds_; }
+  int calibration_kind() const override {
+    return static_cast<int>(obs::SolverKind::kOde);
+  }
+
   std::uint64_t traditional_cost() const override {
     return static_cast<std::uint64_t>(intervals_ - 1);
   }

@@ -14,6 +14,7 @@
 
 #include "numeric/pde2d_solver.h"
 #include "numeric/richardson.h"
+#include "obs/metrics.h"
 #include "vao/result_object.h"
 
 namespace vaolib::vao {
@@ -41,6 +42,10 @@ class Pde2dResultObject : public ResultObjectBase {
   Status Iterate() override;
   std::uint64_t est_cost() const override { return est_cost_; }
   Bounds est_bounds() const override { return est_bounds_; }
+  int calibration_kind() const override {
+    return static_cast<int>(obs::SolverKind::kPde2d);
+  }
+
   std::uint64_t traditional_cost() const override {
     return grid_.MeshEntries();
   }

@@ -85,6 +85,21 @@ class ResultObject {
   /// default) means "not batchable right now" -- at a refinement cap, about
   /// to hit a memoized solve, or simply not backed by a batch kernel.
   virtual std::string batch_key() const { return {}; }
+
+  /// Index into obs::SolverKind of the calibrated solver family this
+  /// object's estimates come from, or -1 (the default) for objects outside
+  /// those families (synthetic, custom black boxes). The calibrated
+  /// scoring path uses it to pick the right CalibrationSnapshot bias for
+  /// a candidate; wrappers must forward it.
+  virtual int calibration_kind() const { return -1; }
+
+  /// Correlation-group key for sentinel re-ranking: objects sharing a
+  /// non-empty key are expected to move together (same rate tick, same
+  /// model family), so observations on a few members predict the rest.
+  /// Defaults to batch_key() -- lockstep-batchable objects are correlated
+  /// by construction -- but can be broader: correlated objects need not be
+  /// kernel-batchable. Wrappers must forward it.
+  virtual std::string correlation_key() const { return batch_key(); }
 };
 
 using ResultObjectPtr = std::unique_ptr<ResultObject>;

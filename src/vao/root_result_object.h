@@ -9,6 +9,7 @@
 #include <string>
 
 #include "numeric/roots.h"
+#include "obs/metrics.h"
 #include "vao/result_object.h"
 
 namespace vaolib::vao {
@@ -44,6 +45,10 @@ class RootResultObject : public ResultObjectBase {
   Bounds est_bounds() const override {
     return finder_->PredictedBoundsAfterStep();
   }
+  int calibration_kind() const override {
+    return static_cast<int>(obs::SolverKind::kRoot);
+  }
+
   std::uint64_t traditional_cost() const override {
     // A traditional bisection run to the same accuracy performs the same
     // probes, so cost_trad == cumulative evaluations (Section 4.4).

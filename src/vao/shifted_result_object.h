@@ -42,6 +42,12 @@ class ShiftedResultObject : public ResultObject {
   /// The inner object's key: a shifted object batches whenever its backing
   /// object does (shifting only relabels bounds, never the solve).
   std::string batch_key() const override { return inner_->batch_key(); }
+  int calibration_kind() const override {
+    return inner_->calibration_kind();
+  }
+  std::string correlation_key() const override {
+    return inner_->correlation_key();
+  }
 
   double shift() const { return shift_; }
   const ResultObject& inner() const { return *inner_; }

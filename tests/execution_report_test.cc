@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/work_meter.h"
+#include "obs/trace.h"
 #include "engine/executor.h"
 #include "engine/multi_query.h"
 #include "engine/query.h"
@@ -171,6 +174,48 @@ TEST(ExecutionReportTest, CalibrationBlockRoundTripsAndDerivesBiasMae) {
       parsed->calibration[static_cast<int>(SolverKind::kRoot)];
   EXPECT_EQ(empty.samples, 0u);
   EXPECT_DOUBLE_EQ(empty.CostBias(), 0.0);
+}
+
+TEST(ExecutionReportTest, ZeroSampleCalibrationNeverEmitsNaN) {
+  // Regression: zero-sample solver kinds used to derive bias/MAE as 0/0 =
+  // NaN, which leaked into the JSON and broke the round-trip. The guarded
+  // accessors must return 0.0 for every derived view.
+  const CalibrationKindStats empty;
+  EXPECT_EQ(empty.CostBias(), 0.0);
+  EXPECT_EQ(empty.CostMae(), 0.0);
+  EXPECT_EQ(empty.LoBias(), 0.0);
+  EXPECT_EQ(empty.LoMae(), 0.0);
+  EXPECT_EQ(empty.HiBias(), 0.0);
+  EXPECT_EQ(empty.HiMae(), 0.0);
+  const CalibrationSnapshot::Kind live;
+  EXPECT_EQ(live.CostBias(), 0.0);
+  EXPECT_EQ(live.CostMae(), 0.0);
+  EXPECT_EQ(live.LoBias(), 0.0);
+  EXPECT_EQ(live.LoMae(), 0.0);
+  EXPECT_EQ(live.HiBias(), 0.0);
+  EXPECT_EQ(live.HiMae(), 0.0);
+}
+
+TEST(ExecutionReportTest, PoisonedCalibrationSumsStillRoundTripAsJson) {
+  // Even if a non-finite error sum sneaks into the report (a solver that
+  // produced inf bounds before the sample filter), RenderJson must stay
+  // parseable: non-finite doubles render as 0.
+  ExecutionReport report;
+  report.query_kind = "max";
+  CalibrationKindStats& bad = report.calibration[0];
+  bad.samples = 2;
+  bad.cost_err_sum = std::numeric_limits<double>::quiet_NaN();
+  bad.hi_abs_err_sum = std::numeric_limits<double>::infinity();
+  std::ostringstream os;
+  report.RenderJson(os);
+  const auto parsed = ExecutionReport::FromJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const CalibrationKindStats& back = parsed->calibration[0];
+  EXPECT_EQ(back.samples, 2u);
+  EXPECT_TRUE(std::isfinite(back.cost_err_sum));
+  EXPECT_TRUE(std::isfinite(back.hi_abs_err_sum));
+  EXPECT_TRUE(std::isfinite(back.CostBias()));
+  EXPECT_TRUE(std::isfinite(back.HiMae()));
 }
 
 TEST(ExecutionReportTest, FromJsonRejectsMalformedInput) {
