@@ -35,9 +35,15 @@
 /// The paper's core abstraction: \ref vaolib::vao::VariableAccuracyFunction
 /// produces a \ref vaolib::vao::ResultObject whose bounds tighten with each
 /// Iterate() call. Includes the black-box adapter, the sharded
-/// \ref vaolib::vao::BoundsCache / CachingFunction memoization layer, and
-/// the parallel StepAll batch driver.
+/// \ref vaolib::vao::BoundsCache / CachingFunction memoization layer, the
+/// parallel StepAll batch driver, and the unified probabilistic
+/// \ref vaolib::vao::Answer every executor seam returns: a Bounds plus
+/// answer mode (exact / approximate), confidence, sample accounting, and
+/// the deterministic-vs-sampling width decomposition. Answer lifts
+/// implicitly from Bounds, so pre-existing exact-mode code compiles
+/// unchanged.
 
+#include "vao/answer.h"          // IWYU pragma: export
 #include "vao/black_box.h"       // IWYU pragma: export
 #include "vao/function_cache.h"  // IWYU pragma: export
 #include "vao/parallel.h"        // IWYU pragma: export
@@ -65,16 +71,22 @@
 /// single-query \ref vaolib::engine::CqExecutor, the shared-result
 /// \ref vaolib::engine::MultiQueryExecutor, and the budget-aware
 /// \ref vaolib::engine::WorkScheduler with its fair-share / EDF / greedy
-/// global policies.
+/// global policies. The approximate tier (engine/sampling) serves sampled
+/// SUM/AVE/TOP-K behind the same seams: seeded row samplers and the
+/// resumable \ref vaolib::engine::sampling::SampledSumTask, enabled per
+/// query via \ref vaolib::engine::ApproxSpec (`APPROX WITH CONFIDENCE ...`
+/// in SQL).
 
-#include "engine/executor.h"     // IWYU pragma: export
-#include "engine/multi_query.h"  // IWYU pragma: export
-#include "engine/query.h"        // IWYU pragma: export
-#include "engine/relation.h"     // IWYU pragma: export
-#include "engine/scheduler.h"    // IWYU pragma: export
-#include "engine/schema.h"       // IWYU pragma: export
-#include "engine/sql_parser.h"   // IWYU pragma: export
-#include "engine/value.h"        // IWYU pragma: export
+#include "engine/executor.h"             // IWYU pragma: export
+#include "engine/multi_query.h"          // IWYU pragma: export
+#include "engine/query.h"                // IWYU pragma: export
+#include "engine/relation.h"             // IWYU pragma: export
+#include "engine/sampling/sampled_sum.h" // IWYU pragma: export
+#include "engine/sampling/sampler.h"     // IWYU pragma: export
+#include "engine/scheduler.h"            // IWYU pragma: export
+#include "engine/schema.h"               // IWYU pragma: export
+#include "engine/sql_parser.h"           // IWYU pragma: export
+#include "engine/value.h"                // IWYU pragma: export
 
 /// \defgroup vaolib_obs Observability
 /// Process-wide \ref vaolib::obs::MetricsRegistry (Prometheus-style

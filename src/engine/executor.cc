@@ -5,6 +5,9 @@
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "engine/sampling/sampled_sum.h"
+#include "engine/sampling/sampler.h"
+#include "operators/iteration_task.h"
 #include "obs/trace.h"
 #include "operators/min_max.h"
 #include "operators/selection.h"
@@ -72,6 +75,28 @@ Result<std::unique_ptr<CqExecutor>> CqExecutor::Create(
         "query binds " + std::to_string(query.args.size()) +
         " args but function '" + query.function->name() + "' expects " +
         std::to_string(query.function->arity()));
+  }
+  if (query.approx.has_value()) {
+    if (mode == ExecutionMode::kTraditional) {
+      return Status::InvalidArgument(
+          "approximate execution requires VAO mode");
+    }
+    if (query.kind != QueryKind::kSum && query.kind != QueryKind::kAve &&
+        query.kind != QueryKind::kTopK) {
+      return Status::InvalidArgument(
+          "APPROX applies to SUM/AVE/TOP-K queries only");
+    }
+    if (!(query.approx->confidence > 0.0) ||
+        !(query.approx->confidence < 1.0)) {
+      return Status::InvalidArgument(
+          "APPROX confidence must be in (0, 1), got " +
+          std::to_string(query.approx->confidence));
+    }
+    if (!(query.approx->target_rel_error > 0.0)) {
+      return Status::InvalidArgument(
+          "APPROX target relative error must be > 0, got " +
+          std::to_string(query.approx->target_rel_error));
+    }
   }
 
   auto executor = std::unique_ptr<CqExecutor>(
@@ -167,8 +192,9 @@ Result<TickResult> CqExecutor::ProcessTick(const Tuple& stream_tuple) {
   if (relation_->size() == 0) {
     return Status::FailedPrecondition("relation is empty");
   }
-  return mode_ == ExecutionMode::kVao ? RunVao(stream_tuple)
-                                      : RunTraditional(stream_tuple);
+  if (mode_ != ExecutionMode::kVao) return RunTraditional(stream_tuple);
+  if (query_.approx.has_value()) return RunApproximate(stream_tuple);
+  return RunVao(stream_tuple);
 }
 
 Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
@@ -340,6 +366,134 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
   // alone were enough to rule them out of the answer.
   result.report.rows_short_circuited = n - result.stats.objects_touched;
   FillOperatorSection(result.stats, &result.report);
+  capture.Finish(meter_, &result.report);
+  obs::RecordTickMetrics(result.report);
+  return result;
+}
+
+Result<TickResult> CqExecutor::RunApproximate(const Tuple& stream_tuple) {
+  const obs::ScopedSpan tick_span("tick", "approx");
+  TickResult result;
+  result.kind = query_.kind;
+  const std::uint64_t work_before = meter_.Total();
+  const ReportCapture capture(meter_, ReportCapture::CacheOf(query_.function));
+  const std::size_t n = relation_->size();
+  const ApproxSpec& spec = *query_.approx;
+
+  switch (query_.kind) {
+    case QueryKind::kSum:
+    case QueryKind::kAve: {
+      VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> weights,
+                              ResolveWeights());
+      sampling::SampledAggregateOptions options;
+      options.spec = spec;
+      options.epsilon = query_.epsilon;
+      auto factory =
+          [this, &stream_tuple](std::size_t row) -> Result<vao::ResultObjectPtr> {
+        VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                                BuildArgs(stream_tuple, row));
+        return query_.function->Invoke(args, &meter_);
+      };
+      auto weight = [&weights](std::size_t row) { return weights[row]; };
+      auto created =
+          sampling::SampledSumTask::Create(options, n, factory, weight);
+      if (!created.ok()) return created.status();  // config error: no fallback
+      const std::unique_ptr<sampling::SampledSumTask> task =
+          std::move(created).value();
+      operators::OperatorOptions drive;
+      drive.meter = &meter_;
+      auto driven = operators::DriveTask(task.get(), drive);
+      if (!driven.ok()) return FallbackOrError(stream_tuple, driven.status());
+      const sampling::SampledSumOutcome outcome = task->Snapshot();
+      result.aggregate_bounds = outcome.answer;
+      result.converged = outcome.converged;
+      result.stats = outcome.stats;
+      if (outcome.limited_by_min_width) {
+        result.degraded = true;
+        result.degradation_cause = Status::ResourceExhausted(
+            "sampled SUM/AVE exhausted the sample without reaching the "
+            "error target; interval is as tight as the min-width floors "
+            "allow");
+      }
+      result.report.rows_scanned = outcome.answer.sample_size;
+      break;
+    }
+    case QueryKind::kTopK: {
+      if (query_.k < 1 || query_.k > n) {
+        return Status::InvalidArgument("top-k k out of range");
+      }
+      std::size_t want = spec.max_samples != 0
+                             ? spec.max_samples
+                             : std::max(spec.initial_samples, n / 10);
+      want = std::min(std::max(want, query_.k), n);
+      const std::vector<std::size_t> sampled =
+          sampling::ReservoirSample(n, want, spec.seed);
+
+      std::vector<std::vector<double>> rows;
+      rows.reserve(sampled.size());
+      for (const std::size_t row : sampled) {
+        VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
+                                BuildArgs(stream_tuple, row));
+        rows.push_back(std::move(args));
+      }
+      auto invoked = vao::InvokeAll(*query_.function, rows, threads_, &meter_);
+      if (!invoked.ok()) {
+        return FallbackOrError(stream_tuple, invoked.status());
+      }
+      const std::vector<vao::ResultObjectPtr> owned =
+          std::move(invoked).value();
+      std::vector<vao::ResultObject*> objects;
+      objects.reserve(owned.size());
+      for (const auto& object : owned) objects.push_back(object.get());
+
+      operators::TopKOptions options;
+      options.k = query_.k;
+      options.epsilon = query_.epsilon;
+      options.meter = &meter_;
+      const operators::TopKVao vao(options);
+      auto evaluated = vao.Evaluate(objects);
+      if (!evaluated.ok()) {
+        return FallbackOrError(stream_tuple, evaluated.status());
+      }
+      const operators::TopKOutcome outcome = std::move(evaluated).value();
+      for (const std::size_t winner : outcome.winners) {
+        result.top_rows.push_back(sampled[winner]);
+      }
+      result.top_bounds = outcome.winner_bounds;
+      result.tie = outcome.tie;
+      if (!result.top_rows.empty()) {
+        result.winner_row = result.top_rows.front();
+        // A heuristic tier: the interval is the sampled winner's hard
+        // bounds; `approximate` marks that rows outside the sample were
+        // never considered (no per-rank CLT guarantee).
+        result.aggregate_bounds = vao::Answer::Approximate(
+            outcome.winner_bounds.front(), spec.confidence, sampled.size(),
+            n, outcome.winner_bounds.front().Width(), 0.0);
+      }
+      result.stats = outcome.stats;
+      if (outcome.precision_degraded) {
+        result.degraded = true;
+        result.degradation_cause = Status::ResourceExhausted(
+            "TOP-K quarantined stalled result objects; winner bounds may be "
+            "wider than epsilon");
+      }
+      result.report.rows_scanned = sampled.size();
+      break;
+    }
+    default:
+      return Status::Internal("approximate execution on non-aggregate kind");
+  }
+
+  result.work_units = meter_.Total() - work_before;
+  result.report.query_kind = QueryKindName(query_.kind);
+  FillOperatorSection(result.stats, &result.report);
+  const vao::Answer& answer = result.aggregate_bounds;
+  result.report.answer_mode = vao::AnswerModeName(answer.mode);
+  result.report.answer_confidence = answer.confidence;
+  result.report.sample_size = answer.sample_size;
+  result.report.sample_population = answer.population_size;
+  result.report.deterministic_width = answer.deterministic_width;
+  result.report.sampling_width = answer.sampling_width;
   capture.Finish(meter_, &result.report);
   obs::RecordTickMetrics(result.report);
   return result;

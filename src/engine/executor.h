@@ -15,6 +15,7 @@
 #include "engine/relation.h"
 #include "engine/schema.h"
 #include "obs/execution_report.h"
+#include "vao/answer.h"
 #include "vao/black_box.h"
 
 namespace vaolib::engine {
@@ -54,8 +55,11 @@ struct TickResult {
   /// True when the winner is only determined up to minWidth ties.
   bool tie = false;
 
-  /// Aggregate output bounds (degenerate [v, v] in traditional mode).
-  Bounds aggregate_bounds;
+  /// Aggregate output: hard bounds in exact mode (degenerate [v, v] in
+  /// traditional mode), a probabilistic combined interval with provenance
+  /// when the query requested approximate execution. Assigning a plain
+  /// Bounds keeps the exact semantics (mode = kExact, confidence 1).
+  vao::Answer aggregate_bounds;
 
   operators::OperatorStats stats;
   /// Work units charged during this tick (all WorkKinds).
@@ -133,6 +137,13 @@ class CqExecutor {
 
   Result<TickResult> RunVao(const Tuple& stream_tuple);
   Result<TickResult> RunTraditional(const Tuple& stream_tuple);
+
+  /// Approximate tier (query_.approx engaged): SUM/AVE answer from a
+  /// growing row sample via SampledSumTask; TOP-K runs the exact operator
+  /// over an upfront uniform sample (a heuristic tier -- its interval
+  /// provenance marks the answer approximate but carries no per-rank CLT
+  /// guarantee). Falls back like RunVao on degradable failures.
+  Result<TickResult> RunApproximate(const Tuple& stream_tuple);
 
   /// kDegrade handling of a failed VAO aggregate: when \p cause is a
   /// degradable code, re-answers the tick through the calibrated black-box

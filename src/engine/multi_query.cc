@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "engine/report_capture.h"
+#include "engine/sampling/sampler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "operators/iteration_task.h"
@@ -28,6 +29,21 @@ bool SameBinding(const ArgRef& a, const ArgRef& b) {
 // Per-object Iterate() budget for the parallel coarse pre-phase; see the
 // identical constant in executor.cc for the rationale.
 constexpr std::uint64_t kCoarseMaxSteps = 4;
+
+// Copies an answer's provenance into the report's answer section.
+void FillAnswerSection(const vao::Answer& answer,
+                       obs::ExecutionReport* report) {
+  report->answer_mode = vao::AnswerModeName(answer.mode);
+  report->answer_confidence = answer.confidence;
+  report->sample_size = answer.sample_size;
+  report->sample_population = answer.population_size;
+  report->deterministic_width = answer.deterministic_width;
+  report->sampling_width = answer.sampling_width;
+}
+
+// True when \p query runs in the approximate tier (private sampled objects,
+// never the shared per-row set).
+bool IsApprox(const Query& query) { return query.approx.has_value(); }
 
 }  // namespace
 
@@ -83,6 +99,24 @@ Result<std::unique_ptr<MultiQueryExecutor>> MultiQueryExecutor::Create(
         !relation->schema().IndexOf(*query.weight_column).ok()) {
       return Status::NotFound("weight column '" + *query.weight_column +
                               "' not in relation");
+    }
+    if (query.approx.has_value()) {
+      if (query.kind != QueryKind::kSum && query.kind != QueryKind::kAve &&
+          query.kind != QueryKind::kTopK) {
+        return Status::InvalidArgument(
+            "APPROX applies to SUM/AVE/TOP-K queries only");
+      }
+      if (!(query.approx->confidence > 0.0) ||
+          !(query.approx->confidence < 1.0)) {
+        return Status::InvalidArgument(
+            "APPROX confidence must be in (0, 1), got " +
+            std::to_string(query.approx->confidence));
+      }
+      if (!(query.approx->target_rel_error > 0.0)) {
+        return Status::InvalidArgument(
+            "APPROX target relative error must be > 0, got " +
+            std::to_string(query.approx->target_rel_error));
+      }
     }
   }
   if (static_cast<int>(first.args.size()) != first.function->arity()) {
@@ -194,6 +228,108 @@ MultiQueryExecutor::CreateSharedObjects(const Tuple& stream_tuple,
   return owned;
 }
 
+Result<std::unique_ptr<sampling::SampledSumTask>>
+MultiQueryExecutor::MakeSampledSumTask(const Tuple& stream_tuple,
+                                       const Query& query) {
+  const std::size_t n = relation_->size();
+  std::vector<double> weights;
+  if (query.weight_column.has_value()) {
+    VAOLIB_ASSIGN_OR_RETURN(weights,
+                            relation_->NumericColumn(*query.weight_column));
+  } else if (query.kind == QueryKind::kAve) {
+    weights = operators::AveWeights(n);
+  } else {
+    weights = operators::SumWeights(n);
+  }
+  sampling::SampledAggregateOptions options;
+  options.spec = *query.approx;
+  options.epsilon = query.epsilon;
+  auto factory =
+      [this, &stream_tuple](std::size_t row) -> Result<vao::ResultObjectPtr> {
+    VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    return queries_.front().function->Invoke(args, &meter_);
+  };
+  auto weight = [weights = std::move(weights)](std::size_t row) {
+    return weights[row];
+  };
+  return sampling::SampledSumTask::Create(options, n, std::move(factory),
+                                          std::move(weight));
+}
+
+Status MultiQueryExecutor::EvaluateApproxSum(const Tuple& stream_tuple,
+                                             const Query& query,
+                                             TickResult* result) {
+  VAOLIB_ASSIGN_OR_RETURN(const std::unique_ptr<sampling::SampledSumTask> task,
+                          MakeSampledSumTask(stream_tuple, query));
+  operators::OperatorOptions drive;
+  drive.meter = &meter_;
+  VAOLIB_RETURN_IF_ERROR(operators::DriveTask(task.get(), drive).status());
+  const sampling::SampledSumOutcome outcome = task->Snapshot();
+  result->aggregate_bounds = outcome.answer;
+  result->converged = outcome.converged;
+  result->stats = outcome.stats;
+  if (outcome.limited_by_min_width) {
+    result->degraded = true;
+    result->degradation_cause = Status::ResourceExhausted(
+        "sampled SUM/AVE exhausted the sample without reaching the error "
+        "target");
+  }
+  return Status::OK();
+}
+
+Status MultiQueryExecutor::EvaluateApproxTopK(const Tuple& stream_tuple,
+                                              const Query& query,
+                                              TickResult* result) {
+  const std::size_t n = relation_->size();
+  const ApproxSpec& spec = *query.approx;
+  if (query.k < 1 || query.k > n) {
+    return Status::InvalidArgument("top-k k out of range");
+  }
+  std::size_t want = spec.max_samples != 0
+                         ? spec.max_samples
+                         : std::max(spec.initial_samples, n / 10);
+  want = std::min(std::max(want, query.k), n);
+  const std::vector<std::size_t> sampled =
+      sampling::ReservoirSample(n, want, spec.seed);
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(sampled.size());
+  for (const std::size_t row : sampled) {
+    VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
+                            BuildArgs(stream_tuple, row));
+    rows.push_back(std::move(args));
+  }
+  VAOLIB_ASSIGN_OR_RETURN(
+      const std::vector<vao::ResultObjectPtr> owned,
+      vao::InvokeAll(*queries_.front().function, rows, options_.threads,
+                     &meter_));
+  std::vector<vao::ResultObject*> objects;
+  objects.reserve(owned.size());
+  for (const auto& object : owned) objects.push_back(object.get());
+
+  operators::TopKOptions options;
+  options.k = query.k;
+  options.epsilon = query.epsilon;
+  options.meter = &meter_;
+  const operators::TopKVao vao(options);
+  VAOLIB_ASSIGN_OR_RETURN(const operators::TopKOutcome outcome,
+                          vao.Evaluate(objects));
+  for (const std::size_t winner : outcome.winners) {
+    result->top_rows.push_back(sampled[winner]);
+  }
+  result->top_bounds = outcome.winner_bounds;
+  result->tie = outcome.tie;
+  if (!result->top_rows.empty()) {
+    result->winner_row = result->top_rows.front();
+    result->aggregate_bounds = vao::Answer::Approximate(
+        outcome.winner_bounds.front(), spec.confidence, sampled.size(), n,
+        outcome.winner_bounds.front().Width(), 0.0);
+  }
+  result->stats = outcome.stats;
+  return Status::OK();
+}
+
 Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTick(
     const Tuple& stream_tuple) {
   if (stream_tuple.size() != stream_schema_.size()) {
@@ -220,13 +356,21 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
   const auto* function = queries_.front().function;
   const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
 
+  // Sampled aggregates materialize their own per-row objects, so a tick
+  // whose queries are all approximate never builds the shared pool.
+  bool need_shared = false;
+  for (const Query& query : queries_) need_shared |= !IsApprox(query);
+
   std::uint64_t creation_cost = 0;
   obs::WorkByKind creation_work;
-  VAOLIB_ASSIGN_OR_RETURN(
-      std::vector<vao::ResultObjectPtr> owned,
-      CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
+  std::vector<vao::ResultObjectPtr> owned;
+  if (need_shared) {
+    VAOLIB_ASSIGN_OR_RETURN(
+        owned,
+        CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
+  }
   std::vector<vao::ResultObject*> objects;
-  objects.reserve(n);
+  objects.reserve(owned.size());
   for (const auto& object : owned) objects.push_back(object.get());
 
   std::vector<TickResult> results(queries_.size());
@@ -325,6 +469,11 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
       }
       case QueryKind::kSum:
       case QueryKind::kAve: {
+        if (IsApprox(query)) {
+          VAOLIB_RETURN_IF_ERROR(
+              EvaluateApproxSum(stream_tuple, query, &result));
+          break;
+        }
         std::vector<double> weights;
         if (query.weight_column.has_value()) {
           VAOLIB_ASSIGN_OR_RETURN(
@@ -351,6 +500,11 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
         break;
       }
       case QueryKind::kTopK: {
+        if (IsApprox(query)) {
+          VAOLIB_RETURN_IF_ERROR(
+              EvaluateApproxTopK(stream_tuple, query, &result));
+          break;
+        }
         operators::TopKOptions options;
         options.k = query.k;
         options.epsilon = query.epsilon;
@@ -380,6 +534,12 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
               ? short_circuited
               // Shared objects the operator never had to iterate further.
               : n - result.stats.objects_touched;
+    }
+    if (IsApprox(query)) {
+      const vao::Answer& answer = result.aggregate_bounds;
+      result.report.rows_scanned = answer.sample_size;
+      result.report.rows_short_circuited = 0;
+      FillAnswerSection(answer, &result.report);
     }
     result.report.iterations = result.stats.iterations;
     result.report.coarse_iterations = result.stats.coarse_iterations;
@@ -418,21 +578,38 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
   const auto* function = queries_.front().function;
   const ReportCapture tick_capture(meter_, ReportCapture::CacheOf(function));
 
+  // Sampled aggregates never touch the shared pool (they materialize
+  // private objects for their sampled rows), so skip creation when every
+  // query is approximate.
+  bool need_shared = false;
+  for (const Query& query : queries_) need_shared |= !IsApprox(query);
+
   std::uint64_t creation_cost = 0;
   obs::WorkByKind creation_work;
-  VAOLIB_ASSIGN_OR_RETURN(
-      std::vector<vao::ResultObjectPtr> owned,
-      CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
+  std::vector<vao::ResultObjectPtr> owned;
+  if (need_shared) {
+    VAOLIB_ASSIGN_OR_RETURN(
+        owned,
+        CreateSharedObjects(stream_tuple, &creation_cost, &creation_work));
+  }
   std::vector<vao::ResultObject*> objects;
-  objects.reserve(n);
+  objects.reserve(owned.size());
   for (const auto& object : owned) objects.push_back(object.get());
 
   std::vector<TickResult> results(queries_.size());
 
+  // Approximate TOP-K queries own their sampled objects for the tick;
+  // declared before `tasks` so tasks never outlive the objects they read.
+  std::vector<std::vector<vao::ResultObjectPtr>> private_owned(
+      queries_.size());
+  std::vector<std::vector<std::size_t>> private_rows(queries_.size());
+
   // One resumable task per query over the SHARED objects: a step granted to
   // one query tightens bounds every other query reads, so work composes
   // across the set exactly as in the classic path -- the scheduler only
-  // decides the order and how far the budget reaches.
+  // decides the order and how far the budget reaches. Approximate queries
+  // instead contribute their private sampled task to the same run, so the
+  // scheduler trades exact refinement against sampling work head-to-head.
   std::vector<std::unique_ptr<operators::IterationTask>> tasks(
       queries_.size());
   // Fills the query's answer from its task after the scheduler run (sound
@@ -548,6 +725,25 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
       }
       case QueryKind::kSum:
       case QueryKind::kAve: {
+        if (IsApprox(query)) {
+          VAOLIB_ASSIGN_OR_RETURN(auto task,
+                                  MakeSampledSumTask(stream_tuple, query));
+          auto* raw = task.get();
+          tasks[q] = std::move(task);
+          decode[q] = [raw](TickResult& result) {
+            const sampling::SampledSumOutcome outcome = raw->Snapshot();
+            result.aggregate_bounds = outcome.answer;
+            result.stats = outcome.stats;
+            result.converged = outcome.converged;
+            if (outcome.limited_by_min_width) {
+              result.degraded = true;
+              result.degradation_cause = Status::ResourceExhausted(
+                  "sampled SUM/AVE exhausted the sample without reaching "
+                  "the error target");
+            }
+          };
+          break;
+        }
         std::vector<double> weights;
         if (query.weight_column.has_value()) {
           VAOLIB_ASSIGN_OR_RETURN(
@@ -584,6 +780,59 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
         options.k = query.k;
         options.epsilon = query.epsilon;
         options.meter = &meter_;
+        if (IsApprox(query)) {
+          // Upfront uniform sample; the task then refines only the sampled
+          // objects (predictive feedback skipped: its ids are row-indexed).
+          const ApproxSpec& spec = *query.approx;
+          if (query.k < 1 || query.k > n) {
+            return Status::InvalidArgument("top-k k out of range");
+          }
+          std::size_t want = spec.max_samples != 0
+                                 ? spec.max_samples
+                                 : std::max(spec.initial_samples, n / 10);
+          want = std::min(std::max(want, query.k), n);
+          private_rows[q] = sampling::ReservoirSample(n, want, spec.seed);
+          std::vector<std::vector<double>> rows;
+          rows.reserve(private_rows[q].size());
+          for (const std::size_t row : private_rows[q]) {
+            VAOLIB_ASSIGN_OR_RETURN(std::vector<double> args,
+                                    BuildArgs(stream_tuple, row));
+            rows.push_back(std::move(args));
+          }
+          VAOLIB_ASSIGN_OR_RETURN(
+              private_owned[q],
+              vao::InvokeAll(*queries_.front().function, rows,
+                             options_.threads, &meter_));
+          std::vector<vao::ResultObject*> sampled_objects;
+          sampled_objects.reserve(private_owned[q].size());
+          for (const auto& object : private_owned[q]) {
+            sampled_objects.push_back(object.get());
+          }
+          VAOLIB_ASSIGN_OR_RETURN(auto task,
+                                  operators::TopKIterationTask::Create(
+                                      options, sampled_objects));
+          auto* raw = task.get();
+          tasks[q] = std::move(task);
+          const std::vector<std::size_t>* sampled = &private_rows[q];
+          const double confidence = spec.confidence;
+          decode[q] = [raw, sampled, confidence, n](TickResult& result) {
+            const operators::TopKOutcome outcome = raw->Snapshot();
+            result.top_bounds = outcome.winner_bounds;
+            result.tie = outcome.tie;
+            for (const std::size_t winner : outcome.winners) {
+              result.top_rows.push_back((*sampled)[winner]);
+            }
+            if (!result.top_rows.empty()) {
+              result.winner_row = result.top_rows.front();
+              result.aggregate_bounds = vao::Answer::Approximate(
+                  outcome.winner_bounds.front(), confidence, sampled->size(),
+                  n, outcome.winner_bounds.front().Width(), 0.0);
+            }
+            result.stats = outcome.stats;
+            result.converged = outcome.converged;
+          };
+          break;
+        }
         ApplyPredictiveOptions(&options);
         VAOLIB_ASSIGN_OR_RETURN(
             auto task,
@@ -636,6 +885,12 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
     result.report.rows_scanned = n;
     if (!is_selection[q]) {
       result.report.rows_short_circuited = n - result.stats.objects_touched;
+    }
+    if (IsApprox(query)) {
+      const vao::Answer& answer = result.aggregate_bounds;
+      result.report.rows_scanned = answer.sample_size;
+      result.report.rows_short_circuited = 0;
+      FillAnswerSection(answer, &result.report);
     }
     result.report.iterations = result.stats.iterations;
     result.report.coarse_iterations = result.stats.coarse_iterations;

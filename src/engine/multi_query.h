@@ -25,6 +25,7 @@
 #include "engine/executor.h"
 #include "engine/query.h"
 #include "engine/relation.h"
+#include "engine/sampling/sampled_sum.h"
 #include "engine/schema.h"
 #include "engine/scheduler.h"
 #include "operators/operator_base.h"
@@ -147,6 +148,24 @@ class MultiQueryExecutor {
   /// Budget-aware path: one IterationTask per query under a WorkScheduler.
   Result<std::vector<TickResult>> ProcessTickScheduled(
       const Tuple& stream_tuple);
+
+  /// \name Approximate tier (Query::approx engaged). Sampled aggregates
+  /// never read the shared object set: they materialize private objects for
+  /// their sampled rows, so a tick whose queries are ALL approximate skips
+  /// shared-object creation entirely.
+  /// @{
+  /// Builds the resumable sampled-SUM/AVE task for \p query. \p stream_tuple
+  /// is captured by reference and must outlive the task (tick scope).
+  Result<std::unique_ptr<sampling::SampledSumTask>> MakeSampledSumTask(
+      const Tuple& stream_tuple, const Query& query);
+  /// Shared-mode sampled SUM/AVE: drives the task to completion.
+  Status EvaluateApproxSum(const Tuple& stream_tuple, const Query& query,
+                           TickResult* result);
+  /// Approximate TOP-K: the exact operator over an upfront uniform row
+  /// sample (heuristic tier; see CqExecutor::RunApproximate).
+  Status EvaluateApproxTopK(const Tuple& stream_tuple, const Query& query,
+                            TickResult* result);
+  /// @}
 
   const Relation* relation_;
   Schema stream_schema_;

@@ -9,6 +9,7 @@
 #ifndef VAOLIB_ENGINE_QUERY_H_
 #define VAOLIB_ENGINE_QUERY_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,34 @@ enum class QueryKind {
   kTopK,  ///< k most extreme rows (extension)
 };
 
+/// \brief Approximate-execution request: answer an aggregate from a random
+/// row sample with a CLT confidence interval instead of converging every
+/// row. Applies to kSum/kAve/kTopK; selections and extremes stay exact.
+struct ApproxSpec {
+  /// Coverage probability of the reported interval (in (0, 1)).
+  double confidence = 0.95;
+
+  /// Stop once the combined interval half-width is within this fraction of
+  /// the estimate's magnitude (> 0).
+  double target_rel_error = 0.01;
+
+  /// Sampling seed; the sample sequence is deterministic given the seed.
+  std::uint64_t seed = 0;
+
+  /// Rows drawn before the first estimate (clamped to the population).
+  std::size_t initial_samples = 64;
+
+  /// Hard cap on rows sampled; 0 means "up to the whole relation".
+  std::size_t max_samples = 0;
+
+  friend bool operator==(const ApproxSpec& a, const ApproxSpec& b) {
+    return a.confidence == b.confidence &&
+           a.target_rel_error == b.target_rel_error && a.seed == b.seed &&
+           a.initial_samples == b.initial_samples &&
+           a.max_samples == b.max_samples;
+  }
+};
+
 /// \brief A continuous query over one UDF.
 struct Query {
   QueryKind kind = QueryKind::kSelect;
@@ -75,6 +104,9 @@ struct Query {
 
   /// Result-set size for kTopK (an extension; k = 1 degenerates to kMax).
   std::size_t k = 1;
+
+  /// Engaged when the query should run in the approximate (sampled) tier.
+  std::optional<ApproxSpec> approx;
 
   class Builder;
 };
@@ -155,6 +187,21 @@ class Query::Builder {
   /// Relation column supplying SUM weights.
   Builder& WeightColumn(std::string column) {
     query_.weight_column = std::move(column);
+    return *this;
+  }
+  /// Requests approximate (sampled) execution at the given confidence and
+  /// relative-error target. Aggregates only; see ApproxSpec.
+  Builder& Approximate(double confidence = 0.95,
+                       double target_rel_error = 0.01) {
+    ApproxSpec spec;
+    spec.confidence = confidence;
+    spec.target_rel_error = target_rel_error;
+    query_.approx = spec;
+    return *this;
+  }
+  /// Replaces the full approximate-execution spec (seed, sample caps, ...).
+  Builder& Approximate(const ApproxSpec& spec) {
+    query_.approx = spec;
     return *this;
   }
 

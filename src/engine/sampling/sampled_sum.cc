@@ -1,0 +1,350 @@
+#include "engine/sampling/sampled_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace vaolib::engine::sampling {
+
+namespace {
+
+// Fraction of the current sample drawn per widen step. Growing geometrically
+// keeps the number of draw decisions logarithmic in the final sample size
+// while each batch stays small enough for the greedy trade to re-evaluate.
+constexpr std::size_t kDrawGrowthDivisor = 4;
+
+// Delta updates to the running sums tolerated before a full compensated
+// recompute. Bounded by the sample size so the amortized recompute cost per
+// mutation stays O(1).
+std::size_t RecomputeInterval(std::size_t n) {
+  return std::max<std::size_t>(32, n);
+}
+
+}  // namespace
+
+SampledSumTask::SampledSumTask(const SampledAggregateOptions& options,
+                               std::size_t population, RowFactory factory,
+                               WeightFn weight)
+    : options_(options),
+      population_(population),
+      factory_(std::move(factory)),
+      weight_(std::move(weight)),
+      sampler_(population, options.spec.seed),
+      z_(NormalQuantile(0.5 * (1.0 + options.spec.confidence))) {}
+
+Result<std::unique_ptr<SampledSumTask>> SampledSumTask::Create(
+    const SampledAggregateOptions& options, std::size_t population,
+    RowFactory factory, WeightFn weight) {
+  if (population == 0) {
+    return Status::InvalidArgument("sampled_sum: empty population");
+  }
+  if (!(options.spec.confidence > 0.0) || !(options.spec.confidence < 1.0)) {
+    return Status::InvalidArgument(
+        "sampled_sum: confidence must be in (0, 1), got " +
+        std::to_string(options.spec.confidence));
+  }
+  if (!(options.spec.target_rel_error > 0.0)) {
+    return Status::InvalidArgument(
+        "sampled_sum: target_rel_error must be > 0, got " +
+        std::to_string(options.spec.target_rel_error));
+  }
+  if (factory == nullptr || weight == nullptr) {
+    return Status::InvalidArgument(
+        "sampled_sum: row factory and weight function are required");
+  }
+  return std::unique_ptr<SampledSumTask>(new SampledSumTask(
+      options, population, std::move(factory), std::move(weight)));
+}
+
+std::size_t SampledSumTask::SampleCap() const {
+  const std::size_t cap = options_.spec.max_samples;
+  return cap == 0 ? population_ : std::min(cap, population_);
+}
+
+double SampledSumTask::ObjectScore(std::size_t i) const {
+  if (!active_[i]) return 0.0;
+  const vao::ResultObject& object = *objects_[i];
+  const Bounds cur = object.bounds();
+  const Bounds est = object.est_bounds();
+  const double w = std::abs(weights_[i]);
+  const double reduction =
+      std::max(0.0, w * ((est.lo - cur.lo) + (cur.hi - est.hi)));
+  const double cost =
+      static_cast<double>(std::max<std::uint64_t>(object.est_cost(), 1));
+  return reduction / cost;
+}
+
+double SampledSumTask::Estimate() const {
+  const std::size_t n = objects_.size();
+  if (n == 0) return 0.0;
+  return (static_cast<double>(population_) / static_cast<double>(n)) * sum_y_;
+}
+
+double SampledSumTask::SamplingHalf() const {
+  const std::size_t n = objects_.size();
+  if (n >= population_) return 0.0;  // fpc: the sample is the population
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  const double nd = static_cast<double>(n);
+  const double mean = sum_y_ / nd;
+  const double s2 =
+      std::max(0.0, (sum_y2_ - nd * mean * mean) / (nd - 1.0));
+  const double fpc = 1.0 - nd / static_cast<double>(population_);
+  const double se =
+      static_cast<double>(population_) * std::sqrt(fpc * s2 / nd);
+  return z_ * se;
+}
+
+double SampledSumTask::DeterministicHalf() const {
+  const std::size_t n = objects_.size();
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return (static_cast<double>(population_) / static_cast<double>(n)) *
+         std::max(0.0, sum_half_);
+}
+
+double SampledSumTask::CombinedHalf() const {
+  return SamplingHalf() + DeterministicHalf();
+}
+
+double SampledSumTask::HalfTarget() const {
+  return std::max(options_.spec.target_rel_error * std::abs(Estimate()),
+                  0.5 * options_.epsilon);
+}
+
+double SampledSumTask::CurrentUncertainty() const {
+  if (objects_.size() < 2) {
+    // No variance estimate yet; a finite proxy keeps scheduler math sane.
+    return static_cast<double>(population_);
+  }
+  return 2.0 * CombinedHalf();
+}
+
+void SampledSumTask::RecomputeSums() {
+  NeumaierSum y, y2, half;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const Bounds b = objects_[i]->bounds();
+    const double yi = weights_[i] * b.Mid();
+    y.Add(yi);
+    y2.Add(yi * yi);
+    half.Add(std::abs(weights_[i]) * 0.5 * b.Width());
+  }
+  sum_y_ = y.Sum();
+  sum_y2_ = y2.Sum();
+  sum_half_ = half.Sum();
+  mutations_ = 0;
+}
+
+Status SampledSumTask::DrawBatch(std::size_t count, WorkMeter* meter) {
+  const std::uint64_t work_before = meter != nullptr ? meter->Total() : 0;
+  const std::vector<std::size_t> fresh = sampler_.Draw(count);
+  for (const std::size_t row : fresh) {
+    VAOLIB_ASSIGN_OR_RETURN(vao::ResultObjectPtr object, factory_(row));
+    if (object == nullptr) {
+      return Status::Internal("sampled_sum: row factory returned null");
+    }
+    const double w = weight_(row);
+    const Bounds b = object->bounds();
+    if (!b.IsValid()) {
+      return Status::NumericError(
+          "sampled_sum: row " + std::to_string(row) +
+          " produced invalid initial bounds");
+    }
+    const double yi = w * b.Mid();
+    const double half = std::abs(w) * 0.5 * b.Width();
+    sum_y_ += yi;
+    sum_y2_ += yi * yi;
+    sum_half_ += half;
+    ++mutations_;
+
+    const std::size_t i = objects_.size();
+    objects_.push_back(std::move(object));
+    rows_.push_back(row);
+    weights_.push_back(w);
+    stall_.emplace_back();
+    active_.push_back(!objects_.back()->AtStoppingCondition());
+
+    // Running means that price the next draw decision.
+    mean_new_half_ += (half - mean_new_half_) / static_cast<double>(i + 1);
+  }
+  if (!fresh.empty() && meter != nullptr) {
+    const double batch_cost = static_cast<double>(meter->Total() - work_before);
+    const double per_row =
+        std::max(1.0, batch_cost / static_cast<double>(fresh.size()));
+    // Exponential-ish blend toward the latest batch's per-row cost.
+    mean_row_cost_ = 0.5 * (mean_row_cost_ + per_row);
+  }
+
+  // The heap indexes positions in the sample; growing it invalidates the
+  // version table, so rebuild from scratch (draws happen O(log n) times).
+  heap_.Reset(objects_.size());
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (active_[i]) heap_.Update(i, ObjectScore(i));
+  }
+  return Status::OK();
+}
+
+Status SampledSumTask::IterateObject(std::size_t i, WorkMeter* meter) {
+  static_cast<void>(meter);
+  vao::ResultObject& object = *objects_[i];
+  const Bounds before = object.bounds();
+  const double y_before = weights_[i] * before.Mid();
+  const double half_before = std::abs(weights_[i]) * 0.5 * before.Width();
+
+  VAOLIB_RETURN_IF_ERROR(object.Iterate());
+  ++iterations_;
+  ++stats_.iterations;
+  ++stats_.greedy_iterations;
+
+  const Bounds after = object.bounds();
+  if (!after.IsValid()) {
+    return Status::NumericError("sampled_sum: row " +
+                                std::to_string(rows_[i]) +
+                                " produced invalid bounds");
+  }
+  const double y_after = weights_[i] * after.Mid();
+  const double half_after = std::abs(weights_[i]) * 0.5 * after.Width();
+  sum_y_ += y_after - y_before;
+  sum_y2_ += y_after * y_after - y_before * y_before;
+  sum_half_ += half_after - half_before;
+  ++mutations_;
+
+  if (object.AtStoppingCondition()) {
+    active_[i] = false;
+    return Status::OK();
+  }
+  if (stall_[i].Observe(after.Width())) {
+    // Frozen sound bounds stay in the sums; the object just stops competing.
+    active_[i] = false;
+    ++stats_.stalled_objects;
+    return Status::OK();
+  }
+  heap_.Update(i, ObjectScore(i));
+  return Status::OK();
+}
+
+bool SampledSumTask::CheckStop() {
+  const std::size_t n = objects_.size();
+  if (n >= 2 && CombinedHalf() <= HalfTarget()) {
+    Finish(true);
+    return true;
+  }
+  return false;
+}
+
+void SampledSumTask::Finish(bool converged) {
+  RecomputeSums();
+  MarkDone(converged);
+}
+
+Status SampledSumTask::StepImpl(WorkMeter* meter) {
+  if (!initialized_) {
+    initialized_ = true;
+    const std::size_t want = std::max<std::size_t>(
+        2, std::min(options_.spec.initial_samples, SampleCap()));
+    VAOLIB_RETURN_IF_ERROR(DrawBatch(want, meter));
+    CheckStop();
+    return Status::OK();
+  }
+  if (mutations_ >= RecomputeInterval(objects_.size())) RecomputeSums();
+  if (CheckStop()) return Status::OK();
+  if (iterations_ >= options_.max_total_iterations) {
+    // Safety valve: the probabilistic answer stays sound; just stop.
+    Finish(false);
+    return Status::OK();
+  }
+  ++stats_.choose_steps;
+
+  const std::size_t n = objects_.size();
+  const std::size_t cap = SampleCap();
+  const double scale = static_cast<double>(population_) /
+                       static_cast<double>(std::max<std::size_t>(n, 1));
+
+  // Candidate A: iterate the most valuable sampled object.
+  std::size_t best = 0;
+  double best_score = 0.0;
+  const bool have_object = heap_.PopBest(&best, &best_score);
+  const double iterate_rate = have_object ? scale * best_score : 0.0;
+
+  // Candidate B: widen the sample. Benefit is the predicted drop of the
+  // combined half-width (the sampling term shrinks ~1/sqrt(n); the
+  // deterministic term moves toward the mean fresh-row half-width), priced
+  // at the observed per-row creation cost.
+  double draw_rate = -1.0;
+  std::size_t batch = 0;
+  if (n < cap) {
+    batch = std::min(cap - n,
+                     std::max<std::size_t>(1, n / kDrawGrowthDivisor));
+    const double nd = static_cast<double>(n);
+    const double nb = static_cast<double>(n + batch);
+    const double mean = sum_y_ / nd;
+    const double s2 =
+        n >= 2 ? std::max(0.0, (sum_y2_ - nd * mean * mean) / (nd - 1.0))
+               : 0.0;
+    const double pop = static_cast<double>(population_);
+    const double half_s_next =
+        n + batch >= population_
+            ? 0.0
+            : z_ * pop * std::sqrt((1.0 - nb / pop) * s2 / nb);
+    const double det_next =
+        (pop / nb) *
+        (std::max(0.0, sum_half_) + static_cast<double>(batch) *
+                                        std::max(0.0, mean_new_half_));
+    const double benefit = std::max(
+        0.0, CombinedHalf() - (half_s_next + det_next));
+    const double cost =
+        std::max(1.0, static_cast<double>(batch) * mean_row_cost_);
+    draw_rate = benefit / cost;
+  }
+
+  if (have_object && iterate_rate >= draw_rate) {
+    VAOLIB_RETURN_IF_ERROR(IterateObject(best, meter));
+    CheckStop();
+    return Status::OK();
+  }
+  if (batch > 0) {
+    if (have_object) heap_.Update(best, best_score);  // re-arm the candidate
+    VAOLIB_RETURN_IF_ERROR(DrawBatch(batch, meter));
+    CheckStop();
+    return Status::OK();
+  }
+  if (have_object) {
+    // Nothing left to draw; keep tightening what we have.
+    VAOLIB_RETURN_IF_ERROR(IterateObject(best, meter));
+    CheckStop();
+    return Status::OK();
+  }
+
+  // No iterable object and no rows left to draw: the target is unreachable.
+  // With the whole population sampled this is the exact operator's
+  // limited-by-min-width outcome (the interval is the hard bound sum);
+  // under a user sample cap the answer is simply as good as allowed.
+  limited_by_min_width_ = true;
+  Finish(/*converged=*/cap >= population_ && sampler_.Exhausted());
+  return Status::OK();
+}
+
+SampledSumOutcome SampledSumTask::Snapshot() const {
+  SampledSumOutcome outcome;
+  const std::size_t n = objects_.size();
+  const double det_half = n == 0 ? 0.0 : DeterministicHalf();
+  const double samp_half_raw = n == 0 ? 0.0 : SamplingHalf();
+  const double samp_half =
+      std::isfinite(samp_half_raw)
+          ? samp_half_raw
+          : static_cast<double>(population_);  // pre-variance placeholder
+  outcome.answer = vao::Answer::Approximate(
+      Bounds::Centered(Estimate(), det_half + samp_half),
+      options_.spec.confidence, n, population_, 2.0 * det_half,
+      2.0 * samp_half);
+  outcome.converged = Converged();
+  outcome.limited_by_min_width = limited_by_min_width_;
+  outcome.stats = stats_;
+  outcome.stats.objects_touched = n;
+  return outcome;
+}
+
+}  // namespace vaolib::engine::sampling

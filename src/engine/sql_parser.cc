@@ -217,6 +217,10 @@ class Parser {
   /// Parses trailing `PRECISION <number>` if present.
   Status MaybeParsePrecision(Query* query);
 
+  /// Parses trailing `APPROX [WITH CONFIDENCE <c>] [ERROR <r>] [SEED <n>]`
+  /// if present (SUM/AVE/TOP-K only).
+  Status MaybeParseApprox(Query* query);
+
   std::vector<Token> tokens_;
   std::size_t cursor_ = 0;
   const FunctionRegistry& registry_;
@@ -287,6 +291,53 @@ Status Parser::MaybeParsePrecision(Query* query) {
                          value.position);
     }
   }
+  return Status::OK();
+}
+
+Status Parser::MaybeParseApprox(Query* query) {
+  if (!PeekKeyword("APPROX")) return Status::OK();
+  const Token approx = Take();
+  if (query->kind != QueryKind::kSum && query->kind != QueryKind::kAve &&
+      query->kind != QueryKind::kTopK) {
+    return SyntaxError("APPROX applies to SUM/AVE/TOP-K queries only",
+                       approx.position);
+  }
+  ApproxSpec spec;
+  if (PeekKeyword("WITH")) {
+    Take();
+    VAOLIB_RETURN_IF_ERROR(ExpectKeyword("CONFIDENCE"));
+    const Token value = Peek();  // the number itself, not what follows it
+    VAOLIB_ASSIGN_OR_RETURN(spec.confidence, TakeNumber("confidence value"));
+    if (!(spec.confidence > 0.0) || !(spec.confidence < 1.0)) {
+      return SyntaxError("confidence must be in (0, 1), got '" + value.text +
+                             "'",
+                         value.position);
+    }
+  }
+  if (PeekKeyword("ERROR")) {
+    Take();
+    const Token value = Peek();
+    VAOLIB_ASSIGN_OR_RETURN(spec.target_rel_error,
+                            TakeNumber("relative error target"));
+    if (!(spec.target_rel_error > 0.0)) {
+      return SyntaxError("relative error target must be > 0, got '" +
+                             value.text + "'",
+                         value.position);
+    }
+  }
+  if (PeekKeyword("SEED")) {
+    Take();
+    const Token value = Peek();
+    VAOLIB_ASSIGN_OR_RETURN(const double seed, TakeNumber("seed value"));
+    if (seed < 0.0 ||
+        seed != static_cast<double>(static_cast<std::uint64_t>(seed))) {
+      return SyntaxError("seed must be a non-negative integer, got '" +
+                             value.text + "'",
+                         value.position);
+    }
+    spec.seed = static_cast<std::uint64_t>(seed);
+  }
+  query->approx = spec;
   return Status::OK();
 }
 
@@ -395,6 +446,7 @@ Result<Query> Parser::Parse() {
   }
 
   VAOLIB_RETURN_IF_ERROR(MaybeParsePrecision(&query));
+  VAOLIB_RETURN_IF_ERROR(MaybeParseApprox(&query));
   if (Peek().kind != TokenKind::kEnd) {
     return SyntaxError("unexpected trailing input: '" + Peek().text + "'",
                        Peek().position);
@@ -480,6 +532,11 @@ std::string FormatQuery(const Query& query, std::string_view relation) {
     }
   }
   os << " FROM " << relation << " PRECISION " << FormatNumber(query.epsilon);
+  if (query.approx.has_value()) {
+    os << " APPROX WITH CONFIDENCE " << FormatNumber(query.approx->confidence)
+       << " ERROR " << FormatNumber(query.approx->target_rel_error);
+    if (query.approx->seed != 0) os << " SEED " << query.approx->seed;
+  }
   return os.str();
 }
 

@@ -9,12 +9,20 @@
 //   SELECT SUM(model(rate, bond_index), position) FROM bd PRECISION 5
 //   SELECT AVE(model(rate, bond_index)) FROM bd PRECISION 0.01
 //   SELECT TOP 3 model(rate, bond_index) FROM bd PRECISION 0.01
+//   SELECT SUM(model(rate, bond_index)) FROM bd
+//       APPROX WITH CONFIDENCE 0.95 ERROR 0.01 SEED 7
 //
 // Function names resolve through a FunctionRegistry; bare identifiers in
 // the argument list resolve against the stream schema first, then the
 // relation schema (numbers become constants). SUM's optional second
 // argument names the relation column supplying weights. Keywords are
 // case-insensitive; identifiers are case-sensitive.
+//
+// The trailing APPROX clause (SUM/AVE/TOP-K only, after any PRECISION)
+// opts the query into the sampled approximate tier (Query::approx): WITH
+// CONFIDENCE sets the interval's confidence level in (0, 1), ERROR the
+// relative half-width target (> 0), SEED the sampling seed; each part is
+// optional and defaults to ApproxSpec's defaults.
 
 #ifndef VAOLIB_ENGINE_SQL_PARSER_H_
 #define VAOLIB_ENGINE_SQL_PARSER_H_

@@ -96,6 +96,16 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
      << ", \"missed_deadline\": " << (missed_deadline ? "true" : "false")
      << ", \"tenant\": \"" << tenant << "\""
      << "}, ";
+  os << "\"answer\": {\"mode\": \"" << answer_mode << "\""
+     << ", \"confidence\": ";
+  AppendExactDouble(os, answer_confidence);
+  os << ", \"sample_size\": " << sample_size
+     << ", \"population\": " << sample_population
+     << ", \"deterministic_width\": ";
+  AppendExactDouble(os, deterministic_width);
+  os << ", \"sampling_width\": ";
+  AppendExactDouble(os, sampling_width);
+  os << "}, ";
   os << "\"calibration\": {";
   for (int k = 0; k < kNumSolverKinds; ++k) {
     const CalibrationKindStats& c = calibration[k];
@@ -201,6 +211,27 @@ void ExecutionReport::RenderPrometheus(std::ostream& os) const {
     os << "# TYPE vaolib_query_scheduler_missed_deadline gauge\n";
     os << "vaolib_query_scheduler_missed_deadline" << sched_label << " "
        << (missed_deadline ? 1 : 0) << "\n";
+  }
+  if (answer_mode == "approximate") {
+    os << "# TYPE vaolib_query_answer_confidence gauge\n";
+    os << "vaolib_query_answer_confidence" << kind_label << " ";
+    AppendExactDouble(os, answer_confidence);
+    os << "\n";
+    os << "# TYPE vaolib_query_sample_size gauge\n";
+    os << "vaolib_query_sample_size" << kind_label << " " << sample_size
+       << "\n";
+    os << "# TYPE vaolib_query_sample_population gauge\n";
+    os << "vaolib_query_sample_population" << kind_label << " "
+       << sample_population << "\n";
+    os << "# TYPE vaolib_query_answer_width gauge\n";
+    os << "vaolib_query_answer_width{kind=\"" << query_kind
+       << "\",component=\"deterministic\"} ";
+    AppendExactDouble(os, deterministic_width);
+    os << "\n";
+    os << "vaolib_query_answer_width{kind=\"" << query_kind
+       << "\",component=\"sampling\"} ";
+    AppendExactDouble(os, sampling_width);
+    os << "\n";
   }
   bool any_calibration = false;
   for (int k = 0; k < kNumSolverKinds; ++k) {
@@ -359,6 +390,25 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& text) {
       return Status::InvalidArgument("scheduler.tenant is not a string");
     }
     report.tenant = (*tenant_field)->string;
+  }
+
+  // Tolerated as absent: reports serialized before the approximate tier.
+  if (const auto answer = Child(*root, "answer"); answer.ok()) {
+    VAOLIB_ASSIGN_OR_RETURN(const JsonValue* mode, Child(**answer, "mode"));
+    if (mode->type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("answer.mode is not a string");
+    }
+    report.answer_mode = mode->string;
+    VAOLIB_ASSIGN_OR_RETURN(report.answer_confidence,
+                            GetDouble(**answer, "confidence"));
+    VAOLIB_ASSIGN_OR_RETURN(report.sample_size,
+                            GetNumber(**answer, "sample_size"));
+    VAOLIB_ASSIGN_OR_RETURN(report.sample_population,
+                            GetNumber(**answer, "population"));
+    VAOLIB_ASSIGN_OR_RETURN(report.deterministic_width,
+                            GetDouble(**answer, "deterministic_width"));
+    VAOLIB_ASSIGN_OR_RETURN(report.sampling_width,
+                            GetDouble(**answer, "sampling_width"));
   }
 
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* calibration,

@@ -160,6 +160,18 @@ struct ExecutionReport {
   std::string tenant;
   /// @}
 
+  /// \name Answer provenance (the approximate tier). Exact queries keep the
+  /// defaults ("exact", confidence 1, zero sample/width fields); sampled
+  /// aggregates record their combined-interval decomposition here.
+  /// @{
+  std::string answer_mode = "exact";
+  double answer_confidence = 1.0;
+  std::uint64_t sample_size = 0;
+  std::uint64_t sample_population = 0;
+  double deterministic_width = 0.0;
+  double sampling_width = 0.0;
+  /// @}
+
   /// Estimator-calibration deltas for this query, indexed by SolverKind
   /// (all zero when obs is disabled or the function never iterated).
   CalibrationKindStats calibration[kNumSolverKinds] = {};

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stats.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "vao/batch_iterate.h"
@@ -627,14 +628,18 @@ Result<std::unique_ptr<SumAveIterationTask>> SumAveIterationTask::Create(
 }
 
 Bounds SumAveIterationTask::ExactSum() const {
-  double lo = 0.0;
-  double hi = 0.0;
+  // Compensated summation: the incremental sum_ updates drift by one
+  // rounding error per applied iterate, and this full re-walk is what
+  // re-anchors them, so it must not itself lose low-order bits (large-mean /
+  // tiny-variance populations cancel catastrophically under naive +=).
+  NeumaierSum lo;
+  NeumaierSum hi;
   for (std::size_t i = 0; i < objects_.size(); ++i) {
     const Bounds b = objects_[i]->bounds();
-    lo += weights_[i] * b.lo;
-    hi += weights_[i] * b.hi;
+    lo.Add(weights_[i] * b.lo);
+    hi.Add(weights_[i] * b.hi);
   }
-  return Bounds(lo, hi);
+  return Bounds(lo.Sum(), hi.Sum());
 }
 
 Status SumAveIterationTask::ApplyIterate(std::size_t chosen, WorkMeter* meter,

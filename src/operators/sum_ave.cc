@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/stats.h"
 #include "operators/iteration_task.h"
 
 namespace vaolib::operators {
@@ -64,10 +65,12 @@ Result<TraditionalSumOutcome> TraditionalWeightedSum(
     return Status::InvalidArgument("traditional SUM weights length mismatch");
   }
   TraditionalSumOutcome outcome;
+  NeumaierSum sum;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     VAOLIB_ASSIGN_OR_RETURN(const double value, function.Call(rows[i], meter));
-    outcome.sum += weights[i] * value;
+    sum.Add(weights[i] * value);
   }
+  outcome.sum = sum.Sum();
   return outcome;
 }
 
@@ -105,15 +108,15 @@ Result<HybridSumVao::HybridOutcome> HybridSumVao::Evaluate(
   }
 
   if (traditional) {
-    double sum = 0.0;
-    double slack = 0.0;
+    NeumaierSum sum;
+    NeumaierSum slack;
     for (std::size_t i = 0; i < objects.size(); ++i) {
       VAOLIB_ASSIGN_OR_RETURN(const double value, traditional(i));
-      sum += weights[i] * value;
+      sum.Add(weights[i] * value);
       // A black-box value is accurate within the object's minWidth.
-      slack += weights[i] * objects[i]->min_width();
+      slack.Add(weights[i] * objects[i]->min_width());
     }
-    outcome.sum.sum_bounds = Bounds::Centered(sum, 0.5 * slack);
+    outcome.sum.sum_bounds = Bounds::Centered(sum.Sum(), 0.5 * slack.Sum());
     return outcome;
   }
 
@@ -125,14 +128,14 @@ Result<HybridSumVao::HybridOutcome> HybridSumVao::Evaluate(
     outcome.sum.stats.iterations += static_cast<std::uint64_t>(steps);
     if (steps > 0) ++outcome.sum.stats.objects_touched;
   }
-  double lo = 0.0;
-  double hi = 0.0;
+  NeumaierSum lo;
+  NeumaierSum hi;
   for (std::size_t i = 0; i < objects.size(); ++i) {
     const Bounds b = objects[i]->bounds();
-    lo += weights[i] * b.lo;
-    hi += weights[i] * b.hi;
+    lo.Add(weights[i] * b.lo);
+    hi.Add(weights[i] * b.hi);
   }
-  outcome.sum.sum_bounds = Bounds(lo, hi);
+  outcome.sum.sum_bounds = Bounds(lo.Sum(), hi.Sum());
   return outcome;
 }
 

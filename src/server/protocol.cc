@@ -170,6 +170,15 @@ std::string FormatResult(std::string_view query_id, std::uint64_t tick_seq,
     os << " top=";
     AppendRowList(result.top_rows, os);
   }
+  // New tokens go strictly before work= and only on approximate answers, so
+  // exact-mode frames stay byte-identical for pre-approx clients.
+  if (result.aggregate_bounds.approximate()) {
+    const vao::Answer& answer = result.aggregate_bounds;
+    os << " mode=approx conf=" << RoundTripNumber(answer.confidence)
+       << " samples=" << answer.sample_size << "/" << answer.population_size
+       << " dwidth=" << RoundTripNumber(answer.deterministic_width)
+       << " swidth=" << RoundTripNumber(answer.sampling_width);
+  }
   os << " work=" << result.work_units;
   return os.str();
 }

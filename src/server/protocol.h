@@ -26,10 +26,21 @@
 //                                     refused, or a standing query was
 //                                     evicted after sustained overload
 //   RESULT <qid> seq=<n> kind=<kind> converged=<0|1> lo=<v> hi=<v>
-//          [winner=<row>] [rows=<r1,r2,...>] [top=<r1,r2,...>] work=<units>
+//          [winner=<row>] [rows=<r1,r2,...>] [top=<r1,r2,...>]
+//          [mode=approx conf=<c> samples=<n>/<N> dwidth=<v> swidth=<v>]
+//          work=<units>
 //                                     one query's answer for one tick; lo/hi
 //                                     is the sound [L,H] interval (partial
-//                                     but still sound when converged=0)
+//                                     but still sound when converged=0).
+//                                     The mode=approx group appears only for
+//                                     queries registered with an APPROX
+//                                     clause: lo/hi is then a confidence
+//                                     interval at level conf, decomposed
+//                                     into deterministic (dwidth) and
+//                                     sampling (swidth) widths over a
+//                                     samples=<drawn>/<population> sample.
+//                                     Exact results are byte-identical to
+//                                     pre-approx frames.
 //   REPORT <qid> seq=<n> <json>       the query's ExecutionReport (only for
 //                                     sessions that said HELLO ... reports)
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stats.h"
 #include "engine/cost_history.h"
 #include "engine/executor.h"
 #include "engine/report_capture.h"
@@ -868,6 +869,109 @@ Status DifferentialRunner::RunSchedulerSweep(std::uint64_t seed,
   return Status::OK();
 }
 
+Status DifferentialRunner::RunApproxSweep(std::uint64_t seed,
+                                          DifferentialSummary* summary) {
+  // Positive-valued workload: a mean-zero population makes any relative
+  // error target unreachable, which would force every run to the full
+  // sample and make the coverage tally vacuous.
+  WorkloadSpec spec;
+  spec.rows = options_.approx_rows;
+  spec.value_lo = 50.0;
+  spec.value_hi = 150.0;
+  const Workload workload = MakeWorkload(spec, seed);
+
+  const engine::QueryKind kinds[] = {engine::QueryKind::kSum,
+                                     engine::QueryKind::kAve};
+  for (const engine::QueryKind kind : kinds) {
+    Rng rng = QueryRng(seed, {kind, 1});
+    engine::Query query = MakeQuery(workload, kind, 1, &rng);
+    query.epsilon = 1.0;  // keep the minWidth floor reachable
+    engine::ApproxSpec approx;
+    approx.confidence = options_.approx_confidence;
+    approx.target_rel_error = options_.approx_target_rel_error;
+    approx.seed = seed;
+    approx.initial_samples = options_.approx_initial_samples;
+    query.approx = approx;
+
+    // Ground truth under the query's effective weights.
+    const std::size_t n = workload.true_values.size();
+    NeumaierSum truth;
+    double scale = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = query.weight_column.has_value() ? workload.weights[i]
+                       : kind == engine::QueryKind::kAve
+                           ? 1.0 / static_cast<double>(n)
+                           : 1.0;
+      truth.Add(w * workload.true_values[i]);
+      scale += std::abs(w) * (std::abs(workload.true_values[i]) + 1.0);
+    }
+
+    const auto record = [&](std::string detail) {
+      DifferentialFailure failure;
+      failure.seed = seed;
+      failure.variant = {kind, 1};
+      failure.rows = options_.approx_rows;
+      failure.detail = std::move(detail);
+      failure.repro = "repro: approx seed=" + std::to_string(seed) +
+                      " rows=" + std::to_string(options_.approx_rows) +
+                      " query=\"" + engine::FormatQuery(query, "synth") + "\"";
+      if (!options_.artifact_path.empty()) {
+        std::ofstream artifact(options_.artifact_path, std::ios::app);
+        artifact << failure.repro << " detail=\"" << failure.detail << "\"\n";
+      }
+      summary->failures.push_back(std::move(failure));
+    };
+
+    VAOLIB_ASSIGN_OR_RETURN(
+        const engine::TickResult tick,
+        ExecuteOnce(workload, query, /*threads=*/1, /*cache=*/false,
+                    nullptr));
+    const vao::Answer& answer = tick.aggregate_bounds;
+    std::ostringstream why;
+    if (answer.mode != vao::AnswerMode::kApproximate) {
+      record("approx query answered in exact mode");
+      return Status::OK();
+    }
+    if (!answer.bounds().IsValid() || !std::isfinite(answer.lo) ||
+        !std::isfinite(answer.hi)) {
+      why << "approx interval invalid: " << answer.bounds();
+      record(why.str());
+      return Status::OK();
+    }
+    if (answer.sample_size < 2 || answer.sample_size > n ||
+        answer.population_size != n) {
+      why << "approx sample accounting broken: n=" << answer.sample_size
+          << "/" << answer.population_size;
+      record(why.str());
+      return Status::OK();
+    }
+    if (answer.deterministic_width < 0.0 || answer.sampling_width < 0.0) {
+      record("approx width decomposition negative");
+      return Status::OK();
+    }
+
+    // Seeded sampling: an identical cold re-run must reproduce the answer
+    // bit-for-bit.
+    VAOLIB_ASSIGN_OR_RETURN(
+        const engine::TickResult replay,
+        ExecuteOnce(workload, query, /*threads=*/1, /*cache=*/false,
+                    nullptr));
+    const vao::Answer& again = replay.aggregate_bounds;
+    if (again.lo != answer.lo || again.hi != answer.hi ||
+        again.sample_size != answer.sample_size) {
+      why << "approx replay diverged: " << answer << " vs " << again;
+      record(why.str());
+      return Status::OK();
+    }
+
+    ++summary->approx_checks;
+    if (ContainsWithSlack(answer.bounds(), truth.Sum(), 1e-9 * scale)) {
+      ++summary->approx_covered;
+    }
+  }
+  return Status::OK();
+}
+
 Result<DifferentialSummary> DifferentialRunner::RunAll() {
   DifferentialSummary summary;
   for (std::size_t i = 0; i < options_.seeds; ++i) {
@@ -885,6 +989,36 @@ Result<DifferentialSummary> DifferentialRunner::RunAll() {
     if (!options_.scheduler_policies.empty()) {
       VAOLIB_RETURN_IF_ERROR(RunSchedulerSweep(seed, &summary));
       if (summary.failures.size() >= options_.max_failures) return summary;
+    }
+    if (options_.approx_axis) {
+      VAOLIB_RETURN_IF_ERROR(RunApproxSweep(seed, &summary));
+      if (summary.failures.size() >= options_.max_failures) return summary;
+    }
+  }
+  if (options_.approx_axis && summary.approx_checks > 0) {
+    // Binomial coverage gate: the interval claims confidence c, so over m
+    // independent checks the covered count should not fall more than three
+    // standard errors below c*m.
+    const double conf = options_.approx_confidence;
+    const double checks = static_cast<double>(summary.approx_checks);
+    const double rate =
+        static_cast<double>(summary.approx_covered) / checks;
+    const double threshold =
+        conf - 3.0 * std::sqrt(conf * (1.0 - conf) / checks);
+    if (rate < threshold) {
+      DifferentialFailure failure;
+      failure.seed = options_.base_seed;
+      failure.variant = {engine::QueryKind::kSum, 1};
+      failure.rows = options_.approx_rows;
+      std::ostringstream os;
+      os << "approx coverage " << summary.approx_covered << "/"
+         << summary.approx_checks << " = " << rate
+         << " below binomial threshold " << threshold << " for confidence "
+         << conf;
+      failure.detail = os.str();
+      failure.repro = "repro: approx coverage sweep, seeds=" +
+                      std::to_string(options_.seeds);
+      summary.failures.push_back(std::move(failure));
     }
   }
   return summary;

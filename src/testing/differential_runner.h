@@ -89,6 +89,20 @@ struct DifferentialOptions {
       engine::SchedulerPolicy::kDeadline,
   };
   std::vector<double> budget_fractions = {0.4};
+  /// Approximate-answer axis: per seed, SUM and AVE run once more through
+  /// the sampled tier (Query::approx) on a positive-valued workload of
+  /// `approx_rows` rows, twice each (the second run must reproduce the
+  /// first bit-for-bit -- sampling is seeded). Each combined interval is
+  /// checked for structural soundness, and whether it covers the true
+  /// weighted aggregate is tallied into DifferentialSummary::approx_*;
+  /// after the sweep, RunAll fails the run when the coverage rate drops
+  /// below approx_confidence minus three binomial standard errors. Exact
+  /// runs are untouched by this axis.
+  bool approx_axis = true;
+  std::size_t approx_rows = 160;
+  double approx_confidence = 0.9;
+  double approx_target_rel_error = 0.05;
+  std::size_t approx_initial_samples = 24;
   Mutation mutation = Mutation::kNone;
   /// Stop after this many failures (each one shrinks, which re-runs combos).
   std::size_t max_failures = 8;
@@ -119,6 +133,11 @@ struct DifferentialSummary {
   /// Combos checked per operator family: "selection", "minmax", "sumave",
   /// "topk".
   std::map<std::string, std::uint64_t> combos_by_family;
+  /// Approximate-axis tallies: intervals checked for oracle coverage, and
+  /// how many contained the true aggregate (see
+  /// DifferentialOptions::approx_axis).
+  std::uint64_t approx_checks = 0;
+  std::uint64_t approx_covered = 0;
   std::vector<DifferentialFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -168,6 +187,12 @@ class DifferentialRunner {
   /// unbudgeted then at each budget fraction (see
   /// DifferentialOptions::scheduler_policies).
   Status RunSchedulerSweep(std::uint64_t seed, DifferentialSummary* summary);
+
+  /// Approximate-tier sweep for one seed (see
+  /// DifferentialOptions::approx_axis): structural soundness + replay
+  /// determinism are hard failures, coverage is tallied for the end-of-run
+  /// binomial gate.
+  Status RunApproxSweep(std::uint64_t seed, DifferentialSummary* summary);
 
   /// Shrinks a failing combo by halving the row count while the mismatch
   /// persists, then records it.

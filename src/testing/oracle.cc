@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/stats.h"
 #include "operators/operator_base.h"
 #include "operators/sum_ave.h"
 #include "vao/black_box.h"
@@ -179,13 +180,15 @@ Result<OracleAnswer> OracleExecutor::Answer(const engine::Query& query,
       if (weights.size() != answer.converged.size()) {
         return Status::InvalidArgument("weight column length mismatch");
       }
-      double lo = 0.0;
-      double hi = 0.0;
+      // Compensated, matching the engine's ExactSum so engine-vs-oracle
+      // comparisons stay bit-stable on ill-conditioned weight/value mixes.
+      NeumaierSum lo;
+      NeumaierSum hi;
       for (std::size_t i = 0; i < weights.size(); ++i) {
-        lo += weights[i] * answer.converged[i].lo;
-        hi += weights[i] * answer.converged[i].hi;
+        lo.Add(weights[i] * answer.converged[i].lo);
+        hi.Add(weights[i] * answer.converged[i].hi);
       }
-      answer.aggregate_bounds = Bounds(lo, hi);
+      answer.aggregate_bounds = Bounds(lo.Sum(), hi.Sum());
       break;
     }
   }

@@ -1,0 +1,110 @@
+// Copyright 2026 The vaolib Authors.
+// Answer: the unified result type returned at every public seam of the
+// engine. It generalizes the paper's hard [L, H] interval (Bounds) with an
+// answer mode: exact answers carry deterministic bounds that are guaranteed
+// to contain the true value; approximate answers carry a combined interval
+// whose width is the sum of a deterministic component (residual VAO bound
+// width over the sampled objects, scaled to the population) and a sampling
+// component (a CLT confidence interval at the stated confidence level).
+//
+// Answer derives from Bounds so that every existing call site -- comparisons
+// against oracle bounds, Contains()/Width() checks, streaming into reports
+// -- keeps compiling unchanged: an exact Answer *is* its Bounds.
+
+#ifndef VAOLIB_VAO_ANSWER_H_
+#define VAOLIB_VAO_ANSWER_H_
+
+#include <cstddef>
+#include <ostream>
+
+#include "common/bounds.h"
+
+namespace vaolib::vao {
+
+/// \brief How an Answer's interval should be interpreted.
+enum class AnswerMode {
+  kExact,        ///< hard bounds: the true value is in [lo, hi] with certainty
+  kApproximate,  ///< probabilistic: true value in [lo, hi] with `confidence`
+};
+
+/// Human-readable name ("exact" / "approximate") for reports and wire frames.
+inline const char* AnswerModeName(AnswerMode mode) {
+  return mode == AnswerMode::kApproximate ? "approximate" : "exact";
+}
+
+/// \brief A query answer: an interval plus the provenance needed to interpret
+/// it. Exact answers degenerate to plain Bounds (confidence 1, whole width
+/// deterministic); approximate answers additionally report how much of the
+/// interval width comes from unfinished VAO iteration versus sampling error,
+/// and how many rows of the population were actually sampled.
+struct Answer : Bounds {
+  /// Interpretation of [lo, hi]. Defaults to exact so that existing code
+  /// converting from Bounds keeps its hard-interval semantics.
+  AnswerMode mode = AnswerMode::kExact;
+
+  /// Coverage probability of [lo, hi]. 1.0 for exact answers; the stated
+  /// confidence level (e.g. 0.95) for approximate ones.
+  double confidence = 1.0;
+
+  /// Rows actually sampled (0 for exact answers, which visit every row).
+  std::size_t sample_size = 0;
+
+  /// Rows in the underlying relation (0 when not applicable).
+  std::size_t population_size = 0;
+
+  /// Width contributed by residual VAO bound width (hard error). For exact
+  /// answers this is the entire interval width.
+  double deterministic_width = 0.0;
+
+  /// Width contributed by the CLT confidence interval (probabilistic error).
+  /// Always 0 for exact answers.
+  double sampling_width = 0.0;
+
+  Answer() = default;
+
+  /// Implicit lift of hard bounds into an exact answer. Keeps every
+  /// `answer = some_bounds;` assignment in the engine compiling unchanged.
+  Answer(const Bounds& b)  // NOLINT(google-explicit-constructor)
+      : Bounds(b), deterministic_width(b.Width()) {}
+
+  /// Builds an exact answer from hard bounds.
+  static Answer Exact(const Bounds& b) { return Answer(b); }
+
+  /// Builds an approximate answer. \p deterministic_width and
+  /// \p sampling_width must sum to b.Width() (up to rounding).
+  static Answer Approximate(const Bounds& b, double confidence,
+                            std::size_t sample_size,
+                            std::size_t population_size,
+                            double deterministic_width,
+                            double sampling_width) {
+    Answer a;
+    a.lo = b.lo;
+    a.hi = b.hi;
+    a.mode = AnswerMode::kApproximate;
+    a.confidence = confidence;
+    a.sample_size = sample_size;
+    a.population_size = population_size;
+    a.deterministic_width = deterministic_width;
+    a.sampling_width = sampling_width;
+    return a;
+  }
+
+  /// The interval alone, without provenance.
+  const Bounds& bounds() const { return *this; }
+
+  /// True iff this answer is probabilistic.
+  bool approximate() const { return mode == AnswerMode::kApproximate; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Answer& a) {
+  os << static_cast<const Bounds&>(a);
+  if (a.approximate()) {
+    os << " ~" << a.confidence << " (n=" << a.sample_size << "/"
+       << a.population_size << ")";
+  }
+  return os;
+}
+
+}  // namespace vaolib::vao
+
+#endif  // VAOLIB_VAO_ANSWER_H_

@@ -84,6 +84,12 @@ ExecutionReport FullySetReport() {
   report.converged = false;
   report.starved = true;
   report.missed_deadline = true;
+  report.answer_mode = "approximate";
+  report.answer_confidence = 0.975;
+  report.sample_size = 711;
+  report.sample_population = 712;
+  report.deterministic_width = 0.25;  // dyadic: exact through %.17g
+  report.sampling_width = 1.5;
   for (int k = 0; k < kNumSolverKinds; ++k) {
     CalibrationKindStats& c = report.calibration[k];
     const double base = static_cast<double>(k + 1);
@@ -118,6 +124,47 @@ TEST(ExecutionReportTest, JsonRoundTripOfDefaultReport) {
   EXPECT_EQ(*parsed, original);
   EXPECT_FALSE(parsed->has_cache);
   EXPECT_TRUE(parsed->cache_shards.empty());
+}
+
+TEST(ExecutionReportTest, AnswerSectionRoundTripsAndGatesPrometheus) {
+  // A sampled aggregate's provenance survives JSON print/parse...
+  ExecutionReport approx;
+  approx.query_kind = "sum";
+  approx.answer_mode = "approximate";
+  approx.answer_confidence = 0.95;
+  approx.sample_size = 40;
+  approx.sample_population = 400;
+  approx.deterministic_width = 0.5;
+  approx.sampling_width = 2.5;
+  std::ostringstream os;
+  approx.RenderJson(os);
+  EXPECT_NE(os.str().find("\"answer\""), std::string::npos);
+  const auto parsed = ExecutionReport::FromJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, approx);
+
+  // ...and only approximate answers emit the sampling gauges.
+  std::ostringstream prom_approx;
+  approx.RenderPrometheus(prom_approx);
+  EXPECT_NE(prom_approx.str().find("vaolib_query_answer_confidence"),
+            std::string::npos);
+  EXPECT_NE(prom_approx.str().find("vaolib_query_sample_size"),
+            std::string::npos);
+
+  ExecutionReport exact;
+  exact.query_kind = "sum";
+  std::ostringstream prom_exact;
+  exact.RenderPrometheus(prom_exact);
+  EXPECT_EQ(prom_exact.str().find("vaolib_query_answer_confidence"),
+            std::string::npos);
+
+  // Exact reports round-trip with the default answer section untouched.
+  std::ostringstream exact_os;
+  exact.RenderJson(exact_os);
+  const auto exact_parsed = ExecutionReport::FromJson(exact_os.str());
+  ASSERT_TRUE(exact_parsed.ok()) << exact_parsed.status();
+  EXPECT_EQ(exact_parsed->answer_mode, "exact");
+  EXPECT_EQ(exact_parsed->sample_size, 0u);
 }
 
 TEST(ExecutionReportTest, SchedulerFieldsSurviveTheRoundTrip) {

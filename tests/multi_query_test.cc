@@ -172,6 +172,119 @@ TEST_F(MultiQueryTest, ValidatesSharedBindings) {
                    .ok());
 }
 
+TEST_F(MultiQueryTest, ApproxQueriesRunInSharedAndScheduledModes) {
+  // A mixed standing set: one exact MAX, one sampled SUM, one sampled
+  // TOP-2. The sampled answers must carry full provenance in both tick
+  // paths, and the exact query must stay in exact mode.
+  Query best = BaseQuery(QueryKind::kMax);
+  best.epsilon = 0.01;
+  Query sum = BaseQuery(QueryKind::kSum);
+  sum.epsilon = 0.10;
+  sum.approx = ApproxSpec{};
+  sum.approx->confidence = 0.95;
+  sum.approx->target_rel_error = 0.05;
+  sum.approx->seed = 11;
+  sum.approx->initial_samples = 4;
+  Query top2 = BaseQuery(QueryKind::kTopK);
+  top2.k = 2;
+  top2.epsilon = 0.01;
+  top2.approx = sum.approx;
+  const std::vector<Query> queries{best, sum, top2};
+
+  for (const bool scheduled : {false, true}) {
+    MultiQueryOptions options;
+    options.scheduled = scheduled;
+    auto executor = MultiQueryExecutor::Create(relation_.get(),
+                                               StreamSchema(), queries,
+                                               options);
+    ASSERT_TRUE(executor.ok()) << executor.status();
+    const auto results = (*executor)->ProcessTick({0.0575});
+    ASSERT_TRUE(results.ok()) << results.status();
+    ASSERT_EQ(results->size(), 3u);
+
+    EXPECT_FALSE((*results)[0].aggregate_bounds.approximate());
+    EXPECT_EQ((*results)[0].report.answer_mode, "exact");
+
+    for (const std::size_t q : {std::size_t{1}, std::size_t{2}}) {
+      const vao::Answer& answer = (*results)[q].aggregate_bounds;
+      EXPECT_TRUE(answer.approximate()) << "scheduled=" << scheduled;
+      EXPECT_EQ(answer.population_size, bonds_.size());
+      EXPECT_GE(answer.sample_size, 2u);
+      EXPECT_LE(answer.sample_size, bonds_.size());
+      EXPECT_LE(answer.lo, answer.hi);
+      EXPECT_EQ((*results)[q].report.answer_mode, "approximate");
+      EXPECT_EQ((*results)[q].report.sample_size, answer.sample_size);
+      EXPECT_EQ((*results)[q].report.rows_scanned, answer.sample_size);
+    }
+    // The sampled TOP-2 still returns two distinct in-range winners.
+    const TickResult& top = (*results)[2];
+    ASSERT_EQ(top.top_rows.size(), 2u);
+    EXPECT_NE(top.top_rows[0], top.top_rows[1]);
+    for (const std::size_t row : top.top_rows) {
+      EXPECT_LT(row, bonds_.size());
+    }
+
+    // Seeded sampling: a fresh executor replays the tick bit-for-bit.
+    auto replay = MultiQueryExecutor::Create(relation_.get(),
+                                             StreamSchema(), queries,
+                                             options);
+    ASSERT_TRUE(replay.ok());
+    const auto replayed = (*replay)->ProcessTick({0.0575});
+    ASSERT_TRUE(replayed.ok());
+    for (std::size_t q = 1; q < 3; ++q) {
+      EXPECT_EQ((*replayed)[q].aggregate_bounds.lo,
+                (*results)[q].aggregate_bounds.lo)
+          << "scheduled=" << scheduled << " query " << q;
+      EXPECT_EQ((*replayed)[q].aggregate_bounds.hi,
+                (*results)[q].aggregate_bounds.hi)
+          << "scheduled=" << scheduled << " query " << q;
+      EXPECT_EQ((*replayed)[q].aggregate_bounds.sample_size,
+                (*results)[q].aggregate_bounds.sample_size)
+          << "scheduled=" << scheduled << " query " << q;
+    }
+  }
+}
+
+TEST_F(MultiQueryTest, AllApproxSetSkipsSharedObjectCreation) {
+  // When every query runs on the sampled tier, the tick must not pay for
+  // full-relation shared object creation: total work stays below one
+  // object per row (creation alone costs >= 1 unit per row elsewhere).
+  Query sum = BaseQuery(QueryKind::kSum);
+  sum.epsilon = 0.10;
+  sum.approx = ApproxSpec{};
+  sum.approx->seed = 5;
+  sum.approx->initial_samples = 2;
+  sum.approx->max_samples = 3;
+  sum.approx->target_rel_error = 1e-12;  // unreachable: cap binds
+
+  auto executor = MultiQueryExecutor::Create(relation_.get(),
+                                             StreamSchema(), {sum});
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  const auto results = (*executor)->ProcessTick({0.0575});
+  ASSERT_TRUE(results.ok()) << results.status();
+  const vao::Answer& answer = (*results)[0].aggregate_bounds;
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_EQ(answer.sample_size, 3u);  // max_samples honored
+  // Only the sampled rows were materialized.
+  EXPECT_EQ((*results)[0].report.rows_scanned, 3u);
+  EXPECT_FALSE((*results)[0].converged);
+}
+
+TEST_F(MultiQueryTest, ApproxValidationRejectsBadSpecs) {
+  Query sum = BaseQuery(QueryKind::kSum);
+  sum.approx = ApproxSpec{};
+  sum.approx->confidence = 1.0;  // must be strictly inside (0, 1)
+  EXPECT_FALSE(MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                          {sum})
+                   .ok());
+
+  Query max = BaseQuery(QueryKind::kMax);
+  max.approx = ApproxSpec{};  // APPROX is for SUM/AVE/TOP-K only
+  EXPECT_FALSE(MultiQueryExecutor::Create(relation_.get(), StreamSchema(),
+                                          {max})
+                   .ok());
+}
+
 TEST_F(MultiQueryTest, ProcessTickValidatesTuple) {
   auto shared = MultiQueryExecutor::Create(
       relation_.get(), StreamSchema(), {BaseQuery(QueryKind::kSelect)});

@@ -1,0 +1,479 @@
+// Tests for the approximate answer tier: row samplers (determinism,
+// uniformity, allocation), the numerically stable accumulators behind the
+// CLT intervals, NormalQuantile, the vao::Answer value type, and
+// SampledSumTask end to end (soundness at full exhaustion, early stopping,
+// n == N degeneration to hard bounds).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "engine/sampling/sampled_sum.h"
+#include "engine/sampling/sampler.h"
+#include "operators/iteration_task.h"
+#include "testing/workload_gen.h"
+#include "vao/answer.h"
+
+namespace vaolib {
+namespace {
+
+using engine::sampling::PrefixSampler;
+using engine::sampling::ProportionalAllocation;
+using engine::sampling::ReservoirSample;
+using engine::sampling::SampledAggregateOptions;
+using engine::sampling::SampledSumTask;
+using engine::sampling::StratifiedSample;
+
+// ---------------------------------------------------------------------------
+// PrefixSampler
+
+TEST(PrefixSamplerTest, DrawsAreUniqueInRangeAndDeterministic) {
+  PrefixSampler a(100, 7);
+  PrefixSampler b(100, 7);
+  const auto first_a = a.Draw(10);
+  const auto first_b = b.Draw(10);
+  EXPECT_EQ(first_a, first_b);
+  const auto second_a = a.Draw(25);
+  EXPECT_EQ(second_a, b.Draw(25));
+  EXPECT_EQ(a.drawn(), 35u);
+
+  std::set<std::size_t> seen(a.sample().begin(), a.sample().end());
+  EXPECT_EQ(seen.size(), a.drawn());  // no repeats
+  for (const std::size_t row : a.sample()) EXPECT_LT(row, 100u);
+}
+
+TEST(PrefixSamplerTest, ExhaustionYieldsFullPermutation) {
+  PrefixSampler sampler(17, 3);
+  sampler.Draw(5);
+  EXPECT_FALSE(sampler.Exhausted());
+  const auto rest = sampler.Draw(100);  // over-ask: clamps to remaining
+  EXPECT_EQ(rest.size(), 12u);
+  EXPECT_TRUE(sampler.Exhausted());
+  EXPECT_TRUE(sampler.Draw(1).empty());
+
+  std::set<std::size_t> seen(sampler.sample().begin(),
+                             sampler.sample().end());
+  EXPECT_EQ(seen.size(), 17u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 16u);
+}
+
+TEST(PrefixSamplerTest, FirstDrawRoughlyUniform) {
+  // The first drawn row over many seeds should hit every slot of a small
+  // population at ~1/n frequency; a loose band catches gross bias.
+  constexpr std::size_t kPop = 8;
+  constexpr int kTrials = 2000;
+  std::vector<int> counts(kPop, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    PrefixSampler sampler(kPop, 1000 + static_cast<std::uint64_t>(t));
+    ++counts[sampler.Draw(1).front()];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, kTrials / kPop / 2);
+    EXPECT_LT(c, kTrials / kPop * 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReservoirSample / allocation / stratified
+
+TEST(ReservoirSampleTest, WholePopulationWhenKCoversIt) {
+  const auto all = ReservoirSample(6, 6, 11);
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(ReservoirSample(6, 99, 11).size(), 6u);
+  EXPECT_TRUE(ReservoirSample(6, 0, 11).empty());
+}
+
+TEST(ReservoirSampleTest, SortedUniqueDeterministic) {
+  const auto s1 = ReservoirSample(1000, 40, 5);
+  const auto s2 = ReservoirSample(1000, 40, 5);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(s1.begin(), s1.end()));
+  EXPECT_EQ(std::set<std::size_t>(s1.begin(), s1.end()).size(), 40u);
+  EXPECT_LT(s1.back(), 1000u);
+  // A different seed must (overwhelmingly) pick a different set.
+  EXPECT_NE(s1, ReservoirSample(1000, 40, 6));
+}
+
+TEST(ProportionalAllocationTest, ExactProportionsAndRemainders) {
+  EXPECT_EQ(ProportionalAllocation({10, 30, 60}, 10),
+            (std::vector<std::size_t>{1, 3, 6}));
+  // Remainders go to the largest fractional shares; total is preserved.
+  const auto alloc = ProportionalAllocation({1, 1, 1}, 2);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 2u);
+  // Never exceeds a stratum's size, and caps at the total population.
+  const auto capped = ProportionalAllocation({2, 2}, 100);
+  EXPECT_EQ(capped, (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(StratifiedSampleTest, CoversStrataDeterministically) {
+  std::vector<double> keys(100);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<double>(i % 10);  // skewed, repeated keys
+  }
+  const auto s1 = StratifiedSample(keys, 4, 20, 9);
+  EXPECT_EQ(s1, StratifiedSample(keys, 4, 20, 9));
+  EXPECT_EQ(s1.size(), 20u);
+  EXPECT_EQ(std::set<std::size_t>(s1.begin(), s1.end()).size(), 20u);
+  for (const std::size_t row : s1) EXPECT_LT(row, keys.size());
+}
+
+// ---------------------------------------------------------------------------
+// Accumulators
+
+TEST(NeumaierSumTest, RecoversCancelledLowOrderBits) {
+  // The classic case naive += gets wrong: 1 + 1e100 + 1 - 1e100 == 2.
+  NeumaierSum sum;
+  sum.Add(1.0);
+  sum.Add(1e100);
+  sum.Add(1.0);
+  sum.Add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.Sum(), 2.0);
+
+  double naive = 0.0;
+  for (const double x : {1.0, 1e100, 1.0, -1e100}) naive += x;
+  EXPECT_NE(naive, 2.0);
+}
+
+TEST(WeightedVarianceTest, MatchesTwoPassOnIllConditionedInput) {
+  // Large mean, tiny variance: the textbook E[x^2] - E[x]^2 formula cancels
+  // catastrophically here; the single-pass accumulator must agree with a
+  // compensated two-pass reference to high relative accuracy.
+  constexpr double kMean = 1e9;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(kMean + 1e-3 * std::sin(0.1 * i));
+  }
+
+  WeightedVariance one_pass;
+  for (const double v : values) one_pass.Add(v);
+
+  NeumaierSum total;
+  for (const double v : values) total.Add(v);
+  const double mean = total.Sum() / static_cast<double>(values.size());
+  NeumaierSum sq;
+  for (const double v : values) sq.Add((v - mean) * (v - mean));
+  const double two_pass =
+      sq.Sum() / static_cast<double>(values.size() - 1);
+
+  EXPECT_NEAR(one_pass.Mean(), mean, 1e-6);
+  ASSERT_GT(two_pass, 0.0);
+  // Welford tracks the two-pass reference to ~1e-5 here; the residual is
+  // representation error of the inputs themselves (1e9 holds ~1e-7 ulps).
+  EXPECT_NEAR(one_pass.SampleVariance() / two_pass, 1.0, 1e-3);
+
+  // And the naive sum-of-squares formula really is broken on this input
+  // (grossly off or negative), which is what this accumulator replaces.
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(values.size());
+  const double naive = (sum2 - sum * sum / n) / (n - 1);
+  EXPECT_GT(std::abs(naive / two_pass - 1.0), 0.5);
+}
+
+TEST(WeightedVarianceTest, UnitWeightsMatchClassicEstimators) {
+  WeightedVariance acc;
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double v : values) acc.Add(v);
+  EXPECT_EQ(acc.count(), values.size());
+  EXPECT_DOUBLE_EQ(acc.WeightSum(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 4.0);
+  EXPECT_NEAR(acc.SampleVariance(), 32.0 / 7.0, 1e-12);
+  // A frequency weight of 2 equals adding the value twice.
+  WeightedVariance weighted;
+  weighted.Add(1.0, 2.0);
+  weighted.Add(4.0, 1.0);
+  WeightedVariance repeated;
+  repeated.Add(1.0);
+  repeated.Add(1.0);
+  repeated.Add(4.0);
+  EXPECT_DOUBLE_EQ(weighted.Mean(), repeated.Mean());
+  EXPECT_DOUBLE_EQ(weighted.SampleVariance(), repeated.SampleVariance());
+}
+
+TEST(NormalQuantileTest, KnownValuesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(NormalQuantile(0.5), 0.0);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.644854, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.025), -NormalQuantile(0.975), 1e-9);
+  EXPECT_EQ(NormalQuantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(NormalQuantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(NormalQuantile(-0.1)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(1.1)));
+}
+
+// ---------------------------------------------------------------------------
+// vao::Answer
+
+TEST(AnswerTest, BoundsLiftIsExactMode) {
+  const Bounds b(1.0, 3.0);
+  const vao::Answer answer = b;  // implicit lift
+  EXPECT_EQ(answer.mode, vao::AnswerMode::kExact);
+  EXPECT_FALSE(answer.approximate());
+  EXPECT_DOUBLE_EQ(answer.confidence, 1.0);
+  EXPECT_EQ(answer.sample_size, 0u);
+  EXPECT_DOUBLE_EQ(answer.deterministic_width, 2.0);
+  EXPECT_DOUBLE_EQ(answer.sampling_width, 0.0);
+  // Derived-to-base comparisons keep working at every old call site.
+  EXPECT_EQ(answer.bounds(), b);
+  EXPECT_TRUE(answer.Contains(2.0));
+  EXPECT_DOUBLE_EQ(answer.Width(), 2.0);
+}
+
+TEST(AnswerTest, ApproximateFactoryCarriesProvenance) {
+  const vao::Answer answer = vao::Answer::Approximate(
+      Bounds(10.0, 20.0), 0.95, 64, 1000, 4.0, 6.0);
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_STREQ(vao::AnswerModeName(answer.mode), "approximate");
+  EXPECT_DOUBLE_EQ(answer.confidence, 0.95);
+  EXPECT_EQ(answer.sample_size, 64u);
+  EXPECT_EQ(answer.population_size, 1000u);
+  EXPECT_DOUBLE_EQ(answer.deterministic_width + answer.sampling_width,
+                   answer.Width());
+}
+
+// ---------------------------------------------------------------------------
+// SampledSumTask
+
+struct DrivenSum {
+  engine::sampling::SampledSumOutcome outcome;
+  double true_sum = 0.0;
+  std::size_t rows = 0;
+};
+
+// Builds a positive-valued synthetic workload and drives a sampled unit-
+// weight SUM over it to completion.
+Result<DrivenSum> DriveSampledSum(std::size_t rows, double target_rel_error,
+                                  std::uint64_t seed,
+                                  std::size_t max_samples = 0,
+                                  double epsilon = 1.0) {
+  testing::WorkloadSpec spec;
+  spec.rows = rows;
+  spec.value_lo = 50.0;
+  spec.value_hi = 150.0;
+  const testing::Workload workload = testing::MakeWorkload(spec, seed);
+
+  SampledAggregateOptions options;
+  options.spec.confidence = 0.95;
+  options.spec.target_rel_error = target_rel_error;
+  options.spec.seed = seed;
+  options.spec.initial_samples = 16;
+  options.spec.max_samples = max_samples;
+  options.epsilon = epsilon;
+
+  WorkMeter meter;
+  const auto* function = workload.function.get();
+  VAOLIB_ASSIGN_OR_RETURN(
+      auto task,
+      SampledSumTask::Create(
+          options, rows,
+          [function, &meter](std::size_t row) {
+            return function->Invoke({static_cast<double>(row)}, &meter);
+          },
+          [](std::size_t) { return 1.0; }));
+
+  operators::OperatorOptions drive;
+  drive.meter = &meter;
+  VAOLIB_RETURN_IF_ERROR(operators::DriveTask(task.get(), drive).status());
+
+  DrivenSum result;
+  result.outcome = task->Snapshot();
+  result.rows = rows;
+  NeumaierSum truth;
+  for (const double v : workload.true_values) truth.Add(v);
+  result.true_sum = truth.Sum();
+  return result;
+}
+
+TEST(SampledSumTaskTest, UnreachableTargetDegeneratesToHardBounds) {
+  // An impossible relative-error target (epsilon floor disabled too) forces
+  // the task to exhaust the population; at n == N the sampling term
+  // vanishes and the interval is the hard weighted bound sum, which must
+  // contain the truth outright.
+  const auto driven =
+      DriveSampledSum(60, 1e-12, 21, /*max_samples=*/0, /*epsilon=*/1e-9)
+          .ValueOrDie();
+  const vao::Answer& answer = driven.outcome.answer;
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_EQ(answer.sample_size, driven.rows);
+  EXPECT_EQ(answer.population_size, driven.rows);
+  EXPECT_DOUBLE_EQ(answer.sampling_width, 0.0);
+  EXPECT_TRUE(answer.Contains(driven.true_sum))
+      << answer << " vs " << driven.true_sum;
+  EXPECT_TRUE(driven.outcome.limited_by_min_width);
+}
+
+TEST(SampledSumTaskTest, LooseTargetStopsEarlyAndCovers) {
+  const auto driven = DriveSampledSum(400, 0.05, 33).ValueOrDie();
+  const vao::Answer& answer = driven.outcome.answer;
+  EXPECT_TRUE(driven.outcome.converged);
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_GE(answer.sample_size, 2u);
+  EXPECT_LT(answer.sample_size, driven.rows);  // genuinely sampled
+  EXPECT_DOUBLE_EQ(answer.confidence, 0.95);
+  EXPECT_GT(answer.sampling_width, 0.0);
+  // Combined interval met the relative target...
+  EXPECT_LE(answer.Width(),
+            2.0 * 0.05 * std::abs(answer.Mid()) + 1e-9);
+  // ...and covers the truth on this seed (deterministic replay).
+  EXPECT_TRUE(answer.Contains(driven.true_sum))
+      << answer << " vs " << driven.true_sum;
+  // Deterministic: same seed, same answer.
+  const auto again = DriveSampledSum(400, 0.05, 33).ValueOrDie();
+  EXPECT_DOUBLE_EQ(again.outcome.answer.lo, answer.lo);
+  EXPECT_DOUBLE_EQ(again.outcome.answer.hi, answer.hi);
+  EXPECT_EQ(again.outcome.answer.sample_size, answer.sample_size);
+}
+
+TEST(SampledSumTaskTest, MaxSamplesCapIsHonored) {
+  const auto driven = DriveSampledSum(200, 1e-12, 5, /*max_samples=*/32);
+  ASSERT_TRUE(driven.ok());
+  const vao::Answer& answer = driven.ValueOrDie().outcome.answer;
+  EXPECT_LE(answer.sample_size, 32u);
+  // Capped below the population, the run cannot claim convergence on an
+  // impossible target.
+  EXPECT_FALSE(driven.ValueOrDie().outcome.converged);
+}
+
+TEST(SampledSumTaskTest, CreateValidatesConfig) {
+  SampledAggregateOptions options;
+  const auto factory = [](std::size_t) -> Result<vao::ResultObjectPtr> {
+    return Status::Internal("unused");
+  };
+  const auto weight = [](std::size_t) { return 1.0; };
+  EXPECT_FALSE(SampledSumTask::Create(options, 0, factory, weight).ok());
+  options.spec.confidence = 1.5;
+  EXPECT_FALSE(SampledSumTask::Create(options, 10, factory, weight).ok());
+  options.spec.confidence = 0.95;
+  options.spec.target_rel_error = 0.0;
+  EXPECT_FALSE(SampledSumTask::Create(options, 10, factory, weight).ok());
+  options.spec.target_rel_error = 0.01;
+  EXPECT_FALSE(SampledSumTask::Create(options, 10, nullptr, weight).ok());
+  EXPECT_TRUE(SampledSumTask::Create(options, 10, factory, weight).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Executor integration: the approximate tier behind Query::approx.
+
+TEST(ApproxExecutorTest, SampledSumThroughCqExecutor) {
+  testing::WorkloadSpec spec;
+  spec.rows = 300;
+  spec.value_lo = 50.0;
+  spec.value_hi = 150.0;
+  const testing::Workload workload = testing::MakeWorkload(spec, 78);
+
+  engine::Query query;
+  query.kind = engine::QueryKind::kSum;
+  query.function = workload.function.get();
+  query.args = {engine::ArgRef::RelationField("id")};
+  query.epsilon = 1.0;
+  engine::ApproxSpec approx;
+  approx.confidence = 0.95;
+  approx.target_rel_error = 0.05;
+  approx.seed = 78;
+  query.approx = approx;
+
+  auto executor = engine::CqExecutor::Create(&workload.relation,
+                                             engine::Schema{}, query,
+                                             engine::ExecutionMode::kVao, 1)
+                      .ValueOrDie();
+  const engine::TickResult tick = executor->ProcessTick({}).ValueOrDie();
+  const vao::Answer& answer = tick.aggregate_bounds;
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_GT(answer.sample_size, 0u);
+  EXPECT_EQ(answer.population_size, 300u);
+  EXPECT_EQ(tick.report.answer_mode, "approximate");
+  EXPECT_EQ(tick.report.sample_size, answer.sample_size);
+  EXPECT_EQ(tick.report.rows_scanned, answer.sample_size);
+
+  NeumaierSum truth;
+  for (const double v : workload.true_values) truth.Add(v);
+  EXPECT_TRUE(answer.Contains(truth.Sum())) << answer << " vs "
+                                            << truth.Sum();
+}
+
+TEST(ApproxExecutorTest, ApproxRequiresVaoModeAndAggregateKind) {
+  testing::WorkloadSpec spec;
+  spec.rows = 10;
+  const testing::Workload workload = testing::MakeWorkload(spec, 1);
+
+  engine::Query query;
+  query.kind = engine::QueryKind::kSum;
+  query.function = workload.function.get();
+  query.args = {engine::ArgRef::RelationField("id")};
+  query.approx = engine::ApproxSpec{};
+
+  EXPECT_FALSE(engine::CqExecutor::Create(&workload.relation, engine::Schema{},
+                                          query,
+                                          engine::ExecutionMode::kTraditional,
+                                          1)
+                   .ok());
+  engine::Query select = query;
+  select.kind = engine::QueryKind::kSelect;
+  EXPECT_FALSE(engine::CqExecutor::Create(&workload.relation, engine::Schema{},
+                                          select, engine::ExecutionMode::kVao,
+                                          1)
+                   .ok());
+  engine::Query bad_conf = query;
+  bad_conf.approx->confidence = 1.0;
+  EXPECT_FALSE(engine::CqExecutor::Create(&workload.relation, engine::Schema{},
+                                          bad_conf,
+                                          engine::ExecutionMode::kVao, 1)
+                   .ok());
+}
+
+TEST(ApproxExecutorTest, ApproxTopKSamplesAndMapsWinners) {
+  testing::WorkloadSpec spec;
+  spec.rows = 120;
+  const testing::Workload workload = testing::MakeWorkload(spec, 13);
+
+  engine::Query query;
+  query.kind = engine::QueryKind::kTopK;
+  query.k = 3;
+  query.function = workload.function.get();
+  query.args = {engine::ArgRef::RelationField("id")};
+  query.epsilon = 0.5;
+  engine::ApproxSpec approx;
+  approx.seed = 13;
+  approx.max_samples = 40;
+  query.approx = approx;
+
+  auto executor = engine::CqExecutor::Create(&workload.relation,
+                                             engine::Schema{}, query,
+                                             engine::ExecutionMode::kVao, 1)
+                      .ValueOrDie();
+  const engine::TickResult tick = executor->ProcessTick({}).ValueOrDie();
+  EXPECT_EQ(tick.top_rows.size(), 3u);
+  std::set<std::size_t> rows(tick.top_rows.begin(), tick.top_rows.end());
+  EXPECT_EQ(rows.size(), 3u);
+  for (const std::size_t row : tick.top_rows) EXPECT_LT(row, 120u);
+  const vao::Answer& answer = tick.aggregate_bounds;
+  EXPECT_TRUE(answer.approximate());
+  EXPECT_EQ(answer.sample_size, 40u);
+  EXPECT_EQ(answer.population_size, 120u);
+  // The winners' bounds must contain their rows' true values: sampling
+  // limits which rows compete, not the soundness of their intervals.
+  for (std::size_t i = 0; i < tick.top_rows.size(); ++i) {
+    EXPECT_TRUE(
+        tick.top_bounds[i].Contains(workload.true_values[tick.top_rows[i]]));
+  }
+}
+
+}  // namespace
+}  // namespace vaolib

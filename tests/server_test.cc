@@ -22,6 +22,7 @@
 #include "server/protocol.h"
 #include "server/scenario.h"
 #include "server/server.h"
+#include "vao/answer.h"
 #include "workload/portfolio_gen.h"
 
 namespace vaolib::server {
@@ -244,6 +245,37 @@ TEST(ProtocolTest, FormatResultRendersBoundsAndRows) {
             std::string::npos);
   EXPECT_NE(line.find("rows=1,4,7"), std::string::npos);
   EXPECT_NE(line.find("work=42"), std::string::npos);
+}
+
+TEST(ProtocolTest, ExactResultFramesAreByteIdenticalToLegacyLayout) {
+  // Pre-approx clients parse RESULT frames positionally; an exact answer
+  // must render the exact same bytes as before the Answer API landed.
+  engine::TickResult result;
+  result.kind = engine::QueryKind::kSum;
+  result.aggregate_bounds = vao::Answer(Bounds(12.5, 13.5));
+  result.converged = true;
+  result.work_units = 17;
+  const std::string line = FormatResult("agg", 3, result);
+  EXPECT_EQ(line,
+            "RESULT agg seq=3 kind=sum converged=1 lo=12.5 hi=13.5 work=17");
+  EXPECT_EQ(line.find("mode="), std::string::npos);
+}
+
+TEST(ProtocolTest, ApproxResultCarriesModeTokensBeforeWork) {
+  engine::TickResult result;
+  result.kind = engine::QueryKind::kSum;
+  result.aggregate_bounds = vao::Answer::Approximate(
+      Bounds(90.0, 110.0), 0.95, 40, 400, 4.0, 16.0);
+  result.converged = true;
+  result.work_units = 99;
+  const std::string line = FormatResult("agg", 5, result);
+  EXPECT_NE(line.find("mode=approx conf=0.95 samples=40/400 dwidth=4 "
+                      "swidth=16"),
+            std::string::npos)
+      << line;
+  // Appended tokens stay strictly before work= so clients that split on
+  // " work=" keep working.
+  EXPECT_LT(line.find("mode=approx"), line.find(" work=")) << line;
 }
 
 // ---------------------------------------------------------------------------
@@ -495,6 +527,54 @@ TEST_F(ServerTest, ReportSubscriptionDeliversParseableReports) {
   EXPECT_TRUE(report->scheduled);
   EXPECT_EQ(report->tenant, "desk1");
   EXPECT_TRUE(report->converged);
+}
+
+TEST_F(ServerTest, ApproxQueryRoundTripsOverTheWire) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  ASSERT_EQ(Send(*server, session, "HELLO desk1 reports")[0],
+            "OK HELLO desk1 reports");
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER aq SELECT SUM(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 5 "
+                 "APPROX WITH CONFIDENCE 0.95 ERROR 0.05 SEED 3")[0],
+            "OK REGISTER aq");
+
+  const auto replies = Send(*server, session, "TICK 0.05");
+  ASSERT_EQ(replies.size(), 3u);  // RESULT, REPORT, OK TICK
+  EXPECT_EQ(replies[0].rfind("RESULT aq seq=1 kind=sum", 0), 0u)
+      << replies[0];
+  EXPECT_NE(replies[0].find(" mode=approx conf=0.95 samples="),
+            std::string::npos)
+      << replies[0];
+  EXPECT_LT(replies[0].find("mode=approx"), replies[0].find(" work="))
+      << replies[0];
+
+  // The execution report carries the same provenance, machine-readably.
+  ASSERT_EQ(replies[1].rfind("REPORT aq seq=1 ", 0), 0u) << replies[1];
+  const std::string json = replies[1].substr(replies[1].find('{'));
+  const auto report = obs::ExecutionReport::FromJson(json);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->answer_mode, "approximate");
+  EXPECT_DOUBLE_EQ(report->answer_confidence, 0.95);
+  EXPECT_GT(report->sample_size, 0u);
+  EXPECT_EQ(report->sample_population, 6u);
+
+  // A plain exact aggregate registered beside it must keep the legacy
+  // frame shape (no mode= token at all).
+  ASSERT_EQ(Send(*server, session,
+                 "REGISTER xq SELECT SUM(bond_model(rate, bond_index)) "
+                 "FROM bd PRECISION 5")[0],
+            "OK REGISTER xq");
+  const auto mixed = Send(*server, session, "TICK 0.05");
+  bool saw_exact = false;
+  for (const std::string& reply : mixed) {
+    if (reply.rfind("RESULT xq ", 0) == 0u) {
+      saw_exact = true;
+      EXPECT_EQ(reply.find("mode="), std::string::npos) << reply;
+    }
+  }
+  EXPECT_TRUE(saw_exact);
 }
 
 TEST_F(ServerTest, WithdrawStopsDeliveriesAndFreesQuota) {

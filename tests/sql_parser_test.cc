@@ -133,6 +133,54 @@ TEST_F(SqlParserTest, ParsesTopK) {
   EXPECT_EQ(query->k, 3u);
 }
 
+TEST_F(SqlParserTest, ParsesApproxClause) {
+  // Bare APPROX takes every ApproxSpec default.
+  auto query =
+      Parse("SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_TRUE(query->approx.has_value());
+  EXPECT_EQ(*query->approx, ApproxSpec{});
+
+  // Fully specified clause; PRECISION composes with APPROX.
+  query = Parse(
+      "SELECT AVE(bond_model(rate, bond_index)) FROM bd PRECISION 0.5 "
+      "APPROX WITH CONFIDENCE 0.99 ERROR 0.02 SEED 7");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_TRUE(query->approx.has_value());
+  EXPECT_DOUBLE_EQ(query->approx->confidence, 0.99);
+  EXPECT_DOUBLE_EQ(query->approx->target_rel_error, 0.02);
+  EXPECT_EQ(query->approx->seed, 7u);
+  EXPECT_DOUBLE_EQ(query->epsilon, 0.5);
+
+  // The sub-clauses are individually optional; keywords case-insensitive.
+  query = Parse(
+      "select top 2 bond_model(rate, bond_index) from bd approx error 0.1");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_TRUE(query->approx.has_value());
+  EXPECT_DOUBLE_EQ(query->approx->target_rel_error, 0.1);
+  EXPECT_DOUBLE_EQ(query->approx->confidence, ApproxSpec{}.confidence);
+
+  // No APPROX clause -> no spec (exact tier).
+  query = Parse("SELECT SUM(bond_model(rate, bond_index)) FROM bd");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(query->approx.has_value());
+}
+
+TEST_F(SqlParserTest, ApproxClauseRoundTripsThroughFormatQuery) {
+  const auto query = Parse(
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX WITH CONFIDENCE 0.9 ERROR 0.05 SEED 42");
+  ASSERT_TRUE(query.ok()) << query.status();
+  const std::string printed = FormatQuery(*query, "bd");
+  EXPECT_NE(printed.find("APPROX WITH CONFIDENCE 0.9 ERROR 0.05 SEED 42"),
+            std::string::npos)
+      << printed;
+  const auto reparsed = Parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n  " << reparsed.status();
+  ASSERT_TRUE(reparsed->approx.has_value());
+  EXPECT_EQ(*reparsed->approx, *query->approx);
+}
+
 TEST_F(SqlParserTest, ConstantArguments) {
   const auto query =
       Parse("SELECT * FROM bd WHERE bond_model(0.0575, bond_index) > 100");
@@ -160,6 +208,19 @@ TEST_F(SqlParserTest, RejectsMalformedQueries) {
       "SELECT MAX(bond_model(rate, bond_index)) FROM bd PRECISION -1",
       "SELECT MAX(bond_model(rate, bond_index)) FROM bd garbage",
       "SELECT % FROM bd",                                       // bad char
+      // APPROX is for sampled aggregates only, and its sub-clauses are
+      // validated.
+      "SELECT * FROM bd WHERE bond_model(rate, bond_index) > 1 APPROX",
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd APPROX",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX WITH",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX WITH CONFIDENCE 1",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX WITH CONFIDENCE 0",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX ERROR 0",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX ERROR -0.5",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED -1",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED 1.5",
   };
   for (const char* sql : bad) {
     EXPECT_FALSE(Parse(sql).ok()) << sql;
@@ -202,6 +263,27 @@ TEST_F(SqlParserTest, ErrorsNameTheOffendingTokenAndPosition) {
       "SELECT * FROM bd WHERE bond_model(rate, bond_index) BETWEEN 5 AND 1";
   expect_error(inverted_between, "BETWEEN bounds out of order ('5' > '1')",
                inverted_between.find(" AND 1") + 5);
+
+  const std::string approx_on_max =
+      "SELECT MAX(bond_model(rate, bond_index)) FROM bd APPROX";
+  expect_error(approx_on_max, "APPROX applies to SUM/AVE/TOP-K queries only",
+               approx_on_max.find("APPROX"));
+
+  const std::string bad_confidence =
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX WITH CONFIDENCE 1.5";
+  expect_error(bad_confidence, "confidence must be in (0, 1), got '1.5'",
+               bad_confidence.find("1.5"));
+
+  const std::string bad_error =
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX ERROR 0";
+  expect_error(bad_error, "relative error target must be > 0, got '0'",
+               bad_error.rfind('0'));
+
+  const std::string bad_seed =
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED 2.5";
+  expect_error(bad_seed, "seed must be a non-negative integer, got '2.5'",
+               bad_seed.find("2.5"));
 
   const std::string bad_char = "SELECT % FROM bd";
   expect_error(bad_char, "unexpected character '%'", bad_char.find('%'));

@@ -48,6 +48,18 @@ class SqlRoundTripTest : public ::testing::Test {
       }
     }
     EXPECT_EQ(a.epsilon, b.epsilon);
+    // The APPROX clause (aggregates only): FormatQuery surfaces
+    // confidence/error/seed, and DrawQuery keeps the unsurfaced knobs
+    // (initial_samples, max_samples) at their defaults, so the whole spec
+    // must survive.
+    ASSERT_EQ(a.approx.has_value(), b.approx.has_value());
+    if (a.approx.has_value()) {
+      EXPECT_EQ(a.approx->confidence, b.approx->confidence);
+      EXPECT_EQ(a.approx->target_rel_error, b.approx->target_rel_error);
+      EXPECT_EQ(a.approx->seed, b.approx->seed);
+      EXPECT_EQ(a.approx->initial_samples, b.approx->initial_samples);
+      EXPECT_EQ(a.approx->max_samples, b.approx->max_samples);
+    }
     switch (a.kind) {
       case QueryKind::kSelect:
         EXPECT_EQ(a.cmp, b.cmp);
@@ -138,6 +150,20 @@ class SqlRoundTripTest : public ::testing::Test {
       default:
         break;
     }
+    // Half of the sampled-tier-capable kinds also draw an APPROX clause.
+    // Only the grammar-surfaced fields vary: confidence, target error, and
+    // seed (zero seed is the unprinted default, so include it).
+    if ((query.kind == QueryKind::kSum || query.kind == QueryKind::kAve ||
+         query.kind == QueryKind::kTopK) &&
+        rng->Bernoulli(0.5)) {
+      ApproxSpec spec;
+      spec.confidence = rng->Uniform(0.5, 0.999);
+      spec.target_rel_error = std::abs(DrawNumber(rng)) + 1e-6;
+      spec.seed = rng->Bernoulli(0.5)
+                      ? 0
+                      : static_cast<std::uint64_t>(rng->UniformInt(1, 1'000'000));
+      query.approx = spec;
+    }
     return query;
   }
 
@@ -182,6 +208,13 @@ TEST_F(SqlRoundTripTest, EdgeCaseCorpusReachesFixedPoint) {
       "Select Ave(synth(rate)) From bd Precision 0.25",
       "SELECT TOP 3 synth(id) FROM bd PRECISION 0.5",
       "select min(synth(0)) from bd precision 0.01",
+      // The APPROX clause: bare, partial, and fully specified (scientific
+      // notation in the error target, mixed case).
+      "SELECT SUM(synth(id)) FROM bd APPROX",
+      "select ave(synth(rate)) from bd approx with confidence 0.9",
+      "SELECT SUM( synth(id) , weight ) FROM bd PRECISION 2 "
+      "APPROX WITH CONFIDENCE 0.975 ERROR 2.5e-2 SEED 31337",
+      "Select Top 4 synth(id) From bd Approx Error 0.125",
   };
   for (const char* sql : corpus) {
     const auto first = Parse(sql);
@@ -203,6 +236,10 @@ TEST_F(SqlRoundTripTest, MalformedQueriesStillRejected) {
       "SELECT TOP 2.5 synth(id) FROM bd PRECISION 0.5",
       "SELECT MAX(nope(id)) FROM bd PRECISION 0.01",
       "SELECT * FROM bd WHERE synth(missing_column) > 1",
+      "SELECT MIN(synth(id)) FROM bd APPROX",
+      "SELECT SUM(synth(id)) FROM bd APPROX WITH CONFIDENCE 2",
+      "SELECT SUM(synth(id)) FROM bd APPROX ERROR",
+      "SELECT SUM(synth(id)) FROM bd APPROX SEED 0.5",
   };
   for (const char* sql : bad) {
     EXPECT_FALSE(Parse(sql).ok()) << sql;
