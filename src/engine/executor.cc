@@ -388,6 +388,7 @@ Result<TickResult> CqExecutor::RunApproximate(const Tuple& stream_tuple) {
       sampling::SampledAggregateOptions options;
       options.spec = spec;
       options.epsilon = query_.epsilon;
+      options.meter = &meter_;
       auto factory =
           [this, &stream_tuple](std::size_t row) -> Result<vao::ResultObjectPtr> {
         VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
@@ -397,7 +398,12 @@ Result<TickResult> CqExecutor::RunApproximate(const Tuple& stream_tuple) {
       auto weight = [&weights](std::size_t row) { return weights[row]; };
       auto created =
           sampling::SampledSumTask::Create(options, n, factory, weight);
-      if (!created.ok()) return created.status();  // config error: no fallback
+      if (!created.ok()) {
+        // Create() also draws the initial sample, so row-level numeric
+        // failures can surface here and stay degradable; genuine config
+        // errors are not degradable and fall straight through.
+        return FallbackOrError(stream_tuple, created.status());
+      }
       const std::unique_ptr<sampling::SampledSumTask> task =
           std::move(created).value();
       operators::OperatorOptions drive;
@@ -465,9 +471,11 @@ Result<TickResult> CqExecutor::RunApproximate(const Tuple& stream_tuple) {
         result.winner_row = result.top_rows.front();
         // A heuristic tier: the interval is the sampled winner's hard
         // bounds; `approximate` marks that rows outside the sample were
-        // never considered (no per-rank CLT guarantee).
+        // never considered. No per-rank CLT guarantee is computed, so the
+        // answer carries confidence 0 rather than the spec's level -- the
+        // wire token must not read as a probabilistic coverage claim.
         result.aggregate_bounds = vao::Answer::Approximate(
-            outcome.winner_bounds.front(), spec.confidence, sampled.size(),
+            outcome.winner_bounds.front(), /*confidence=*/0.0, sampled.size(),
             n, outcome.winner_bounds.front().Width(), 0.0);
       }
       result.stats = outcome.stats;

@@ -244,6 +244,7 @@ MultiQueryExecutor::MakeSampledSumTask(const Tuple& stream_tuple,
   sampling::SampledAggregateOptions options;
   options.spec = *query.approx;
   options.epsilon = query.epsilon;
+  options.meter = &meter_;
   auto factory =
       [this, &stream_tuple](std::size_t row) -> Result<vao::ResultObjectPtr> {
     VAOLIB_ASSIGN_OR_RETURN(const std::vector<double> args,
@@ -322,8 +323,10 @@ Status MultiQueryExecutor::EvaluateApproxTopK(const Tuple& stream_tuple,
   result->tie = outcome.tie;
   if (!result->top_rows.empty()) {
     result->winner_row = result->top_rows.front();
+    // Heuristic tier: sampled winner's hard bounds, no CLT guarantee, so
+    // confidence 0 (see protocol.h on conf=0).
     result->aggregate_bounds = vao::Answer::Approximate(
-        outcome.winner_bounds.front(), spec.confidence, sampled.size(), n,
+        outcome.winner_bounds.front(), /*confidence=*/0.0, sampled.size(), n,
         outcome.winner_bounds.front().Width(), 0.0);
   }
   result->stats = outcome.stats;
@@ -814,8 +817,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
           auto* raw = task.get();
           tasks[q] = std::move(task);
           const std::vector<std::size_t>* sampled = &private_rows[q];
-          const double confidence = spec.confidence;
-          decode[q] = [raw, sampled, confidence, n](TickResult& result) {
+          decode[q] = [raw, sampled, n](TickResult& result) {
             const operators::TopKOutcome outcome = raw->Snapshot();
             result.top_bounds = outcome.winner_bounds;
             result.tie = outcome.tie;
@@ -824,9 +826,12 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
             }
             if (!result.top_rows.empty()) {
               result.winner_row = result.top_rows.front();
+              // Heuristic tier: no CLT guarantee, so confidence 0 (see
+              // protocol.h on conf=0).
               result.aggregate_bounds = vao::Answer::Approximate(
-                  outcome.winner_bounds.front(), confidence, sampled->size(),
-                  n, outcome.winner_bounds.front().Width(), 0.0);
+                  outcome.winner_bounds.front(), /*confidence=*/0.0,
+                  sampled->size(), n,
+                  outcome.winner_bounds.front().Width(), 0.0);
             }
             result.stats = outcome.stats;
             result.converged = outcome.converged;

@@ -57,8 +57,19 @@ Result<std::unique_ptr<SampledSumTask>> SampledSumTask::Create(
     return Status::InvalidArgument(
         "sampled_sum: row factory and weight function are required");
   }
-  return std::unique_ptr<SampledSumTask>(new SampledSumTask(
+  std::unique_ptr<SampledSumTask> task(new SampledSumTask(
       options, population, std::move(factory), std::move(weight)));
+  // Draw the initial batch eagerly so a snapshot taken before the first
+  // Step() (a budgeted scheduler may never grant one) already rests on a
+  // variance estimate instead of an empty sample. At least 2 rows for a
+  // variance, but never more than the user's hard sample cap.
+  const std::size_t cap = task->SampleCap();
+  const std::size_t want = std::min(
+      cap,
+      std::max<std::size_t>(2, std::min(options.spec.initial_samples, cap)));
+  VAOLIB_RETURN_IF_ERROR(task->DrawBatch(want, options.meter));
+  task->CheckStop();
+  return task;
 }
 
 std::size_t SampledSumTask::SampleCap() const {
@@ -85,17 +96,26 @@ double SampledSumTask::Estimate() const {
   return (static_cast<double>(population_) / static_cast<double>(n)) * sum_y_;
 }
 
+double SampledSumTask::SampleVariance() const {
+  const std::size_t n = objects_.size();
+  if (n < 2) return 0.0;
+  const double nd = static_cast<double>(n);
+  // sum_yc2_ is centered on pivot_, which RecomputeSums keeps at the sample
+  // mean; the drift term corrects for incremental updates since then. Both
+  // terms are O(n * s^2), so no catastrophic cancellation even when the
+  // mean dwarfs the spread (the failure mode of sum y^2 - n * mean^2).
+  const double drift = sum_y_ / nd - pivot_;
+  return std::max(0.0, (sum_yc2_ - nd * drift * drift) / (nd - 1.0));
+}
+
 double SampledSumTask::SamplingHalf() const {
   const std::size_t n = objects_.size();
   if (n >= population_) return 0.0;  // fpc: the sample is the population
   if (n < 2) return std::numeric_limits<double>::infinity();
   const double nd = static_cast<double>(n);
-  const double mean = sum_y_ / nd;
-  const double s2 =
-      std::max(0.0, (sum_y2_ - nd * mean * mean) / (nd - 1.0));
   const double fpc = 1.0 - nd / static_cast<double>(population_);
-  const double se =
-      static_cast<double>(population_) * std::sqrt(fpc * s2 / nd);
+  const double se = static_cast<double>(population_) *
+                    std::sqrt(fpc * SampleVariance() / nd);
   return z_ * se;
 }
 
@@ -124,17 +144,24 @@ double SampledSumTask::CurrentUncertainty() const {
 }
 
 void SampledSumTask::RecomputeSums() {
-  NeumaierSum y, y2, half;
-  for (std::size_t i = 0; i < objects_.size(); ++i) {
+  const std::size_t n = objects_.size();
+  NeumaierSum y, half;
+  for (std::size_t i = 0; i < n; ++i) {
     const Bounds b = objects_[i]->bounds();
-    const double yi = weights_[i] * b.Mid();
-    y.Add(yi);
-    y2.Add(yi * yi);
+    y.Add(weights_[i] * b.Mid());
     half.Add(std::abs(weights_[i]) * 0.5 * b.Width());
   }
   sum_y_ = y.Sum();
-  sum_y2_ = y2.Sum();
   sum_half_ = half.Sum();
+  // Second pass: re-center the variance pivot on the fresh mean and rebuild
+  // the centered squares, so residuals stay small relative to the pivot.
+  pivot_ = n == 0 ? 0.0 : sum_y_ / static_cast<double>(n);
+  NeumaierSum yc2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = weights_[i] * objects_[i]->bounds().Mid() - pivot_;
+    yc2.Add(d * d);
+  }
+  sum_yc2_ = yc2.Sum();
   mutations_ = 0;
 }
 
@@ -153,12 +180,7 @@ Status SampledSumTask::DrawBatch(std::size_t count, WorkMeter* meter) {
           "sampled_sum: row " + std::to_string(row) +
           " produced invalid initial bounds");
     }
-    const double yi = w * b.Mid();
     const double half = std::abs(w) * 0.5 * b.Width();
-    sum_y_ += yi;
-    sum_y2_ += yi * yi;
-    sum_half_ += half;
-    ++mutations_;
 
     const std::size_t i = objects_.size();
     objects_.push_back(std::move(object));
@@ -177,6 +199,10 @@ Status SampledSumTask::DrawBatch(std::size_t count, WorkMeter* meter) {
     // Exponential-ish blend toward the latest batch's per-row cost.
     mean_row_cost_ = 0.5 * (mean_row_cost_ + per_row);
   }
+
+  // Fresh rows move the mean, so rebuild the sums outright -- this also
+  // re-centers the variance pivot before the batch's values enter it.
+  RecomputeSums();
 
   // The heap indexes positions in the sample; growing it invalidates the
   // version table, so rebuild from scratch (draws happen O(log n) times).
@@ -207,8 +233,10 @@ Status SampledSumTask::IterateObject(std::size_t i, WorkMeter* meter) {
   }
   const double y_after = weights_[i] * after.Mid();
   const double half_after = std::abs(weights_[i]) * 0.5 * after.Width();
+  const double dev_before = y_before - pivot_;
+  const double dev_after = y_after - pivot_;
   sum_y_ += y_after - y_before;
-  sum_y2_ += y_after * y_after - y_before * y_before;
+  sum_yc2_ += dev_after * dev_after - dev_before * dev_before;
   sum_half_ += half_after - half_before;
   ++mutations_;
 
@@ -227,8 +255,9 @@ Status SampledSumTask::IterateObject(std::size_t i, WorkMeter* meter) {
 }
 
 bool SampledSumTask::CheckStop() {
-  const std::size_t n = objects_.size();
-  if (n >= 2 && CombinedHalf() <= HalfTarget()) {
+  // CombinedHalf() is infinite until a variance estimate exists (fewer than
+  // 2 samples short of the whole population), so no premature stop here.
+  if (CombinedHalf() <= HalfTarget()) {
     Finish(true);
     return true;
   }
@@ -241,14 +270,6 @@ void SampledSumTask::Finish(bool converged) {
 }
 
 Status SampledSumTask::StepImpl(WorkMeter* meter) {
-  if (!initialized_) {
-    initialized_ = true;
-    const std::size_t want = std::max<std::size_t>(
-        2, std::min(options_.spec.initial_samples, SampleCap()));
-    VAOLIB_RETURN_IF_ERROR(DrawBatch(want, meter));
-    CheckStop();
-    return Status::OK();
-  }
   if (mutations_ >= RecomputeInterval(objects_.size())) RecomputeSums();
   if (CheckStop()) return Status::OK();
   if (iterations_ >= options_.max_total_iterations) {
@@ -278,12 +299,8 @@ Status SampledSumTask::StepImpl(WorkMeter* meter) {
   if (n < cap) {
     batch = std::min(cap - n,
                      std::max<std::size_t>(1, n / kDrawGrowthDivisor));
-    const double nd = static_cast<double>(n);
     const double nb = static_cast<double>(n + batch);
-    const double mean = sum_y_ / nd;
-    const double s2 =
-        n >= 2 ? std::max(0.0, (sum_y2_ - nd * mean * mean) / (nd - 1.0))
-               : 0.0;
+    const double s2 = SampleVariance();
     const double pop = static_cast<double>(population_);
     const double half_s_next =
         n + batch >= population_
@@ -306,7 +323,7 @@ Status SampledSumTask::StepImpl(WorkMeter* meter) {
     return Status::OK();
   }
   if (batch > 0) {
-    if (have_object) heap_.Update(best, best_score);  // re-arm the candidate
+    // The popped candidate is not lost: DrawBatch rebuilds the whole heap.
     VAOLIB_RETURN_IF_ERROR(DrawBatch(batch, meter));
     CheckStop();
     return Status::OK();
@@ -330,16 +347,24 @@ Status SampledSumTask::StepImpl(WorkMeter* meter) {
 SampledSumOutcome SampledSumTask::Snapshot() const {
   SampledSumOutcome outcome;
   const std::size_t n = objects_.size();
-  const double det_half = n == 0 ? 0.0 : DeterministicHalf();
-  const double samp_half_raw = n == 0 ? 0.0 : SamplingHalf();
-  const double samp_half =
-      std::isfinite(samp_half_raw)
-          ? samp_half_raw
-          : static_cast<double>(population_);  // pre-variance placeholder
+  double det_half = DeterministicHalf();
+  double samp_half = SamplingHalf();
+  double confidence = options_.spec.confidence;
+  if (!std::isfinite(det_half) || !std::isfinite(samp_half)) {
+    // No variance estimate (and for n == 0 not even a point estimate):
+    // there is no defensible confidence interval, and a zero-width interval
+    // would be an unsound lie. Report a population-scale placeholder tagged
+    // confidence 0 -- the Answer-level "no probabilistic claim" marker.
+    // Create()'s eager initial draw makes this reachable only when the
+    // sample is capped below 2 rows.
+    const double placeholder = static_cast<double>(population_);
+    if (!std::isfinite(det_half)) det_half = placeholder;
+    if (!std::isfinite(samp_half)) samp_half = placeholder;
+    confidence = 0.0;
+  }
   outcome.answer = vao::Answer::Approximate(
-      Bounds::Centered(Estimate(), det_half + samp_half),
-      options_.spec.confidence, n, population_, 2.0 * det_half,
-      2.0 * samp_half);
+      Bounds::Centered(Estimate(), det_half + samp_half), confidence, n,
+      population_, 2.0 * det_half, 2.0 * samp_half);
   outcome.converged = Converged();
   outcome.limited_by_min_width = limited_by_min_width_;
   outcome.stats = stats_;

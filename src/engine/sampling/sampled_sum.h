@@ -14,6 +14,18 @@
 // n == N the finite-population correction zeroes the sampling term and the
 // interval degenerates to the hard [sum w*L, sum w*H].
 //
+// s^2 is computed from residuals against a pivot re-centered on the sample
+// mean at every full recompute, never from the textbook sum-of-squares form
+// E[y^2] - E[y]^2, which cancels catastrophically on large-mean/small-
+// variance data and would silently collapse the interval.
+//
+// Create() draws the initial sample eagerly, so every Snapshot() -- even
+// one taken before a budgeted scheduler grants the task its first Step() --
+// already has a variance estimate behind its interval. The only snapshots
+// without one (possible solely under a sample cap below 2) are tagged
+// confidence 0: an explicit "no probabilistic claim" marker, never a
+// fabricated tight interval.
+//
 // Each Step() plays the paper's greedy trade one level up: it compares the
 // best "iterate an existing sampled object tighter" candidate (ScoreHeap
 // over w_i * predicted-width-reduction / estCPU, exactly the SUM/AVE score)
@@ -56,12 +68,19 @@ struct SampledAggregateOptions {
 
   /// Safety valve on total Iterate() calls (matches OperatorOptions).
   std::uint64_t max_total_iterations = 50'000'000;
+
+  /// Meter charged for the eager initial draw in Create() (nullable; later
+  /// draws are charged to the meter each Step() receives).
+  WorkMeter* meter = nullptr;
 };
 
 /// \brief Snapshot/outcome of a sampled aggregate.
 struct SampledSumOutcome {
-  /// The combined probabilistic interval with provenance; always sound at
-  /// the stated confidence, even mid-run.
+  /// The combined probabilistic interval with provenance; sound at the
+  /// answer's stated confidence, even mid-run. Snapshots taken before a
+  /// variance estimate exists (reachable only when the sample is capped
+  /// below 2 rows) carry confidence 0 and a placeholder width instead of
+  /// pretending to a confidence interval.
   vao::Answer answer;
   bool converged = false;
   /// True when the error target was unreachable because every sampled
@@ -84,7 +103,10 @@ class SampledSumTask : public operators::IterationTask {
   using WeightFn = std::function<double(std::size_t row)>;
 
   /// \p population is the relation row count (must be > 0); factories are
-  /// copied into the task and must stay valid for its lifetime.
+  /// copied into the task and must stay valid for its lifetime. Draws the
+  /// initial sample (clamped to the sample cap) before returning, charging
+  /// it to options.meter, so the task is snapshot-ready even if it is never
+  /// stepped; row materialization failures surface here.
   static Result<std::unique_ptr<SampledSumTask>> Create(
       const SampledAggregateOptions& options, std::size_t population,
       RowFactory factory, WeightFn weight);
@@ -113,9 +135,14 @@ class SampledSumTask : public operators::IterationTask {
   /// Iterates sampled object \p i once; updates sums, stall guard, heap.
   Status IterateObject(std::size_t i, WorkMeter* meter);
 
-  /// Rebuilds sum_y_/sum_y2_/sum_half_ from scratch with compensated
-  /// accumulators (called periodically to shed incremental drift).
+  /// Rebuilds sum_y_/sum_half_/sum_yc2_ from scratch with compensated
+  /// accumulators and re-centers the variance pivot on the current mean
+  /// (called after every draw and periodically to shed incremental drift).
   void RecomputeSums();
+
+  /// Bessel-corrected sample variance of y over the current sample, from
+  /// pivot-centered residuals (0 when n < 2).
+  double SampleVariance() const;
 
   /// Greedy score of sampled object \p i (w * predicted width shrink per
   /// unit cost; 0 for converged/stalled objects).
@@ -151,15 +178,15 @@ class SampledSumTask : public operators::IterationTask {
 
   /// Incremental accumulators over sampled rows (y = w * mid):
   double sum_y_ = 0.0;     ///< sum y
-  double sum_y2_ = 0.0;    ///< sum y^2
   double sum_half_ = 0.0;  ///< sum w * (H - L)/2
+  double pivot_ = 0.0;     ///< variance pivot (mean y at last recompute)
+  double sum_yc2_ = 0.0;   ///< sum (y - pivot_)^2
   std::size_t mutations_ = 0;  ///< delta updates since last recompute
   double mean_new_half_ = 0.0; ///< running mean of w*half at creation time
   double mean_row_cost_ = 1.0; ///< running mean creation cost per row
 
   operators::ScoreHeap heap_;
   std::uint64_t iterations_ = 0;
-  bool initialized_ = false;
   bool limited_by_min_width_ = false;
   operators::OperatorStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "engine/sql_parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -328,10 +329,25 @@ Status Parser::MaybeParseApprox(Query* query) {
   if (PeekKeyword("SEED")) {
     Take();
     const Token value = Peek();
-    VAOLIB_ASSIGN_OR_RETURN(const double seed, TakeNumber("seed value"));
-    if (seed < 0.0 ||
-        seed != static_cast<double>(static_cast<std::uint64_t>(seed))) {
+    if (value.kind != TokenKind::kNumber) {
+      return SyntaxError("expected seed value, got " + TokenDesc(value),
+                         value.position);
+    }
+    Take();
+    // Parse the literal's own text as an integer: going through the token's
+    // double would be undefined behaviour to cast for values >= 2^64 and
+    // silently lossy above 2^53. Digit-only spelling also rejects signs,
+    // fractions, and exponent forms in one check.
+    if (value.text.find_first_not_of("0123456789") != std::string::npos) {
       return SyntaxError("seed must be a non-negative integer, got '" +
+                             value.text + "'",
+                         value.position);
+    }
+    errno = 0;
+    const unsigned long long seed =
+        std::strtoull(value.text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return SyntaxError("seed must fit in an unsigned 64-bit integer, got '" +
                              value.text + "'",
                          value.position);
     }

@@ -39,8 +39,16 @@
 //                                     into deterministic (dwidth) and
 //                                     sampling (swidth) widths over a
 //                                     samples=<drawn>/<population> sample.
-//                                     Exact results are byte-identical to
-//                                     pre-approx frames.
+//                                     conf=0 marks a tier with NO coverage
+//                                     guarantee: APPROX TOP-K reports the
+//                                     sampled winner's hard bounds (rows
+//                                     outside the sample were never
+//                                     considered, no per-rank CLT claim),
+//                                     and a sampled aggregate read before
+//                                     any variance estimate exists reports
+//                                     a placeholder interval. Exact results
+//                                     are byte-identical to pre-approx
+//                                     frames.
 //   REPORT <qid> seq=<n> <json>       the query's ExecutionReport (only for
 //                                     sessions that said HELLO ... reports)
 

@@ -43,7 +43,11 @@ struct Answer : Bounds {
   AnswerMode mode = AnswerMode::kExact;
 
   /// Coverage probability of [lo, hi]. 1.0 for exact answers; the stated
-  /// confidence level (e.g. 0.95) for approximate ones.
+  /// confidence level (e.g. 0.95) for approximate ones. An approximate
+  /// answer with confidence 0 makes NO probabilistic coverage claim: the
+  /// interval is best-effort only (the sampled TOP-K heuristic tier, whose
+  /// interval is the sampled winner's hard bounds, or a sampled aggregate
+  /// snapshot taken before any variance estimate exists).
   double confidence = 1.0;
 
   /// Rows actually sampled (0 for exact answers, which visit every row).

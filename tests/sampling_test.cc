@@ -353,19 +353,136 @@ TEST(SampledSumTaskTest, MaxSamplesCapIsHonored) {
 
 TEST(SampledSumTaskTest, CreateValidatesConfig) {
   SampledAggregateOptions options;
-  const auto factory = [](std::size_t) -> Result<vao::ResultObjectPtr> {
-    return Status::Internal("unused");
+  const auto broken = [](std::size_t) -> Result<vao::ResultObjectPtr> {
+    return Status::NumericError("row exploded");
   };
   const auto weight = [](std::size_t) { return 1.0; };
-  EXPECT_FALSE(SampledSumTask::Create(options, 0, factory, weight).ok());
+  EXPECT_FALSE(SampledSumTask::Create(options, 0, broken, weight).ok());
   options.spec.confidence = 1.5;
-  EXPECT_FALSE(SampledSumTask::Create(options, 10, factory, weight).ok());
+  EXPECT_FALSE(SampledSumTask::Create(options, 10, broken, weight).ok());
   options.spec.confidence = 0.95;
   options.spec.target_rel_error = 0.0;
-  EXPECT_FALSE(SampledSumTask::Create(options, 10, factory, weight).ok());
+  EXPECT_FALSE(SampledSumTask::Create(options, 10, broken, weight).ok());
   options.spec.target_rel_error = 0.01;
   EXPECT_FALSE(SampledSumTask::Create(options, 10, nullptr, weight).ok());
-  EXPECT_TRUE(SampledSumTask::Create(options, 10, factory, weight).ok());
+
+  // Create() draws the initial sample, so row materialization failures
+  // surface here rather than at the first Step().
+  const auto exploded = SampledSumTask::Create(options, 10, broken, weight);
+  ASSERT_FALSE(exploded.ok());
+  EXPECT_TRUE(exploded.status().Is(StatusCode::kNumericError));
+
+  // A working factory yields a snapshot-ready task.
+  testing::WorkloadSpec spec;
+  spec.rows = 10;
+  const testing::Workload workload = testing::MakeWorkload(spec, 4);
+  const auto* function = workload.function.get();
+  const auto created = SampledSumTask::Create(
+      options, spec.rows,
+      [function](std::size_t row) {
+        return function->Invoke({static_cast<double>(row)}, nullptr);
+      },
+      weight);
+  ASSERT_TRUE(created.ok()) << created.status();
+}
+
+TEST(SampledSumTaskTest, SnapshotBeforeAnyStepIsVarianceBacked) {
+  // A budgeted scheduler may consume a snapshot before the task's first
+  // Step(). The eager initial draw must make that snapshot rest on a real
+  // variance estimate -- never a zero-width interval around 0 presented at
+  // the stated confidence.
+  testing::WorkloadSpec spec;
+  spec.rows = 200;
+  spec.value_lo = 50.0;
+  spec.value_hi = 150.0;
+  const testing::Workload workload = testing::MakeWorkload(spec, 17);
+
+  SampledAggregateOptions options;
+  options.spec.confidence = 0.95;
+  options.spec.target_rel_error = 1e-9;  // no instant convergence
+  options.spec.seed = 17;
+  options.spec.initial_samples = 16;
+  const auto* function = workload.function.get();
+  auto task = SampledSumTask::Create(
+                  options, spec.rows,
+                  [function](std::size_t row) {
+                    return function->Invoke({static_cast<double>(row)},
+                                            nullptr);
+                  },
+                  [](std::size_t) { return 1.0; })
+                  .ValueOrDie();
+
+  const vao::Answer answer = task->Snapshot().answer;  // no Step() ever ran
+  EXPECT_GE(answer.sample_size, 2u);
+  EXPECT_DOUBLE_EQ(answer.confidence, 0.95);
+  EXPECT_TRUE(answer.bounds().IsValid());
+  EXPECT_GT(answer.Width(), 0.0);
+  EXPECT_GT(answer.sampling_width, 0.0);
+  NeumaierSum truth;
+  for (const double v : workload.true_values) truth.Add(v);
+  EXPECT_TRUE(answer.Contains(truth.Sum())) << answer << " vs "
+                                            << truth.Sum();
+}
+
+TEST(SampledSumTaskTest, SampleCapBelowTwoIsHonoredAndClaimsNothing) {
+  // max_samples=1 is a (pathological but legal) hard cap: the task must not
+  // draw past it, and with no variance estimate possible it must mark its
+  // snapshot confidence 0 instead of fabricating an interval.
+  const auto driven =
+      DriveSampledSum(50, 0.05, 9, /*max_samples=*/1).ValueOrDie();
+  const vao::Answer& answer = driven.outcome.answer;
+  EXPECT_LE(answer.sample_size, 1u);
+  EXPECT_DOUBLE_EQ(answer.confidence, 0.0);
+  EXPECT_TRUE(answer.bounds().IsValid());
+  EXPECT_FALSE(driven.outcome.converged);
+}
+
+TEST(SampledSumTaskTest, IllConditionedMeanKeepsVarianceEstimate) {
+  // Large mean, tiny spread: the naive sum-of-squares variance cancels
+  // catastrophically here (clamping to 0 -> overconfident zero sampling
+  // width, or surviving as ulp garbage -> absurdly wide). The pivoted
+  // accumulator must keep the sampling width positive and sane.
+  testing::WorkloadSpec spec;
+  spec.rows = 400;
+  spec.value_lo = 1e9;
+  spec.value_hi = 1e9 + 1e-3;
+  spec.min_width = 1e-6;
+  spec.initial_half_width_lo = 1e-4;
+  spec.initial_half_width_hi = 5e-4;
+  const testing::Workload workload = testing::MakeWorkload(spec, 12);
+
+  SampledAggregateOptions options;
+  options.spec.confidence = 0.95;
+  options.spec.target_rel_error = 1e-15;  // unreachable: exhaust the cap
+  options.spec.seed = 12;
+  options.spec.initial_samples = 16;
+  options.spec.max_samples = 64;
+  options.epsilon = 1e-9;
+  WorkMeter meter;
+  const auto* function = workload.function.get();
+  auto task = SampledSumTask::Create(
+                  options, spec.rows,
+                  [function, &meter](std::size_t row) {
+                    return function->Invoke({static_cast<double>(row)},
+                                            &meter);
+                  },
+                  [](std::size_t) { return 1.0; })
+                  .ValueOrDie();
+  operators::OperatorOptions drive;
+  drive.meter = &meter;
+  ASSERT_TRUE(operators::DriveTask(task.get(), drive).ok());
+
+  const vao::Answer answer = task->Snapshot().answer;
+  ASSERT_LT(answer.sample_size, static_cast<std::size_t>(spec.rows));
+  // The true per-row spread is ~1e-3, so the correct CLT width at n=64 of
+  // N=400 is well under 1.0; naive-cancellation failure modes land at
+  // exactly 0 or in the hundreds-to-thousands.
+  EXPECT_GT(answer.sampling_width, 0.0);
+  EXPECT_LT(answer.sampling_width, 1.0);
+  NeumaierSum truth;
+  for (const double v : workload.true_values) truth.Add(v);
+  EXPECT_TRUE(answer.Contains(truth.Sum())) << answer << " vs "
+                                            << truth.Sum();
 }
 
 // ---------------------------------------------------------------------------

@@ -164,6 +164,19 @@ TEST_F(SqlParserTest, ParsesApproxClause) {
   query = Parse("SELECT SUM(bond_model(rate, bond_index)) FROM bd");
   ASSERT_TRUE(query.ok());
   EXPECT_FALSE(query->approx.has_value());
+
+  // Seeds parse as integers, exactly, through the whole 64-bit range (a
+  // double round-trip would lose precision above 2^53).
+  query = Parse(
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX SEED 18446744073709551615");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->approx->seed, 18446744073709551615ull);
+  query = Parse(
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX SEED 9007199254740993");  // 2^53 + 1: not a double
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->approx->seed, 9007199254740993ull);
 }
 
 TEST_F(SqlParserTest, ApproxClauseRoundTripsThroughFormatQuery) {
@@ -221,6 +234,11 @@ TEST_F(SqlParserTest, RejectsMalformedQueries) {
       "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX ERROR -0.5",
       "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED -1",
       "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED 1.5",
+      // Exponent forms and out-of-range values must be rejected, never cast
+      // through a double (UB at >= 2^64, silent precision loss above 2^53).
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd APPROX SEED 2e19",
+      "SELECT SUM(bond_model(rate, bond_index)) FROM bd "
+      "APPROX SEED 18446744073709551616",
   };
   for (const char* sql : bad) {
     EXPECT_FALSE(Parse(sql).ok()) << sql;
