@@ -14,7 +14,13 @@
 //             queries each (an 8x query, >4x work noisy-neighbor storm) at
 //             tick budget 3 x W_vip with the vip reserve at 2 x W_vip.
 //             Records p50/p99 tick-to-answer latency. Shedding is off so the
-//             overload is sustained for every measured tick.
+//             overload is sustained for every measured tick. The runtime
+//             health plane (src/obs/health.h) watches the storm through an
+//             unconverged-rate SLO over a 2-epoch fast / 12-epoch slow
+//             window: a healthy warmup fills the slow window first, so the
+//             monitor must pass through degraded (fast window burning, slow
+//             still diluted) on its way to critical -- and the transition
+//             into critical must arm a flight-recorder dump.
 //   shed   -- the same storm with shed_after_misses=2: best-effort queries
 //             that stay unconverged get evicted with SHED frames; the
 //             reserved tenant is exempt by policy.
@@ -23,6 +29,9 @@
 //   * reserve invariant: the reserved tenant records ZERO deadline misses
 //     and ZERO unconverged results across the storm,
 //   * the storm actually storms: best-effort queries go unconverged,
+//   * the health plane sees it: warmup ends healthy, the SLO monitor flips
+//     healthy -> degraded -> critical in that order, and the critical
+//     transition writes a flight-recorder dump,
 //   * the shed phase evicts at least one best-effort query, sends SHED
 //     frames for each, and never touches the reserved tenant.
 //
@@ -35,6 +44,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,6 +53,9 @@
 #include <vector>
 
 #include "common/table_writer.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/trace.h"
 #include "engine/relation.h"
 #include "engine/schema.h"
 #include "engine/sql_parser.h"
@@ -176,6 +189,7 @@ struct PhaseResult {
   double p99_seconds = 0.0;
   std::size_t unconverged_results = 0;  // across all deliveries
   std::size_t shed_frames = 0;          // SHED frames delivered
+  std::vector<int> health_states;       // dispatcher health after each tick
 };
 
 double Percentile(std::vector<double> samples, double q) {
@@ -226,6 +240,8 @@ bool RunTicks(server::StandingQueryServer* server, Client* driver,
     const std::uint64_t tick_work =
         server->dispatcher().total_work_units() - before;
     result->max_tick_work = std::max(result->max_tick_work, tick_work);
+    result->health_states.push_back(
+        static_cast<int>(server->dispatcher().health_state()));
   }
   result->ticks = ticks;
   result->work_units = server->dispatcher().total_work_units();
@@ -321,15 +337,49 @@ int main() {
 
   // ---- Storm: sustained 4x noisy-neighbor overload, shedding off. --------
   {
+    server::ServerConfig storm_config = configure(/*shed_after=*/0);
+    // Health plane, one epoch per tick. The single SLO is the unconverged
+    // rate with a critical burn high enough that ONE storm epoch diluted
+    // across the 12-epoch slow window reads degraded, not critical -- so
+    // the multi-window monitor demonstrably passes through degraded before
+    // the slow window saturates.
+    storm_config.dispatcher.health.enabled = true;
+    storm_config.dispatcher.health.ticks_per_epoch = 1;
+    obs::SloSpec unconverged_slo;
+    unconverged_slo.name = "unconverged";
+    unconverged_slo.bad_metric = "vaolib_server_unconverged_total";
+    unconverged_slo.total_metric = "vaolib_server_results_total";
+    unconverged_slo.budget = 0.05;
+    unconverged_slo.fast_epochs = 2;
+    unconverged_slo.slow_epochs = 12;
+    unconverged_slo.degraded_burn = 1.0;
+    unconverged_slo.critical_burn = 10.0;
+    storm_config.dispatcher.health.slos = {unconverged_slo};
     server::StandingQueryServer storm(workload.relation.get(),
                                       workload.stream_schema,
-                                      &workload.registry,
-                                      configure(/*shed_after=*/0));
+                                      &workload.registry, storm_config);
     make_reserved(&storm);
+
+    // Arm the flight recorder: the SLO monitor's transition into critical
+    // must leave a post-mortem artifact behind.
+    const std::string dump_dir = "srv01_flight_dumps";
+    std::error_code dir_error;
+    std::filesystem::create_directories(dump_dir, dir_error);
+    obs::FlightRecorder::Global().SetDumpDir(dump_dir);
+    obs::SetTraceMode(obs::TraceMode::kFlight);
+    const std::uint64_t dumps_before =
+        obs::FlightRecorder::Global().dump_count();
+
     Client vip(&storm, "vip");
     std::vector<std::unique_ptr<Client>> noisy;
     std::vector<Client*> all{&vip};
     if (!RegisterAll(&vip, "vip-q", kVipQueries, kVipCount)) return 1;
+
+    // Healthy warmup: the reserved tenant alone fills the slow window so
+    // the storm's first epochs hit a monitor with benign history.
+    PhaseResult warmup;
+    if (!RunTicks(&storm, &vip, {&vip}, 12, &warmup)) return 1;
+
     for (std::size_t n = 0; n < kNoisyTenants; ++n) {
       noisy.push_back(std::make_unique<Client>(
           &storm, "noisy" + std::to_string(n)));
@@ -340,7 +390,54 @@ int main() {
       }
     }
     PhaseResult result;
-    if (!RunTicks(&storm, &vip, all, ticks, &result)) return 1;
+    const bool storm_ok = RunTicks(&storm, &vip, all, ticks, &result);
+    obs::SetTraceMode(obs::TraceMode::kOff);
+    obs::FlightRecorder::Global().SetDumpDir("");
+    if (!storm_ok) return 1;
+
+    // The health plane's account of the storm.
+    if (warmup.health_states.empty() || warmup.health_states.back() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: warmup should end healthy, health=%d\n",
+                   warmup.health_states.empty()
+                       ? -1
+                       : warmup.health_states.back());
+      ok = false;
+    }
+    std::size_t first_degraded = result.health_states.size();
+    std::size_t first_critical = result.health_states.size();
+    for (std::size_t t = 0; t < result.health_states.size(); ++t) {
+      if (result.health_states[t] == 1 && first_degraded > t) {
+        first_degraded = t;
+      }
+      if (result.health_states[t] == 2 && first_critical > t) {
+        first_critical = t;
+      }
+    }
+    if (first_degraded >= first_critical ||
+        first_critical >= result.health_states.size() ||
+        result.health_states.back() != 2) {
+      std::fprintf(stderr,
+                   "FAIL: health must flip degraded -> critical under the "
+                   "storm (first_degraded=%zu first_critical=%zu last=%d)\n",
+                   first_degraded, first_critical,
+                   result.health_states.empty()
+                       ? -1
+                       : result.health_states.back());
+      ok = false;
+    }
+    if (storm.dispatcher().health_monitor() == nullptr ||
+        storm.dispatcher().health_monitor()->critical_transitions() == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no SLO transition into critical was recorded\n");
+      ok = false;
+    }
+    if (obs::FlightRecorder::Global().dump_count() <= dumps_before) {
+      std::fprintf(stderr,
+                   "FAIL: the critical transition did not write a "
+                   "flight-recorder dump\n");
+      ok = false;
+    }
 
     const server::TenantUsage vip_usage =
         storm.dispatcher().admission().UsageFor("vip");

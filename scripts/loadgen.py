@@ -8,7 +8,15 @@ replayed byte-for-byte against a live server) over TCP:
     SESSION <name> <tenant> [reports]   open a connection, HELLO as <tenant>
     SEND <name> <payload...>            send one request payload verbatim
     TICKS <name> <count> <base> <step>  send <count> TICKs: base + step*i
+    EXPECT <name> <substring...>        drain <name>, then require that some
+                                        reply received so far contains the
+                                        substring (rest of line, verbatim)
     CLOSE <name>                        drop the connection (no BYE)
+
+Reply frames starting with "# " are Prometheus scrapes (METRICS replies);
+they are counted per session and run through a basic exposition lint
+(every sample line numeric, every histogram ends at le="+Inf") rather
+than being matched as protocol replies.
 
 Usage:
     # Against a server you started yourself:
@@ -62,6 +70,32 @@ class FrameDecoder:
         return frames
 
 
+def lint_scrape(text: str) -> list:
+    """Minimal Prometheus exposition lint; returns a list of problems."""
+    problems = []
+    bucket_families = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"non-numeric sample: {line!r}")
+            continue
+        name = name_part.split("{", 1)[0]
+        if name.endswith("_bucket"):
+            series = name_part.split("{", 1)
+            labels = series[1] if len(series) == 2 else ""
+            key = name + "".join(
+                part for part in labels.split(",") if "le=" not in part)
+            bucket_families.setdefault(key, []).append(labels)
+    for family, series in bucket_families.items():
+        if not any('le="+Inf"' in labels for labels in series):
+            problems.append(f"histogram {family} has no le=\"+Inf\" bucket")
+    return problems
+
+
 class Session:
     def __init__(self, name: str, tenant: str, host: str, port: int,
                  reports: bool, timeout: float) -> None:
@@ -72,6 +106,7 @@ class Session:
         self.errors = []
         self.results = 0
         self.shed = 0
+        self.scrapes = 0
         hello = "HELLO " + tenant + (" reports" if reports else "")
         self.send(hello)
 
@@ -88,7 +123,11 @@ class Session:
                     return
                 for frame in self.decoder.feed(data):
                     self.replies.append(frame)
-                    if frame.startswith("ERR "):
+                    if frame.startswith("# "):
+                        self.scrapes += 1
+                        for problem in lint_scrape(frame):
+                            self.errors.append(f"scrape lint: {problem}")
+                    elif frame.startswith("ERR "):
                         self.errors.append(frame)
                     elif frame.startswith("RESULT "):
                         self.results += 1
@@ -138,6 +177,11 @@ def parse_scenario(path: str) -> list:
                     sys.exit(f"{path}:{line_no}: bad TICKS line")
                 steps.append(("TICKS", parts[0], int(parts[1]),
                               float(parts[2]), float(parts[3])))
+            elif op == "EXPECT":
+                name, _, substring = rest.partition(" ")
+                if not name or not substring:
+                    sys.exit(f"{path}:{line_no}: bad EXPECT line")
+                steps.append(("EXPECT", name, substring))
             elif op == "CLOSE":
                 if not rest.strip():
                     sys.exit(f"{path}:{line_no}: bad CLOSE line")
@@ -204,10 +248,26 @@ def main() -> int:
                     sessions[name].send(
                         "TICK " + format_tick(base + tick_step * i))
                     # Results fan out to every session; drain as we go so
-                    # socket buffers stay small during a storm.
-                    deadline = time.monotonic() + args.timeout
+                    # socket buffers stay small during a storm. Short
+                    # first-byte wait: a session with nothing queued (e.g.
+                    # a monitor) must not stall the ramp for the full
+                    # timeout; EXPECT and the final drain still wait it.
+                    deadline = time.monotonic() + min(0.2, args.timeout)
                     for session in sessions.values():
                         session.pump(deadline)
+            elif kind == "EXPECT":
+                _, name, substring = step
+                session = sessions[name]
+                # Only wait on the wire when the expectation is not already
+                # met by replies drained earlier.
+                if not any(substring in r for r in session.replies):
+                    session.pump(time.monotonic() + args.timeout)
+                if not any(substring in r for r in session.replies):
+                    print(f"FAIL: EXPECT {name}: no reply contains "
+                          f"{substring!r}")
+                    for reply in session.replies[-5:]:
+                        print(f"  last reply: {reply[:200]}")
+                    failed = True
             elif kind == "CLOSE":
                 _, name = step
                 finished[name] = sessions.pop(name)
@@ -230,7 +290,7 @@ def main() -> int:
         total_results += session.results
         print(f"{name}: {len(session.replies)} replies, "
               f"{session.results} results, {session.shed} shed, "
-              f"{len(session.errors)} errors")
+              f"{session.scrapes} scrapes, {len(session.errors)} errors")
         for error in session.errors:
             print(f"  {error}")
             failed = True

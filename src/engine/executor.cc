@@ -254,6 +254,7 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
     result.report.rows_short_circuited = short_circuited;
     result.report.rows_quarantined = result.quarantined_rows.size();
     FillOperatorSection(result.stats, &result.report);
+    FillProgressSection(result, query_.epsilon, &result.report);
     capture.Finish(meter_, &result.report);
     obs::RecordTickMetrics(result.report);
     return result;
@@ -366,6 +367,7 @@ Result<TickResult> CqExecutor::RunVao(const Tuple& stream_tuple) {
   // alone were enough to rule them out of the answer.
   result.report.rows_short_circuited = n - result.stats.objects_touched;
   FillOperatorSection(result.stats, &result.report);
+  FillProgressSection(result, query_.epsilon, &result.report);
   capture.Finish(meter_, &result.report);
   obs::RecordTickMetrics(result.report);
   return result;
@@ -502,6 +504,7 @@ Result<TickResult> CqExecutor::RunApproximate(const Tuple& stream_tuple) {
   result.report.sample_population = answer.population_size;
   result.report.deterministic_width = answer.deterministic_width;
   result.report.sampling_width = answer.sampling_width;
+  FillProgressSection(result, query_.epsilon, &result.report);
   capture.Finish(meter_, &result.report);
   obs::RecordTickMetrics(result.report);
   return result;
@@ -616,6 +619,7 @@ Result<TickResult> CqExecutor::RunTraditional(const Tuple& stream_tuple) {
   result.report.query_kind = QueryKindName(query_.kind);
   result.report.rows_scanned = n;  // traditional mode never short-circuits
   FillOperatorSection(result.stats, &result.report);
+  FillProgressSection(result, query_.epsilon, &result.report);
   capture.Finish(meter_, &result.report);
   obs::RecordTickMetrics(result.report);
   return result;

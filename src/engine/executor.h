@@ -6,6 +6,8 @@
 #ifndef VAOLIB_ENGINE_EXECUTOR_H_
 #define VAOLIB_ENGINE_EXECUTOR_H_
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -90,6 +92,36 @@ struct TickResult {
   /// always equals work_units.
   obs::ExecutionReport report;
 };
+
+/// \brief Fills \p report's convergence-progress section (obs/health.h feeds
+/// these into per-query ProgressRings) from one query's finished tick.
+/// Interval-valued kinds (extremes, aggregates, TOP-K) report the answer
+/// interval's width and relative width; selections report 0.
+/// limited_by_min_width marks a tick that finished (not cut off by a
+/// scheduler budget) yet could not reach the requested precision: an
+/// aggregate still wider than epsilon, or an extreme/TOP-K decided only up
+/// to minWidth ties. More budget cannot tighten such an answer.
+inline void FillProgressSection(const TickResult& result, double epsilon,
+                                obs::ExecutionReport* report) {
+  const bool interval_kind = result.kind != QueryKind::kSelect &&
+                             result.kind != QueryKind::kSelectRange;
+  double width = 0.0;
+  double rel = 0.0;
+  if (interval_kind) {
+    width = result.aggregate_bounds.Width();
+    const double scale = std::max(std::fabs(result.aggregate_bounds.lo),
+                                  std::fabs(result.aggregate_bounds.hi));
+    if (!std::isfinite(width)) width = 0.0;  // unbounded: no useful sample
+    if (scale > 0.0 && std::isfinite(scale)) rel = width / scale;
+  }
+  report->answer_width = width;
+  report->answer_rel_width = rel;
+  const bool epsilon_kind =
+      result.kind == QueryKind::kSum || result.kind == QueryKind::kAve;
+  report->limited_by_min_width =
+      result.converged &&
+      ((epsilon_kind && width > epsilon) || (interval_kind && result.tie));
+}
 
 /// \brief Single-query continuous executor.
 ///

@@ -550,6 +550,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickShared(
     result.report.finalize_iterations = result.stats.finalize_iterations;
     result.report.choose_steps = result.stats.choose_steps;
     result.report.objects_touched = result.stats.objects_touched;
+    FillProgressSection(result, query.epsilon, &result.report);
   }
 
   // Tick-wide account: whole-tick work (creation included), cache and pool
@@ -914,6 +915,7 @@ Result<std::vector<TickResult>> MultiQueryExecutor::ProcessTickScheduled(
     result.report.converged = result.converged;
     result.report.starved = sched_stats[q].starved;
     result.report.missed_deadline = sched_stats[q].missed_deadline;
+    FillProgressSection(result, query.epsilon, &result.report);
     if (!options_.owners.empty()) {
       result.report.tenant = options_.owners[q];
       obs::MetricsRegistry::Global()

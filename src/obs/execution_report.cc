@@ -106,6 +106,12 @@ void ExecutionReport::RenderJson(std::ostream& os) const {
   os << ", \"sampling_width\": ";
   AppendExactDouble(os, sampling_width);
   os << "}, ";
+  os << "\"progress\": {\"width\": ";
+  AppendExactDouble(os, answer_width);
+  os << ", \"rel_width\": ";
+  AppendExactDouble(os, answer_rel_width);
+  os << ", \"limited_by_min_width\": "
+     << (limited_by_min_width ? "true" : "false") << "}, ";
   os << "\"calibration\": {";
   for (int k = 0; k < kNumSolverKinds; ++k) {
     const CalibrationKindStats& c = calibration[k];
@@ -409,6 +415,16 @@ Result<ExecutionReport> ExecutionReport::FromJson(const std::string& text) {
                             GetDouble(**answer, "deterministic_width"));
     VAOLIB_ASSIGN_OR_RETURN(report.sampling_width,
                             GetDouble(**answer, "sampling_width"));
+  }
+
+  // Tolerated as absent: reports serialized before the health plane.
+  if (const auto progress = Child(*root, "progress"); progress.ok()) {
+    VAOLIB_ASSIGN_OR_RETURN(report.answer_width,
+                            GetDouble(**progress, "width"));
+    VAOLIB_ASSIGN_OR_RETURN(report.answer_rel_width,
+                            GetDouble(**progress, "rel_width"));
+    VAOLIB_ASSIGN_OR_RETURN(report.limited_by_min_width,
+                            GetBool(**progress, "limited_by_min_width"));
   }
 
   VAOLIB_ASSIGN_OR_RETURN(const JsonValue* calibration,

@@ -172,6 +172,19 @@ struct ExecutionReport {
   double sampling_width = 0.0;
   /// @}
 
+  /// \name Convergence progress (the health plane's per-tick sample;
+  /// obs/health.h ProgressRing stores the trajectory). Width fields are 0
+  /// for row-valued kinds whose answer carries no interval.
+  /// @{
+  /// H - L of the tick's answer interval.
+  double answer_width = 0.0;
+  /// answer_width / max(|L|, |H|); 0 when both endpoints are 0.
+  double answer_rel_width = 0.0;
+  /// The query finished without reaching its requested epsilon: every
+  /// object is at minimum width, so more budget cannot tighten the answer.
+  bool limited_by_min_width = false;
+  /// @}
+
   /// Estimator-calibration deltas for this query, indexed by SolverKind
   /// (all zero when obs is disabled or the function never iterated).
   CalibrationKindStats calibration[kNumSolverKinds] = {};

@@ -78,6 +78,22 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
+// # HELP text escapes only backslash and newline (exposition format).
+std::string EscapePrometheusHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string EscapePrometheusLabel(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -268,11 +284,18 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return entry->histogram.get();
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = help;
+}
+
 void MetricsRegistry::RenderPrometheus(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mutex_);
   // Group by family: every sample of a name must sit under a single
-  // # TYPE line (exposition-format requirement), even when label variants
-  // of the family were registered with other metrics in between.
+  // # HELP + # TYPE line pair (exposition-format requirement), even when
+  // label variants of the family were registered with other metrics in
+  // between.
   std::vector<const Entry*> ordered;
   ordered.reserve(entries_.size());
   std::map<std::string, bool> emitted;
@@ -289,6 +312,12 @@ void MetricsRegistry::RenderPrometheus(std::ostream& os) const {
       const char* type = entry->type == Type::kCounter    ? "counter"
                          : entry->type == Type::kGauge    ? "gauge"
                                                           : "histogram";
+      const auto help_it = help_.find(entry->name);
+      os << "# HELP " << entry->name << " "
+         << EscapePrometheusHelp(help_it != help_.end()
+                                     ? help_it->second
+                                     : std::string("vaolib metric"))
+         << "\n";
       os << "# TYPE " << entry->name << " " << type << "\n";
       last_typed_name = entry->name;
     }
@@ -391,6 +420,43 @@ void MetricsRegistry::ResetAll() {
 std::size_t MetricsRegistry::metric_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& entry : entries_) {
+    switch (entry->type) {
+      case Type::kCounter:
+        if (entry->counter) {
+          snapshot.counters.push_back(
+              {entry->name, entry->labels, entry->counter->Value()});
+        }
+        break;
+      case Type::kGauge:
+        if (entry->gauge) {
+          snapshot.gauges.push_back(
+              {entry->name, entry->labels, entry->gauge->Value()});
+        }
+        break;
+      case Type::kHistogram:
+        if (entry->histogram) {
+          const Histogram& h = *entry->histogram;
+          MetricsSnapshot::HistogramSample sample;
+          sample.name = entry->name;
+          sample.labels = entry->labels;
+          sample.upper_bounds = h.upper_bounds();
+          sample.counts.resize(h.upper_bounds().size() + 1);
+          for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+            sample.counts[i] = h.BucketCount(i);
+          }
+          sample.sum = h.Sum();
+          snapshot.histograms.push_back(std::move(sample));
+        }
+        break;
+    }
+  }
+  return snapshot;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -168,6 +168,36 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// \brief Point-in-time copy of every registered metric's cumulative state.
+/// `WindowedView` (obs/health.h) diffs successive snapshots into per-epoch
+/// deltas; counters/histograms are monotone so deltas are non-negative once
+/// writers have quiesced. Samples appear in registration order.
+struct MetricsSnapshot {
+  using Labels = std::map<std::string, std::string>;
+  struct CounterSample {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    Labels labels;
+    std::int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    Labels labels;
+    std::vector<double> upper_bounds;
+    /// Non-cumulative per-bucket counts; the last slot is the +Inf bucket,
+    /// so counts.size() == upper_bounds.size() + 1.
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
 /// \brief Process-wide registry of named metrics. Get* registers on first
 /// use and returns a stable pointer; instrumentation sites should cache it
 /// (e.g. in a function-local static) so the map lookup happens once.
@@ -188,7 +218,13 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, const Labels& labels,
                           std::vector<double> upper_bounds);
 
-  /// Prometheus text exposition format (one # TYPE line per family).
+  /// Registers the # HELP text for a metric family. Applies to every label
+  /// variant of \p name; families without registered help render a generic
+  /// placeholder so the exposition stays promtool-clean.
+  void SetHelp(const std::string& name, const std::string& help);
+
+  /// Prometheus text exposition format (one # HELP + # TYPE line pair per
+  /// family, preceding that family's samples).
   void RenderPrometheus(std::ostream& os) const;
   /// {"counters": [...], "gauges": [...], "histograms": [...]}.
   void RenderJson(std::ostream& os) const;
@@ -198,6 +234,10 @@ class MetricsRegistry {
   void ResetAll();
 
   std::size_t metric_count() const;
+
+  /// Racy-but-atomic copy of every registered metric (same read contract as
+  /// Value()): exact once concurrent writers have quiesced. O(metrics).
+  MetricsSnapshot Snapshot() const;
 
   /// The process-wide registry used by all built-in instrumentation.
   static MetricsRegistry& Global();
@@ -219,6 +259,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order
   std::map<std::string, Entry*> index_;
+  std::map<std::string, std::string> help_;  // family name -> # HELP text
 };
 
 /// \brief The solver families whose work the observability layer breaks

@@ -1,10 +1,13 @@
 #include "server/dispatcher.h"
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 #include "common/macros.h"
+#include "engine/report_capture.h"
 #include "obs/metrics.h"
 #include "server/protocol.h"
 
@@ -19,12 +22,36 @@ struct DispatcherMetrics {
   obs::Counter* ticks;
   obs::Counter* results;
   obs::Counter* shed_overload;
+  obs::Counter* deadline_misses;
+  obs::Counter* unconverged;
   obs::Histogram* tick_latency;
+  obs::Histogram* tick_work;
 };
 
 const DispatcherMetrics& Metrics() {
   static const DispatcherMetrics metrics = [] {
     auto& registry = obs::MetricsRegistry::Global();
+    registry.SetHelp("vaolib_server_standing_queries",
+                     "Standing queries currently registered.");
+    registry.SetHelp("vaolib_server_registrations_total",
+                     "Accepted REGISTER commands.");
+    registry.SetHelp("vaolib_server_withdrawals_total",
+                     "WITHDRAW commands and session-close withdrawals.");
+    registry.SetHelp("vaolib_server_ticks_total",
+                     "Stream ticks dispatched to the standing-query set.");
+    registry.SetHelp("vaolib_server_results_total",
+                     "Per-query RESULT frames produced.");
+    registry.SetHelp("vaolib_server_shed_total",
+                     "Standing queries evicted under overload.");
+    registry.SetHelp("vaolib_server_deadline_misses_total",
+                     "Results that missed their scheduling deadline.");
+    registry.SetHelp("vaolib_server_unconverged_total",
+                     "Results delivered as sound partial intervals "
+                     "(converged=0).");
+    registry.SetHelp("vaolib_server_tick_latency_seconds",
+                     "Wall-clock latency of one dispatcher tick.");
+    registry.SetHelp("vaolib_server_tick_work_units",
+                     "Work units spent in one dispatcher tick.");
     return DispatcherMetrics{
         registry.GetGauge("vaolib_server_standing_queries"),
         registry.GetCounter("vaolib_server_registrations_total"),
@@ -33,15 +60,63 @@ const DispatcherMetrics& Metrics() {
         registry.GetCounter("vaolib_server_results_total"),
         registry.GetCounter("vaolib_server_shed_total",
                             {{"reason", "overload"}}),
+        registry.GetCounter("vaolib_server_deadline_misses_total"),
+        registry.GetCounter("vaolib_server_unconverged_total"),
         registry.GetHistogram("vaolib_server_tick_latency_seconds", {},
                               {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
                                30.0}),
+        registry.GetHistogram("vaolib_server_tick_work_units", {},
+                              {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}),
     };
   }();
   return metrics;
 }
 
+// %.9g with non-finite mapped to 0: INSPECT payloads are JSON and
+// "inf"/"nan" would break every scraper.
+void AppendDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
 }  // namespace
+
+std::vector<obs::SloSpec> DefaultServerSlos(const HealthConfig& health,
+                                            std::uint64_t tick_budget) {
+  std::vector<obs::SloSpec> slos;
+  const auto ratio = [&](const char* name, const char* bad_metric,
+                         obs::MetricsRegistry::Labels bad_labels,
+                         double budget) {
+    obs::SloSpec spec;
+    spec.name = name;
+    spec.bad_metric = bad_metric;
+    spec.bad_labels = std::move(bad_labels);
+    spec.total_metric = "vaolib_server_results_total";
+    spec.budget = budget;
+    spec.fast_epochs = health.fast_epochs;
+    spec.slow_epochs = health.slow_epochs;
+    slos.push_back(std::move(spec));
+  };
+  ratio("deadline_miss", "vaolib_server_deadline_misses_total", {}, 0.01);
+  ratio("shed", "vaolib_server_shed_total", {{"reason", "overload"}}, 0.01);
+  ratio("unconverged", "vaolib_server_unconverged_total", {}, 0.05);
+  if (tick_budget > 0) {
+    obs::SloSpec spec;
+    spec.name = "tick_work_p99";
+    spec.histogram_metric = "vaolib_server_tick_work_units";
+    spec.quantile = 0.99;
+    spec.limit = static_cast<double>(tick_budget);
+    spec.fast_epochs = health.fast_epochs;
+    spec.slow_epochs = health.slow_epochs;
+    slos.push_back(std::move(spec));
+  }
+  return slos;
+}
 
 Dispatcher::Dispatcher(const engine::Relation* relation,
                        engine::Schema stream_schema,
@@ -51,7 +126,19 @@ Dispatcher::Dispatcher(const engine::Relation* relation,
       stream_schema_(std::move(stream_schema)),
       registry_(registry),
       config_(std::move(config)),
-      admission_(config_.admission) {}
+      admission_(config_.admission) {
+  if (config_.health.enabled) {
+    obs::WindowedView::Options view_options;
+    view_options.window_count = config_.health.window_count;
+    health_view_ = std::make_unique<obs::WindowedView>(
+        &obs::MetricsRegistry::Global(), view_options);
+    health_monitor_ = std::make_unique<obs::SloMonitor>(
+        health_view_.get(),
+        config_.health.slos.empty()
+            ? DefaultServerSlos(config_.health, config_.tick_budget)
+            : config_.health.slos);
+  }
+}
 
 Result<engine::Query> Dispatcher::ParseSql(const std::string& sql) const {
   return engine::ParseQuery(sql, *registry_, stream_schema_,
@@ -133,6 +220,7 @@ Status Dispatcher::Withdraw(std::uint64_t session,
   }
   admission_.ReleaseQuery(it->second.tenant, relation_->size(),
                           /*shed=*/false);
+  progress_.erase(it->first);
   standing_.erase(it);
   dirty_ = true;
   Metrics().withdrawals->Increment();
@@ -146,6 +234,7 @@ void Dispatcher::WithdrawSession(std::uint64_t session) {
        it != standing_.end() && it->first.first == session;) {
     admission_.ReleaseQuery(it->second.tenant, relation_->size(),
                             /*shed=*/false);
+    progress_.erase(it->first);
     it = standing_.erase(it);
     dirty_ = true;
     Metrics().withdrawals->Increment();
@@ -236,9 +325,34 @@ Result<TickSummary> Dispatcher::Tick(const engine::Tuple& stream_tuple,
         deliveries->push_back({member.first, os.str()});
       }
       Metrics().results->Increment();
+      if (!result.converged) Metrics().unconverged->Increment();
+      if (result.report.missed_deadline) {
+        Metrics().deadline_misses->Increment();
+      }
       admission_.RecordResult(standing.tenant, result.report.scheduler_spent,
                               result.converged,
                               result.report.missed_deadline);
+
+      if (health_view_ != nullptr) {
+        auto progress_it = progress_.find(member);
+        if (progress_it == progress_.end()) {
+          ProgressEntry entry;
+          entry.tenant = standing.tenant;
+          entry.kind = result.kind;
+          entry.epsilon = standing.query.epsilon;
+          entry.signature = signature;
+          entry.ring = obs::ProgressRing(config_.health.progress_capacity);
+          progress_it = progress_.emplace(member, std::move(entry)).first;
+        }
+        obs::ProgressSample sample;
+        sample.tick = tick_seq_;
+        sample.width = result.report.answer_width;
+        sample.rel_width = result.report.answer_rel_width;
+        sample.work_spent = result.work_units;
+        sample.converged = result.converged;
+        sample.limited_by_min_width = result.report.limited_by_min_width;
+        progress_it->second.ring.Record(sample);
+      }
 
       if (result.converged) {
         standing.misses = 0;
@@ -254,6 +368,7 @@ Result<TickSummary> Dispatcher::Tick(const engine::Tuple& stream_tuple,
     const auto it = standing_.find(member);
     admission_.ReleaseQuery(it->second.tenant, relation_->size(),
                             /*shed=*/true);
+    progress_.erase(member);
     deliveries->push_back(
         {member.first,
          FormatShed(member.second, config_.admission.retry_after_ticks,
@@ -277,7 +392,173 @@ Result<TickSummary> Dispatcher::Tick(const engine::Tuple& stream_tuple,
           .count();
   Metrics().ticks->Increment();
   Metrics().tick_latency->Observe(summary.wall_seconds);
+  Metrics().tick_work->Observe(static_cast<double>(summary.work_units));
+
+  if (health_view_ != nullptr &&
+      tick_seq_ % std::max<std::size_t>(config_.health.ticks_per_epoch, 1) ==
+          0) {
+    // Tick-driven epochs: deliberately no wall clock here, so deterministic
+    // replays close identical windows.
+    health_view_->Advance();
+    health_monitor_->Evaluate();
+  }
   return summary;
+}
+
+obs::HealthState Dispatcher::health_state() const {
+  return health_monitor_ != nullptr ? health_monitor_->state()
+                                    : obs::HealthState::kHealthy;
+}
+
+double Dispatcher::ShrinkHintFor(const std::string& signature) const {
+  const auto it = histories_.find(signature);
+  if (it == histories_.end() || it->second == nullptr) return 1.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [key, entry] : it->second->Snapshot()) {
+    if (!entry.has_shrink) continue;
+    sum += entry.shrink_ratio;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 1.0;
+}
+
+void Dispatcher::RenderQueryProgress(const QueryKey& key,
+                                     const ProgressEntry& entry,
+                                     std::ostream& os) const {
+  os << "{\"id\": \"" << key.second << "\", \"session\": " << key.first
+     << ", \"tenant\": \"" << entry.tenant << "\", \"kind\": \""
+     << engine::QueryKindName(entry.kind) << "\", \"epsilon\": ";
+  AppendDouble(os, entry.epsilon);
+  os << ", \"ticks_observed\": " << entry.ring.total_recorded();
+  if (entry.ring.size() > 0) {
+    const obs::ProgressSample& last = entry.ring.newest();
+    os << ", \"width\": ";
+    AppendDouble(os, last.width);
+    os << ", \"rel_width\": ";
+    AppendDouble(os, last.rel_width);
+    os << ", \"work_last_tick\": " << last.work_spent
+       << ", \"converged\": " << (last.converged ? "true" : "false")
+       << ", \"limited_by_min_width\": "
+       << (last.limited_by_min_width ? "true" : "false");
+    const obs::EtaEstimate eta =
+        entry.ring.EstimateEta(entry.epsilon, ShrinkHintFor(entry.signature));
+    os << ", \"eta\": {\"known\": " << (eta.known ? "true" : "false")
+       << ", \"ticks\": ";
+    AppendDouble(os, eta.ticks);
+    os << ", \"work_units\": ";
+    AppendDouble(os, eta.work_units);
+    os << "}, \"trajectory\": [";
+    for (std::size_t i = 0; i < entry.ring.size(); ++i) {
+      const obs::ProgressSample& sample = entry.ring.at(i);
+      if (i > 0) os << ", ";
+      os << "{\"tick\": " << sample.tick << ", \"width\": ";
+      AppendDouble(os, sample.width);
+      os << ", \"work\": " << sample.work_spent << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
+Result<std::string> Dispatcher::InspectServer() const {
+  if (health_monitor_ == nullptr) {
+    return Status::FailedPrecondition(
+        "health plane disabled on this server (DispatcherConfig::health)");
+  }
+  std::ostringstream os;
+  os << "{\"scope\": \"server\", \"health\": \""
+     << obs::HealthStateName(health_monitor_->state()) << "\""
+     << ", \"ticks\": " << tick_seq_ << ", \"queries\": " << standing_.size()
+     << ", \"epochs\": " << health_view_->epochs()
+     << ", \"window_count\": " << health_view_->options().window_count
+     << ", \"critical_transitions\": "
+     << health_monitor_->critical_transitions() << ", \"slos\": [";
+  bool first = true;
+  for (const obs::SloStatus& status : health_monitor_->statuses()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": \"" << status.name << "\", \"state\": \""
+       << obs::HealthStateName(status.state) << "\", \"fast_value\": ";
+    AppendDouble(os, status.fast_value);
+    os << ", \"slow_value\": ";
+    AppendDouble(os, status.slow_value);
+    os << ", \"fast_burn\": ";
+    AppendDouble(os, status.fast_burn);
+    os << ", \"slow_burn\": ";
+    AppendDouble(os, status.slow_burn);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Result<std::string> Dispatcher::InspectQuery(std::uint64_t session,
+                                             const std::string& query_id)
+    const {
+  if (health_monitor_ == nullptr) {
+    return Status::FailedPrecondition(
+        "health plane disabled on this server (DispatcherConfig::health)");
+  }
+  const QueryKey key{session, query_id};
+  const auto it = progress_.find(key);
+  if (it == progress_.end()) {
+    // Registered but never ticked: answer with identity only, no samples.
+    const auto standing_it = standing_.find(key);
+    if (standing_it == standing_.end()) {
+      return Status::NotFound("no standing query '" + query_id +
+                              "' on this session");
+    }
+    std::ostringstream os;
+    os << "{\"scope\": \"query\", \"health\": \""
+       << obs::HealthStateName(health_monitor_->state())
+       << "\", \"queries\": [{\"id\": \"" << query_id
+       << "\", \"session\": " << session << ", \"tenant\": \""
+       << standing_it->second.tenant << "\", \"ticks_observed\": 0}]}";
+    return os.str();
+  }
+  std::ostringstream os;
+  os << "{\"scope\": \"query\", \"health\": \""
+     << obs::HealthStateName(health_monitor_->state())
+     << "\", \"queries\": [";
+  RenderQueryProgress(key, it->second, os);
+  os << "]}";
+  return os.str();
+}
+
+Result<std::string> Dispatcher::InspectTenant(const std::string& tenant)
+    const {
+  if (health_monitor_ == nullptr) {
+    return Status::FailedPrecondition(
+        "health plane disabled on this server (DispatcherConfig::health)");
+  }
+  const auto usage_map = admission_.AllUsage();
+  const auto usage_it = usage_map.find(tenant);
+  if (usage_it == usage_map.end()) {
+    return Status::NotFound("no tenant '" + tenant + "'");
+  }
+  const TenantUsage& usage = usage_it->second;
+  std::ostringstream os;
+  os << "{\"scope\": \"tenant\", \"tenant\": \"" << tenant
+     << "\", \"health\": \""
+     << obs::HealthStateName(health_monitor_->state())
+     << "\", \"usage\": {\"queries\": " << usage.queries
+     << ", \"work_units\": " << usage.work_units
+     << ", \"results\": " << usage.results
+     << ", \"unconverged\": " << usage.unconverged_results
+     << ", \"deadline_misses\": " << usage.deadline_misses
+     << ", \"shed\": " << usage.shed_queries
+     << ", \"rejected\": " << usage.rejected_registrations
+     << "}, \"queries\": [";
+  bool first = true;
+  for (const auto& [key, entry] : progress_) {
+    if (entry.tenant != tenant) continue;
+    if (!first) os << ", ";
+    first = false;
+    RenderQueryProgress(key, entry, os);
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace vaolib::server

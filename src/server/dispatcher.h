@@ -32,9 +32,31 @@
 #include "engine/relation.h"
 #include "engine/schema.h"
 #include "engine/sql_parser.h"
+#include "obs/health.h"
 #include "server/admission.h"
 
 namespace vaolib::server {
+
+/// \brief Runtime health plane configuration (obs/health.h). Disabled by
+/// default for library embedders; the serving binary turns it on. One
+/// health-enabled dispatcher per process is the supported shape (the plane
+/// reads and writes the process-global metrics registry).
+struct HealthConfig {
+  bool enabled = false;
+  /// Closed metric epochs retained by the windowed view.
+  std::size_t window_count = 64;
+  /// Dispatcher ticks per epoch: every Nth Tick() closes an epoch and
+  /// re-evaluates the SLO monitors.
+  std::size_t ticks_per_epoch = 1;
+  /// Per-query progress samples retained (one per tick).
+  std::size_t progress_capacity = 32;
+  /// Fast/slow burn-rate windows, in epochs, for the default SLO set.
+  std::size_t fast_epochs = 6;
+  std::size_t slow_epochs = 36;
+  /// Objectives to monitor; empty installs the default server set
+  /// (deadline-miss rate, shed rate, unconverged rate, p99 tick work).
+  std::vector<obs::SloSpec> slos;
+};
 
 /// \brief Dispatcher-wide execution parameters.
 struct DispatcherConfig {
@@ -58,7 +80,16 @@ struct DispatcherConfig {
   /// kSentinelGreedy: probe budget per correlation group.
   int sentinel_probes = 2;
   AdmissionConfig admission;
+  HealthConfig health;
 };
+
+/// \brief The default serving objectives, over \p health's fast/slow
+/// windows: deadline-miss rate <= 1%, shed rate <= 1%, unconverged rate
+/// <= 5% of results, and (when \p tick_budget > 0) p99 tick work within
+/// the budget. Exposed so tools and benches can start from the defaults
+/// and tighten.
+std::vector<obs::SloSpec> DefaultServerSlos(const HealthConfig& health,
+                                            std::uint64_t tick_budget);
 
 /// \brief One outbound protocol payload addressed to a session.
 struct Delivery {
@@ -118,6 +149,25 @@ class Dispatcher {
   std::uint64_t total_work_units() const { return total_work_units_; }
   std::uint64_t total_shed() const { return total_shed_; }
 
+  /// \name Health plane (config().health.enabled).
+  /// @{
+  bool health_enabled() const { return health_monitor_ != nullptr; }
+  /// kHealthy when the plane is disabled or no epoch has closed yet.
+  obs::HealthState health_state() const;
+  const obs::SloMonitor* health_monitor() const {
+    return health_monitor_.get();
+  }
+  const obs::WindowedView* health_view() const { return health_view_.get(); }
+
+  /// INSPECT payload JSON (see protocol.h for the reply grammar). All three
+  /// answer FailedPrecondition when the plane is disabled; the query/tenant
+  /// forms answer NotFound for unknown ids.
+  Result<std::string> InspectServer() const;
+  Result<std::string> InspectQuery(std::uint64_t session,
+                                   const std::string& query_id) const;
+  Result<std::string> InspectTenant(const std::string& tenant) const;
+  /// @}
+
  private:
   struct StandingQuery {
     std::string tenant;
@@ -148,6 +198,23 @@ class Dispatcher {
   DispatcherConfig config_;
   AdmissionController admission_;
 
+  /// One standing query's health-plane state: its progress ring plus the
+  /// identity needed to render INSPECT without re-deriving it.
+  struct ProgressEntry {
+    std::string tenant;
+    engine::QueryKind kind = engine::QueryKind::kSelect;
+    double epsilon = 0.0;
+    std::string signature;  ///< group key, for the CostHistory shrink hint
+    obs::ProgressRing ring;
+  };
+
+  /// Renders one query's progress object into \p os (InspectQuery /
+  /// InspectTenant share it).
+  void RenderQueryProgress(const QueryKey& key, const ProgressEntry& entry,
+                           std::ostream& os) const;
+  /// Mean CostHistory shrink ratio for \p signature (1.0 when unknown).
+  double ShrinkHintFor(const std::string& signature) const;
+
   std::map<QueryKey, StandingQuery> standing_;
   std::map<std::string, Group> groups_;
   /// Per-group-signature cost history; keyed like `groups_` but kept
@@ -159,6 +226,13 @@ class Dispatcher {
   std::uint64_t tick_seq_ = 0;
   std::uint64_t total_work_units_ = 0;
   std::uint64_t total_shed_ = 0;
+
+  /// Health plane (null when config_.health.enabled is false). The view
+  /// snapshots the global registry once per ticks_per_epoch ticks; progress
+  /// rings live and die with their standing query.
+  std::unique_ptr<obs::WindowedView> health_view_;
+  std::unique_ptr<obs::SloMonitor> health_monitor_;
+  std::map<QueryKey, ProgressEntry> progress_;
 };
 
 }  // namespace vaolib::server

@@ -129,6 +129,30 @@ Result<Request> ParseRequest(std::string_view payload) {
     }
     return request;
   }
+  if (verb == "METRICS") {
+    request.verb = Verb::kMetrics;
+    if (!NextToken(payload, &pos).empty()) {
+      return Status::InvalidArgument("METRICS takes no arguments");
+    }
+    return request;
+  }
+  if (verb == "INSPECT") {
+    request.verb = Verb::kInspect;
+    const std::string_view target = NextToken(payload, &pos);
+    if (!target.empty()) {
+      if (!IsValidId(target)) {
+        return Status::InvalidArgument(
+            "INSPECT target must be a query or tenant id (1-64 chars of "
+            "[A-Za-z0-9_.-]), got '" +
+            std::string(target) + "'");
+      }
+      request.inspect_target = std::string(target);
+      if (!NextToken(payload, &pos).empty()) {
+        return Status::InvalidArgument("INSPECT takes at most one target");
+      }
+    }
+    return request;
+  }
   if (verb == "BYE") {
     request.verb = Verb::kBye;
     if (!NextToken(payload, &pos).empty()) {

@@ -15,6 +15,11 @@
 //   TICK <v1> [v2 ...]                inject one stream tuple; results fan
 //                                     out to every owning session
 //   STATS                             one-line server account
+//   METRICS                           full Prometheus scrape in one frame
+//   INSPECT [id]                      health-plane introspection: no id =
+//                                     whole-server SLO/health state; id =
+//                                     this session's query of that id, else
+//                                     the tenant of that name
 //   BYE                               withdraw everything and close
 //
 // Server -> client:
@@ -51,6 +56,27 @@
 //                                     frames.
 //   REPORT <qid> seq=<n> <json>       the query's ExecutionReport (only for
 //                                     sessions that said HELLO ... reports)
+//
+// STATS reply grammar (machine-parseable; one line, space-delimited):
+//   OK STATS sessions=<n> queries=<n> ticks=<n> work=<n> shed=<n>
+//      [tenant.<name>=q:<n>,work:<n>,unconverged:<n>,misses:<n>,shed:<n>,
+//       rejected:<n>]...
+// One tenant.<name>= token per tenant that has ever registered, sorted by
+// tenant name ascending (bytewise), so scrapers can diff successive STATS
+// lines without re-ordering. Tenant names are ids (no spaces, '=' or ',').
+//
+// METRICS reply: the frame payload is the raw Prometheus text exposition of
+// the process registry (starts with "# HELP"; multi-kilobyte frames are
+// normal -- see frame.h for the size cap).
+//
+// INSPECT reply: "INSPECT <json>" where <json> is an object with
+//   "scope":  "server" | "tenant" | "query"
+//   "health": "healthy" | "degraded" | "critical" | "disabled"
+//   "slos":   [{name, state, fast_burn, slow_burn, ...}] (server scope)
+//   "queries":[{id, tenant, width, rel_width, converged,
+//               limited_by_min_width, eta_ticks, ...}] (tenant/query scope)
+// An unknown id answers ERR not-found; a server without the health plane
+// enabled answers ERR failed-precondition.
 
 #ifndef VAOLIB_SERVER_PROTOCOL_H_
 #define VAOLIB_SERVER_PROTOCOL_H_
@@ -72,6 +98,8 @@ enum class Verb {
   kWithdraw,
   kTick,
   kStats,
+  kMetrics,
+  kInspect,
   kBye,
 };
 
@@ -83,6 +111,7 @@ struct Request {
   std::string query_id;             ///< kRegister / kWithdraw
   std::string sql;                  ///< kRegister: ParseQuery text, verbatim
   std::vector<double> tick_values;  ///< kTick: the stream tuple
+  std::string inspect_target;       ///< kInspect: tenant/query id, may be ""
 };
 
 /// \brief Parses one frame payload into a Request. InvalidArgument carries

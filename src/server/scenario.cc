@@ -126,6 +126,19 @@ Result<std::vector<ScenarioStep>> ParseScenario(std::string_view text) {
         return LineError(line_no,
                          "TICKS takes '<name> <count> <base> <step>'");
       }
+    } else if (op == "EXPECT") {
+      step.kind = ScenarioStep::Kind::kExpect;
+      const std::string_view name = NextWord(line, &pos);
+      if (!IsValidId(name)) {
+        return LineError(line_no, "EXPECT needs a session name, got '" +
+                                      std::string(name) + "'");
+      }
+      step.session = std::string(name);
+      if (pos < line.size() && line[pos] == ' ') ++pos;
+      if (pos >= line.size()) {
+        return LineError(line_no, "EXPECT is missing the substring");
+      }
+      step.payload = std::string(line.substr(pos));
     } else if (op == "CLOSE") {
       step.kind = ScenarioStep::Kind::kClose;
       const std::string_view name = NextWord(line, &pos);
@@ -161,6 +174,9 @@ std::string FormatScenario(const std::vector<ScenarioStep>& steps) {
         AppendNumber(os, step.base);
         os << ' ';
         AppendNumber(os, step.step);
+        break;
+      case ScenarioStep::Kind::kExpect:
+        os << "EXPECT " << step.session << ' ' << step.payload;
         break;
       case ScenarioStep::Kind::kClose:
         os << "CLOSE " << step.session;

@@ -8,6 +8,10 @@
 //                                       (the rest of the line, spaces kept)
 //   TICKS <name> <count> <base> <step>  send <count> single-value TICKs
 //                                       from <name>: value_i = base + step*i
+//   EXPECT <name> <substring...>        assert that some reply already
+//                                       received on <name> contains the
+//                                       substring (rest of line, verbatim);
+//                                       drivers drain the session first
 //   CLOSE <name>                        drop the session (no BYE)
 //
 // The same format drives the in-process load bench (bench/srv01_load.cc)
@@ -30,12 +34,12 @@ namespace vaolib::server {
 
 /// \brief One scenario step.
 struct ScenarioStep {
-  enum class Kind { kSession, kSend, kTicks, kClose };
+  enum class Kind { kSession, kSend, kTicks, kExpect, kClose };
   Kind kind = Kind::kSend;
   std::string session;  ///< every step names its session
   std::string tenant;   ///< kSession
   bool reports = false; ///< kSession
-  std::string payload;  ///< kSend: the request payload, verbatim
+  std::string payload;  ///< kSend: request payload; kExpect: the substring
   std::uint64_t count = 0;  ///< kTicks
   double base = 0.0;        ///< kTicks
   double step = 0.0;        ///< kTicks

@@ -173,6 +173,8 @@ void StandingQueryServer::HandleRequest(std::uint64_t session,
          << " ticks=" << dispatcher_.ticks()
          << " work=" << dispatcher_.total_work_units()
          << " shed=" << dispatcher_.total_shed();
+      // AllUsage() is an ordered map, so the tenant tokens come out sorted
+      // by name -- the machine-parseable grammar documented in protocol.h.
       for (const auto& [tenant, usage] : dispatcher_.admission().AllUsage()) {
         os << " tenant." << tenant << "=q:" << usage.queries
            << ",work:" << usage.work_units
@@ -182,6 +184,44 @@ void StandingQueryServer::HandleRequest(std::uint64_t session,
            << ",rejected:" << usage.rejected_registrations;
       }
       Reply(session, os.str());
+      return;
+    }
+    case Verb::kMetrics: {
+      // The whole Prometheus exposition rides in one frame; METRICS frames
+      // are the protocol's first multi-kilobyte replies (frame.h caps the
+      // size, server_test covers near-cap payloads).
+      std::ostringstream os;
+      obs::MetricsRegistry::Global().RenderPrometheus(os);
+      Reply(session, os.str());
+      return;
+    }
+    case Verb::kInspect: {
+      // Resolution order (protocol.h): no target = whole server; otherwise
+      // the requesting session's query of that id first, then a tenant of
+      // that name.
+      Result<std::string> inspected =
+          request.inspect_target.empty()
+              ? dispatcher_.InspectServer()
+              : dispatcher_.InspectQuery(session, request.inspect_target);
+      if (!request.inspect_target.empty()) {
+        if (!inspected.ok() &&
+            inspected.status().code() == StatusCode::kNotFound) {
+          const auto as_tenant =
+              dispatcher_.InspectTenant(request.inspect_target);
+          if (as_tenant.ok()) {
+            inspected = as_tenant;
+          } else {
+            inspected = Status::NotFound(
+                "'" + request.inspect_target +
+                "' names neither a query on this session nor a tenant");
+          }
+        }
+      }
+      if (!inspected.ok()) {
+        Reply(session, FormatErr(inspected.status()));
+        return;
+      }
+      Reply(session, "INSPECT " + *inspected);
       return;
     }
     case Verb::kBye: {

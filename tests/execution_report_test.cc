@@ -90,6 +90,9 @@ ExecutionReport FullySetReport() {
   report.sample_population = 712;
   report.deterministic_width = 0.25;  // dyadic: exact through %.17g
   report.sampling_width = 1.5;
+  report.answer_width = 0.0625;  // dyadic: exact through %.17g
+  report.answer_rel_width = 0.03125;
+  report.limited_by_min_width = true;
   for (int k = 0; k < kNumSolverKinds; ++k) {
     CalibrationKindStats& c = report.calibration[k];
     const double base = static_cast<double>(k + 1);
@@ -524,6 +527,41 @@ TEST_F(ReportIntegrationTest, MultiQueryTickReportCoversWholeTick) {
   EXPECT_EQ(tick.rows_scanned, bonds_.size());
   EXPECT_EQ(tick.iterations, (*results)[0].report.iterations +
                                  (*results)[1].report.iterations);
+}
+
+TEST(ExecutionReportTest, ProgressBlockRoundTripsAndIsOptional) {
+  ExecutionReport report;
+  report.query_kind = "max";
+  report.answer_width = 0.125;
+  report.answer_rel_width = 0.0625;
+  report.limited_by_min_width = true;
+
+  std::ostringstream os;
+  report.RenderJson(os);
+  const std::string json = os.str();
+  // The convergence trajectory the health plane's ProgressRing samples.
+  EXPECT_NE(json.find("\"progress\": {\"width\": 0.125"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"limited_by_min_width\": true"), std::string::npos);
+
+  const auto parsed = ExecutionReport::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->answer_width, 0.125);
+  EXPECT_DOUBLE_EQ(parsed->answer_rel_width, 0.0625);
+  EXPECT_TRUE(parsed->limited_by_min_width);
+
+  // Reports emitted before the progress block existed still parse; the
+  // fields just stay at their zero defaults.
+  std::string legacy_json = json;
+  const std::size_t begin = legacy_json.find("\"progress\": {");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = legacy_json.find("}, ", begin);
+  ASSERT_NE(end, std::string::npos);
+  legacy_json.erase(begin, end - begin + 3);
+  const auto legacy = ExecutionReport::FromJson(legacy_json);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_DOUBLE_EQ(legacy->answer_width, 0.0);
+  EXPECT_FALSE(legacy->limited_by_min_width);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -308,6 +310,174 @@ TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
   EXPECT_TRUE(Contains(os.str(), "path=\"a\\\"b\\\\c\\nd\""))
       << os.str();
   EXPECT_FALSE(Contains(os.str(), "a\"b"));
+}
+
+// Structural lint over a full Prometheus text exposition, mirroring what a
+// real scraper enforces: every family announces # HELP then # TYPE before
+// its first sample, every sample value parses as a number, and every
+// histogram ends in a le="+Inf" bucket that equals its _count.
+std::vector<std::string> LintScrape(const std::string& text) {
+  std::vector<std::string> problems;
+  std::istringstream in(text);
+  std::string line;
+  // family -> bitmask: 1 = saw HELP, 2 = saw TYPE, 4 = saw a sample.
+  std::vector<std::pair<std::string, int>> families;
+  auto family_state = [&](const std::string& name) -> int& {
+    for (auto& entry : families) {
+      if (entry.first == name) return entry.second;
+    }
+    families.emplace_back(name, 0);
+    return families.back().second;
+  };
+  auto base_family = [](std::string name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+  std::string inf_bucket_family;
+  std::uint64_t inf_bucket_value = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      std::istringstream fields(line.substr(7));
+      std::string name;
+      fields >> name;
+      int& state = family_state(name);
+      if ((state & 4) != 0) {
+        problems.push_back("comment after samples: " + line);
+      }
+      if (is_help && (state & 2) != 0) {
+        problems.push_back("# HELP after # TYPE for " + name);
+      }
+      state |= is_help ? 1 : 2;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      problems.push_back("sample without value: " + line);
+      continue;
+    }
+    const std::string value = line.substr(space + 1);
+    try {
+      std::size_t used = 0;
+      (void)std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      problems.push_back("non-numeric sample value: " + line);
+      continue;
+    }
+    std::string series = line.substr(0, space);
+    const std::size_t brace = series.find('{');
+    const std::string metric =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    const std::string family = base_family(metric);
+    int& state = family_state(family);
+    if ((state & 1) == 0 || (state & 2) == 0) {
+      problems.push_back("sample before # HELP/# TYPE: " + line);
+    }
+    state |= 4;
+    if (metric == family + "_bucket" &&
+        series.find("le=\"+Inf\"") != std::string::npos) {
+      inf_bucket_family = family;
+      inf_bucket_value =
+          static_cast<std::uint64_t>(std::stod(line.substr(space + 1)));
+    }
+    if (metric == family + "_count") {
+      if (inf_bucket_family != family) {
+        problems.push_back("histogram without le=\"+Inf\" bucket: " +
+                           family);
+      } else if (static_cast<std::uint64_t>(
+                     std::stod(line.substr(space + 1))) !=
+                 inf_bucket_value) {
+        problems.push_back("_count != +Inf bucket for " + family);
+      }
+    }
+  }
+  return problems;
+}
+
+TEST(PrometheusConformanceTest, FullExpositionPassesTheScrapeLint) {
+  MetricsRegistry registry;
+  registry.SetHelp("conf_total", "Requests seen.");
+  registry.GetCounter("conf_total", {{"kind", "a"}})->Add(3);
+  registry.GetCounter("conf_total", {{"kind", "b"}})->Add(1);
+  registry.SetHelp("conf_gauge", "Current depth.");
+  registry.GetGauge("conf_gauge")->Set(7);
+  registry.SetHelp("conf_hist", "Work per tick.");
+  Histogram* h = registry.GetHistogram("conf_hist", {}, {1.0, 8.0});
+  h->Observe(0.5);
+  h->Observe(4.0);
+  h->Observe(100.0);
+
+  std::ostringstream os;
+  registry.RenderPrometheus(os);
+  const std::string text = os.str();
+  const std::vector<std::string> problems = LintScrape(text);
+  EXPECT_TRUE(problems.empty())
+      << "lint problems:\n"
+      << [&] {
+           std::string joined;
+           for (const auto& p : problems) joined += "  " + p + "\n";
+           return joined;
+         }()
+      << "exposition:\n"
+      << text;
+  // The histogram triple is all present and mutually consistent.
+  EXPECT_TRUE(Contains(text, "conf_hist_bucket{le=\"+Inf\"} 3")) << text;
+  EXPECT_TRUE(Contains(text, "conf_hist_count 3")) << text;
+  EXPECT_TRUE(Contains(text, "conf_hist_sum 104.5")) << text;
+}
+
+TEST(PrometheusConformanceTest, HelpRendersBeforeTypeAndEscapes) {
+  MetricsRegistry registry;
+  registry.SetHelp("helped_total", "line one\nline two \\ done");
+  registry.GetCounter("helped_total")->Increment();
+  std::ostringstream os;
+  registry.RenderPrometheus(os);
+  const std::string text = os.str();
+  // HELP text escapes newline and backslash per the exposition format.
+  const std::size_t help =
+      text.find("# HELP helped_total line one\\nline two \\\\ done");
+  const std::size_t type = text.find("# TYPE helped_total counter");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  EXPECT_LT(help, type);
+  EXPECT_TRUE(LintScrape(text).empty());
+}
+
+TEST(MetricsSnapshotTest, SnapshotCapturesCumulativeStateAtAPointInTime) {
+  MetricsRegistry registry;
+  registry.GetCounter("snap_total")->Add(4);
+  registry.GetGauge("snap_gauge")->Set(-3);
+  Histogram* h = registry.GetHistogram("snap_hist", {}, {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  // Later mutations must not leak into the captured snapshot.
+  registry.GetCounter("snap_total")->Add(100);
+
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "snap_total");
+  EXPECT_EQ(snapshot.counters[0].value, 4u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, -3);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& hist = snapshot.histograms[0];
+  // Bucket counts are per-bucket (non-cumulative), +Inf at the tail.
+  ASSERT_EQ(hist.counts.size(), 3u);
+  EXPECT_EQ(hist.counts[0], 1u);
+  EXPECT_EQ(hist.counts[1], 1u);
+  EXPECT_EQ(hist.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(hist.sum, 11.0);
 }
 
 }  // namespace

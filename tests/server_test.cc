@@ -758,6 +758,189 @@ TEST(ScenarioTest, ParsesAndFormatsRoundTrip) {
   }
 }
 
+TEST(ProtocolTest, ParsesMetricsAndInspectVerbs) {
+  const auto metrics = ParseRequest("METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->verb, Verb::kMetrics);
+  // METRICS takes no arguments.
+  EXPECT_FALSE(ParseRequest("METRICS now").ok());
+
+  const auto whole = ParseRequest("INSPECT");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->verb, Verb::kInspect);
+  EXPECT_TRUE(whole->inspect_target.empty());
+
+  const auto scoped = ParseRequest("INSPECT q1");
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(scoped->verb, Verb::kInspect);
+  EXPECT_EQ(scoped->inspect_target, "q1");
+
+  const auto bad_id = ParseRequest("INSPECT bad!id");
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_NE(bad_id.status().message().find("'bad!id'"), std::string::npos);
+  EXPECT_FALSE(ParseRequest("INSPECT q1 extra").ok());
+}
+
+TEST(FrameTest, NearCapPayloadsRoundTripAndOverCapIsRejected) {
+  constexpr std::size_t kCap = 4096;
+  // One byte under and exactly at the cap both round-trip, including when
+  // the bytes arrive split mid-header and mid-payload.
+  for (const std::size_t size : {kCap - 1, kCap}) {
+    const std::string payload(size, 'x');
+    const std::string wire = EncodeFrame(payload);
+    FrameDecoder decoder(kCap);
+    ASSERT_TRUE(decoder.Feed(wire.substr(0, 3)).ok());
+    ASSERT_TRUE(decoder.Feed(wire.substr(3, size / 2)).ok());
+    ASSERT_TRUE(decoder.Feed(wire.substr(3 + size / 2)).ok());
+    const auto decoded = decoder.Next();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->size(), size);
+    EXPECT_EQ(*decoded, payload);
+    EXPECT_FALSE(decoder.Next().has_value());
+  }
+  // One byte over: rejected from the length header alone, before any
+  // payload bytes arrive.
+  FrameDecoder decoder(kCap);
+  const std::string oversized = EncodeFrame(std::string(kCap + 1, 'x'));
+  const auto status =
+      decoder.Feed(oversized.substr(0, oversized.find('\n') + 1));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("frame"), std::string::npos);
+}
+
+TEST_F(ServerTest, StatsTenantSectionsAreSortedByTenantName) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t zeta = server->OpenSession();
+  const std::uint64_t alpha = server->OpenSession();
+  const std::uint64_t mid = server->OpenSession();
+  // Deliberately greet in anti-alphabetical order: the STATS grammar
+  // promises tenant sections sorted by name regardless of arrival.
+  Send(*server, zeta, "HELLO zeta");
+  Send(*server, mid, "HELLO mm");
+  Send(*server, alpha, "HELLO alpha");
+  Send(*server, zeta,
+       "REGISTER qz SELECT MAX(bond_model(rate, bond_index)) FROM bd "
+       "PRECISION 0.1");
+  Send(*server, alpha,
+       "REGISTER qa SELECT MIN(bond_model(rate, bond_index)) FROM bd "
+       "PRECISION 0.1");
+  Send(*server, mid,
+       "REGISTER qm SELECT AVE(bond_model(rate, bond_index)) FROM bd "
+       "PRECISION 0.1");
+
+  const auto replies = Send(*server, zeta, "STATS");
+  ASSERT_EQ(replies.size(), 1u);
+  const std::string& stats = replies[0];
+  ASSERT_EQ(stats.rfind("OK STATS ", 0), 0u) << stats;
+  const std::size_t at_alpha = stats.find(" tenant.alpha=q:1,");
+  const std::size_t at_mm = stats.find(" tenant.mm=q:1,");
+  const std::size_t at_zeta = stats.find(" tenant.zeta=q:1,");
+  ASSERT_NE(at_alpha, std::string::npos) << stats;
+  ASSERT_NE(at_mm, std::string::npos) << stats;
+  ASSERT_NE(at_zeta, std::string::npos) << stats;
+  EXPECT_LT(at_alpha, at_mm);
+  EXPECT_LT(at_mm, at_zeta);
+}
+
+TEST_F(ServerTest, MetricsReplyIsOneRawPrometheusFrame) {
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  Send(*server, session, "HELLO mon");
+  // Server metric families register lazily on first dispatcher activity,
+  // so put one query and one tick through before scraping.
+  Send(*server, session,
+       "REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) FROM bd "
+       "PRECISION 0.1");
+  Send(*server, session, "TICK 0.0575");
+  const auto replies = Send(*server, session, "METRICS");
+  ASSERT_EQ(replies.size(), 1u);
+  // Raw exposition, no "OK" wrapper: scrapers splice the frame payload
+  // straight into their ingest path.
+  EXPECT_EQ(replies[0].rfind("# ", 0), 0u) << replies[0].substr(0, 120);
+  EXPECT_NE(replies[0].find("# TYPE vaolib_server_ticks_total counter"),
+            std::string::npos);
+  EXPECT_NE(replies[0].find("# HELP vaolib_server_ticks_total"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, InspectCoversServerQueryAndTenantScopes) {
+  ServerConfig config;
+  config.dispatcher.health.enabled = true;
+  config.dispatcher.health.ticks_per_epoch = 1;
+  auto server = MakeServer(config);
+  const std::uint64_t session = server->OpenSession();
+  Send(*server, session, "HELLO desk");
+  Send(*server, session,
+       "REGISTER q1 SELECT MAX(bond_model(rate, bond_index)) FROM bd "
+       "PRECISION 0.05");
+  for (int t = 0; t < 3; ++t) {
+    Send(*server, session, "TICK 0.0575");
+  }
+
+  const auto whole = Send(*server, session, "INSPECT");
+  ASSERT_EQ(whole.size(), 1u);
+  ASSERT_EQ(whole[0].rfind("INSPECT {", 0), 0u) << whole[0];
+  EXPECT_NE(whole[0].find("\"scope\": \"server\""), std::string::npos);
+  EXPECT_NE(whole[0].find("\"health\": \"healthy\""), std::string::npos);
+  EXPECT_NE(whole[0].find("\"slos\": ["), std::string::npos);
+
+  const auto query = Send(*server, session, "INSPECT q1");
+  ASSERT_EQ(query.size(), 1u);
+  EXPECT_NE(query[0].find("\"scope\": \"query\""), std::string::npos);
+  EXPECT_NE(query[0].find("\"id\": \"q1\""), std::string::npos);
+  EXPECT_NE(query[0].find("\"ticks_observed\": 3"), std::string::npos);
+
+  // No query named "desk" on this session, so resolution falls through to
+  // the tenant scope.
+  const auto tenant = Send(*server, session, "INSPECT desk");
+  ASSERT_EQ(tenant.size(), 1u);
+  EXPECT_NE(tenant[0].find("\"scope\": \"tenant\""), std::string::npos);
+  EXPECT_NE(tenant[0].find("\"tenant\": \"desk\""), std::string::npos);
+
+  const auto missing = Send(*server, session, "INSPECT nothere");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].rfind("ERR not-found ", 0), 0u) << missing[0];
+  EXPECT_NE(missing[0].find("neither a query on this session nor a tenant"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, InspectWithHealthPlaneDisabledIsFailedPrecondition) {
+  // HealthConfig::enabled defaults to false: the library stays
+  // pay-for-what-you-use and INSPECT says exactly which knob to flip.
+  auto server = MakeServer(ServerConfig{});
+  const std::uint64_t session = server->OpenSession();
+  Send(*server, session, "HELLO desk");
+  const auto replies = Send(*server, session, "INSPECT");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("ERR failed-precondition ", 0), 0u)
+      << replies[0];
+  EXPECT_NE(replies[0].find("DispatcherConfig::health"), std::string::npos);
+}
+
+TEST(ScenarioTest, ExpectStepRoundTripsAndValidates) {
+  const std::string text =
+      "SESSION mon tenant-mon\n"
+      "SEND mon INSPECT\n"
+      "EXPECT mon \"health\": \"healthy\"\n";
+  const auto steps = ParseScenario(text);
+  ASSERT_TRUE(steps.ok()) << steps.status().message();
+  ASSERT_EQ(steps->size(), 3u);
+  EXPECT_EQ((*steps)[2].kind, ScenarioStep::Kind::kExpect);
+  EXPECT_EQ((*steps)[2].session, "mon");
+  // The substring is the rest of the line verbatim, embedded quotes and
+  // colons included.
+  EXPECT_EQ((*steps)[2].payload, "\"health\": \"healthy\"");
+
+  const auto reparsed = ParseScenario(FormatScenario(*steps));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), 3u);
+  EXPECT_EQ((*reparsed)[2].kind, ScenarioStep::Kind::kExpect);
+  EXPECT_EQ((*reparsed)[2].payload, (*steps)[2].payload);
+
+  // EXPECT without a substring is a scenario bug, not an empty match.
+  EXPECT_FALSE(ParseScenario("EXPECT mon\n").ok());
+}
+
 TEST(ScenarioTest, ErrorsNameTheLine) {
   const auto bad = ParseScenario("SESSION a t1\nWHAT now\n");
   ASSERT_FALSE(bad.ok());

@@ -168,6 +168,17 @@ Status InspectTrace(const std::string& path, std::size_t top) {
     }
   }
 
+  // An empty traceEvents array means the trace was truncated (the process
+  // died mid-dump) or recording was off -- either way there is nothing to
+  // analyse, and CI scripts gating on this tool must see a failure rather
+  // than three empty tables and exit 0.
+  if (spans.empty() && decisions.empty() && instants == 0) {
+    return Status::InvalidArgument(
+        "trace has no events -- empty or truncated dump (was the recorder "
+        "armed and the process shut down cleanly?)")
+        .WithContext(path);
+  }
+
   ComputeSelfTimes(&spans);
   std::map<std::string, SpanAgg> by_key;
   for (const SpanRow& span : spans) {

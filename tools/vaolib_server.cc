@@ -5,6 +5,13 @@
 //                 [--tick-budget UNITS] [--shed-after N]
 //                 [--max-queries N] [--max-objects N] [--max-total N]
 //                 [--reserve TENANT=UNITS] [--share TENANT=WEIGHT]
+//                 [--no-health] [--health-windows N] [--ticks-per-epoch N]
+//
+// The runtime health plane (METRICS / INSPECT verbs, SLO burn-rate
+// monitors -- see src/obs/health.h) is ON by default in this binary;
+// --no-health turns it off, and library embedders get it off by default
+// via DispatcherConfig. --health-windows sets the retained epoch count,
+// --ticks-per-epoch how many stream ticks close one epoch.
 //
 // Serves the bond-portfolio workload: relation `bd` (bond_index, position),
 // stream schema (rate), UDF `bond_model`. Clients speak the length-framed
@@ -63,6 +70,9 @@ struct Flags {
   std::size_t max_total = 1024;
   std::map<std::string, std::uint64_t> reserves;
   std::map<std::string, double> shares;
+  bool health = true;
+  std::size_t health_windows = 64;
+  std::size_t ticks_per_epoch = 1;
 };
 
 bool ParseTenantValue(const char* arg, std::string* tenant, double* value) {
@@ -99,6 +109,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->max_objects = static_cast<std::size_t>(std::atoll(value));
     } else if (name == "--max-total" && (value = next())) {
       flags->max_total = static_cast<std::size_t>(std::atoll(value));
+    } else if (name == "--no-health") {
+      flags->health = false;
+    } else if (name == "--health-windows" && (value = next())) {
+      flags->health_windows = static_cast<std::size_t>(std::atoll(value));
+    } else if (name == "--ticks-per-epoch" && (value = next())) {
+      flags->ticks_per_epoch = static_cast<std::size_t>(std::atoll(value));
     } else if (name == "--reserve" && (value = next())) {
       std::string tenant;
       double units = 0.0;
@@ -181,6 +197,9 @@ int main(int argc, char** argv) {
   config.dispatcher.admission.default_quota.max_queries = flags.max_queries;
   config.dispatcher.admission.default_quota.max_objects = flags.max_objects;
   config.dispatcher.admission.max_total_queries = flags.max_total;
+  config.dispatcher.health.enabled = flags.health;
+  config.dispatcher.health.window_count = flags.health_windows;
+  config.dispatcher.health.ticks_per_epoch = flags.ticks_per_epoch;
   server::StandingQueryServer server(&bd, stream_schema, &registry, config);
   for (const auto& [tenant, units] : flags.reserves) {
     server::TenantQuota quota = server.dispatcher().admission().QuotaFor(

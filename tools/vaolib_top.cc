@@ -1,0 +1,321 @@
+// Copyright 2026 The vaolib Authors.
+// vaolib_top: a polling terminal dashboard for a live vaolib_server.
+//
+//   vaolib_top [--host H] [--port P] [--interval-ms N] [--iterations N]
+//              [--once]
+//
+// Connects over TCP, binds as tenant `mon`, and once per interval sends
+// INSPECT (whole-server health/SLO state) and METRICS (the Prometheus
+// scrape), then renders:
+//
+//   * a health banner (healthy/degraded/critical) with tick and query
+//     counts and the critical-transition counter,
+//   * the SLO table -- per objective: state, observed fast/slow window
+//     values, and the burn rates that drive the state machine,
+//   * server throughput since the previous poll (results/s, work/s,
+//     sheds/s) computed from counter deltas in successive scrapes.
+//
+// --once prints a single snapshot without clearing the screen and exits 0
+// (CI smoke mode); --iterations N stops after N polls. Exit is non-zero on
+// connect/protocol failures or when the server answers ERR (e.g. the
+// health plane is disabled: start vaolib_server without --no-health).
+//
+// The monitor rides the same wire plane as any client: everything shown
+// here is reachable by `printf '7\nMETRICS' | nc`, this tool just frames,
+// parses, and formats.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_util.h"
+#include "server/frame.h"
+
+namespace {
+
+using vaolib::Status;
+using vaolib::server::EncodeFrame;
+using vaolib::server::FrameDecoder;
+namespace json = vaolib::obs::json;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7411;
+  int interval_ms = 1000;
+  // 0 = poll until the connection drops or the terminal kills us.
+  std::uint64_t iterations = 0;
+  bool once = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string name = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (name == "--host" && (value = next())) {
+      flags->host = value;
+    } else if (name == "--port" && (value = next())) {
+      flags->port = std::atoi(value);
+    } else if (name == "--interval-ms" && (value = next())) {
+      flags->interval_ms = std::atoi(value);
+    } else if (name == "--iterations" && (value = next())) {
+      flags->iterations =
+          static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+    } else if (name == "--once") {
+      flags->once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: vaolib_top [--host H] [--port P] "
+                   "[--interval-ms N] [--iterations N] [--once]\n");
+      return false;
+    }
+  }
+  if (flags->once) flags->iterations = 1;
+  if (flags->interval_ms < 1) flags->interval_ms = 1;
+  return true;
+}
+
+/// Blocking framed client: one request out, one reply payload back.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, int port) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    const std::string service = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &found) != 0 ||
+        found == nullptr) {
+      return Status::Internal("cannot resolve " + host);
+    }
+    fd_ = ::socket(found->ai_family, found->ai_socktype,
+                   found->ai_protocol);
+    const bool connected =
+        fd_ >= 0 &&
+        ::connect(fd_, found->ai_addr, found->ai_addrlen) == 0;
+    ::freeaddrinfo(found);
+    if (!connected) {
+      return Status::Internal("cannot connect to " + host + ":" +
+                                 service + " (" + std::strerror(errno) +
+                                 ")");
+    }
+    return Status::OK();
+  }
+
+  Status Call(const std::string& request, std::string* reply) {
+    const std::string frame = EncodeFrame(request);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd_, frame.data() + sent,
+                               frame.size() - sent, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return Status::Internal("server closed the connection");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    char buffer[65536];
+    while (true) {
+      auto payload = decoder_.Next();
+      if (payload.has_value()) {
+        *reply = std::move(*payload);
+        return Status::OK();
+      }
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return Status::Internal("server closed the connection");
+      }
+      const Status fed = decoder_.Feed(
+          std::string_view(buffer, static_cast<std::size_t>(n)));
+      if (!fed.ok()) return fed;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+/// One Prometheus sample line: `name value` or `name{labels} value`.
+/// The identity key keeps the label block verbatim.
+std::map<std::string, double> ParseScrape(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    char* parse_end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &parse_end);
+    if (parse_end == line.c_str() + space + 1) continue;
+    samples[line.substr(0, space)] = value;
+  }
+  return samples;
+}
+
+double Rate(const std::map<std::string, double>& now,
+            const std::map<std::string, double>& then,
+            const std::string& key, double seconds) {
+  const auto now_it = now.find(key);
+  if (now_it == now.end() || !(seconds > 0.0)) return 0.0;
+  const auto then_it = then.find(key);
+  const double base = then_it != then.end() ? then_it->second : 0.0;
+  const double delta = now_it->second - base;
+  return delta > 0.0 ? delta / seconds : 0.0;
+}
+
+int RenderPoll(const std::string& inspect_json,
+               const std::map<std::string, double>& scrape,
+               const std::map<std::string, double>& previous,
+               double seconds_since_last, bool clear_screen) {
+  auto parsed = json::Parse(inspect_json);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad INSPECT payload: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const json::JsonValue& root = *parsed.value();
+  const auto health = json::GetString(root, "health");
+  const auto ticks = json::GetNumber(root, "ticks");
+  const auto queries = json::GetNumber(root, "queries");
+  const auto epochs = json::GetNumber(root, "epochs");
+  const auto transitions = json::GetNumber(root, "critical_transitions");
+  const auto slos = json::Child(root, "slos");
+  if (!health.ok() || !ticks.ok() || !queries.ok() || !epochs.ok() ||
+      !transitions.ok() || !slos.ok()) {
+    std::fprintf(stderr, "INSPECT payload missing server fields\n");
+    return 1;
+  }
+
+  if (clear_screen) std::printf("\033[H\033[2J");
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  if (localtime_r(&now, &tm_buf) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  }
+  std::printf("vaolib_top %s  health=%s  ticks=%llu queries=%llu "
+              "epochs=%llu critical_transitions=%llu\n",
+              stamp, health.value().c_str(),
+              static_cast<unsigned long long>(ticks.value()),
+              static_cast<unsigned long long>(queries.value()),
+              static_cast<unsigned long long>(epochs.value()),
+              static_cast<unsigned long long>(transitions.value()));
+
+  std::printf("\nthroughput (since last poll): results/s=%.1f work/s=%.0f "
+              "shed/s=%.2f deadline-misses/s=%.2f\n",
+              Rate(scrape, previous, "vaolib_server_results_total",
+                   seconds_since_last),
+              Rate(scrape, previous, "vaolib_server_tick_work_units_sum",
+                   seconds_since_last),
+              Rate(scrape, previous,
+                   "vaolib_server_shed_total{reason=\"overload\"}",
+                   seconds_since_last),
+              Rate(scrape, previous, "vaolib_server_deadline_misses_total",
+                   seconds_since_last));
+
+  std::printf("\n%-18s %-10s %12s %12s %12s %12s\n", "slo", "state",
+              "fast value", "slow value", "fast burn", "slow burn");
+  for (const auto& entry : slos.value()->array) {
+    const json::JsonValue& slo = *entry;
+    const auto name = json::GetString(slo, "name");
+    const auto state = json::GetString(slo, "state");
+    const auto fast_value = json::GetDouble(slo, "fast_value");
+    const auto slow_value = json::GetDouble(slo, "slow_value");
+    const auto fast_burn = json::GetDouble(slo, "fast_burn");
+    const auto slow_burn = json::GetDouble(slo, "slow_burn");
+    if (!name.ok() || !state.ok() || !fast_value.ok() || !slow_value.ok() ||
+        !fast_burn.ok() || !slow_burn.ok()) {
+      std::fprintf(stderr, "INSPECT slo entry missing fields\n");
+      return 1;
+    }
+    std::printf("%-18s %-10s %12.4f %12.4f %12.2f %12.2f\n",
+                name.value().c_str(), state.value().c_str(),
+                fast_value.value(), slow_value.value(), fast_burn.value(),
+                slow_burn.value());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  Client client;
+  const Status connected = client.Connect(flags.host, flags.port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+  std::string reply;
+  Status status = client.Call("HELLO mon", &reply);
+  if (!status.ok() || reply.rfind("OK HELLO", 0) != 0) {
+    std::fprintf(stderr, "handshake failed: %s\n",
+                 status.ok() ? reply.c_str() : status.ToString().c_str());
+    return 1;
+  }
+
+  std::map<std::string, double> previous;
+  for (std::uint64_t poll = 0;
+       flags.iterations == 0 || poll < flags.iterations; ++poll) {
+    if (poll > 0) ::usleep(static_cast<useconds_t>(flags.interval_ms) * 1000);
+
+    std::string inspect;
+    status = client.Call("INSPECT", &inspect);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (inspect.rfind("INSPECT ", 0) != 0) {
+      // Most likely "ERR failed-precondition ...": health plane off.
+      std::fprintf(stderr, "server refused INSPECT: %s\n", inspect.c_str());
+      return 1;
+    }
+    std::string scrape_text;
+    status = client.Call("METRICS", &scrape_text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (scrape_text.rfind("# ", 0) != 0) {
+      std::fprintf(stderr, "server refused METRICS: %s\n",
+                   scrape_text.c_str());
+      return 1;
+    }
+
+    const auto scrape = ParseScrape(scrape_text);
+    const double seconds =
+        poll == 0 ? 0.0 : static_cast<double>(flags.interval_ms) / 1000.0;
+    const int rendered =
+        RenderPoll(inspect.substr(std::strlen("INSPECT ")), scrape,
+                   previous, seconds, /*clear_screen=*/!flags.once);
+    if (rendered != 0) return rendered;
+    previous = scrape;
+  }
+  return 0;
+}
